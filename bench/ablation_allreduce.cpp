@@ -1,0 +1,30 @@
+// Ablation: allreduce strategy choice across message sizes and cluster
+// scales. Shows why the MPI library (and our cost model's Auto policy)
+// switches between recursive doubling (latency-bound) and the hierarchical
+// shared-memory + ring scheme (bandwidth-bound), and what a naive flat ring
+// would cost.
+#include <cstdio>
+#include <iostream>
+
+#include "mpi/cost.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace dnnperf;
+  std::cout << "=== ablation: allreduce algorithm selection ===\n\n";
+  for (const auto& [nodes, ppn] : {std::pair{4, 4}, std::pair{32, 4}, std::pair{128, 4}}) {
+    mpi::CollectiveCostModel cost(net::Topology(nodes, ppn, hw::FabricKind::OmniPath));
+    util::TextTable table({"message", "recursive-doubling", "flat ring", "hierarchical",
+                           "auto picks"});
+    for (double bytes : {1e3, 64e3, 1e6, 16e6, 102e6, 240e6}) {
+      const double rd = cost.recursive_doubling_time(bytes);
+      const double ring = cost.ring_allreduce_time_flat(bytes);
+      const double hier = cost.hierarchical_allreduce_time(bytes);
+      table.add_row({util::format_bytes(bytes), util::format_time(rd), util::format_time(ring),
+                     util::format_time(hier), rd <= hier ? "rec-doubling" : "hierarchical"});
+    }
+    std::printf("%d nodes x %d ppn:\n%s\n", nodes, ppn, table.to_text().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Ablation: Horovod tensor fusion. Sweeps HOROVOD_FUSION_THRESHOLD from
+// "no fusion" (every gradient tensor gets its own allreduce) to the 64 MiB
+// default, for TensorFlow and PyTorch profiles on 8 Skylake-3 nodes.
+#include <cstdio>
+#include <iostream>
+
+#include "core/presets.hpp"
+#include "hw/platforms.hpp"
+#include "train/trainer.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace dnnperf;
+  std::cout << "=== ablation: tensor fusion threshold (8 Skylake-3 nodes) ===\n\n";
+  for (const bool pytorch : {false, true}) {
+    util::TextTable table(
+        {"threshold", "img/s", "data allreduces", "engine wakeups", "exposed comm"});
+    for (double threshold :
+         {4.0, 256e3, 2e6, 16e6, 64.0 * 1024 * 1024}) {
+      auto cfg = pytorch ? core::pytorch_best(hw::stampede2(), dnn::ModelId::ResNet50, 8)
+                         : core::tf_best(hw::stampede2(), dnn::ModelId::ResNet50, 8);
+      cfg.policy.fusion_threshold_bytes = threshold;
+      const auto r = train::run_training(cfg);
+      table.add_row({util::format_bytes(threshold), util::TextTable::num(r.images_per_sec, 1),
+                     std::to_string(r.comm.data_allreduces),
+                     std::to_string(r.comm.engine_wakeups),
+                     util::TextTable::num(r.comm_exposed_fraction * 100, 2) + "%"});
+    }
+    std::printf("%s ResNet-50:\n%s\n", pytorch ? "PyTorch" : "TensorFlow",
+                table.to_text().c_str());
+  }
+  return 0;
+}

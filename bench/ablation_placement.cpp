@@ -1,0 +1,42 @@
+// Ablation: process placement vs NUMA topology. Sweeps ppn on every CPU
+// platform and reports single-node ResNet-50 throughput — the best ppn
+// tracks the socket/NUMA-domain layout (2 sockets on the Xeons, 8 dies on
+// EPYC), which is the mechanism behind the paper's Section IX ppn rules.
+#include <cstdio>
+#include <iostream>
+
+#include "hw/platforms.hpp"
+#include "train/trainer.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dnnperf;
+  std::cout << "=== ablation: ppn vs NUMA layout (TensorFlow ResNet-50, single node) ===\n\n";
+  util::TextTable table({"platform", "NUMA domains", "ppn=1", "ppn=2", "ppn=4", "ppn=8",
+                         "ppn=16", "best"});
+  for (const auto& cluster : {hw::ri2_skylake(), hw::pitzer(), hw::stampede2(),
+                              hw::ri2_broadwell(), hw::amd_cluster()}) {
+    std::vector<std::string> row{cluster.node.cpu.label,
+                                 std::to_string(cluster.node.cpu.numa_domains())};
+    double best = 0.0;
+    int best_ppn = 1;
+    for (int ppn : {1, 2, 4, 8, 16}) {
+      train::TrainConfig cfg;
+      cfg.cluster = cluster;
+      cfg.model = dnn::ModelId::ResNet50;
+      cfg.ppn = ppn;
+      cfg.batch_per_rank = 256 / ppn;
+      cfg.use_horovod = ppn > 1;
+      const double v = train::run_training(cfg).images_per_sec;
+      row.push_back(util::TextTable::num(v, 1));
+      if (v > best) {
+        best = v;
+        best_ppn = ppn;
+      }
+    }
+    row.push_back("ppn=" + std::to_string(best_ppn));
+    table.add_row(std::move(row));
+  }
+  std::cout << table.to_text();
+  return 0;
+}

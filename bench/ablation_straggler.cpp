@@ -1,0 +1,35 @@
+// Ablation: per-rank compute jitter. Synchronous SGD waits for the slowest
+// rank every iteration; the expected-max straggler penalty grows with the
+// rank count and bends the scaling curve (it is part of why 128 nodes yield
+// 125x rather than 128x in Fig 17).
+#include <cstdio>
+#include <iostream>
+
+#include "core/presets.hpp"
+#include "hw/platforms.hpp"
+#include "train/trainer.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dnnperf;
+  std::cout << "=== ablation: compute jitter vs scaling (ResNet-152, Skylake-3) ===\n\n";
+  util::TextTable table({"nodes", "jitter 0%", "jitter 2% (default)", "jitter 5%",
+                         "speedup@2%"});
+  double base_2pct = 0.0;
+  for (int nodes : {1, 8, 32, 128}) {
+    std::vector<std::string> row{std::to_string(nodes)};
+    double at2 = 0.0;
+    for (double cv : {0.0, 0.02, 0.05}) {
+      auto cfg = core::tf_best(hw::stampede2(), dnn::ModelId::ResNet152, nodes);
+      cfg.jitter_cv = cv;
+      const double v = train::run_training(cfg).images_per_sec;
+      if (cv == 0.02) at2 = v;
+      row.push_back(util::TextTable::num(v, 0));
+    }
+    if (nodes == 1) base_2pct = at2;
+    row.push_back(util::TextTable::num(at2 / base_2pct, 1) + "x");
+    table.add_row(std::move(row));
+  }
+  std::cout << table.to_text();
+  return 0;
+}

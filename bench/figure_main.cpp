@@ -1,0 +1,26 @@
+// Shared entry point for the per-figure benchmark binaries. The figure id is
+// baked in at compile time (DNNPERF_FIGURE_ID); the binary regenerates the
+// corresponding paper table/figure and prints its series and anchors.
+//
+// Flags: --csv also emits machine-readable CSV after the text tables.
+#include <iostream>
+
+#include "core/figures.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  dnnperf::util::CliParser cli(DNNPERF_FIGURE_ID,
+                               "regenerates paper figure " DNNPERF_FIGURE_ID);
+  cli.add_flag("csv", "also print CSV after the text tables", false);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const auto figure = dnnperf::core::run_figure(DNNPERF_FIGURE_ID);
+    std::cout << dnnperf::core::render(figure);
+    if (cli.get_flag("csv"))
+      for (const auto& table : figure.tables) std::cout << '\n' << table.to_csv();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Recomputes the paper's Section IX "Key Insights" from the model and
+// reports whether each qualitative claim holds, with measured numbers.
+#include <iostream>
+
+#include "core/insights.hpp"
+
+int main() {
+  const auto insights = dnnperf::core::evaluate_key_insights();
+  std::cout << dnnperf::core::render_insights(insights);
+  int failures = 0;
+  for (const auto& i : insights)
+    if (!i.holds) ++failures;
+  return failures == 0 ? 0 : 1;
+}

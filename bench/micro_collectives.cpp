@@ -1,0 +1,75 @@
+// Microbenchmarks of the minimpi substrate: real allreduce algorithms on the
+// in-process thread backend, and the analytical cost model's evaluation rate.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "mpi/collectives.hpp"
+#include "mpi/cost.hpp"
+#include "mpi/world.hpp"
+
+namespace {
+
+using namespace dnnperf;
+
+template <mpi::AllreduceAlgo Algo>
+void BM_Allreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const auto count = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    mpi::World::run(ranks, [&](mpi::Comm& comm) {
+      std::vector<float> data(count, static_cast<float>(comm.rank()));
+      mpi::allreduce(comm, std::span<float>(data), mpi::ReduceOp::Sum, Algo);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * ranks *
+                          static_cast<std::int64_t>(count) * sizeof(float));
+}
+
+BENCHMARK(BM_Allreduce<mpi::AllreduceAlgo::Ring>)
+    ->Args({2, 1024})
+    ->Args({4, 1024})
+    ->Args({4, 65536})
+    ->Args({8, 16384});
+BENCHMARK(BM_Allreduce<mpi::AllreduceAlgo::RecursiveDoubling>)
+    ->Args({2, 1024})
+    ->Args({4, 1024})
+    ->Args({8, 1024});
+BENCHMARK(BM_Allreduce<mpi::AllreduceAlgo::Rabenseifner>)->Args({4, 65536})->Args({8, 16384});
+
+void BM_Bcast(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpi::World::run(ranks, [&](mpi::Comm& comm) {
+      std::vector<float> data(4096, 1.0f);
+      mpi::bcast(comm, std::span<float>(data), 0);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+}
+BENCHMARK(BM_Bcast)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpi::World::run(ranks, [&](mpi::Comm& comm) {
+      for (int i = 0; i < 10; ++i) comm.barrier();
+    });
+  }
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(8);
+
+void BM_CostModelEvaluation(benchmark::State& state) {
+  mpi::CollectiveCostModel cost(net::Topology(128, 4, hw::FabricKind::OmniPath));
+  double bytes = 1024.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost.allreduce_time(bytes));
+    bytes = bytes < 1e9 ? bytes * 1.5 : 1024.0;
+  }
+}
+BENCHMARK(BM_CostModelEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Microbenchmarks of the refdnn numeric substrate: conv/dense/batchnorm
+// kernels and the thread pool's dispatch overhead.
+#include <benchmark/benchmark.h>
+
+#include "ref/kernels.hpp"
+#include "ref/network.hpp"
+
+namespace {
+
+using namespace dnnperf;
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ref::ThreadPool pool(threads);
+  util::Rng rng(1);
+  const ref::Tensor x = ref::Tensor::randn({4, 8, 16, 16}, rng);
+  const ref::Tensor w = ref::Tensor::randn({16, 8, 3, 3}, rng, 0.1f);
+  const ref::Tensor b = ref::Tensor::zeros({16});
+  for (auto _ : state) {
+    const auto y = ref::conv2d_forward(x, w, b, ref::ConvSpec{1, 1}, pool);
+    benchmark::DoNotOptimize(y.data());
+  }
+  // 2 * MACs per iteration.
+  const double macs = 16.0 * 16 * 16 * 8 * 9 * 4;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 2 * macs));
+}
+BENCHMARK(BM_Conv2dForward)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  ref::ThreadPool pool(2);
+  util::Rng rng(2);
+  const ref::Tensor x = ref::Tensor::randn({2, 8, 12, 12}, rng);
+  const ref::Tensor w = ref::Tensor::randn({8, 8, 3, 3}, rng, 0.1f);
+  const ref::Tensor b = ref::Tensor::zeros({8});
+  const auto y = ref::conv2d_forward(x, w, b, ref::ConvSpec{1, 1}, pool);
+  util::Rng rng2(3);
+  const ref::Tensor dy = ref::Tensor::randn(y.shape(), rng2);
+  for (auto _ : state) {
+    ref::Tensor dx, dw, db;
+    ref::conv2d_backward(x, w, dy, ref::ConvSpec{1, 1}, dx, dw, db, pool);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+void BM_DenseForward(benchmark::State& state) {
+  ref::ThreadPool pool(2);
+  util::Rng rng(4);
+  const ref::Tensor x = ref::Tensor::randn({32, 256}, rng);
+  const ref::Tensor w = ref::Tensor::randn({256, 128}, rng, 0.1f);
+  const ref::Tensor b = ref::Tensor::zeros({128});
+  for (auto _ : state) {
+    const auto y = ref::dense_forward(x, w, b, pool);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 32 * 256 * 128);
+}
+BENCHMARK(BM_DenseForward);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  util::Rng rng(5);
+  const ref::Tensor x = ref::Tensor::randn({8, 16, 16, 16}, rng);
+  ref::Tensor gamma = ref::Tensor::zeros({16});
+  gamma.fill(1.0f);
+  const ref::Tensor beta = ref::Tensor::zeros({16});
+  for (auto _ : state) {
+    ref::BatchNormCache cache;
+    const auto y = ref::batchnorm_forward(x, gamma, beta, 1e-5f, cache);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BatchNormForward);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  ref::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    pool.parallel_for(64, [&](std::size_t b, std::size_t e) {
+      benchmark::DoNotOptimize(sum += e - b);
+    });
+  }
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(4);
+
+void BM_TrainStepTinyCnn(benchmark::State& state) {
+  ref::ThreadPool pool(2);
+  util::Rng rng(6);
+  ref::Network net = ref::make_tiny_cnn(3, 8, 4, pool, rng);
+  util::Rng data_rng(7);
+  const auto batch = ref::synthetic_batch(8, 3, 8, 4, data_rng);
+  ref::SgdOptimizer sgd(0.05f);
+  for (auto _ : state) {
+    const float loss = net.train_step(batch.images, batch.labels);
+    sgd.step(net.params());
+    benchmark::DoNotOptimize(loss);
+  }
+}
+BENCHMARK(BM_TrainStepTinyCnn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Microbenchmarks of the simulation machinery: discrete-event engine
+// throughput, DNN graph construction, the CPU pass scheduler, and one full
+// simulated training iteration.
+#include <benchmark/benchmark.h>
+
+#include "dnn/models.hpp"
+#include "exec/cpu_model.hpp"
+#include "hvd/timeline.hpp"
+#include "hw/platforms.hpp"
+#include "sim/engine.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+using namespace dnnperf;
+
+void BM_EventEngine(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    int fired = 0;
+    for (int i = 0; i < events; ++i)
+      engine.schedule_at(static_cast<double>(i % 97), [&fired] { ++fired; });
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventEngine)->Arg(1000)->Arg(100000);
+
+void BM_BuildModel(benchmark::State& state) {
+  const auto id = static_cast<dnn::ModelId>(state.range(0));
+  for (auto _ : state) {
+    const dnn::Graph g = dnn::build_model(id);
+    benchmark::DoNotOptimize(g.size());
+  }
+}
+BENCHMARK(BM_BuildModel)
+    ->Arg(static_cast<int>(dnn::ModelId::ResNet50))
+    ->Arg(static_cast<int>(dnn::ModelId::ResNet152))
+    ->Arg(static_cast<int>(dnn::ModelId::InceptionV4));
+
+void BM_CpuPassSchedule(benchmark::State& state) {
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet152);
+  const auto cpu = hw::stampede2().node.cpu;
+  const exec::CpuExecModel model(cpu);
+  exec::ExecConfig cfg;
+  cfg.intra_threads = 11;
+  cfg.inter_threads = 2;
+  cfg.batch = 64;
+  const exec::Placement placement = exec::place_rank(cpu, 4, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.backward(g, cfg, placement).duration);
+  }
+  state.SetItemsProcessed(state.iterations() * g.size());
+}
+BENCHMARK(BM_CpuPassSchedule);
+
+void BM_SimulatedTrainingRun(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  train::TrainConfig cfg;
+  cfg.cluster = hw::stampede2();
+  cfg.model = dnn::ModelId::ResNet50;
+  cfg.nodes = nodes;
+  cfg.ppn = 4;
+  cfg.batch_per_rank = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(train::run_training(cfg).images_per_sec);
+  }
+}
+BENCHMARK(BM_SimulatedTrainingRun)->Arg(1)->Arg(16)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Regenerates every table/figure of the paper plus the Section IX insight
+// checks in one run — the data source for EXPERIMENTS.md.
+//
+// Flags: --anchors-only prints just the anchor lines (for diffing against
+// the committed EXPERIMENTS.md numbers).
+#include <iostream>
+
+#include "core/figures.hpp"
+#include "core/insights.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  dnnperf::util::CliParser cli("report_all", "regenerate all paper figures and insights");
+  cli.add_flag("anchors-only", "print only figure anchors", false);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const bool anchors_only = cli.get_flag("anchors-only");
+    for (const auto& id : dnnperf::core::all_figure_ids()) {
+      const auto figure = dnnperf::core::run_figure(id);
+      if (anchors_only) {
+        for (const auto& [key, value] : figure.anchors)
+          std::cout << figure.id << "." << key << " = "
+                    << dnnperf::util::TextTable::num(value, 3) << '\n';
+      } else {
+        std::cout << dnnperf::core::render(figure) << '\n';
+      }
+    }
+    if (!anchors_only)
+      std::cout << dnnperf::core::render_insights(dnnperf::core::evaluate_key_insights());
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

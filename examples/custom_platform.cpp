@@ -1,0 +1,76 @@
+// Define a hypothetical CPU platform and predict its DNN-training behaviour
+// before buying it: single-node SP-vs-MP, best ppn, and multi-node scaling.
+// Demonstrates using the library with hardware outside the paper's Table I.
+#include <iostream>
+
+#include "core/advisor.hpp"
+#include "train/trainer.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dnnperf;
+  util::CliParser cli("custom_platform", "predict training performance for a custom CPU");
+  cli.add_int("sockets", "CPU sockets per node", 2);
+  cli.add_int("cores", "cores per socket", 32);
+  cli.add_int("numa", "NUMA domains per socket", 1);
+  cli.add_int("smt", "hardware threads per core", 2);
+  cli.add_double("clock", "clock in GHz", 2.4);
+  cli.add_double("flops-per-cycle", "fp32 FLOPs/cycle/core (AVX-512 FMA = 64)", 64.0);
+  cli.add_double("mem-bw", "memory bandwidth per socket, GB/s", 120.0);
+  cli.add_int("nodes", "cluster size", 16);
+  cli.add_string("model", "DNN to train", "resnet50");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    hw::CpuModel cpu;
+    cpu.name = "Custom-CPU";
+    cpu.label = "Custom";
+    cpu.sockets = static_cast<int>(cli.get_int("sockets"));
+    cpu.cores_per_socket = static_cast<int>(cli.get_int("cores"));
+    cpu.numa_domains_per_socket = static_cast<int>(cli.get_int("numa"));
+    cpu.threads_per_core = static_cast<int>(cli.get_int("smt"));
+    cpu.clock_ghz = cli.get_double("clock");
+    cpu.flops_per_cycle_fp32 = cli.get_double("flops-per-cycle");
+    cpu.mem_bw_per_socket_gbps = cli.get_double("mem-bw");
+    cpu.smt_speedup_fraction = cpu.threads_per_core > 1 ? 0.22 : 0.0;
+    cpu.validate();
+
+    hw::ClusterModel cluster;
+    cluster.name = "Custom-Cluster";
+    cluster.node.cpu = cpu;
+    cluster.max_nodes = static_cast<int>(cli.get_int("nodes"));
+    cluster.fabric = hw::FabricKind::InfiniBandEDR;
+    cluster.validate();
+
+    const auto model = dnn::model_by_name(cli.get_string("model"));
+    std::cout << "custom platform: " << cpu.sockets << "x" << cpu.cores_per_socket
+              << " cores @ " << cpu.clock_ghz << " GHz, " << cpu.numa_domains()
+              << " NUMA domains, peak " << cpu.peak_gflops() / 1e3 << " TFLOP/s fp32\n\n";
+
+    core::AdvisorOptions opts;
+    const auto rec = core::advise(cluster, model, exec::Framework::TensorFlow, opts);
+    std::cout << "recommended single-node config: ppn=" << rec.best.ppn << " intra-op="
+              << rec.best.intra_threads << " inter-op=" << rec.best.inter_threads
+              << " batch/rank=" << rec.best.batch_per_rank << " -> " << rec.images_per_sec
+              << " img/s\n\n";
+
+    util::TextTable scaling({"nodes", "img/s", "speedup"});
+    double single = 0.0;
+    for (int n = 1; n <= cluster.max_nodes; n *= 2) {
+      auto cfg = rec.best;
+      cfg.nodes = n;
+      cfg.use_horovod = n * cfg.ppn > 1;
+      const double v = train::run_training(cfg).images_per_sec;
+      if (n == 1) single = v;
+      scaling.add_row({std::to_string(n), util::TextTable::num(v, 1),
+                       util::TextTable::num(v / single, 2) + "x"});
+    }
+    std::cout << "predicted scaling (" << dnn::to_string(model) << "):\n" << scaling.to_text();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Horovod runtime-parameter tuning, as in paper Section VIII: sweep
+// HOROVOD_CYCLE_TIME (and optionally the fusion threshold) and relate
+// end-to-end throughput to the number of Allreduce operations the Horovod
+// Engine actually issues.
+//
+//   ./horovod_tuning --framework pytorch --model resnet50 --nodes 8
+#include <iostream>
+
+#include "core/presets.hpp"
+#include "hw/platforms.hpp"
+#include "train/trainer.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dnnperf;
+  util::CliParser cli("horovod_tuning", "sweep HOROVOD_CYCLE_TIME / fusion threshold");
+  cli.add_string("framework", "tensorflow or pytorch", "pytorch");
+  cli.add_string("model", "DNN to train", "resnet50");
+  cli.add_int("nodes", "number of Skylake-3 nodes", 8);
+  cli.add_int("iterations", "training iterations to profile", 40);
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const bool pytorch = cli.get_string("framework") == "pytorch";
+    const auto model = dnn::model_by_name(cli.get_string("model"));
+    const int nodes = static_cast<int>(cli.get_int("nodes"));
+
+    std::cout << "Horovod cycle-time sweep: " << dnn::to_string(model) << " ("
+              << (pytorch ? "PyTorch" : "TensorFlow") << ") on " << nodes
+              << " Skylake-3 nodes, " << cli.get_int("iterations") << " iterations\n\n";
+
+    util::TextTable table({"cycle time", "img/s", "vs default", "engine allreduces",
+                           "framework requests", "exposed comm"});
+    double base = 0.0;
+    for (double ms : {3.5, 10.0, 30.0, 100.0, 300.0, 600.0}) {
+      auto cfg = pytorch ? core::pytorch_best(hw::stampede2(), model, nodes)
+                         : core::tf_best(hw::stampede2(), model, nodes);
+      cfg.iterations = static_cast<int>(cli.get_int("iterations"));
+      cfg.policy.cycle_time_s = ms * 1e-3;
+      const auto r = train::run_training(cfg);
+      if (base == 0.0) base = r.images_per_sec;
+      table.add_row({util::TextTable::num(ms, 1) + " ms",
+                     util::TextTable::num(r.images_per_sec, 1),
+                     util::TextTable::num(r.images_per_sec / base, 2) + "x",
+                     std::to_string(r.comm.engine_allreduces()),
+                     std::to_string(r.comm.framework_requests),
+                     util::TextTable::num(r.comm_exposed_fraction * 100, 2) + "%"});
+    }
+    std::cout << table.to_text();
+    std::cout << "\n(Default HOROVOD_CYCLE_TIME is 3.5 ms. The paper found PyTorch gains up\n"
+                 "to 1.25x from 600 ms while TensorFlow is insensitive — because PyTorch's\n"
+                 "one-core ranks pay for every engine wake-up, Section VIII.)\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

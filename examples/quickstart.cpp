@@ -1,0 +1,85 @@
+// Quickstart: simulate distributed DNN training on one of the paper's
+// clusters and print throughput, the timing breakdown, and the scaling curve.
+//
+//   ./quickstart --model resnet50 --cluster Stampede2 --nodes 8 --ppn 4
+//                --batch 64 --framework tensorflow
+//
+// Models: resnet18/34/50/101/152, inception-v3/v4, alexnet, vgg16.
+// Clusters: RI2-Skylake, RI2-Broadwell, Pitzer, Stampede2, AMD-Cluster,
+//           RI2-K80, P100-Cluster, Pitzer-V100 (GPU clusters need --gpu).
+#include <iostream>
+
+#include "core/presets.hpp"
+#include "hw/platforms.hpp"
+#include "train/trainer.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dnnperf;
+  util::CliParser cli("quickstart", "simulate DNN training on a modeled cluster");
+  cli.add_string("model", "DNN to train", "resnet50");
+  cli.add_string("cluster", "cluster name", "Stampede2");
+  cli.add_string("framework", "tensorflow or pytorch", "tensorflow");
+  cli.add_int("nodes", "number of nodes", 8);
+  cli.add_int("ppn", "processes per node (0 = paper-tuned)", 0);
+  cli.add_int("batch", "per-rank batch size (0 = paper-tuned)", 0);
+  cli.add_flag("gpu", "train on the cluster's GPUs", false);
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    const auto cluster = hw::cluster_by_name(cli.get_string("cluster"));
+    const auto model = dnn::model_by_name(cli.get_string("model"));
+    const bool pytorch = cli.get_string("framework") == "pytorch";
+    const int nodes = static_cast<int>(cli.get_int("nodes"));
+
+    train::TrainConfig cfg =
+        pytorch ? core::pytorch_best(cluster, model, nodes) : core::tf_best(cluster, model, nodes);
+    if (cli.get_flag("gpu")) {
+      cfg = core::gpu_config(cluster, model,
+                             pytorch ? exec::Framework::PyTorch : exec::Framework::TensorFlow,
+                             nodes, cluster.node.gpu ? cluster.node.gpu->devices_per_node : 1,
+                             cli.get_int("batch") > 0 ? static_cast<int>(cli.get_int("batch")) : 64);
+    }
+    if (cli.get_int("ppn") > 0) cfg.ppn = static_cast<int>(cli.get_int("ppn"));
+    if (cli.get_int("batch") > 0) cfg.batch_per_rank = static_cast<int>(cli.get_int("batch"));
+    cfg.use_horovod = cfg.nodes * cfg.ppn > 1;
+
+    const dnn::Graph graph = dnn::build_model(model);
+    std::cout << "model: " << graph.name() << "  (" << graph.total_params() / 1e6
+              << "M params, " << graph.total_fwd_flops() / 2e9 << " GMACs/image, "
+              << graph.size() << " ops)\n";
+    std::cout << "cluster: " << cluster.name << "  (" << cluster.node.cpu.label << ", fabric "
+              << hw::to_string(cluster.fabric) << ")\n\n";
+
+    const auto r = train::run_training(cfg);
+    std::cout << "config: " << cfg.nodes << " nodes x " << cfg.ppn << " ppn, intra-op "
+              << r.resolved_intra << ", inter-op " << r.resolved_inter << ", batch/rank "
+              << cfg.batch_per_rank << " (effective " << r.effective_batch << ")\n";
+    std::cout << "throughput: " << util::TextTable::num(r.images_per_sec, 1) << " img/s\n";
+    std::cout << "iteration:  " << util::format_time(r.per_iteration_s) << "  (fwd "
+              << util::format_time(r.fwd_s) << ", bwd " << util::format_time(r.bwd_s)
+              << ", exposed comm "
+              << util::TextTable::num(r.comm_exposed_fraction * 100, 1) << "%)\n\n";
+
+    util::TextTable scaling({"nodes", "img/s", "speedup", "efficiency"});
+    double single = 0.0;
+    for (int n = 1; n <= cfg.nodes; n *= 2) {
+      auto c = cfg;
+      c.nodes = n;
+      c.use_horovod = n * c.ppn > 1;
+      const double v = train::run_training(c).images_per_sec;
+      if (n == 1) single = v;
+      scaling.add_row({std::to_string(n), util::TextTable::num(v, 1),
+                       util::TextTable::num(v / single, 2) + "x",
+                       util::TextTable::num(100.0 * v / single / n, 1) + "%"});
+    }
+    std::cout << "scaling:\n" << scaling.to_text();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

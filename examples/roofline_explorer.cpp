@@ -1,0 +1,66 @@
+// Roofline explorer: decompose a training iteration into compute-bound,
+// memory-bound, and overhead time per op kind for any platform / model /
+// thread configuration — the "why" behind every figure in the paper.
+//
+//   ./roofline_explorer --cluster Stampede2 --model resnet50 --ppn 4 --threads 11
+#include <iostream>
+
+#include "dnn/models.hpp"
+#include "dnn/report.hpp"
+#include "exec/roofline.hpp"
+#include "hw/platforms.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dnnperf;
+  util::CliParser cli("roofline_explorer", "per-op-kind roofline decomposition");
+  cli.add_string("cluster", "cluster name", "Stampede2");
+  cli.add_string("model", "DNN", "resnet50");
+  cli.add_string("framework", "tensorflow or pytorch", "tensorflow");
+  cli.add_int("ppn", "processes per node", 4);
+  cli.add_int("threads", "intra-op threads (0 = cores/ppn)", 0);
+  cli.add_int("batch", "per-rank batch size", 64);
+  cli.add_flag("summary", "also print the layer summary table", false);
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const auto cluster = hw::cluster_by_name(cli.get_string("cluster"));
+    const auto model_id = dnn::model_by_name(cli.get_string("model"));
+    const dnn::Graph graph = dnn::build_model(model_id);
+    const int ppn = static_cast<int>(cli.get_int("ppn"));
+    int threads = static_cast<int>(cli.get_int("threads"));
+    if (threads == 0) threads = std::max(1, cluster.node.cpu.total_cores() / ppn);
+
+    exec::ExecConfig cfg;
+    cfg.framework = cli.get_string("framework") == "pytorch" ? exec::Framework::PyTorch
+                                                             : exec::Framework::TensorFlow;
+    cfg.intra_threads = threads;
+    cfg.inter_threads = 1;
+    cfg.batch = static_cast<int>(cli.get_int("batch"));
+
+    const exec::Placement placement = exec::place_rank(cluster.node.cpu, ppn, threads);
+    const exec::CpuExecModel model(cluster.node.cpu);
+    const auto report = exec::roofline_report(model, graph, cfg, placement);
+
+    std::cout << graph.name() << " on " << cluster.node.cpu.label << " (" << ppn << " ppn, "
+              << threads << " intra-op threads, batch " << cfg.batch << "):\n\n";
+    std::cout << "forward:  flop-bound " << util::TextTable::num(report.forward.flop_bound_s, 3)
+              << " s, mem-bound " << util::TextTable::num(report.forward.mem_bound_s, 3)
+              << " s, overhead " << util::TextTable::num(report.forward.overhead_s, 3) << " s\n";
+    std::cout << "backward: flop-bound " << util::TextTable::num(report.backward.flop_bound_s, 3)
+              << " s, mem-bound " << util::TextTable::num(report.backward.mem_bound_s, 3)
+              << " s, overhead " << util::TextTable::num(report.backward.overhead_s, 3)
+              << " s\n";
+    std::cout << "sustained FLOP utilization of this rank's cores: "
+              << util::TextTable::num(report.flop_utilization * 100, 1) << "%\n\n";
+    std::cout << exec::roofline_table(report).to_text();
+
+    std::cout << "\nper-op-kind totals:\n" << dnn::kind_breakdown(graph).to_text();
+    if (cli.get_flag("summary"))
+      std::cout << "\nlayers:\n" << dnn::summary_table(graph).to_text();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

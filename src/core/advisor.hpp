@@ -1,0 +1,31 @@
+// ConfigAdvisor: mechanizes the paper's Section IX guidance by searching the
+// (ppn, intra-op, inter-op, batch) space for a platform + model + framework
+// and reporting the best configuration found. Tests check that the search
+// rediscovers the paper's rules (best ppn per architecture, intra-op =
+// cores/ppn - 1, inter-op = 2 under SMT, PyTorch ppn = cores).
+#pragma once
+
+#include "core/figures.hpp"
+#include "train/trainer.hpp"
+
+namespace dnnperf::core {
+
+struct AdvisorOptions {
+  /// Candidate per-rank batch sizes. The paper keeps batches modest for
+  /// convergence (Section V-A); the default caps at 128.
+  std::vector<int> batch_candidates{16, 32, 64, 128};
+  /// Candidate ppn values; empty = divisors of the core count up to cores.
+  std::vector<int> ppn_candidates;
+  int nodes = 1;
+};
+
+struct Recommendation {
+  train::TrainConfig best;
+  double images_per_sec = 0.0;
+  util::TextTable search_table;  ///< every evaluated configuration
+};
+
+Recommendation advise(const hw::ClusterModel& cluster, dnn::ModelId model,
+                      exec::Framework framework, const AdvisorOptions& options = {});
+
+}  // namespace dnnperf::core

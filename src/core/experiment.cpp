@@ -1,0 +1,28 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace dnnperf::core {
+
+Experiment::Experiment(int repeats, double noise_cv, std::uint64_t seed)
+    : repeats_(repeats), noise_cv_(noise_cv), seed_(seed) {
+  if (repeats < 1) throw std::invalid_argument("Experiment: repeats < 1");
+  if (noise_cv < 0.0) throw std::invalid_argument("Experiment: negative noise");
+}
+
+Measurement Experiment::measure(const train::TrainConfig& config) {
+  const train::TrainResult base = train::run_training(config);
+  util::Rng rng(seed_ + 0x9E37 * ++counter_);
+  util::RunStats stats;
+  for (int i = 0; i < repeats_; ++i)
+    stats.add(base.images_per_sec * (1.0 + rng.normal(0.0, noise_cv_)));
+  Measurement m;
+  m.images_per_sec = stats.mean();
+  m.stddev = stats.stddev();
+  m.last = base;
+  return m;
+}
+
+}  // namespace dnnperf::core

@@ -1,0 +1,36 @@
+// Measurement protocol of the paper (Section IV-B): every experiment runs
+// three times and reports the average to smooth jitter. The simulation is
+// deterministic, so Experiment injects seeded multiplicative measurement
+// noise before averaging — the aggregate converges on the deterministic
+// value while exercising the same protocol.
+#pragma once
+
+#include <cstdint>
+
+#include "train/trainer.hpp"
+#include "util/stats.hpp"
+
+namespace dnnperf::core {
+
+struct Measurement {
+  double images_per_sec = 0.0;  ///< mean over repeats
+  double stddev = 0.0;
+  train::TrainResult last;      ///< full result of the final (noise-free) run
+};
+
+class Experiment {
+ public:
+  /// `noise_cv`: coefficient of variation of per-run measurement noise.
+  explicit Experiment(int repeats = 3, double noise_cv = 0.005, std::uint64_t seed = 2019);
+
+  /// Runs the config `repeats` times and averages throughput.
+  Measurement measure(const train::TrainConfig& config);
+
+ private:
+  int repeats_;
+  double noise_cv_;
+  std::uint64_t seed_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace dnnperf::core

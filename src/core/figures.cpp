@@ -1,0 +1,64 @@
+#include "core/figures.hpp"
+
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace dnnperf::core {
+
+namespace {
+
+const std::map<std::string, std::function<FigureResult()>>& registry() {
+  static const std::map<std::string, std::function<FigureResult()>> reg = {
+      {"table1", table1_platforms},
+      {"fig01", fig01_sp_skylake1},
+      {"fig02", fig02_sp_broadwell},
+      {"fig03", fig03_sp_skylake2},
+      {"fig04", fig04_sp_skylake3},
+      {"fig05", fig05_ppn_bs_rn152},
+      {"fig06", fig06_sp_vs_mp},
+      {"fig07", fig07_mn_skylake1},
+      {"fig08", fig08_mn_broadwell},
+      {"fig09", fig09_mn_skylake2},
+      {"fig10", fig10_mp_tuned_32nodes},
+      {"fig11", fig11_bs_128nodes},
+      {"fig12", fig12_pytorch_skylake3},
+      {"fig13", fig13_epyc_tensorflow},
+      {"fig14", fig14_epyc_pytorch},
+      {"fig15", fig15_gpu_cpu_tensorflow},
+      {"fig16", fig16_pt_vs_tf_gpu},
+      {"fig17", fig17_mn_skylake3_128},
+      {"fig18", fig18_hvd_profiling_tf},
+      {"fig19", fig19_hvd_profiling_pt},
+  };
+  return reg;
+}
+
+}  // namespace
+
+std::vector<std::string> all_figure_ids() {
+  std::vector<std::string> ids;
+  for (const auto& [id, fn] : registry()) ids.push_back(id);
+  return ids;
+}
+
+FigureResult run_figure(const std::string& id) {
+  auto it = registry().find(id);
+  if (it == registry().end()) throw std::out_of_range("unknown figure id: " + id);
+  return it->second();
+}
+
+std::string render(const FigureResult& figure) {
+  std::ostringstream os;
+  os << "=== " << figure.id << ": " << figure.title << " ===\n\n";
+  for (const auto& table : figure.tables) os << table.to_text() << '\n';
+  if (!figure.anchors.empty()) {
+    os << "anchors:\n";
+    for (const auto& [key, value] : figure.anchors)
+      os << "  " << key << " = " << util::TextTable::num(value, 3) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dnnperf::core

@@ -1,0 +1,65 @@
+// One generator per table/figure of the paper's evaluation. Benchmarks call
+// these to print the series; integration tests assert on the named anchors
+// each generator exports (e.g. "mp_over_sp" for Fig 6).
+//
+// All generators are deterministic and cheap (the cluster is simulated), so
+// the full set reruns in seconds.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace dnnperf::core {
+
+struct FigureResult {
+  std::string id;      ///< "fig01" ... "fig19", "table1"
+  std::string title;   ///< what the paper's caption says
+  std::vector<util::TextTable> tables;
+  /// Named scalar results the paper highlights (speedups, ratios, img/s),
+  /// asserted by tests and recorded in EXPERIMENTS.md.
+  std::map<std::string, double> anchors;
+};
+
+// ---- platforms ------------------------------------------------------------
+FigureResult table1_platforms();
+
+// ---- single node (Section V) ----------------------------------------------
+FigureResult fig01_sp_skylake1();    ///< RN50 threads x BS on Skylake-1
+FigureResult fig02_sp_broadwell();   ///< RN50 threads x BS on Broadwell
+FigureResult fig03_sp_skylake2();    ///< RN50 thread sweep on Skylake-2
+FigureResult fig04_sp_skylake3();    ///< RN50 thread sweep incl. SMT on Skylake-3
+FigureResult fig05_ppn_bs_rn152();   ///< RN152 ppn x BS on Skylake-3
+FigureResult fig06_sp_vs_mp();       ///< SP vs MP, RN152 & Inception-v4
+
+// ---- multi node (Section VI) ----------------------------------------------
+FigureResult fig07_mn_skylake1();
+FigureResult fig08_mn_broadwell();
+FigureResult fig09_mn_skylake2();          ///< anchor: 15.6x avg at 16 nodes
+FigureResult fig10_mp_tuned_32nodes();     ///< MP-Tuned vs MP-Default vs SP
+FigureResult fig11_bs_128nodes();
+FigureResult fig12_pytorch_skylake3();
+FigureResult fig13_epyc_tensorflow();      ///< anchor: 7.8x at 8 nodes
+FigureResult fig14_epyc_pytorch();         ///< anchor: 7.98x at 8 nodes
+FigureResult fig17_mn_skylake3_128();      ///< anchor: 125x, ~5000 img/s
+
+// ---- GPU comparison (Section VII) ------------------------------------------
+FigureResult fig15_gpu_cpu_tensorflow();   ///< anchors: 2.35x vs K80, 3.32x V100
+FigureResult fig16_pt_vs_tf_gpu();         ///< anchor: PT 1.12x TF on 4 GPUs
+
+// ---- Horovod profiling (Section VIII) ---------------------------------------
+FigureResult fig18_hvd_profiling_tf();
+FigureResult fig19_hvd_profiling_pt();     ///< anchors: 1.25x, ~10^2 fewer ops
+
+/// All generator ids in paper order.
+std::vector<std::string> all_figure_ids();
+
+/// Dispatch by id; throws std::out_of_range for unknown ids.
+FigureResult run_figure(const std::string& id);
+
+/// Renders a FigureResult (title, tables, anchors) to stdout-ready text.
+std::string render(const FigureResult& figure);
+
+}  // namespace dnnperf::core

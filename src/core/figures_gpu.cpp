@@ -1,0 +1,83 @@
+// Figures of Section VII: GPU architectures vs the best CPU configuration.
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+#include "core/presets.hpp"
+#include "hw/platforms.hpp"
+
+namespace dnnperf::core {
+
+namespace {
+
+using util::TextTable;
+
+int best_gpu_batch(const hw::GpuModel& gpu) {
+  // K80's 12 GB (per logical GPU) limits batch; Pascal/Volta run larger.
+  return gpu.name == "K80" ? 32 : 128;
+}
+
+}  // namespace
+
+FigureResult fig15_gpu_cpu_tensorflow() {
+  FigureResult fig;
+  fig.id = "fig15";
+  fig.title = "TensorFlow: K80 / P100 / V100 vs the best Skylake-3 CPU configuration";
+  TextTable table({"model", "K80 img/s", "P100 img/s", "V100 img/s", "Skylake-3 img/s",
+                   "SKX/K80", "V100/SKX"});
+  Experiment exp;
+  const std::vector<hw::ClusterModel> gpu_clusters{hw::ri2_k80(), hw::p100_cluster(),
+                                                   hw::pitzer_v100()};
+  for (auto m : dnn::paper_models()) {
+    std::vector<double> gpu_v;
+    for (const auto& cluster : gpu_clusters) {
+      auto cfg = gpu_config(cluster, m, exec::Framework::TensorFlow, 1, 1,
+                            best_gpu_batch(*cluster.node.gpu));
+      gpu_v.push_back(exp.measure(cfg).images_per_sec);
+    }
+    const double skx = exp.measure(tf_best(hw::stampede2(), m, 1)).images_per_sec;
+    table.add_row({dnn::to_string(m), TextTable::num(gpu_v[0], 1), TextTable::num(gpu_v[1], 1),
+                   TextTable::num(gpu_v[2], 1), TextTable::num(skx, 1),
+                   TextTable::num(skx / gpu_v[0], 2), TextTable::num(gpu_v[2] / skx, 2)});
+    fig.anchors[std::string("skx_over_k80_") + dnn::to_string(m)] = skx / gpu_v[0];
+    fig.anchors[std::string("v100_over_skx_") + dnn::to_string(m)] = gpu_v[2] / skx;
+    fig.anchors[std::string("p100_over_k80_") + dnn::to_string(m)] = gpu_v[1] / gpu_v[0];
+  }
+  fig.tables.push_back(std::move(table));
+  return fig;
+}
+
+FigureResult fig16_pt_vs_tf_gpu() {
+  FigureResult fig;
+  fig.id = "fig16";
+  fig.title = "PyTorch vs TensorFlow on V100 GPUs (1, 2, 4 devices)";
+  TextTable table({"model", "1-TF", "1-PT", "2-TF", "2-PT", "4-TF", "4-PT", "PT/TF @4"});
+  Experiment exp;
+  const std::vector<dnn::ModelId> models{dnn::ModelId::ResNet50, dnn::ModelId::ResNet101,
+                                         dnn::ModelId::ResNet152, dnn::ModelId::InceptionV3};
+  for (auto m : models) {
+    std::vector<std::string> row{dnn::to_string(m)};
+    double tf4 = 0.0, pt4 = 0.0;
+    for (int gpus : {1, 2, 4}) {
+      const int nodes = gpus <= 2 ? 1 : 2;
+      const int per_node = gpus <= 2 ? gpus : 2;
+      auto tf = gpu_config(hw::pitzer_v100(), m, exec::Framework::TensorFlow, nodes, per_node, 64);
+      auto pt = gpu_config(hw::pitzer_v100(), m, exec::Framework::PyTorch, nodes, per_node, 64);
+      const double tf_v = exp.measure(tf).images_per_sec;
+      const double pt_v = exp.measure(pt).images_per_sec;
+      if (gpus == 4) {
+        tf4 = tf_v;
+        pt4 = pt_v;
+      }
+      row.push_back(TextTable::num(tf_v, 0));
+      row.push_back(TextTable::num(pt_v, 0));
+      fig.anchors["tf_" + std::to_string(gpus) + "gpu_" + dnn::to_string(m)] = tf_v;
+      fig.anchors["pt_" + std::to_string(gpus) + "gpu_" + dnn::to_string(m)] = pt_v;
+    }
+    row.push_back(TextTable::num(pt4 / tf4, 2));
+    fig.anchors[std::string("pt_over_tf_4gpu_") + dnn::to_string(m)] = pt4 / tf4;
+    table.add_row(std::move(row));
+  }
+  fig.tables.push_back(std::move(table));
+  return fig;
+}
+
+}  // namespace dnnperf::core

@@ -1,0 +1,244 @@
+// Figures of Section VI: multi-node scaling on the CPU clusters.
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+#include "core/presets.hpp"
+#include "hw/platforms.hpp"
+
+namespace dnnperf::core {
+
+namespace {
+
+using util::TextTable;
+
+std::vector<int> node_steps(int max_nodes) {
+  std::vector<int> steps;
+  for (int n = 1; n <= max_nodes; n *= 2) steps.push_back(n);
+  return steps;
+}
+
+std::vector<std::string> header_copy(const std::vector<dnn::ModelId>& models);
+
+/// Multi-node throughput table for the tuned TF (or PyTorch) config:
+/// rows = node counts, one column per model, plus speedup anchors.
+FigureResult multi_node_figure(const std::string& id, const std::string& title,
+                               const hw::ClusterModel& cluster, exec::Framework fw,
+                               const std::vector<dnn::ModelId>& models, int max_nodes) {
+  FigureResult fig;
+  fig.id = id;
+  fig.title = title;
+
+  std::vector<std::string> header{"nodes"};
+  for (auto m : models) header.push_back(dnn::to_string(m));
+  TextTable table(std::move(header));
+  TextTable speedups(header_copy(models));
+
+  Experiment exp;
+  std::map<dnn::ModelId, double> single;
+  for (int nodes : node_steps(max_nodes)) {
+    std::vector<std::string> row{std::to_string(nodes)};
+    std::vector<std::string> srow{std::to_string(nodes)};
+    for (auto m : models) {
+      auto cfg = fw == exec::Framework::TensorFlow ? tf_best(cluster, m, nodes)
+                                                   : pytorch_best(cluster, m, nodes);
+      const double v = exp.measure(cfg).images_per_sec;
+      if (nodes == 1) single[m] = v;
+      row.push_back(TextTable::num(v, 1));
+      const double speedup = v / single[m];
+      srow.push_back(TextTable::num(speedup, 2));
+      fig.anchors["n" + std::to_string(nodes) + "_" + dnn::to_string(m)] = v;
+      fig.anchors["speedup_n" + std::to_string(nodes) + "_" + dnn::to_string(m)] = speedup;
+    }
+    table.add_row(std::move(row));
+    speedups.add_row(std::move(srow));
+  }
+  fig.tables.push_back(std::move(table));
+  fig.tables.push_back(std::move(speedups));
+  return fig;
+}
+
+std::vector<std::string> header_copy(const std::vector<dnn::ModelId>& models) {
+  std::vector<std::string> header{"nodes (speedup)"};
+  for (auto m : models) header.push_back(dnn::to_string(m));
+  return header;
+}
+
+}  // namespace
+
+FigureResult fig07_mn_skylake1() {
+  return multi_node_figure("fig07", "TensorFlow multi-node scaling on Skylake-1 (RI2)",
+                           hw::ri2_skylake(), exec::Framework::TensorFlow, dnn::paper_models(),
+                           8);
+}
+
+FigureResult fig08_mn_broadwell() {
+  // Section VI-B: 2 processes with 13 intra-op threads, BS 128 for ResNet-50
+  // and 64 for the rest — which is what tf_best resolves to on Broadwell,
+  // except the per-model batch.
+  FigureResult fig;
+  fig.id = "fig08";
+  fig.title = "TensorFlow multi-node scaling on Broadwell (RI2)";
+  std::vector<std::string> header{"nodes"};
+  for (auto m : dnn::paper_models()) header.push_back(dnn::to_string(m));
+  TextTable table(std::move(header));
+  Experiment exp;
+  std::map<dnn::ModelId, double> single;
+  for (int nodes : node_steps(16)) {
+    std::vector<std::string> row{std::to_string(nodes)};
+    for (auto m : dnn::paper_models()) {
+      const int bs = m == dnn::ModelId::ResNet50 ? 128 : 64;
+      auto cfg = tf_best(hw::ri2_broadwell(), m, nodes, bs);
+      cfg.intra_threads = 13;
+      cfg.inter_threads = 1;
+      const double v = exp.measure(cfg).images_per_sec;
+      if (nodes == 1) single[m] = v;
+      row.push_back(TextTable::num(v, 1));
+      fig.anchors["speedup_n" + std::to_string(nodes) + "_" + dnn::to_string(m)] = v / single[m];
+    }
+    table.add_row(std::move(row));
+  }
+  fig.tables.push_back(std::move(table));
+  return fig;
+}
+
+FigureResult fig09_mn_skylake2() {
+  FigureResult fig = multi_node_figure("fig09", "TensorFlow multi-node scaling on Skylake-2 (Pitzer)",
+                                       hw::pitzer(), exec::Framework::TensorFlow,
+                                       dnn::paper_models(), 16);
+  // Section VI-C anchor: average speedup of 15.6x at 16 nodes.
+  double sum = 0.0;
+  for (auto m : dnn::paper_models())
+    sum += fig.anchors["speedup_n16_" + std::string(dnn::to_string(m))];
+  fig.anchors["avg_speedup_16_nodes"] = sum / static_cast<double>(dnn::paper_models().size());
+  return fig;
+}
+
+FigureResult fig10_mp_tuned_32nodes() {
+  FigureResult fig;
+  fig.id = "fig10";
+  fig.title = "MP-Tuned vs MP-Default vs SP on 32 Skylake-3 nodes";
+  TextTable table({"model", "SP img/s", "MP-Default img/s", "MP-Tuned img/s",
+                   "Tuned/SP", "Tuned/Default"});
+  Experiment exp;
+  const auto cluster = hw::stampede2();
+  for (auto m : dnn::paper_models()) {
+    // SP: one rank per node, all cores in one process.
+    train::TrainConfig sp;
+    sp.cluster = cluster;
+    sp.model = m;
+    sp.nodes = 32;
+    sp.ppn = 1;
+    sp.intra_threads = 48;
+    sp.batch_per_rank = 256;
+
+    // MP-Default: tuned ppn but TF's default threading (all cores per rank,
+    // single inter-op thread, no spare core for Horovod).
+    auto def = tf_best(cluster, m, 32);
+    def.intra_threads = 12;
+    def.inter_threads = 1;
+
+    auto tuned = tf_best(cluster, m, 32);  // intra 11, inter 2
+
+    const double sp_v = exp.measure(sp).images_per_sec;
+    const double def_v = exp.measure(def).images_per_sec;
+    const double tuned_v = exp.measure(tuned).images_per_sec;
+    table.add_row({dnn::to_string(m), TextTable::num(sp_v, 0), TextTable::num(def_v, 0),
+                   TextTable::num(tuned_v, 0), TextTable::num(tuned_v / sp_v, 2),
+                   TextTable::num(tuned_v / def_v, 2)});
+    fig.anchors[std::string("tuned_over_sp_") + dnn::to_string(m)] = tuned_v / sp_v;
+    fig.anchors[std::string("tuned_over_default_") + dnn::to_string(m)] = tuned_v / def_v;
+  }
+  fig.tables.push_back(std::move(table));
+  return fig;
+}
+
+FigureResult fig11_bs_128nodes() {
+  FigureResult fig;
+  fig.id = "fig11";
+  fig.title = "Effect of per-rank batch size at 128 Skylake-3 nodes (TensorFlow)";
+  TextTable table({"model", "BS=16", "BS=32", "BS=64"});
+  Experiment exp;
+  for (auto m : dnn::paper_models()) {
+    std::vector<std::string> row{dnn::to_string(m)};
+    double first = 0.0, last = 0.0;
+    for (int bs : {16, 32, 64}) {
+      auto cfg = tf_best(hw::stampede2(), m, 128, bs);
+      const double v = exp.measure(cfg).images_per_sec;
+      if (bs == 16) first = v;
+      last = v;
+      row.push_back(TextTable::num(v, 0));
+    }
+    table.add_row(std::move(row));
+    fig.anchors[std::string("bs64_over_bs16_") + dnn::to_string(m)] = last / first;
+  }
+  fig.tables.push_back(std::move(table));
+  return fig;
+}
+
+FigureResult fig12_pytorch_skylake3() {
+  // Section VI-D: PyTorch needs 48 ppn; BS 16 (RN50/101) and 8 (RN152/Inc-v3).
+  const std::vector<dnn::ModelId> models{dnn::ModelId::ResNet50, dnn::ModelId::ResNet101,
+                                         dnn::ModelId::ResNet152, dnn::ModelId::InceptionV3};
+  FigureResult fig = multi_node_figure("fig12", "PyTorch multi-node scaling on Skylake-3",
+                                       hw::stampede2(), exec::Framework::PyTorch, models, 16);
+  // Section VI-D anchor: single-process PyTorch ResNet-50 crawls at
+  // ~2.1 img/s, which is what motivates the 48-ppn MP recommendation.
+  train::TrainConfig sp;
+  sp.cluster = hw::stampede2();
+  sp.model = dnn::ModelId::ResNet50;
+  sp.framework = exec::Framework::PyTorch;
+  sp.ppn = 1;
+  sp.use_horovod = false;
+  sp.batch_per_rank = 32;
+  Experiment exp;
+  fig.anchors["pt_sp_rn50_img_per_sec"] = exp.measure(sp).images_per_sec;
+  return fig;
+}
+
+FigureResult fig13_epyc_tensorflow() {
+  FigureResult fig = multi_node_figure("fig13", "TensorFlow multi-node scaling on AMD EPYC",
+                                       hw::amd_cluster(), exec::Framework::TensorFlow,
+                                       dnn::paper_models(), 8);
+  fig.anchors["rn152_speedup_8_nodes"] = fig.anchors["speedup_n8_ResNet-152"];
+  // Section VI-E: Skylake-3 is ~4.5x EPYC under TF (generic kernels on AMD).
+  Experiment exp;
+  const double skx = exp.measure(tf_best(hw::stampede2(), dnn::ModelId::ResNet50, 1)).images_per_sec;
+  const double amd = exp.measure(tf_best(hw::amd_cluster(), dnn::ModelId::ResNet50, 1)).images_per_sec;
+  fig.anchors["skylake3_over_epyc_rn50"] = skx / amd;
+  return fig;
+}
+
+FigureResult fig14_epyc_pytorch() {
+  const std::vector<dnn::ModelId> models{dnn::ModelId::ResNet50, dnn::ModelId::ResNet101,
+                                         dnn::ModelId::ResNet152, dnn::ModelId::InceptionV3};
+  FigureResult fig = multi_node_figure("fig14", "PyTorch multi-node scaling on AMD EPYC",
+                                       hw::amd_cluster(), exec::Framework::PyTorch, models, 8);
+  fig.anchors["rn50_speedup_8_nodes"] = fig.anchors["speedup_n8_ResNet-50"];
+  // Section VI-E: PT is ~1.2x TF on 8 EPYC nodes (RN152); Skylake-3 is ~1.5x
+  // EPYC for PT (RN101).
+  Experiment exp;
+  const double pt152 =
+      exp.measure(pytorch_best(hw::amd_cluster(), dnn::ModelId::ResNet152, 8)).images_per_sec;
+  const double tf152 =
+      exp.measure(tf_best(hw::amd_cluster(), dnn::ModelId::ResNet152, 8)).images_per_sec;
+  fig.anchors["pt_over_tf_rn152_8_nodes"] = pt152 / tf152;
+  const double skx101 =
+      exp.measure(pytorch_best(hw::stampede2(), dnn::ModelId::ResNet101, 1)).images_per_sec;
+  const double amd101 =
+      exp.measure(pytorch_best(hw::amd_cluster(), dnn::ModelId::ResNet101, 1)).images_per_sec;
+  fig.anchors["skylake3_over_epyc_pt_rn101"] = skx101 / amd101;
+  return fig;
+}
+
+FigureResult fig17_mn_skylake3_128() {
+  FigureResult fig = multi_node_figure("fig17",
+                                       "TensorFlow multi-node scaling on Skylake-3 up to 128 nodes",
+                                       hw::stampede2(), exec::Framework::TensorFlow,
+                                       dnn::paper_models(), 128);
+  fig.anchors["rn152_speedup_128_nodes"] = fig.anchors["speedup_n128_ResNet-152"];
+  fig.anchors["rn152_img_per_sec_128_nodes"] = fig.anchors["n128_ResNet-152"];
+  return fig;
+}
+
+}  // namespace dnnperf::core

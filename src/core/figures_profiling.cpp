@@ -1,0 +1,89 @@
+// Figures of Section VIII: the relationship between end-to-end performance,
+// HOROVOD_CYCLE_TIME, and the number of Allreduce operations issued by the
+// Horovod Engine, measured with the paper's custom profiling counters
+// (reproduced by hvd::CommStats) over 40 training iterations.
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+#include "core/presets.hpp"
+#include "hw/platforms.hpp"
+
+namespace dnnperf::core {
+
+namespace {
+
+using util::TextTable;
+
+constexpr int kProfilingIterations = 40;
+constexpr int kProfilingNodes = 8;
+
+FigureResult profiling_figure(const std::string& id, const std::string& title,
+                              exec::Framework fw, const std::vector<dnn::ModelId>& models,
+                              const std::vector<double>& cycle_times_ms) {
+  FigureResult fig;
+  fig.id = id;
+  fig.title = title;
+
+  std::vector<std::string> header{"cycle (ms)"};
+  for (auto m : models) {
+    header.push_back(std::string(dnn::to_string(m)) + " img/s");
+    header.push_back(std::string("HE ") + dnn::to_string(m));  // engine allreduce count
+  }
+  TextTable table(std::move(header));
+
+  std::map<dnn::ModelId, double> base_perf;
+  std::map<dnn::ModelId, double> base_ops;
+  for (double ms : cycle_times_ms) {
+    std::vector<std::string> row{TextTable::num(ms, 1)};
+    for (auto m : models) {
+      auto cfg = fw == exec::Framework::TensorFlow
+                     ? tf_best(hw::stampede2(), m, kProfilingNodes)
+                     : pytorch_best(hw::stampede2(), m, kProfilingNodes);
+      cfg.iterations = kProfilingIterations;
+      cfg.policy.cycle_time_s = ms * 1e-3;
+      const auto r = train::run_training(cfg);
+      const auto ops = static_cast<double>(r.comm.engine_allreduces());
+      if (ms == cycle_times_ms.front()) {
+        base_perf[m] = r.images_per_sec;
+        base_ops[m] = ops;
+      }
+      row.push_back(TextTable::num(r.images_per_sec, 1));
+      row.push_back(TextTable::num(ops, 0));
+      const std::string suffix =
+          "_" + std::to_string(static_cast<int>(ms)) + "ms_" + dnn::to_string(m);
+      fig.anchors["perf" + suffix] = r.images_per_sec;
+      fig.anchors["engine_ops" + suffix] = ops;
+      if (ms == cycle_times_ms.back()) {
+        fig.anchors[std::string("perf_gain_") + dnn::to_string(m)] =
+            r.images_per_sec / base_perf[m];
+        fig.anchors[std::string("ops_reduction_") + dnn::to_string(m)] = base_ops[m] / ops;
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  fig.tables.push_back(std::move(table));
+  return fig;
+}
+
+}  // namespace
+
+FigureResult fig18_hvd_profiling_tf() {
+  // Default HOROVOD_CYCLE_TIME is 3.5 ms; the paper sweeps up to 90 ms and
+  // sees at most ~1.04x for ResNet-101.
+  return profiling_figure(
+      "fig18", "TensorFlow: performance and Horovod-Engine allreduce count vs cycle time",
+      exec::Framework::TensorFlow,
+      {dnn::ModelId::ResNet50, dnn::ModelId::ResNet101, dnn::ModelId::ResNet152},
+      {3.5, 10.0, 30.0, 60.0, 90.0});
+}
+
+FigureResult fig19_hvd_profiling_pt() {
+  // The paper sweeps to 600 ms for PyTorch: up to 1.25x for ResNet-50 and
+  // ~199x fewer engine allreduces.
+  return profiling_figure(
+      "fig19", "PyTorch: performance and Horovod-Engine allreduce count vs cycle time",
+      exec::Framework::PyTorch,
+      {dnn::ModelId::ResNet50, dnn::ModelId::ResNet101, dnn::ModelId::ResNet152},
+      {3.5, 30.0, 100.0, 300.0, 600.0});
+}
+
+}  // namespace dnnperf::core

@@ -1,0 +1,179 @@
+// Figures of Section V: single-node SP and MP characterization.
+#include <algorithm>
+
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+#include "core/presets.hpp"
+#include "hw/platforms.hpp"
+
+namespace dnnperf::core {
+
+namespace {
+
+using util::TextTable;
+
+/// SP throughput table: rows = thread counts, columns = batch sizes.
+TextTable sp_threads_by_batch(const hw::ClusterModel& cluster, dnn::ModelId model,
+                              const std::vector<int>& threads, const std::vector<int>& batches,
+                              std::map<std::string, double>* anchors,
+                              const std::string& anchor_prefix) {
+  std::vector<std::string> header{"threads"};
+  for (int bs : batches) header.push_back("BS=" + std::to_string(bs));
+  TextTable table(std::move(header));
+  Experiment exp;
+  for (int t : threads) {
+    std::vector<std::string> row{std::to_string(t)};
+    for (int bs : batches) {
+      auto cfg = sp_baseline(cluster, model, bs);
+      cfg.intra_threads = t;
+      cfg.inter_threads = 1;
+      const double v = exp.measure(cfg).images_per_sec;
+      row.push_back(TextTable::num(v, 1));
+      if (anchors != nullptr)
+        (*anchors)[anchor_prefix + "_t" + std::to_string(t) + "_bs" + std::to_string(bs)] = v;
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+FigureResult table1_platforms() {
+  FigureResult fig;
+  fig.id = "table1";
+  fig.title = "Evaluation platforms (paper Table I)";
+  TextTable t({"Architecture", "Cluster", "Speed (GHz)", "Cores", "Threads/Core", "Label"});
+  for (const auto& c :
+       {hw::ri2_skylake(), hw::pitzer(), hw::stampede2(), hw::ri2_broadwell(), hw::amd_cluster()}) {
+    const auto& cpu = c.node.cpu;
+    t.add_row({cpu.name, c.name, TextTable::num(cpu.clock_ghz, 1),
+               std::to_string(cpu.total_cores()), std::to_string(cpu.threads_per_core),
+               cpu.label});
+    fig.anchors["cores_" + cpu.label] = cpu.total_cores();
+  }
+  fig.tables.push_back(std::move(t));
+  return fig;
+}
+
+FigureResult fig01_sp_skylake1() {
+  FigureResult fig;
+  fig.id = "fig01";
+  fig.title = "ResNet-50 SP training on Skylake-1: threads (a) and batch size (b)";
+  const std::vector<int> threads{1, 2, 4, 8, 14, 20, 28};
+  const std::vector<int> batches{16, 32, 64, 128, 256, 512, 1024};
+  fig.tables.push_back(sp_threads_by_batch(hw::ri2_skylake(), dnn::ModelId::ResNet50, threads,
+                                           batches, &fig.anchors, "skx1"));
+  // Scaling-knee anchors (Fig 1a): gains 1->14 threads are large, 14->28 small.
+  fig.anchors["scaling_1_to_14"] = fig.anchors["skx1_t14_bs128"] / fig.anchors["skx1_t1_bs128"];
+  fig.anchors["scaling_14_to_28"] = fig.anchors["skx1_t28_bs128"] / fig.anchors["skx1_t14_bs128"];
+  // BS anchors (Fig 1b): 8 threads barely improve with BS; 28 threads do.
+  fig.anchors["bs_gain_8t"] = fig.anchors["skx1_t8_bs512"] / fig.anchors["skx1_t8_bs16"];
+  fig.anchors["bs_gain_28t"] = fig.anchors["skx1_t28_bs512"] / fig.anchors["skx1_t28_bs16"];
+  return fig;
+}
+
+FigureResult fig02_sp_broadwell() {
+  FigureResult fig;
+  fig.id = "fig02";
+  fig.title = "ResNet-50 SP training on Broadwell";
+  const std::vector<int> threads{1, 2, 4, 8, 14, 20, 28};
+  const std::vector<int> batches{16, 64, 128, 256, 512};
+  fig.tables.push_back(sp_threads_by_batch(hw::ri2_broadwell(), dnn::ModelId::ResNet50, threads,
+                                           batches, &fig.anchors, "bdw"));
+  fig.anchors["scaling_1_to_14"] = fig.anchors["bdw_t14_bs128"] / fig.anchors["bdw_t1_bs128"];
+  fig.anchors["scaling_14_to_28"] = fig.anchors["bdw_t28_bs128"] / fig.anchors["bdw_t14_bs128"];
+  return fig;
+}
+
+FigureResult fig03_sp_skylake2() {
+  FigureResult fig;
+  fig.id = "fig03";
+  fig.title = "ResNet-50 SP thread scaling on Skylake-2 (Pitzer)";
+  const std::vector<int> threads{1, 2, 4, 8, 16, 20, 28, 32, 40};
+  const std::vector<int> batches{64, 128, 256};
+  fig.tables.push_back(sp_threads_by_batch(hw::pitzer(), dnn::ModelId::ResNet50, threads,
+                                           batches, &fig.anchors, "skx2"));
+  // Section V-A3: Skylake-2 single-thread beats Skylake-1 single-thread.
+  Experiment exp;
+  auto cfg1 = sp_baseline(hw::ri2_skylake(), dnn::ModelId::ResNet50, 128);
+  cfg1.intra_threads = 1;
+  cfg1.inter_threads = 1;
+  fig.anchors["skx2_vs_skx1_1thread"] =
+      fig.anchors["skx2_t1_bs128"] / exp.measure(cfg1).images_per_sec;
+  return fig;
+}
+
+FigureResult fig04_sp_skylake3() {
+  FigureResult fig;
+  fig.id = "fig04";
+  fig.title = "ResNet-50 SP thread scaling on Skylake-3 (Stampede2, SMT enabled)";
+  const std::vector<int> threads{1, 2, 4, 8, 16, 24, 32, 48, 64, 96};
+  const std::vector<int> batches{64, 128, 256};
+  fig.tables.push_back(sp_threads_by_batch(hw::stampede2(), dnn::ModelId::ResNet50, threads,
+                                           batches, &fig.anchors, "skx3"));
+  // Section V-A4: 96 threads is *worse* than 48 threads.
+  fig.anchors["t96_over_t48"] = fig.anchors["skx3_t96_bs128"] / fig.anchors["skx3_t48_bs128"];
+  return fig;
+}
+
+FigureResult fig05_ppn_bs_rn152() {
+  FigureResult fig;
+  fig.id = "fig05";
+  fig.title = "ResNet-152 on Skylake-3: per-rank batch size vs processes per node";
+  TextTable table({"ppn", "BS=16", "BS=32", "BS=64", "BS=128"});
+  Experiment exp;
+  const auto cluster = hw::stampede2();
+  for (int ppn : {1, 2, 4, 8}) {
+    std::vector<std::string> row{std::to_string(ppn)};
+    for (int bs : {16, 32, 64, 128}) {
+      train::TrainConfig cfg;
+      cfg.cluster = cluster;
+      cfg.model = dnn::ModelId::ResNet152;
+      cfg.ppn = ppn;
+      cfg.batch_per_rank = bs;
+      cfg.use_horovod = ppn > 1;
+      const double v = exp.measure(cfg).images_per_sec;
+      row.push_back(TextTable::num(v, 1));
+      fig.anchors["ppn" + std::to_string(ppn) + "_bs" + std::to_string(bs)] = v;
+    }
+    table.add_row(std::move(row));
+  }
+  fig.tables.push_back(std::move(table));
+  // Section V-B: the ppn <-> BS relationship is non-linear; 4 ppn wins at
+  // BS=64 while 8 ppn is competitive at BS=32.
+  fig.anchors["best_ppn_bs64_is_4"] =
+      (fig.anchors["ppn4_bs64"] >= fig.anchors["ppn1_bs64"] &&
+       fig.anchors["ppn4_bs64"] >= fig.anchors["ppn2_bs64"])
+          ? 1.0
+          : 0.0;
+  return fig;
+}
+
+FigureResult fig06_sp_vs_mp() {
+  FigureResult fig;
+  fig.id = "fig06";
+  fig.title = "Single-Process vs Multi-Process on Skylake-3 (same effective batch)";
+  TextTable table({"model", "effective BS", "SP img/s", "MP (4ppn) img/s", "MP/SP"});
+  Experiment exp;
+  const auto cluster = hw::stampede2();
+  for (auto model : {dnn::ModelId::ResNet152, dnn::ModelId::InceptionV4}) {
+    for (int eff_bs : {128, 256}) {
+      auto sp = sp_baseline(cluster, model, eff_bs);
+      auto mp = tf_best(cluster, model, 1, eff_bs / 4);
+      const double sp_v = exp.measure(sp).images_per_sec;
+      const double mp_v = exp.measure(mp).images_per_sec;
+      table.add_row({dnn::to_string(model), std::to_string(eff_bs), TextTable::num(sp_v, 1),
+                     TextTable::num(mp_v, 1), TextTable::num(mp_v / sp_v, 2)});
+      if (eff_bs == 256) {
+        const std::string key = model == dnn::ModelId::ResNet152 ? "mp_over_sp_rn152"
+                                                                 : "mp_over_sp_incv4";
+        fig.anchors[key] = mp_v / sp_v;
+      }
+    }
+  }
+  fig.tables.push_back(std::move(table));
+  return fig;
+}
+
+}  // namespace dnnperf::core

@@ -1,0 +1,176 @@
+#include "core/insights.hpp"
+
+#include <sstream>
+
+#include "core/presets.hpp"
+#include "hw/platforms.hpp"
+#include "train/trainer.hpp"
+#include "util/table.hpp"
+
+namespace dnnperf::core {
+
+namespace {
+
+using util::TextTable;
+
+double throughput(const train::TrainConfig& cfg) {
+  return train::run_training(cfg).images_per_sec;
+}
+
+Insight insight_mp_over_sp() {
+  auto sp = sp_baseline(hw::stampede2(), dnn::ModelId::ResNet152, 256);
+  auto mp = tf_best(hw::stampede2(), dnn::ModelId::ResNet152, 1);
+  const double ratio = throughput(mp) / throughput(sp);
+  Insight i;
+  i.claim = "Single-node training should use the multi-process (MP) approach; it beats "
+            "single-process (SP) despite MKL-DNN multithreading.";
+  std::ostringstream os;
+  os << "MP(4 ppn) / SP = " << TextTable::num(ratio, 2) << "x for ResNet-152 on Skylake-3 "
+     << "(paper: up to 1.35x).";
+  i.measured = os.str();
+  i.holds = ratio > 1.0;
+  return i;
+}
+
+Insight insight_best_ppn() {
+  Insight i;
+  i.claim = "Best TensorFlow ppn is 2/4/4 for 28/40/48-core Intel CPUs and 16 for EPYC.";
+  std::ostringstream os;
+  bool holds = true;
+  for (const auto& cluster :
+       {hw::ri2_skylake(), hw::pitzer(), hw::stampede2(), hw::amd_cluster()}) {
+    int best_ppn = 1;
+    double best = 0.0;
+    for (int ppn : {1, 2, 4, 8, 16, 32}) {
+      if (ppn > cluster.node.cpu.total_cores()) break;
+      train::TrainConfig cfg;
+      cfg.cluster = cluster;
+      cfg.model = dnn::ModelId::ResNet50;
+      cfg.ppn = ppn;
+      cfg.batch_per_rank = std::max(8, 256 / ppn);
+      cfg.use_horovod = ppn > 1;
+      const double v = throughput(cfg);
+      if (v > best) {
+        best = v;
+        best_ppn = ppn;
+      }
+    }
+    os << cluster.node.cpu.label << ":" << best_ppn << "ppn ";
+    const int expected = tf_best_ppn(cluster.node.cpu);
+    // Within a factor of two of the paper's pick counts as agreeing (the
+    // paper itself notes 2 vs 4 ppn is marginal on 28-core parts).
+    if (best_ppn > 2 * expected || expected > 2 * best_ppn) holds = false;
+  }
+  i.measured = os.str() + "(paper: 2/4/4/16).";
+  i.holds = holds;
+  return i;
+}
+
+Insight insight_pytorch_ppn() {
+  Insight i;
+  i.claim = "PyTorch's best ppn equals the core count, unlike TensorFlow.";
+  double best = 0.0;
+  int best_ppn = 1;
+  for (int ppn : {1, 4, 12, 24, 48}) {
+    auto cfg = pytorch_best(hw::stampede2(), dnn::ModelId::ResNet50, 1);
+    cfg.ppn = ppn;
+    const double v = throughput(cfg);
+    if (v > best) {
+      best = v;
+      best_ppn = ppn;
+    }
+  }
+  std::ostringstream os;
+  os << "best PyTorch ppn on 48-core Skylake-3 = " << best_ppn << " (paper: 48).";
+  i.measured = os.str();
+  i.holds = best_ppn >= 24;
+  return i;
+}
+
+Insight insight_intra_minus_one() {
+  auto tuned = tf_best(hw::stampede2(), dnn::ModelId::ResNet152, 4);
+  tuned.intra_threads = 11;
+  auto greedy = tuned;
+  greedy.intra_threads = 12;
+  const double ratio = throughput(tuned) / throughput(greedy);
+  Insight i;
+  i.claim = "intra-op threads should be cores/process - 1, leaving a core for Horovod's "
+            "progress thread.";
+  std::ostringstream os;
+  os << "11 vs 12 intra-op on 12-core ranks: " << TextTable::num(ratio, 3)
+     << "x in favour of leaving the spare core.";
+  i.measured = os.str();
+  i.holds = ratio > 1.0;
+  return i;
+}
+
+Insight insight_tf_vs_pt_cpu_gpu() {
+  const double tf_cpu = throughput(tf_best(hw::stampede2(), dnn::ModelId::ResNet50, 1));
+  const double pt_cpu = throughput(pytorch_best(hw::stampede2(), dnn::ModelId::ResNet50, 1));
+  const double tf_gpu = throughput(
+      gpu_config(hw::pitzer_v100(), dnn::ModelId::ResNet50, exec::Framework::TensorFlow, 1, 1, 64));
+  const double pt_gpu = throughput(
+      gpu_config(hw::pitzer_v100(), dnn::ModelId::ResNet50, exec::Framework::PyTorch, 1, 1, 64));
+  Insight i;
+  i.claim = "TensorFlow is faster on CPUs; PyTorch is faster on GPUs.";
+  std::ostringstream os;
+  os << "CPU: TF/PT = " << TextTable::num(tf_cpu / pt_cpu, 2) << "x; GPU: PT/TF = "
+     << TextTable::num(pt_gpu / tf_gpu, 2) << "x.";
+  i.measured = os.str();
+  i.holds = tf_cpu > pt_cpu && pt_gpu > tf_gpu;
+  return i;
+}
+
+Insight insight_skylake_vs_gpus() {
+  const double skx = throughput(tf_best(hw::stampede2(), dnn::ModelId::InceptionV4, 1));
+  const double k80 = throughput(
+      gpu_config(hw::ri2_k80(), dnn::ModelId::InceptionV4, exec::Framework::TensorFlow, 1, 1, 32));
+  const double skx101 = throughput(tf_best(hw::stampede2(), dnn::ModelId::ResNet101, 1));
+  const double v100 = throughput(gpu_config(hw::pitzer_v100(), dnn::ModelId::ResNet101,
+                                            exec::Framework::TensorFlow, 1, 1, 128));
+  Insight i;
+  i.claim = "Skylake is up to 2.35x faster than K80, but V100 is up to 3.32x faster than "
+            "Skylake.";
+  std::ostringstream os;
+  os << "Skylake-3/K80 (Inception-v4) = " << TextTable::num(skx / k80, 2)
+     << "x; V100/Skylake-3 (ResNet-101) = " << TextTable::num(v100 / skx101, 2) << "x.";
+  i.measured = os.str();
+  i.holds = skx > k80 && v100 > skx101;
+  return i;
+}
+
+Insight insight_cycle_time() {
+  auto pt = pytorch_best(hw::stampede2(), dnn::ModelId::ResNet50, 8);
+  const double base = throughput(pt);
+  pt.policy.cycle_time_s = 600e-3;
+  const double tuned = throughput(pt);
+  Insight i;
+  i.claim = "PyTorch needs HOROVOD_CYCLE_TIME tuning (up to 1.25x); TensorFlow does not.";
+  std::ostringstream os;
+  os << "PyTorch ResNet-50 at 600 ms cycle: " << TextTable::num(tuned / base, 2)
+     << "x over the 3.5 ms default.";
+  i.measured = os.str();
+  i.holds = tuned / base > 1.1;
+  return i;
+}
+
+}  // namespace
+
+std::vector<Insight> evaluate_key_insights() {
+  return {insight_mp_over_sp(),   insight_best_ppn(),       insight_pytorch_ppn(),
+          insight_intra_minus_one(), insight_tf_vs_pt_cpu_gpu(), insight_skylake_vs_gpus(),
+          insight_cycle_time()};
+}
+
+std::string render_insights(const std::vector<Insight>& insights) {
+  std::ostringstream os;
+  os << "=== Key insights (paper Section IX), recomputed from the model ===\n\n";
+  int n = 1;
+  for (const auto& i : insights) {
+    os << n++ << ". " << (i.holds ? "[holds] " : "[FAILS] ") << i.claim << "\n   -> "
+       << i.measured << "\n\n";
+  }
+  return os.str();
+}
+
+}  // namespace dnnperf::core

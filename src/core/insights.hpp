@@ -1,0 +1,23 @@
+// Key-insights generator: recomputes each bullet of the paper's Section IX
+// from the model (not hard-coded), producing a checkable summary —
+// effectively the paper's conclusions as executable assertions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dnnperf::core {
+
+struct Insight {
+  std::string claim;     ///< the paper's statement
+  std::string measured;  ///< what the model reproduces, with numbers
+  bool holds = false;    ///< whether the qualitative claim holds in the model
+};
+
+/// Evaluates all Section IX insights. Deterministic; runs in < 1 s.
+std::vector<Insight> evaluate_key_insights();
+
+/// Renders the insights as a text report.
+std::string render_insights(const std::vector<Insight>& insights);
+
+}  // namespace dnnperf::core

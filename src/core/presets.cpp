@@ -1,0 +1,81 @@
+#include "core/presets.hpp"
+
+namespace dnnperf::core {
+
+int tf_best_ppn(const hw::CpuModel& cpu) {
+  if (cpu.vendor == hw::CpuVendor::Amd) return 16;
+  // 28-core parts -> 2 ppn; 40- and 48-core parts -> 4 ppn (Section IX).
+  return cpu.total_cores() <= 28 ? 2 : 4;
+}
+
+int pytorch_best_ppn(const hw::CpuModel& cpu) {
+  if (cpu.vendor == hw::CpuVendor::Amd) return 32;
+  return cpu.total_cores();
+}
+
+train::TrainConfig tf_best(const hw::ClusterModel& cluster, dnn::ModelId model, int nodes,
+                           int batch_per_rank) {
+  train::TrainConfig cfg;
+  cfg.cluster = cluster;
+  cfg.model = model;
+  cfg.framework = exec::Framework::TensorFlow;
+  cfg.nodes = nodes;
+  cfg.ppn = tf_best_ppn(cluster.node.cpu);
+  if (cluster.node.cpu.vendor == hw::CpuVendor::Amd) {
+    cfg.intra_threads = 5;  // the paper's tuned EPYC setting
+    cfg.inter_threads = 2;
+    cfg.batch_per_rank = 32;
+  } else {
+    cfg.intra_threads = 0;  // auto: cores/ppn - 1
+    cfg.inter_threads = 0;  // auto: 2 on SMT parts
+    cfg.batch_per_rank = batch_per_rank;
+  }
+  return cfg;
+}
+
+train::TrainConfig pytorch_best(const hw::ClusterModel& cluster, dnn::ModelId model,
+                                int nodes) {
+  train::TrainConfig cfg;
+  cfg.cluster = cluster;
+  cfg.model = model;
+  cfg.framework = exec::Framework::PyTorch;
+  cfg.nodes = nodes;
+  cfg.ppn = pytorch_best_ppn(cluster.node.cpu);
+  if (cluster.node.cpu.vendor == hw::CpuVendor::Amd) {
+    cfg.batch_per_rank = 32;
+  } else {
+    // Section VI-D: BS 16 for ResNet-50/101, BS 8 for ResNet-152 and
+    // Inception-v3 on Skylake-3.
+    const bool small = model == dnn::ModelId::ResNet152 || model == dnn::ModelId::InceptionV3 ||
+                       model == dnn::ModelId::InceptionV4;
+    cfg.batch_per_rank = small ? 8 : 16;
+  }
+  return cfg;
+}
+
+train::TrainConfig sp_baseline(const hw::ClusterModel& cluster, dnn::ModelId model, int batch) {
+  train::TrainConfig cfg;
+  cfg.cluster = cluster;
+  cfg.model = model;
+  cfg.nodes = 1;
+  cfg.ppn = 1;
+  cfg.use_horovod = false;
+  cfg.batch_per_rank = batch;
+  return cfg;
+}
+
+train::TrainConfig gpu_config(const hw::ClusterModel& cluster, dnn::ModelId model,
+                              exec::Framework fw, int nodes, int gpus_per_node, int batch) {
+  train::TrainConfig cfg;
+  cfg.cluster = cluster;
+  cfg.model = model;
+  cfg.framework = fw;
+  cfg.device = train::DeviceKind::Gpu;
+  cfg.nodes = nodes;
+  cfg.ppn = gpus_per_node;
+  cfg.batch_per_rank = batch;
+  cfg.use_horovod = nodes * gpus_per_node > 1;
+  return cfg;
+}
+
+}  // namespace dnnperf::core

@@ -1,0 +1,36 @@
+// Best-known training configurations per platform — the paper's tuning
+// outcomes (Section IX), packaged so every figure starts from the same
+// settings the authors converged on:
+//   TensorFlow best ppn: 2 (28-core Skylake-1/Broadwell), 4 (40/48-core
+//   Skylake-2/3), 16 on EPYC (5 intra-op, 2 inter-op threads);
+//   intra-op = cores/ppn - 1; inter-op = 2 on SMT systems;
+//   PyTorch best ppn = number of cores (48 on Skylake-3, 32 on EPYC).
+#pragma once
+
+#include "train/trainer.hpp"
+
+namespace dnnperf::core {
+
+/// Tuned TensorFlow config for `cluster` (CPU training).
+train::TrainConfig tf_best(const hw::ClusterModel& cluster, dnn::ModelId model, int nodes,
+                           int batch_per_rank = 64);
+
+/// Tuned PyTorch config for `cluster` (CPU training). Default batch follows
+/// the paper: 16 for ResNet-50/101, 8 for larger models on Skylake-3;
+/// 32 on EPYC.
+train::TrainConfig pytorch_best(const hw::ClusterModel& cluster, dnn::ModelId model, int nodes);
+
+/// Single-process baseline (no Horovod, all cores in one process).
+train::TrainConfig sp_baseline(const hw::ClusterModel& cluster, dnn::ModelId model, int batch);
+
+/// GPU config using `gpus_per_node` devices per node.
+train::TrainConfig gpu_config(const hw::ClusterModel& cluster, dnn::ModelId model,
+                              exec::Framework fw, int nodes, int gpus_per_node, int batch);
+
+/// The tuned ppn for TensorFlow on this CPU (2/4/4/2/16 per the paper).
+int tf_best_ppn(const hw::CpuModel& cpu);
+
+/// The tuned ppn for PyTorch (== cores on Intel, 32 on EPYC).
+int pytorch_best_ppn(const hw::CpuModel& cpu);
+
+}  // namespace dnnperf::core

@@ -1,0 +1,42 @@
+#include "core/time_to_train.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dnnperf::core {
+
+double StatisticalEfficiency::epochs_needed(double effective_batch) const {
+  if (effective_batch <= 0.0)
+    throw std::invalid_argument("epochs_needed: non-positive batch");
+  if (effective_batch <= critical_batch) return base_epochs;
+  const double doublings = std::log2(effective_batch / critical_batch);
+  return base_epochs * (1.0 + epochs_per_doubling * doublings);
+}
+
+TimeToTrain estimate_time_to_train(const train::TrainConfig& config,
+                                   const StatisticalEfficiency& eff) {
+  const auto r = train::run_training(config);
+  TimeToTrain t;
+  t.images_per_sec = r.images_per_sec;
+  t.effective_batch = r.effective_batch;
+  t.epochs = eff.epochs_needed(r.effective_batch);
+  t.hours = t.epochs * eff.dataset_images / r.images_per_sec / 3600.0;
+  return t;
+}
+
+util::TextTable batch_tradeoff_table(const train::TrainConfig& base,
+                                     const std::vector<int>& batch_sizes,
+                                     const StatisticalEfficiency& eff) {
+  util::TextTable table({"BS/rank", "effective BS", "img/s", "epochs", "hours"});
+  for (int bs : batch_sizes) {
+    auto cfg = base;
+    cfg.batch_per_rank = bs;
+    const auto t = estimate_time_to_train(cfg, eff);
+    table.add_row({std::to_string(bs), std::to_string(t.effective_batch),
+                   util::TextTable::num(t.images_per_sec, 0), util::TextTable::num(t.epochs, 1),
+                   util::TextTable::num(t.hours, 2)});
+  }
+  return table;
+}
+
+}  // namespace dnnperf::core

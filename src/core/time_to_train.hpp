@@ -1,0 +1,48 @@
+// Time-to-train estimation: throughput is only half the story the paper
+// tells — Section V-A deliberately caps batch sizes because large effective
+// batches hurt convergence (citing Goyal et al.'s large-minibatch work).
+// This module combines simulated throughput (hardware efficiency) with a
+// simple statistical-efficiency model to estimate wall-clock time to a
+// target accuracy, exposing the ppn/BS trade-off quantitatively.
+#pragma once
+
+#include "train/trainer.hpp"
+#include "util/table.hpp"
+
+namespace dnnperf::core {
+
+struct StatisticalEfficiency {
+  /// Epochs to reach the target accuracy at small effective batches.
+  double base_epochs = 90.0;
+  /// Effective batch size up to which convergence is unaffected (Goyal et
+  /// al. hold accuracy to ~8k for ResNet-50 with warmup + linear scaling).
+  double critical_batch = 8192.0;
+  /// Extra epochs (fractional) per doubling of the effective batch beyond
+  /// the critical size.
+  double epochs_per_doubling = 0.35;
+  /// Training-set size (ImageNet-1k).
+  double dataset_images = 1.281e6;
+
+  /// Epochs needed at `effective_batch` (>= base_epochs).
+  double epochs_needed(double effective_batch) const;
+};
+
+struct TimeToTrain {
+  double images_per_sec = 0.0;
+  double epochs = 0.0;
+  double hours = 0.0;
+  int effective_batch = 0;
+};
+
+/// Estimates wall-clock training time for `config` under `eff`.
+TimeToTrain estimate_time_to_train(const train::TrainConfig& config,
+                                   const StatisticalEfficiency& eff = {});
+
+/// Sweeps per-rank batch sizes for a fixed config and tabulates throughput
+/// vs estimated time-to-train — the crossover where bigger batches stop
+/// paying (columns: BS/rank, effective BS, img/s, epochs, hours).
+util::TextTable batch_tradeoff_table(const train::TrainConfig& base,
+                                     const std::vector<int>& batch_sizes,
+                                     const StatisticalEfficiency& eff = {});
+
+}  // namespace dnnperf::core

@@ -1,0 +1,293 @@
+#include "dnn/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dnnperf::dnn {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::Input: return "Input";
+    case OpKind::Conv2d: return "Conv2d";
+    case OpKind::MatMul: return "MatMul";
+    case OpKind::BatchNorm: return "BatchNorm";
+    case OpKind::ReLU: return "ReLU";
+    case OpKind::MaxPool: return "MaxPool";
+    case OpKind::AvgPool: return "AvgPool";
+    case OpKind::GlobalAvgPool: return "GlobalAvgPool";
+    case OpKind::Add: return "Add";
+    case OpKind::Concat: return "Concat";
+    case OpKind::Softmax: return "Softmax";
+    case OpKind::Dropout: return "Dropout";
+  }
+  return "?";
+}
+
+namespace {
+
+int conv_out_dim(int in, int k, int stride, int pad) {
+  const int out = (in + 2 * pad - k) / stride + 1;
+  if (out <= 0) throw std::invalid_argument("conv/pool output dimension <= 0");
+  return out;
+}
+
+// Pooling in "valid-with-partial-window" style used by TF 'SAME'/ceil modes
+// differs per framework; we use floor mode (PyTorch default), which matches
+// the canonical model definitions we replicate.
+
+}  // namespace
+
+Graph::Graph(std::string name) : name_(std::move(name)) {}
+
+int Graph::push(Op op) {
+  op.id = static_cast<int>(ops_.size());
+  op.output_bytes = op.out.elements() * 4.0;
+  for (int in : op.inputs)
+    if (in < 0 || in >= op.id) throw std::invalid_argument("Graph: bad input id (not topological)");
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+const Shape& Graph::shape_of(int id) const { return op(id).out; }
+
+int Graph::input(int c, int h, int w) {
+  Op op;
+  op.name = "input";
+  op.kind = OpKind::Input;
+  op.out = {c, h, w};
+  return push(std::move(op));
+}
+
+int Graph::conv2d(const std::string& name, int in, int out_c, int kh, int kw, int stride_h,
+                  int stride_w, int pad_h, int pad_w, bool bias, int groups) {
+  const Shape& s = shape_of(in);
+  if (groups < 1 || s.c % groups != 0 || out_c % groups != 0)
+    throw std::invalid_argument("conv2d: groups must divide input and output channels at " +
+                                name);
+  Op op;
+  op.name = name;
+  op.kind = OpKind::Conv2d;
+  op.inputs = {in};
+  op.out = {out_c, conv_out_dim(s.h, kh, stride_h, pad_h), conv_out_dim(s.w, kw, stride_w, pad_w)};
+  const double in_per_group = static_cast<double>(s.c) / groups;
+  const double macs = op.out.elements() * in_per_group * kh * kw;
+  op.fwd_flops = 2.0 * macs + (bias ? op.out.elements() : 0.0);
+  // Backward = data gradient + weight gradient, each ~ one forward conv.
+  op.bwd_flops = 2.0 * op.fwd_flops;
+  op.params = in_per_group * kh * kw * out_c + (bias ? out_c : 0.0);
+  return push(std::move(op));
+}
+
+int Graph::matmul(const std::string& name, int in, int out_features, bool bias) {
+  const Shape& s = shape_of(in);
+  const double in_features = s.elements();
+  Op op;
+  op.name = name;
+  op.kind = OpKind::MatMul;
+  op.inputs = {in};
+  op.out = {out_features, 1, 1};
+  op.fwd_flops = 2.0 * in_features * out_features + (bias ? out_features : 0.0);
+  op.bwd_flops = 2.0 * op.fwd_flops;
+  op.params = in_features * out_features + (bias ? out_features : 0.0);
+  return push(std::move(op));
+}
+
+int Graph::batch_norm(const std::string& name, int in) {
+  const Shape& s = shape_of(in);
+  Op op;
+  op.name = name;
+  op.kind = OpKind::BatchNorm;
+  op.inputs = {in};
+  op.out = s;
+  op.fwd_flops = 4.0 * s.elements();  // normalize + scale/shift
+  op.bwd_flops = 4.0 * s.elements();
+  op.params = 2.0 * s.c;  // gamma, beta
+  return push(std::move(op));
+}
+
+int Graph::relu(const std::string& name, int in) {
+  const Shape& s = shape_of(in);
+  Op op;
+  op.name = name;
+  op.kind = OpKind::ReLU;
+  op.inputs = {in};
+  op.out = s;
+  op.fwd_flops = s.elements();
+  op.bwd_flops = s.elements();
+  return push(std::move(op));
+}
+
+namespace {
+
+Op make_pool(OpKind kind, const std::string& name, int in, const Shape& s, int k, int stride,
+             int pad) {
+  Op op;
+  op.name = name;
+  op.kind = kind;
+  op.inputs = {in};
+  op.out = {s.c, conv_out_dim(s.h, k, stride, pad), conv_out_dim(s.w, k, stride, pad)};
+  op.fwd_flops = op.out.elements() * k * k;
+  op.bwd_flops = op.out.elements() * k * k;
+  return op;
+}
+
+}  // namespace
+
+int Graph::max_pool(const std::string& name, int in, int k, int stride, int pad) {
+  return push(make_pool(OpKind::MaxPool, name, in, shape_of(in), k, stride, pad));
+}
+
+int Graph::avg_pool(const std::string& name, int in, int k, int stride, int pad) {
+  return push(make_pool(OpKind::AvgPool, name, in, shape_of(in), k, stride, pad));
+}
+
+int Graph::global_avg_pool(const std::string& name, int in) {
+  const Shape& s = shape_of(in);
+  Op op;
+  op.name = name;
+  op.kind = OpKind::GlobalAvgPool;
+  op.inputs = {in};
+  op.out = {s.c, 1, 1};
+  op.fwd_flops = s.elements();
+  op.bwd_flops = s.elements();
+  return push(std::move(op));
+}
+
+int Graph::add(const std::string& name, int a, int b) {
+  const Shape& sa = shape_of(a);
+  const Shape& sb = shape_of(b);
+  if (sa.c != sb.c || sa.h != sb.h || sa.w != sb.w)
+    throw std::invalid_argument("add: shape mismatch at " + name);
+  Op op;
+  op.name = name;
+  op.kind = OpKind::Add;
+  op.inputs = {a, b};
+  op.out = sa;
+  op.fwd_flops = sa.elements();
+  op.bwd_flops = sa.elements();
+  return push(std::move(op));
+}
+
+int Graph::concat(const std::string& name, const std::vector<int>& ins) {
+  if (ins.empty()) throw std::invalid_argument("concat: no inputs");
+  const Shape& first = shape_of(ins.front());
+  int channels = 0;
+  for (int in : ins) {
+    const Shape& s = shape_of(in);
+    if (s.h != first.h || s.w != first.w)
+      throw std::invalid_argument("concat: spatial mismatch at " + name);
+    channels += s.c;
+  }
+  Op op;
+  op.name = name;
+  op.kind = OpKind::Concat;
+  op.inputs = ins;
+  op.out = {channels, first.h, first.w};
+  op.fwd_flops = op.out.elements();  // copy cost proxy
+  op.bwd_flops = op.out.elements();
+  return push(std::move(op));
+}
+
+int Graph::softmax(const std::string& name, int in) {
+  const Shape& s = shape_of(in);
+  Op op;
+  op.name = name;
+  op.kind = OpKind::Softmax;
+  op.inputs = {in};
+  op.out = s;
+  op.fwd_flops = 5.0 * s.elements();
+  op.bwd_flops = 3.0 * s.elements();
+  return push(std::move(op));
+}
+
+int Graph::dropout(const std::string& name, int in) {
+  const Shape& s = shape_of(in);
+  Op op;
+  op.name = name;
+  op.kind = OpKind::Dropout;
+  op.inputs = {in};
+  op.out = s;
+  op.fwd_flops = 2.0 * s.elements();
+  op.bwd_flops = s.elements();
+  return push(std::move(op));
+}
+
+int Graph::conv_bn_relu(const std::string& name, int in, int out_c, int kh, int kw,
+                        int stride_h, int stride_w, int pad_h, int pad_w) {
+  const int c = conv2d(name + "/conv", in, out_c, kh, kw, stride_h, stride_w, pad_h, pad_w);
+  const int b = batch_norm(name + "/bn", c);
+  return relu(name + "/relu", b);
+}
+
+int Graph::conv_bn_relu(const std::string& name, int in, int out_c, int k, int stride,
+                        int pad) {
+  return conv_bn_relu(name, in, out_c, k, k, stride, stride, pad, pad);
+}
+
+double Graph::total_params() const {
+  double sum = 0.0;
+  for (const auto& op : ops_) sum += op.params;
+  return sum;
+}
+
+double Graph::total_fwd_flops() const {
+  double sum = 0.0;
+  for (const auto& op : ops_) sum += op.fwd_flops;
+  return sum;
+}
+
+double Graph::total_bwd_flops() const {
+  double sum = 0.0;
+  for (const auto& op : ops_) sum += op.bwd_flops;
+  return sum;
+}
+
+double Graph::total_activation_bytes() const {
+  double sum = 0.0;
+  for (const auto& op : ops_) sum += op.output_bytes;
+  return sum;
+}
+
+std::vector<double> Graph::gradient_tensor_bytes() const {
+  std::vector<double> out;
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it)
+    if (it->has_params()) out.push_back(it->params * 4.0);
+  return out;
+}
+
+std::vector<std::vector<int>> Graph::consumers() const {
+  std::vector<std::vector<int>> result(ops_.size());
+  for (const auto& op : ops_)
+    for (int in : op.inputs) result[static_cast<std::size_t>(in)].push_back(op.id);
+  return result;
+}
+
+int Graph::max_branch_width() const {
+  // Level = longest path from the input; ops sharing a level are independent
+  // (inputs always have strictly smaller levels in a topological DAG built
+  // from chains and branch/merge points).
+  std::vector<int> level(ops_.size(), 0);
+  int width = 0;
+  std::vector<int> count;
+  for (const auto& op : ops_) {
+    int lvl = 0;
+    for (int in : op.inputs) lvl = std::max(lvl, level[static_cast<std::size_t>(in)] + 1);
+    level[static_cast<std::size_t>(op.id)] = lvl;
+    if (lvl >= static_cast<int>(count.size())) count.resize(static_cast<std::size_t>(lvl) + 1, 0);
+    width = std::max(width, ++count[static_cast<std::size_t>(lvl)]);
+  }
+  return width;
+}
+
+void Graph::validate() const {
+  if (ops_.empty()) throw std::logic_error("Graph: empty");
+  if (ops_.front().kind != OpKind::Input) throw std::logic_error("Graph: first op must be Input");
+  for (const auto& op : ops_) {
+    if (op.out.c <= 0 || op.out.h <= 0 || op.out.w <= 0)
+      throw std::logic_error("Graph: bad shape at " + op.name);
+    if (op.kind != OpKind::Input && op.inputs.empty())
+      throw std::logic_error("Graph: non-input op without inputs: " + op.name);
+  }
+}
+
+}  // namespace dnnperf::dnn

@@ -1,0 +1,122 @@
+// DNN graph intermediate representation.
+//
+// A Graph is a DAG of ops with per-image shapes, FLOP counts, parameter
+// counts, and activation sizes — everything the execution model needs to
+// time an iteration and everything Horovod needs to size gradient tensors.
+// Batch size enters later as a multiplier (shapes are stored per image).
+//
+// Ops are stored in construction order, which builders keep topological.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnnperf::dnn {
+
+enum class OpKind {
+  Input,
+  Conv2d,
+  MatMul,     // fully connected
+  BatchNorm,
+  ReLU,
+  MaxPool,
+  AvgPool,
+  GlobalAvgPool,
+  Add,        // residual elementwise add
+  Concat,     // inception branch merge
+  Softmax,
+  Dropout,
+};
+
+const char* to_string(OpKind kind);
+
+/// Per-image activation shape (channels, height, width).
+struct Shape {
+  int c = 0;
+  int h = 0;
+  int w = 0;
+  double elements() const { return static_cast<double>(c) * h * w; }
+};
+
+struct Op {
+  int id = -1;
+  std::string name;
+  OpKind kind = OpKind::Input;
+  std::vector<int> inputs;  ///< producer op ids
+  Shape out;
+
+  double fwd_flops = 0.0;    ///< per image
+  double bwd_flops = 0.0;    ///< per image
+  double params = 0.0;       ///< trainable parameter count
+  double output_bytes = 0.0; ///< per image, fp32
+
+  bool has_params() const { return params > 0.0; }
+};
+
+class Graph {
+ public:
+  explicit Graph(std::string name);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Op>& ops() const { return ops_; }
+  const Op& op(int id) const { return ops_.at(static_cast<std::size_t>(id)); }
+  int size() const { return static_cast<int>(ops_.size()); }
+
+  // ---- builder primitives (return the new op id) -------------------------
+  int input(int c, int h, int w);
+  /// Convolution; `bias` adds Cout parameters (models without BatchNorm);
+  /// `groups` > 1 gives grouped convolution (ResNeXt-style): input and
+  /// output channels must both divide by it.
+  int conv2d(const std::string& name, int in, int out_c, int kh, int kw, int stride_h,
+             int stride_w, int pad_h, int pad_w, bool bias = false, int groups = 1);
+  int matmul(const std::string& name, int in, int out_features, bool bias = true);
+  int batch_norm(const std::string& name, int in);
+  int relu(const std::string& name, int in);
+  int max_pool(const std::string& name, int in, int k, int stride, int pad = 0);
+  int avg_pool(const std::string& name, int in, int k, int stride, int pad = 0);
+  int global_avg_pool(const std::string& name, int in);
+  int add(const std::string& name, int a, int b);
+  int concat(const std::string& name, const std::vector<int>& ins);
+  int softmax(const std::string& name, int in);
+  int dropout(const std::string& name, int in);
+
+  /// Composite: conv -> batch_norm -> relu (the BasicConv2d of Inception and
+  /// the conv units of ResNet). Returns the relu's id.
+  int conv_bn_relu(const std::string& name, int in, int out_c, int kh, int kw, int stride_h,
+                   int stride_w, int pad_h, int pad_w);
+  /// Square-kernel shorthand.
+  int conv_bn_relu(const std::string& name, int in, int out_c, int k, int stride, int pad);
+
+  // ---- aggregate statistics (per image unless noted) ---------------------
+  double total_params() const;
+  double total_fwd_flops() const;
+  double total_bwd_flops() const;
+  double total_train_flops() const { return total_fwd_flops() + total_bwd_flops(); }
+  double total_activation_bytes() const;
+  /// Gradient bytes exchanged per iteration (fp32 params).
+  double gradient_bytes() const { return total_params() * 4.0; }
+
+  /// Sizes (bytes) of per-layer gradient tensors in the order backward
+  /// produces them (reverse topological) — what the framework hands Horovod.
+  std::vector<double> gradient_tensor_bytes() const;
+
+  /// Consumers of each op (inverse edges), index = op id.
+  std::vector<std::vector<int>> consumers() const;
+
+  /// Maximum number of ops that can run concurrently under an unlimited
+  /// scheduler (DAG antichain width via level scan) — the "inherent
+  /// parallelism" the paper contrasts between ResNets and Inception.
+  int max_branch_width() const;
+
+  void validate() const;
+
+ private:
+  int push(Op op);
+  const Shape& shape_of(int id) const;
+
+  std::string name_;
+  std::vector<Op> ops_;
+};
+
+}  // namespace dnnperf::dnn

@@ -1,0 +1,501 @@
+#include "dnn/models.hpp"
+
+#include <stdexcept>
+
+namespace dnnperf::dnn {
+
+const char* to_string(ModelId id) {
+  switch (id) {
+    case ModelId::ResNet18: return "ResNet-18";
+    case ModelId::ResNet34: return "ResNet-34";
+    case ModelId::ResNet50: return "ResNet-50";
+    case ModelId::ResNet101: return "ResNet-101";
+    case ModelId::ResNet152: return "ResNet-152";
+    case ModelId::InceptionV3: return "Inception-v3";
+    case ModelId::InceptionV4: return "Inception-v4";
+    case ModelId::GoogLeNet: return "GoogLeNet";
+    case ModelId::ResNext50: return "ResNeXt-50";
+    case ModelId::AlexNet: return "AlexNet";
+    case ModelId::Vgg16: return "VGG-16";
+  }
+  return "?";
+}
+
+ModelRef reference(ModelId id) {
+  // params from torchvision/timm; GMACs (fwd multiply-accumulates) from the
+  // standard fvcore/ptflops tallies at canonical resolution.
+  switch (id) {
+    case ModelId::ResNet18: return {11.69e6, 1.82};
+    case ModelId::ResNet34: return {21.80e6, 3.67};
+    case ModelId::ResNet50: return {25.56e6, 4.11};
+    case ModelId::ResNet101: return {44.55e6, 7.83};
+    case ModelId::ResNet152: return {60.19e6, 11.56};
+    case ModelId::InceptionV3: return {23.83e6, 5.71};
+    case ModelId::InceptionV4: return {42.68e6, 12.27};
+    case ModelId::GoogLeNet: return {6.62e6, 1.50};
+    case ModelId::ResNext50: return {25.03e6, 4.26};
+    case ModelId::AlexNet: return {61.10e6, 0.71};
+    case ModelId::Vgg16: return {138.36e6, 15.47};
+  }
+  throw std::logic_error("reference: bad model id");
+}
+
+namespace {
+
+constexpr int kNumClasses = 1000;
+
+// ---------------------------------------------------------------------------
+// ResNet (v1.5: stride on the 3x3 conv of bottleneck blocks)
+// ---------------------------------------------------------------------------
+
+int bottleneck_block(Graph& g, const std::string& name, int in, int in_c, int width,
+                     int stride) {
+  const int out_c = width * 4;
+  int x = g.conv_bn_relu(name + "/conv1", in, width, 1, 1, 0);
+  x = g.conv_bn_relu(name + "/conv2", x, width, 3, stride, 1);
+  x = g.conv2d(name + "/conv3", x, out_c, 1, 1, 1, 1, 0, 0);
+  x = g.batch_norm(name + "/bn3", x);
+  int shortcut = in;
+  if (stride != 1 || in_c != out_c) {
+    shortcut = g.conv2d(name + "/down", in, out_c, 1, 1, stride, stride, 0, 0);
+    shortcut = g.batch_norm(name + "/down_bn", shortcut);
+  }
+  x = g.add(name + "/add", x, shortcut);
+  return g.relu(name + "/out", x);
+}
+
+int basic_block(Graph& g, const std::string& name, int in, int in_c, int width, int stride) {
+  int x = g.conv_bn_relu(name + "/conv1", in, width, 3, stride, 1);
+  x = g.conv2d(name + "/conv2", x, width, 3, 3, 1, 1, 1, 1);
+  x = g.batch_norm(name + "/bn2", x);
+  int shortcut = in;
+  if (stride != 1 || in_c != width) {
+    shortcut = g.conv2d(name + "/down", in, width, 1, 1, stride, stride, 0, 0);
+    shortcut = g.batch_norm(name + "/down_bn", shortcut);
+  }
+  x = g.add(name + "/add", x, shortcut);
+  return g.relu(name + "/out", x);
+}
+
+/// ResNeXt bottleneck (32x4d): 1x1 to width, grouped 3x3, 1x1 to 2*width.
+int resnext_block(Graph& g, const std::string& name, int in, int in_c, int width, int stride) {
+  const int out_c = width * 2;
+  int x = g.conv_bn_relu(name + "/conv1", in, width, 1, 1, 0);
+  {
+    const int conv = g.conv2d(name + "/conv2/conv", x, width, 3, 3, stride, stride, 1, 1,
+                              /*bias=*/false, /*groups=*/32);
+    const int bn = g.batch_norm(name + "/conv2/bn", conv);
+    x = g.relu(name + "/conv2/relu", bn);
+  }
+  x = g.conv2d(name + "/conv3", x, out_c, 1, 1, 1, 1, 0, 0);
+  x = g.batch_norm(name + "/bn3", x);
+  int shortcut = in;
+  if (stride != 1 || in_c != out_c) {
+    shortcut = g.conv2d(name + "/down", in, out_c, 1, 1, stride, stride, 0, 0);
+    shortcut = g.batch_norm(name + "/down_bn", shortcut);
+  }
+  x = g.add(name + "/add", x, shortcut);
+  return g.relu(name + "/out", x);
+}
+
+Graph build_resnext50() {
+  Graph g("ResNeXt-50");
+  int x = g.input(3, 224, 224);
+  x = g.conv_bn_relu("stem", x, 64, 7, 2, 3);
+  x = g.max_pool("stem/pool", x, 3, 2, 1);
+  int in_c = 64;
+  const int widths[4] = {128, 256, 512, 1024};
+  const int blocks[4] = {3, 4, 6, 3};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < blocks[stage]; ++b) {
+      const int stride = (stage > 0 && b == 0) ? 2 : 1;
+      const std::string bname = "s" + std::to_string(stage + 1) + "b" + std::to_string(b + 1);
+      x = resnext_block(g, bname, x, in_c, widths[stage], stride);
+      in_c = widths[stage] * 2;
+    }
+  }
+  x = g.global_avg_pool("gap", x);
+  x = g.matmul("fc", x, kNumClasses);
+  g.softmax("prob", x);
+  g.validate();
+  return g;
+}
+
+Graph build_resnet(const std::string& name, const std::vector<int>& blocks, bool bottleneck) {
+  Graph g(name);
+  const int expansion = bottleneck ? 4 : 1;
+  int x = g.input(3, 224, 224);
+  x = g.conv_bn_relu("stem", x, 64, 7, 2, 3);
+  x = g.max_pool("stem/pool", x, 3, 2, 1);
+  int in_c = 64;
+  const int widths[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    const int width = widths[stage];
+    for (int b = 0; b < blocks[static_cast<std::size_t>(stage)]; ++b) {
+      const int stride = (stage > 0 && b == 0) ? 2 : 1;
+      const std::string bname = "s" + std::to_string(stage + 1) + "b" + std::to_string(b + 1);
+      x = bottleneck ? bottleneck_block(g, bname, x, in_c, width, stride)
+                     : basic_block(g, bname, x, in_c, width, stride);
+      in_c = width * expansion;
+    }
+  }
+  x = g.global_avg_pool("gap", x);
+  x = g.matmul("fc", x, kNumClasses);
+  g.softmax("prob", x);
+  g.validate();
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Inception-v3 (torchvision structure, no aux classifier)
+// ---------------------------------------------------------------------------
+
+int inception_a(Graph& g, const std::string& n, int in, int pool_c) {
+  const int b1 = g.conv_bn_relu(n + "/b1_1x1", in, 64, 1, 1, 0);
+  int b2 = g.conv_bn_relu(n + "/b2_1x1", in, 48, 1, 1, 0);
+  b2 = g.conv_bn_relu(n + "/b2_5x5", b2, 64, 5, 1, 2);
+  int b3 = g.conv_bn_relu(n + "/b3_1x1", in, 64, 1, 1, 0);
+  b3 = g.conv_bn_relu(n + "/b3_3x3a", b3, 96, 3, 1, 1);
+  b3 = g.conv_bn_relu(n + "/b3_3x3b", b3, 96, 3, 1, 1);
+  int b4 = g.avg_pool(n + "/b4_pool", in, 3, 1, 1);
+  b4 = g.conv_bn_relu(n + "/b4_1x1", b4, pool_c, 1, 1, 0);
+  return g.concat(n + "/concat", {b1, b2, b3, b4});
+}
+
+int reduction_a_v3(Graph& g, const std::string& n, int in) {
+  const int b1 = g.conv_bn_relu(n + "/b1_3x3", in, 384, 3, 2, 0);
+  int b2 = g.conv_bn_relu(n + "/b2_1x1", in, 64, 1, 1, 0);
+  b2 = g.conv_bn_relu(n + "/b2_3x3a", b2, 96, 3, 1, 1);
+  b2 = g.conv_bn_relu(n + "/b2_3x3b", b2, 96, 3, 2, 0);
+  const int b3 = g.max_pool(n + "/b3_pool", in, 3, 2);
+  return g.concat(n + "/concat", {b1, b2, b3});
+}
+
+int inception_b_v3(Graph& g, const std::string& n, int in, int c7) {
+  const int b1 = g.conv_bn_relu(n + "/b1_1x1", in, 192, 1, 1, 0);
+  int b2 = g.conv_bn_relu(n + "/b2_1x1", in, c7, 1, 1, 0);
+  b2 = g.conv_bn_relu(n + "/b2_1x7", b2, c7, 1, 7, 1, 1, 0, 3);
+  b2 = g.conv_bn_relu(n + "/b2_7x1", b2, 192, 7, 1, 1, 1, 3, 0);
+  int b3 = g.conv_bn_relu(n + "/b3_1x1", in, c7, 1, 1, 0);
+  b3 = g.conv_bn_relu(n + "/b3_7x1a", b3, c7, 7, 1, 1, 1, 3, 0);
+  b3 = g.conv_bn_relu(n + "/b3_1x7a", b3, c7, 1, 7, 1, 1, 0, 3);
+  b3 = g.conv_bn_relu(n + "/b3_7x1b", b3, c7, 7, 1, 1, 1, 3, 0);
+  b3 = g.conv_bn_relu(n + "/b3_1x7b", b3, 192, 1, 7, 1, 1, 0, 3);
+  int b4 = g.avg_pool(n + "/b4_pool", in, 3, 1, 1);
+  b4 = g.conv_bn_relu(n + "/b4_1x1", b4, 192, 1, 1, 0);
+  return g.concat(n + "/concat", {b1, b2, b3, b4});
+}
+
+int reduction_b_v3(Graph& g, const std::string& n, int in) {
+  int b1 = g.conv_bn_relu(n + "/b1_1x1", in, 192, 1, 1, 0);
+  b1 = g.conv_bn_relu(n + "/b1_3x3", b1, 320, 3, 2, 0);
+  int b2 = g.conv_bn_relu(n + "/b2_1x1", in, 192, 1, 1, 0);
+  b2 = g.conv_bn_relu(n + "/b2_1x7", b2, 192, 1, 7, 1, 1, 0, 3);
+  b2 = g.conv_bn_relu(n + "/b2_7x1", b2, 192, 7, 1, 1, 1, 3, 0);
+  b2 = g.conv_bn_relu(n + "/b2_3x3", b2, 192, 3, 2, 0);
+  const int b3 = g.max_pool(n + "/b3_pool", in, 3, 2);
+  return g.concat(n + "/concat", {b1, b2, b3});
+}
+
+int inception_e(Graph& g, const std::string& n, int in) {
+  const int b1 = g.conv_bn_relu(n + "/b1_1x1", in, 320, 1, 1, 0);
+  const int b2 = g.conv_bn_relu(n + "/b2_1x1", in, 384, 1, 1, 0);
+  const int b2a = g.conv_bn_relu(n + "/b2_1x3", b2, 384, 1, 3, 1, 1, 0, 1);
+  const int b2b = g.conv_bn_relu(n + "/b2_3x1", b2, 384, 3, 1, 1, 1, 1, 0);
+  const int b2c = g.concat(n + "/b2_concat", {b2a, b2b});
+  int b3 = g.conv_bn_relu(n + "/b3_1x1", in, 448, 1, 1, 0);
+  b3 = g.conv_bn_relu(n + "/b3_3x3", b3, 384, 3, 1, 1);
+  const int b3a = g.conv_bn_relu(n + "/b3_1x3", b3, 384, 1, 3, 1, 1, 0, 1);
+  const int b3b = g.conv_bn_relu(n + "/b3_3x1", b3, 384, 3, 1, 1, 1, 1, 0);
+  const int b3c = g.concat(n + "/b3_concat", {b3a, b3b});
+  int b4 = g.avg_pool(n + "/b4_pool", in, 3, 1, 1);
+  b4 = g.conv_bn_relu(n + "/b4_1x1", b4, 192, 1, 1, 0);
+  return g.concat(n + "/concat", {b1, b2c, b3c, b4});
+}
+
+Graph build_inception_v3() {
+  Graph g("Inception-v3");
+  int x = g.input(3, 299, 299);
+  x = g.conv_bn_relu("stem/conv1", x, 32, 3, 2, 0);
+  x = g.conv_bn_relu("stem/conv2", x, 32, 3, 1, 0);
+  x = g.conv_bn_relu("stem/conv3", x, 64, 3, 1, 1);
+  x = g.max_pool("stem/pool1", x, 3, 2);
+  x = g.conv_bn_relu("stem/conv4", x, 80, 1, 1, 0);
+  x = g.conv_bn_relu("stem/conv5", x, 192, 3, 1, 0);
+  x = g.max_pool("stem/pool2", x, 3, 2);
+  x = inception_a(g, "mixed5b", x, 32);
+  x = inception_a(g, "mixed5c", x, 64);
+  x = inception_a(g, "mixed5d", x, 64);
+  x = reduction_a_v3(g, "mixed6a", x);
+  x = inception_b_v3(g, "mixed6b", x, 128);
+  x = inception_b_v3(g, "mixed6c", x, 160);
+  x = inception_b_v3(g, "mixed6d", x, 160);
+  x = inception_b_v3(g, "mixed6e", x, 192);
+  x = reduction_b_v3(g, "mixed7a", x);
+  x = inception_e(g, "mixed7b", x);
+  x = inception_e(g, "mixed7c", x);
+  x = g.global_avg_pool("gap", x);
+  x = g.dropout("dropout", x);
+  x = g.matmul("fc", x, kNumClasses);
+  g.softmax("prob", x);
+  g.validate();
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Inception-v4 (timm structure)
+// ---------------------------------------------------------------------------
+
+int inception_a_v4(Graph& g, const std::string& n, int in) {
+  const int b1 = g.conv_bn_relu(n + "/b1_1x1", in, 96, 1, 1, 0);
+  int b2 = g.conv_bn_relu(n + "/b2_1x1", in, 64, 1, 1, 0);
+  b2 = g.conv_bn_relu(n + "/b2_3x3", b2, 96, 3, 1, 1);
+  int b3 = g.conv_bn_relu(n + "/b3_1x1", in, 64, 1, 1, 0);
+  b3 = g.conv_bn_relu(n + "/b3_3x3a", b3, 96, 3, 1, 1);
+  b3 = g.conv_bn_relu(n + "/b3_3x3b", b3, 96, 3, 1, 1);
+  int b4 = g.avg_pool(n + "/b4_pool", in, 3, 1, 1);
+  b4 = g.conv_bn_relu(n + "/b4_1x1", b4, 96, 1, 1, 0);
+  return g.concat(n + "/concat", {b1, b2, b3, b4});
+}
+
+int reduction_a_v4(Graph& g, const std::string& n, int in) {
+  const int b1 = g.conv_bn_relu(n + "/b1_3x3", in, 384, 3, 2, 0);
+  int b2 = g.conv_bn_relu(n + "/b2_1x1", in, 192, 1, 1, 0);
+  b2 = g.conv_bn_relu(n + "/b2_3x3a", b2, 224, 3, 1, 1);
+  b2 = g.conv_bn_relu(n + "/b2_3x3b", b2, 256, 3, 2, 0);
+  const int b3 = g.max_pool(n + "/b3_pool", in, 3, 2);
+  return g.concat(n + "/concat", {b1, b2, b3});
+}
+
+int inception_b_v4(Graph& g, const std::string& n, int in) {
+  const int b1 = g.conv_bn_relu(n + "/b1_1x1", in, 384, 1, 1, 0);
+  int b2 = g.conv_bn_relu(n + "/b2_1x1", in, 192, 1, 1, 0);
+  b2 = g.conv_bn_relu(n + "/b2_1x7", b2, 224, 1, 7, 1, 1, 0, 3);
+  b2 = g.conv_bn_relu(n + "/b2_7x1", b2, 256, 7, 1, 1, 1, 3, 0);
+  int b3 = g.conv_bn_relu(n + "/b3_1x1", in, 192, 1, 1, 0);
+  b3 = g.conv_bn_relu(n + "/b3_7x1a", b3, 192, 7, 1, 1, 1, 3, 0);
+  b3 = g.conv_bn_relu(n + "/b3_1x7a", b3, 224, 1, 7, 1, 1, 0, 3);
+  b3 = g.conv_bn_relu(n + "/b3_7x1b", b3, 224, 7, 1, 1, 1, 3, 0);
+  b3 = g.conv_bn_relu(n + "/b3_1x7b", b3, 256, 1, 7, 1, 1, 0, 3);
+  int b4 = g.avg_pool(n + "/b4_pool", in, 3, 1, 1);
+  b4 = g.conv_bn_relu(n + "/b4_1x1", b4, 128, 1, 1, 0);
+  return g.concat(n + "/concat", {b1, b2, b3, b4});
+}
+
+int reduction_b_v4(Graph& g, const std::string& n, int in) {
+  int b1 = g.conv_bn_relu(n + "/b1_1x1", in, 192, 1, 1, 0);
+  b1 = g.conv_bn_relu(n + "/b1_3x3", b1, 192, 3, 2, 0);
+  int b2 = g.conv_bn_relu(n + "/b2_1x1", in, 256, 1, 1, 0);
+  b2 = g.conv_bn_relu(n + "/b2_1x7", b2, 256, 1, 7, 1, 1, 0, 3);
+  b2 = g.conv_bn_relu(n + "/b2_7x1", b2, 320, 7, 1, 1, 1, 3, 0);
+  b2 = g.conv_bn_relu(n + "/b2_3x3", b2, 320, 3, 2, 0);
+  const int b3 = g.max_pool(n + "/b3_pool", in, 3, 2);
+  return g.concat(n + "/concat", {b1, b2, b3});
+}
+
+int inception_c_v4(Graph& g, const std::string& n, int in) {
+  const int b1 = g.conv_bn_relu(n + "/b1_1x1", in, 256, 1, 1, 0);
+  const int b2 = g.conv_bn_relu(n + "/b2_1x1", in, 384, 1, 1, 0);
+  const int b2a = g.conv_bn_relu(n + "/b2_1x3", b2, 256, 1, 3, 1, 1, 0, 1);
+  const int b2b = g.conv_bn_relu(n + "/b2_3x1", b2, 256, 3, 1, 1, 1, 1, 0);
+  const int b2c = g.concat(n + "/b2_concat", {b2a, b2b});
+  int b3 = g.conv_bn_relu(n + "/b3_1x1", in, 384, 1, 1, 0);
+  b3 = g.conv_bn_relu(n + "/b3_3x1", b3, 448, 3, 1, 1, 1, 1, 0);
+  b3 = g.conv_bn_relu(n + "/b3_1x3", b3, 512, 1, 3, 1, 1, 0, 1);
+  const int b3a = g.conv_bn_relu(n + "/b3a_1x3", b3, 256, 1, 3, 1, 1, 0, 1);
+  const int b3b = g.conv_bn_relu(n + "/b3b_3x1", b3, 256, 3, 1, 1, 1, 1, 0);
+  const int b3c = g.concat(n + "/b3_concat", {b3a, b3b});
+  int b4 = g.avg_pool(n + "/b4_pool", in, 3, 1, 1);
+  b4 = g.conv_bn_relu(n + "/b4_1x1", b4, 256, 1, 1, 0);
+  return g.concat(n + "/concat", {b1, b2c, b3c, b4});
+}
+
+Graph build_inception_v4() {
+  Graph g("Inception-v4");
+  int x = g.input(3, 299, 299);
+  x = g.conv_bn_relu("stem/conv1", x, 32, 3, 2, 0);
+  x = g.conv_bn_relu("stem/conv2", x, 32, 3, 1, 0);
+  x = g.conv_bn_relu("stem/conv3", x, 64, 3, 1, 1);
+  // mixed_3a
+  {
+    const int pool = g.max_pool("stem/3a_pool", x, 3, 2);
+    const int conv = g.conv_bn_relu("stem/3a_conv", x, 96, 3, 2, 0);
+    x = g.concat("stem/3a_concat", {pool, conv});
+  }
+  // mixed_4a
+  {
+    int a = g.conv_bn_relu("stem/4a_b1_1x1", x, 64, 1, 1, 0);
+    a = g.conv_bn_relu("stem/4a_b1_3x3", a, 96, 3, 1, 0);
+    int b = g.conv_bn_relu("stem/4a_b2_1x1", x, 64, 1, 1, 0);
+    b = g.conv_bn_relu("stem/4a_b2_1x7", b, 64, 1, 7, 1, 1, 0, 3);
+    b = g.conv_bn_relu("stem/4a_b2_7x1", b, 64, 7, 1, 1, 1, 3, 0);
+    b = g.conv_bn_relu("stem/4a_b2_3x3", b, 96, 3, 1, 0);
+    x = g.concat("stem/4a_concat", {a, b});
+  }
+  // mixed_5a
+  {
+    const int conv = g.conv_bn_relu("stem/5a_conv", x, 192, 3, 2, 0);
+    const int pool = g.max_pool("stem/5a_pool", x, 3, 2);
+    x = g.concat("stem/5a_concat", {conv, pool});
+  }
+  for (int i = 0; i < 4; ++i) x = inception_a_v4(g, "inceptA" + std::to_string(i), x);
+  x = reduction_a_v4(g, "reductA", x);
+  for (int i = 0; i < 7; ++i) x = inception_b_v4(g, "inceptB" + std::to_string(i), x);
+  x = reduction_b_v4(g, "reductB", x);
+  for (int i = 0; i < 3; ++i) x = inception_c_v4(g, "inceptC" + std::to_string(i), x);
+  x = g.global_avg_pool("gap", x);
+  x = g.dropout("dropout", x);
+  x = g.matmul("fc", x, kNumClasses);
+  g.softmax("prob", x);
+  g.validate();
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// GoogLeNet (Inception-v1, torchvision structure without aux classifiers;
+// BN variant as in torchvision's googlenet with batch norm)
+// ---------------------------------------------------------------------------
+
+int inception_v1(Graph& g, const std::string& n, int in, int c1, int c3r, int c3, int c5r,
+                 int c5, int pool_proj) {
+  const int b1 = g.conv_bn_relu(n + "/b1_1x1", in, c1, 1, 1, 0);
+  int b2 = g.conv_bn_relu(n + "/b2_1x1", in, c3r, 1, 1, 0);
+  b2 = g.conv_bn_relu(n + "/b2_3x3", b2, c3, 3, 1, 1);
+  int b3 = g.conv_bn_relu(n + "/b3_1x1", in, c5r, 1, 1, 0);
+  b3 = g.conv_bn_relu(n + "/b3_3x3", b3, c5, 3, 1, 1);  // torchvision uses 3x3 here
+  int b4 = g.max_pool(n + "/b4_pool", in, 3, 1, 1);
+  b4 = g.conv_bn_relu(n + "/b4_1x1", b4, pool_proj, 1, 1, 0);
+  return g.concat(n + "/concat", {b1, b2, b3, b4});
+}
+
+Graph build_googlenet() {
+  Graph g("GoogLeNet");
+  int x = g.input(3, 224, 224);
+  x = g.conv_bn_relu("stem/conv1", x, 64, 7, 2, 3);
+  x = g.max_pool("stem/pool1", x, 3, 2, 1);
+  x = g.conv_bn_relu("stem/conv2", x, 64, 1, 1, 0);
+  x = g.conv_bn_relu("stem/conv3", x, 192, 3, 1, 1);
+  x = g.max_pool("stem/pool2", x, 3, 2, 1);
+  x = inception_v1(g, "3a", x, 64, 96, 128, 16, 32, 32);
+  x = inception_v1(g, "3b", x, 128, 128, 192, 32, 96, 64);
+  x = g.max_pool("pool3", x, 3, 2, 1);
+  x = inception_v1(g, "4a", x, 192, 96, 208, 16, 48, 64);
+  x = inception_v1(g, "4b", x, 160, 112, 224, 24, 64, 64);
+  x = inception_v1(g, "4c", x, 128, 128, 256, 24, 64, 64);
+  x = inception_v1(g, "4d", x, 112, 144, 288, 32, 64, 64);
+  x = inception_v1(g, "4e", x, 256, 160, 320, 32, 128, 128);
+  x = g.max_pool("pool4", x, 3, 2, 1);
+  x = inception_v1(g, "5a", x, 256, 160, 320, 32, 128, 128);
+  x = inception_v1(g, "5b", x, 384, 192, 384, 48, 128, 128);
+  x = g.global_avg_pool("gap", x);
+  x = g.dropout("dropout", x);
+  x = g.matmul("fc", x, kNumClasses);
+  g.softmax("prob", x);
+  g.validate();
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// AlexNet and VGG-16 (classic, conv+bias, no BN)
+// ---------------------------------------------------------------------------
+
+Graph build_alexnet() {
+  Graph g("AlexNet");
+  int x = g.input(3, 224, 224);
+  x = g.conv2d("conv1", x, 64, 11, 11, 4, 4, 2, 2, /*bias=*/true);
+  x = g.relu("relu1", x);
+  x = g.max_pool("pool1", x, 3, 2);
+  x = g.conv2d("conv2", x, 192, 5, 5, 1, 1, 2, 2, true);
+  x = g.relu("relu2", x);
+  x = g.max_pool("pool2", x, 3, 2);
+  x = g.conv2d("conv3", x, 384, 3, 3, 1, 1, 1, 1, true);
+  x = g.relu("relu3", x);
+  x = g.conv2d("conv4", x, 256, 3, 3, 1, 1, 1, 1, true);
+  x = g.relu("relu4", x);
+  x = g.conv2d("conv5", x, 256, 3, 3, 1, 1, 1, 1, true);
+  x = g.relu("relu5", x);
+  x = g.max_pool("pool5", x, 3, 2);
+  x = g.dropout("drop6", x);
+  x = g.matmul("fc6", x, 4096);
+  x = g.relu("relu6", x);
+  x = g.dropout("drop7", x);
+  x = g.matmul("fc7", x, 4096);
+  x = g.relu("relu7", x);
+  x = g.matmul("fc8", x, kNumClasses);
+  g.softmax("prob", x);
+  g.validate();
+  return g;
+}
+
+Graph build_vgg16() {
+  Graph g("VGG-16");
+  int x = g.input(3, 224, 224);
+  const int stage_channels[5] = {64, 128, 256, 512, 512};
+  const int stage_convs[5] = {2, 2, 3, 3, 3};
+  for (int s = 0; s < 5; ++s) {
+    for (int c = 0; c < stage_convs[s]; ++c) {
+      const std::string n = "conv" + std::to_string(s + 1) + "_" + std::to_string(c + 1);
+      x = g.conv2d(n, x, stage_channels[s], 3, 3, 1, 1, 1, 1, true);
+      x = g.relu(n + "/relu", x);
+    }
+    x = g.max_pool("pool" + std::to_string(s + 1), x, 2, 2);
+  }
+  x = g.matmul("fc6", x, 4096);
+  x = g.relu("relu6", x);
+  x = g.dropout("drop6", x);
+  x = g.matmul("fc7", x, 4096);
+  x = g.relu("relu7", x);
+  x = g.dropout("drop7", x);
+  x = g.matmul("fc8", x, kNumClasses);
+  g.softmax("prob", x);
+  g.validate();
+  return g;
+}
+
+}  // namespace
+
+Graph build_model(ModelId id) {
+  switch (id) {
+    case ModelId::ResNet18: return build_resnet("ResNet-18", {2, 2, 2, 2}, false);
+    case ModelId::ResNet34: return build_resnet("ResNet-34", {3, 4, 6, 3}, false);
+    case ModelId::ResNet50: return build_resnet("ResNet-50", {3, 4, 6, 3}, true);
+    case ModelId::ResNet101: return build_resnet("ResNet-101", {3, 4, 23, 3}, true);
+    case ModelId::ResNet152: return build_resnet("ResNet-152", {3, 8, 36, 3}, true);
+    case ModelId::InceptionV3: return build_inception_v3();
+    case ModelId::InceptionV4: return build_inception_v4();
+    case ModelId::GoogLeNet: return build_googlenet();
+    case ModelId::ResNext50: return build_resnext50();
+    case ModelId::AlexNet: return build_alexnet();
+    case ModelId::Vgg16: return build_vgg16();
+  }
+  throw std::logic_error("build_model: bad id");
+}
+
+ModelId model_by_name(const std::string& name) {
+  if (name == "resnet18") return ModelId::ResNet18;
+  if (name == "resnet34") return ModelId::ResNet34;
+  if (name == "resnet50") return ModelId::ResNet50;
+  if (name == "resnet101") return ModelId::ResNet101;
+  if (name == "resnet152") return ModelId::ResNet152;
+  if (name == "inception-v3" || name == "inception3") return ModelId::InceptionV3;
+  if (name == "inception-v4" || name == "inception4") return ModelId::InceptionV4;
+  if (name == "googlenet" || name == "inception-v1") return ModelId::GoogLeNet;
+  if (name == "resnext50") return ModelId::ResNext50;
+  if (name == "alexnet") return ModelId::AlexNet;
+  if (name == "vgg16") return ModelId::Vgg16;
+  throw std::out_of_range("unknown model: " + name);
+}
+
+std::vector<ModelId> paper_models() {
+  return {ModelId::ResNet50, ModelId::ResNet101, ModelId::ResNet152, ModelId::InceptionV3,
+          ModelId::InceptionV4};
+}
+
+std::vector<ModelId> all_models() {
+  return {ModelId::ResNet18,    ModelId::ResNet34,  ModelId::ResNet50,
+          ModelId::ResNet101,   ModelId::ResNet152, ModelId::InceptionV3,
+          ModelId::InceptionV4, ModelId::GoogLeNet, ModelId::ResNext50,
+          ModelId::AlexNet,     ModelId::Vgg16};
+}
+
+}  // namespace dnnperf::dnn

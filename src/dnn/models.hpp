@@ -1,0 +1,53 @@
+// Model zoo: the five DNNs the paper evaluates (ResNet-50/101/152,
+// Inception-v3/v4) plus ResNet-18/34, AlexNet, and VGG-16 for wider
+// coverage. Definitions follow the canonical torchvision/timm structures;
+// tests validate parameter counts against published values within 2% and
+// MAC counts within 10%.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnn/graph.hpp"
+
+namespace dnnperf::dnn {
+
+enum class ModelId {
+  ResNet18,
+  ResNet34,
+  ResNet50,
+  ResNet101,
+  ResNet152,
+  InceptionV3,
+  InceptionV4,
+  GoogLeNet,  ///< Inception-v1
+  ResNext50,  ///< ResNeXt-50 32x4d (grouped convolutions)
+  AlexNet,
+  Vgg16,
+};
+
+const char* to_string(ModelId id);
+
+/// Published reference numbers used by validation tests.
+struct ModelRef {
+  double params;  ///< trainable parameters
+  double gmacs;   ///< multiply-accumulate ops per image, forward, x1e9
+};
+
+ModelRef reference(ModelId id);
+
+/// Builds the op graph for `id` at its canonical input resolution
+/// (224x224 for ResNet/AlexNet/VGG, 299x299 for Inception).
+Graph build_model(ModelId id);
+
+/// Lookup by the names used in benches/CLIs: "resnet50", "inception-v4", ...
+/// Throws std::out_of_range for unknown names.
+ModelId model_by_name(const std::string& name);
+
+/// The five models of the paper's evaluation, in its order.
+std::vector<ModelId> paper_models();
+
+/// All zoo models.
+std::vector<ModelId> all_models();
+
+}  // namespace dnnperf::dnn

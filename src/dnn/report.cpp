@@ -1,0 +1,84 @@
+#include "dnn/report.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace dnnperf::dnn {
+
+util::TextTable summary_table(const Graph& graph, std::size_t max_rows) {
+  util::TextTable table({"#", "name", "kind", "output", "params", "fwd GFLOP/img"});
+  const auto& ops = graph.ops();
+  const std::size_t rows = max_rows == 0 ? ops.size() : std::min(max_rows, ops.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    const Op& op = ops[i];
+    std::ostringstream shape;
+    shape << op.out.c << "x" << op.out.h << "x" << op.out.w;
+    table.add_row({std::to_string(op.id), op.name, to_string(op.kind), shape.str(),
+                   util::TextTable::num(op.params, 0),
+                   util::TextTable::num(op.fwd_flops / 1e9, 4)});
+  }
+  return table;
+}
+
+util::TextTable kind_breakdown(const Graph& graph) {
+  struct Agg {
+    int count = 0;
+    double params = 0.0;
+    double fwd = 0.0;
+    double bwd = 0.0;
+    double act_bytes = 0.0;
+  };
+  std::map<OpKind, Agg> aggs;
+  for (const auto& op : graph.ops()) {
+    Agg& a = aggs[op.kind];
+    ++a.count;
+    a.params += op.params;
+    a.fwd += op.fwd_flops;
+    a.bwd += op.bwd_flops;
+    a.act_bytes += op.output_bytes;
+  }
+  util::TextTable table({"kind", "ops", "params", "fwd GFLOP/img", "bwd GFLOP/img",
+                         "activations/img"});
+  for (const auto& [kind, a] : aggs)
+    table.add_row({to_string(kind), std::to_string(a.count), util::TextTable::num(a.params, 0),
+                   util::TextTable::num(a.fwd / 1e9, 3), util::TextTable::num(a.bwd / 1e9, 3),
+                   util::format_bytes(a.act_bytes)});
+  return table;
+}
+
+MemoryFootprint training_memory(const Graph& graph, int batch) {
+  MemoryFootprint fp;
+  fp.weight_bytes = graph.total_params() * 4.0;
+  fp.gradient_bytes = fp.weight_bytes;
+  fp.optimizer_bytes = fp.weight_bytes;  // one momentum slot
+  fp.activation_bytes = graph.total_activation_bytes() * batch;
+  return fp;
+}
+
+int max_batch_for_memory(const Graph& graph, double memory_bytes) {
+  const MemoryFootprint one = training_memory(graph, 1);
+  const double fixed = one.weight_bytes + one.gradient_bytes + one.optimizer_bytes;
+  const double per_image = 2.0 * graph.total_activation_bytes();
+  if (fixed + per_image > memory_bytes) return 0;
+  return static_cast<int>((memory_bytes - fixed) / per_image);
+}
+
+std::string to_dot(const Graph& graph) {
+  std::ostringstream os;
+  os << "digraph \"" << graph.name() << "\" {\n  rankdir=TB;\n  node [fontsize=10];\n";
+  for (const auto& op : graph.ops()) {
+    const char* shape = "box";
+    if (op.kind == OpKind::Concat || op.kind == OpKind::Add) shape = "diamond";
+    if (op.kind == OpKind::Input) shape = "ellipse";
+    os << "  n" << op.id << " [label=\"" << op.name << "\\n" << to_string(op.kind)
+       << "\", shape=" << shape << "];\n";
+  }
+  for (const auto& op : graph.ops())
+    for (int in : op.inputs) os << "  n" << in << " -> n" << op.id << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dnnperf::dnn

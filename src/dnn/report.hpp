@@ -1,0 +1,43 @@
+// Graph inspection utilities: layer-by-layer summary tables (the
+// model.summary() every framework grows), per-op-kind breakdowns, memory
+// accounting for training, and Graphviz DOT export.
+#pragma once
+
+#include <string>
+
+#include "dnn/graph.hpp"
+#include "util/table.hpp"
+
+namespace dnnperf::dnn {
+
+/// Layer table: name, kind, output shape, params, fwd GFLOPs (per image).
+/// `max_rows` truncates long models (0 = all rows).
+util::TextTable summary_table(const Graph& graph, std::size_t max_rows = 0);
+
+/// Aggregate per-op-kind breakdown: count, params, fwd/bwd FLOPs, activation
+/// bytes — shows where a model's time must go (e.g. convs carry >90% of
+/// ResNet FLOPs while BN/ReLU carry most of the memory traffic).
+util::TextTable kind_breakdown(const Graph& graph);
+
+/// Training memory footprint per rank at a given batch size, bytes:
+/// weights + gradients + optimizer slots + live activations (kept for
+/// backward) + activation gradients.
+struct MemoryFootprint {
+  double weight_bytes = 0.0;
+  double gradient_bytes = 0.0;
+  double optimizer_bytes = 0.0;   ///< momentum slot
+  double activation_bytes = 0.0;  ///< forward activations kept for backward
+  double total() const {
+    return weight_bytes + gradient_bytes + optimizer_bytes + 2.0 * activation_bytes;
+  }
+};
+MemoryFootprint training_memory(const Graph& graph, int batch);
+
+/// Largest per-rank batch whose training footprint fits in `memory_bytes`
+/// (0 if even batch 1 does not fit) — e.g. what bounds K80 batch sizes.
+int max_batch_for_memory(const Graph& graph, double memory_bytes);
+
+/// Graphviz DOT of the op DAG (op kind shapes the node label).
+std::string to_dot(const Graph& graph);
+
+}  // namespace dnnperf::dnn

@@ -1,0 +1,36 @@
+#include "exec/calibration.hpp"
+
+namespace dnnperf::exec {
+
+const char* to_string(Framework fw) {
+  switch (fw) {
+    case Framework::TensorFlow: return "TensorFlow";
+    case Framework::PyTorch: return "PyTorch";
+  }
+  return "?";
+}
+
+namespace {
+CpuCalibration g_cpu_calibration;
+}  // namespace
+
+const CpuCalibration& cpu_calibration() { return g_cpu_calibration; }
+
+ScopedCpuCalibration::ScopedCpuCalibration(const CpuCalibration& calibration)
+    : saved_(g_cpu_calibration) {
+  g_cpu_calibration = calibration;
+}
+
+ScopedCpuCalibration::~ScopedCpuCalibration() { g_cpu_calibration = saved_; }
+
+const GpuCalibration& gpu_calibration() {
+  static const GpuCalibration calib;
+  return calib;
+}
+
+CpuKernelPath kernel_path(Framework fw, const hw::CpuModel& cpu) {
+  if (fw == Framework::PyTorch) return CpuKernelPath::PyTorch1;
+  return cpu.vendor == hw::CpuVendor::Intel ? CpuKernelPath::MklDnn : CpuKernelPath::Generic;
+}
+
+}  // namespace dnnperf::exec

@@ -1,0 +1,33 @@
+// Execution configuration: which framework profile runs the graph, with how
+// many intra-op/inter-op threads, at what batch size.
+//
+// Framework x device selects a "profile": TensorFlow on Intel CPUs uses the
+// MKL-DNN path, TensorFlow on AMD falls back to the generic (Eigen) path —
+// the paper found Intel-optimized builds give AMD nothing (Section VI-E) —
+// and PyTorch 1.1's CPU path has eager dispatch overhead and weak intra-op
+// scaling, which is why its best configuration is one process per core.
+#pragma once
+
+namespace dnnperf::exec {
+
+enum class Framework { TensorFlow, PyTorch };
+
+const char* to_string(Framework fw);
+
+/// CPU kernel code path actually used by the framework build on a platform.
+enum class CpuKernelPath {
+  MklDnn,    ///< Intel-optimized TF/PyTorch on Intel CPUs
+  Generic,   ///< stock TF (Eigen) — what AMD EPYC ends up running
+  PyTorch1,  ///< PyTorch 1.1 TH/THNN CPU path
+};
+
+struct ExecConfig {
+  Framework framework = Framework::TensorFlow;
+  int intra_threads = 1;  ///< threads per op (tf --num_intra_threads)
+  int inter_threads = 1;  ///< concurrently scheduled ops (tf --num_inter_threads)
+  int batch = 64;         ///< per-replica batch size
+  /// A Horovod background thread is polling in this process (MP training).
+  bool horovod_thread = false;
+};
+
+}  // namespace dnnperf::exec

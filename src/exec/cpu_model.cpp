@@ -1,0 +1,207 @@
+#include "exec/cpu_model.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace dnnperf::exec {
+
+namespace {
+
+/// Core-equivalent capacity of a rank when `demanded` threads are runnable:
+/// physical cores first, then SMT siblings at fractional throughput.
+double capacity(const Placement& p, int demanded) {
+  const double phys = p.cores;
+  if (demanded <= p.cores) return demanded;
+  const double smt_slots = phys * (p.threads_per_core - 1);
+  const double extra = std::min<double>(demanded - p.cores, smt_slots);
+  return phys + extra * p.smt_speedup_fraction;
+}
+
+}  // namespace
+
+CpuExecModel::CpuExecModel(hw::CpuModel cpu) : cpu_(std::move(cpu)) { cpu_.validate(); }
+
+double CpuExecModel::kernel_eff(dnn::OpKind kind, CpuKernelPath path) const {
+  const auto& c = cpu_calibration();
+  const bool gemm = kind == dnn::OpKind::MatMul;
+  switch (path) {
+    case CpuKernelPath::MklDnn: return gemm ? c.mkl_gemm_eff : c.mkl_conv_eff;
+    case CpuKernelPath::Generic: return gemm ? c.generic_gemm_eff : c.generic_conv_eff;
+    case CpuKernelPath::PyTorch1:
+      if (cpu_.vendor == hw::CpuVendor::Amd)
+        return gemm ? c.pytorch_gemm_eff_amd : c.pytorch_conv_eff_amd;
+      return gemm ? c.pytorch_gemm_eff_intel : c.pytorch_conv_eff_intel;
+  }
+  throw std::logic_error("kernel_eff: bad path");
+}
+
+double CpuExecModel::dispatch_overhead(Framework fw) const {
+  const auto& c = cpu_calibration();
+  return fw == Framework::TensorFlow ? c.tf_dispatch_s : c.pytorch_dispatch_s;
+}
+
+double CpuExecModel::iteration_fixed_overhead(Framework fw) const {
+  const auto& c = cpu_calibration();
+  return fw == Framework::TensorFlow ? c.tf_iteration_fixed_s : c.pytorch_iteration_fixed_s;
+}
+
+double CpuExecModel::OpCostBreakdown::total() const {
+  return std::max(flop_time_s, mem_time_s) + overhead_s;
+}
+
+CpuExecModel::OpCostBreakdown CpuExecModel::op_cost_breakdown(
+    const dnn::Graph& graph, const dnn::Op& op, bool is_backward, double tau, int demanded,
+    const ExecConfig& cfg, const Placement& placement, double bw_share) const {
+  const auto& c = cpu_calibration();
+  const CpuKernelPath path = kernel_path(cfg.framework, cpu_);
+  const double batch = cfg.batch;
+
+  OpCostBreakdown cost;
+  const double flops = (is_backward ? op.bwd_flops : op.fwd_flops) * batch;
+  if (flops > 0.0) {
+    double t_use = tau;
+    if (path == CpuKernelPath::PyTorch1)
+      t_use = std::min(t_use, c.pytorch_max_effective_threads);
+    t_use = std::min(t_use, batch * c.chunks_per_image);
+    t_use = std::max(t_use, 1.0);
+    const double amdahl = 1.0 / (c.serial_fraction + (1.0 - c.serial_fraction) / t_use);
+    // The kernel only creates as many parallel chunks as the batch allows;
+    // granularity losses scale with the chunks actually spawned.
+    const double chunks = std::min<double>(demanded, batch * c.chunks_per_image);
+    const double gran = flops / (flops + chunks * c.granularity_half_flops);
+    const double per_core_flops =
+        cpu_.clock_ghz * 1e9 * cpu_.flops_per_cycle_fp32 * kernel_eff(op.kind, path);
+    cost.flop_time_s =
+        flops / (amdahl * gran * per_core_flops) * (1.0 + placement.numa_time_penalty);
+  }
+
+  // Memory traffic: activations in/out (+gradients backward) plus weights.
+  double act_bytes = op.output_bytes;
+  for (int in : op.inputs) act_bytes += graph.op(in).output_bytes;
+  act_bytes *= batch;
+  if (is_backward) act_bytes *= c.bwd_bytes_factor;
+  const double bytes = act_bytes + op.params * 4.0 * (is_backward ? 2.0 : 1.0);
+  cost.mem_time_s = bytes / (placement.mem_bw_gbps * 1e9 * c.mem_eff * bw_share);
+
+  cost.overhead_s = dispatch_overhead(cfg.framework) + c.sync_cost_s * demanded;
+
+  if (cfg.horovod_thread && cfg.intra_threads >= placement.cores) {
+    const double factor = 1.0 + c.horovod_contention;
+    cost.flop_time_s *= factor;
+    cost.mem_time_s *= factor;
+    cost.overhead_s *= factor;
+  }
+  return cost;
+}
+
+double CpuExecModel::op_duration(const dnn::Graph& graph, const dnn::Op& op, bool is_backward,
+                                 double tau, int demanded, const ExecConfig& cfg,
+                                 const Placement& placement, double bw_share) const {
+  return op_cost_breakdown(graph, op, is_backward, tau, demanded, cfg, placement, bw_share)
+      .total();
+}
+
+PassSchedule CpuExecModel::simulate(const dnn::Graph& graph, bool is_backward,
+                                    const ExecConfig& cfg, const Placement& placement) const {
+  if (cfg.intra_threads <= 0 || cfg.inter_threads <= 0 || cfg.batch <= 0)
+    throw std::invalid_argument("CpuExecModel: non-positive config value");
+
+  const int n = graph.size();
+  const auto consumers = graph.consumers();
+  std::vector<Node> nodes(static_cast<std::size_t>(n));
+
+  // Forward runs the DAG as built; backward runs the reversed DAG with the
+  // same structure (an op's backward waits on its consumers' backwards).
+  auto deps_of = [&](int id) -> std::size_t {
+    return is_backward ? consumers[static_cast<std::size_t>(id)].size()
+                       : graph.op(id).inputs.size();
+  };
+  auto children_of = [&](int id) -> std::vector<int> {
+    return is_backward ? graph.op(id).inputs : consumers[static_cast<std::size_t>(id)];
+  };
+
+  std::deque<int> ready;
+  for (int i = 0; i < n; ++i) {
+    nodes[static_cast<std::size_t>(i)].deps = static_cast<int>(deps_of(i));
+    if (nodes[static_cast<std::size_t>(i)].deps == 0) ready.push_back(i);
+  }
+
+  PassSchedule schedule;
+  std::vector<int> running;
+  std::vector<double> started(static_cast<std::size_t>(n), -1.0);
+  double now = 0.0;
+  int done = 0;
+
+  while (done < n) {
+    while (static_cast<int>(running.size()) < cfg.inter_threads && !ready.empty()) {
+      running.push_back(ready.front());
+      ready.pop_front();
+    }
+    if (running.empty()) throw std::logic_error("CpuExecModel: deadlock (graph not a DAG?)");
+
+    const int m = static_cast<int>(running.size());
+    for (int id : running) {
+      auto& t0 = started[static_cast<std::size_t>(id)];
+      if (t0 < 0.0) t0 = now;
+    }
+    const int demanded_total = m * cfg.intra_threads;
+    const double tau = capacity(placement, demanded_total) / m;
+    const double bw_share = 1.0 / m;
+
+    // Advance to the next completion under processor sharing.
+    double dt = -1.0;
+    std::vector<double> durations(running.size());
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      durations[i] = op_duration(graph, graph.op(running[i]), is_backward, tau,
+                                 cfg.intra_threads, cfg, placement, bw_share);
+      const double until_done = nodes[static_cast<std::size_t>(running[i])].remaining * durations[i];
+      if (dt < 0.0 || until_done < dt) dt = until_done;
+    }
+    now += dt;
+
+    std::vector<int> still_running;
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      const int id = running[i];
+      auto& node = nodes[static_cast<std::size_t>(id)];
+      node.remaining -= dt / durations[i];
+      if (node.remaining > 1e-12) {
+        still_running.push_back(id);
+        continue;
+      }
+      node.done = true;
+      ++done;
+      schedule.trace.push_back({id, started[static_cast<std::size_t>(id)], now});
+      const auto& op = graph.op(id);
+      if (is_backward && op.has_params())
+        schedule.grad_events.push_back({now, op.params * 4.0});
+      for (int child : children_of(id)) {
+        auto& cn = nodes[static_cast<std::size_t>(child)];
+        if (--cn.deps == 0) ready.push_back(child);
+      }
+    }
+    running = std::move(still_running);
+  }
+
+  schedule.duration = now;
+  return schedule;
+}
+
+PassSchedule CpuExecModel::forward(const dnn::Graph& graph, const ExecConfig& cfg,
+                                   const Placement& placement) const {
+  return simulate(graph, /*is_backward=*/false, cfg, placement);
+}
+
+PassSchedule CpuExecModel::backward(const dnn::Graph& graph, const ExecConfig& cfg,
+                                    const Placement& placement) const {
+  return simulate(graph, /*is_backward=*/true, cfg, placement);
+}
+
+double CpuExecModel::optimizer_time(const dnn::Graph& graph, const Placement& placement) const {
+  const auto& c = cpu_calibration();
+  // Read gradient + parameter, write parameter: 12 bytes per fp32 weight.
+  const double bytes = graph.total_params() * 12.0;
+  return bytes / (placement.mem_bw_gbps * 1e9 * c.mem_eff);
+}
+
+}  // namespace dnnperf::exec

@@ -1,0 +1,85 @@
+// CPU execution model: times one forward or backward pass of a Graph on a
+// placed rank, using a processor-sharing list scheduler over the op DAG.
+//
+// Mechanisms (each traceable to a paper observation):
+//  * roofline per op: max(flop time, memory time) + dispatch overhead;
+//  * intra-op thread scaling: Amdahl + granularity (FLOPs per thread) +
+//    batch chunk cap + per-thread sync cost  -> Fig 1-4 knees;
+//  * NUMA: remote-bandwidth and remote-compute penalties from Placement
+//    -> the SP vs MP gap (Fig 6, 10);
+//  * inter-op scheduling: up to `inter_threads` ops run concurrently,
+//    sharing core capacity (SMT siblings add fractional capacity)
+//    -> inter-op=2 helping on hyper-threaded Skylake-3, Inception > ResNet;
+//  * Horovod progress-thread contention when no core is spare
+//    -> the intra-op = cores-1 rule;
+//  * framework profiles: MKL vs generic vs PyTorch-1.1 kernel efficiency
+//    and dispatch overhead -> TF/PT and Intel/AMD gaps.
+#pragma once
+
+#include "dnn/graph.hpp"
+#include "exec/calibration.hpp"
+#include "exec/config.hpp"
+#include "exec/placement.hpp"
+#include "exec/schedule.hpp"
+#include "hw/cpu.hpp"
+
+namespace dnnperf::exec {
+
+class CpuExecModel {
+ public:
+  explicit CpuExecModel(hw::CpuModel cpu);
+
+  const hw::CpuModel& cpu() const { return cpu_; }
+
+  /// Times the forward pass of one iteration (per-rank batch = cfg.batch).
+  PassSchedule forward(const dnn::Graph& graph, const ExecConfig& cfg,
+                       const Placement& placement) const;
+
+  /// Times the backward pass; grad_events records when each parameterized
+  /// layer's gradient is produced (reverse topological order).
+  PassSchedule backward(const dnn::Graph& graph, const ExecConfig& cfg,
+                        const Placement& placement) const;
+
+  /// SGD parameter update (memory bound: read grad+param, write param).
+  double optimizer_time(const dnn::Graph& graph, const Placement& placement) const;
+
+  /// Fixed per-iteration framework overhead (session/feed/python loop).
+  double iteration_fixed_overhead(Framework fw) const;
+
+  /// Cost components of a single op (roofline decomposition).
+  struct OpCostBreakdown {
+    double flop_time_s = 0.0;
+    double mem_time_s = 0.0;
+    double overhead_s = 0.0;  ///< dispatch + per-thread sync (+ contention)
+    double total() const;
+  };
+
+  /// Component costs of one op at `tau` effective thread-equivalents with
+  /// `demanded` requested threads.
+  OpCostBreakdown op_cost_breakdown(const dnn::Graph& graph, const dnn::Op& op,
+                                    bool is_backward, double tau, int demanded,
+                                    const ExecConfig& cfg, const Placement& placement,
+                                    double bw_share) const;
+
+  /// Duration of a single op (max(flop, mem) + overheads; exposed for tests).
+  double op_duration(const dnn::Graph& graph, const dnn::Op& op, bool is_backward,
+                     double tau, int demanded, const ExecConfig& cfg,
+                     const Placement& placement, double bw_share) const;
+
+ private:
+  struct Node {
+    double remaining = 1.0;  ///< fraction of the op left to run
+    int deps = 0;
+    bool done = false;
+  };
+
+  double kernel_eff(dnn::OpKind kind, CpuKernelPath path) const;
+  double dispatch_overhead(Framework fw) const;
+
+  PassSchedule simulate(const dnn::Graph& graph, bool is_backward, const ExecConfig& cfg,
+                        const Placement& placement) const;
+
+  hw::CpuModel cpu_;
+};
+
+}  // namespace dnnperf::exec

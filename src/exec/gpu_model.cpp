@@ -1,0 +1,66 @@
+#include "exec/gpu_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dnnperf::exec {
+
+GpuExecModel::GpuExecModel(hw::GpuModel gpu) : gpu_(std::move(gpu)) { gpu_.validate(); }
+
+double GpuExecModel::sustained_gflops(Framework fw, int batch) const {
+  const auto& c = gpu_calibration();
+  double frac = gpu_.achievable_fraction * batch / (batch + c.batch_half);
+  if (fw == Framework::PyTorch) frac *= c.pytorch_speed_boost;
+  return gpu_.peak_gflops() * frac;
+}
+
+double GpuExecModel::iteration_fixed_overhead(Framework) const {
+  return gpu_calibration().iteration_fixed_s;
+}
+
+PassSchedule GpuExecModel::run(const dnn::Graph& graph, Framework fw, int batch,
+                               bool backward) const {
+  if (batch <= 0) throw std::invalid_argument("GpuExecModel: batch <= 0");
+  const auto& c = gpu_calibration();
+  const double rate = sustained_gflops(fw, batch) * 1e9;
+  const double launch =
+      gpu_.launch_overhead_s + (fw == Framework::PyTorch ? c.pytorch_dispatch_s : c.tf_dispatch_s);
+
+  PassSchedule schedule;
+  double now = 0.0;
+  auto time_op = [&](const dnn::Op& op) {
+    const double flops = (backward ? op.bwd_flops : op.fwd_flops) * batch;
+    double bytes = op.output_bytes * batch;
+    for (int in : op.inputs) bytes += graph.op(in).output_bytes * batch;
+    if (backward) bytes *= 2.0;
+    bytes += op.params * 4.0;
+    const double mem_time = bytes / (gpu_.mem_bw_gbps * 1e9 * 0.75);
+    return std::max(flops / rate, mem_time) + launch;
+  };
+
+  if (!backward) {
+    for (const auto& op : graph.ops()) now += time_op(op);
+  } else {
+    const auto& ops = graph.ops();
+    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+      now += time_op(*it);
+      if (it->has_params()) schedule.grad_events.push_back({now, it->params * 4.0});
+    }
+  }
+  schedule.duration = now;
+  return schedule;
+}
+
+PassSchedule GpuExecModel::forward(const dnn::Graph& graph, Framework fw, int batch) const {
+  return run(graph, fw, batch, false);
+}
+
+PassSchedule GpuExecModel::backward(const dnn::Graph& graph, Framework fw, int batch) const {
+  return run(graph, fw, batch, true);
+}
+
+double GpuExecModel::optimizer_time(const dnn::Graph& graph) const {
+  return graph.total_params() * 12.0 / (gpu_.mem_bw_gbps * 1e9 * 0.75);
+}
+
+}  // namespace dnnperf::exec

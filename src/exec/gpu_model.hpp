@@ -1,0 +1,37 @@
+// GPU execution model for the comparison experiments (paper Section VII).
+//
+// Per-op roofline over the board's peak fp32 throughput and memory bandwidth
+// with a batch-dependent achievable fraction and per-kernel launch overhead;
+// ops execute serially on one stream (how TF 1.12 / PyTorch 1.1 ran these
+// models). PyTorch's cuDNN path carries a fitted speed edge over TF's.
+#pragma once
+
+#include "dnn/graph.hpp"
+#include "exec/calibration.hpp"
+#include "exec/config.hpp"
+#include "exec/schedule.hpp"
+#include "hw/gpu.hpp"
+
+namespace dnnperf::exec {
+
+class GpuExecModel {
+ public:
+  explicit GpuExecModel(hw::GpuModel gpu);
+
+  const hw::GpuModel& gpu() const { return gpu_; }
+
+  PassSchedule forward(const dnn::Graph& graph, Framework fw, int batch) const;
+  PassSchedule backward(const dnn::Graph& graph, Framework fw, int batch) const;
+  double optimizer_time(const dnn::Graph& graph) const;
+  double iteration_fixed_overhead(Framework fw) const;
+
+  /// Sustained device throughput for `fw` at `batch`, GFLOP/s (for tests).
+  double sustained_gflops(Framework fw, int batch) const;
+
+ private:
+  PassSchedule run(const dnn::Graph& graph, Framework fw, int batch, bool backward) const;
+
+  hw::GpuModel gpu_;
+};
+
+}  // namespace dnnperf::exec

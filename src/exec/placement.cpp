@@ -1,0 +1,47 @@
+#include "exec/placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dnnperf::exec {
+
+Placement place_rank(const hw::CpuModel& cpu, int ppn, int threads) {
+  if (ppn <= 0) throw std::invalid_argument("place_rank: ppn <= 0");
+  if (threads <= 0) throw std::invalid_argument("place_rank: threads <= 0");
+  const auto& calib = cpu_calibration();
+
+  Placement p;
+  p.cores = std::max(1, cpu.total_cores() / ppn);
+  p.threads_per_core = cpu.threads_per_core;
+  p.smt_speedup_fraction = cpu.smt_speedup_fraction;
+
+  const int cpd = cpu.cores_per_numa_domain();
+  const double domain_bw = cpu.mem_bw_gbps() / cpu.numa_domains();
+
+  // Threads are pinned compactly starting at the rank's first core; the
+  // number of domains they actually touch is bounded both by the rank's
+  // core allotment and by how many cores the threads occupy.
+  const int cores_touched = std::min(p.cores, threads);
+  const int spans = std::min((cores_touched + cpd - 1) / cpd, cpu.numa_domains());
+  p.numa_domains_spanned = std::max(1, spans);
+
+  if (p.cores <= cpd) {
+    // Rank fits in one NUMA domain: full local bandwidth for its share.
+    const double share = static_cast<double>(p.cores) / cpd;
+    p.mem_bw_gbps = domain_bw * std::min(1.0, share * 1.25);  // small-slice ranks
+                                                              // still burst a bit
+    p.numa_time_penalty = 0.0;
+  } else {
+    // Rank spans domains: pages concentrate on the first one (first touch);
+    // remote domains contribute only a fraction of their bandwidth.
+    p.mem_bw_gbps = domain_bw * (1.0 + (p.numa_domains_spanned - 1) * calib.remote_bw_share);
+    p.numa_time_penalty =
+        p.numa_domains_spanned > 1
+            ? calib.remote_flop_penalty *
+                  (static_cast<double>(p.numa_domains_spanned - 1) / p.numa_domains_spanned)
+            : 0.0;
+  }
+  return p;
+}
+
+}  // namespace dnnperf::exec

@@ -1,0 +1,30 @@
+// Process placement on a node: how many cores a rank owns, how many NUMA
+// domains its threads span, and the memory bandwidth it can actually reach.
+//
+// This is where the SP-vs-MP story lives. A single process whose thread pool
+// spans sockets keeps its pages on the first socket (first-touch), so remote
+// threads see a fraction of local bandwidth; processes pinned inside one
+// NUMA domain get full local bandwidth — which is why multi-process beats
+// single-process on every platform in the paper.
+#pragma once
+
+#include "exec/calibration.hpp"
+#include "hw/cpu.hpp"
+
+namespace dnnperf::exec {
+
+struct Placement {
+  int cores = 1;              ///< physical cores owned by this rank
+  int numa_domains_spanned = 1;
+  int threads_per_core = 1;   ///< SMT depth of those cores
+  double smt_speedup_fraction = 0.0;
+  double mem_bw_gbps = 50.0;  ///< bandwidth reachable from this rank's threads
+  double numa_time_penalty = 0.0;  ///< extra fractional time on compute-bound work
+};
+
+/// Placement for one of `ppn` ranks pinned block-wise on `cpu`, where the
+/// rank runs up to `threads` worker threads. `ppn` must be >= 1; threads
+/// beyond the rank's share of cores are allowed (they share cores / SMT).
+Placement place_rank(const hw::CpuModel& cpu, int ppn, int threads);
+
+}  // namespace dnnperf::exec

@@ -1,0 +1,63 @@
+#include "exec/roofline.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dnnperf::exec {
+
+RooflineReport roofline_report(const CpuExecModel& model, const dnn::Graph& graph,
+                               const ExecConfig& cfg, const Placement& placement) {
+  RooflineReport report;
+  std::map<dnn::OpKind, RooflineBucket> kinds;
+  double total_flops = 0.0;
+
+  // Serial attribution: each op runs alone at the full intra-op width.
+  const double tau = std::min<double>(cfg.intra_threads, placement.cores);
+  for (const bool backward : {false, true}) {
+    RooflineBucket& pass = backward ? report.backward : report.forward;
+    for (const auto& op : graph.ops()) {
+      const auto c =
+          model.op_cost_breakdown(graph, op, backward, tau, cfg.intra_threads, cfg, placement,
+                                  /*bw_share=*/1.0);
+      RooflineBucket& kind = kinds[op.kind];
+      if (c.flop_time_s >= c.mem_time_s) {
+        pass.flop_bound_s += c.flop_time_s;
+        kind.flop_bound_s += c.flop_time_s;
+      } else {
+        pass.mem_bound_s += c.mem_time_s;
+        kind.mem_bound_s += c.mem_time_s;
+      }
+      pass.overhead_s += c.overhead_s;
+      kind.overhead_s += c.overhead_s;
+      total_flops += (backward ? op.bwd_flops : op.fwd_flops) * cfg.batch;
+    }
+  }
+
+  report.by_kind.assign(kinds.begin(), kinds.end());
+  std::sort(report.by_kind.begin(), report.by_kind.end(),
+            [](const auto& a, const auto& b) { return a.second.total() > b.second.total(); });
+
+  const double total_time = report.forward.total() + report.backward.total();
+  if (total_time > 0.0)
+    report.flop_utilization =
+        total_flops / total_time / (model.cpu().peak_gflops() * 1e9 * placement.cores /
+                                    model.cpu().total_cores());
+  return report;
+}
+
+util::TextTable roofline_table(const RooflineReport& report) {
+  util::TextTable table({"op kind", "flop-bound (s)", "mem-bound (s)", "overhead (s)",
+                         "share"});
+  double total = 0.0;
+  for (const auto& [kind, bucket] : report.by_kind) total += bucket.total();
+  for (const auto& [kind, bucket] : report.by_kind) {
+    table.add_row({dnn::to_string(kind), util::TextTable::num(bucket.flop_bound_s, 4),
+                   util::TextTable::num(bucket.mem_bound_s, 4),
+                   util::TextTable::num(bucket.overhead_s, 4),
+                   util::TextTable::num(total > 0 ? 100.0 * bucket.total() / total : 0.0, 1) +
+                       "%"});
+  }
+  return table;
+}
+
+}  // namespace dnnperf::exec

@@ -1,0 +1,39 @@
+// Roofline-style decomposition of a simulated pass: how much of an
+// iteration's time is compute-bound, memory-bound, or overhead (dispatch +
+// thread sync), per op kind. Explains *why* a configuration performs the
+// way it does — e.g. BN/ReLU saturating a socket's bandwidth is what bends
+// the SP scaling curves of Figs 1-4.
+#pragma once
+
+#include "dnn/graph.hpp"
+#include "exec/cpu_model.hpp"
+#include "util/table.hpp"
+
+namespace dnnperf::exec {
+
+struct RooflineBucket {
+  double flop_bound_s = 0.0;  ///< time in ops limited by compute throughput
+  double mem_bound_s = 0.0;   ///< time in ops limited by memory bandwidth
+  double overhead_s = 0.0;    ///< dispatch + per-op thread sync
+  double total() const { return flop_bound_s + mem_bound_s + overhead_s; }
+};
+
+struct RooflineReport {
+  RooflineBucket forward;
+  RooflineBucket backward;
+  /// Per-op-kind totals (fwd+bwd), keyed in dnn::OpKind order.
+  std::vector<std::pair<dnn::OpKind, RooflineBucket>> by_kind;
+  /// Fraction of the node's peak FLOP rate sustained over the iteration.
+  double flop_utilization = 0.0;
+};
+
+/// Decomposes one training iteration of `graph` under `cfg` on `placement`.
+/// Ops are attributed serially (no inter-op overlap) — an upper bound on
+/// each bucket that still ranks bottlenecks correctly.
+RooflineReport roofline_report(const CpuExecModel& model, const dnn::Graph& graph,
+                               const ExecConfig& cfg, const Placement& placement);
+
+/// Renders per-kind buckets as a table (sorted by total time, descending).
+util::TextTable roofline_table(const RooflineReport& report);
+
+}  // namespace dnnperf::exec

@@ -1,0 +1,12 @@
+#include "exec/schedule.hpp"
+
+namespace dnnperf::exec {
+
+double average_concurrency(const PassSchedule& schedule) {
+  if (schedule.duration <= 0.0 || schedule.trace.empty()) return 0.0;
+  double busy = 0.0;
+  for (const auto& iv : schedule.trace) busy += iv.finish - iv.start;
+  return busy / schedule.duration;
+}
+
+}  // namespace dnnperf::exec

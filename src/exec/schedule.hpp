@@ -1,0 +1,35 @@
+// Output of a simulated forward/backward pass: its duration and, for the
+// backward pass, the times at which each layer's gradient tensor becomes
+// ready (what the framework hands to Horovod, in production order).
+#pragma once
+
+#include <vector>
+
+namespace dnnperf::exec {
+
+struct GradEvent {
+  double time = 0.0;   ///< seconds from the start of the pass
+  double bytes = 0.0;  ///< fp32 gradient tensor size
+};
+
+/// One op's occupancy interval in the simulated pass (processor sharing:
+/// intervals of concurrently scheduled ops overlap).
+struct OpInterval {
+  int op_id = -1;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+struct PassSchedule {
+  double duration = 0.0;
+  std::vector<GradEvent> grad_events;  ///< sorted by time (backward pass only)
+  /// Per-op schedule trace in completion order (CPU passes only).
+  std::vector<OpInterval> trace;
+};
+
+/// Mean number of ops in flight over the pass: sum of interval lengths over
+/// the pass duration. ~1 for a serial chain; higher when inter-op
+/// parallelism is actually exploited.
+double average_concurrency(const PassSchedule& schedule);
+
+}  // namespace dnnperf::exec

@@ -1,0 +1,21 @@
+#include "hvd/policy.hpp"
+
+#include <stdexcept>
+
+namespace dnnperf::hvd {
+
+void FusionPolicy::validate() const {
+  if (cycle_time_s <= 0.0) throw std::invalid_argument("FusionPolicy: cycle_time <= 0");
+  if (fusion_threshold_bytes <= 0.0)
+    throw std::invalid_argument("FusionPolicy: fusion_threshold <= 0");
+}
+
+CommStats& CommStats::operator+=(const CommStats& other) {
+  framework_requests += other.framework_requests;
+  engine_wakeups += other.engine_wakeups;
+  data_allreduces += other.data_allreduces;
+  bytes_reduced += other.bytes_reduced;
+  return *this;
+}
+
+}  // namespace dnnperf::hvd

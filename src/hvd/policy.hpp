@@ -1,0 +1,40 @@
+// Horovod engine tuning knobs and profiling counters.
+//
+// The paper's custom profiling (Section VIII) splits Allreduce calls into
+// those requested by the DL framework (one per gradient tensor per
+// iteration) and those actually issued by the Horovod Engine's background
+// cycle loop (one coordination allreduce per cycle wake-up plus one data
+// allreduce per fused buffer). CommStats reproduces those counters.
+#pragma once
+
+#include <cstdint>
+
+namespace dnnperf::hvd {
+
+struct FusionPolicy {
+  /// HOROVOD_CYCLE_TIME: period of the background progress loop, seconds.
+  /// Horovod's default is 3.5 ms.
+  double cycle_time_s = 3.5e-3;
+  /// HOROVOD_FUSION_THRESHOLD: max bytes packed into one fusion buffer.
+  /// Horovod's default is 64 MiB.
+  double fusion_threshold_bytes = 64.0 * 1024 * 1024;
+
+  void validate() const;
+};
+
+struct CommStats {
+  /// Gradient tensors the framework handed to Horovod (requests).
+  std::uint64_t framework_requests = 0;
+  /// Engine cycle wake-ups; each issues one small coordination allreduce.
+  std::uint64_t engine_wakeups = 0;
+  /// Data allreduces actually issued (one per fused buffer).
+  std::uint64_t data_allreduces = 0;
+  /// Total engine-issued allreduce operations (coordination + data) —
+  /// the "Allreduce called by Horovod Engine" series of Figs 18/19.
+  std::uint64_t engine_allreduces() const { return engine_wakeups + data_allreduces; }
+  double bytes_reduced = 0.0;
+
+  CommStats& operator+=(const CommStats& other);
+};
+
+}  // namespace dnnperf::hvd

@@ -1,0 +1,129 @@
+#include "hvd/real_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dnnperf::hvd {
+
+RealEngine::RealEngine(mpi::Comm& comm, FusionPolicy policy, int ranks_per_node)
+    : comm_(comm), policy_(policy) {
+  policy_.validate();
+  if (ranks_per_node < 0 || (ranks_per_node > 0 && comm.size() % ranks_per_node != 0))
+    throw std::invalid_argument("RealEngine: ranks_per_node must divide communicator size");
+  if (ranks_per_node > 1 && ranks_per_node < comm.size()) {
+    const int node = comm.rank() / ranks_per_node;
+    const bool leader = comm.rank() % ranks_per_node == 0;
+    node_comm_ = comm.split(node, comm.rank());
+    leader_comm_ = comm.split(leader ? 0 : mpi::Comm::kUndefinedColor, comm.rank());
+  }
+}
+
+void RealEngine::exchange(std::span<float> buffer) {
+  if (!node_comm_) {
+    mpi::allreduce(comm_, buffer, mpi::ReduceOp::Sum);
+    return;
+  }
+  mpi::reduce(*node_comm_, buffer, mpi::ReduceOp::Sum, 0);
+  if (leader_comm_) mpi::allreduce(*leader_comm_, buffer, mpi::ReduceOp::Sum);
+  mpi::bcast(*node_comm_, buffer, 0);
+}
+
+int RealEngine::register_tensor(const std::string& name, std::size_t elements) {
+  if (by_name_.contains(name)) throw std::invalid_argument("tensor already registered: " + name);
+  const int id = static_cast<int>(tensors_.size());
+  tensors_.push_back(Tensor{name, elements, {}, false, false});
+  by_name_[name] = id;
+  return id;
+}
+
+void RealEngine::submit(int tensor_id, std::span<float> data) {
+  auto& t = tensors_.at(static_cast<std::size_t>(tensor_id));
+  if (t.submitted && !t.complete)
+    throw std::logic_error("tensor submitted twice before completion: " + t.name);
+  if (data.size() != t.elements)
+    throw std::invalid_argument("submit: size mismatch for " + t.name);
+  t.data = data;
+  t.submitted = true;
+  t.complete = false;
+  ++stats_.framework_requests;
+}
+
+int RealEngine::process() {
+  // Coordination: a tensor proceeds only when ready on every rank.
+  std::vector<std::int32_t> ready(tensors_.size());
+  for (std::size_t i = 0; i < tensors_.size(); ++i)
+    ready[i] = (tensors_[i].submitted && !tensors_[i].complete) ? 1 : 0;
+  ++stats_.engine_wakeups;
+  if (!ready.empty())
+    mpi::allreduce(comm_, std::span<std::int32_t>(ready), mpi::ReduceOp::Min);
+
+  // Fuse globally-ready tensors in id order into buffers of at most
+  // fusion_threshold bytes, one data allreduce per buffer.
+  int completed = 0;
+  std::size_t i = 0;
+  while (i < tensors_.size()) {
+    if (!ready[i]) {
+      ++i;
+      continue;
+    }
+    std::vector<std::size_t> members;
+    std::size_t buffer_elems = 0;
+    const auto max_elems =
+        static_cast<std::size_t>(policy_.fusion_threshold_bytes / sizeof(float));
+    while (i < tensors_.size()) {
+      if (!ready[i]) {
+        ++i;
+        continue;
+      }
+      if (!members.empty() && buffer_elems + tensors_[i].elements > max_elems) break;
+      members.push_back(i);
+      buffer_elems += tensors_[i].elements;
+      ++i;
+    }
+
+    fusion_buffer_.resize(buffer_elems);
+    std::size_t off = 0;
+    for (std::size_t m : members) {
+      std::copy(tensors_[m].data.begin(), tensors_[m].data.end(), fusion_buffer_.begin() + off);
+      off += tensors_[m].elements;
+    }
+
+    exchange(std::span<float>(fusion_buffer_.data(), buffer_elems));
+    ++stats_.data_allreduces;
+    stats_.bytes_reduced += static_cast<double>(buffer_elems) * sizeof(float);
+
+    const float inv = 1.0f / static_cast<float>(comm_.size());
+    off = 0;
+    for (std::size_t m : members) {
+      auto& t = tensors_[m];
+      for (std::size_t k = 0; k < t.elements; ++k) t.data[k] = fusion_buffer_[off + k] * inv;
+      off += t.elements;
+      t.complete = true;
+      t.submitted = false;
+      ++completed;
+    }
+  }
+  return completed;
+}
+
+void RealEngine::synchronize() {
+  auto outstanding = [this] {
+    return std::any_of(tensors_.begin(), tensors_.end(),
+                       [](const Tensor& t) { return t.submitted && !t.complete; });
+  };
+  // All ranks enter with the same submission pattern; each process() call is
+  // collective, so every rank iterates the same number of times.
+  std::int32_t more = outstanding() ? 1 : 0;
+  mpi::allreduce(comm_, std::span<std::int32_t>(&more, 1), mpi::ReduceOp::Max);
+  while (more != 0) {
+    process();
+    more = outstanding() ? 1 : 0;
+    mpi::allreduce(comm_, std::span<std::int32_t>(&more, 1), mpi::ReduceOp::Max);
+  }
+}
+
+bool RealEngine::is_complete(int tensor_id) const {
+  return tensors_.at(static_cast<std::size_t>(tensor_id)).complete;
+}
+
+}  // namespace dnnperf::hvd

@@ -1,0 +1,147 @@
+#include "hvd/timeline.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace dnnperf::hvd {
+
+namespace {
+
+class TimelineSim {
+ public:
+  explicit TimelineSim(const TimelineInput& in) : in_(in) {
+    in_.policy.validate();
+    if (in_.iterations <= 0) throw std::invalid_argument("TimelineInput: iterations <= 0");
+    if (in_.straggler_factor < 1.0)
+      throw std::invalid_argument("TimelineInput: straggler_factor < 1");
+    // The progress thread's per-wake-up CPU cost taxes compute when it has
+    // no core of its own: a fraction wakeup/cycle of every core-second goes
+    // to the engine instead of the workers.
+    double tax = 0.0;
+    if (in_.cost != nullptr) {
+      if (in_.cores_per_rank < 1)
+        throw std::invalid_argument("TimelineInput: cores_per_rank < 1");
+      // Sharing a core steals one core's slice of the rank; a dedicated
+      // progress core only causes cache/memory interference.
+      const double share = in_.comm_thread_shares_core
+                               ? 1.0 / in_.cores_per_rank
+                               : in_.dedicated_tax_share;
+      tax = std::min(share * in_.wakeup_cpu_s / in_.policy.cycle_time_s, 0.8);
+    }
+    stretch_ = in_.straggler_factor / (1.0 - tax);
+  }
+
+  TimelineResult run() {
+    start_iteration();
+    if (in_.cost != nullptr) engine_.schedule_after(in_.policy.cycle_time_s, [this] { wake(); });
+    engine_.run();
+    TimelineResult result;
+    result.total_time = finish_time_;
+    result.per_iteration = finish_time_ / in_.iterations;
+    result.stats = stats_;
+    result.comm_exposed_fraction =
+        finish_time_ > 0.0 ? exposed_total_ / finish_time_ : 0.0;
+    return result;
+  }
+
+ private:
+  void start_iteration() {
+    bwd_done_ = false;
+    reduced_ = 0;
+    engine_.schedule_after(in_.iteration_fixed + in_.fwd_time * stretch_,
+                           [this] { forward_done(); });
+  }
+
+  void forward_done() {
+    stats_.framework_requests += in_.grad_events.size();
+    for (const auto& e : in_.grad_events) {
+      engine_.schedule_after(e.time * stretch_, [this, bytes = e.bytes] {
+        if (in_.cost == nullptr) {
+          ++reduced_;  // no communication: gradients are immediately "reduced"
+        } else {
+          pending_.push_back(bytes);
+        }
+      });
+    }
+    engine_.schedule_after(in_.bwd_time * stretch_, [this] {
+      bwd_done_ = true;
+      bwd_end_time_ = engine_.now();
+      maybe_finish_iteration();
+    });
+  }
+
+  /// Horovod Engine background loop: one coordination allreduce per wake-up,
+  /// then one data allreduce per fused buffer of negotiated tensors.
+  void wake() {
+    ++stats_.engine_wakeups;
+    double busy = in_.cost->allreduce_time(
+        static_cast<double>(in_.grad_events.size()) * in_.negotiation_bytes_per_tensor,
+        mpi::AllreduceAlgo::RecursiveDoubling);
+
+    while (!pending_.empty()) {
+      double buffer_bytes = 0.0;
+      int fused = 0;
+      while (!pending_.empty() &&
+             (fused == 0 || buffer_bytes + pending_.front() <= in_.policy.fusion_threshold_bytes)) {
+        buffer_bytes += pending_.front();
+        pending_.pop_front();
+        ++fused;
+      }
+      busy += in_.cost->allreduce_time(buffer_bytes);
+      ++stats_.data_allreduces;
+      stats_.bytes_reduced += buffer_bytes;
+      reduced_after_busy_ += fused;
+    }
+
+    engine_.schedule_after(busy, [this, batch = reduced_after_busy_] {
+      reduced_ += batch;
+      maybe_finish_iteration();
+    });
+    reduced_after_busy_ = 0;
+
+    if (!done_) {
+      const double next = std::max(in_.policy.cycle_time_s, busy);
+      engine_.schedule_after(next, [this] { wake(); });
+    }
+  }
+
+  void maybe_finish_iteration() {
+    if (!bwd_done_ || reduced_ < static_cast<int>(in_.grad_events.size())) return;
+    bwd_done_ = false;  // guard against double entry
+    exposed_total_ += std::max(0.0, engine_.now() - bwd_end_time_);
+    engine_.schedule_after(in_.optimizer_time * stretch_, [this] {
+      ++completed_;
+      if (completed_ >= in_.iterations) {
+        finish_time_ = engine_.now();
+        done_ = true;  // stops the wake loop from rescheduling
+      } else {
+        start_iteration();
+      }
+    });
+  }
+
+  TimelineInput in_;
+  sim::Engine engine_;
+  CommStats stats_;
+  std::deque<double> pending_;
+  int reduced_ = 0;
+  int reduced_after_busy_ = 0;
+  bool bwd_done_ = false;
+  bool done_ = false;
+  int completed_ = 0;
+  double bwd_end_time_ = 0.0;
+  double exposed_total_ = 0.0;
+  double finish_time_ = 0.0;
+  double stretch_ = 1.0;
+};
+
+}  // namespace
+
+TimelineResult simulate_training(const TimelineInput& input) {
+  return TimelineSim(input).run();
+}
+
+}  // namespace dnnperf::hvd

@@ -1,0 +1,67 @@
+// Discrete-event simulation of data-parallel training iterations driven by a
+// Horovod-style engine.
+//
+// One representative rank is simulated (data parallelism is symmetric; rank
+// jitter enters through `straggler_factor`, the expected-max inflation of
+// compute times across the world). The engine's background loop wakes every
+// cycle_time, issues one coordination allreduce per wake-up, fuses all
+// negotiated tensors up to the fusion threshold, and issues one data
+// allreduce per buffer, overlapping with the remaining backward compute.
+// An iteration completes when the backward pass is done, every gradient is
+// reduced, and the optimizer has run (synchronous SGD).
+#pragma once
+
+#include <optional>
+
+#include "exec/schedule.hpp"
+#include "hvd/policy.hpp"
+#include "mpi/cost.hpp"
+
+namespace dnnperf::hvd {
+
+struct TimelineInput {
+  double fwd_time = 0.0;            ///< per-iteration forward compute, seconds
+  double bwd_time = 0.0;            ///< per-iteration backward compute, seconds
+  std::vector<exec::GradEvent> grad_events;  ///< relative to backward start
+  double optimizer_time = 0.0;
+  double iteration_fixed = 0.0;     ///< per-iteration framework overhead
+  int iterations = 3;
+
+  FusionPolicy policy;
+  /// Cost model for the communicator; nullptr disables communication
+  /// entirely (single-process training).
+  const mpi::CollectiveCostModel* cost = nullptr;
+
+  /// Expected-max compute inflation across ranks (>= 1).
+  double straggler_factor = 1.0;
+  /// Bytes per tensor in the per-cycle coordination allreduce (Horovod
+  /// negotiates with a smallish control message per registered tensor).
+  double negotiation_bytes_per_tensor = 8.0;
+  /// The Horovod progress thread shares a core with compute (no spare
+  /// core); each wake-up then steals CPU from the workers.
+  bool comm_thread_shares_core = false;
+  /// Physical cores owned by one rank; when the progress thread shares a
+  /// core it steals roughly one core's worth of time, i.e. a 1/cores slice
+  /// of the rank's compute. PyTorch's one-core ranks lose everything during
+  /// a wake-up; a 12-core TensorFlow rank barely notices.
+  int cores_per_rank = 1;
+  /// CPU seconds one wake-up costs the progress thread (MPI polling plus
+  /// engine bookkeeping); taxes compute when sharing a core.
+  double wakeup_cpu_s = 0.8e-3;
+  /// Fraction of the wake-up cost that still reaches compute when the
+  /// progress thread has its own core (cache/memory interference).
+  double dedicated_tax_share = 0.12;
+};
+
+struct TimelineResult {
+  double total_time = 0.0;
+  double per_iteration = 0.0;
+  CommStats stats;
+  /// Fraction of per-iteration time not overlapped with compute.
+  double comm_exposed_fraction = 0.0;
+};
+
+/// Runs the event simulation. Deterministic.
+TimelineResult simulate_training(const TimelineInput& input);
+
+}  // namespace dnnperf::hvd

@@ -1,0 +1,21 @@
+#include "hw/cpu.hpp"
+
+#include <stdexcept>
+
+namespace dnnperf::hw {
+
+void CpuModel::validate() const {
+  if (sockets <= 0 || cores_per_socket <= 0)
+    throw std::invalid_argument("CpuModel: non-positive socket/core count");
+  if (numa_domains_per_socket <= 0 || cores_per_socket % numa_domains_per_socket != 0)
+    throw std::invalid_argument("CpuModel: cores_per_socket must divide into NUMA domains");
+  if (threads_per_core <= 0) throw std::invalid_argument("CpuModel: threads_per_core <= 0");
+  if (clock_ghz <= 0.0 || flops_per_cycle_fp32 <= 0.0 || mem_bw_per_socket_gbps <= 0.0)
+    throw std::invalid_argument("CpuModel: non-positive rate");
+  if (smt_speedup_fraction < 0.0 || smt_speedup_fraction > 1.0)
+    throw std::invalid_argument("CpuModel: smt_speedup_fraction outside [0,1]");
+  if (threads_per_core == 1 && smt_speedup_fraction != 0.0)
+    throw std::invalid_argument("CpuModel: SMT fraction set but SMT off");
+}
+
+}  // namespace dnnperf::hw

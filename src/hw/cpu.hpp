@@ -1,0 +1,59 @@
+// CPU architecture model.
+//
+// A CpuModel captures exactly the hardware characteristics the paper's
+// single-node figures depend on: core count, socket/NUMA layout, SMT,
+// clock speed, SIMD throughput, and memory bandwidth. The execution model
+// (src/exec) converts these into per-op times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dnnperf::hw {
+
+/// Microarchitecture family; selects the SIMD path and whether the
+/// MKL-DNN-optimized framework builds apply (they only help Intel parts,
+/// cf. paper Section VI-E).
+enum class CpuVendor { Intel, Amd };
+
+struct CpuModel {
+  std::string name;         ///< e.g. "Xeon Gold 6132"
+  std::string label;        ///< paper label, e.g. "Skylake-1"
+  CpuVendor vendor = CpuVendor::Intel;
+
+  int sockets = 2;
+  int cores_per_socket = 14;
+  /// NUMA domains per socket (EPYC Naples has 4 dies per socket; Intel
+  /// Xeons here are 1). Processes pinned within one domain avoid remote
+  /// memory traffic.
+  int numa_domains_per_socket = 1;
+  /// Hardware threads per core (1 = SMT off).
+  int threads_per_core = 1;
+
+  double clock_ghz = 2.4;
+  /// Peak fp32 FLOPs per cycle per core, counting FMA as 2
+  /// (Skylake-SP 2xAVX-512 FMA = 64, Broadwell AVX2 = 32, Zen1 = 16).
+  double flops_per_cycle_fp32 = 32.0;
+  /// Sustained memory bandwidth per socket in GB/s (decimal).
+  double mem_bw_per_socket_gbps = 100.0;
+  /// Fraction of extra throughput a second SMT thread on a busy core
+  /// contributes (0 when SMT is off).
+  double smt_speedup_fraction = 0.0;
+
+  int total_cores() const { return sockets * cores_per_socket; }
+  int total_hw_threads() const { return total_cores() * threads_per_core; }
+  int numa_domains() const { return sockets * numa_domains_per_socket; }
+  int cores_per_numa_domain() const { return cores_per_socket / numa_domains_per_socket; }
+
+  /// Peak node fp32 GFLOP/s if every physical core sustained the SIMD peak.
+  double peak_gflops() const {
+    return total_cores() * clock_ghz * flops_per_cycle_fp32;
+  }
+  /// Aggregate node memory bandwidth, GB/s.
+  double mem_bw_gbps() const { return sockets * mem_bw_per_socket_gbps; }
+
+  /// Validates internal consistency; throws std::invalid_argument otherwise.
+  void validate() const;
+};
+
+}  // namespace dnnperf::hw

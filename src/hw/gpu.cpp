@@ -1,0 +1,20 @@
+#include "hw/gpu.hpp"
+
+#include <stdexcept>
+
+namespace dnnperf::hw {
+
+void GpuModel::validate() const {
+  if (peak_fp32_tflops <= 0.0 || mem_bw_gbps <= 0.0)
+    throw std::invalid_argument("GpuModel: non-positive rate");
+  if (launch_overhead_s < 0.0)
+    throw std::invalid_argument("GpuModel: negative launch overhead");
+  if (achievable_fraction <= 0.0 || achievable_fraction > 1.0)
+    throw std::invalid_argument("GpuModel: achievable_fraction outside (0,1]");
+  if (memory_gib <= 0.0)
+    throw std::invalid_argument("GpuModel: non-positive memory");
+  if (devices_per_node <= 0)
+    throw std::invalid_argument("GpuModel: devices_per_node <= 0");
+}
+
+}  // namespace dnnperf::hw

@@ -1,0 +1,28 @@
+// GPU architecture model for the GPU-vs-CPU comparison experiments
+// (paper Section VII). A calibrated roofline: peak fp32 throughput,
+// memory bandwidth, and per-kernel launch overhead.
+#pragma once
+
+#include <string>
+
+namespace dnnperf::hw {
+
+struct GpuModel {
+  std::string name;            ///< e.g. "V100"
+  double peak_fp32_tflops = 0; ///< board peak fp32 TFLOP/s
+  double mem_bw_gbps = 0;      ///< HBM/GDDR bandwidth, GB/s
+  /// Kernel launch + framework dispatch overhead per op, seconds.
+  double launch_overhead_s = 5e-6;
+  /// Fraction of peak a well-tuned cuDNN conv sustains end to end.
+  double achievable_fraction = 0.33;
+  /// Device memory available to the framework, GiB (bounds the batch size —
+  /// the reason the paper's K80 runs use small batches).
+  double memory_gib = 16.0;
+  int devices_per_node = 2;
+
+  double peak_gflops() const { return peak_fp32_tflops * 1e3; }
+
+  void validate() const;
+};
+
+}  // namespace dnnperf::hw

@@ -1,0 +1,27 @@
+#include "hw/node.hpp"
+
+#include <stdexcept>
+
+namespace dnnperf::hw {
+
+const char* to_string(FabricKind kind) {
+  switch (kind) {
+    case FabricKind::InfiniBandEDR: return "IB-EDR";
+    case FabricKind::OmniPath: return "Omni-Path";
+    case FabricKind::Ethernet10G: return "10GigE";
+  }
+  return "?";
+}
+
+void NodeModel::validate() const {
+  cpu.validate();
+  if (gpu) gpu->validate();
+  if (memory_gib <= 0.0) throw std::invalid_argument("NodeModel: non-positive memory");
+}
+
+void ClusterModel::validate() const {
+  node.validate();
+  if (max_nodes <= 0) throw std::invalid_argument("ClusterModel: max_nodes <= 0");
+}
+
+}  // namespace dnnperf::hw

@@ -1,0 +1,37 @@
+// Node and cluster composition: a CPU (always), optional GPUs, and the
+// fabric connecting nodes. Mirrors the four clusters of paper Table I /
+// Section IV-A.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "hw/cpu.hpp"
+#include "hw/gpu.hpp"
+
+namespace dnnperf::hw {
+
+/// Inter-node interconnect family. Parameters live in src/net.
+enum class FabricKind { InfiniBandEDR, OmniPath, Ethernet10G };
+
+const char* to_string(FabricKind kind);
+
+struct NodeModel {
+  CpuModel cpu;
+  std::optional<GpuModel> gpu;  ///< present on GPU nodes
+  double memory_gib = 192.0;
+
+  bool has_gpu() const { return gpu.has_value(); }
+  void validate() const;
+};
+
+struct ClusterModel {
+  std::string name;  ///< e.g. "Stampede2"
+  NodeModel node;
+  int max_nodes = 8;
+  FabricKind fabric = FabricKind::InfiniBandEDR;
+
+  void validate() const;
+};
+
+}  // namespace dnnperf::hw

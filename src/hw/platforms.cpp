@@ -1,0 +1,187 @@
+#include "hw/platforms.hpp"
+
+#include <stdexcept>
+
+namespace dnnperf::hw {
+
+namespace {
+
+CpuModel make_cpu(std::string name, std::string label, CpuVendor vendor, int sockets,
+                  int cores_per_socket, int numa_per_socket, int smt, double clock_ghz,
+                  double flops_per_cycle, double mem_bw_socket, double smt_fraction) {
+  CpuModel cpu;
+  cpu.name = std::move(name);
+  cpu.label = std::move(label);
+  cpu.vendor = vendor;
+  cpu.sockets = sockets;
+  cpu.cores_per_socket = cores_per_socket;
+  cpu.numa_domains_per_socket = numa_per_socket;
+  cpu.threads_per_core = smt;
+  cpu.clock_ghz = clock_ghz;
+  cpu.flops_per_cycle_fp32 = flops_per_cycle;
+  cpu.mem_bw_per_socket_gbps = mem_bw_socket;
+  cpu.smt_speedup_fraction = smt_fraction;
+  cpu.validate();
+  return cpu;
+}
+
+}  // namespace
+
+// Skylake-SP with two AVX-512 FMA units: 64 fp32 FLOP/cycle/core.
+// Six DDR4-2666 channels per socket: ~128 GB/s peak, ~105 GB/s sustained.
+CpuModel skylake1() {
+  return make_cpu("Xeon Gold 6132", "Skylake-1", CpuVendor::Intel, 2, 14, 1, 1, 2.6, 64.0,
+                  105.0, 0.0);
+}
+
+CpuModel skylake2() {
+  return make_cpu("Xeon Gold 6148", "Skylake-2", CpuVendor::Intel, 2, 20, 1, 1, 2.4, 64.0,
+                  105.0, 0.0);
+}
+
+// Stampede2 SKX nodes (Xeon Platinum 8160, 2x24 @ 2.1 GHz) run with
+// hyper-threading enabled; a busy SMT sibling adds ~22% throughput.
+CpuModel skylake3() {
+  return make_cpu("Xeon Platinum 8160", "Skylake-3", CpuVendor::Intel, 2, 24, 1, 2, 2.1,
+                  64.0, 105.0, 0.22);
+}
+
+// Broadwell AVX2 (2xFMA256): 32 fp32 FLOP/cycle/core; 4 channels DDR4-2400.
+CpuModel broadwell() {
+  return make_cpu("Xeon E5-2680 v4", "Broadwell", CpuVendor::Intel, 2, 14, 1, 1, 2.4, 32.0,
+                  68.0, 0.0);
+}
+
+// EPYC 7551 (Zen 1): 2x128-bit FMA = 16 fp32 FLOP/cycle/core; 8 DDR4
+// channels per socket but split across 4 dies. See header note about the
+// Table I cores/threads wording.
+CpuModel epyc() {
+  return make_cpu("EPYC 7551", "EPYC", CpuVendor::Amd, 2, 32, 4, 2, 2.0, 16.0, 140.0, 0.18);
+}
+
+GpuModel k80() {
+  GpuModel g;
+  g.name = "K80";
+  // One K80 board = 2 x GK210; the paper reports per-board numbers.
+  g.peak_fp32_tflops = 5.6;
+  g.mem_bw_gbps = 480.0;
+  g.launch_overhead_s = 9e-6;   // Kepler-era driver + no graph launch
+  g.achievable_fraction = 0.33; // pre-Tensor-Core cuDNN on Kepler is far off peak
+  g.memory_gib = 12.0;          // per logical GPU (paper Section IV-A)
+  g.devices_per_node = 2;
+  g.validate();
+  return g;
+}
+
+GpuModel p100() {
+  GpuModel g;
+  g.name = "P100";
+  g.peak_fp32_tflops = 10.6;
+  g.mem_bw_gbps = 732.0;
+  g.launch_overhead_s = 6e-6;
+  g.achievable_fraction = 0.55;
+  g.memory_gib = 16.0;
+  g.devices_per_node = 2;
+  g.validate();
+  return g;
+}
+
+GpuModel v100() {
+  GpuModel g;
+  g.name = "V100";
+  g.peak_fp32_tflops = 15.7;
+  g.mem_bw_gbps = 900.0;
+  g.launch_overhead_s = 5e-6;
+  g.achievable_fraction = 0.78;
+  g.memory_gib = 16.0;          // Pitzer V100s (paper Section IV-A)
+  g.devices_per_node = 2;
+  g.validate();
+  return g;
+}
+
+namespace {
+
+ClusterModel make_cluster(std::string name, CpuModel cpu, std::optional<GpuModel> gpu,
+                          double mem_gib, int max_nodes, FabricKind fabric) {
+  ClusterModel c;
+  c.name = std::move(name);
+  c.node.cpu = std::move(cpu);
+  c.node.gpu = std::move(gpu);
+  c.node.memory_gib = mem_gib;
+  c.max_nodes = max_nodes;
+  c.fabric = fabric;
+  c.validate();
+  return c;
+}
+
+}  // namespace
+
+ClusterModel ri2_skylake() {
+  return make_cluster("RI2-Skylake", skylake1(), std::nullopt, 192.0, 12,
+                      FabricKind::InfiniBandEDR);
+}
+
+ClusterModel ri2_broadwell() {
+  return make_cluster("RI2-Broadwell", broadwell(), std::nullopt, 128.0, 20,
+                      FabricKind::InfiniBandEDR);
+}
+
+ClusterModel pitzer() {
+  return make_cluster("Pitzer", skylake2(), std::nullopt, 192.0, 16,
+                      FabricKind::InfiniBandEDR);
+}
+
+ClusterModel stampede2() {
+  return make_cluster("Stampede2", skylake3(), std::nullopt, 192.0, 128,
+                      FabricKind::OmniPath);
+}
+
+ClusterModel amd_cluster() {
+  return make_cluster("AMD-Cluster", epyc(), std::nullopt, 256.0, 8,
+                      FabricKind::InfiniBandEDR);
+}
+
+ClusterModel ri2_k80() {
+  return make_cluster("RI2-K80", skylake1(), k80(), 192.0, 4, FabricKind::InfiniBandEDR);
+}
+
+ClusterModel p100_cluster() {
+  return make_cluster("P100-Cluster", skylake2(), p100(), 192.0, 4,
+                      FabricKind::InfiniBandEDR);
+}
+
+ClusterModel pitzer_v100() {
+  return make_cluster("Pitzer-V100", skylake2(), v100(), 192.0, 4,
+                      FabricKind::InfiniBandEDR);
+}
+
+CpuModel cpu_by_label(const std::string& label) {
+  for (const auto& cpu : all_cpus())
+    if (cpu.label == label) return cpu;
+  throw std::out_of_range("unknown CPU label: " + label);
+}
+
+GpuModel gpu_by_name(const std::string& name) {
+  for (const auto& gpu : all_gpus())
+    if (gpu.name == name) return gpu;
+  throw std::out_of_range("unknown GPU: " + name);
+}
+
+ClusterModel cluster_by_name(const std::string& name) {
+  for (const auto& cluster : all_clusters())
+    if (cluster.name == name) return cluster;
+  throw std::out_of_range("unknown cluster: " + name);
+}
+
+std::vector<CpuModel> all_cpus() {
+  return {skylake1(), skylake2(), skylake3(), broadwell(), epyc()};
+}
+
+std::vector<GpuModel> all_gpus() { return {k80(), p100(), v100()}; }
+
+std::vector<ClusterModel> all_clusters() {
+  return {ri2_skylake(), ri2_broadwell(), pitzer(),        stampede2(),
+          amd_cluster(), ri2_k80(),       p100_cluster(),  pitzer_v100()};
+}
+
+}  // namespace dnnperf::hw

@@ -1,0 +1,51 @@
+// Registry of the evaluation platforms from paper Table I and Section IV-A,
+// plus the GPU systems used in Section VII.
+//
+// Note on EPYC: Table I lists "Cores 32, Threads per Core 4"; the prose says
+// each node has a dual-socket EPYC 7551 with 32 cores per socket. The 7551 is
+// a 32-core SMT2 part with 4 dies (NUMA domains) per socket, so we model
+// 2 sockets x 32 cores x SMT2 with 8 NUMA domains, which matches the prose
+// and the ppn=16/32 sweet spots the paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/node.hpp"
+
+namespace dnnperf::hw {
+
+/// Paper CPU platforms (Table I labels).
+CpuModel skylake1();    ///< RI2, Xeon Gold 6132, 2x14 @ 2.6 GHz, no SMT
+CpuModel skylake2();    ///< Pitzer, Xeon Gold 6148, 2x20 @ 2.4 GHz, no SMT
+CpuModel skylake3();    ///< Stampede2, Xeon Platinum 8160, 2x24 @ 2.1 GHz, SMT2
+CpuModel broadwell();   ///< RI2, Xeon E5-2680 v4, 2x14 @ 2.4 GHz, no SMT
+CpuModel epyc();        ///< AMD-Cluster, EPYC 7551, 2x32 @ 2.0 GHz, SMT2, 8 NUMA
+
+/// Paper GPU architectures (Section VII).
+GpuModel k80();   ///< Kepler, on RI2 Skylake-1 nodes (2 per node)
+GpuModel p100();  ///< Pascal
+GpuModel v100();  ///< Volta, on Pitzer GPU nodes (2 per node)
+
+/// Paper clusters with their fabric and scale.
+ClusterModel ri2_skylake();      ///< 12 Skylake-1 nodes, IB EDR
+ClusterModel ri2_broadwell();    ///< 20 Broadwell nodes, IB EDR
+ClusterModel pitzer();           ///< Skylake-2 nodes, IB EDR
+ClusterModel stampede2();        ///< Skylake-3 nodes, Omni-Path, up to 128 used
+ClusterModel amd_cluster();      ///< 8 EPYC nodes, IB EDR
+ClusterModel ri2_k80();          ///< K80 GPU nodes (RI2)
+ClusterModel p100_cluster();     ///< P100 GPU nodes
+ClusterModel pitzer_v100();      ///< V100 GPU nodes (Pitzer)
+
+/// Lookup by paper label ("Skylake-1", "Broadwell", "EPYC", ...).
+/// Throws std::out_of_range for unknown labels.
+CpuModel cpu_by_label(const std::string& label);
+GpuModel gpu_by_name(const std::string& name);
+ClusterModel cluster_by_name(const std::string& name);
+
+/// All CPU platforms in Table I order (for the table1 bench).
+std::vector<CpuModel> all_cpus();
+std::vector<GpuModel> all_gpus();
+std::vector<ClusterModel> all_clusters();
+
+}  // namespace dnnperf::hw

@@ -1,0 +1,89 @@
+#include "mpi/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dnnperf::mpi {
+
+namespace {
+
+double ceil_log2(int n) { return n <= 1 ? 0.0 : std::ceil(std::log2(static_cast<double>(n))); }
+
+}  // namespace
+
+CollectiveCostModel::CollectiveCostModel(net::Topology topology)
+    : topology_(std::move(topology)) {}
+
+double CollectiveCostModel::local_tree_time(double bytes) const {
+  const int ppn = topology_.ppn();
+  if (ppn <= 1) return 0.0;
+  // Pipelined/segmented tree: latency per level, but the payload streams
+  // through shared memory only a constant number of times.
+  const auto& link = topology_.intra_node();
+  return ceil_log2(ppn) * (link.latency_s + link.per_msg_overhead_s) +
+         bytes / (link.bandwidth_gbps * 1e9);
+}
+
+double CollectiveCostModel::ring_allreduce_time_flat(double bytes) const {
+  const int p = topology_.world_size();
+  if (p <= 1) return 0.0;
+  // 2(p-1) synchronized steps of one chunk each; with block rank placement
+  // the slowest link in every step is the inter-node hop (if any).
+  const auto& link = topology_.nodes() > 1 ? topology_.inter_node() : topology_.intra_node();
+  const double chunk = bytes / p;
+  return 2.0 * (p - 1) * link.transfer_time(chunk);
+}
+
+double CollectiveCostModel::recursive_doubling_time(double bytes) const {
+  const int p = topology_.world_size();
+  if (p <= 1) return 0.0;
+  const auto& link = topology_.nodes() > 1 ? topology_.inter_node() : topology_.intra_node();
+  return ceil_log2(p) * link.transfer_time(bytes);
+}
+
+double CollectiveCostModel::hierarchical_allreduce_time(double bytes) const {
+  const int nodes = topology_.nodes();
+  // Phase 1: shared-memory reduce to the node leader.
+  double t = local_tree_time(bytes);
+  // Phase 2: inter-node allreduce among leaders; ring for bandwidth, RD for
+  // latency — take the cheaper, as the MPI library would.
+  if (nodes > 1) {
+    const auto& link = topology_.inter_node();
+    const double ring = 2.0 * (nodes - 1) * link.transfer_time(bytes / nodes);
+    const double rd = ceil_log2(nodes) * link.transfer_time(bytes);
+    t += std::min(ring, rd);
+  }
+  // Phase 3: shared-memory broadcast of the result.
+  t += local_tree_time(bytes);
+  return t;
+}
+
+double CollectiveCostModel::allreduce_time(double bytes, AllreduceAlgo algo) const {
+  if (bytes < 0) throw std::invalid_argument("allreduce_time: negative bytes");
+  switch (algo) {
+    case AllreduceAlgo::Ring: return ring_allreduce_time_flat(bytes);
+    case AllreduceAlgo::RecursiveDoubling: return recursive_doubling_time(bytes);
+    case AllreduceAlgo::Rabenseifner:
+    // Rabenseifner's cost is within a small factor of hierarchical+ring at
+    // these scales; model both via the hierarchical path.
+    case AllreduceAlgo::Auto:
+      return std::min(hierarchical_allreduce_time(bytes), recursive_doubling_time(bytes));
+  }
+  throw std::logic_error("allreduce_time: bad algorithm");
+}
+
+double CollectiveCostModel::bcast_time(double bytes) const {
+  double t = 0.0;
+  if (topology_.nodes() > 1)
+    t += ceil_log2(topology_.nodes()) * topology_.inter_node().transfer_time(bytes);
+  t += local_tree_time(bytes);
+  return t;
+}
+
+double CollectiveCostModel::barrier_time() const {
+  const auto& link = topology_.nodes() > 1 ? topology_.inter_node() : topology_.intra_node();
+  return ceil_log2(topology_.world_size()) * link.transfer_time(1.0);
+}
+
+}  // namespace dnnperf::mpi

@@ -1,0 +1,41 @@
+// Analytical timing model for the collectives in mpi/collectives.hpp,
+// evaluated over a net::Topology. This is the "cost backend": the real
+// thread backend moves bytes, this predicts wall time at cluster scale
+// (128 nodes x 4 ppn) without needing the cluster.
+//
+// Modeled after MVAPICH2's behaviour on the paper's systems: hierarchical
+// (shared-memory + inter-node) allreduce for large payloads, recursive
+// doubling for small ones, with automatic selection.
+#pragma once
+
+#include "mpi/collectives.hpp"
+#include "net/topology.hpp"
+
+namespace dnnperf::mpi {
+
+class CollectiveCostModel {
+ public:
+  explicit CollectiveCostModel(net::Topology topology);
+
+  const net::Topology& topology() const { return topology_; }
+
+  /// Predicted wall time of one allreduce of `bytes` bytes across all ranks.
+  /// Auto picks the cheapest strategy (mirrors MPI tuning tables).
+  double allreduce_time(double bytes, AllreduceAlgo algo = AllreduceAlgo::Auto) const;
+
+  /// Individual strategies (exposed for ablation benches and tests).
+  double ring_allreduce_time_flat(double bytes) const;
+  double recursive_doubling_time(double bytes) const;
+  double hierarchical_allreduce_time(double bytes) const;
+
+  double bcast_time(double bytes) const;
+  double barrier_time() const;
+
+ private:
+  /// Tree reduce/bcast of a full payload within one node over shared memory.
+  double local_tree_time(double bytes) const;
+
+  net::Topology topology_;
+};
+
+}  // namespace dnnperf::mpi

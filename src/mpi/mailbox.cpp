@@ -1,0 +1,40 @@
+#include "mpi/mailbox.hpp"
+
+namespace dnnperf::mpi {
+
+void Mailbox::push(int source, int tag, std::vector<std::byte> payload) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queues_[Key{source, tag}].push_back(std::move(payload));
+    ++pending_;
+  }
+  cv_.notify_all();
+}
+
+std::vector<std::byte> Mailbox::pop(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const Key key{source, tag};
+  cv_.wait(lock, [&] {
+    auto it = queues_.find(key);
+    return it != queues_.end() && !it->second.empty();
+  });
+  auto it = queues_.find(key);
+  std::vector<std::byte> msg = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  --pending_;
+  return msg;
+}
+
+bool Mailbox::probe(int source, int tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = queues_.find(Key{source, tag});
+  return it != queues_.end() && !it->second.empty();
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
+}  // namespace dnnperf::mpi

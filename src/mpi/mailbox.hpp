@@ -1,0 +1,42 @@
+// Per-rank mailbox for the in-process MPI backend.
+//
+// Each rank owns one Mailbox; send() enqueues a byte message keyed by
+// (source, tag), recv() blocks until a matching message arrives. Messages
+// between a fixed (source, tag) pair are delivered FIFO, matching MPI's
+// non-overtaking guarantee.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace dnnperf::mpi {
+
+class Mailbox {
+ public:
+  /// Enqueues a message from `source` with `tag`. Never blocks (buffered send).
+  void push(int source, int tag, std::vector<std::byte> payload);
+
+  /// Blocks until a message from (source, tag) is available and returns it.
+  std::vector<std::byte> pop(int source, int tag);
+
+  /// Non-blocking probe; true if a matching message is queued.
+  bool probe(int source, int tag) const;
+
+  /// Total queued messages (diagnostics).
+  std::size_t pending() const;
+
+ private:
+  using Key = std::pair<int, int>;  // (source, tag)
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<Key, std::deque<std::vector<std::byte>>> queues_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace dnnperf::mpi

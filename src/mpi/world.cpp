@@ -1,0 +1,195 @@
+#include "mpi/world.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace dnnperf::mpi {
+
+namespace {
+
+// Wire-tag layout: [context:12][channel:2][payload:16], all within a
+// positive int. Channels separate user traffic, collectives, and barriers.
+constexpr int kChannelUser = 0;
+constexpr int kChannelCollective = 1;
+constexpr int kChannelBarrier = 2;
+constexpr int kChannelSplit = 3;
+constexpr std::uint32_t kContextMask = 0xFFF;
+constexpr int kPayloadBits = 16;
+constexpr int kPayloadMask = (1 << kPayloadBits) - 1;
+
+}  // namespace
+
+World::World(int size) : size_(size) {
+  if (size <= 0) throw std::invalid_argument("World: size <= 0");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void World::run(int size, const std::function<void(Comm&)>& fn) {
+  World world(size);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    threads.emplace_back([&world, &fn, &errors, r] {
+      try {
+        Comm comm(world, r);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& err : errors)
+    if (err) std::rethrow_exception(err);
+}
+
+Comm::Comm(World& world, int global_rank) : world_(&world), rank_(global_rank), context_(0) {
+  if (global_rank < 0 || global_rank >= world.size()) throw std::out_of_range("Comm: bad rank");
+  group_.resize(static_cast<std::size_t>(world.size()));
+  for (int i = 0; i < world.size(); ++i) group_[static_cast<std::size_t>(i)] = i;
+}
+
+Comm::Comm(World& world, std::vector<int> group, int rank, std::uint32_t context)
+    : world_(&world), group_(std::move(group)), rank_(rank), context_(context) {}
+
+int Comm::wire_tag(int channel, int payload) const {
+  return static_cast<int>((context_ & kContextMask) << (kPayloadBits + 2)) |
+         (channel << kPayloadBits) | (payload & kPayloadMask);
+}
+
+void Comm::send(const void* data, std::size_t bytes, int dst, int tag) {
+  if (dst < 0 || dst >= size()) throw std::out_of_range("send: bad destination rank");
+  if (tag < 0 || tag > kPayloadMask) throw std::invalid_argument("send: tag outside [0, 2^16)");
+  std::vector<std::byte> payload(bytes);
+  if (bytes > 0) std::memcpy(payload.data(), data, bytes);
+  world_->mailbox(group_[static_cast<std::size_t>(dst)])
+      .push(rank_, wire_tag(kChannelUser, tag), std::move(payload));
+}
+
+void Comm::recv(void* data, std::size_t bytes, int src, int tag) {
+  if (src < 0 || src >= size()) throw std::out_of_range("recv: bad source rank");
+  if (tag < 0 || tag > kPayloadMask) throw std::invalid_argument("recv: tag outside [0, 2^16)");
+  std::vector<std::byte> payload =
+      world_->mailbox(global_rank()).pop(src, wire_tag(kChannelUser, tag));
+  if (payload.size() != bytes)
+    throw std::length_error("recv: message size mismatch (expected " + std::to_string(bytes) +
+                            ", got " + std::to_string(payload.size()) + ")");
+  if (bytes > 0) std::memcpy(data, payload.data(), bytes);
+}
+
+void Comm::sendrecv(const void* send_data, std::size_t send_bytes, int dst, int send_tag,
+                    void* recv_data, std::size_t recv_bytes, int src, int recv_tag) {
+  send(send_data, send_bytes, dst, send_tag);
+  recv(recv_data, recv_bytes, src, recv_tag);
+}
+
+void Comm::barrier() {
+  const int p = size();
+  const int payload = static_cast<int>(collective_seq_++ & kPayloadMask);
+  for (int k = 1; k < p; k <<= 1) {
+    const int to = (rank_ + k) % p;
+    const int from = (rank_ - k + p) % p;
+    // Barrier traffic uses its own channel so it cannot collide with user
+    // sends carrying the same payload value.
+    std::vector<std::byte> msg(1);
+    world_->mailbox(group_[static_cast<std::size_t>(to)])
+        .push(rank_, wire_tag(kChannelBarrier, payload), std::move(msg));
+    (void)world_->mailbox(global_rank()).pop(from, wire_tag(kChannelBarrier, payload));
+  }
+}
+
+Comm::CollTag Comm::next_collective_tag() {
+  return CollTag{wire_tag(kChannelCollective, static_cast<int>(collective_seq_++ & kPayloadMask))};
+}
+
+void Comm::send(const void* data, std::size_t bytes, int dst, CollTag tag) {
+  if (dst < 0 || dst >= size()) throw std::out_of_range("send: bad destination rank");
+  std::vector<std::byte> payload(bytes);
+  if (bytes > 0) std::memcpy(payload.data(), data, bytes);
+  world_->mailbox(group_[static_cast<std::size_t>(dst)]).push(rank_, tag.wire, std::move(payload));
+}
+
+void Comm::recv(void* data, std::size_t bytes, int src, CollTag tag) {
+  if (src < 0 || src >= size()) throw std::out_of_range("recv: bad source rank");
+  std::vector<std::byte> payload = world_->mailbox(global_rank()).pop(src, tag.wire);
+  if (payload.size() != bytes)
+    throw std::length_error("recv(coll): message size mismatch");
+  if (bytes > 0) std::memcpy(data, payload.data(), bytes);
+}
+
+void Comm::sendrecv(const void* send_data, std::size_t send_bytes, int dst, void* recv_data,
+                    std::size_t recv_bytes, int src, CollTag tag) {
+  send(send_data, send_bytes, dst, tag);
+  recv(recv_data, recv_bytes, src, tag);
+}
+
+std::optional<Comm> Comm::split(int color, int key) {
+  const int p = size();
+  const int seq = static_cast<int>(split_seq_++ & kPayloadMask);
+  const int tag = wire_tag(kChannelSplit, seq);
+
+  // Allgather (color, key) over this communicator via a simple root gather +
+  // broadcast, using raw sends on the split channel.
+  struct Entry {
+    int color;
+    int key;
+    int rank;
+  };
+  std::vector<Entry> entries(static_cast<std::size_t>(p));
+  Entry mine{color, key, rank_};
+  if (rank_ == 0) {
+    entries[0] = mine;
+    for (int r = 1; r < p; ++r) {
+      std::vector<std::byte> msg = world_->mailbox(global_rank()).pop(r, tag);
+      if (msg.size() != sizeof(Entry)) throw std::length_error("split: bad entry size");
+      std::memcpy(&entries[static_cast<std::size_t>(r)], msg.data(), sizeof(Entry));
+    }
+    for (int r = 1; r < p; ++r) {
+      std::vector<std::byte> msg(entries.size() * sizeof(Entry));
+      std::memcpy(msg.data(), entries.data(), msg.size());
+      world_->mailbox(group_[static_cast<std::size_t>(r)]).push(0, tag, std::move(msg));
+    }
+  } else {
+    std::vector<std::byte> msg(sizeof(Entry));
+    std::memcpy(msg.data(), &mine, sizeof(Entry));
+    world_->mailbox(group_[0]).push(rank_, tag, std::move(msg));
+    std::vector<std::byte> all = world_->mailbox(global_rank()).pop(0, tag);
+    if (all.size() != entries.size() * sizeof(Entry))
+      throw std::length_error("split: bad table size");
+    std::memcpy(entries.data(), all.data(), all.size());
+  }
+
+  if (color == kUndefinedColor) return std::nullopt;
+
+  std::vector<Entry> members;
+  for (const auto& e : entries)
+    if (e.color == color) members.push_back(e);
+  std::stable_sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+  });
+
+  std::vector<int> group;
+  int my_new_rank = -1;
+  for (const auto& m : members) {
+    if (m.rank == rank_) my_new_rank = static_cast<int>(group.size());
+    group.push_back(group_[static_cast<std::size_t>(m.rank)]);
+  }
+  if (my_new_rank < 0) throw std::logic_error("split: caller missing from its own color group");
+
+  // Deterministic child context, identical on all members of the group:
+  // mix the parent context, the split ordinal, and the color.
+  const std::uint32_t child_context =
+      (context_ * 1315423911u + static_cast<std::uint32_t>(seq) * 2654435761u +
+       static_cast<std::uint32_t>(color) + 1u) &
+      kContextMask;
+  // Context 0 is reserved for the world communicator.
+  const std::uint32_t safe_context = child_context == 0 ? 1u : child_context;
+  return Comm(*world_, std::move(group), my_new_rank, safe_context);
+}
+
+}  // namespace dnnperf::mpi

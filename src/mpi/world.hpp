@@ -1,0 +1,108 @@
+// minimpi: an in-process, thread-backed MPI subset.
+//
+// A World is one "job": N ranks, each a std::thread, exchanging real bytes
+// through per-rank mailboxes. Comm is the per-rank handle exposing the MPI
+// surface the paper's stack needs (MVAPICH2 under Horovod): blocking
+// send/recv, sendrecv, barrier, communicator splitting, and the collectives
+// in mpi/collectives.hpp.
+//
+// Sends are buffered (never block), so collective algorithms written in the
+// usual sendrecv style are deadlock-free.
+//
+// Communicators: Comm::split(color, key) forms sub-communicators (e.g. one
+// per node plus a leader communicator, as hierarchical collectives need).
+// Each communicator carries a context id that partitions the tag space, so
+// traffic on different communicators never crosses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mpi/mailbox.hpp"
+
+namespace dnnperf::mpi {
+
+class Comm;
+
+class World {
+ public:
+  explicit World(int size);
+
+  int size() const { return size_; }
+  Mailbox& mailbox(int global_rank) {
+    return *mailboxes_.at(static_cast<std::size_t>(global_rank));
+  }
+
+  /// Spawns `size` rank threads each running fn(comm) and joins them.
+  /// The first exception thrown by any rank is rethrown after all join.
+  static void run(int size, const std::function<void(Comm&)>& fn);
+
+ private:
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+class Comm {
+ public:
+  /// World communicator for `global_rank`.
+  Comm(World& world, int global_rank);
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(group_.size()); }
+  /// Rank in the underlying World (useful after splits).
+  int global_rank() const { return group_[static_cast<std::size_t>(rank_)]; }
+
+  /// Buffered send of `bytes` bytes to `dst` (rank in this communicator)
+  /// with user tag `tag` (0 <= tag < 2^16).
+  void send(const void* data, std::size_t bytes, int dst, int tag);
+
+  /// Blocking receive of exactly `bytes` bytes from (src, tag).
+  /// Throws std::length_error on size mismatch (truncation guard).
+  void recv(void* data, std::size_t bytes, int src, int tag);
+
+  /// Combined send+recv (safe because sends are buffered).
+  void sendrecv(const void* send_data, std::size_t send_bytes, int dst, int send_tag,
+                void* recv_data, std::size_t recv_bytes, int src, int recv_tag);
+
+  /// Dissemination barrier over this communicator.
+  void barrier();
+
+  /// Splits this communicator (collective). Ranks passing the same `color`
+  /// (>= 0) form a new communicator ordered by (key, rank); ranks passing
+  /// color = kUndefinedColor get an empty optional.
+  static constexpr int kUndefinedColor = -1;
+  std::optional<Comm> split(int color, int key);
+
+  /// Tag for one collective invocation, on the collective channel (disjoint
+  /// from user tags). All ranks call collectives in the same order on a
+  /// communicator, so per-rank counters stay aligned.
+  struct CollTag {
+    int wire;
+  };
+  CollTag next_collective_tag();
+
+  /// Collective-channel p2p used by the algorithms in mpi/collectives.hpp.
+  void send(const void* data, std::size_t bytes, int dst, CollTag tag);
+  void recv(void* data, std::size_t bytes, int src, CollTag tag);
+  void sendrecv(const void* send_data, std::size_t send_bytes, int dst, void* recv_data,
+                std::size_t recv_bytes, int src, CollTag tag);
+
+ private:
+  Comm(World& world, std::vector<int> group, int rank, std::uint32_t context);
+
+  /// Composes the wire tag: [context:12][channel:2][payload:16].
+  int wire_tag(int channel, int payload) const;
+
+  World* world_;  ///< non-null; pointer (not reference) so Comm is assignable
+  std::vector<int> group_;    ///< global rank of each communicator rank
+  int rank_;                  ///< my rank within group_
+  std::uint32_t context_;     ///< tag-space partition id
+  std::uint32_t collective_seq_ = 0;
+  std::uint32_t split_seq_ = 0;
+};
+
+}  // namespace dnnperf::mpi

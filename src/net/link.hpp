@@ -1,0 +1,33 @@
+// Link-level cost model (alpha-beta with per-message CPU overhead, i.e. a
+// simplified LogGP): time(bytes) = alpha + overhead + bytes / beta.
+//
+// Parameters for the fabrics in the paper's clusters (IB EDR on RI2 /
+// Pitzer / AMD-Cluster, Omni-Path on Stampede2) and the intra-node levels
+// (shared memory between ranks on one node, PCIe/NVLink for GPUs).
+#pragma once
+
+#include "hw/node.hpp"
+
+namespace dnnperf::net {
+
+struct LinkParams {
+  double latency_s = 1e-6;       ///< one-way wire+switch latency (alpha)
+  double bandwidth_gbps = 12.5;  ///< sustained point-to-point bandwidth (beta), GB/s decimal
+  double per_msg_overhead_s = 5e-7;  ///< sender+receiver CPU/NIC overhead per message
+
+  /// Time to move `bytes` across this link once.
+  double transfer_time(double bytes) const;
+  void validate() const;
+};
+
+/// Inter-node fabric parameters.
+LinkParams fabric_params(hw::FabricKind kind);
+
+/// Shared-memory "link" between two ranks on the same node (CMA copy).
+LinkParams shared_memory_params();
+
+/// Host-device / device-device links for GPU nodes.
+LinkParams pcie3_x16_params();
+LinkParams nvlink1_params();
+
+}  // namespace dnnperf::net

@@ -1,0 +1,35 @@
+#include "net/topology.hpp"
+
+#include <stdexcept>
+
+namespace dnnperf::net {
+
+Topology::Topology(int nodes, int ppn, hw::FabricKind fabric)
+    : Topology(nodes, ppn, fabric, shared_memory_params()) {}
+
+Topology::Topology(int nodes, int ppn, hw::FabricKind fabric, LinkParams intra_node)
+    : nodes_(nodes), ppn_(ppn), intra_(intra_node), inter_(fabric_params(fabric)) {
+  if (nodes <= 0 || ppn <= 0) throw std::invalid_argument("Topology: non-positive size");
+  intra_.validate();
+}
+
+int Topology::node_of(int rank) const {
+  if (rank < 0 || rank >= world_size()) throw std::out_of_range("Topology: rank out of range");
+  return rank / ppn_;
+}
+
+int Topology::local_rank(int rank) const {
+  if (rank < 0 || rank >= world_size()) throw std::out_of_range("Topology: rank out of range");
+  return rank % ppn_;
+}
+
+const LinkParams& Topology::link(int a, int b) const {
+  return same_node(a, b) ? intra_ : inter_;
+}
+
+double Topology::p2p_time(int a, int b, double bytes) const {
+  if (a == b) return 0.0;
+  return link(a, b).transfer_time(bytes);
+}
+
+}  // namespace dnnperf::net

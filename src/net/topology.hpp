@@ -1,0 +1,50 @@
+// Rank placement and two-level communication topology.
+//
+// Ranks are laid out block-wise across nodes (rank r -> node r / ppn),
+// matching mpirun's default mapping used by the paper. The topology answers
+// locality questions for hierarchical collectives and supplies the right
+// LinkParams for any rank pair.
+#pragma once
+
+#include <vector>
+
+#include "net/link.hpp"
+
+namespace dnnperf::net {
+
+class Topology {
+ public:
+  /// `nodes` nodes with `ppn` ranks each, connected by `fabric`; ranks on a
+  /// node exchange over shared memory.
+  Topology(int nodes, int ppn, hw::FabricKind fabric);
+
+  /// Same, with an explicit intra-node link (e.g. PCIe staging between GPUs
+  /// on one node).
+  Topology(int nodes, int ppn, hw::FabricKind fabric, LinkParams intra_node);
+
+  int nodes() const { return nodes_; }
+  int ppn() const { return ppn_; }
+  int world_size() const { return nodes_ * ppn_; }
+
+  int node_of(int rank) const;
+  int local_rank(int rank) const;
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+  /// Node-leader (local rank 0) of the node hosting `rank`.
+  int leader_of(int rank) const { return node_of(rank) * ppn_; }
+
+  const LinkParams& intra_node() const { return intra_; }
+  const LinkParams& inter_node() const { return inter_; }
+  /// Link parameters between two (distinct) ranks.
+  const LinkParams& link(int a, int b) const;
+
+  /// Time for one point-to-point message of `bytes` between ranks a and b.
+  double p2p_time(int a, int b, double bytes) const;
+
+ private:
+  int nodes_;
+  int ppn_;
+  LinkParams intra_;
+  LinkParams inter_;
+};
+
+}  // namespace dnnperf::net

@@ -1,0 +1,106 @@
+#include "ref/conv_fast.hpp"
+
+#include <stdexcept>
+
+#include "ref/gemm.hpp"
+
+namespace dnnperf::ref {
+
+namespace {
+
+int out_dim(int in, int k, int stride, int pad) {
+  const int out = (in + 2 * pad - k) / stride + 1;
+  if (out <= 0) throw std::invalid_argument("conv_fast: output dim <= 0");
+  return out;
+}
+
+/// Weights [OC, C, KH, KW] -> W' [C*KH*KW, OC] (GEMM B operand).
+Tensor repack_weights(const Tensor& w) {
+  const int oc = w.dim(0), ckk = w.dim(1) * w.dim(2) * w.dim(3);
+  Tensor wt({ckk, oc});
+  for (int o = 0; o < oc; ++o)
+    for (int j = 0; j < ckk; ++j)
+      wt[static_cast<std::size_t>(j) * oc + o] =
+          w[static_cast<std::size_t>(o) * ckk + j];
+  return wt;
+}
+
+}  // namespace
+
+Tensor conv2d_forward_gemm(const Tensor& x, const Tensor& w, const Tensor& b, ConvSpec spec,
+                           ThreadPool& pool) {
+  if (x.rank() != 4 || w.rank() != 4) throw std::invalid_argument("conv_fast: rank-4 inputs");
+  if (w.dim(1) != x.dim(1)) throw std::invalid_argument("conv_fast: channel mismatch");
+  const int n = x.dim(0), oc = w.dim(0);
+  const int oh = out_dim(x.dim(2), w.dim(2), spec.stride, spec.pad);
+  const int ow = out_dim(x.dim(3), w.dim(3), spec.stride, spec.pad);
+  if (b.size() != static_cast<std::size_t>(oc))
+    throw std::invalid_argument("conv_fast: bias size");
+
+  const Tensor cols = im2col(x, w.dim(2), w.dim(3), spec.stride, spec.pad, pool);
+  const Tensor wt = repack_weights(w);
+  Tensor rows({n * oh * ow, oc});
+  gemm(cols, wt, rows, pool);
+
+  // rows [N*OH*OW, OC] -> y [N, OC, OH, OW], adding bias.
+  Tensor y({n, oc, oh, ow});
+  pool.parallel_for(static_cast<std::size_t>(n) * oh * ow,
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t idx = begin; idx < end; ++idx) {
+                        const int ni = static_cast<int>(idx / (static_cast<std::size_t>(oh) * ow));
+                        const int rem = static_cast<int>(idx % (static_cast<std::size_t>(oh) * ow));
+                        const int oy = rem / ow;
+                        const int ox = rem % ow;
+                        const float* row = rows.data() + idx * static_cast<std::size_t>(oc);
+                        for (int o = 0; o < oc; ++o)
+                          y.at4(ni, o, oy, ox) = row[o] + b[static_cast<std::size_t>(o)];
+                      }
+                    });
+  return y;
+}
+
+void conv2d_backward_gemm(const Tensor& x, const Tensor& w, const Tensor& dy, ConvSpec spec,
+                          Tensor& dx, Tensor& dw, Tensor& db, ThreadPool& pool) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), ww = x.dim(3);
+  const int oc = w.dim(0), kh = w.dim(2), kw = w.dim(3);
+  const int oh = dy.dim(2), ow = dy.dim(3);
+  const int ckk = c * kh * kw;
+  const std::size_t rows_n = static_cast<std::size_t>(n) * oh * ow;
+
+  // dY [N,OC,OH,OW] -> row-major [N*OH*OW, OC].
+  Tensor dy_rows({static_cast<int>(rows_n), oc});
+  pool.parallel_for(rows_n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      const int ni = static_cast<int>(idx / (static_cast<std::size_t>(oh) * ow));
+      const int rem = static_cast<int>(idx % (static_cast<std::size_t>(oh) * ow));
+      const int oy = rem / ow;
+      const int ox = rem % ow;
+      float* row = dy_rows.data() + idx * static_cast<std::size_t>(oc);
+      for (int o = 0; o < oc; ++o) row[o] = dy.at4(ni, o, oy, ox);
+    }
+  });
+
+  // db[o] = sum of dY over (n, oh, ow).
+  db = Tensor::zeros({oc});
+  for (std::size_t i = 0; i < rows_n; ++i)
+    for (int o = 0; o < oc; ++o)
+      db[static_cast<std::size_t>(o)] += dy_rows[i * static_cast<std::size_t>(oc) + o];
+
+  // dW' [CKK, OC] = cols^T [CKK, rows] * dY_rows [rows, OC].
+  const Tensor cols = im2col(x, kh, kw, spec.stride, spec.pad, pool);
+  Tensor dwt({ckk, oc});
+  gemm_at(cols, dy_rows, dwt, pool);
+  // Repack dW' -> dW [OC, C, KH, KW].
+  dw = Tensor::zeros(w.shape());
+  for (int o = 0; o < oc; ++o)
+    for (int j = 0; j < ckk; ++j)
+      dw[static_cast<std::size_t>(o) * ckk + j] = dwt[static_cast<std::size_t>(j) * oc + o];
+
+  // dcols [rows, CKK] = dY_rows [rows, OC] * W'^T; W'^T is W viewed [OC, CKK].
+  Tensor w_flat = w.reshaped({oc, ckk});
+  Tensor dcols({static_cast<int>(rows_n), ckk});
+  gemm(dy_rows, w_flat, dcols, pool);
+  dx = col2im(dcols, n, c, h, ww, kh, kw, spec.stride, spec.pad, pool);
+}
+
+}  // namespace dnnperf::ref

@@ -1,0 +1,22 @@
+// im2col + GEMM convolution: the lowering MKL-DNN-era frameworks execute.
+// Numerically equivalent to the direct kernels in ref/kernels.hpp (tests
+// enforce <= 1e-4 max deviation) but structured as matrix multiplication.
+//
+//   forward:  Y[N*OH*OW, OC]   = im2col(X) * W'[CKK, OC]        (+ bias)
+//   dW:       dW[CKK, OC]      = im2col(X)^T * dY
+//   dX:       col2im( dY * W'^T )
+#pragma once
+
+#include "ref/kernels.hpp"
+
+namespace dnnperf::ref {
+
+/// Forward convolution via im2col + GEMM. Same contract as conv2d_forward.
+Tensor conv2d_forward_gemm(const Tensor& x, const Tensor& w, const Tensor& b, ConvSpec spec,
+                           ThreadPool& pool);
+
+/// Backward convolution via GEMMs. Same contract as conv2d_backward.
+void conv2d_backward_gemm(const Tensor& x, const Tensor& w, const Tensor& dy, ConvSpec spec,
+                          Tensor& dx, Tensor& dw, Tensor& db, ThreadPool& pool);
+
+}  // namespace dnnperf::ref

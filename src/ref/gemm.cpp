@@ -1,0 +1,146 @@
+#include "ref/gemm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dnnperf::ref {
+
+namespace {
+
+constexpr int kBlockK = 64;
+constexpr int kBlockN = 128;
+
+int out_dim(int in, int k, int stride, int pad) {
+  const int out = (in + 2 * pad - k) / stride + 1;
+  if (out <= 0) throw std::invalid_argument("gemm helpers: output dim <= 0");
+  return out;
+}
+
+}  // namespace
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool& pool, bool accumulate) {
+  if (a.rank() != 2 || b.rank() != 2) throw std::invalid_argument("gemm: rank-2 inputs only");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("gemm: inner dimension mismatch");
+  if (c.rank() != 2 || c.dim(0) != m || c.dim(1) != n)
+    throw std::invalid_argument("gemm: bad output shape");
+  if (!accumulate) c.zero();
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+
+  // Parallel over row panels; each panel walks (k, n) blocks for locality.
+  pool.parallel_for(static_cast<std::size_t>(m), [&](std::size_t row_begin, std::size_t row_end) {
+    for (int k0 = 0; k0 < k; k0 += kBlockK) {
+      const int k1 = std::min(k, k0 + kBlockK);
+      for (int n0 = 0; n0 < n; n0 += kBlockN) {
+        const int n1 = std::min(n, n0 + kBlockN);
+        for (std::size_t i = row_begin; i < row_end; ++i) {
+          const float* arow = pa + i * static_cast<std::size_t>(k);
+          float* crow = pc + i * static_cast<std::size_t>(n);
+          for (int kk = k0; kk < k1; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f) continue;
+            const float* brow = pb + static_cast<std::size_t>(kk) * n;
+            for (int j = n0; j < n1; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  });
+}
+
+void gemm_at(const Tensor& a_t, const Tensor& b, Tensor& c, ThreadPool& pool, bool accumulate) {
+  if (a_t.rank() != 2 || b.rank() != 2) throw std::invalid_argument("gemm_at: rank-2 only");
+  const int k = a_t.dim(0), m = a_t.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("gemm_at: inner dimension mismatch");
+  if (c.rank() != 2 || c.dim(0) != m || c.dim(1) != n)
+    throw std::invalid_argument("gemm_at: bad output shape");
+  if (!accumulate) c.zero();
+
+  const float* pa = a_t.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+
+  pool.parallel_for(static_cast<std::size_t>(m), [&](std::size_t row_begin, std::size_t row_end) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float* arow = pa + static_cast<std::size_t>(kk) * m;
+      const float* brow = pb + static_cast<std::size_t>(kk) * n;
+      for (std::size_t i = row_begin; i < row_end; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* crow = pc + i * static_cast<std::size_t>(n);
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+Tensor im2col(const Tensor& x, int kh, int kw, int stride, int pad, ThreadPool& pool) {
+  if (x.rank() != 4) throw std::invalid_argument("im2col: rank-4 input only");
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = out_dim(h, kh, stride, pad);
+  const int ow = out_dim(w, kw, stride, pad);
+  Tensor cols({n * oh * ow, c * kh * kw});
+  float* pc = cols.data();
+  const std::size_t row_len = static_cast<std::size_t>(c) * kh * kw;
+
+  pool.parallel_for(static_cast<std::size_t>(n) * oh * ow,
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t idx = begin; idx < end; ++idx) {
+                        const int ni = static_cast<int>(idx / (static_cast<std::size_t>(oh) * ow));
+                        const int rem = static_cast<int>(idx % (static_cast<std::size_t>(oh) * ow));
+                        const int oy = rem / ow;
+                        const int ox = rem % ow;
+                        float* row = pc + idx * row_len;
+                        std::size_t col = 0;
+                        for (int ci = 0; ci < c; ++ci)
+                          for (int ky = 0; ky < kh; ++ky) {
+                            const int iy = oy * stride + ky - pad;
+                            for (int kx = 0; kx < kw; ++kx, ++col) {
+                              const int ix = ox * stride + kx - pad;
+                              row[col] = (iy < 0 || iy >= h || ix < 0 || ix >= w)
+                                             ? 0.0f
+                                             : x.at4(ni, ci, iy, ix);
+                            }
+                          }
+                      }
+                    });
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, int n, int c, int h, int w, int kh, int kw, int stride,
+              int pad, ThreadPool& pool) {
+  const int oh = out_dim(h, kh, stride, pad);
+  const int ow = out_dim(w, kw, stride, pad);
+  if (cols.rank() != 2 || cols.dim(0) != n * oh * ow || cols.dim(1) != c * kh * kw)
+    throw std::invalid_argument("col2im: column shape mismatch");
+  Tensor x = Tensor::zeros({n, c, h, w});
+  const float* pc = cols.data();
+  const std::size_t row_len = static_cast<std::size_t>(c) * kh * kw;
+
+  // Parallel over images: rows of one image only touch that image's plane.
+  pool.parallel_for(static_cast<std::size_t>(n), [&](std::size_t nb, std::size_t ne) {
+    for (std::size_t ni = nb; ni < ne; ++ni) {
+      for (int oy = 0; oy < oh; ++oy)
+        for (int ox = 0; ox < ow; ++ox) {
+          const std::size_t idx = (ni * oh + oy) * ow + ox;
+          const float* row = pc + idx * row_len;
+          std::size_t col = 0;
+          for (int ci = 0; ci < c; ++ci)
+            for (int ky = 0; ky < kh; ++ky) {
+              const int iy = oy * stride + ky - pad;
+              for (int kx = 0; kx < kw; ++kx, ++col) {
+                const int ix = ox * stride + kx - pad;
+                if (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                  x.at4(static_cast<int>(ni), ci, iy, ix) += row[col];
+              }
+            }
+        }
+    }
+  });
+  return x;
+}
+
+}  // namespace dnnperf::ref

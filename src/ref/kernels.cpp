@@ -1,0 +1,352 @@
+#include "ref/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dnnperf::ref {
+
+namespace {
+
+int out_dim(int in, int k, int stride, int pad) {
+  const int out = (in + 2 * pad - k) / stride + 1;
+  if (out <= 0) throw std::invalid_argument("kernel: output dim <= 0");
+  return out;
+}
+
+void check_rank(const Tensor& t, int rank, const char* what) {
+  if (t.rank() != rank) throw std::invalid_argument(std::string(what) + ": bad rank");
+}
+
+}  // namespace
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b, ConvSpec spec,
+                      ThreadPool& pool) {
+  check_rank(x, 4, "conv2d x");
+  check_rank(w, 4, "conv2d w");
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), ww = x.dim(3);
+  const int oc = w.dim(0), kh = w.dim(2), kw = w.dim(3);
+  if (w.dim(1) != c) throw std::invalid_argument("conv2d: channel mismatch");
+  if (b.size() != static_cast<std::size_t>(oc)) throw std::invalid_argument("conv2d: bias size");
+  const int oh = out_dim(h, kh, spec.stride, spec.pad);
+  const int ow = out_dim(ww, kw, spec.stride, spec.pad);
+
+  Tensor y({n, oc, oh, ow});
+  pool.parallel_for(static_cast<std::size_t>(n) * oc, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      const int ni = static_cast<int>(idx) / oc;
+      const int oci = static_cast<int>(idx) % oc;
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          float acc = b[static_cast<std::size_t>(oci)];
+          for (int ci = 0; ci < c; ++ci) {
+            for (int ky = 0; ky < kh; ++ky) {
+              const int iy = oy * spec.stride + ky - spec.pad;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < kw; ++kx) {
+                const int ix = ox * spec.stride + kx - spec.pad;
+                if (ix < 0 || ix >= ww) continue;
+                acc += x.at4(ni, ci, iy, ix) * w.at4(oci, ci, ky, kx);
+              }
+            }
+          }
+          y.at4(ni, oci, oy, ox) = acc;
+        }
+      }
+    }
+  });
+  return y;
+}
+
+void conv2d_backward(const Tensor& x, const Tensor& w, const Tensor& dy, ConvSpec spec,
+                     Tensor& dx, Tensor& dw, Tensor& db, ThreadPool& pool) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), ww = x.dim(3);
+  const int oc = w.dim(0), kh = w.dim(2), kw = w.dim(3);
+  const int oh = dy.dim(2), ow = dy.dim(3);
+
+  dx = Tensor::zeros(x.shape());
+  dw = Tensor::zeros(w.shape());
+  db = Tensor::zeros({oc});
+
+  // db and dw: parallel over output channels (disjoint writes).
+  pool.parallel_for(static_cast<std::size_t>(oc), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t oci = begin; oci < end; ++oci) {
+      const int o = static_cast<int>(oci);
+      float bias_acc = 0.0f;
+      for (int ni = 0; ni < n; ++ni)
+        for (int oy = 0; oy < oh; ++oy)
+          for (int ox = 0; ox < ow; ++ox) {
+            const float g = dy.at4(ni, o, oy, ox);
+            bias_acc += g;
+            for (int ci = 0; ci < c; ++ci)
+              for (int ky = 0; ky < kh; ++ky) {
+                const int iy = oy * spec.stride + ky - spec.pad;
+                if (iy < 0 || iy >= h) continue;
+                for (int kx = 0; kx < kw; ++kx) {
+                  const int ix = ox * spec.stride + kx - spec.pad;
+                  if (ix < 0 || ix >= ww) continue;
+                  dw.at4(o, ci, ky, kx) += g * x.at4(ni, ci, iy, ix);
+                }
+              }
+          }
+      db[oci] = bias_acc;
+    }
+  });
+
+  // dx: parallel over (n, c) — disjoint writes per input channel plane.
+  pool.parallel_for(static_cast<std::size_t>(n) * c, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      const int ni = static_cast<int>(idx) / c;
+      const int ci = static_cast<int>(idx) % c;
+      for (int o = 0; o < oc; ++o)
+        for (int oy = 0; oy < oh; ++oy)
+          for (int ox = 0; ox < ow; ++ox) {
+            const float g = dy.at4(ni, o, oy, ox);
+            for (int ky = 0; ky < kh; ++ky) {
+              const int iy = oy * spec.stride + ky - spec.pad;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < kw; ++kx) {
+                const int ix = ox * spec.stride + kx - spec.pad;
+                if (ix < 0 || ix >= ww) continue;
+                dx.at4(ni, ci, iy, ix) += g * w.at4(o, ci, ky, kx);
+              }
+            }
+          }
+    }
+  });
+}
+
+Tensor dense_forward(const Tensor& x, const Tensor& w, const Tensor& b, ThreadPool& pool) {
+  check_rank(x, 2, "dense x");
+  check_rank(w, 2, "dense w");
+  const int n = x.dim(0), f = x.dim(1), o = w.dim(1);
+  if (w.dim(0) != f) throw std::invalid_argument("dense: feature mismatch");
+  Tensor y({n, o});
+  pool.parallel_for(static_cast<std::size_t>(n), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t ni = begin; ni < end; ++ni) {
+      for (int oi = 0; oi < o; ++oi) {
+        float acc = b[static_cast<std::size_t>(oi)];
+        for (int fi = 0; fi < f; ++fi)
+          acc += x[ni * f + fi] * w[static_cast<std::size_t>(fi) * o + oi];
+        y[ni * o + oi] = acc;
+      }
+    }
+  });
+  return y;
+}
+
+void dense_backward(const Tensor& x, const Tensor& w, const Tensor& dy, Tensor& dx, Tensor& dw,
+                    Tensor& db, ThreadPool& pool) {
+  const int n = x.dim(0), f = x.dim(1), o = w.dim(1);
+  dx = Tensor::zeros(x.shape());
+  dw = Tensor::zeros(w.shape());
+  db = Tensor::zeros({o});
+  for (int ni = 0; ni < n; ++ni)
+    for (int oi = 0; oi < o; ++oi)
+      db[static_cast<std::size_t>(oi)] += dy[static_cast<std::size_t>(ni) * o + oi];
+  pool.parallel_for(static_cast<std::size_t>(f), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t fi = begin; fi < end; ++fi)
+      for (int ni = 0; ni < n; ++ni) {
+        const float xv = x[static_cast<std::size_t>(ni) * f + fi];
+        for (int oi = 0; oi < o; ++oi)
+          dw[fi * o + oi] += xv * dy[static_cast<std::size_t>(ni) * o + oi];
+      }
+  });
+  pool.parallel_for(static_cast<std::size_t>(n), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t ni = begin; ni < end; ++ni)
+      for (int fi = 0; fi < f; ++fi) {
+        float acc = 0.0f;
+        for (int oi = 0; oi < o; ++oi)
+          acc += dy[ni * o + oi] * w[static_cast<std::size_t>(fi) * o + oi];
+        dx[ni * f + fi] = acc;
+      }
+  });
+}
+
+Tensor relu_forward(const Tensor& x, ThreadPool& pool) {
+  Tensor y(x.shape());
+  pool.parallel_for(x.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  });
+  return y;
+}
+
+Tensor relu_backward(const Tensor& x, const Tensor& dy, ThreadPool& pool) {
+  Tensor dx(x.shape());
+  pool.parallel_for(x.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+  });
+  return dx;
+}
+
+Tensor maxpool_forward(const Tensor& x, int k, int stride, Tensor& argmax, ThreadPool& pool) {
+  check_rank(x, 4, "maxpool x");
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = out_dim(h, k, stride, 0);
+  const int ow = out_dim(w, k, stride, 0);
+  Tensor y({n, c, oh, ow});
+  argmax = Tensor::zeros({n, c, oh, ow});
+  pool.parallel_for(static_cast<std::size_t>(n) * c, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      const int ni = static_cast<int>(idx) / c;
+      const int ci = static_cast<int>(idx) % c;
+      for (int oy = 0; oy < oh; ++oy)
+        for (int ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (int ky = 0; ky < k; ++ky)
+            for (int kx = 0; kx < k; ++kx) {
+              const int iy = oy * stride + ky;
+              const int ix = ox * stride + kx;
+              const float v = x.at4(ni, ci, iy, ix);
+              if (v > best) {
+                best = v;
+                best_idx = ((static_cast<std::size_t>(ni) * c + ci) * h + iy) * w + ix;
+              }
+            }
+          y.at4(ni, ci, oy, ox) = best;
+          argmax.at4(ni, ci, oy, ox) = static_cast<float>(best_idx);
+        }
+    }
+  });
+  return y;
+}
+
+Tensor maxpool_backward(const Tensor& x, const Tensor& dy, const Tensor& argmax,
+                        ThreadPool& pool) {
+  Tensor dx = Tensor::zeros(x.shape());
+  // Serial scatter: argmax indices may collide across output cells only
+  // within one (n,c) plane; parallelize over planes.
+  const int n = x.dim(0), c = x.dim(1);
+  const std::size_t plane_out = dy.size() / (static_cast<std::size_t>(n) * c);
+  pool.parallel_for(static_cast<std::size_t>(n) * c, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t plane = begin; plane < end; ++plane)
+      for (std::size_t j = 0; j < plane_out; ++j) {
+        const std::size_t src = plane * plane_out + j;
+        dx[static_cast<std::size_t>(argmax[src])] += dy[src];
+      }
+  });
+  return dx;
+}
+
+Tensor global_avg_pool_forward(const Tensor& x) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor y({n, c});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int ni = 0; ni < n; ++ni)
+    for (int ci = 0; ci < c; ++ci) {
+      float acc = 0.0f;
+      for (int hy = 0; hy < h; ++hy)
+        for (int wx = 0; wx < w; ++wx) acc += x.at4(ni, ci, hy, wx);
+      y[static_cast<std::size_t>(ni) * c + ci] = acc * inv;
+    }
+  return y;
+}
+
+Tensor global_avg_pool_backward(const Tensor& x, const Tensor& dy) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor dx(x.shape());
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int ni = 0; ni < n; ++ni)
+    for (int ci = 0; ci < c; ++ci) {
+      const float g = dy[static_cast<std::size_t>(ni) * c + ci] * inv;
+      for (int hy = 0; hy < h; ++hy)
+        for (int wx = 0; wx < w; ++wx) dx.at4(ni, ci, hy, wx) = g;
+    }
+  return dx;
+}
+
+Tensor batchnorm_forward(const Tensor& x, const Tensor& gamma, const Tensor& beta, float eps,
+                         BatchNormCache& cache) {
+  check_rank(x, 4, "batchnorm x");
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const float m = static_cast<float>(n * h * w);
+  Tensor y(x.shape());
+  cache.x_hat = Tensor(x.shape());
+  cache.inv_std.assign(static_cast<std::size_t>(c), 0.0f);
+  for (int ci = 0; ci < c; ++ci) {
+    float mean = 0.0f;
+    for (int ni = 0; ni < n; ++ni)
+      for (int hy = 0; hy < h; ++hy)
+        for (int wx = 0; wx < w; ++wx) mean += x.at4(ni, ci, hy, wx);
+    mean /= m;
+    float var = 0.0f;
+    for (int ni = 0; ni < n; ++ni)
+      for (int hy = 0; hy < h; ++hy)
+        for (int wx = 0; wx < w; ++wx) {
+          const float d = x.at4(ni, ci, hy, wx) - mean;
+          var += d * d;
+        }
+    var /= m;
+    const float inv_std = 1.0f / std::sqrt(var + eps);
+    cache.inv_std[static_cast<std::size_t>(ci)] = inv_std;
+    const float g = gamma[static_cast<std::size_t>(ci)];
+    const float b = beta[static_cast<std::size_t>(ci)];
+    for (int ni = 0; ni < n; ++ni)
+      for (int hy = 0; hy < h; ++hy)
+        for (int wx = 0; wx < w; ++wx) {
+          const float xh = (x.at4(ni, ci, hy, wx) - mean) * inv_std;
+          cache.x_hat.at4(ni, ci, hy, wx) = xh;
+          y.at4(ni, ci, hy, wx) = g * xh + b;
+        }
+  }
+  return y;
+}
+
+void batchnorm_backward(const Tensor& dy, const BatchNormCache& cache, const Tensor& gamma,
+                        Tensor& dx, Tensor& dgamma, Tensor& dbeta) {
+  const int n = dy.dim(0), c = dy.dim(1), h = dy.dim(2), w = dy.dim(3);
+  const float m = static_cast<float>(n * h * w);
+  dx = Tensor(dy.shape());
+  dgamma = Tensor::zeros({c});
+  dbeta = Tensor::zeros({c});
+  for (int ci = 0; ci < c; ++ci) {
+    float sum_dy = 0.0f;
+    float sum_dy_xhat = 0.0f;
+    for (int ni = 0; ni < n; ++ni)
+      for (int hy = 0; hy < h; ++hy)
+        for (int wx = 0; wx < w; ++wx) {
+          const float g = dy.at4(ni, ci, hy, wx);
+          sum_dy += g;
+          sum_dy_xhat += g * cache.x_hat.at4(ni, ci, hy, wx);
+        }
+    dgamma[static_cast<std::size_t>(ci)] = sum_dy_xhat;
+    dbeta[static_cast<std::size_t>(ci)] = sum_dy;
+    const float gam = gamma[static_cast<std::size_t>(ci)];
+    const float inv_std = cache.inv_std[static_cast<std::size_t>(ci)];
+    for (int ni = 0; ni < n; ++ni)
+      for (int hy = 0; hy < h; ++hy)
+        for (int wx = 0; wx < w; ++wx) {
+          const float xh = cache.x_hat.at4(ni, ci, hy, wx);
+          dx.at4(ni, ci, hy, wx) =
+              gam * inv_std / m * (m * dy.at4(ni, ci, hy, wx) - sum_dy - xh * sum_dy_xhat);
+        }
+  }
+}
+
+float softmax_xent(const Tensor& logits, const std::vector<int>& labels, Tensor& dlogits) {
+  check_rank(logits, 2, "softmax logits");
+  const int n = logits.dim(0), k = logits.dim(1);
+  if (labels.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("softmax_xent: labels size");
+  dlogits = Tensor(logits.shape());
+  float loss = 0.0f;
+  for (int ni = 0; ni < n; ++ni) {
+    const std::size_t base = static_cast<std::size_t>(ni) * k;
+    float mx = logits[base];
+    for (int ki = 1; ki < k; ++ki) mx = std::max(mx, logits[base + ki]);
+    float denom = 0.0f;
+    for (int ki = 0; ki < k; ++ki) denom += std::exp(logits[base + ki] - mx);
+    const int label = labels[static_cast<std::size_t>(ni)];
+    if (label < 0 || label >= k) throw std::invalid_argument("softmax_xent: bad label");
+    loss -= (logits[base + label] - mx) - std::log(denom);
+    for (int ki = 0; ki < k; ++ki) {
+      const float p = std::exp(logits[base + ki] - mx) / denom;
+      dlogits[base + ki] = (p - (ki == label ? 1.0f : 0.0f)) / static_cast<float>(n);
+    }
+  }
+  return loss / static_cast<float>(n);
+}
+
+}  // namespace dnnperf::ref

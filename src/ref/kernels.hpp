@@ -1,0 +1,61 @@
+// refdnn numeric kernels: straightforward, correct fp32 implementations of
+// the forward and backward ops the zoo models are made of. Parallelized
+// over the output with ThreadPool::parallel_for. All tensors are NCHW.
+//
+// These are validated by finite-difference gradient checks in the tests and
+// power the runnable training examples; they are intentionally simple (no
+// blocking/SIMD) — the performance characteristics of optimized kernels are
+// the business of src/exec, not of this reference implementation.
+#pragma once
+
+#include "ref/tensor.hpp"
+#include "ref/threadpool.hpp"
+
+namespace dnnperf::ref {
+
+struct ConvSpec {
+  int stride = 1;
+  int pad = 0;
+};
+
+/// y = conv2d(x [N,C,H,W], w [OC,C,KH,KW]) + b [OC]
+Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b, ConvSpec spec,
+                      ThreadPool& pool);
+/// Gradients wrt x, w, b given dy; x/w are the forward inputs.
+void conv2d_backward(const Tensor& x, const Tensor& w, const Tensor& dy, ConvSpec spec,
+                     Tensor& dx, Tensor& dw, Tensor& db, ThreadPool& pool);
+
+/// y = x [N,F] * w [F,O] + b [O]
+Tensor dense_forward(const Tensor& x, const Tensor& w, const Tensor& b, ThreadPool& pool);
+void dense_backward(const Tensor& x, const Tensor& w, const Tensor& dy, Tensor& dx, Tensor& dw,
+                    Tensor& db, ThreadPool& pool);
+
+Tensor relu_forward(const Tensor& x, ThreadPool& pool);
+/// dx = dy where x > 0.
+Tensor relu_backward(const Tensor& x, const Tensor& dy, ThreadPool& pool);
+
+/// Max pooling; `argmax` (same shape as y, flat indices into x) is produced
+/// for the backward pass.
+Tensor maxpool_forward(const Tensor& x, int k, int stride, Tensor& argmax, ThreadPool& pool);
+Tensor maxpool_backward(const Tensor& x, const Tensor& dy, const Tensor& argmax,
+                        ThreadPool& pool);
+
+/// Global average pool: [N,C,H,W] -> [N,C].
+Tensor global_avg_pool_forward(const Tensor& x);
+Tensor global_avg_pool_backward(const Tensor& x, const Tensor& dy);
+
+/// Batch normalization over (N,H,W) per channel, training mode.
+struct BatchNormCache {
+  Tensor x_hat;  ///< normalized input
+  std::vector<float> inv_std;
+};
+Tensor batchnorm_forward(const Tensor& x, const Tensor& gamma, const Tensor& beta, float eps,
+                         BatchNormCache& cache);
+void batchnorm_backward(const Tensor& dy, const BatchNormCache& cache, const Tensor& gamma,
+                        Tensor& dx, Tensor& dgamma, Tensor& dbeta);
+
+/// Mean softmax cross-entropy over the batch; logits [N,K], labels size N.
+/// dlogits gets (softmax - onehot) / N.
+float softmax_xent(const Tensor& logits, const std::vector<int>& labels, Tensor& dlogits);
+
+}  // namespace dnnperf::ref

@@ -1,0 +1,67 @@
+#include "ref/network.hpp"
+
+namespace dnnperf::ref {
+
+Tensor Network::forward(const Tensor& x) {
+  Tensor cur = x;
+  for (auto& layer : layers_) cur = layer->forward(cur);
+  return cur;
+}
+
+void Network::backward(const Tensor& dy) {
+  Tensor cur = dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) cur = (*it)->backward(cur);
+}
+
+std::vector<ParamRef> Network::params() {
+  std::vector<ParamRef> out;
+  for (auto& layer : layers_)
+    for (auto& p : layer->params()) out.push_back(p);
+  return out;
+}
+
+std::size_t Network::num_parameters() {
+  std::size_t n = 0;
+  for (const auto& p : params()) n += p.value->size();
+  return n;
+}
+
+float Network::train_step(const Tensor& x, const std::vector<int>& labels) {
+  const Tensor logits = forward(x);
+  Tensor dlogits;
+  const float loss = softmax_xent(logits, labels, dlogits);
+  backward(dlogits);
+  return loss;
+}
+
+void SgdOptimizer::step(const std::vector<ParamRef>& params) const {
+  for (const auto& p : params)
+    for (std::size_t i = 0; i < p.value->size(); ++i) (*p.value)[i] -= lr_ * (*p.grad)[i];
+}
+
+Network make_tiny_cnn(int in_c, int size, int classes, ThreadPool& pool, util::Rng& rng,
+                      bool batch_norm) {
+  Network net;
+  net.add<Conv2dLayer>("conv1", in_c, 8, 3, ConvSpec{1, 1}, pool, rng);
+  if (batch_norm) net.add<BatchNormLayer>("bn1", 8);
+  net.add<ReLULayer>("relu1", pool);
+  net.add<MaxPoolLayer>("pool1", 2, 2, pool);
+  net.add<Conv2dLayer>("conv2", 8, 16, 3, ConvSpec{1, 1}, pool, rng);
+  if (batch_norm) net.add<BatchNormLayer>("bn2", 16);
+  net.add<ReLULayer>("relu2", pool);
+  net.add<GlobalAvgPoolLayer>("gap");
+  net.add<DenseLayer>("fc", 16, classes, pool, rng);
+  (void)size;
+  return net;
+}
+
+SyntheticBatch synthetic_batch(int n, int c, int size, int classes, util::Rng& rng) {
+  SyntheticBatch batch{Tensor({n, c, size, size}), {}};
+  for (std::size_t i = 0; i < batch.images.size(); ++i)
+    batch.images[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  batch.labels.resize(static_cast<std::size_t>(n));
+  for (auto& l : batch.labels) l = static_cast<int>(rng.uniform_int(0, classes - 1));
+  return batch;
+}
+
+}  // namespace dnnperf::ref

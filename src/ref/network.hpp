@@ -1,0 +1,68 @@
+// refdnn Network: a sequential container with a training step (forward,
+// softmax cross-entropy, backward) and a plain SGD optimizer — the real
+// executable counterpart of the training loop the performance model times.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "ref/layers.hpp"
+
+namespace dnnperf::ref {
+
+class Network {
+ public:
+  /// Adds a layer; returns a reference for optional direct access.
+  template <typename L, typename... Args>
+  L& add(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  Tensor forward(const Tensor& x);
+  /// Backpropagates dy through all layers, filling parameter gradients.
+  void backward(const Tensor& dy);
+
+  std::vector<ParamRef> params();
+  std::size_t num_layers() const { return layers_.size(); }
+  std::size_t num_parameters();
+
+  /// One training step: forward, mean softmax cross-entropy against labels,
+  /// backward. Returns the loss; gradients are left in the layers.
+  float train_step(const Tensor& x, const std::vector<int>& labels);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Plain SGD: p -= lr * g for every parameter.
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(float lr) : lr_(lr) {}
+  void step(const std::vector<ParamRef>& params) const;
+  float learning_rate() const { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// A small conv net (conv[-bn]-relu-pool x2, dense head) for tests/examples:
+/// input [N, in_c, size, size], `classes` outputs. Note that with
+/// batch_norm=true, data-parallel training is no longer bitwise equivalent
+/// to single-process training (BN statistics are per-shard, as in the real
+/// frameworks); pass false where exact SP==MP equivalence is asserted.
+Network make_tiny_cnn(int in_c, int size, int classes, ThreadPool& pool, util::Rng& rng,
+                      bool batch_norm = true);
+
+/// Deterministic synthetic dataset (the pytorch_synthetic_benchmark
+/// equivalent): random images and labels.
+struct SyntheticBatch {
+  Tensor images;
+  std::vector<int> labels;
+};
+SyntheticBatch synthetic_batch(int n, int c, int size, int classes, util::Rng& rng);
+
+}  // namespace dnnperf::ref

@@ -1,0 +1,72 @@
+#include "ref/optimizers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dnnperf::ref {
+
+namespace {
+
+void check_slots(std::vector<Tensor>& slots, const std::vector<ParamRef>& params) {
+  if (slots.empty()) {
+    slots.reserve(params.size());
+    for (const auto& p : params) slots.push_back(Tensor::zeros(p.value->shape()));
+    return;
+  }
+  if (slots.size() != params.size())
+    throw std::invalid_argument("optimizer: parameter list changed between steps");
+  for (std::size_t i = 0; i < params.size(); ++i)
+    if (!slots[i].same_shape(*params[i].value))
+      throw std::invalid_argument("optimizer: parameter shape changed between steps");
+}
+
+}  // namespace
+
+MomentumSgd::MomentumSgd(float lr, float momentum) : lr_(lr), momentum_(momentum) {
+  if (lr <= 0.0f) throw std::invalid_argument("MomentumSgd: lr <= 0");
+  if (momentum < 0.0f || momentum >= 1.0f)
+    throw std::invalid_argument("MomentumSgd: momentum outside [0,1)");
+}
+
+void MomentumSgd::step(const std::vector<ParamRef>& params) {
+  check_slots(velocity_, params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& v = velocity_[i];
+    Tensor& p = *params[i].value;
+    const Tensor& g = *params[i].grad;
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      v[k] = momentum_ * v[k] + g[k];
+      p[k] -= lr_ * v[k];
+    }
+  }
+}
+
+Adam::Adam(float lr, float beta1, float beta2, float eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  if (lr <= 0.0f) throw std::invalid_argument("Adam: lr <= 0");
+  if (beta1 < 0.0f || beta1 >= 1.0f || beta2 < 0.0f || beta2 >= 1.0f)
+    throw std::invalid_argument("Adam: betas outside [0,1)");
+}
+
+void Adam::step(const std::vector<ParamRef>& params) {
+  check_slots(m_, params);
+  check_slots(v_, params);
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    Tensor& p = *params[i].value;
+    const Tensor& g = *params[i].grad;
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      m[k] = beta1_ * m[k] + (1.0f - beta1_) * g[k];
+      v[k] = beta2_ * v[k] + (1.0f - beta2_) * g[k] * g[k];
+      const float m_hat = m[k] / bc1;
+      const float v_hat = v[k] / bc2;
+      p[k] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace dnnperf::ref

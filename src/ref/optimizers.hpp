@@ -1,0 +1,50 @@
+// refdnn optimizers beyond plain SGD: momentum SGD (what the paper's
+// tf_cnn_benchmarks runs use) and Adam. Stateful per-parameter slots keyed
+// by the ParamRef order, which is stable for a fixed Network.
+#pragma once
+
+#include <vector>
+
+#include "ref/layers.hpp"
+
+namespace dnnperf::ref {
+
+/// SGD with classical momentum: v = mu * v + g; p -= lr * v.
+class MomentumSgd {
+ public:
+  MomentumSgd(float lr, float momentum);
+
+  /// Applies one update. The params vector must be the same (same order,
+  /// same shapes) on every call; state slots are allocated lazily.
+  void step(const std::vector<ParamRef>& params);
+
+  float learning_rate() const { return lr_; }
+  float momentum() const { return momentum_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba): bias-corrected first/second moments.
+class Adam {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+  void step(const std::vector<ParamRef>& params);
+
+  float learning_rate() const { return lr_; }
+  int steps_taken() const { return t_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace dnnperf::ref

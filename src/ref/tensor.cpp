@@ -1,0 +1,53 @@
+#include "ref/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace dnnperf::ref {
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  if (shape_.empty() || shape_.size() > 4) throw std::invalid_argument("Tensor: rank 1..4 only");
+  std::size_t n = 1;
+  for (int d : shape_) {
+    if (d <= 0) throw std::invalid_argument("Tensor: non-positive dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  data_.assign(n, 0.0f);
+}
+
+Tensor Tensor::zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::randn(std::vector<int> shape, util::Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+Tensor Tensor::reshaped(std::vector<int> shape) const {
+  Tensor t(std::move(shape));
+  if (t.size() != size()) throw std::invalid_argument("reshaped: element count mismatch");
+  std::copy(data_.begin(), data_.end(), t.data_.begin());
+  return t;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) os << (i ? "," : "") << shape_[i];
+  os << ']';
+  return os.str();
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("max_abs_diff: shape mismatch");
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace dnnperf::ref

@@ -1,0 +1,66 @@
+// refdnn: a small, real tensor type (fp32, row-major, up to 4-D) backing the
+// executable mini-framework used for correctness tests and runnable
+// examples. This is the numeric ground truth for the training semantics the
+// performance model assumes (e.g. MP data-parallel == SP gradients).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dnnperf::ref {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor zeros(std::vector<int> shape);
+  /// He-style normal init scaled by fan-in (deterministic given rng).
+  static Tensor randn(std::vector<int> shape, util::Rng& rng, float stddev = 1.0f);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const { return shape_.at(static_cast<std::size_t>(i)); }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  std::size_t size() const { return data_.size(); }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 4-D accessor (N,C,H,W); bounds checked only in debug builds.
+  float& at4(int n, int c, int h, int w) {
+    return data_[index4(n, c, h, w)];
+  }
+  float at4(int n, int c, int h, int w) const { return data_[index4(n, c, h, w)]; }
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// Reshape preserving element count; throws std::invalid_argument otherwise.
+  Tensor reshaped(std::vector<int> shape) const;
+
+  std::string shape_str() const;
+
+ private:
+  std::size_t index4(int n, int c, int h, int w) const {
+    return ((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  }
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Max |a - b| over all elements; shapes must match.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace dnnperf::ref

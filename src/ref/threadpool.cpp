@@ -1,0 +1,86 @@
+#include "ref/threadpool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dnnperf::ref {
+
+ThreadPool::ThreadPool(int threads) : threads_(threads) {
+  if (threads < 1) throw std::invalid_argument("ThreadPool: threads < 1");
+  for (int i = 1; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    ++active_;
+    while (next_ < total_) {
+      const std::size_t begin = next_;
+      const std::size_t end = std::min(total_, begin + chunk_);
+      next_ = end;
+      lock.unlock();
+      try {
+        (*body_)(begin, end);
+      } catch (...) {
+        lock.lock();
+        if (!error_) error_ = std::current_exception();
+        continue;
+      }
+      lock.lock();
+    }
+    --active_;
+    if (active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads_ == 1 || n == 1) {
+    body(0, n);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  body_ = &body;
+  total_ = n;
+  chunk_ = std::max<std::size_t>(1, n / (static_cast<std::size_t>(threads_) * 4));
+  next_ = 0;
+  error_ = nullptr;
+  ++generation_;
+  work_cv_.notify_all();
+
+  // The calling thread participates too.
+  while (next_ < total_) {
+    const std::size_t begin = next_;
+    const std::size_t end = std::min(total_, begin + chunk_);
+    next_ = end;
+    lock.unlock();
+    try {
+      body(begin, end);
+    } catch (...) {
+      lock.lock();
+      if (!error_) error_ = std::current_exception();
+      continue;
+    }
+    lock.lock();
+  }
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  body_ = nullptr;
+  if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
+}
+
+}  // namespace dnnperf::ref

@@ -1,0 +1,52 @@
+// Persistent thread pool with a blocking parallel_for — the intra-op
+// parallelism substrate of the refdnn kernels (the real counterpart of the
+// "intra-op threads" the performance model reasons about).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dnnperf::ref {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1). threads == 1 runs inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Splits [0, n) into contiguous chunks and runs body(begin, end) on the
+  /// workers; blocks until all chunks finish. Exceptions from the body
+  /// propagate to the caller (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  std::size_t total_ = 0;
+  std::size_t chunk_ = 0;
+  std::size_t next_ = 0;
+  int active_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace dnnperf::ref

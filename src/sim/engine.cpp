@@ -1,0 +1,53 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dnnperf::sim {
+
+EventId Engine::schedule_at(double t, Callback cb) {
+  if (t < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(cb)});
+  return id;
+}
+
+EventId Engine::schedule_after(double dt, Callback cb) {
+  if (dt < 0.0) throw std::invalid_argument("Engine::schedule_after: negative delay");
+  return schedule_at(now_ + dt, std::move(cb));
+}
+
+void Engine::cancel(EventId id) { cancelled_.insert(id); }
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    // priority_queue has no non-const pop-and-move; the callback is a small
+    // std::function so the copy is acceptable for simulation workloads.
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ++processed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(double t) {
+  if (t < now_) throw std::invalid_argument("Engine::run_until: time in the past");
+  while (!queue_.empty() && queue_.top().time <= t) {
+    if (!step()) break;
+  }
+  now_ = t;
+}
+
+}  // namespace dnnperf::sim

@@ -1,0 +1,66 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event calendar: callbacks scheduled at simulated times,
+// executed in (time, insertion-order) order. The Horovod engine simulator
+// (src/hvd/sim_engine) runs on top of this, as do the ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace dnnperf::sim {
+
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time in seconds.
+  double now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  EventId schedule_at(double t, Callback cb);
+
+  /// Schedules `cb` `dt` seconds from now (dt >= 0).
+  EventId schedule_after(double dt, Callback cb);
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  /// Runs until the calendar is empty.
+  void run();
+
+  /// Runs events with time <= t, then sets now() = t.
+  void run_until(double t);
+
+  /// Executes exactly one event if any is pending; returns false when empty.
+  bool step();
+
+  bool empty() const { return queue_.size() == cancelled_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace dnnperf::sim

@@ -1,0 +1,34 @@
+#include "sim/resource.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dnnperf::sim {
+
+Resource::Resource(Engine& engine, int capacity) : engine_(engine), capacity_(capacity) {
+  if (capacity <= 0) throw std::invalid_argument("Resource: capacity <= 0");
+}
+
+void Resource::acquire(std::function<void()> on_acquired) {
+  if (in_use_ < capacity_) {
+    ++in_use_;
+    // Run through the engine so acquisition is always asynchronous and
+    // callers cannot observe re-entrant grant ordering.
+    engine_.schedule_after(0.0, std::move(on_acquired));
+    return;
+  }
+  waiters_.push_back(std::move(on_acquired));
+}
+
+void Resource::release() {
+  if (in_use_ <= 0) throw std::logic_error("Resource::release without acquire");
+  if (!waiters_.empty()) {
+    auto next = std::move(waiters_.front());
+    waiters_.pop_front();
+    engine_.schedule_after(0.0, std::move(next));
+    return;  // unit transfers directly to the waiter
+  }
+  --in_use_;
+}
+
+}  // namespace dnnperf::sim

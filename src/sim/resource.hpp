@@ -1,0 +1,37 @@
+// FIFO resource with integer capacity for discrete-event models
+// (e.g. "a node's cores" or "one NIC"): acquire runs the continuation when
+// a unit is free; release hands the unit to the next waiter at the current
+// simulated time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/engine.hpp"
+
+namespace dnnperf::sim {
+
+class Resource {
+ public:
+  Resource(Engine& engine, int capacity);
+
+  /// Requests one unit; `on_acquired` runs (possibly immediately) once
+  /// granted. FIFO order among waiters.
+  void acquire(std::function<void()> on_acquired);
+
+  /// Returns one unit; grants the head waiter, if any, at the current time.
+  void release();
+
+  int capacity() const { return capacity_; }
+  int in_use() const { return in_use_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  int capacity_;
+  int in_use_ = 0;
+  std::deque<std::function<void()>> waiters_;
+};
+
+}  // namespace dnnperf::sim

@@ -1,0 +1,120 @@
+#include "train/real_trainer.hpp"
+
+#include <stdexcept>
+
+#include "hvd/real_engine.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/world.hpp"
+#include "ref/network.hpp"
+
+namespace dnnperf::train {
+
+namespace {
+
+void check(const RealTrainConfig& cfg) {
+  if (cfg.ranks <= 0 || cfg.batch_per_rank <= 0 || cfg.steps <= 0)
+    throw std::invalid_argument("RealTrainConfig: non-positive size");
+  if (cfg.threads_per_rank <= 0)
+    throw std::invalid_argument("RealTrainConfig: threads_per_rank <= 0");
+  if (cfg.ranks_per_node < 0 || (cfg.ranks_per_node > 0 && cfg.ranks % cfg.ranks_per_node != 0))
+    throw std::invalid_argument("RealTrainConfig: ranks_per_node must divide ranks");
+  cfg.policy.validate();
+}
+
+/// Copies one rank's shard [rank*bpr, (rank+1)*bpr) out of the global batch.
+ref::SyntheticBatch shard_of(const ref::SyntheticBatch& global, int rank, int bpr) {
+  const int c = global.images.dim(1);
+  const int h = global.images.dim(2);
+  const int w = global.images.dim(3);
+  ref::SyntheticBatch shard{ref::Tensor({bpr, c, h, w}), {}};
+  const std::size_t per_image = static_cast<std::size_t>(c) * h * w;
+  const std::size_t offset = static_cast<std::size_t>(rank) * bpr * per_image;
+  for (std::size_t i = 0; i < shard.images.size(); ++i)
+    shard.images[i] = global.images[offset + i];
+  shard.labels.assign(global.labels.begin() + static_cast<std::ptrdiff_t>(rank) * bpr,
+                      global.labels.begin() + static_cast<std::ptrdiff_t>(rank + 1) * bpr);
+  return shard;
+}
+
+std::vector<float> flatten_params(ref::Network& net) {
+  std::vector<float> out;
+  for (const auto& p : net.params())
+    out.insert(out.end(), p.value->flat().begin(), p.value->flat().end());
+  return out;
+}
+
+}  // namespace
+
+RealTrainResult run_real_training(const RealTrainConfig& cfg) {
+  check(cfg);
+  RealTrainResult result;
+  const int global_batch = cfg.ranks * cfg.batch_per_rank;
+
+  mpi::World::run(cfg.ranks, [&](mpi::Comm& comm) {
+    ref::ThreadPool pool(cfg.threads_per_rank);
+    util::Rng init_rng(cfg.seed);  // identical initialization on every rank
+    ref::Network net =
+        ref::make_tiny_cnn(cfg.channels, cfg.image_size, cfg.classes, pool, init_rng, cfg.batch_norm);
+    auto params = net.params();
+
+    hvd::RealEngine engine(comm, cfg.policy, cfg.ranks_per_node);
+    std::vector<int> tensor_ids;
+    tensor_ids.reserve(params.size());
+    for (const auto& p : params)
+      tensor_ids.push_back(engine.register_tensor(p.name, p.grad->size()));
+
+    ref::SgdOptimizer sgd(cfg.learning_rate);
+    util::Rng data_rng(cfg.seed + 1);  // same global data stream on every rank
+    std::vector<float> losses;
+
+    for (int step = 0; step < cfg.steps; ++step) {
+      const auto global =
+          ref::synthetic_batch(global_batch, cfg.channels, cfg.image_size, cfg.classes, data_rng);
+      const auto shard = shard_of(global, comm.rank(), cfg.batch_per_rank);
+      float loss = net.train_step(shard.images, shard.labels);
+
+      // Hand each gradient to the engine as backward produced it, then run
+      // engine cycles until all are averaged across ranks.
+      for (std::size_t i = 0; i < params.size(); ++i)
+        engine.submit(tensor_ids[i], params[i].grad->flat());
+      engine.synchronize();
+
+      sgd.step(params);
+
+      mpi::allreduce(comm, std::span<float>(&loss, 1), mpi::ReduceOp::Sum);
+      losses.push_back(loss / static_cast<float>(cfg.ranks));
+    }
+
+    if (comm.rank() == 0) {
+      result.losses = std::move(losses);
+      result.comm = engine.stats();
+      result.parameters = net.num_parameters();
+      result.final_params = flatten_params(net);
+    }
+  });
+  return result;
+}
+
+RealTrainResult run_real_training_single(const RealTrainConfig& cfg) {
+  check(cfg);
+  RealTrainResult result;
+  const int global_batch = cfg.ranks * cfg.batch_per_rank;
+
+  ref::ThreadPool pool(cfg.threads_per_rank);
+  util::Rng init_rng(cfg.seed);
+  ref::Network net = ref::make_tiny_cnn(cfg.channels, cfg.image_size, cfg.classes, pool, init_rng, cfg.batch_norm);
+  ref::SgdOptimizer sgd(cfg.learning_rate);
+  util::Rng data_rng(cfg.seed + 1);
+
+  for (int step = 0; step < cfg.steps; ++step) {
+    const auto batch =
+        ref::synthetic_batch(global_batch, cfg.channels, cfg.image_size, cfg.classes, data_rng);
+    result.losses.push_back(net.train_step(batch.images, batch.labels));
+    sgd.step(net.params());
+  }
+  result.parameters = net.num_parameters();
+  result.final_params = flatten_params(net);
+  return result;
+}
+
+}  // namespace dnnperf::train

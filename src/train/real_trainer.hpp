@@ -1,0 +1,48 @@
+// RealTrainer: actually trains a small CNN with synchronous data parallelism
+// — rank threads (minimpi), a Horovod-style fusion engine (hvd::RealEngine),
+// and real SGD on refdnn tensors.
+//
+// This validates the semantics every simulated experiment assumes: sharded
+// data + gradient averaging is equivalent to single-process training on the
+// combined batch, independent of rank count and fusion policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hvd/policy.hpp"
+
+namespace dnnperf::train {
+
+struct RealTrainConfig {
+  int ranks = 2;            ///< data-parallel workers (threads)
+  int batch_per_rank = 4;
+  int steps = 3;
+  int image_size = 8;
+  int channels = 3;
+  int classes = 4;
+  float learning_rate = 0.05f;
+  bool batch_norm = false;  ///< BN breaks exact SP==MP equivalence (per-shard stats)
+  std::uint64_t seed = 42;
+  int threads_per_rank = 1;  ///< intra-op threads in each rank's pool
+  /// > 0: hierarchical gradient exchange with this many ranks per "node".
+  int ranks_per_node = 0;
+  hvd::FusionPolicy policy;
+};
+
+struct RealTrainResult {
+  std::vector<float> losses;  ///< global mean loss per step
+  hvd::CommStats comm;        ///< rank-0 engine counters
+  std::size_t parameters = 0;
+  std::vector<float> final_params;  ///< rank-0 flattened parameters after training
+};
+
+/// Multi-process (MP) training: `ranks` workers, per-rank batch, Horovod-style
+/// gradient averaging each step.
+RealTrainResult run_real_training(const RealTrainConfig& config);
+
+/// Single-process (SP) reference: one worker on the combined batch
+/// (ranks * batch_per_rank). Produces the same parameter trajectory as MP.
+RealTrainResult run_real_training_single(const RealTrainConfig& config);
+
+}  // namespace dnnperf::train

@@ -1,0 +1,166 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dnn/report.hpp"
+#include "exec/cpu_model.hpp"
+#include "exec/gpu_model.hpp"
+#include "exec/placement.hpp"
+#include "mpi/cost.hpp"
+#include "net/topology.hpp"
+#include "util/stats.hpp"
+
+namespace dnnperf::train {
+
+namespace {
+
+struct ResolvedThreads {
+  int intra;
+  int inter;
+};
+
+ResolvedThreads resolve_threads(const TrainConfig& cfg) {
+  const auto& cpu = cfg.cluster.node.cpu;
+  const int cores_per_rank = std::max(1, cpu.total_cores() / cfg.ppn);
+  int intra = cfg.intra_threads;
+  int inter = cfg.inter_threads;
+  if (intra == 0) {
+    if (cfg.framework == exec::Framework::PyTorch) {
+      intra = cores_per_rank;  // PyTorch's default pool spans its cores
+    } else if (cfg.use_horovod && cfg.nodes * cfg.ppn > 1) {
+      intra = std::max(1, cores_per_rank - 1);  // leave a core for Horovod
+    } else {
+      intra = cores_per_rank;
+    }
+  }
+  if (inter == 0) {
+    if (cfg.framework == exec::Framework::PyTorch)
+      inter = 1;  // eager execution schedules one op at a time
+    else
+      inter = cpu.threads_per_core > 1 ? 2 : 1;  // the paper's tuned value
+  }
+  return {intra, inter};
+}
+
+void validate(const TrainConfig& cfg) {
+  cfg.cluster.validate();
+  cfg.policy.validate();
+  if (cfg.nodes <= 0 || cfg.ppn <= 0) throw std::invalid_argument("TrainConfig: bad nodes/ppn");
+  if (cfg.nodes > cfg.cluster.max_nodes)
+    throw std::invalid_argument("TrainConfig: nodes exceeds cluster size");
+  if (cfg.batch_per_rank <= 0) throw std::invalid_argument("TrainConfig: bad batch");
+  if (cfg.device == DeviceKind::Gpu) {
+    if (!cfg.cluster.node.has_gpu())
+      throw std::invalid_argument("TrainConfig: GPU run on a CPU-only cluster");
+    if (cfg.ppn > cfg.cluster.node.gpu->devices_per_node)
+      throw std::invalid_argument("TrainConfig: ppn exceeds GPUs per node");
+  }
+  if (cfg.jitter_cv < 0.0) throw std::invalid_argument("TrainConfig: negative jitter");
+}
+
+}  // namespace
+
+TrainResult run_training(const TrainConfig& cfg) {
+  validate(cfg);
+  const dnn::Graph graph = dnn::build_model(cfg.model);
+  if (cfg.validate_memory) {
+    const double footprint = dnn::training_memory(graph, cfg.batch_per_rank).total();
+    const double budget = cfg.device == DeviceKind::Gpu
+                              ? cfg.cluster.node.gpu->memory_gib * 1024.0 * 1024.0 * 1024.0
+                              : cfg.cluster.node.memory_gib * 1024.0 * 1024.0 * 1024.0 / cfg.ppn;
+    if (footprint > budget) {
+      const int max_bs = dnn::max_batch_for_memory(graph, budget);
+      throw std::invalid_argument(
+          "TrainConfig: batch " + std::to_string(cfg.batch_per_rank) +
+          " does not fit in memory (max feasible per-rank batch: " + std::to_string(max_bs) +
+          ")");
+    }
+  }
+  const int world = cfg.nodes * cfg.ppn;
+  const bool horovod_active = cfg.use_horovod && world > 1;
+  if (world > 1 && !cfg.use_horovod)
+    throw std::invalid_argument("TrainConfig: multi-rank run requires Horovod");
+
+  hvd::TimelineInput tl;
+  tl.policy = cfg.policy;
+  tl.iterations = cfg.iterations;
+  tl.straggler_factor =
+      world > 1 ? util::expected_max_normal(1.0, cfg.jitter_cv, static_cast<std::size_t>(world))
+                : 1.0;
+
+  TrainResult result;
+  result.world_size = world;
+  result.effective_batch = world * cfg.batch_per_rank;
+
+  std::optional<mpi::CollectiveCostModel> cost;
+
+  if (cfg.device == DeviceKind::Cpu) {
+    const auto threads = resolve_threads(cfg);
+    result.resolved_intra = threads.intra;
+    result.resolved_inter = threads.inter;
+
+    exec::ExecConfig ec;
+    ec.framework = cfg.framework;
+    ec.intra_threads = threads.intra;
+    ec.inter_threads = threads.inter;
+    ec.batch = cfg.batch_per_rank;
+    ec.horovod_thread = horovod_active;
+
+    const exec::Placement placement =
+        exec::place_rank(cfg.cluster.node.cpu, cfg.ppn, threads.intra);
+    const exec::CpuExecModel model(cfg.cluster.node.cpu);
+
+    const auto fwd = model.forward(graph, ec, placement);
+    const auto bwd = model.backward(graph, ec, placement);
+    tl.fwd_time = fwd.duration;
+    tl.bwd_time = bwd.duration;
+    tl.grad_events = bwd.grad_events;
+    tl.optimizer_time = model.optimizer_time(graph, placement);
+    tl.iteration_fixed = model.iteration_fixed_overhead(cfg.framework);
+    tl.comm_thread_shares_core = horovod_active && threads.intra >= placement.cores;
+    tl.cores_per_rank = placement.cores;
+
+    if (horovod_active)
+      cost.emplace(net::Topology(cfg.nodes, cfg.ppn, cfg.cluster.fabric));
+  } else {
+    result.resolved_intra = 1;
+    result.resolved_inter = 1;
+    const exec::GpuExecModel model(*cfg.cluster.node.gpu);
+    const auto fwd = model.forward(graph, cfg.framework, cfg.batch_per_rank);
+    const auto bwd = model.backward(graph, cfg.framework, cfg.batch_per_rank);
+    tl.fwd_time = fwd.duration;
+    tl.bwd_time = bwd.duration;
+    tl.grad_events = bwd.grad_events;
+    tl.optimizer_time = model.optimizer_time(graph);
+    tl.iteration_fixed = model.iteration_fixed_overhead(cfg.framework);
+    tl.comm_thread_shares_core = false;  // host cores are idle during GPU runs
+
+    if (horovod_active)
+      cost.emplace(
+          net::Topology(cfg.nodes, cfg.ppn, cfg.cluster.fabric, net::pcie3_x16_params()));
+  }
+
+  tl.cost = cost ? &*cost : nullptr;
+
+  const hvd::TimelineResult sim = hvd::simulate_training(tl);
+  result.per_iteration_s = sim.per_iteration;
+  result.images_per_sec =
+      static_cast<double>(result.effective_batch) / sim.per_iteration;
+  result.fwd_s = tl.fwd_time;
+  result.bwd_s = tl.bwd_time;
+  result.optimizer_s = tl.optimizer_time;
+  result.comm = sim.stats;
+  result.comm_exposed_fraction = sim.comm_exposed_fraction;
+  return result;
+}
+
+double speedup_vs_single_node(const TrainConfig& cfg) {
+  TrainConfig base = cfg;
+  base.nodes = 1;
+  const double single = run_training(base).images_per_sec;
+  const double multi = run_training(cfg).images_per_sec;
+  return multi / single;
+}
+
+}  // namespace dnnperf::train

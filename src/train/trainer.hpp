@@ -1,0 +1,73 @@
+// Trainer: composes the DNN graph, execution model, Horovod engine timeline,
+// and collective cost model into one simulated training run — the equivalent
+// of launching tf_cnn_benchmarks / pytorch_synthetic_benchmark under mpirun
+// on one of the paper's clusters.
+//
+// Configurations mirror the paper's experiment types:
+//   SP  — nodes=1, ppn=1, use_horovod=false, intra = all cores (or a sweep);
+//   MP  — nodes=1, ppn>1 via Horovod;
+//   MN  — nodes>1.
+#pragma once
+
+#include "dnn/models.hpp"
+#include "exec/config.hpp"
+#include "hvd/policy.hpp"
+#include "hvd/timeline.hpp"
+#include "hw/node.hpp"
+
+namespace dnnperf::train {
+
+enum class DeviceKind { Cpu, Gpu };
+
+struct TrainConfig {
+  hw::ClusterModel cluster;
+  dnn::ModelId model = dnn::ModelId::ResNet50;
+  exec::Framework framework = exec::Framework::TensorFlow;
+  DeviceKind device = DeviceKind::Cpu;
+
+  int nodes = 1;
+  /// Processes per node (CPU) or GPUs used per node (GPU).
+  int ppn = 1;
+  /// 0 = auto: cores/ppn minus one when a Horovod thread runs (the paper's
+  /// intra-op rule), all cores for plain SP; PyTorch uses cores/ppn.
+  int intra_threads = 0;
+  /// 0 = auto: 2 on SMT-enabled CPUs (the paper's tuned value), else 1;
+  /// PyTorch (eager) always runs 1.
+  int inter_threads = 0;
+  int batch_per_rank = 64;
+
+  hvd::FusionPolicy policy;
+  /// False = plain single-process run without the Horovod engine.
+  bool use_horovod = true;
+  int iterations = 3;
+  /// Per-rank compute jitter (coefficient of variation) feeding the
+  /// expected-max straggler model.
+  double jitter_cv = 0.02;
+  /// When true, reject configurations whose conservative training footprint
+  /// (dnn::training_memory) exceeds device/node memory. Off by default: the
+  /// footprint model assumes no buffer reuse, which real frameworks do.
+  bool validate_memory = false;
+};
+
+struct TrainResult {
+  double images_per_sec = 0.0;  ///< aggregate across all ranks
+  double per_iteration_s = 0.0;
+  double fwd_s = 0.0;           ///< per-rank forward compute
+  double bwd_s = 0.0;
+  double optimizer_s = 0.0;
+  double comm_exposed_fraction = 0.0;
+  hvd::CommStats comm;
+  int world_size = 1;
+  int effective_batch = 0;      ///< global batch = world * batch_per_rank
+  int resolved_intra = 0;
+  int resolved_inter = 0;
+};
+
+/// Runs one simulated training experiment. Deterministic.
+TrainResult run_training(const TrainConfig& config);
+
+/// Throughput ratio vs the same config at nodes=1 (the paper's speedup
+/// metric for the multi-node figures).
+double speedup_vs_single_node(const TrainConfig& config);
+
+}  // namespace dnnperf::train

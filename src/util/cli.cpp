@@ -1,0 +1,141 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace dnnperf::util {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help, bool default_value) {
+  Option opt;
+  opt.kind = Kind::Flag;
+  opt.help = help;
+  opt.flag_value = default_value;
+  options_[name] = std::move(opt);
+}
+
+void CliParser::add_int(const std::string& name, const std::string& help,
+                        std::int64_t default_value) {
+  Option opt;
+  opt.kind = Kind::Int;
+  opt.help = help;
+  opt.int_value = default_value;
+  options_[name] = std::move(opt);
+}
+
+void CliParser::add_double(const std::string& name, const std::string& help,
+                           double default_value) {
+  Option opt;
+  opt.kind = Kind::Double;
+  opt.help = help;
+  opt.double_value = default_value;
+  options_[name] = std::move(opt);
+}
+
+void CliParser::add_string(const std::string& name, const std::string& help,
+                           std::string default_value) {
+  Option opt;
+  opt.kind = Kind::String;
+  opt.help = help;
+  opt.string_value = std::move(default_value);
+  options_[name] = std::move(opt);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    bool negated = false;
+    if (options_.find(name) == options_.end() && name.rfind("no-", 0) == 0) {
+      const std::string positive = name.substr(3);
+      if (auto it = options_.find(positive); it != options_.end() && it->second.kind == Kind::Flag) {
+        name = positive;
+        negated = true;
+      }
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) throw std::invalid_argument("unknown flag: --" + name);
+    Option& opt = it->second;
+    if (opt.kind == Kind::Flag) {
+      if (has_value)
+        opt.flag_value = (value == "true" || value == "1" || value == "yes");
+      else
+        opt.flag_value = !negated;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) throw std::invalid_argument("flag --" + name + " expects a value");
+      value = argv[++i];
+    }
+    try {
+      switch (opt.kind) {
+        case Kind::Int: opt.int_value = std::stoll(value); break;
+        case Kind::Double: opt.double_value = std::stod(value); break;
+        case Kind::String: opt.string_value = value; break;
+        case Kind::Flag: break;
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad value for --" + name + ": " + value);
+    }
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::lookup(const std::string& name, Kind kind) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) throw std::invalid_argument("undeclared flag: --" + name);
+  if (it->second.kind != kind) throw std::invalid_argument("flag type mismatch: --" + name);
+  return it->second;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return lookup(name, Kind::Flag).flag_value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return lookup(name, Kind::Int).int_value;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return lookup(name, Kind::Double).double_value;
+}
+
+const std::string& CliParser::get_string(const std::string& name) const {
+  return lookup(name, Kind::String).string_value;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " - " << description_ << "\n\noptions:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    switch (opt.kind) {
+      case Kind::Flag: os << " (bool, default " << (opt.flag_value ? "true" : "false") << ")"; break;
+      case Kind::Int: os << " <int, default " << opt.int_value << ">"; break;
+      case Kind::Double: os << " <float, default " << opt.double_value << ">"; break;
+      case Kind::String: os << " <string, default \"" << opt.string_value << "\">"; break;
+    }
+    os << "\n      " << opt.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dnnperf::util

@@ -1,0 +1,56 @@
+// Tiny command-line flag parser for examples and benchmark binaries.
+//
+// Supports --name=value and --name value forms plus boolean switches
+// (--flag / --no-flag). Unknown flags are an error so typos surface.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dnnperf::util {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  void add_flag(const std::string& name, const std::string& help, bool default_value);
+  void add_int(const std::string& name, const std::string& help, std::int64_t default_value);
+  void add_double(const std::string& name, const std::string& help, double default_value);
+  void add_string(const std::string& name, const std::string& help, std::string default_value);
+
+  /// Parses argv. Returns false (after printing usage) for --help.
+  /// Throws std::invalid_argument on unknown flags or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  bool get_flag(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { Flag, Int, Double, String };
+  struct Option {
+    Kind kind;
+    std::string help;
+    bool flag_value = false;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  const Option& lookup(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dnnperf::util

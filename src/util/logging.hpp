@@ -1,0 +1,57 @@
+// Minimal leveled logging for dnnperf.
+//
+// Logging is process-global, thread-safe, and writes to stderr. Benchmarks
+// and examples default to Warn so their stdout tables stay clean; tests can
+// raise the level to Debug for diagnosis.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dnnperf::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global log level. Thread-safe.
+void set_log_level(LogLevel level);
+
+/// Current global log level.
+LogLevel log_level();
+
+/// Emits a single log record (used by the DNNPERF_LOG macro).
+void log_message(LogLevel level, const char* file, int line, const std::string& msg);
+
+namespace detail {
+
+class LogCapture {
+ public:
+  LogCapture(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogCapture() { log_message(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogCapture& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace dnnperf::util
+
+#define DNNPERF_LOG(level)                                                  \
+  if (static_cast<int>(level) < static_cast<int>(::dnnperf::util::log_level())) { \
+  } else                                                                    \
+    ::dnnperf::util::detail::LogCapture(level, __FILE__, __LINE__)
+
+#define LOG_DEBUG DNNPERF_LOG(::dnnperf::util::LogLevel::Debug)
+#define LOG_INFO DNNPERF_LOG(::dnnperf::util::LogLevel::Info)
+#define LOG_WARN DNNPERF_LOG(::dnnperf::util::LogLevel::Warn)
+#define LOG_ERROR DNNPERF_LOG(::dnnperf::util::LogLevel::Error)

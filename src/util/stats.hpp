@@ -1,0 +1,55 @@
+// Small statistics toolkit used across the characterization harness.
+//
+// The paper runs every experiment three times and reports the average
+// (Section IV-B); RunStats implements that aggregation plus the dispersion
+// measures the tests assert on. expected_max_normal() supports the straggler
+// model: a synchronous allreduce waits for the slowest of N jittered ranks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dnnperf::util {
+
+/// Streaming mean/variance/min/max (Welford).
+class RunStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  /// stddev / mean; 0 when mean is 0.
+  double coeff_of_variation() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+/// Median; averages the middle pair for even sizes. Empty input -> 0.
+double median(std::vector<double> xs);
+/// p in [0,1]; linear interpolation between closest ranks. Empty input -> 0.
+double percentile(std::vector<double> xs, double p);
+
+/// E[max of n iid N(mu, sigma^2) samples], via the Blom approximation
+/// mu + sigma * Phi^-1((n - 0.375) / (n + 0.25)). Exact for n = 1.
+double expected_max_normal(double mu, double sigma, std::size_t n);
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.15e-9 over (0,1)).
+double inverse_normal_cdf(double p);
+
+/// Geometric mean; requires all positive inputs. Empty input -> 0.
+double geometric_mean(const std::vector<double>& xs);
+
+}  // namespace dnnperf::util

@@ -1,0 +1,44 @@
+// Text table / CSV rendering for benchmark output.
+//
+// Every figure-reproduction binary prints its series through TextTable so the
+// output format is uniform and machine-parsable (a CSV dump accompanies the
+// aligned text form).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dnnperf::util {
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+  const std::vector<std::string>& header() const { return headers_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Renders an aligned, pipe-separated table.
+  std::string to_text() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dnnperf::util

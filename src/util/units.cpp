@@ -1,0 +1,39 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dnnperf::util {
+
+namespace {
+
+std::string printf_str(const char* fmt, double v, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v, suffix);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  if (bytes >= kGiB) return printf_str("%.2f %s", bytes / kGiB, "GiB");
+  if (bytes >= kMiB) return printf_str("%.2f %s", bytes / kMiB, "MiB");
+  if (bytes >= kKiB) return printf_str("%.1f %s", bytes / kKiB, "KiB");
+  return printf_str("%.0f %s", bytes, "B");
+}
+
+std::string format_time(double seconds) {
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0) return printf_str("%.3f %s", seconds, "s");
+  if (abs >= 1e-3) return printf_str("%.3f %s", seconds * 1e3, "ms");
+  if (abs >= 1e-6) return printf_str("%.3f %s", seconds * 1e6, "us");
+  return printf_str("%.1f %s", seconds * 1e9, "ns");
+}
+
+std::string format_rate(double per_second, const std::string& unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s/s", per_second, unit.c_str());
+  return buf;
+}
+
+}  // namespace dnnperf::util

@@ -1,0 +1,29 @@
+// Unit helpers: human-readable formatting for bytes / time / rates, and the
+// constants used throughout the performance model (seconds as double).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dnnperf::util {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+
+inline constexpr double kGFLOP = 1e9;
+inline constexpr double kGBps = 1e9;  // network vendors quote decimal GB/s
+
+/// "1.50 GiB", "320.0 KiB", "17 B".
+std::string format_bytes(double bytes);
+
+/// "1.23 s", "45.6 ms", "7.8 us".
+std::string format_time(double seconds);
+
+/// "123.4 img/s" style rate with the given unit suffix.
+std::string format_rate(double per_second, const std::string& unit);
+
+}  // namespace dnnperf::util

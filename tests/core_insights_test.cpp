@@ -1,0 +1,25 @@
+#include <gtest/gtest.h>
+
+#include "core/insights.hpp"
+
+namespace dnnperf::core {
+namespace {
+
+TEST(KeyInsights, EverySectionNineClaimHoldsInTheModel) {
+  const auto insights = evaluate_key_insights();
+  ASSERT_EQ(insights.size(), 7u);
+  for (const auto& i : insights) {
+    EXPECT_TRUE(i.holds) << i.claim << "\n measured: " << i.measured;
+    EXPECT_FALSE(i.measured.empty());
+  }
+}
+
+TEST(KeyInsights, RenderIncludesEveryClaim) {
+  const auto insights = evaluate_key_insights();
+  const std::string report = render_insights(insights);
+  for (const auto& i : insights) EXPECT_NE(report.find(i.claim), std::string::npos);
+  EXPECT_EQ(report.find("[FAILS]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnnperf::core

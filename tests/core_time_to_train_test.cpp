@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "core/presets.hpp"
+#include "core/time_to_train.hpp"
+#include "hw/platforms.hpp"
+
+namespace dnnperf::core {
+namespace {
+
+TEST(StatisticalEfficiency, FlatThenLogarithmic) {
+  StatisticalEfficiency eff;
+  EXPECT_DOUBLE_EQ(eff.epochs_needed(256), eff.base_epochs);
+  EXPECT_DOUBLE_EQ(eff.epochs_needed(8192), eff.base_epochs);
+  EXPECT_NEAR(eff.epochs_needed(16384), eff.base_epochs * 1.35, 1e-9);
+  EXPECT_NEAR(eff.epochs_needed(32768), eff.base_epochs * 1.70, 1e-9);
+  EXPECT_THROW(eff.epochs_needed(0), std::invalid_argument);
+}
+
+TEST(TimeToTrain, MoreNodesTrainFasterDespiteBatchPenalty) {
+  auto cfg = tf_best(hw::stampede2(), dnn::ModelId::ResNet50, 8);
+  const auto small = estimate_time_to_train(cfg);
+  cfg.nodes = 128;
+  const auto big = estimate_time_to_train(cfg);
+  EXPECT_GT(big.images_per_sec, small.images_per_sec * 10);
+  EXPECT_GE(big.epochs, small.epochs);  // bigger effective batch
+  EXPECT_LT(big.hours, small.hours);    // throughput still wins here
+}
+
+TEST(TimeToTrain, BatchTradeoffTurnsAroundAtScale) {
+  // At 128 nodes x 4 ppn, BS/rank 64 means an effective batch of 32768 —
+  // deep in the penalty regime. Time-to-train must stop improving even
+  // though throughput keeps climbing.
+  auto cfg = tf_best(hw::stampede2(), dnn::ModelId::ResNet50, 128);
+  cfg.batch_per_rank = 8;   // effective 4096: no penalty
+  const auto modest = estimate_time_to_train(cfg);
+  cfg.batch_per_rank = 16;  // effective 8192: boundary
+  const auto boundary = estimate_time_to_train(cfg);
+  cfg.batch_per_rank = 64;  // effective 32768: penalized
+  const auto huge = estimate_time_to_train(cfg);
+
+  EXPECT_GT(huge.images_per_sec, boundary.images_per_sec);
+  EXPECT_GT(boundary.images_per_sec, modest.images_per_sec);
+  // The hours-optimal point is not the throughput-optimal point.
+  EXPECT_LT(boundary.hours, modest.hours);
+  EXPECT_GT(huge.epochs, boundary.epochs);
+}
+
+TEST(TimeToTrain, TableHasOneRowPerBatch) {
+  auto cfg = tf_best(hw::stampede2(), dnn::ModelId::ResNet50, 4);
+  const auto table = batch_tradeoff_table(cfg, {16, 32, 64});
+  EXPECT_EQ(table.rows(), 3u);
+}
+
+}  // namespace
+}  // namespace dnnperf::core

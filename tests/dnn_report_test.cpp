@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "dnn/models.hpp"
+#include "dnn/report.hpp"
+
+namespace dnnperf::dnn {
+namespace {
+
+TEST(Summary, TableCoversAllOpsOrTruncates) {
+  const Graph g = build_model(ModelId::AlexNet);
+  EXPECT_EQ(summary_table(g).rows(), static_cast<std::size_t>(g.size()));
+  EXPECT_EQ(summary_table(g, 5).rows(), 5u);
+}
+
+TEST(KindBreakdown, SumsMatchGraphTotals) {
+  const Graph g = build_model(ModelId::ResNet50);
+  const auto table = kind_breakdown(g);
+  // One row per op kind present; count column sums to the op count.
+  int ops = 0;
+  for (std::size_t r = 0; r < table.rows(); ++r) ops += std::stoi(table.row(r)[1]);
+  EXPECT_EQ(ops, g.size());
+}
+
+TEST(KindBreakdown, ConvsCarryMostResNetFlops) {
+  const Graph g = build_model(ModelId::ResNet152);
+  double conv_fwd = 0.0;
+  for (const auto& op : g.ops())
+    if (op.kind == OpKind::Conv2d) conv_fwd += op.fwd_flops;
+  EXPECT_GT(conv_fwd / g.total_fwd_flops(), 0.9);
+}
+
+TEST(Memory, FootprintScalesWithBatch) {
+  const Graph g = build_model(ModelId::ResNet50);
+  const auto fp1 = training_memory(g, 1);
+  const auto fp64 = training_memory(g, 64);
+  EXPECT_DOUBLE_EQ(fp64.weight_bytes, fp1.weight_bytes);
+  EXPECT_NEAR(fp64.activation_bytes / fp1.activation_bytes, 64.0, 1e-9);
+  EXPECT_GT(fp64.total(), fp1.total());
+  // ResNet-50 weights are ~102 MB in fp32.
+  EXPECT_NEAR(fp1.weight_bytes, 25.56e6 * 4, 0.5e6);
+}
+
+TEST(Memory, MaxBatchMatchesFootprint) {
+  const Graph g = build_model(ModelId::ResNet50);
+  // A K80 logical GPU has 12 GB; the fitting batch must train within it.
+  const double k80 = 12.0 * 1024 * 1024 * 1024;
+  const int bs = max_batch_for_memory(g, k80);
+  EXPECT_GT(bs, 8);
+  EXPECT_LE(training_memory(g, bs).total(), k80);
+  EXPECT_GT(training_memory(g, bs + 1).total(), k80);
+  // And nothing fits in a kilobyte.
+  EXPECT_EQ(max_batch_for_memory(g, 1024.0), 0);
+}
+
+TEST(Memory, BiggerModelsNeedMoreMemory) {
+  const double budget = 16.0 * 1024 * 1024 * 1024;
+  const int bs50 = max_batch_for_memory(build_model(ModelId::ResNet50), budget);
+  const int bs152 = max_batch_for_memory(build_model(ModelId::ResNet152), budget);
+  EXPECT_GT(bs50, bs152);
+}
+
+TEST(Dot, ExportsValidishGraphviz) {
+  const Graph g = build_model(ModelId::AlexNet);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 ["), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  // Every edge in the graph appears.
+  std::size_t edges = 0;
+  for (const auto& op : g.ops()) edges += op.inputs.size();
+  std::size_t arrows = 0;
+  for (std::size_t pos = dot.find("->"); pos != std::string::npos; pos = dot.find("->", pos + 2))
+    ++arrows;
+  EXPECT_EQ(arrows, edges);
+}
+
+}  // namespace
+}  // namespace dnnperf::dnn

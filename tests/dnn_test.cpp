@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "dnn/models.hpp"
+
+namespace dnnperf::dnn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Model zoo validation against published parameter / MAC counts
+// ---------------------------------------------------------------------------
+
+class ModelZooParam : public ::testing::TestWithParam<ModelId> {};
+
+TEST_P(ModelZooParam, ParameterCountWithinTwoPercent) {
+  const Graph g = build_model(GetParam());
+  const ModelRef ref = reference(GetParam());
+  EXPECT_NEAR(g.total_params() / ref.params, 1.0, 0.02) << g.name();
+}
+
+TEST_P(ModelZooParam, MacCountWithinTenPercent) {
+  const Graph g = build_model(GetParam());
+  const ModelRef ref = reference(GetParam());
+  const double gmacs = g.total_fwd_flops() / 2e9;
+  EXPECT_NEAR(gmacs / ref.gmacs, 1.0, 0.10) << g.name();
+}
+
+TEST_P(ModelZooParam, GraphIsWellFormed) {
+  const Graph g = build_model(GetParam());
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_GT(g.size(), 10);
+  // Backward is roughly 2x forward for conv-dominated nets.
+  EXPECT_GT(g.total_bwd_flops(), g.total_fwd_flops());
+  EXPECT_LT(g.total_bwd_flops(), 2.5 * g.total_fwd_flops());
+}
+
+TEST_P(ModelZooParam, GradientTensorsCoverAllParams) {
+  const Graph g = build_model(GetParam());
+  const auto tensors = g.gradient_tensor_bytes();
+  const double sum = std::accumulate(tensors.begin(), tensors.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, g.gradient_bytes());
+  for (double b : tensors) EXPECT_GT(b, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelZooParam, ::testing::ValuesIn(all_models()),
+                         [](const ::testing::TestParamInfo<ModelId>& info) {
+                           std::string name = to_string(info.param);
+                           std::erase(name, '-');
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Structure properties the paper leans on
+// ---------------------------------------------------------------------------
+
+TEST(ModelStructure, InceptionHasMoreBranchParallelismThanResNet) {
+  // Section III-D: ResNets are nearly linear; Inception modules expose
+  // inter-op parallelism.
+  EXPECT_EQ(build_model(ModelId::Vgg16).max_branch_width(), 1);
+  EXPECT_EQ(build_model(ModelId::ResNet50).max_branch_width(), 2);
+  EXPECT_GE(build_model(ModelId::InceptionV3).max_branch_width(), 4);
+  EXPECT_GE(build_model(ModelId::InceptionV4).max_branch_width(), 4);
+}
+
+TEST(ModelStructure, ResNetDepthOrdering) {
+  const double p50 = build_model(ModelId::ResNet50).total_params();
+  const double p101 = build_model(ModelId::ResNet101).total_params();
+  const double p152 = build_model(ModelId::ResNet152).total_params();
+  EXPECT_LT(p50, p101);
+  EXPECT_LT(p101, p152);
+  const double f50 = build_model(ModelId::ResNet50).total_fwd_flops();
+  const double f152 = build_model(ModelId::ResNet152).total_fwd_flops();
+  EXPECT_GT(f152 / f50, 2.5);  // RN152 ~2.8x the compute of RN50
+}
+
+TEST(ModelStructure, GradientTensorsInBackwardOrder) {
+  // The first gradient tensor produced by backward belongs to the classifier
+  // (the last parameterized op), which for ResNet-50 is the 1000-way FC:
+  // 2048*1000 + 1000 weights = ~8.2 MB.
+  const Graph g = build_model(ModelId::ResNet50);
+  const auto tensors = g.gradient_tensor_bytes();
+  EXPECT_NEAR(tensors.front(), (2048.0 * 1000 + 1000) * 4.0, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Graph builder mechanics
+// ---------------------------------------------------------------------------
+
+TEST(GraphBuilder, GroupedConvScalesParamsAndFlops) {
+  Graph g("test");
+  const int in = g.input(32, 8, 8);
+  const int dense_conv = g.conv2d("dense", in, 64, 3, 3, 1, 1, 1, 1);
+  const int grouped = g.conv2d("grouped", in, 64, 3, 3, 1, 1, 1, 1, false, /*groups=*/8);
+  EXPECT_DOUBLE_EQ(g.op(grouped).params, g.op(dense_conv).params / 8);
+  EXPECT_DOUBLE_EQ(g.op(grouped).fwd_flops, g.op(dense_conv).fwd_flops / 8);
+  EXPECT_THROW(g.conv2d("bad", in, 64, 3, 3, 1, 1, 1, 1, false, 5), std::invalid_argument);
+  EXPECT_THROW(g.conv2d("bad2", in, 66, 3, 3, 1, 1, 1, 1, false, 4), std::invalid_argument);
+}
+
+TEST(ModelStructure, ResNextMatchesResNet50Budget) {
+  // ResNeXt-50 32x4d was designed to match ResNet-50's parameter and FLOP
+  // budget while widening the transform set.
+  const Graph next = build_model(ModelId::ResNext50);
+  const Graph r50 = build_model(ModelId::ResNet50);
+  EXPECT_NEAR(next.total_params() / r50.total_params(), 1.0, 0.05);
+  EXPECT_NEAR(next.total_fwd_flops() / r50.total_fwd_flops(), 1.0, 0.10);
+}
+
+
+TEST(GraphBuilder, ShapeInference) {
+  Graph g("test");
+  const int in = g.input(3, 224, 224);
+  const int c = g.conv2d("c", in, 64, 7, 7, 2, 2, 3, 3);
+  EXPECT_EQ(g.op(c).out.c, 64);
+  EXPECT_EQ(g.op(c).out.h, 112);
+  EXPECT_EQ(g.op(c).out.w, 112);
+  const int p = g.max_pool("p", c, 3, 2, 1);
+  EXPECT_EQ(g.op(p).out.h, 56);
+}
+
+TEST(GraphBuilder, ConvFlopsAndParams) {
+  Graph g("test");
+  const int in = g.input(16, 8, 8);
+  const int c = g.conv2d("c", in, 32, 3, 3, 1, 1, 1, 1, /*bias=*/true);
+  // params: 16*3*3*32 + 32 bias; flops: 2 * out_elems * 16*3*3 + out_elems.
+  EXPECT_DOUBLE_EQ(g.op(c).params, 16.0 * 9 * 32 + 32);
+  const double out_elems = 32.0 * 8 * 8;
+  EXPECT_DOUBLE_EQ(g.op(c).fwd_flops, 2.0 * out_elems * 16 * 9 + out_elems);
+  EXPECT_DOUBLE_EQ(g.op(c).bwd_flops, 2.0 * g.op(c).fwd_flops);
+}
+
+TEST(GraphBuilder, AddRequiresMatchingShapes) {
+  Graph g("test");
+  const int in = g.input(3, 8, 8);
+  const int a = g.conv2d("a", in, 4, 1, 1, 1, 1, 0, 0);
+  const int b = g.conv2d("b", in, 8, 1, 1, 1, 1, 0, 0);
+  EXPECT_THROW(g.add("bad", a, b), std::invalid_argument);
+}
+
+TEST(GraphBuilder, ConcatRequiresMatchingSpatialDims) {
+  Graph g("test");
+  const int in = g.input(3, 8, 8);
+  const int a = g.conv2d("a", in, 4, 1, 1, 1, 1, 0, 0);
+  const int b = g.conv2d("b", in, 4, 3, 3, 2, 2, 1, 1);  // 4x4 spatial
+  EXPECT_THROW(g.concat("bad", {a, b}), std::invalid_argument);
+  EXPECT_THROW(g.concat("empty", {}), std::invalid_argument);
+}
+
+TEST(GraphBuilder, ConcatSumsChannels) {
+  Graph g("test");
+  const int in = g.input(3, 8, 8);
+  const int a = g.conv2d("a", in, 4, 1, 1, 1, 1, 0, 0);
+  const int b = g.conv2d("b", in, 6, 1, 1, 1, 1, 0, 0);
+  const int c = g.concat("c", {a, b});
+  EXPECT_EQ(g.op(c).out.c, 10);
+}
+
+TEST(GraphBuilder, RejectsInvalidConv) {
+  Graph g("test");
+  const int in = g.input(3, 4, 4);
+  // 7x7 valid conv on a 4x4 input has no output pixels.
+  EXPECT_THROW(g.conv2d("c", in, 8, 7, 7, 1, 1, 0, 0), std::invalid_argument);
+}
+
+TEST(GraphBuilder, ConsumersAreInverseEdges) {
+  Graph g("test");
+  const int in = g.input(3, 8, 8);
+  const int a = g.relu("a", in);
+  const int b = g.relu("b", in);
+  g.add("sum", a, b);
+  const auto consumers = g.consumers();
+  EXPECT_EQ(consumers[static_cast<std::size_t>(in)].size(), 2u);
+  EXPECT_EQ(consumers[static_cast<std::size_t>(a)].size(), 1u);
+}
+
+TEST(GraphBuilder, ModelNameLookup) {
+  EXPECT_EQ(model_by_name("resnet50"), ModelId::ResNet50);
+  EXPECT_EQ(model_by_name("inception-v4"), ModelId::InceptionV4);
+  EXPECT_THROW(model_by_name("bert"), std::out_of_range);
+  EXPECT_EQ(paper_models().size(), 5u);
+}
+
+}  // namespace
+}  // namespace dnnperf::dnn

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "dnn/models.hpp"
+#include "exec/roofline.hpp"
+#include "hw/platforms.hpp"
+
+namespace dnnperf::exec {
+namespace {
+
+ExecConfig tuned_cfg() {
+  ExecConfig cfg;
+  cfg.intra_threads = 11;
+  cfg.inter_threads = 1;
+  cfg.batch = 64;
+  return cfg;
+}
+
+TEST(Roofline, BreakdownTotalsMatchOpDuration) {
+  const auto cpu = hw::stampede2().node.cpu;
+  const CpuExecModel model(cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet50);
+  const Placement p = place_rank(cpu, 4, 11);
+  const auto cfg = tuned_cfg();
+  for (const auto& op : g.ops()) {
+    const auto c = model.op_cost_breakdown(g, op, false, 11.0, 11, cfg, p, 1.0);
+    EXPECT_DOUBLE_EQ(c.total(), model.op_duration(g, op, false, 11.0, 11, cfg, p, 1.0))
+        << op.name;
+    EXPECT_GE(c.flop_time_s, 0.0);
+    EXPECT_GT(c.mem_time_s, 0.0);
+    EXPECT_GT(c.overhead_s, 0.0);
+  }
+}
+
+TEST(Roofline, ConvsAreComputeBoundAndDominant) {
+  const auto cpu = hw::stampede2().node.cpu;
+  const CpuExecModel model(cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet50);
+  const Placement p = place_rank(cpu, 4, 11);
+  const auto report = roofline_report(model, g, tuned_cfg(), p);
+
+  ASSERT_FALSE(report.by_kind.empty());
+  // The top bucket is Conv2d, and it is flop-bound.
+  EXPECT_EQ(report.by_kind.front().first, dnn::OpKind::Conv2d);
+  EXPECT_GT(report.by_kind.front().second.flop_bound_s,
+            report.by_kind.front().second.mem_bound_s);
+  // Buckets are sorted descending by total.
+  for (std::size_t i = 1; i < report.by_kind.size(); ++i)
+    EXPECT_LE(report.by_kind[i].second.total(), report.by_kind[i - 1].second.total());
+}
+
+TEST(Roofline, MemoryBoundKindsAreMemoryBound) {
+  const auto cpu = hw::stampede2().node.cpu;
+  const CpuExecModel model(cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet50);
+  const Placement p = place_rank(cpu, 4, 11);
+  const auto report = roofline_report(model, g, tuned_cfg(), p);
+  for (const auto& [kind, bucket] : report.by_kind) {
+    if (kind == dnn::OpKind::ReLU || kind == dnn::OpKind::BatchNorm ||
+        kind == dnn::OpKind::Add) {
+      EXPECT_GT(bucket.mem_bound_s, bucket.flop_bound_s) << dnn::to_string(kind);
+    }
+  }
+}
+
+TEST(Roofline, UtilizationIsAFraction) {
+  const auto cpu = hw::stampede2().node.cpu;
+  const CpuExecModel model(cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet152);
+  const Placement p = place_rank(cpu, 4, 11);
+  const auto report = roofline_report(model, g, tuned_cfg(), p);
+  EXPECT_GT(report.flop_utilization, 0.1);
+  EXPECT_LT(report.flop_utilization, 1.0);
+  // Backward carries more time than forward.
+  EXPECT_GT(report.backward.total(), report.forward.total());
+}
+
+TEST(Roofline, TableRendersAllKinds) {
+  const auto cpu = hw::stampede2().node.cpu;
+  const CpuExecModel model(cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::AlexNet);
+  const Placement p = place_rank(cpu, 1, 48);
+  auto cfg = tuned_cfg();
+  cfg.intra_threads = 48;
+  const auto report = roofline_report(model, g, cfg, p);
+  const auto table = roofline_table(report);
+  EXPECT_EQ(table.rows(), report.by_kind.size());
+}
+
+TEST(Roofline, PytorchOverheadShareExceedsTensorFlow) {
+  const auto cpu = hw::stampede2().node.cpu;
+  const CpuExecModel model(cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet50);
+  const Placement p = place_rank(cpu, 48, 1);
+  ExecConfig tf = tuned_cfg();
+  tf.intra_threads = 1;
+  tf.batch = 16;
+  ExecConfig pt = tf;
+  pt.framework = Framework::PyTorch;
+  const auto tf_report = roofline_report(model, g, tf, p);
+  const auto pt_report = roofline_report(model, g, pt, p);
+  const double tf_share =
+      tf_report.forward.overhead_s / tf_report.forward.total();
+  const double pt_share =
+      pt_report.forward.overhead_s / pt_report.forward.total();
+  EXPECT_GT(pt_share, tf_share);
+}
+
+}  // namespace
+}  // namespace dnnperf::exec

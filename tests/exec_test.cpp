@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include "dnn/models.hpp"
+#include "exec/cpu_model.hpp"
+#include "exec/gpu_model.hpp"
+#include "exec/placement.hpp"
+#include "hw/platforms.hpp"
+
+namespace dnnperf::exec {
+namespace {
+
+ExecConfig tf_config(int intra, int inter, int batch, bool hvd = false) {
+  ExecConfig cfg;
+  cfg.framework = Framework::TensorFlow;
+  cfg.intra_threads = intra;
+  cfg.inter_threads = inter;
+  cfg.batch = batch;
+  cfg.horovod_thread = hvd;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Placement
+// ---------------------------------------------------------------------------
+
+TEST(Placement, SingleDomainRankKeepsLocalBandwidth) {
+  const auto cpu = hw::stampede2().node.cpu;  // 2x24, 1 domain per socket
+  const Placement p = place_rank(cpu, /*ppn=*/2, /*threads=*/23);
+  EXPECT_EQ(p.cores, 24);
+  EXPECT_EQ(p.numa_domains_spanned, 1);
+  EXPECT_EQ(p.numa_time_penalty, 0.0);
+  EXPECT_NEAR(p.mem_bw_gbps, cpu.mem_bw_gbps() / 2, 1.0);
+}
+
+TEST(Placement, SpanningProcessPaysNumaPenalty) {
+  const auto cpu = hw::stampede2().node.cpu;
+  const Placement whole = place_rank(cpu, 1, 48);
+  EXPECT_EQ(whole.numa_domains_spanned, 2);
+  EXPECT_GT(whole.numa_time_penalty, 0.0);
+  // First-touch: the spanning process sees less than full node bandwidth.
+  EXPECT_LT(whole.mem_bw_gbps, cpu.mem_bw_gbps());
+  // ...but more than one socket's worth.
+  EXPECT_GT(whole.mem_bw_gbps, cpu.mem_bw_per_socket_gbps);
+}
+
+TEST(Placement, FewThreadsStayLocalEvenInWideProcess) {
+  const auto cpu = hw::ri2_skylake().node.cpu;  // 2x14
+  const Placement p = place_rank(cpu, 1, 14);
+  EXPECT_EQ(p.numa_domains_spanned, 1);
+  const Placement q = place_rank(cpu, 1, 28);
+  EXPECT_EQ(q.numa_domains_spanned, 2);
+}
+
+TEST(Placement, EpycSubdomainRanksShareDieBandwidth) {
+  const auto cpu = hw::amd_cluster().node.cpu;  // 8 domains x 8 cores
+  const Placement p = place_rank(cpu, 16, 5);   // 4 cores per rank, half a die
+  EXPECT_EQ(p.cores, 4);
+  EXPECT_EQ(p.numa_domains_spanned, 1);
+  EXPECT_LT(p.mem_bw_gbps, cpu.mem_bw_gbps() / 8 + 1.0);
+}
+
+TEST(Placement, RejectsBadArguments) {
+  const auto cpu = hw::stampede2().node.cpu;
+  EXPECT_THROW(place_rank(cpu, 0, 4), std::invalid_argument);
+  EXPECT_THROW(place_rank(cpu, 4, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// CPU execution model
+// ---------------------------------------------------------------------------
+
+class ThreadScalingParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadScalingParam, MoreThreadsNeverSlowerWithinOneSocket) {
+  const int threads = GetParam();
+  const auto cpu = hw::ri2_skylake().node.cpu;
+  const CpuExecModel model(cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet50);
+  const auto t1 = model.forward(g, tf_config(1, 1, 64), place_rank(cpu, 1, 1)).duration;
+  const auto tn =
+      model.forward(g, tf_config(threads, 1, 64), place_rank(cpu, 1, threads)).duration;
+  EXPECT_LT(tn, t1);
+  // No superlinear scaling.
+  EXPECT_GT(tn, t1 / (threads * 1.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(UpToSocket, ThreadScalingParam, ::testing::Values(2, 4, 8, 14));
+
+TEST(CpuExecModel, ScalingKneesAtSocketBoundary) {
+  // Fig 1a: gain from 14 -> 28 threads is much smaller than 7 -> 14.
+  const auto cpu = hw::ri2_skylake().node.cpu;
+  const CpuExecModel model(cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet50);
+  auto rate = [&](int t) {
+    return 1.0 / model.forward(g, tf_config(t, 1, 128), place_rank(cpu, 1, t)).duration;
+  };
+  const double gain_7_14 = rate(14) / rate(7);
+  const double gain_14_28 = rate(28) / rate(14);
+  EXPECT_GT(gain_7_14, 1.45);
+  EXPECT_LT(gain_14_28, gain_7_14 - 0.1);
+}
+
+TEST(CpuExecModel, OversubscribedSmtIsSlowerThanAllCores) {
+  // Fig 4: 96 threads on 48-core SMT Skylake-3 is worse than 48 threads.
+  const auto cpu = hw::stampede2().node.cpu;
+  const CpuExecModel model(cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet50);
+  const double t48 = model.forward(g, tf_config(48, 1, 128), place_rank(cpu, 1, 48)).duration;
+  const double t96 = model.forward(g, tf_config(96, 1, 128), place_rank(cpu, 1, 96)).duration;
+  EXPECT_GT(t96, t48);
+}
+
+TEST(CpuExecModel, SmallBatchScalesWorseToManyThreads) {
+  // Fig 1: the BS=16 curve flattens earlier than BS=512.
+  const auto cpu = hw::ri2_skylake().node.cpu;
+  const CpuExecModel model(cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet50);
+  auto throughput = [&](int t, int bs) {
+    return bs / model.forward(g, tf_config(t, 1, bs), place_rank(cpu, 1, t)).duration;
+  };
+  const double gain_small = throughput(28, 16) / throughput(8, 16);
+  const double gain_large = throughput(28, 512) / throughput(8, 512);
+  EXPECT_GT(gain_large, gain_small * 1.1);
+}
+
+TEST(CpuExecModel, BackwardProducesGradientEventsInOrder) {
+  const auto cpu = hw::stampede2().node.cpu;
+  const CpuExecModel model(cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet50);
+  const auto bwd = model.backward(g, tf_config(11, 2, 64), place_rank(cpu, 4, 11));
+  EXPECT_EQ(bwd.grad_events.size(), g.gradient_tensor_bytes().size());
+  double prev = 0.0;
+  double total_bytes = 0.0;
+  for (const auto& e : bwd.grad_events) {
+    EXPECT_GE(e.time, prev);
+    EXPECT_LE(e.time, bwd.duration + 1e-9);
+    total_bytes += e.bytes;
+    prev = e.time;
+  }
+  EXPECT_DOUBLE_EQ(total_bytes, g.gradient_bytes());
+}
+
+TEST(CpuExecModel, HorovodThreadContentionCostsWhenNoSpareCore) {
+  const auto cpu = hw::stampede2().node.cpu;
+  const CpuExecModel model(cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet50);
+  const Placement p = place_rank(cpu, 4, 12);
+  auto with_hvd = tf_config(12, 2, 64, /*hvd=*/true);
+  auto no_spare = model.forward(g, with_hvd, p).duration;
+  auto cfg_spare = tf_config(11, 2, 64, /*hvd=*/true);
+  auto spare = model.forward(g, cfg_spare, place_rank(cpu, 4, 11)).duration;
+  // 12 threads with a contending Horovod thread should not beat 11+spare by
+  // the naive 12/11 ratio; in fact the tuned config wins.
+  EXPECT_GT(no_spare, spare * 0.98);
+}
+
+TEST(CpuExecModel, InterOpHelpsInceptionMoreThanResNet) {
+  const auto cpu = hw::stampede2().node.cpu;
+  const CpuExecModel model(cpu);
+  const Placement p = place_rank(cpu, 4, 11);
+  auto speedup = [&](dnn::ModelId id) {
+    const dnn::Graph g = dnn::build_model(id);
+    const double inter1 = model.forward(g, tf_config(11, 1, 64), p).duration;
+    const double inter2 = model.forward(g, tf_config(11, 2, 64), p).duration;
+    return inter1 / inter2;
+  };
+  EXPECT_GT(speedup(dnn::ModelId::InceptionV4), speedup(dnn::ModelId::ResNet152));
+}
+
+TEST(CpuExecModel, PyTorchEagerIsFarSlowerThanTfMkl) {
+  const auto cpu = hw::stampede2().node.cpu;
+  const CpuExecModel model(cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet50);
+  const Placement p = place_rank(cpu, 1, 48);
+  ExecConfig pt = tf_config(48, 1, 32);
+  pt.framework = Framework::PyTorch;
+  const double pt_t = model.forward(g, pt, p).duration;
+  const double tf_t = model.forward(g, tf_config(48, 2, 32), p).duration;
+  EXPECT_GT(pt_t, 3.0 * tf_t);
+}
+
+TEST(CpuExecModel, RejectsBadConfig) {
+  const CpuExecModel model(hw::stampede2().node.cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::AlexNet);
+  const Placement p = place_rank(hw::stampede2().node.cpu, 1, 4);
+  EXPECT_THROW(model.forward(g, tf_config(0, 1, 4), p), std::invalid_argument);
+  EXPECT_THROW(model.forward(g, tf_config(4, 0, 4), p), std::invalid_argument);
+  EXPECT_THROW(model.forward(g, tf_config(4, 1, 0), p), std::invalid_argument);
+}
+
+TEST(CpuExecModel, OptimizerTimeScalesWithParams) {
+  const CpuExecModel model(hw::stampede2().node.cpu);
+  const Placement p = place_rank(hw::stampede2().node.cpu, 4, 11);
+  const double t50 = model.optimizer_time(dnn::build_model(dnn::ModelId::ResNet50), p);
+  const double t152 = model.optimizer_time(dnn::build_model(dnn::ModelId::ResNet152), p);
+  EXPECT_NEAR(t152 / t50, 60.19 / 25.56, 0.1);
+}
+
+
+TEST(Calibration, ScopedOverrideRestores) {
+  const double original = cpu_calibration().remote_flop_penalty;
+  {
+    CpuCalibration modified = cpu_calibration();
+    modified.remote_flop_penalty = 0.0;
+    ScopedCpuCalibration guard(modified);
+    EXPECT_EQ(cpu_calibration().remote_flop_penalty, 0.0);
+  }
+  EXPECT_EQ(cpu_calibration().remote_flop_penalty, original);
+}
+
+TEST(Calibration, DisablingNumaRemovesTheKnee) {
+  // Without NUMA penalties, 28 threads on Skylake-1 scale much closer to
+  // linearly past the socket boundary.
+  const auto cpu = hw::ri2_skylake().node.cpu;
+  const CpuExecModel model(cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet50);
+  auto rate28_over_14 = [&] {
+    const double t14 =
+        model.forward(g, tf_config(14, 1, 128), place_rank(cpu, 1, 14)).duration;
+    const double t28 =
+        model.forward(g, tf_config(28, 1, 128), place_rank(cpu, 1, 28)).duration;
+    return t14 / t28;
+  };
+  const double with_numa = rate28_over_14();
+  CpuCalibration no_numa = cpu_calibration();
+  no_numa.remote_bw_share = 1.0;
+  no_numa.remote_flop_penalty = 0.0;
+  ScopedCpuCalibration guard(no_numa);
+  const double without_numa = rate28_over_14();
+  EXPECT_GT(without_numa, with_numa + 0.1);
+}
+
+
+TEST(CpuExecModel, TraceCoversEveryOpWithinDuration) {
+  const auto cpu = hw::stampede2().node.cpu;
+  const CpuExecModel model(cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::InceptionV3);
+  const Placement p = place_rank(cpu, 4, 11);
+  const auto fwd = model.forward(g, tf_config(11, 2, 32), p);
+  ASSERT_EQ(fwd.trace.size(), static_cast<std::size_t>(g.size()));
+  std::vector<bool> seen(static_cast<std::size_t>(g.size()), false);
+  for (const auto& iv : fwd.trace) {
+    ASSERT_GE(iv.op_id, 0);
+    ASSERT_LT(iv.op_id, g.size());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(iv.op_id)]) << "op traced twice";
+    seen[static_cast<std::size_t>(iv.op_id)] = true;
+    EXPECT_GE(iv.start, 0.0);
+    EXPECT_GT(iv.finish, iv.start);
+    EXPECT_LE(iv.finish, fwd.duration + 1e-9);
+  }
+}
+
+TEST(CpuExecModel, TraceRespectsDataDependencies) {
+  const auto cpu = hw::stampede2().node.cpu;
+  const CpuExecModel model(cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet50);
+  const Placement p = place_rank(cpu, 4, 11);
+  const auto fwd = model.forward(g, tf_config(11, 2, 32), p);
+  std::vector<double> finish(static_cast<std::size_t>(g.size()), -1.0);
+  std::vector<double> start(static_cast<std::size_t>(g.size()), -1.0);
+  for (const auto& iv : fwd.trace) {
+    finish[static_cast<std::size_t>(iv.op_id)] = iv.finish;
+    start[static_cast<std::size_t>(iv.op_id)] = iv.start;
+  }
+  for (const auto& op : g.ops())
+    for (int in : op.inputs)
+      EXPECT_GE(start[static_cast<std::size_t>(op.id)] + 1e-12,
+                finish[static_cast<std::size_t>(in)])
+          << op.name << " started before its input finished";
+}
+
+TEST(CpuExecModel, InceptionAchievesHigherConcurrencyThanVgg) {
+  const auto cpu = hw::stampede2().node.cpu;
+  const CpuExecModel model(cpu);
+  const Placement p = place_rank(cpu, 4, 11);
+  auto concurrency = [&](dnn::ModelId id) {
+    const dnn::Graph g = dnn::build_model(id);
+    return average_concurrency(model.forward(g, tf_config(11, 4, 32), p));
+  };
+  const double vgg = concurrency(dnn::ModelId::Vgg16);         // pure chain
+  const double inception = concurrency(dnn::ModelId::InceptionV3);
+  EXPECT_NEAR(vgg, 1.0, 0.05);
+  EXPECT_GT(inception, 1.3);
+}
+
+// ---------------------------------------------------------------------------
+// GPU execution model
+// ---------------------------------------------------------------------------
+
+TEST(GpuExecModel, GenerationOrderingHolds) {
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet50);
+  const double k80_t = GpuExecModel(hw::k80()).forward(g, Framework::TensorFlow, 32).duration;
+  const double p100_t = GpuExecModel(hw::p100()).forward(g, Framework::TensorFlow, 32).duration;
+  const double v100_t = GpuExecModel(hw::v100()).forward(g, Framework::TensorFlow, 32).duration;
+  EXPECT_GT(k80_t, p100_t);
+  EXPECT_GT(p100_t, v100_t);
+}
+
+TEST(GpuExecModel, LargerBatchIsMoreEfficient) {
+  const GpuExecModel model(hw::v100());
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet50);
+  auto per_image = [&](int bs) {
+    return model.forward(g, Framework::TensorFlow, bs).duration / bs;
+  };
+  EXPECT_GT(per_image(4), per_image(64));
+  EXPECT_GT(model.sustained_gflops(Framework::TensorFlow, 64),
+            model.sustained_gflops(Framework::TensorFlow, 4));
+}
+
+TEST(GpuExecModel, PyTorchFasterOnGpu) {
+  const GpuExecModel model(hw::v100());
+  EXPECT_GT(model.sustained_gflops(Framework::PyTorch, 64),
+            model.sustained_gflops(Framework::TensorFlow, 64));
+}
+
+TEST(GpuExecModel, BackwardEventsCoverParams) {
+  const GpuExecModel model(hw::v100());
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::InceptionV3);
+  const auto bwd = model.backward(g, Framework::TensorFlow, 32);
+  double bytes = 0.0;
+  for (const auto& e : bwd.grad_events) bytes += e.bytes;
+  EXPECT_DOUBLE_EQ(bytes, g.gradient_bytes());
+  EXPECT_THROW(model.forward(g, Framework::TensorFlow, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnnperf::exec

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "hvd/real_engine.hpp"
+#include "hvd/timeline.hpp"
+#include "mpi/world.hpp"
+#include "util/rng.hpp"
+
+namespace dnnperf::hvd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RealEngine (threads + minimpi)
+// ---------------------------------------------------------------------------
+
+/// Builds deterministic per-rank "gradients" for tensor t, element i.
+float grad_value(int rank, int tensor, std::size_t i) {
+  return static_cast<float>(rank + 1) * 0.5f + tensor * 2.0f + static_cast<float>(i) * 0.25f;
+}
+
+class FusionParam : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(FusionParam, FusedAverageMatchesManualAverage) {
+  const auto [ranks, threshold] = GetParam();
+  mpi::World::run(ranks, [&, ranks = ranks, threshold = threshold](mpi::Comm& comm) {
+    FusionPolicy policy;
+    policy.fusion_threshold_bytes = threshold;
+    RealEngine engine(comm, policy);
+
+    const std::vector<std::size_t> sizes{5, 128, 1, 64, 32};
+    std::vector<std::vector<float>> grads;
+    std::vector<int> ids;
+    for (std::size_t t = 0; t < sizes.size(); ++t) {
+      ids.push_back(engine.register_tensor("t" + std::to_string(t), sizes[t]));
+      std::vector<float> g(sizes[t]);
+      for (std::size_t i = 0; i < g.size(); ++i)
+        g[i] = grad_value(comm.rank(), static_cast<int>(t), i);
+      grads.push_back(std::move(g));
+    }
+    for (std::size_t t = 0; t < sizes.size(); ++t)
+      engine.submit(ids[t], std::span<float>(grads[t]));
+    engine.synchronize();
+
+    for (std::size_t t = 0; t < sizes.size(); ++t) {
+      EXPECT_TRUE(engine.is_complete(ids[t]));
+      for (std::size_t i = 0; i < sizes[t]; ++i) {
+        float expected = 0.0f;
+        for (int r = 0; r < ranks; ++r) expected += grad_value(r, static_cast<int>(t), i);
+        expected /= static_cast<float>(ranks);
+        ASSERT_NEAR(grads[t][i], expected, 1e-5f) << "tensor " << t << " elem " << i;
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksByThreshold, FusionParam,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                       // Tiny threshold -> one allreduce per tensor; huge ->
+                       // everything fuses into a single buffer.
+                       ::testing::Values(4.0, 600.0, 64.0 * 1024 * 1024)),
+    [](const ::testing::TestParamInfo<std::tuple<int, double>>& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) + "_thresh" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+TEST(RealEngine, TinyThresholdDisablesFusion) {
+  mpi::World::run(2, [](mpi::Comm& comm) {
+    FusionPolicy policy;
+    policy.fusion_threshold_bytes = 4.0;  // one float: nothing can fuse
+    RealEngine engine(comm, policy);
+    std::vector<std::vector<float>> grads(6, std::vector<float>(16, 1.0f));
+    for (int t = 0; t < 6; ++t) engine.register_tensor("t" + std::to_string(t), 16);
+    for (int t = 0; t < 6; ++t) engine.submit(t, std::span<float>(grads[static_cast<std::size_t>(t)]));
+    engine.process();
+    EXPECT_EQ(engine.stats().data_allreduces, 6u);
+  });
+}
+
+TEST(RealEngine, LargeThresholdFusesToOneBuffer) {
+  mpi::World::run(2, [](mpi::Comm& comm) {
+    RealEngine engine(comm, FusionPolicy{});  // 64 MiB default
+    std::vector<std::vector<float>> grads(6, std::vector<float>(16, 1.0f));
+    for (int t = 0; t < 6; ++t) engine.register_tensor("t" + std::to_string(t), 16);
+    for (int t = 0; t < 6; ++t) engine.submit(t, std::span<float>(grads[static_cast<std::size_t>(t)]));
+    engine.process();
+    EXPECT_EQ(engine.stats().data_allreduces, 1u);
+    EXPECT_EQ(engine.stats().framework_requests, 6u);
+    EXPECT_EQ(engine.stats().engine_wakeups, 1u);
+  });
+}
+
+TEST(RealEngine, StragglerTensorWaitsForAllRanks) {
+  // Rank 1 submits tensor 0 late: the first cycle must not reduce it.
+  mpi::World::run(2, [](mpi::Comm& comm) {
+    RealEngine engine(comm, FusionPolicy{});
+    engine.register_tensor("a", 4);
+    std::vector<float> grad(4, static_cast<float>(comm.rank()));
+    if (comm.rank() == 0) engine.submit(0, std::span<float>(grad));
+    const int done_first = engine.process();
+    EXPECT_EQ(done_first, 0);
+    if (comm.rank() == 1) engine.submit(0, std::span<float>(grad));
+    const int done_second = engine.process();
+    EXPECT_EQ(done_second, 1);
+    EXPECT_NEAR(grad[0], 0.5f, 1e-6f);
+  });
+}
+
+TEST(RealEngine, MisuseThrows) {
+  mpi::World::run(1, [](mpi::Comm& comm) {
+    RealEngine engine(comm, FusionPolicy{});
+    engine.register_tensor("a", 4);
+    EXPECT_THROW(engine.register_tensor("a", 4), std::invalid_argument);
+    std::vector<float> wrong(3);
+    EXPECT_THROW(engine.submit(0, std::span<float>(wrong)), std::invalid_argument);
+    std::vector<float> ok(4);
+    engine.submit(0, std::span<float>(ok));
+    EXPECT_THROW(engine.submit(0, std::span<float>(ok)), std::logic_error);
+  });
+}
+
+
+class HierEngineParam : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HierEngineParam, HierarchicalExchangeMatchesFlat) {
+  const auto [nodes, rpn] = GetParam();
+  const int ranks = nodes * rpn;
+  mpi::World::run(ranks, [&, rpn = rpn, ranks = ranks](mpi::Comm& comm) {
+    RealEngine flat(comm, FusionPolicy{});
+    RealEngine hier(comm, FusionPolicy{}, rpn);
+    std::vector<float> a(37), b(37);
+    for (std::size_t i = 0; i < a.size(); ++i)
+      a[i] = b[i] = grad_value(comm.rank(), 0, i);
+    flat.register_tensor("t", a.size());
+    hier.register_tensor("t", b.size());
+    flat.submit(0, std::span<float>(a));
+    hier.submit(0, std::span<float>(b));
+    flat.synchronize();
+    hier.synchronize();
+    for (std::size_t i = 0; i < a.size(); ++i) ASSERT_NEAR(a[i], b[i], 1e-5f);
+    (void)ranks;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(NodesByRpn, HierEngineParam,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 2, 4)));
+
+TEST(RealEngine, HierarchicalRejectsBadRanksPerNode) {
+  mpi::World::run(4, [](mpi::Comm& comm) {
+    EXPECT_THROW(RealEngine(comm, FusionPolicy{}, 3), std::invalid_argument);
+    EXPECT_THROW(RealEngine(comm, FusionPolicy{}, -1), std::invalid_argument);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Timeline DES
+// ---------------------------------------------------------------------------
+
+TimelineInput basic_input(const mpi::CollectiveCostModel* cost) {
+  TimelineInput in;
+  in.fwd_time = 0.1;
+  in.bwd_time = 0.2;
+  in.optimizer_time = 0.01;
+  in.iteration_fixed = 0.005;
+  in.iterations = 4;
+  in.cost = cost;
+  for (int i = 0; i < 10; ++i)
+    in.grad_events.push_back({0.02 * (i + 1), 1e6});
+  return in;
+}
+
+TEST(Timeline, NoCommPathIsPureCompute) {
+  const auto r = simulate_training(basic_input(nullptr));
+  EXPECT_NEAR(r.per_iteration, 0.005 + 0.1 + 0.2 + 0.01, 1e-9);
+  EXPECT_EQ(r.stats.engine_wakeups, 0u);
+  EXPECT_EQ(r.stats.data_allreduces, 0u);
+  EXPECT_EQ(r.stats.framework_requests, 40u);
+}
+
+TEST(Timeline, CommunicationAddsTimeAndCounters) {
+  mpi::CollectiveCostModel cost(net::Topology(4, 4, hw::FabricKind::InfiniBandEDR));
+  const auto none = simulate_training(basic_input(nullptr));
+  const auto comm = simulate_training(basic_input(&cost));
+  EXPECT_GT(comm.per_iteration, none.per_iteration);
+  EXPECT_GT(comm.stats.engine_wakeups, 0u);
+  EXPECT_GT(comm.stats.data_allreduces, 0u);
+  EXPECT_DOUBLE_EQ(comm.stats.bytes_reduced, 4 * 10 * 1e6);
+}
+
+TEST(Timeline, LargerCycleTimeMeansFewerEngineOps) {
+  mpi::CollectiveCostModel cost(net::Topology(4, 4, hw::FabricKind::InfiniBandEDR));
+  auto in = basic_input(&cost);
+  const auto fast = simulate_training(in);
+  in.policy.cycle_time_s = 50e-3;
+  const auto slow = simulate_training(in);
+  EXPECT_LT(slow.stats.engine_allreduces(), fast.stats.engine_allreduces());
+  EXPECT_EQ(slow.stats.framework_requests, fast.stats.framework_requests);
+}
+
+TEST(Timeline, SharedCoreTaxSlowsCompute) {
+  mpi::CollectiveCostModel cost(net::Topology(4, 4, hw::FabricKind::InfiniBandEDR));
+  auto in = basic_input(&cost);
+  in.comm_thread_shares_core = false;
+  const auto dedicated = simulate_training(in);
+  in.comm_thread_shares_core = true;
+  const auto taxed = simulate_training(in);
+  // With a 0.8 ms wakeup cost at 3.5 ms cycles, ~23% of compute is stolen
+  // when the progress thread shares a core (vs ~3% interference otherwise).
+  EXPECT_GT(taxed.per_iteration, dedicated.per_iteration * 1.1);
+}
+
+TEST(Timeline, StragglerFactorStretchesCompute) {
+  auto in = basic_input(nullptr);
+  in.straggler_factor = 1.10;
+  const auto r = simulate_training(in);
+  EXPECT_NEAR(r.per_iteration, 0.005 + 1.10 * (0.1 + 0.2 + 0.01), 1e-9);
+  in.straggler_factor = 0.5;
+  EXPECT_THROW(simulate_training(in), std::invalid_argument);
+}
+
+TEST(Timeline, IterationsScaleTotalTime) {
+  auto in = basic_input(nullptr);
+  const auto four = simulate_training(in);
+  in.iterations = 8;
+  const auto eight = simulate_training(in);
+  EXPECT_NEAR(eight.total_time, 2.0 * four.total_time, 1e-9);
+  in.iterations = 0;
+  EXPECT_THROW(simulate_training(in), std::invalid_argument);
+}
+
+TEST(Timeline, CommExposureReportedWhenCommDominates) {
+  // Gradients all land at the very end of a short backward pass over a slow
+  // 10GigE fabric: communication cannot overlap and must be exposed.
+  mpi::CollectiveCostModel cost(net::Topology(8, 1, hw::FabricKind::Ethernet10G));
+  TimelineInput in;
+  in.fwd_time = 0.01;
+  in.bwd_time = 0.02;
+  in.iterations = 2;
+  in.cost = &cost;
+  in.grad_events.push_back({0.02, 100e6});
+  const auto r = simulate_training(in);
+  EXPECT_GT(r.comm_exposed_fraction, 0.3);
+}
+
+TEST(FusionPolicy, Validation) {
+  FusionPolicy p;
+  p.cycle_time_s = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = FusionPolicy{};
+  p.fusion_threshold_bytes = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(CommStats, Accumulate) {
+  CommStats a, b;
+  a.engine_wakeups = 2;
+  a.data_allreduces = 3;
+  b.engine_wakeups = 5;
+  b.framework_requests = 7;
+  a += b;
+  EXPECT_EQ(a.engine_wakeups, 7u);
+  EXPECT_EQ(a.engine_allreduces(), 10u);
+  EXPECT_EQ(a.framework_requests, 7u);
+}
+
+}  // namespace
+}  // namespace dnnperf::hvd

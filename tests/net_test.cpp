@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "net/link.hpp"
+#include "net/topology.hpp"
+
+namespace dnnperf::net {
+namespace {
+
+TEST(LinkParams, TransferTimeIsAlphaBeta) {
+  LinkParams link;
+  link.latency_s = 1e-6;
+  link.bandwidth_gbps = 10.0;
+  link.per_msg_overhead_s = 1e-7;
+  // 1 MB at 10 GB/s = 100 us, plus 1.1 us of fixed costs.
+  EXPECT_NEAR(link.transfer_time(1e6), 101.1e-6, 1e-9);
+  EXPECT_NEAR(link.transfer_time(0.0), 1.1e-6, 1e-12);
+  EXPECT_THROW(link.transfer_time(-1.0), std::invalid_argument);
+}
+
+TEST(LinkParams, FabricsAreOrdered) {
+  const auto edr = fabric_params(hw::FabricKind::InfiniBandEDR);
+  const auto opa = fabric_params(hw::FabricKind::OmniPath);
+  const auto eth = fabric_params(hw::FabricKind::Ethernet10G);
+  // Both 100 Gb fabrics are far faster than 10GigE.
+  EXPECT_GT(edr.bandwidth_gbps, 5.0 * eth.bandwidth_gbps);
+  EXPECT_GT(opa.bandwidth_gbps, 5.0 * eth.bandwidth_gbps);
+  EXPECT_LT(edr.latency_s, eth.latency_s);
+}
+
+TEST(LinkParams, SharedMemoryBeatsFabricForSmallMessages) {
+  const auto shm = shared_memory_params();
+  const auto edr = fabric_params(hw::FabricKind::InfiniBandEDR);
+  EXPECT_LT(shm.transfer_time(64.0), edr.transfer_time(64.0));
+}
+
+TEST(Topology, RankMapping) {
+  Topology topo(4, 3, hw::FabricKind::InfiniBandEDR);
+  EXPECT_EQ(topo.world_size(), 12);
+  EXPECT_EQ(topo.node_of(0), 0);
+  EXPECT_EQ(topo.node_of(5), 1);
+  EXPECT_EQ(topo.local_rank(5), 2);
+  EXPECT_EQ(topo.leader_of(5), 3);
+  EXPECT_TRUE(topo.same_node(3, 5));
+  EXPECT_FALSE(topo.same_node(2, 3));
+  EXPECT_THROW(topo.node_of(12), std::out_of_range);
+  EXPECT_THROW(topo.node_of(-1), std::out_of_range);
+}
+
+TEST(Topology, LinkSelectionByLocality) {
+  Topology topo(2, 2, hw::FabricKind::InfiniBandEDR);
+  // Ranks 0,1 share node 0; rank 2 is on node 1.
+  EXPECT_LT(topo.p2p_time(0, 1, 64.0), topo.p2p_time(0, 2, 64.0));
+  EXPECT_EQ(topo.p2p_time(1, 1, 1e6), 0.0);
+}
+
+TEST(Topology, CustomIntraNodeLink) {
+  Topology topo(2, 2, hw::FabricKind::InfiniBandEDR, pcie3_x16_params());
+  EXPECT_DOUBLE_EQ(topo.intra_node().latency_s, pcie3_x16_params().latency_s);
+}
+
+TEST(Topology, RejectsBadSizes) {
+  EXPECT_THROW(Topology(0, 1, hw::FabricKind::InfiniBandEDR), std::invalid_argument);
+  EXPECT_THROW(Topology(1, 0, hw::FabricKind::InfiniBandEDR), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnnperf::net

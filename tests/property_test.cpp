@@ -1,0 +1,185 @@
+// Property-based sweeps over the performance model: invariants that must
+// hold for every (platform, model, configuration) combination, not just the
+// paper's calibration points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/presets.hpp"
+#include "exec/cpu_model.hpp"
+#include "exec/placement.hpp"
+#include "hw/platforms.hpp"
+#include "train/trainer.hpp"
+
+namespace dnnperf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Trainer-level properties over platform x model
+// ---------------------------------------------------------------------------
+
+using PlatModel = std::tuple<std::string, dnn::ModelId>;
+
+class PlatModelParam : public ::testing::TestWithParam<PlatModel> {};
+
+TEST_P(PlatModelParam, ThroughputPositiveAndFiniteEverywhere) {
+  const auto& [cluster_name, model] = GetParam();
+  const auto cluster = hw::cluster_by_name(cluster_name);
+  for (int ppn : {1, 2, 4}) {
+    train::TrainConfig cfg;
+    cfg.cluster = cluster;
+    cfg.model = model;
+    cfg.ppn = ppn;
+    cfg.batch_per_rank = 32;
+    cfg.use_horovod = ppn > 1;
+    const auto r = train::run_training(cfg);
+    ASSERT_TRUE(std::isfinite(r.images_per_sec)) << cluster_name << " ppn " << ppn;
+    ASSERT_GT(r.images_per_sec, 0.0);
+    ASSERT_GT(r.fwd_s, 0.0);
+    ASSERT_GT(r.bwd_s, r.fwd_s);  // backward always costs more than forward
+  }
+}
+
+TEST_P(PlatModelParam, SpeedupNeverExceedsRankRatio) {
+  const auto& [cluster_name, model] = GetParam();
+  const auto cluster = hw::cluster_by_name(cluster_name);
+  const int max_nodes = std::min(cluster.max_nodes, 8);
+  auto cfg = core::tf_best(cluster, model, 1);
+  const double single = train::run_training(cfg).images_per_sec;
+  double prev = single;
+  for (int nodes = 2; nodes <= max_nodes; nodes *= 2) {
+    cfg.nodes = nodes;
+    const double v = train::run_training(cfg).images_per_sec;
+    ASSERT_GT(v, prev) << "more nodes must not reduce aggregate throughput";
+    ASSERT_LE(v / single, nodes * 1.001) << "no superlinear scaling";
+    prev = v;
+  }
+}
+
+TEST_P(PlatModelParam, BiggerBatchNeverReducesThroughput) {
+  const auto& [cluster_name, model] = GetParam();
+  const auto cluster = hw::cluster_by_name(cluster_name);
+  auto cfg = core::tf_best(cluster, model, 1);
+  double prev = 0.0;
+  for (int bs : {8, 16, 32, 64, 128}) {
+    cfg.batch_per_rank = bs;
+    const double v = train::run_training(cfg).images_per_sec;
+    ASSERT_GE(v, prev * 0.999) << "bs " << bs;
+    prev = v;
+  }
+}
+
+std::string plat_model_name(const ::testing::TestParamInfo<PlatModel>& info) {
+  std::string s = std::get<0>(info.param) + "_" + dnn::to_string(std::get<1>(info.param));
+  std::erase_if(s, [](char c) { return c == '-'; });
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CpuClustersByModels, PlatModelParam,
+    ::testing::Combine(::testing::Values("RI2-Skylake", "Pitzer", "Stampede2", "RI2-Broadwell",
+                                         "AMD-Cluster"),
+                       ::testing::Values(dnn::ModelId::ResNet50, dnn::ModelId::InceptionV3,
+                                         dnn::ModelId::GoogLeNet)),
+    plat_model_name);
+
+// ---------------------------------------------------------------------------
+// Execution-model properties over every CPU platform
+// ---------------------------------------------------------------------------
+
+class CpuParam : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CpuParam, PlacementInvariants) {
+  const auto cpu = hw::cpu_by_label(GetParam());
+  for (int ppn : {1, 2, 4}) {
+    if (cpu.total_cores() % ppn != 0) continue;
+    for (int threads : {1, 2, cpu.total_cores() / ppn}) {
+      const auto p = exec::place_rank(cpu, ppn, threads);
+      ASSERT_GE(p.cores, 1);
+      ASSERT_LE(p.cores * ppn, cpu.total_cores());
+      ASSERT_GE(p.numa_domains_spanned, 1);
+      ASSERT_LE(p.numa_domains_spanned, cpu.numa_domains());
+      ASSERT_GT(p.mem_bw_gbps, 0.0);
+      ASSERT_LE(p.mem_bw_gbps, cpu.mem_bw_gbps() * 1.01);
+      ASSERT_GE(p.numa_time_penalty, 0.0);
+    }
+  }
+}
+
+TEST_P(CpuParam, PinnedRanksBeatSpanningProcessPerCore) {
+  // ppn = sockets (one rank per socket) must reach at least the throughput
+  // of one process spanning everything, for any model: the MP insight must
+  // be architecture-independent.
+  const auto cpu = hw::cpu_by_label(GetParam());
+  hw::ClusterModel cluster;
+  cluster.name = "probe";
+  cluster.node.cpu = cpu;
+  cluster.max_nodes = 1;
+
+  train::TrainConfig sp;
+  sp.cluster = cluster;
+  sp.model = dnn::ModelId::ResNet50;
+  sp.ppn = 1;
+  sp.use_horovod = false;
+  sp.batch_per_rank = 128;
+
+  train::TrainConfig mp = sp;
+  mp.ppn = cpu.numa_domains();
+  mp.use_horovod = true;
+  mp.batch_per_rank = std::max(1, 128 / cpu.numa_domains());
+
+  EXPECT_GE(train::run_training(mp).images_per_sec,
+            train::run_training(sp).images_per_sec * 0.99)
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(TableOne, CpuParam,
+                         ::testing::Values("Skylake-1", "Skylake-2", "Skylake-3", "Broadwell",
+                                           "EPYC"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string s = info.param;
+                           std::erase_if(s, [](char c) { return c == '-'; });
+                           return s;
+                         });
+
+// ---------------------------------------------------------------------------
+// Op-duration properties
+// ---------------------------------------------------------------------------
+
+TEST(OpDuration, MonotoneInWorkAndThreads) {
+  const auto cpu = hw::stampede2().node.cpu;
+  const exec::CpuExecModel model(cpu);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet50);
+  const exec::Placement p = exec::place_rank(cpu, 2, 24);
+  exec::ExecConfig cfg;
+  cfg.intra_threads = 12;
+  cfg.inter_threads = 1;
+
+  const auto& conv = g.op(1);  // stem conv
+  ASSERT_EQ(conv.kind, dnn::OpKind::Conv2d);
+
+  double prev = 1e18;
+  for (double tau : {1.0, 2.0, 4.0, 8.0, 12.0}) {
+    cfg.batch = 64;
+    const double d = model.op_duration(g, conv, false, tau, 12, cfg, p, 1.0);
+    ASSERT_LT(d, prev) << "more effective threads must shorten the op";
+    prev = d;
+  }
+
+  double prev_batch = 0.0;
+  for (int bs : {1, 8, 64, 256}) {
+    cfg.batch = bs;
+    const double d = model.op_duration(g, conv, false, 12.0, 12, cfg, p, 1.0);
+    ASSERT_GT(d, prev_batch) << "more images must lengthen the op";
+    prev_batch = d;
+  }
+
+  // Backward costs more than forward for a conv.
+  cfg.batch = 64;
+  EXPECT_GT(model.op_duration(g, conv, true, 12.0, 12, cfg, p, 1.0),
+            model.op_duration(g, conv, false, 12.0, 12, cfg, p, 1.0));
+}
+
+}  // namespace
+}  // namespace dnnperf

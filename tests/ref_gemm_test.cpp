@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ref/conv_fast.hpp"
+#include "ref/gemm.hpp"
+
+namespace dnnperf::ref {
+namespace {
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (int i = 0; i < m; ++i)
+    for (int kk = 0; kk < k; ++kk)
+      for (int j = 0; j < n; ++j)
+        c[static_cast<std::size_t>(i) * n + j] +=
+            a[static_cast<std::size_t>(i) * k + kk] * b[static_cast<std::size_t>(kk) * n + j];
+  return c;
+}
+
+class GemmShapeParam : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeParam, MatchesNaiveMatmul) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(31);
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  ThreadPool pool(3);
+  Tensor c({m, n});
+  gemm(a, b, c, pool);
+  EXPECT_LT(max_abs_diff(c, naive_matmul(a, b)), 1e-4f);
+}
+
+TEST_P(GemmShapeParam, TransposedVariantMatches) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(32);
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  // Store A transposed and multiply through gemm_at.
+  Tensor a_t({k, m});
+  for (int i = 0; i < m; ++i)
+    for (int kk = 0; kk < k; ++kk)
+      a_t[static_cast<std::size_t>(kk) * m + i] = a[static_cast<std::size_t>(i) * k + kk];
+  ThreadPool pool(2);
+  Tensor c({m, n});
+  gemm_at(a_t, b, c, pool);
+  EXPECT_LT(max_abs_diff(c, naive_matmul(a, b)), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapeParam,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{3, 5, 7},
+                                           std::tuple{16, 16, 16}, std::tuple{33, 65, 129},
+                                           std::tuple{100, 70, 130}, std::tuple{2, 200, 3}));
+
+TEST(Gemm, AccumulateAddsToExisting) {
+  util::Rng rng(33);
+  const Tensor a = Tensor::randn({4, 6}, rng);
+  const Tensor b = Tensor::randn({6, 5}, rng);
+  ThreadPool pool(1);
+  Tensor c({4, 5});
+  c.fill(1.0f);
+  gemm(a, b, c, pool, /*accumulate=*/true);
+  Tensor expected = naive_matmul(a, b);
+  for (std::size_t i = 0; i < expected.size(); ++i) expected[i] += 1.0f;
+  EXPECT_LT(max_abs_diff(c, expected), 1e-4f);
+}
+
+TEST(Gemm, RejectsBadShapes) {
+  ThreadPool pool(1);
+  Tensor a({2, 3}), b({4, 5}), c({2, 5});
+  EXPECT_THROW(gemm(a, b, c, pool), std::invalid_argument);
+  Tensor b2({3, 5}), c2({3, 5});
+  EXPECT_THROW(gemm(a, b2, c2, pool), std::invalid_argument);
+}
+
+TEST(Im2col, RoundTripThroughCol2im) {
+  // col2im(im2col(x)) multiplies each input element by the number of
+  // windows covering it; with a 1x1 kernel and stride 1 that count is 1.
+  util::Rng rng(34);
+  const Tensor x = Tensor::randn({2, 3, 5, 5}, rng);
+  ThreadPool pool(2);
+  const Tensor cols = im2col(x, 1, 1, 1, 0, pool);
+  const Tensor back = col2im(cols, 2, 3, 5, 5, 1, 1, 1, 0, pool);
+  EXPECT_LT(max_abs_diff(x, back), 1e-6f);
+}
+
+TEST(Im2col, ColumnLayout) {
+  // A 2x2 input with a 2x2 kernel, no pad: exactly one output position whose
+  // column is the flattened input.
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1;
+  x[1] = 2;
+  x[2] = 3;
+  x[3] = 4;
+  ThreadPool pool(1);
+  const Tensor cols = im2col(x, 2, 2, 1, 0, pool);
+  ASSERT_EQ(cols.dim(0), 1);
+  ASSERT_EQ(cols.dim(1), 4);
+  EXPECT_EQ(cols[0], 1);
+  EXPECT_EQ(cols[1], 2);
+  EXPECT_EQ(cols[2], 3);
+  EXPECT_EQ(cols[3], 4);
+}
+
+// ---------------------------------------------------------------------------
+// im2col+GEMM convolution vs the direct kernels
+// ---------------------------------------------------------------------------
+
+using ConvCase = std::tuple<int, int, int, int, int, int>;  // n, c, hw, oc, stride, pad
+
+class ConvGemmParam : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGemmParam, ForwardMatchesDirectKernel) {
+  const auto [n, c, hw, oc, stride, pad] = GetParam();
+  util::Rng rng(35);
+  const Tensor x = Tensor::randn({n, c, hw, hw}, rng);
+  const Tensor w = Tensor::randn({oc, c, 3, 3}, rng, 0.3f);
+  const Tensor b = Tensor::randn({oc}, rng, 0.1f);
+  ThreadPool pool(2);
+  const ConvSpec spec{stride, pad};
+  const Tensor direct = conv2d_forward(x, w, b, spec, pool);
+  const Tensor lowered = conv2d_forward_gemm(x, w, b, spec, pool);
+  ASSERT_TRUE(direct.same_shape(lowered));
+  EXPECT_LT(max_abs_diff(direct, lowered), 1e-4f);
+}
+
+TEST_P(ConvGemmParam, BackwardMatchesDirectKernel) {
+  const auto [n, c, hw, oc, stride, pad] = GetParam();
+  util::Rng rng(36);
+  const Tensor x = Tensor::randn({n, c, hw, hw}, rng);
+  const Tensor w = Tensor::randn({oc, c, 3, 3}, rng, 0.3f);
+  const Tensor b = Tensor::zeros({oc});
+  ThreadPool pool(2);
+  const ConvSpec spec{stride, pad};
+  const Tensor y = conv2d_forward(x, w, b, spec, pool);
+  util::Rng rng2(37);
+  const Tensor dy = Tensor::randn(y.shape(), rng2);
+
+  Tensor dx1, dw1, db1, dx2, dw2, db2;
+  conv2d_backward(x, w, dy, spec, dx1, dw1, db1, pool);
+  conv2d_backward_gemm(x, w, dy, spec, dx2, dw2, db2, pool);
+  EXPECT_LT(max_abs_diff(dx1, dx2), 1e-3f);
+  EXPECT_LT(max_abs_diff(dw1, dw2), 1e-3f);
+  EXPECT_LT(max_abs_diff(db1, db2), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(ConvShapes, ConvGemmParam,
+                         ::testing::Values(ConvCase{1, 1, 5, 1, 1, 0},
+                                           ConvCase{2, 3, 8, 4, 1, 1},
+                                           ConvCase{1, 4, 9, 8, 2, 1},
+                                           ConvCase{3, 2, 7, 5, 2, 0},
+                                           ConvCase{2, 8, 6, 16, 1, 1}));
+
+}  // namespace
+}  // namespace dnnperf::ref

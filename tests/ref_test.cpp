@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <functional>
+
+#include "ref/kernels.hpp"
+#include "ref/network.hpp"
+#include "ref/tensor.hpp"
+#include "ref/threadpool.hpp"
+
+namespace dnnperf::ref {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tensor
+// ---------------------------------------------------------------------------
+
+TEST(Tensor, ConstructionAndIndexing) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.size(), 120u);
+  t.at4(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t[119], 7.0f);
+  EXPECT_THROW(Tensor({0, 1}), std::invalid_argument);
+  EXPECT_THROW(Tensor(std::vector<int>{}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i);
+  const Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r[11], 11.0f);
+  EXPECT_THROW(t.reshaped({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a({4}), b({4});
+  a[2] = 1.0f;
+  b[2] = -1.5f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 2.5f);
+  Tensor c({5});
+  EXPECT_THROW(max_abs_diff(a, c), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(100, [&](std::size_t b, std::size_t e) { sum += e - b; });
+    ASSERT_EQ(sum.load(), 100u);
+  }
+}
+
+TEST(ThreadPool, ExceptionsPropagate) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t b, std::size_t) {
+                                   if (b == 0) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // Pool must still be usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(5, [&](std::size_t b, std::size_t e) { count += static_cast<int>(e - b); });
+  EXPECT_EQ(count.load(), 5);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  int calls = 0;
+  pool.parallel_for(10, [&](std::size_t b, std::size_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 10u);
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Finite-difference gradient checks
+// ---------------------------------------------------------------------------
+
+/// Numerically checks dL/dx for a scalar loss L = sum(w_out * f(x)) where
+/// w_out is a fixed random cotangent. `forward` must be pure in x.
+void grad_check(Tensor& x, const Tensor& analytic_dx,
+                const std::function<Tensor(const Tensor&)>& forward, const Tensor& cotangent,
+                float tol = 2e-2f) {
+  const float eps = 1e-2f;
+  util::Rng rng(5);
+  // Spot-check a sample of coordinates (full sweep is O(n^2)).
+  const std::size_t checks = std::min<std::size_t>(x.size(), 24);
+  for (std::size_t k = 0; k < checks; ++k) {
+    const auto i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(x.size()) - 1));
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const Tensor up = forward(x);
+    x[i] = orig - eps;
+    const Tensor down = forward(x);
+    x[i] = orig;
+    double loss_up = 0.0, loss_down = 0.0;
+    for (std::size_t j = 0; j < up.size(); ++j) {
+      loss_up += up[j] * cotangent[j];
+      loss_down += down[j] * cotangent[j];
+    }
+    const double numeric = (loss_up - loss_down) / (2.0 * eps);
+    EXPECT_NEAR(analytic_dx[i], numeric, tol * std::max(1.0, std::fabs(numeric)))
+        << "coordinate " << i;
+  }
+}
+
+TEST(GradCheck, Conv2dInputWeightBias) {
+  ThreadPool pool(2);
+  util::Rng rng(1);
+  Tensor x = Tensor::randn({2, 3, 6, 6}, rng);
+  Tensor w = Tensor::randn({4, 3, 3, 3}, rng, 0.5f);
+  Tensor b = Tensor::randn({4}, rng, 0.1f);
+  const ConvSpec spec{1, 1};
+
+  const Tensor y = conv2d_forward(x, w, b, spec, pool);
+  Tensor cot = Tensor::randn(y.shape(), rng);
+  Tensor dx, dw, db;
+  conv2d_backward(x, w, cot, spec, dx, dw, db, pool);
+
+  grad_check(x, dx, [&](const Tensor& xx) { return conv2d_forward(xx, w, b, spec, pool); }, cot);
+  grad_check(w, dw, [&](const Tensor& ww) { return conv2d_forward(x, ww, b, spec, pool); }, cot);
+  grad_check(b, db, [&](const Tensor& bb) { return conv2d_forward(x, w, bb, spec, pool); }, cot);
+}
+
+TEST(GradCheck, Conv2dStrided) {
+  ThreadPool pool(2);
+  util::Rng rng(2);
+  Tensor x = Tensor::randn({1, 2, 7, 7}, rng);
+  Tensor w = Tensor::randn({3, 2, 3, 3}, rng, 0.5f);
+  Tensor b = Tensor::zeros({3});
+  const ConvSpec spec{2, 0};
+  const Tensor y = conv2d_forward(x, w, b, spec, pool);
+  EXPECT_EQ(y.dim(2), 3);
+  Tensor cot = Tensor::randn(y.shape(), rng);
+  Tensor dx, dw, db;
+  conv2d_backward(x, w, cot, spec, dx, dw, db, pool);
+  grad_check(x, dx, [&](const Tensor& xx) { return conv2d_forward(xx, w, b, spec, pool); }, cot);
+  grad_check(w, dw, [&](const Tensor& ww) { return conv2d_forward(x, ww, b, spec, pool); }, cot);
+}
+
+TEST(GradCheck, Dense) {
+  ThreadPool pool(2);
+  util::Rng rng(3);
+  Tensor x = Tensor::randn({4, 6}, rng);
+  Tensor w = Tensor::randn({6, 5}, rng, 0.5f);
+  Tensor b = Tensor::randn({5}, rng, 0.1f);
+  const Tensor y = dense_forward(x, w, b, pool);
+  Tensor cot = Tensor::randn(y.shape(), rng);
+  Tensor dx, dw, db;
+  dense_backward(x, w, cot, dx, dw, db, pool);
+  grad_check(x, dx, [&](const Tensor& xx) { return dense_forward(xx, w, b, pool); }, cot);
+  grad_check(w, dw, [&](const Tensor& ww) { return dense_forward(x, ww, b, pool); }, cot);
+  grad_check(b, db, [&](const Tensor& bb) { return dense_forward(x, w, bb, pool); }, cot);
+}
+
+TEST(GradCheck, ReLU) {
+  ThreadPool pool(2);
+  util::Rng rng(4);
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  // Keep values away from the kink so finite differences are clean.
+  for (std::size_t i = 0; i < x.size(); ++i)
+    if (std::fabs(x[i]) < 0.05f) x[i] = 0.2f;
+  const Tensor y = relu_forward(x, pool);
+  Tensor cot = Tensor::randn(y.shape(), rng);
+  const Tensor dx = relu_backward(x, cot, pool);
+  grad_check(x, dx, [&](const Tensor& xx) { return relu_forward(xx, pool); }, cot);
+}
+
+TEST(GradCheck, MaxPool) {
+  ThreadPool pool(2);
+  util::Rng rng(6);
+  Tensor x = Tensor::randn({2, 2, 6, 6}, rng);
+  Tensor argmax;
+  const Tensor y = maxpool_forward(x, 2, 2, argmax, pool);
+  EXPECT_EQ(y.dim(2), 3);
+  Tensor cot = Tensor::randn(y.shape(), rng);
+  const Tensor dx = maxpool_backward(x, cot, argmax, pool);
+  grad_check(x, dx,
+             [&](const Tensor& xx) {
+               Tensor am;
+               return maxpool_forward(xx, 2, 2, am, pool);
+             },
+             cot);
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  util::Rng rng(7);
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  const Tensor y = global_avg_pool_forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 3}));
+  Tensor cot = Tensor::randn(y.shape(), rng);
+  const Tensor dx = global_avg_pool_backward(x, cot);
+  grad_check(x, dx, [&](const Tensor& xx) { return global_avg_pool_forward(xx); }, cot);
+}
+
+TEST(GradCheck, BatchNorm) {
+  util::Rng rng(8);
+  Tensor x = Tensor::randn({3, 2, 4, 4}, rng);
+  Tensor gamma = Tensor::randn({2}, rng, 0.2f);
+  for (std::size_t i = 0; i < gamma.size(); ++i) gamma[i] += 1.0f;
+  Tensor beta = Tensor::randn({2}, rng, 0.2f);
+  const float eps = 1e-5f;
+
+  BatchNormCache cache;
+  const Tensor y = batchnorm_forward(x, gamma, beta, eps, cache);
+  Tensor cot = Tensor::randn(y.shape(), rng);
+  Tensor dx, dgamma, dbeta;
+  batchnorm_backward(cot, cache, gamma, dx, dgamma, dbeta);
+
+  grad_check(x, dx,
+             [&](const Tensor& xx) {
+               BatchNormCache c;
+               return batchnorm_forward(xx, gamma, beta, eps, c);
+             },
+             cot, 5e-2f);
+  grad_check(gamma, dgamma,
+             [&](const Tensor& gg) {
+               BatchNormCache c;
+               return batchnorm_forward(x, gg, beta, eps, c);
+             },
+             cot, 5e-2f);
+}
+
+TEST(GradCheck, SoftmaxXent) {
+  util::Rng rng(9);
+  Tensor logits = Tensor::randn({4, 5}, rng);
+  const std::vector<int> labels{1, 0, 4, 2};
+  Tensor dlogits;
+  const float loss = softmax_xent(logits, labels, dlogits);
+  EXPECT_GT(loss, 0.0f);
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Tensor tmp;
+    const float orig = logits[i];
+    logits[i] = orig + eps;
+    const float up = softmax_xent(logits, labels, tmp);
+    logits[i] = orig - eps;
+    const float down = softmax_xent(logits, labels, tmp);
+    logits[i] = orig;
+    EXPECT_NEAR(dlogits[i], (up - down) / (2 * eps), 1e-3f);
+  }
+  EXPECT_THROW(softmax_xent(logits, {1, 2}, dlogits), std::invalid_argument);
+  EXPECT_THROW(softmax_xent(logits, {9, 0, 0, 0}, dlogits), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel properties
+// ---------------------------------------------------------------------------
+
+TEST(Kernels, ParallelConvMatchesSerial) {
+  util::Rng rng(10);
+  Tensor x = Tensor::randn({3, 4, 9, 9}, rng);
+  Tensor w = Tensor::randn({8, 4, 3, 3}, rng, 0.4f);
+  Tensor b = Tensor::randn({8}, rng, 0.1f);
+  ThreadPool serial(1), parallel(4);
+  const Tensor y1 = conv2d_forward(x, w, b, ConvSpec{1, 1}, serial);
+  const Tensor y4 = conv2d_forward(x, w, b, ConvSpec{1, 1}, parallel);
+  EXPECT_LT(max_abs_diff(y1, y4), 1e-6f);
+}
+
+TEST(Kernels, ConvShapeChecks) {
+  ThreadPool pool(1);
+  Tensor x({1, 3, 8, 8});
+  Tensor w({4, 2, 3, 3});  // channel mismatch
+  Tensor b({4});
+  EXPECT_THROW(conv2d_forward(x, w, b, ConvSpec{1, 1}, pool), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Network / SGD
+// ---------------------------------------------------------------------------
+
+TEST(Network, TrainingReducesLoss) {
+  ThreadPool pool(2);
+  util::Rng rng(11);
+  Network net = make_tiny_cnn(3, 8, 4, pool, rng);
+  SgdOptimizer sgd(0.1f);
+  util::Rng data_rng(12);
+  const auto batch = synthetic_batch(8, 3, 8, 4, data_rng);
+
+  const float first = net.train_step(batch.images, batch.labels);
+  sgd.step(net.params());
+  float last = first;
+  for (int i = 0; i < 15; ++i) {
+    last = net.train_step(batch.images, batch.labels);
+    sgd.step(net.params());
+  }
+  EXPECT_LT(last, first * 0.8f) << "loss did not decrease on a fixed batch";
+}
+
+TEST(Network, ParamCountsAndNames) {
+  ThreadPool pool(1);
+  util::Rng rng(13);
+  Network net = make_tiny_cnn(3, 8, 4, pool, rng);
+  const auto params = net.params();
+  // conv1(w,b) bn1(g,b) conv2(w,b) bn2(g,b) fc(w,b) = 10 tensors.
+  EXPECT_EQ(params.size(), 10u);
+  EXPECT_GT(net.num_parameters(), 1000u);
+  Network lean = make_tiny_cnn(3, 8, 4, pool, rng, /*batch_norm=*/false);
+  EXPECT_EQ(lean.params().size(), 6u);
+}
+
+}  // namespace
+}  // namespace dnnperf::ref

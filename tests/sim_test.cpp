@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace dnnperf::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+  EXPECT_EQ(engine.events_processed(), 3u);
+}
+
+TEST(Engine, SimultaneousEventsAreFifo) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) engine.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine engine;
+  double fired_at = -1.0;
+  engine.schedule_at(2.0, [&] {
+    engine.schedule_after(0.5, [&] { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  bool ran = false;
+  const EventId id = engine.schedule_at(1.0, [&] { ran = true; });
+  engine.cancel(id);
+  engine.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(engine.events_processed(), 0u);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine engine;
+  int count = 0;
+  engine.schedule_at(1.0, [&] { ++count; });
+  engine.schedule_at(2.0, [&] { ++count; });
+  engine.schedule_at(5.0, [&] { ++count; });
+  engine.run_until(2.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  engine.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, PastSchedulingThrows) {
+  Engine engine;
+  engine.schedule_at(2.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_after(-0.1, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine engine;
+  EXPECT_FALSE(engine.step());
+  engine.schedule_at(0.0, [] {});
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(Resource, GrantsUpToCapacity) {
+  Engine engine;
+  Resource res(engine, 2);
+  int granted = 0;
+  for (int i = 0; i < 3; ++i) res.acquire([&] { ++granted; });
+  engine.run();
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(res.in_use(), 2);
+  EXPECT_EQ(res.queue_length(), 1u);
+
+  res.release();
+  engine.run();
+  EXPECT_EQ(granted, 3);
+  EXPECT_EQ(res.in_use(), 2);  // unit transferred to the waiter
+}
+
+TEST(Resource, FifoOrderAmongWaiters) {
+  Engine engine;
+  Resource res(engine, 1);
+  std::vector<int> order;
+  res.acquire([&] { order.push_back(0); });
+  res.acquire([&] { order.push_back(1); });
+  res.acquire([&] { order.push_back(2); });
+  engine.run();
+  res.release();
+  engine.run();
+  res.release();
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Resource, ReleaseWithoutAcquireThrows) {
+  Engine engine;
+  Resource res(engine, 1);
+  EXPECT_THROW(res.release(), std::logic_error);
+  EXPECT_THROW(Resource(engine, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnnperf::sim

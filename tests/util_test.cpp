@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace dnnperf::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalHasRoughlyRightMoments) {
+  Rng rng(11);
+  RunStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(RunStats, EmptyIsZero) {
+  RunStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunStats, KnownValues) {
+  RunStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+  EXPECT_THROW(percentile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, InverseNormalCdfKnownPoints) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.025), -1.959964, 1e-5);
+  EXPECT_THROW(inverse_normal_cdf(0.0), std::invalid_argument);
+  EXPECT_THROW(inverse_normal_cdf(1.0), std::invalid_argument);
+}
+
+TEST(Stats, ExpectedMaxNormalMonotoneInN) {
+  const double one = expected_max_normal(0.0, 1.0, 1);
+  const double ten = expected_max_normal(0.0, 1.0, 10);
+  const double thousand = expected_max_normal(0.0, 1.0, 1000);
+  EXPECT_DOUBLE_EQ(one, 0.0);
+  EXPECT_GT(ten, one);
+  EXPECT_GT(thousand, ten);
+  // E[max of 1000 standard normals] ~ 3.24
+  EXPECT_NEAR(thousand, 3.24, 0.15);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_NEAR(geometric_mean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+  EXPECT_THROW(geometric_mean({1.0, -1.0}), std::invalid_argument);
+  EXPECT_EQ(geometric_mean({}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// TextTable
+// ---------------------------------------------------------------------------
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "bbbb"});
+  t.add_row({"xx", "y"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("| a  | bbbb |"), std::string::npos);
+  EXPECT_NE(text.find("| xx | y    |"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, CsvEscapesSpecials) {
+  TextTable t({"name", "value"});
+  t.add_row({"has,comma", "has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(1000.0, 0), "1000");
+}
+
+// ---------------------------------------------------------------------------
+// CliParser
+// ---------------------------------------------------------------------------
+
+TEST(CliParser, ParsesAllForms) {
+  CliParser cli("prog", "test");
+  cli.add_int("nodes", "node count", 1);
+  cli.add_double("ratio", "a ratio", 0.5);
+  cli.add_string("model", "model name", "resnet50");
+  cli.add_flag("verbose", "verbosity", false);
+  const char* argv[] = {"prog", "--nodes=8", "--ratio", "2.5", "--model=vgg16", "--verbose",
+                        "positional"};
+  ASSERT_TRUE(cli.parse(7, argv));
+  EXPECT_EQ(cli.get_int("nodes"), 8);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 2.5);
+  EXPECT_EQ(cli.get_string("model"), "vgg16");
+  EXPECT_TRUE(cli.get_flag("verbose"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(CliParser, NoPrefixNegatesFlag) {
+  CliParser cli("prog", "test");
+  cli.add_flag("fusion", "enable fusion", true);
+  const char* argv[] = {"prog", "--no-fusion"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_FALSE(cli.get_flag("fusion"));
+}
+
+TEST(CliParser, UnknownFlagThrows) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, BadValueThrows) {
+  CliParser cli("prog", "test");
+  cli.add_int("n", "count", 0);
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+// ---------------------------------------------------------------------------
+// Units
+// ---------------------------------------------------------------------------
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(17.0), "17 B");
+  EXPECT_EQ(format_bytes(2048.0), "2.0 KiB");
+  EXPECT_EQ(format_bytes(3.5 * kMiB), "3.50 MiB");
+  EXPECT_EQ(format_bytes(1.5 * kGiB), "1.50 GiB");
+}
+
+TEST(Units, FormatTime) {
+  EXPECT_EQ(format_time(1.234), "1.234 s");
+  EXPECT_EQ(format_time(0.0456), "45.600 ms");
+  EXPECT_EQ(format_time(7.8e-6), "7.800 us");
+}
+
+}  // namespace
+}  // namespace dnnperf::util
