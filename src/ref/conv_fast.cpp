@@ -1,8 +1,9 @@
 #include "ref/conv_fast.hpp"
 
 #include <stdexcept>
+#include <vector>
 
-#include "ref/gemm.hpp"
+#include "ref/gemm_packed.hpp"
 
 namespace dnnperf::ref {
 
@@ -25,22 +26,17 @@ Tensor repack_weights(const Tensor& w) {
   return wt;
 }
 
-}  // namespace
-
-Tensor conv2d_forward_gemm(const Tensor& x, const Tensor& w, const Tensor& b, ConvSpec spec,
-                           ThreadPool& pool) {
-  if (x.rank() != 4 || w.rank() != 4) throw std::invalid_argument("conv_fast: rank-4 inputs");
-  if (w.dim(1) != x.dim(1)) throw std::invalid_argument("conv_fast: channel mismatch");
+/// Materialized im2col + GEMM + bias/reorder pass — the oracle path.
+Tensor forward_gemm_naive(const Tensor& x, const Tensor& w, const Tensor& b, ConvSpec spec,
+                          ThreadPool& pool) {
   const int n = x.dim(0), oc = w.dim(0);
   const int oh = out_dim(x.dim(2), w.dim(2), spec.stride, spec.pad);
   const int ow = out_dim(x.dim(3), w.dim(3), spec.stride, spec.pad);
-  if (b.size() != static_cast<std::size_t>(oc))
-    throw std::invalid_argument("conv_fast: bias size");
 
   const Tensor cols = im2col(x, w.dim(2), w.dim(3), spec.stride, spec.pad, pool);
   const Tensor wt = repack_weights(w);
   Tensor rows({n * oh * ow, oc});
-  gemm(cols, wt, rows, pool);
+  gemm(cols, wt, rows, pool, /*accumulate=*/false, GemmPath::naive);
 
   // rows [N*OH*OW, OC] -> y [N, OC, OH, OW], adding bias.
   Tensor y({n, oc, oh, ow});
@@ -59,8 +55,132 @@ Tensor conv2d_forward_gemm(const Tensor& x, const Tensor& w, const Tensor& b, Co
   return y;
 }
 
+/// Implicit-GEMM forward: the im2col matrix exists only as the per-thread
+/// MC x KC A-panel the packer fills on demand; bias is fused into the store
+/// epilogue and the output is written straight into NCHW.
+Tensor forward_gemm_packed(const Tensor& x, const Tensor& w, const Tensor& b, ConvSpec spec,
+                           ThreadPool& pool) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), iw = x.dim(3);
+  const int oc = w.dim(0), kh = w.dim(2), kw = w.dim(3);
+  const int oh = out_dim(h, kh, spec.stride, spec.pad);
+  const int ow = out_dim(iw, kw, spec.stride, spec.pad);
+  const int m = n * oh * ow;     // im2col rows (output positions)
+  const int k = c * kh * kw;     // im2col columns (kernel taps)
+  const int stride = spec.stride, pad = spec.pad;
+
+  // Tap tables: column index kk -> (channel, ky, kx), computed once so the
+  // packer's inner loop is divide-free.
+  std::vector<int> tap_c(static_cast<std::size_t>(k)), tap_y(static_cast<std::size_t>(k)),
+      tap_x(static_cast<std::size_t>(k));
+  for (int kk = 0; kk < k; ++kk) {
+    tap_c[static_cast<std::size_t>(kk)] = kk / (kh * kw);
+    tap_y[static_cast<std::size_t>(kk)] = (kk / kw) % kh;
+    tap_x[static_cast<std::size_t>(kk)] = kk % kw;
+  }
+
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pb = b.data();
+  Tensor y({n, oc, oh, ow});
+  float* py = y.data();
+  const std::size_t plane = static_cast<std::size_t>(oh) * ow;
+
+  // A-panel packer: fused im2col. Row i is output position (ni, oy, ox);
+  // element (i, kk) is the input tap x[ni, tap_c, oy*s+ky-p, ox*s+kx-p].
+  const auto pack_a = [&](float* dst, int i0, int mh, int k0, int kc) {
+    const int mpanels = (mh + detail::kMR - 1) / detail::kMR;
+    for (int ip = 0; ip < mpanels; ++ip) {
+      float* panel = dst + static_cast<std::size_t>(ip) * kc * detail::kMR;
+      for (int r = 0; r < detail::kMR; ++r) {
+        const int i = i0 + ip * detail::kMR + r;
+        if (i >= i0 + mh) {
+          for (int kk = 0; kk < kc; ++kk) panel[kk * detail::kMR + r] = 0.0f;
+          continue;
+        }
+        const int ni = i / (oh * ow);
+        const int rem = i % (oh * ow);
+        const int base_y = (rem / ow) * stride - pad;
+        const int base_x = (rem % ow) * stride - pad;
+        const float* xn = px + static_cast<std::size_t>(ni) * c * h * iw;
+        for (int kk = 0; kk < kc; ++kk) {
+          const int iy = base_y + tap_y[static_cast<std::size_t>(k0 + kk)];
+          const int ix = base_x + tap_x[static_cast<std::size_t>(k0 + kk)];
+          const bool in = static_cast<unsigned>(iy) < static_cast<unsigned>(h) &&
+                          static_cast<unsigned>(ix) < static_cast<unsigned>(iw);
+          panel[kk * detail::kMR + r] =
+              in ? xn[(static_cast<std::size_t>(tap_c[static_cast<std::size_t>(k0 + kk)]) * h +
+                       iy) *
+                          iw +
+                      ix]
+                 : 0.0f;
+        }
+      }
+    }
+  };
+
+  // B-panel packer: W viewed as W'[k, oc] without materializing it —
+  // W'(kk, j) = w[j, kk] in the flat [OC, CKK] layout.
+  const auto pack_b = [&](float* dst, int k0, int kc, int j0, int nw) {
+    const int npanels = (nw + detail::kNR - 1) / detail::kNR;
+    for (int jp = 0; jp < npanels; ++jp) {
+      float* panel = dst + static_cast<std::size_t>(jp) * kc * detail::kNR;
+      const int jbase = j0 + jp * detail::kNR;
+      const int width = std::min(detail::kNR, j0 + nw - jbase);
+      for (int q = 0; q < width; ++q) {
+        const float* src = pw + static_cast<std::size_t>(jbase + q) * k + k0;
+        for (int kk = 0; kk < kc; ++kk) panel[kk * detail::kNR + q] = src[kk];
+      }
+      for (int kk = 0; kk < kc; ++kk)
+        for (int q = width; q < detail::kNR; ++q) panel[kk * detail::kNR + q] = 0.0f;
+    }
+  };
+
+  // Store epilogue: scatter the accumulator tile to NCHW (column j is output
+  // channel j, stride one OH*OW plane) and fuse the bias add into the first
+  // k-block's store.
+  const auto store = [&](int i, int j, int mh, int nw, const float* acc, bool first) {
+    for (int r = 0; r < mh; ++r) {
+      const int row = i + r;
+      const int ni = row / (oh * ow);
+      const int rem = row % (oh * ow);
+      float* base = py + (static_cast<std::size_t>(ni) * oc + j) * plane +
+                    static_cast<std::size_t>(rem);
+      const float* arow = acc + r * detail::kNR;
+      if (first)
+        for (int q = 0; q < nw; ++q) base[q * plane] = arow[q] + pb[j + q];
+      else
+        for (int q = 0; q < nw; ++q) base[q * plane] += arow[q];
+    }
+  };
+
+  detail::packed_gemm(m, oc, k, pack_a, pack_b, store, pool);
+  return y;
+}
+
+}  // namespace
+
+Tensor conv2d_forward_gemm(const Tensor& x, const Tensor& w, const Tensor& b, ConvSpec spec,
+                           ThreadPool& pool) {
+  return conv2d_forward_gemm(x, w, b, spec, pool, gemm_path());
+}
+
+Tensor conv2d_forward_gemm(const Tensor& x, const Tensor& w, const Tensor& b, ConvSpec spec,
+                           ThreadPool& pool, GemmPath path) {
+  if (x.rank() != 4 || w.rank() != 4) throw std::invalid_argument("conv_fast: rank-4 inputs");
+  if (w.dim(1) != x.dim(1)) throw std::invalid_argument("conv_fast: channel mismatch");
+  if (b.size() != static_cast<std::size_t>(w.dim(0)))
+    throw std::invalid_argument("conv_fast: bias size");
+  return path == GemmPath::packed ? forward_gemm_packed(x, w, b, spec, pool)
+                                  : forward_gemm_naive(x, w, b, spec, pool);
+}
+
 void conv2d_backward_gemm(const Tensor& x, const Tensor& w, const Tensor& dy, ConvSpec spec,
                           Tensor& dx, Tensor& dw, Tensor& db, ThreadPool& pool) {
+  conv2d_backward_gemm(x, w, dy, spec, dx, dw, db, pool, gemm_path());
+}
+
+void conv2d_backward_gemm(const Tensor& x, const Tensor& w, const Tensor& dy, ConvSpec spec,
+                          Tensor& dx, Tensor& dw, Tensor& db, ThreadPool& pool, GemmPath path) {
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), ww = x.dim(3);
   const int oc = w.dim(0), kh = w.dim(2), kw = w.dim(3);
   const int oh = dy.dim(2), ow = dy.dim(3);
@@ -86,10 +206,11 @@ void conv2d_backward_gemm(const Tensor& x, const Tensor& w, const Tensor& dy, Co
     for (int o = 0; o < oc; ++o)
       db[static_cast<std::size_t>(o)] += dy_rows[i * static_cast<std::size_t>(oc) + o];
 
-  // dW' [CKK, OC] = cols^T [CKK, rows] * dY_rows [rows, OC].
+  // dW' [CKK, OC] = cols^T [CKK, rows] * dY_rows [rows, OC] — the packed
+  // gemm_at is the weight-gradient fast path.
   const Tensor cols = im2col(x, kh, kw, spec.stride, spec.pad, pool);
   Tensor dwt({ckk, oc});
-  gemm_at(cols, dy_rows, dwt, pool);
+  gemm_at(cols, dy_rows, dwt, pool, /*accumulate=*/false, path);
   // Repack dW' -> dW [OC, C, KH, KW].
   dw = Tensor::zeros(w.shape());
   for (int o = 0; o < oc; ++o)
@@ -99,7 +220,7 @@ void conv2d_backward_gemm(const Tensor& x, const Tensor& w, const Tensor& dy, Co
   // dcols [rows, CKK] = dY_rows [rows, OC] * W'^T; W'^T is W viewed [OC, CKK].
   Tensor w_flat = w.reshaped({oc, ckk});
   Tensor dcols({static_cast<int>(rows_n), ckk});
-  gemm(dy_rows, w_flat, dcols, pool);
+  gemm(dy_rows, w_flat, dcols, pool, /*accumulate=*/false, path);
   dx = col2im(dcols, n, c, h, ww, kh, kw, spec.stride, spec.pad, pool);
 }
 

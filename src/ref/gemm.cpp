@@ -1,7 +1,10 @@
 #include "ref/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
+
+#include "ref/gemm_packed.hpp"
 
 namespace dnnperf::ref {
 
@@ -10,27 +13,28 @@ namespace {
 constexpr int kBlockK = 64;
 constexpr int kBlockN = 128;
 
+std::atomic<GemmPath> g_gemm_path{GemmPath::packed};
+
 int out_dim(int in, int k, int stride, int pad) {
   const int out = (in + 2 * pad - k) / stride + 1;
   if (out <= 0) throw std::invalid_argument("gemm helpers: output dim <= 0");
   return out;
 }
 
-}  // namespace
-
-void gemm(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool& pool, bool accumulate) {
-  if (a.rank() != 2 || b.rank() != 2) throw std::invalid_argument("gemm: rank-2 inputs only");
-  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  if (b.dim(0) != k) throw std::invalid_argument("gemm: inner dimension mismatch");
+void check_gemm_shapes(const Tensor& a, const Tensor& b, const Tensor& c, int m, int k, int n,
+                       const char* what) {
+  if (a.rank() != 2 || b.rank() != 2)
+    throw std::invalid_argument(std::string(what) + ": rank-2 inputs only");
+  if (b.dim(0) != k) throw std::invalid_argument(std::string(what) + ": inner dimension mismatch");
   if (c.rank() != 2 || c.dim(0) != m || c.dim(1) != n)
-    throw std::invalid_argument("gemm: bad output shape");
-  if (!accumulate) c.zero();
+    throw std::invalid_argument(std::string(what) + ": bad output shape");
+}
 
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-
-  // Parallel over row panels; each panel walks (k, n) blocks for locality.
+// Original loop nest: parallel over row panels, each panel walks (k, n)
+// blocks for locality. Dense inner loop — no data-dependent branches, so the
+// compiler can vectorize the saxpy and timing is input-independent.
+void gemm_naive(const float* pa, const float* pb, float* pc, int m, int k, int n,
+                ThreadPool& pool) {
   pool.parallel_for(static_cast<std::size_t>(m), [&](std::size_t row_begin, std::size_t row_end) {
     for (int k0 = 0; k0 < k; k0 += kBlockK) {
       const int k1 = std::min(k, k0 + kBlockK);
@@ -41,7 +45,6 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool& pool, bool ac
           float* crow = pc + i * static_cast<std::size_t>(n);
           for (int kk = k0; kk < k1; ++kk) {
             const float av = arow[kk];
-            if (av == 0.0f) continue;
             const float* brow = pb + static_cast<std::size_t>(kk) * n;
             for (int j = n0; j < n1; ++j) crow[j] += av * brow[j];
           }
@@ -51,30 +54,124 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool& pool, bool ac
   });
 }
 
-void gemm_at(const Tensor& a_t, const Tensor& b, Tensor& c, ThreadPool& pool, bool accumulate) {
-  if (a_t.rank() != 2 || b.rank() != 2) throw std::invalid_argument("gemm_at: rank-2 only");
-  const int k = a_t.dim(0), m = a_t.dim(1), n = b.dim(1);
-  if (b.dim(0) != k) throw std::invalid_argument("gemm_at: inner dimension mismatch");
-  if (c.rank() != 2 || c.dim(0) != m || c.dim(1) != n)
-    throw std::invalid_argument("gemm_at: bad output shape");
-  if (!accumulate) c.zero();
-
-  const float* pa = a_t.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-
+void gemm_at_naive(const float* pa, const float* pb, float* pc, int m, int k, int n,
+                   ThreadPool& pool) {
   pool.parallel_for(static_cast<std::size_t>(m), [&](std::size_t row_begin, std::size_t row_end) {
     for (int kk = 0; kk < k; ++kk) {
       const float* arow = pa + static_cast<std::size_t>(kk) * m;
       const float* brow = pb + static_cast<std::size_t>(kk) * n;
       for (std::size_t i = row_begin; i < row_end; ++i) {
         const float av = arow[i];
-        if (av == 0.0f) continue;
         float* crow = pc + i * static_cast<std::size_t>(n);
         for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
       }
     }
   });
+}
+
+/// Store sink for plain row-major C: overwrite on the first k-block unless
+/// accumulating, add afterwards.
+struct RowMajorStore {
+  float* c;
+  int ldc;
+  bool accumulate;
+  void operator()(int i, int j, int mh, int nw, const float* acc, bool first) const {
+    for (int r = 0; r < mh; ++r) {
+      float* crow = c + static_cast<std::size_t>(i + r) * ldc + j;
+      const float* arow = acc + r * detail::kNR;
+      if (first && !accumulate)
+        for (int q = 0; q < nw; ++q) crow[q] = arow[q];
+      else
+        for (int q = 0; q < nw; ++q) crow[q] += arow[q];
+    }
+  }
+};
+
+void gemm_packed(const float* pa, const float* pb, float* pc, int m, int k, int n,
+                 bool accumulate, ThreadPool& pool) {
+  const auto pack_a = [pa, k](float* dst, int i0, int mh, int k0, int kc) {
+    const int mpanels = (mh + detail::kMR - 1) / detail::kMR;
+    for (int ip = 0; ip < mpanels; ++ip) {
+      float* panel = dst + static_cast<std::size_t>(ip) * kc * detail::kMR;
+      for (int r = 0; r < detail::kMR; ++r) {
+        const int i = i0 + ip * detail::kMR + r;
+        if (i < i0 + mh) {
+          const float* src = pa + static_cast<std::size_t>(i) * k + k0;
+          for (int kk = 0; kk < kc; ++kk) panel[kk * detail::kMR + r] = src[kk];
+        } else {
+          for (int kk = 0; kk < kc; ++kk) panel[kk * detail::kMR + r] = 0.0f;
+        }
+      }
+    }
+  };
+  const auto pack_b = [pb, n](float* dst, int k0, int kc, int j0, int nw) {
+    detail::pack_b_rowmajor(dst, pb, n, k0, kc, j0, nw);
+  };
+  detail::packed_gemm(m, n, k, pack_a, pack_b, RowMajorStore{pc, n, accumulate}, pool);
+}
+
+void gemm_at_packed(const float* pa, const float* pb, float* pc, int m, int k, int n,
+                    bool accumulate, ThreadPool& pool) {
+  // A is stored transposed [k, m]: a row of the logical A is a column of the
+  // stored matrix, so the pack loops kk-outer for contiguous reads.
+  const auto pack_a = [pa, m](float* dst, int i0, int mh, int k0, int kc) {
+    const int mpanels = (mh + detail::kMR - 1) / detail::kMR;
+    for (int ip = 0; ip < mpanels; ++ip) {
+      float* panel = dst + static_cast<std::size_t>(ip) * kc * detail::kMR;
+      const int ibase = i0 + ip * detail::kMR;
+      const int rows = std::min(detail::kMR, i0 + mh - ibase);
+      for (int kk = 0; kk < kc; ++kk) {
+        const float* src = pa + static_cast<std::size_t>(k0 + kk) * m + ibase;
+        float* out = panel + static_cast<std::size_t>(kk) * detail::kMR;
+        for (int r = 0; r < rows; ++r) out[r] = src[r];
+        for (int r = rows; r < detail::kMR; ++r) out[r] = 0.0f;
+      }
+    }
+  };
+  const auto pack_b = [pb, n](float* dst, int k0, int kc, int j0, int nw) {
+    detail::pack_b_rowmajor(dst, pb, n, k0, kc, j0, nw);
+  };
+  detail::packed_gemm(m, n, k, pack_a, pack_b, RowMajorStore{pc, n, accumulate}, pool);
+}
+
+}  // namespace
+
+GemmPath gemm_path() { return g_gemm_path.load(std::memory_order_relaxed); }
+
+void set_gemm_path(GemmPath path) { g_gemm_path.store(path, std::memory_order_relaxed); }
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool& pool, bool accumulate) {
+  gemm(a, b, c, pool, accumulate, gemm_path());
+}
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool& pool, bool accumulate,
+          GemmPath path) {
+  const int m = a.rank() == 2 ? a.dim(0) : 0, k = a.rank() == 2 ? a.dim(1) : 0,
+            n = b.rank() == 2 ? b.dim(1) : 0;
+  check_gemm_shapes(a, b, c, m, k, n, "gemm");
+  if (path == GemmPath::packed) {
+    gemm_packed(a.data(), b.data(), c.data(), m, k, n, accumulate, pool);
+    return;
+  }
+  if (!accumulate) c.zero();
+  gemm_naive(a.data(), b.data(), c.data(), m, k, n, pool);
+}
+
+void gemm_at(const Tensor& a_t, const Tensor& b, Tensor& c, ThreadPool& pool, bool accumulate) {
+  gemm_at(a_t, b, c, pool, accumulate, gemm_path());
+}
+
+void gemm_at(const Tensor& a_t, const Tensor& b, Tensor& c, ThreadPool& pool, bool accumulate,
+             GemmPath path) {
+  const int k = a_t.rank() == 2 ? a_t.dim(0) : 0, m = a_t.rank() == 2 ? a_t.dim(1) : 0,
+            n = b.rank() == 2 ? b.dim(1) : 0;
+  check_gemm_shapes(a_t, b, c, m, k, n, "gemm_at");
+  if (path == GemmPath::packed) {
+    gemm_at_packed(a_t.data(), b.data(), c.data(), m, k, n, accumulate, pool);
+    return;
+  }
+  if (!accumulate) c.zero();
+  gemm_at_naive(a_t.data(), b.data(), c.data(), m, k, n, pool);
 }
 
 Tensor im2col(const Tensor& x, int kh, int kw, int stride, int pad, ThreadPool& pool) {
@@ -86,7 +183,7 @@ Tensor im2col(const Tensor& x, int kh, int kw, int stride, int pad, ThreadPool& 
   float* pc = cols.data();
   const std::size_t row_len = static_cast<std::size_t>(c) * kh * kw;
 
-  pool.parallel_for(static_cast<std::size_t>(n) * oh * ow,
+  pool.parallel_for(static_cast<std::size_t>(n) * oh * ow, /*min_grain=*/16,
                     [&](std::size_t begin, std::size_t end) {
                       for (std::size_t idx = begin; idx < end; ++idx) {
                         const int ni = static_cast<int>(idx / (static_cast<std::size_t>(oh) * ow));

@@ -1,0 +1,163 @@
+// Internal packed-GEMM machinery shared by ref/gemm.cpp and ref/conv_fast.cpp.
+//
+// This is the BLIS-style decomposition MKL-DNN executes: the operand matrices
+// are packed into contiguous panels sized for the cache hierarchy, and a
+// register-tiled microkernel sweeps MR x NR output tiles with all
+// accumulators held in registers. The driver is templated on three functors
+// so the same loop nest serves plain GEMM, transposed-A GEMM, and the
+// implicit-GEMM convolution (where the A "matrix" is the im2col view of the
+// input and is materialized only one MC x KC panel at a time):
+//
+//   PackA(dst, i0, mh, k0, kc)  pack rows [i0,i0+mh) x cols [k0,k0+kc) of A
+//                               into MR-interleaved micro-panels, zero-padded
+//                               to a multiple of MR rows;
+//   PackB(dst, k0, kc, j0, nw)  pack the KC x NC block of B into
+//                               NR-interleaved micro-panels, zero-padded;
+//   Store(i, j, mh, nw, acc, first_k_block)
+//                               commit one MR x NR accumulator tile to the
+//                               output (only the top-left mh x nw entries are
+//                               valid). `first_k_block` tells the sink
+//                               whether to overwrite/initialize (fused bias
+//                               adds live here) or accumulate.
+//
+// Not a public API: everything lives in dnnperf::ref::detail.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "ref/threadpool.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace dnnperf::ref::detail {
+
+// Register tile. 6x16 keeps 12 ymm accumulators + 2 B vectors + 1 broadcast
+// in the 16 ymm registers when AVX2/FMA is available (the DNNPERF_NATIVE
+// build); the portable fallback uses 8x8 which compilers vectorize well at
+// 128-bit.
+#if defined(__AVX2__) && defined(__FMA__)
+inline constexpr int kMR = 6;
+inline constexpr int kNR = 16;
+#else
+inline constexpr int kMR = 8;
+inline constexpr int kNR = 8;
+#endif
+
+// Cache blocking: the A panel (MC x KC floats) and B panel (KC x NC floats)
+// are the only scratch the driver allocates, one pair per thread.
+inline constexpr int kKC = 256;
+inline constexpr int kMC = (96 / kMR) * kMR;  // multiple of MR
+inline constexpr int kNC = (256 / kNR) * kNR;  // multiple of NR
+
+/// acc[MR*NR] = sum_{kk<kc} a_panel[kk*MR + i] * b_panel[kk*NR + j].
+/// Overwrites acc (no read-modify-write): k-block accumulation is the
+/// Store sink's business.
+inline void micro_kernel(int kc, const float* a, const float* b, float* acc) {
+#if defined(__AVX2__) && defined(__FMA__)
+  __m256 c[kMR][2];
+  for (int i = 0; i < kMR; ++i) {
+    c[i][0] = _mm256_setzero_ps();
+    c[i][1] = _mm256_setzero_ps();
+  }
+  for (int kk = 0; kk < kc; ++kk, a += kMR, b += kNR) {
+    const __m256 b0 = _mm256_loadu_ps(b);
+    const __m256 b1 = _mm256_loadu_ps(b + 8);
+    for (int i = 0; i < kMR; ++i) {
+      const __m256 av = _mm256_broadcast_ss(a + i);
+      c[i][0] = _mm256_fmadd_ps(av, b0, c[i][0]);
+      c[i][1] = _mm256_fmadd_ps(av, b1, c[i][1]);
+    }
+  }
+  for (int i = 0; i < kMR; ++i) {
+    _mm256_storeu_ps(acc + i * kNR, c[i][0]);
+    _mm256_storeu_ps(acc + i * kNR + 8, c[i][1]);
+  }
+#else
+  float c[kMR * kNR] = {};
+  for (int kk = 0; kk < kc; ++kk, a += kMR, b += kNR)
+    for (int i = 0; i < kMR; ++i) {
+      const float av = a[i];
+      for (int j = 0; j < kNR; ++j) c[i * kNR + j] += av * b[j];
+    }
+  for (int i = 0; i < kMR * kNR; ++i) acc[i] = c[i];
+#endif
+}
+
+/// Blocked, packed GEMM loop nest: C[m,n] (+)= A[m,k] * B[k,n] with A/B/C
+/// abstracted behind the functors above. Parallel over the MC x NC macro-tile
+/// grid with grain-aware chunking so small problems run inline.
+template <typename PackA, typename PackB, typename Store>
+void packed_gemm(int m, int n, int k, const PackA& pack_a, const PackB& pack_b,
+                 const Store& store, ThreadPool& pool) {
+  const int mtiles = (m + kMC - 1) / kMC;
+  const int ntiles = (n + kNC - 1) / kNC;
+  const int ktiles = (k + kKC - 1) / kKC;
+  const std::size_t cells = static_cast<std::size_t>(mtiles) * ntiles;
+
+  // One macro-tile costs ~2*MC*NC*k flops; keep at least ~4 MFLOP per chunk
+  // so dispatch overhead stays under ~0.1% even for skinny matrices.
+  const double cell_flops = 2.0 * kMC * kNC * std::max(k, 1);
+  const std::size_t grain =
+      std::max<std::size_t>(1, static_cast<std::size_t>(4.0e6 / cell_flops) + 1);
+
+  pool.parallel_for(cells, grain, [&](std::size_t cell_begin, std::size_t cell_end) {
+    // Per-thread panel pair — the only scratch memory of the whole GEMM.
+    thread_local std::vector<float> a_panel;
+    thread_local std::vector<float> b_panel;
+    a_panel.resize(static_cast<std::size_t>(kMC) * kKC);
+    b_panel.resize(static_cast<std::size_t>(kKC) * kNC);
+
+    for (std::size_t cell = cell_begin; cell < cell_end; ++cell) {
+      // n-major cell order: adjacent cells in a chunk share the B column.
+      const int mt = static_cast<int>(cell % mtiles);
+      const int nt = static_cast<int>(cell / mtiles);
+      const int i0 = mt * kMC, mh = std::min(kMC, m - i0);
+      const int j0 = nt * kNC, nw = std::min(kNC, n - j0);
+      const int mpanels = (mh + kMR - 1) / kMR;
+      const int npanels = (nw + kNR - 1) / kNR;
+
+      for (int kt = 0; kt < ktiles; ++kt) {
+        const int k0 = kt * kKC;
+        const int kc = std::min(kKC, k - k0);
+        pack_b(b_panel.data(), k0, kc, j0, nw);
+        pack_a(a_panel.data(), i0, mh, k0, kc);
+        const bool first = (kt == 0);
+
+        for (int jp = 0; jp < npanels; ++jp) {
+          const float* bp = b_panel.data() + static_cast<std::size_t>(jp) * kc * kNR;
+          for (int ip = 0; ip < mpanels; ++ip) {
+            const float* ap = a_panel.data() + static_cast<std::size_t>(ip) * kc * kMR;
+            float acc[kMR * kNR];
+            micro_kernel(kc, ap, bp, acc);
+            store(i0 + ip * kMR, j0 + jp * kNR, std::min(kMR, mh - ip * kMR),
+                  std::min(kNR, nw - jp * kNR), acc, first);
+          }
+        }
+      }
+    }
+  });
+}
+
+/// Packs a row-major B block [k0,k0+kc) x [j0,j0+nw) into NR-interleaved
+/// panels (the standard PackB for both gemm and gemm_at).
+inline void pack_b_rowmajor(float* dst, const float* b, int ldb, int k0, int kc, int j0,
+                            int nw) {
+  const int npanels = (nw + kNR - 1) / kNR;
+  for (int jp = 0; jp < npanels; ++jp) {
+    float* panel = dst + static_cast<std::size_t>(jp) * kc * kNR;
+    const int jbase = j0 + jp * kNR;
+    const int w = std::min(kNR, j0 + nw - jbase);
+    for (int kk = 0; kk < kc; ++kk) {
+      const float* src = b + static_cast<std::size_t>(k0 + kk) * ldb + jbase;
+      float* out = panel + static_cast<std::size_t>(kk) * kNR;
+      for (int c = 0; c < w; ++c) out[c] = src[c];
+      for (int c = w; c < kNR; ++c) out[c] = 0.0f;
+    }
+  }
+}
+
+}  // namespace dnnperf::ref::detail

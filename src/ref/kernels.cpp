@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "ref/gemm.hpp"
+
 namespace dnnperf::ref {
 
 namespace {
@@ -123,6 +125,15 @@ Tensor dense_forward(const Tensor& x, const Tensor& w, const Tensor& b, ThreadPo
   const int n = x.dim(0), f = x.dim(1), o = w.dim(1);
   if (w.dim(0) != f) throw std::invalid_argument("dense: feature mismatch");
   Tensor y({n, o});
+  if (gemm_path() == GemmPath::packed) {
+    // Seed every output row with the bias, then accumulate x*w through the
+    // packed GEMM.
+    for (int ni = 0; ni < n; ++ni)
+      for (int oi = 0; oi < o; ++oi)
+        y[static_cast<std::size_t>(ni) * o + oi] = b[static_cast<std::size_t>(oi)];
+    gemm(x, w, y, pool, /*accumulate=*/true);
+    return y;
+  }
   pool.parallel_for(static_cast<std::size_t>(n), [&](std::size_t begin, std::size_t end) {
     for (std::size_t ni = begin; ni < end; ++ni) {
       for (int oi = 0; oi < o; ++oi) {
@@ -145,14 +156,20 @@ void dense_backward(const Tensor& x, const Tensor& w, const Tensor& dy, Tensor& 
   for (int ni = 0; ni < n; ++ni)
     for (int oi = 0; oi < o; ++oi)
       db[static_cast<std::size_t>(oi)] += dy[static_cast<std::size_t>(ni) * o + oi];
-  pool.parallel_for(static_cast<std::size_t>(f), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t fi = begin; fi < end; ++fi)
-      for (int ni = 0; ni < n; ++ni) {
-        const float xv = x[static_cast<std::size_t>(ni) * f + fi];
-        for (int oi = 0; oi < o; ++oi)
-          dw[fi * o + oi] += xv * dy[static_cast<std::size_t>(ni) * o + oi];
-      }
-  });
+  if (gemm_path() == GemmPath::packed) {
+    // dW [F,O] = X^T [F,N] * dY [N,O]; X is stored [N,F], i.e. already the
+    // k-major transposed-A layout gemm_at packs from.
+    gemm_at(x, dy, dw, pool);
+  } else {
+    pool.parallel_for(static_cast<std::size_t>(f), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t fi = begin; fi < end; ++fi)
+        for (int ni = 0; ni < n; ++ni) {
+          const float xv = x[static_cast<std::size_t>(ni) * f + fi];
+          for (int oi = 0; oi < o; ++oi)
+            dw[fi * o + oi] += xv * dy[static_cast<std::size_t>(ni) * o + oi];
+        }
+    });
+  }
   pool.parallel_for(static_cast<std::size_t>(n), [&](std::size_t begin, std::size_t end) {
     for (std::size_t ni = begin; ni < end; ++ni)
       for (int fi = 0; fi < f; ++fi) {

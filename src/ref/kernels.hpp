@@ -3,9 +3,11 @@
 // over the output with ThreadPool::parallel_for. All tensors are NCHW.
 //
 // These are validated by finite-difference gradient checks in the tests and
-// power the runnable training examples; they are intentionally simple (no
-// blocking/SIMD) — the performance characteristics of optimized kernels are
-// the business of src/exec, not of this reference implementation.
+// power the runnable training examples. The direct conv kernels are
+// intentionally simple and serve as the numeric oracle; the matmul-shaped
+// ops (dense, and conv via the layers) dispatch on ref::gemm_path() to the
+// packed register-tiled GEMM in ref/gemm.hpp when it is GemmPath::packed
+// (the default) — see DESIGN.md §6 for measured GFLOP/s.
 #pragma once
 
 #include "ref/tensor.hpp"

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "ref/conv_fast.hpp"
+#include "ref/gemm.hpp"
+
 namespace dnnperf::ref {
 
 Conv2dLayer::Conv2dLayer(std::string name, int in_c, int out_c, int k, ConvSpec spec,
@@ -16,12 +19,19 @@ Conv2dLayer::Conv2dLayer(std::string name, int in_c, int out_c, int k, ConvSpec 
 
 Tensor Conv2dLayer::forward(const Tensor& x) {
   input_ = x;
+  // GemmPath::packed runs the implicit-GEMM lowering; naive keeps the direct
+  // kernels (the finite-difference-validated oracle).
+  if (gemm_path() == GemmPath::packed)
+    return conv2d_forward_gemm(x, weight, bias, spec_, pool_);
   return conv2d_forward(x, weight, bias, spec_, pool_);
 }
 
 Tensor Conv2dLayer::backward(const Tensor& dy) {
   Tensor dx;
-  conv2d_backward(input_, weight, dy, spec_, dx, dweight, dbias, pool_);
+  if (gemm_path() == GemmPath::packed)
+    conv2d_backward_gemm(input_, weight, dy, spec_, dx, dweight, dbias, pool_);
+  else
+    conv2d_backward(input_, weight, dy, spec_, dx, dweight, dbias, pool_);
   return dx;
 }
 

@@ -49,15 +49,20 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for(n, 1, body);
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t min_grain,
+                              const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
-  if (threads_ == 1 || n == 1) {
+  if (threads_ == 1 || n <= std::max<std::size_t>(min_grain, 1)) {
     body(0, n);
     return;
   }
   std::unique_lock<std::mutex> lock(mutex_);
   body_ = &body;
   total_ = n;
-  chunk_ = std::max<std::size_t>(1, n / (static_cast<std::size_t>(threads_) * 4));
+  chunk_ = std::max({std::size_t{1}, n / (static_cast<std::size_t>(threads_) * 4), min_grain});
   next_ = 0;
   error_ = nullptr;
   ++generation_;

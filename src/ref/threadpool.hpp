@@ -30,6 +30,12 @@ class ThreadPool {
   /// propagate to the caller (first one wins).
   void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body);
 
+  /// Grain-aware variant: chunks are at least `min_grain` items so cheap
+  /// per-item bodies amortize dispatch; when n <= min_grain the body runs
+  /// inline on the caller with no pool round-trip at all.
+  void parallel_for(std::size_t n, std::size_t min_grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
  private:
   void worker_loop();
 

@@ -49,6 +49,7 @@ RealTrainResult run_real_training(const RealTrainConfig& cfg) {
   check(cfg);
   RealTrainResult result;
   const int global_batch = cfg.ranks * cfg.batch_per_rank;
+  const ref::ScopedGemmPath kernel_path(cfg.gemm_path);
 
   mpi::World::run(cfg.ranks, [&](mpi::Comm& comm) {
     ref::ThreadPool pool(cfg.threads_per_rank);
@@ -99,6 +100,7 @@ RealTrainResult run_real_training_single(const RealTrainConfig& cfg) {
   check(cfg);
   RealTrainResult result;
   const int global_batch = cfg.ranks * cfg.batch_per_rank;
+  const ref::ScopedGemmPath kernel_path(cfg.gemm_path);
 
   ref::ThreadPool pool(cfg.threads_per_rank);
   util::Rng init_rng(cfg.seed);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "hvd/policy.hpp"
+#include "ref/gemm.hpp"
 
 namespace dnnperf::train {
 
@@ -27,6 +28,9 @@ struct RealTrainConfig {
   int threads_per_rank = 1;  ///< intra-op threads in each rank's pool
   /// > 0: hierarchical gradient exchange with this many ranks per "node".
   int ranks_per_node = 0;
+  /// Kernel implementation the refdnn layers run on every rank: the packed
+  /// register-tiled GEMM (default) or the naive oracle loops.
+  ref::GemmPath gemm_path = ref::GemmPath::packed;
   hvd::FusionPolicy policy;
 };
 

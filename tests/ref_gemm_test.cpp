@@ -19,21 +19,32 @@ Tensor naive_matmul(const Tensor& a, const Tensor& b) {
   return c;
 }
 
-class GemmShapeParam : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+const char* path_name(GemmPath p) { return p == GemmPath::naive ? "naive" : "packed"; }
+
+// Shapes include ragged cases: m/n/k that are not multiples of the register
+// tile (8x8 or 6x16), the 96-row/240-col macro tiles, or the 256-deep k
+// block — plus k > 256 so multi-k-block accumulation is exercised.
+using GemmCase = std::tuple<std::tuple<int, int, int>, GemmPath>;
+
+class GemmShapeParam : public ::testing::TestWithParam<GemmCase> {};
 
 TEST_P(GemmShapeParam, MatchesNaiveMatmul) {
-  const auto [m, k, n] = GetParam();
+  const auto [shape, path] = GetParam();
+  const auto [m, k, n] = shape;
+  SCOPED_TRACE(path_name(path));
   util::Rng rng(31);
   const Tensor a = Tensor::randn({m, k}, rng);
   const Tensor b = Tensor::randn({k, n}, rng);
   ThreadPool pool(3);
   Tensor c({m, n});
-  gemm(a, b, c, pool);
+  gemm(a, b, c, pool, /*accumulate=*/false, path);
   EXPECT_LT(max_abs_diff(c, naive_matmul(a, b)), 1e-4f);
 }
 
 TEST_P(GemmShapeParam, TransposedVariantMatches) {
-  const auto [m, k, n] = GetParam();
+  const auto [shape, path] = GetParam();
+  const auto [m, k, n] = shape;
+  SCOPED_TRACE(path_name(path));
   util::Rng rng(32);
   const Tensor a = Tensor::randn({m, k}, rng);
   const Tensor b = Tensor::randn({k, n}, rng);
@@ -44,26 +55,75 @@ TEST_P(GemmShapeParam, TransposedVariantMatches) {
       a_t[static_cast<std::size_t>(kk) * m + i] = a[static_cast<std::size_t>(i) * k + kk];
   ThreadPool pool(2);
   Tensor c({m, n});
-  gemm_at(a_t, b, c, pool);
+  gemm_at(a_t, b, c, pool, /*accumulate=*/false, path);
   EXPECT_LT(max_abs_diff(c, naive_matmul(a, b)), 1e-4f);
 }
 
-INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapeParam,
-                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{3, 5, 7},
-                                           std::tuple{16, 16, 16}, std::tuple{33, 65, 129},
-                                           std::tuple{100, 70, 130}, std::tuple{2, 200, 3}));
-
-TEST(Gemm, AccumulateAddsToExisting) {
+TEST_P(GemmShapeParam, AccumulateAddsToExisting) {
+  const auto [shape, path] = GetParam();
+  const auto [m, k, n] = shape;
+  SCOPED_TRACE(path_name(path));
   util::Rng rng(33);
-  const Tensor a = Tensor::randn({4, 6}, rng);
-  const Tensor b = Tensor::randn({6, 5}, rng);
-  ThreadPool pool(1);
-  Tensor c({4, 5});
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  ThreadPool pool(2);
+  Tensor c({m, n});
   c.fill(1.0f);
-  gemm(a, b, c, pool, /*accumulate=*/true);
+  gemm(a, b, c, pool, /*accumulate=*/true, path);
   Tensor expected = naive_matmul(a, b);
   for (std::size_t i = 0; i < expected.size(); ++i) expected[i] += 1.0f;
   EXPECT_LT(max_abs_diff(c, expected), 1e-4f);
+}
+
+TEST_P(GemmShapeParam, TransposedAccumulateAddsToExisting) {
+  const auto [shape, path] = GetParam();
+  const auto [m, k, n] = shape;
+  SCOPED_TRACE(path_name(path));
+  util::Rng rng(38);
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  Tensor a_t({k, m});
+  for (int i = 0; i < m; ++i)
+    for (int kk = 0; kk < k; ++kk)
+      a_t[static_cast<std::size_t>(kk) * m + i] = a[static_cast<std::size_t>(i) * k + kk];
+  ThreadPool pool(2);
+  Tensor c({m, n});
+  c.fill(0.5f);
+  gemm_at(a_t, b, c, pool, /*accumulate=*/true, path);
+  Tensor expected = naive_matmul(a, b);
+  for (std::size_t i = 0; i < expected.size(); ++i) expected[i] += 0.5f;
+  EXPECT_LT(max_abs_diff(c, expected), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeParam,
+    ::testing::Combine(::testing::ValuesIn(std::vector<std::tuple<int, int, int>>{
+                           {1, 1, 1},
+                           {3, 5, 7},
+                           {16, 16, 16},
+                           {33, 65, 129},
+                           {100, 70, 130},
+                           {2, 200, 3},
+                           {97, 300, 17},    // ragged tiles + k crosses the 256 block
+                           {130, 257, 100},  // m > MC, k = KC + 1
+                           {95, 33, 241},    // n > NC by one
+                       }),
+                       ::testing::Values(GemmPath::naive, GemmPath::packed)),
+    [](const auto& info) {
+      const auto& shape = std::get<0>(info.param);
+      return std::to_string(std::get<0>(shape)) + "x" + std::to_string(std::get<1>(shape)) +
+             "x" + std::to_string(std::get<2>(shape)) + "_" + path_name(std::get<1>(info.param));
+    });
+
+TEST(Gemm, DefaultPathIsPacked) { EXPECT_EQ(gemm_path(), GemmPath::packed); }
+
+TEST(Gemm, ScopedPathOverrideRestores) {
+  const GemmPath before = gemm_path();
+  {
+    ScopedGemmPath scoped(GemmPath::naive);
+    EXPECT_EQ(gemm_path(), GemmPath::naive);
+  }
+  EXPECT_EQ(gemm_path(), before);
 }
 
 TEST(Gemm, RejectsBadShapes) {
@@ -85,6 +145,35 @@ TEST(Im2col, RoundTripThroughCol2im) {
   EXPECT_LT(max_abs_diff(x, back), 1e-6f);
 }
 
+// With stride/pad the round trip is not the identity: each input element is
+// multiplied by its window cover count, which is exactly what the round trip
+// of an all-ones tensor produces. Verify col2im(im2col(x)) == x * cover.
+using ColsCase = std::tuple<int, int, int, int>;  // kh, kw, stride, pad
+
+class Im2colRoundTrip : public ::testing::TestWithParam<ColsCase> {};
+
+TEST_P(Im2colRoundTrip, CoverCountIdentity) {
+  const auto [kh, kw, stride, pad] = GetParam();
+  const int n = 2, c = 3, h = 9, w = 7;
+  util::Rng rng(39);
+  const Tensor x = Tensor::randn({n, c, h, w}, rng);
+  Tensor ones({n, c, h, w});
+  ones.fill(1.0f);
+  ThreadPool pool(2);
+  const Tensor back =
+      col2im(im2col(x, kh, kw, stride, pad, pool), n, c, h, w, kh, kw, stride, pad, pool);
+  const Tensor cover =
+      col2im(im2col(ones, kh, kw, stride, pad, pool), n, c, h, w, kh, kw, stride, pad, pool);
+  Tensor expected({n, c, h, w});
+  for (std::size_t i = 0; i < expected.size(); ++i) expected[i] = x[i] * cover[i];
+  EXPECT_LT(max_abs_diff(back, expected), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(StridesPads, Im2colRoundTrip,
+                         ::testing::Values(ColsCase{3, 3, 1, 1}, ColsCase{3, 3, 2, 1},
+                                           ColsCase{2, 2, 2, 0}, ColsCase{5, 3, 2, 2},
+                                           ColsCase{1, 3, 2, 1}));
+
 TEST(Im2col, ColumnLayout) {
   // A 2x2 input with a 2x2 kernel, no pad: exactly one output position whose
   // column is the flattened input.
@@ -104,15 +193,17 @@ TEST(Im2col, ColumnLayout) {
 }
 
 // ---------------------------------------------------------------------------
-// im2col+GEMM convolution vs the direct kernels
+// im2col+GEMM convolution vs the direct kernels (both GEMM paths)
 // ---------------------------------------------------------------------------
 
-using ConvCase = std::tuple<int, int, int, int, int, int>;  // n, c, hw, oc, stride, pad
+// n, c, hw, oc, stride, pad, path
+using ConvCase = std::tuple<int, int, int, int, int, int, GemmPath>;
 
 class ConvGemmParam : public ::testing::TestWithParam<ConvCase> {};
 
 TEST_P(ConvGemmParam, ForwardMatchesDirectKernel) {
-  const auto [n, c, hw, oc, stride, pad] = GetParam();
+  const auto [n, c, hw, oc, stride, pad, path] = GetParam();
+  SCOPED_TRACE(path_name(path));
   util::Rng rng(35);
   const Tensor x = Tensor::randn({n, c, hw, hw}, rng);
   const Tensor w = Tensor::randn({oc, c, 3, 3}, rng, 0.3f);
@@ -120,13 +211,14 @@ TEST_P(ConvGemmParam, ForwardMatchesDirectKernel) {
   ThreadPool pool(2);
   const ConvSpec spec{stride, pad};
   const Tensor direct = conv2d_forward(x, w, b, spec, pool);
-  const Tensor lowered = conv2d_forward_gemm(x, w, b, spec, pool);
+  const Tensor lowered = conv2d_forward_gemm(x, w, b, spec, pool, path);
   ASSERT_TRUE(direct.same_shape(lowered));
   EXPECT_LT(max_abs_diff(direct, lowered), 1e-4f);
 }
 
 TEST_P(ConvGemmParam, BackwardMatchesDirectKernel) {
-  const auto [n, c, hw, oc, stride, pad] = GetParam();
+  const auto [n, c, hw, oc, stride, pad, path] = GetParam();
+  SCOPED_TRACE(path_name(path));
   util::Rng rng(36);
   const Tensor x = Tensor::randn({n, c, hw, hw}, rng);
   const Tensor w = Tensor::randn({oc, c, 3, 3}, rng, 0.3f);
@@ -139,18 +231,65 @@ TEST_P(ConvGemmParam, BackwardMatchesDirectKernel) {
 
   Tensor dx1, dw1, db1, dx2, dw2, db2;
   conv2d_backward(x, w, dy, spec, dx1, dw1, db1, pool);
-  conv2d_backward_gemm(x, w, dy, spec, dx2, dw2, db2, pool);
+  conv2d_backward_gemm(x, w, dy, spec, dx2, dw2, db2, pool, path);
   EXPECT_LT(max_abs_diff(dx1, dx2), 1e-3f);
   EXPECT_LT(max_abs_diff(dw1, dw2), 1e-3f);
   EXPECT_LT(max_abs_diff(db1, db2), 1e-3f);
 }
 
-INSTANTIATE_TEST_SUITE_P(ConvShapes, ConvGemmParam,
-                         ::testing::Values(ConvCase{1, 1, 5, 1, 1, 0},
-                                           ConvCase{2, 3, 8, 4, 1, 1},
-                                           ConvCase{1, 4, 9, 8, 2, 1},
-                                           ConvCase{3, 2, 7, 5, 2, 0},
-                                           ConvCase{2, 8, 6, 16, 1, 1}));
+INSTANTIATE_TEST_SUITE_P(
+    ConvShapes, ConvGemmParam,
+    ::testing::Combine(::testing::Values(1, 2, 3), ::testing::Values(1, 4),
+                       ::testing::Values(5, 8), ::testing::Values(1, 8),
+                       ::testing::Values(1, 2), ::testing::Values(0, 1),
+                       ::testing::Values(GemmPath::naive, GemmPath::packed)));
+
+// Larger-than-one-macro-tile conv: N*OH*OW = 2*16*16 = 512 rows > MC and
+// oc = 24 exercises a ragged N edge of the implicit path.
+TEST(ConvGemm, MultiTileImplicitMatchesDirect) {
+  util::Rng rng(40);
+  const Tensor x = Tensor::randn({2, 8, 16, 16}, rng);
+  const Tensor w = Tensor::randn({24, 8, 3, 3}, rng, 0.2f);
+  const Tensor b = Tensor::randn({24}, rng, 0.1f);
+  ThreadPool pool(3);
+  const ConvSpec spec{1, 1};
+  const Tensor direct = conv2d_forward(x, w, b, spec, pool);
+  const Tensor implicit = conv2d_forward_gemm(x, w, b, spec, pool, GemmPath::packed);
+  EXPECT_LT(max_abs_diff(direct, implicit), 1e-4f);
+}
+
+// Non-square kernels (1x3 / 3x1, the factorized-conv shapes of Inception).
+TEST(ConvGemm, NonSquareKernelsMatchDirect) {
+  util::Rng rng(41);
+  const Tensor x = Tensor::randn({2, 3, 9, 9}, rng);
+  ThreadPool pool(2);
+  for (const auto& [kh, kw] : {std::pair{1, 3}, std::pair{3, 1}, std::pair{5, 3}}) {
+    SCOPED_TRACE(std::to_string(kh) + "x" + std::to_string(kw));
+    const Tensor w = Tensor::randn({6, 3, kh, kw}, rng, 0.3f);
+    const Tensor b = Tensor::randn({6}, rng, 0.1f);
+    const ConvSpec spec{1, 1};
+    const Tensor direct = conv2d_forward(x, w, b, spec, pool);
+    for (GemmPath path : {GemmPath::naive, GemmPath::packed}) {
+      SCOPED_TRACE(path_name(path));
+      const Tensor lowered = conv2d_forward_gemm(x, w, b, spec, pool, path);
+      ASSERT_TRUE(direct.same_shape(lowered));
+      EXPECT_LT(max_abs_diff(direct, lowered), 1e-4f);
+    }
+    // Backward for the non-square shapes too.
+    util::Rng grng(42);
+    const Tensor dy = Tensor::randn(direct.shape(), grng);
+    Tensor dx1, dw1, db1;
+    conv2d_backward(x, w, dy, spec, dx1, dw1, db1, pool);
+    for (GemmPath path : {GemmPath::naive, GemmPath::packed}) {
+      SCOPED_TRACE(path_name(path));
+      Tensor dx2, dw2, db2;
+      conv2d_backward_gemm(x, w, dy, spec, dx2, dw2, db2, pool, path);
+      EXPECT_LT(max_abs_diff(dx1, dx2), 1e-3f);
+      EXPECT_LT(max_abs_diff(dw1, dw2), 1e-3f);
+      EXPECT_LT(max_abs_diff(db1, db2), 1e-3f);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace dnnperf::ref
