@@ -2,19 +2,25 @@
 // checks in one run — the data source for EXPERIMENTS.md.
 //
 // Flags: --anchors-only prints just the anchor lines (for diffing against
-// the committed EXPERIMENTS.md numbers).
+// the committed EXPERIMENTS.md numbers). --trace-out=FILE records a Chrome
+// trace-event timeline of the whole report run (real kernels/engine plus the
+// simulators' virtual-time tracks).
 #include <iostream>
 
 #include "core/figures.hpp"
 #include "core/insights.hpp"
 #include "util/cli.hpp"
+#include "util/trace.hpp"
 
 int main(int argc, char** argv) {
   dnnperf::util::CliParser cli("report_all", "regenerate all paper figures and insights");
   cli.add_flag("anchors-only", "print only figure anchors", false);
+  cli.add_string("trace-out", "write a Chrome trace-event JSON timeline here", "");
   try {
     if (!cli.parse(argc, argv)) return 0;
     const bool anchors_only = cli.get_flag("anchors-only");
+    const std::string trace_out = cli.get_string("trace-out");
+    if (!trace_out.empty()) dnnperf::util::trace::set_enabled(true);
     for (const auto& id : dnnperf::core::all_figure_ids()) {
       const auto figure = dnnperf::core::run_figure(id);
       if (anchors_only) {
@@ -27,6 +33,11 @@ int main(int argc, char** argv) {
     }
     if (!anchors_only)
       std::cout << dnnperf::core::render_insights(dnnperf::core::evaluate_key_insights());
+    if (!trace_out.empty()) {
+      dnnperf::util::trace::write_json_file(trace_out);
+      std::cerr << "wrote " << dnnperf::util::trace::event_count() << " trace events to "
+                << trace_out << '\n';
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build and test the default preset, then the sanitizer
+# presets (ASan+UBSan, TSan). The sanitizer test runs use the preset filters
+# in CMakePresets.json — deterministic unit/integration suites, not the
+# timing-sensitive benches. Run from the repo root:
+#
+#   ci/check.sh            # all three presets
+#   ci/check.sh default    # just one
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan tsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "=== [$preset] ctest ==="
+  ctest --preset "$preset"
+done
+
+echo "=== all presets passed: ${presets[*]} ==="

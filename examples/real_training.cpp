@@ -5,12 +5,26 @@
 // combined batch (the equivalence every experiment in the paper relies on).
 //
 //   ./real_training --ranks 4 --batch-per-rank 4 --steps 6
+//   ./real_training --trace-out=train.trace.json   # open in ui.perfetto.dev
 #include <cmath>
 #include <iostream>
 
 #include "train/real_trainer.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
+
+namespace {
+
+/// One table row per training phase: per-step wall-clock statistics in ms.
+void add_phase_row(dnnperf::util::TextTable& table, const char* name,
+                   const dnnperf::util::RunStats& s) {
+  using dnnperf::util::TextTable;
+  table.add_row({name, TextTable::num(s.mean() * 1e3, 3), TextTable::num(s.stddev() * 1e3, 3),
+                 TextTable::num(s.min() * 1e3, 3), TextTable::num(s.max() * 1e3, 3)});
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dnnperf;
@@ -19,6 +33,7 @@ int main(int argc, char** argv) {
   cli.add_int("batch-per-rank", "images per rank per step", 4);
   cli.add_int("steps", "training steps", 6);
   cli.add_flag("batch-norm", "include BatchNorm layers (breaks exact SP==MP)", false);
+  cli.add_string("trace-out", "write a Chrome trace-event JSON timeline here", "");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -27,6 +42,8 @@ int main(int argc, char** argv) {
     cfg.batch_per_rank = static_cast<int>(cli.get_int("batch-per-rank"));
     cfg.steps = static_cast<int>(cli.get_int("steps"));
     cfg.batch_norm = cli.get_flag("batch-norm");
+    const std::string trace_out = cli.get_string("trace-out");
+    if (!trace_out.empty()) util::trace::set_enabled(true);
 
     std::cout << "training a small CNN on synthetic data: " << cfg.ranks << " ranks x batch "
               << cfg.batch_per_rank << " (effective " << cfg.ranks * cfg.batch_per_rank
@@ -51,6 +68,19 @@ int main(int argc, char** argv) {
     std::cout << "\nHorovod engine: " << mp.comm.framework_requests << " tensor submissions, "
               << mp.comm.data_allreduces << " fused data allreduces, "
               << mp.comm.engine_wakeups << " engine cycles\n";
+
+    util::TextTable phase_table({"phase (rank 0)", "mean ms", "stddev", "min", "max"});
+    add_phase_row(phase_table, "forward", mp.phases.forward);
+    add_phase_row(phase_table, "backward", mp.phases.backward);
+    add_phase_row(phase_table, "exchange", mp.phases.exchange);
+    add_phase_row(phase_table, "optimizer", mp.phases.optimizer);
+    std::cout << '\n' << phase_table.to_text();
+
+    if (!trace_out.empty()) {
+      util::trace::write_json_file(trace_out);
+      std::cout << "\nwrote " << util::trace::event_count() << " trace events to " << trace_out
+                << " (load in chrome://tracing or ui.perfetto.dev)\n";
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

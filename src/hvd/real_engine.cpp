@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/trace.hpp"
+
 namespace dnnperf::hvd {
 
 RealEngine::RealEngine(mpi::Comm& comm, FusionPolicy policy, int ranks_per_node)
@@ -29,6 +31,10 @@ void RealEngine::exchange(std::span<float> buffer) {
 }
 
 int RealEngine::register_tensor(const std::string& name, std::size_t elements) {
+  if (started_)
+    throw std::logic_error("register_tensor after process(): the coordination ready vector is "
+                           "sized at the first cycle and must match on every rank (" +
+                           name + ")");
   if (by_name_.contains(name)) throw std::invalid_argument("tensor already registered: " + name);
   const int id = static_cast<int>(tensors_.size());
   tensors_.push_back(Tensor{name, elements, {}, false, false});
@@ -49,13 +55,23 @@ void RealEngine::submit(int tensor_id, std::span<float> data) {
 }
 
 int RealEngine::process() {
+  started_ = true;
+  DNNPERF_TRACE_SPAN_VAR(cycle_span, "hvd", "engine.cycle");
+
   // Coordination: a tensor proceeds only when ready on every rank.
   std::vector<std::int32_t> ready(tensors_.size());
   for (std::size_t i = 0; i < tensors_.size(); ++i)
     ready[i] = (tensors_[i].submitted && !tensors_[i].complete) ? 1 : 0;
   ++stats_.engine_wakeups;
-  if (!ready.empty())
-    mpi::allreduce(comm_, std::span<std::int32_t>(ready), mpi::ReduceOp::Min);
+  {
+    DNNPERF_TRACE_SPAN_VAR(span, "hvd", "negotiate");
+    if (span.active())
+      span.set_args(std::move(util::trace::Args().add(
+                                  "tensors", static_cast<std::int64_t>(tensors_.size())))
+                        .str());
+    if (!ready.empty())
+      mpi::allreduce(comm_, std::span<std::int32_t>(ready), mpi::ReduceOp::Min);
+  }
 
   // Fuse globally-ready tensors in id order into buffers of at most
   // fusion_threshold bytes, one data allreduce per buffer.
@@ -82,27 +98,50 @@ int RealEngine::process() {
     }
 
     fusion_buffer_.resize(buffer_elems);
-    std::size_t off = 0;
-    for (std::size_t m : members) {
-      std::copy(tensors_[m].data.begin(), tensors_[m].data.end(), fusion_buffer_.begin() + off);
-      off += tensors_[m].elements;
+    {
+      DNNPERF_TRACE_SPAN_VAR(span, "hvd", "fusion.pack");
+      if (span.active())
+        span.set_args(std::move(util::trace::Args()
+                                    .add("tensors", static_cast<std::int64_t>(members.size()))
+                                    .add("bytes", static_cast<std::int64_t>(buffer_elems *
+                                                                           sizeof(float))))
+                          .str());
+      std::size_t off = 0;
+      for (std::size_t m : members) {
+        std::copy(tensors_[m].data.begin(), tensors_[m].data.end(), fusion_buffer_.begin() + off);
+        off += tensors_[m].elements;
+      }
     }
 
-    exchange(std::span<float>(fusion_buffer_.data(), buffer_elems));
+    {
+      DNNPERF_TRACE_SPAN_VAR(span, "hvd", "allreduce.data");
+      if (span.active())
+        span.set_args(std::move(util::trace::Args()
+                                    .add("tensors", static_cast<std::int64_t>(members.size()))
+                                    .add("bytes", static_cast<std::int64_t>(buffer_elems *
+                                                                           sizeof(float))))
+                          .str());
+      exchange(std::span<float>(fusion_buffer_.data(), buffer_elems));
+    }
     ++stats_.data_allreduces;
     stats_.bytes_reduced += static_cast<double>(buffer_elems) * sizeof(float);
 
-    const float inv = 1.0f / static_cast<float>(comm_.size());
-    off = 0;
-    for (std::size_t m : members) {
-      auto& t = tensors_[m];
-      for (std::size_t k = 0; k < t.elements; ++k) t.data[k] = fusion_buffer_[off + k] * inv;
-      off += t.elements;
-      t.complete = true;
-      t.submitted = false;
-      ++completed;
+    {
+      DNNPERF_TRACE_SPAN_VAR(span, "hvd", "fusion.unpack");
+      const float inv = 1.0f / static_cast<float>(comm_.size());
+      std::size_t off = 0;
+      for (std::size_t m : members) {
+        auto& t = tensors_[m];
+        for (std::size_t k = 0; k < t.elements; ++k) t.data[k] = fusion_buffer_[off + k] * inv;
+        off += t.elements;
+        t.complete = true;
+        t.submitted = false;
+        ++completed;
+      }
     }
   }
+  if (cycle_span.active())
+    cycle_span.set_args(std::move(util::trace::Args().add("completed", completed)).str());
   return completed;
 }
 

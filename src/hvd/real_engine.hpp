@@ -35,7 +35,11 @@ class RealEngine {
   /// 0 = flat allreduce across all ranks.
   RealEngine(mpi::Comm& comm, FusionPolicy policy, int ranks_per_node = 0);
 
-  /// Registers a tensor; must happen in the same order on all ranks.
+  /// Registers a tensor; must happen in the same order on all ranks, and
+  /// before the first process() call — the coordination allreduce exchanges
+  /// one readiness slot per registered tensor, so a rank registering late
+  /// would desynchronize the vector length across ranks (silent corruption
+  /// or a hang). Late registration throws std::logic_error instead.
   /// Returns the tensor id.
   int register_tensor(const std::string& name, std::size_t elements);
 
@@ -74,6 +78,8 @@ class RealEngine {
   std::unordered_map<std::string, int> by_name_;
   std::vector<float> fusion_buffer_;
   CommStats stats_;
+  bool started_ = false;  ///< true once process() ran; registration is closed
+
 };
 
 }  // namespace dnnperf::hvd

@@ -3,16 +3,27 @@
 #include <algorithm>
 #include <deque>
 #include <stdexcept>
+#include <string>
 
 #include "sim/engine.hpp"
+#include "util/trace.hpp"
 
 namespace dnnperf::hvd {
 
 namespace {
 
+namespace trace = util::trace;
+
+/// Trace tracks of the simulated rank: compute phases on one, engine
+/// activity on the other — the same two-track layout the Horovod timeline
+/// uses, but in virtual time under trace::kSimulatedPid so the simulated
+/// process sits next to the real one in the viewer.
+constexpr int kComputeTid = 1;
+constexpr int kEngineTid = 2;
+
 class TimelineSim {
  public:
-  explicit TimelineSim(const TimelineInput& in) : in_(in) {
+  explicit TimelineSim(const TimelineInput& in) : in_(in), tracing_(trace::enabled()) {
     in_.policy.validate();
     if (in_.iterations <= 0) throw std::invalid_argument("TimelineInput: iterations <= 0");
     if (in_.straggler_factor < 1.0)
@@ -35,6 +46,13 @@ class TimelineSim {
   }
 
   TimelineResult run() {
+    if (tracing_) {
+      trace::set_virtual_track_name(trace::kSimulatedPid, kComputeTid, "dnnperf (simulated)",
+                                    "compute");
+      trace::set_virtual_track_name(trace::kSimulatedPid, kEngineTid, "dnnperf (simulated)",
+                                    "hvd engine");
+      engine_.set_trace_track(trace::kSimulatedPid, kEngineTid);
+    }
     start_iteration();
     if (in_.cost != nullptr) engine_.schedule_after(in_.policy.cycle_time_s, [this] { wake(); });
     engine_.run();
@@ -48,11 +66,22 @@ class TimelineSim {
   }
 
  private:
+  void emit_compute(const char* name, double start, double end) {
+    if (tracing_)
+      trace::emit_virtual_complete(name, "sim", trace::kSimulatedPid, kComputeTid, start,
+                                   end - start,
+                                   std::move(trace::Args().add("iteration", completed_)).str());
+  }
+
   void start_iteration() {
     bwd_done_ = false;
     reduced_ = 0;
+    const double fwd_start = engine_.now() + in_.iteration_fixed;
     engine_.schedule_after(in_.iteration_fixed + in_.fwd_time * stretch_,
-                           [this] { forward_done(); });
+                           [this, fwd_start] {
+                             emit_compute("forward", fwd_start, engine_.now());
+                             forward_done();
+                           });
   }
 
   void forward_done() {
@@ -66,20 +95,42 @@ class TimelineSim {
         }
       });
     }
-    engine_.schedule_after(in_.bwd_time * stretch_, [this] {
+    const double bwd_start = engine_.now();
+    engine_.schedule_after(in_.bwd_time * stretch_, [this, bwd_start] {
+      emit_compute("backward", bwd_start, engine_.now());
       bwd_done_ = true;
       bwd_end_time_ = engine_.now();
       maybe_finish_iteration();
     });
   }
 
-  /// Horovod Engine background loop: one coordination allreduce per wake-up,
-  /// then one data allreduce per fused buffer of negotiated tensors.
+  /// Horovod Engine background loop. Every cycle issues the coordination op
+  /// (RealEngine::process() negotiates unconditionally too, and the paper's
+  /// engine-issued counter includes idle cycles — that is where the ~199x
+  /// ops reduction of Fig. 19 comes from), so `engine_wakeups` counts every
+  /// wake-up. But an idle wake-up with nothing outstanding must not *cost*
+  /// anything: previously it charged a full per-tensor negotiation over all
+  /// grad_events, slowing the wake cadence (next wake at max(cycle, busy))
+  /// and delaying gradient pickup whenever negotiation time exceeded the
+  /// cycle time. Busy wake-ups charge one negotiation allreduce, then one
+  /// data allreduce per fused buffer.
   void wake() {
     ++stats_.engine_wakeups;
+    if (pending_.empty()) {
+      if (!done_) engine_.schedule_after(in_.policy.cycle_time_s, [this] { wake(); });
+      return;
+    }
+
+    const double wake_start = engine_.now();
     double busy = in_.cost->allreduce_time(
         static_cast<double>(in_.grad_events.size()) * in_.negotiation_bytes_per_tensor,
         mpi::AllreduceAlgo::RecursiveDoubling);
+    if (tracing_)
+      trace::emit_virtual_complete(
+          "negotiate", "sim", trace::kSimulatedPid, kEngineTid, wake_start, busy,
+          std::move(trace::Args().add("tensors",
+                                      static_cast<std::int64_t>(in_.grad_events.size())))
+              .str());
 
     while (!pending_.empty()) {
       double buffer_bytes = 0.0;
@@ -90,7 +141,13 @@ class TimelineSim {
         pending_.pop_front();
         ++fused;
       }
-      busy += in_.cost->allreduce_time(buffer_bytes);
+      const double ar_time = in_.cost->allreduce_time(buffer_bytes);
+      if (tracing_)
+        trace::emit_virtual_complete(
+            "allreduce.data", "sim", trace::kSimulatedPid, kEngineTid, wake_start + busy,
+            ar_time,
+            std::move(trace::Args().add("tensors", fused).add("bytes", buffer_bytes)).str());
+      busy += ar_time;
       ++stats_.data_allreduces;
       stats_.bytes_reduced += buffer_bytes;
       reduced_after_busy_ += fused;
@@ -112,7 +169,9 @@ class TimelineSim {
     if (!bwd_done_ || reduced_ < static_cast<int>(in_.grad_events.size())) return;
     bwd_done_ = false;  // guard against double entry
     exposed_total_ += std::max(0.0, engine_.now() - bwd_end_time_);
-    engine_.schedule_after(in_.optimizer_time * stretch_, [this] {
+    const double opt_start = engine_.now();
+    engine_.schedule_after(in_.optimizer_time * stretch_, [this, opt_start] {
+      emit_compute("optimizer", opt_start, engine_.now());
       ++completed_;
       if (completed_ >= in_.iterations) {
         finish_time_ = engine_.now();
@@ -127,6 +186,7 @@ class TimelineSim {
   sim::Engine engine_;
   CommStats stats_;
   std::deque<double> pending_;
+  bool tracing_ = false;
   int reduced_ = 0;
   int reduced_after_busy_ = 0;
   bool bwd_done_ = false;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "ref/gemm_packed.hpp"
+#include "util/trace.hpp"
 
 namespace dnnperf::ref {
 
@@ -170,6 +171,20 @@ Tensor conv2d_forward_gemm(const Tensor& x, const Tensor& w, const Tensor& b, Co
   if (w.dim(1) != x.dim(1)) throw std::invalid_argument("conv_fast: channel mismatch");
   if (b.size() != static_cast<std::size_t>(w.dim(0)))
     throw std::invalid_argument("conv_fast: bias size");
+  DNNPERF_TRACE_SPAN_VAR(span, "ref", "conv2d_fwd_gemm");
+  if (span.active()) {
+    const int oh = out_dim(x.dim(2), w.dim(2), spec.stride, spec.pad);
+    const int ow = out_dim(x.dim(3), w.dim(3), spec.stride, spec.pad);
+    span.set_args(std::move(util::trace::Args()
+                                .add("n", x.dim(0))
+                                .add("c", x.dim(1))
+                                .add("hw", x.dim(2))
+                                .add("oc", w.dim(0))
+                                .add("k", w.dim(2))
+                                .add("path", path == GemmPath::packed ? "packed" : "naive"))
+                      .str());
+    span.set_flops(2.0 * x.dim(0) * oh * ow * w.dim(0) * x.dim(1) * w.dim(2) * w.dim(3));
+  }
   return path == GemmPath::packed ? forward_gemm_packed(x, w, b, spec, pool)
                                   : forward_gemm_naive(x, w, b, spec, pool);
 }
@@ -181,6 +196,15 @@ void conv2d_backward_gemm(const Tensor& x, const Tensor& w, const Tensor& dy, Co
 
 void conv2d_backward_gemm(const Tensor& x, const Tensor& w, const Tensor& dy, ConvSpec spec,
                           Tensor& dx, Tensor& dw, Tensor& db, ThreadPool& pool, GemmPath path) {
+  DNNPERF_TRACE_SPAN_VAR(span, "ref", "conv2d_bwd_gemm");
+  if (span.active())
+    span.set_args(std::move(util::trace::Args()
+                                .add("n", x.dim(0))
+                                .add("c", x.dim(1))
+                                .add("oc", w.dim(0))
+                                .add("k", w.dim(2))
+                                .add("path", path == GemmPath::packed ? "packed" : "naive"))
+                      .str());
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), ww = x.dim(3);
   const int oc = w.dim(0), kh = w.dim(2), kw = w.dim(3);
   const int oh = dy.dim(2), ow = dy.dim(3);

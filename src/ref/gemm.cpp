@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "ref/gemm_packed.hpp"
+#include "util/trace.hpp"
 
 namespace dnnperf::ref {
 
@@ -19,6 +20,19 @@ int out_dim(int in, int k, int stride, int pad) {
   const int out = (in + 2 * pad - k) / stride + 1;
   if (out <= 0) throw std::invalid_argument("gemm helpers: output dim <= 0");
   return out;
+}
+
+/// Shape + path args and FLOP count for a GEMM-shaped trace span.
+template <typename SpanT>
+void annotate_gemm_span(SpanT& span, int m, int k, int n, GemmPath path) {
+  if (span.active())
+    span.set_args(std::move(util::trace::Args()
+                                .add("m", m)
+                                .add("k", k)
+                                .add("n", n)
+                                .add("path", path == GemmPath::packed ? "packed" : "naive"))
+                      .str());
+  span.set_flops(2.0 * m * k * n);
 }
 
 void check_gemm_shapes(const Tensor& a, const Tensor& b, const Tensor& c, int m, int k, int n,
@@ -149,6 +163,8 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool& pool, bool ac
   const int m = a.rank() == 2 ? a.dim(0) : 0, k = a.rank() == 2 ? a.dim(1) : 0,
             n = b.rank() == 2 ? b.dim(1) : 0;
   check_gemm_shapes(a, b, c, m, k, n, "gemm");
+  DNNPERF_TRACE_SPAN_VAR(span, "ref", "gemm");
+  annotate_gemm_span(span, m, k, n, path);
   if (path == GemmPath::packed) {
     gemm_packed(a.data(), b.data(), c.data(), m, k, n, accumulate, pool);
     return;
@@ -166,6 +182,8 @@ void gemm_at(const Tensor& a_t, const Tensor& b, Tensor& c, ThreadPool& pool, bo
   const int k = a_t.rank() == 2 ? a_t.dim(0) : 0, m = a_t.rank() == 2 ? a_t.dim(1) : 0,
             n = b.rank() == 2 ? b.dim(1) : 0;
   check_gemm_shapes(a_t, b, c, m, k, n, "gemm_at");
+  DNNPERF_TRACE_SPAN_VAR(span, "ref", "gemm_at");
+  annotate_gemm_span(span, m, k, n, path);
   if (path == GemmPath::packed) {
     gemm_at_packed(a_t.data(), b.data(), c.data(), m, k, n, accumulate, pool);
     return;
@@ -179,6 +197,10 @@ Tensor im2col(const Tensor& x, int kh, int kw, int stride, int pad, ThreadPool& 
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const int oh = out_dim(h, kh, stride, pad);
   const int ow = out_dim(w, kw, stride, pad);
+  DNNPERF_TRACE_SPAN_VAR(span, "ref", "im2col");
+  if (span.active())
+    span.set_args(std::move(util::trace::Args().add("rows", n * oh * ow).add("cols", c * kh * kw))
+                      .str());
   Tensor cols({n * oh * ow, c * kh * kw});
   float* pc = cols.data();
   const std::size_t row_len = static_cast<std::size_t>(c) * kh * kw;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "ref/gemm.hpp"
+#include "util/trace.hpp"
 
 namespace dnnperf::ref {
 
@@ -33,6 +34,13 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b, ConvSpe
   if (b.size() != static_cast<std::size_t>(oc)) throw std::invalid_argument("conv2d: bias size");
   const int oh = out_dim(h, kh, spec.stride, spec.pad);
   const int ow = out_dim(ww, kw, spec.stride, spec.pad);
+
+  DNNPERF_TRACE_SPAN_VAR(span, "ref", "conv2d_fwd_direct");
+  if (span.active())
+    span.set_args(std::move(
+                      util::trace::Args().add("n", n).add("c", c).add("oc", oc).add("k", kh))
+                      .str());
+  span.set_flops(2.0 * n * oh * ow * oc * c * kh * kw);
 
   Tensor y({n, oc, oh, ow});
   pool.parallel_for(static_cast<std::size_t>(n) * oc, [&](std::size_t begin, std::size_t end) {
@@ -124,6 +132,10 @@ Tensor dense_forward(const Tensor& x, const Tensor& w, const Tensor& b, ThreadPo
   check_rank(w, 2, "dense w");
   const int n = x.dim(0), f = x.dim(1), o = w.dim(1);
   if (w.dim(0) != f) throw std::invalid_argument("dense: feature mismatch");
+  DNNPERF_TRACE_SPAN_VAR(span, "ref", "dense_fwd");
+  if (span.active())
+    span.set_args(std::move(util::trace::Args().add("n", n).add("f", f).add("o", o)).str());
+  span.set_flops(2.0 * n * f * o);
   Tensor y({n, o});
   if (gemm_path() == GemmPath::packed) {
     // Seed every output row with the bias, then accumulate x*w through the
@@ -202,6 +214,9 @@ Tensor maxpool_forward(const Tensor& x, int k, int stride, Tensor& argmax, Threa
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const int oh = out_dim(h, k, stride, 0);
   const int ow = out_dim(w, k, stride, 0);
+  DNNPERF_TRACE_SPAN_VAR(span, "ref", "maxpool_fwd");
+  if (span.active())
+    span.set_args(std::move(util::trace::Args().add("n", n).add("c", c).add("k", k)).str());
   Tensor y({n, c, oh, ow});
   argmax = Tensor::zeros({n, c, oh, ow});
   pool.parallel_for(static_cast<std::size_t>(n) * c, [&](std::size_t begin, std::size_t end) {

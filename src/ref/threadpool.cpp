@@ -4,7 +4,40 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/trace.hpp"
+
 namespace dnnperf::ref {
+
+namespace {
+
+/// Pool whose parallel_for body is executing on this thread, if any. A
+/// nested parallel_for on the same pool would interleave with the outer
+/// loop's shared next_/total_/body_ dispatch state, so it must run serially;
+/// dispatching to a *different* pool from inside a body stays parallel.
+thread_local const ThreadPool* tl_executing_pool = nullptr;
+
+struct ExecutingGuard {
+  const ThreadPool* prev;
+  explicit ExecutingGuard(const ThreadPool* pool) : prev(tl_executing_pool) {
+    tl_executing_pool = pool;
+  }
+  ~ExecutingGuard() { tl_executing_pool = prev; }
+};
+
+void run_chunk(const ThreadPool* pool,
+               const std::function<void(std::size_t, std::size_t)>& body, std::size_t begin,
+               std::size_t end) {
+  ExecutingGuard guard(pool);
+  DNNPERF_TRACE_SPAN_VAR(span, "pool", "chunk");
+  if (span.active())
+    span.set_args(std::move(util::trace::Args()
+                                .add("begin", static_cast<std::int64_t>(begin))
+                                .add("end", static_cast<std::int64_t>(end)))
+                      .str());
+  body(begin, end);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) : threads_(threads) {
   if (threads < 1) throw std::invalid_argument("ThreadPool: threads < 1");
@@ -34,7 +67,7 @@ void ThreadPool::worker_loop() {
       next_ = end;
       lock.unlock();
       try {
-        (*body_)(begin, end);
+        run_chunk(this, *body_, begin, end);
       } catch (...) {
         lock.lock();
         if (!error_) error_ = std::current_exception();
@@ -55,6 +88,12 @@ void ThreadPool::parallel_for(std::size_t n,
 void ThreadPool::parallel_for(std::size_t n, std::size_t min_grain,
                               const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
+  // Re-entrant call from inside one of our own chunks: the shared dispatch
+  // state is owned by the outer loop, so execute serially right here.
+  if (tl_executing_pool == this) {
+    body(0, n);
+    return;
+  }
   if (threads_ == 1 || n <= std::max<std::size_t>(min_grain, 1)) {
     body(0, n);
     return;
@@ -75,7 +114,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t min_grain,
     next_ = end;
     lock.unlock();
     try {
-      body(begin, end);
+      run_chunk(this, body, begin, end);
     } catch (...) {
       lock.lock();
       if (!error_) error_ = std::current_exception();

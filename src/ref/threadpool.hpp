@@ -27,7 +27,10 @@ class ThreadPool {
 
   /// Splits [0, n) into contiguous chunks and runs body(begin, end) on the
   /// workers; blocks until all chunks finish. Exceptions from the body
-  /// propagate to the caller (first one wins).
+  /// propagate to the caller (first one wins). Re-entrant calls from inside
+  /// a body on the same pool (a parallel kernel invoking another parallel
+  /// kernel) are detected and executed serially on the calling thread — the
+  /// shared dispatch state belongs to the outer loop.
   void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body);
 
   /// Grain-aware variant: chunks are at least `min_grain` items so cheap

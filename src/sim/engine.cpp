@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/trace.hpp"
+
 namespace dnnperf::sim {
 
 EventId Engine::schedule_at(double t, Callback cb) {
@@ -31,6 +33,11 @@ bool Engine::step() {
     }
     now_ = ev.time;
     ++processed_;
+    // Sparse by design: report_all runs hundreds of simulations through one
+    // trace buffer, so per-event emission would swamp the document.
+    if (trace_pid_ != 0 && processed_ % kTraceCounterStride == 0 && util::trace::enabled())
+      util::trace::emit_virtual_counter("events_processed", trace_pid_, now_,
+                                        static_cast<double>(processed_));
     ev.cb();
     return true;
   }

@@ -40,6 +40,17 @@ class Engine {
   /// Executes exactly one event if any is pending; returns false when empty.
   bool step();
 
+  /// Routes the calendar onto a virtual-time trace track: an
+  /// events_processed counter is emitted at the simulated timestamp every
+  /// kTraceCounterStride events (when util::trace is enabled), sketching the
+  /// calendar's activity without flooding the trace. pid 0 disables.
+  void set_trace_track(int pid, int tid) {
+    trace_pid_ = pid;
+    trace_tid_ = tid;
+  }
+
+  static constexpr std::uint64_t kTraceCounterStride = 256;
+
   bool empty() const { return queue_.size() == cancelled_.size(); }
   std::uint64_t events_processed() const { return processed_; }
 
@@ -58,6 +69,8 @@ class Engine {
 
   double now_ = 0.0;
   EventId next_id_ = 1;
+  int trace_pid_ = 0;
+  int trace_tid_ = 0;
   std::uint64_t processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;

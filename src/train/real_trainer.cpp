@@ -1,15 +1,24 @@
 #include "train/real_trainer.hpp"
 
+#include <chrono>
 #include <stdexcept>
+#include <string>
 
 #include "hvd/real_engine.hpp"
 #include "mpi/collectives.hpp"
 #include "mpi/world.hpp"
+#include "ref/kernels.hpp"
 #include "ref/network.hpp"
+#include "util/trace.hpp"
 
 namespace dnnperf::train {
 
 namespace {
+
+/// Seconds elapsed on the steady clock since `t0`.
+double since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
 
 void check(const RealTrainConfig& cfg) {
   if (cfg.ranks <= 0 || cfg.batch_per_rank <= 0 || cfg.steps <= 0)
@@ -52,6 +61,7 @@ RealTrainResult run_real_training(const RealTrainConfig& cfg) {
   const ref::ScopedGemmPath kernel_path(cfg.gemm_path);
 
   mpi::World::run(cfg.ranks, [&](mpi::Comm& comm) {
+    util::trace::set_thread_name("rank " + std::to_string(comm.rank()));
     ref::ThreadPool pool(cfg.threads_per_rank);
     util::Rng init_rng(cfg.seed);  // identical initialization on every rank
     ref::Network net =
@@ -67,20 +77,51 @@ RealTrainResult run_real_training(const RealTrainConfig& cfg) {
     ref::SgdOptimizer sgd(cfg.learning_rate);
     util::Rng data_rng(cfg.seed + 1);  // same global data stream on every rank
     std::vector<float> losses;
+    PhaseTimes phases;
 
     for (int step = 0; step < cfg.steps; ++step) {
+      DNNPERF_TRACE_SPAN_VAR(step_span, "train", "step");
+      if (step_span.active())
+        step_span.set_args(std::move(util::trace::Args().add("step", step)).str());
       const auto global =
           ref::synthetic_batch(global_batch, cfg.channels, cfg.image_size, cfg.classes, data_rng);
       const auto shard = shard_of(global, comm.rank(), cfg.batch_per_rank);
-      float loss = net.train_step(shard.images, shard.labels);
+
+      // The train_step of ref::Network, phase by phase so each can be timed.
+      auto t0 = std::chrono::steady_clock::now();
+      float loss;
+      ref::Tensor dlogits;
+      {
+        DNNPERF_TRACE_SPAN("train", "forward");
+        const ref::Tensor logits = net.forward(shard.images);
+        loss = ref::softmax_xent(logits, shard.labels, dlogits);
+      }
+      phases.forward.add(since(t0));
+
+      t0 = std::chrono::steady_clock::now();
+      {
+        DNNPERF_TRACE_SPAN("train", "backward");
+        net.backward(dlogits);
+      }
+      phases.backward.add(since(t0));
 
       // Hand each gradient to the engine as backward produced it, then run
       // engine cycles until all are averaged across ranks.
-      for (std::size_t i = 0; i < params.size(); ++i)
-        engine.submit(tensor_ids[i], params[i].grad->flat());
-      engine.synchronize();
+      t0 = std::chrono::steady_clock::now();
+      {
+        DNNPERF_TRACE_SPAN("train", "exchange");
+        for (std::size_t i = 0; i < params.size(); ++i)
+          engine.submit(tensor_ids[i], params[i].grad->flat());
+        engine.synchronize();
+      }
+      phases.exchange.add(since(t0));
 
-      sgd.step(params);
+      t0 = std::chrono::steady_clock::now();
+      {
+        DNNPERF_TRACE_SPAN("train", "optimizer");
+        sgd.step(params);
+      }
+      phases.optimizer.add(since(t0));
 
       mpi::allreduce(comm, std::span<float>(&loss, 1), mpi::ReduceOp::Sum);
       losses.push_back(loss / static_cast<float>(cfg.ranks));
@@ -89,6 +130,7 @@ RealTrainResult run_real_training(const RealTrainConfig& cfg) {
     if (comm.rank() == 0) {
       result.losses = std::move(losses);
       result.comm = engine.stats();
+      result.phases = phases;
       result.parameters = net.num_parameters();
       result.final_params = flatten_params(net);
     }
@@ -109,10 +151,37 @@ RealTrainResult run_real_training_single(const RealTrainConfig& cfg) {
   util::Rng data_rng(cfg.seed + 1);
 
   for (int step = 0; step < cfg.steps; ++step) {
+    DNNPERF_TRACE_SPAN_VAR(step_span, "train", "step");
+    if (step_span.active())
+      step_span.set_args(std::move(util::trace::Args().add("step", step)).str());
     const auto batch =
         ref::synthetic_batch(global_batch, cfg.channels, cfg.image_size, cfg.classes, data_rng);
-    result.losses.push_back(net.train_step(batch.images, batch.labels));
-    sgd.step(net.params());
+
+    auto t0 = std::chrono::steady_clock::now();
+    float loss;
+    ref::Tensor dlogits;
+    {
+      DNNPERF_TRACE_SPAN("train", "forward");
+      const ref::Tensor logits = net.forward(batch.images);
+      loss = ref::softmax_xent(logits, batch.labels, dlogits);
+    }
+    result.phases.forward.add(since(t0));
+
+    t0 = std::chrono::steady_clock::now();
+    {
+      DNNPERF_TRACE_SPAN("train", "backward");
+      net.backward(dlogits);
+    }
+    result.phases.backward.add(since(t0));
+
+    t0 = std::chrono::steady_clock::now();
+    {
+      DNNPERF_TRACE_SPAN("train", "optimizer");
+      sgd.step(net.params());
+    }
+    result.phases.optimizer.add(since(t0));
+
+    result.losses.push_back(loss);
   }
   result.parameters = net.num_parameters();
   result.final_params = flatten_params(net);

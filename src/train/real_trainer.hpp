@@ -12,6 +12,7 @@
 
 #include "hvd/policy.hpp"
 #include "ref/gemm.hpp"
+#include "util/stats.hpp"
 
 namespace dnnperf::train {
 
@@ -34,9 +35,21 @@ struct RealTrainConfig {
   hvd::FusionPolicy policy;
 };
 
+/// Wall-clock per-step phase breakdown (seconds), one sample per step. This
+/// is the executable analogue of the fwd/bwd/comm/opt decomposition the
+/// timeline simulator takes as input: `exchange` is the time the framework
+/// thread is blocked on gradient exchange, i.e. the *exposed* communication.
+struct PhaseTimes {
+  util::RunStats forward;    ///< forward pass + loss/gradient at the head
+  util::RunStats backward;   ///< backpropagation through all layers
+  util::RunStats exchange;   ///< submit + engine synchronize (allreduces)
+  util::RunStats optimizer;  ///< SGD parameter update
+};
+
 struct RealTrainResult {
   std::vector<float> losses;  ///< global mean loss per step
   hvd::CommStats comm;        ///< rank-0 engine counters
+  PhaseTimes phases;          ///< rank-0 per-step phase timings (seconds)
   std::size_t parameters = 0;
   std::vector<float> final_params;  ///< rank-0 flattened parameters after training
 };

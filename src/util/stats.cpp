@@ -27,7 +27,7 @@ double RunStats::variance() const {
 double RunStats::stddev() const { return std::sqrt(variance()); }
 
 double RunStats::coeff_of_variation() const {
-  return mean_ != 0.0 ? stddev() / mean_ : 0.0;
+  return mean_ != 0.0 ? stddev() / std::abs(mean_) : 0.0;
 }
 
 double mean(const std::vector<double>& xs) {

@@ -23,7 +23,8 @@ class RunStats {
   double stddev() const;
   double min() const { return n_ > 0 ? min_ : 0.0; }
   double max() const { return n_ > 0 ? max_ : 0.0; }
-  /// stddev / mean; 0 when mean is 0.
+  /// stddev / |mean|; 0 when mean is 0. The absolute value keeps the CV a
+  /// non-negative dispersion measure for negative-mean series.
   double coeff_of_variation() const;
 
  private:

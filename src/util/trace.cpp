@@ -1,0 +1,322 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace dnnperf::util::trace {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Hard per-thread cap so a forgotten enabled flag cannot exhaust memory;
+/// overflow is counted and reported in the emitted document.
+constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 22;
+
+struct Event {
+  char ph;            ///< 'X' complete, 'i' instant, 'C' counter, 'M' metadata
+  int pid;
+  int tid;
+  std::uint64_t ts_us;
+  std::uint64_t dur_us;  ///< complete events only
+  const char* cat;       ///< static string or nullptr
+  std::string name;
+  std::string args;      ///< raw `"k":v` pairs without braces, may be empty
+};
+
+struct ThreadBuffer {
+  int tid = 0;
+  std::size_t dropped = 0;
+  std::vector<Event> events;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;  ///< owns buffers past thread exit
+  int next_tid = 1;
+  std::atomic<std::uint64_t> generation{1};
+  std::atomic<std::int64_t> epoch_ns{
+      std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now().time_since_epoch())
+          .count()};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::atomic<bool> g_enabled{false};
+
+/// The calling thread's buffer, registered on first use (or first use after
+/// a reset()); subsequent calls are two thread-local reads plus one relaxed
+/// atomic load.
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* cached = nullptr;
+  thread_local std::uint64_t cached_gen = 0;
+  Registry& reg = registry();
+  const std::uint64_t gen = reg.generation.load(std::memory_order_acquire);
+  if (cached == nullptr || cached_gen != gen) {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.buffers.push_back(std::make_unique<ThreadBuffer>());
+    cached = reg.buffers.back().get();
+    cached->tid = reg.next_tid++;
+    cached_gen = gen;
+  }
+  return *cached;
+}
+
+void record(char ph, int pid, int tid_or_local, std::uint64_t ts_us, std::uint64_t dur_us,
+            const char* cat, std::string name, std::string args) {
+  ThreadBuffer& buf = local_buffer();
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(Event{ph, pid, tid_or_local < 0 ? buf.tid : tid_or_local, ts_us, dur_us,
+                             cat, std::move(name), std::move(args)});
+}
+
+constexpr int kLocalTid = -1;
+
+std::uint64_t seconds_to_us(double s) {
+  return s <= 0.0 ? 0 : static_cast<std::uint64_t>(s * 1e6 + 0.5);
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", static_cast<unsigned>(c));
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void write_event(std::ostream& os, const Event& e) {
+  std::string line = "{\"name\":\"";
+  append_escaped(line, e.name);
+  line += "\",\"cat\":\"";
+  line += (e.cat != nullptr ? e.cat : "trace");
+  line += "\",\"ph\":\"";
+  line += e.ph;
+  line += "\",\"ts\":" + std::to_string(e.ts_us);
+  if (e.ph == 'X') line += ",\"dur\":" + std::to_string(e.dur_us);
+  line += ",\"pid\":" + std::to_string(e.pid) + ",\"tid\":" + std::to_string(e.tid);
+  if (e.ph == 'i') line += ",\"s\":\"t\"";  // thread-scoped instant
+  if (!e.args.empty()) line += ",\"args\":{" + e.args + "}";
+  line += "}";
+  os << line;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void reset() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.buffers.clear();
+  reg.next_tid = 1;
+  reg.epoch_ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         SteadyClock::now().time_since_epoch())
+                         .count(),
+                     std::memory_order_relaxed);
+  reg.generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::uint64_t now_us() {
+  const auto now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now().time_since_epoch())
+          .count();
+  const auto epoch = registry().epoch_ns.load(std::memory_order_relaxed);
+  return now_ns <= epoch ? 0 : static_cast<std::uint64_t>(now_ns - epoch) / 1000;
+}
+
+std::size_t event_count() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::size_t n = 0;
+  for (const auto& b : reg.buffers) n += b->events.size();
+  return n;
+}
+
+Args& Args::add(const char* key, std::int64_t value) {
+  if (!json_.empty()) json_ += ',';
+  json_ += '"';
+  json_ += key;
+  json_ += "\":" + std::to_string(value);
+  return *this;
+}
+
+Args& Args::add(const char* key, std::uint64_t value) {
+  if (!json_.empty()) json_ += ',';
+  json_ += '"';
+  json_ += key;
+  json_ += "\":" + std::to_string(value);
+  return *this;
+}
+
+Args& Args::add(const char* key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  if (!json_.empty()) json_ += ',';
+  json_ += '"';
+  json_ += key;
+  json_ += "\":";
+  json_ += buf;
+  return *this;
+}
+
+Args& Args::add(const char* key, const char* value) { return add(key, std::string(value)); }
+
+Args& Args::add(const char* key, const std::string& value) {
+  if (!json_.empty()) json_ += ',';
+  json_ += '"';
+  json_ += key;
+  json_ += "\":\"";
+  append_escaped(json_, value);
+  json_ += '"';
+  return *this;
+}
+
+void emit_complete(std::string name, const char* cat, std::uint64_t ts_us, std::uint64_t dur_us,
+                   std::string args_json) {
+  if (!enabled()) return;
+  record('X', kRealPid, kLocalTid, ts_us, dur_us, cat, std::move(name), std::move(args_json));
+}
+
+void emit_instant(std::string name, const char* cat, std::string args_json) {
+  if (!enabled()) return;
+  record('i', kRealPid, kLocalTid, now_us(), 0, cat, std::move(name), std::move(args_json));
+}
+
+void emit_counter(const char* name, double value) {
+  if (!enabled()) return;
+  record('C', kRealPid, 0, now_us(), 0, nullptr, name,
+         std::move(Args().add("value", value)).str());
+}
+
+void set_thread_name(const std::string& name) {
+  if (!enabled()) return;
+  record('M', kRealPid, kLocalTid, 0, 0, "__metadata", "thread_name",
+         std::move(Args().add("name", name)).str());
+}
+
+void emit_virtual_complete(std::string name, const char* cat, int pid, int tid, double ts_s,
+                           double dur_s, std::string args_json) {
+  if (!enabled()) return;
+  record('X', pid, tid, seconds_to_us(ts_s), seconds_to_us(dur_s), cat, std::move(name),
+         std::move(args_json));
+}
+
+void emit_virtual_instant(std::string name, const char* cat, int pid, int tid, double ts_s,
+                          std::string args_json) {
+  if (!enabled()) return;
+  record('i', pid, tid, seconds_to_us(ts_s), 0, cat, std::move(name), std::move(args_json));
+}
+
+void emit_virtual_counter(const char* name, int pid, double ts_s, double value) {
+  if (!enabled()) return;
+  record('C', pid, 0, seconds_to_us(ts_s), 0, nullptr, name,
+         std::move(Args().add("value", value)).str());
+}
+
+void set_virtual_track_name(int pid, int tid, const std::string& process_name,
+                            const std::string& thread_name) {
+  if (!enabled()) return;
+  record('M', pid, 0, 0, 0, "__metadata", "process_name",
+         std::move(Args().add("name", process_name)).str());
+  record('M', pid, tid, 0, 0, "__metadata", "thread_name",
+         std::move(Args().add("name", thread_name)).str());
+}
+
+void write_json(std::ostream& os) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<const Event*> all;
+  std::size_t dropped = 0;
+  for (const auto& b : reg.buffers) {
+    dropped += b->dropped;
+    for (const Event& e : b->events) all.push_back(&e);
+  }
+  // Metadata first, then by timestamp, so viewers name tracks before any
+  // span lands on them.
+  std::stable_sort(all.begin(), all.end(), [](const Event* a, const Event* b) {
+    if ((a->ph == 'M') != (b->ph == 'M')) return a->ph == 'M';
+    return a->ts_us < b->ts_us;
+  });
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    write_event(os, *all[i]);
+    if (i + 1 < all.size()) os << ',';
+    os << '\n';
+  }
+  if (dropped > 0) {
+    if (!all.empty()) os << ',';
+    Event note{'i', kRealPid, 0, 0, 0, "trace", "events_dropped",
+               std::move(Args().add("count", static_cast<std::uint64_t>(dropped))).str()};
+    write_event(os, note);
+    os << '\n';
+  }
+  os << "]}\n";
+}
+
+void write_json_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace: cannot open " + path + " for writing");
+  write_json(out);
+  out.flush();
+  if (!out) throw std::runtime_error("trace: failed writing " + path);
+}
+
+Span::Span(const char* cat, const char* name) : active_(enabled()) {
+  if (active_) {
+    cat_ = cat;
+    name_ = name;
+    start_ = now_us();
+  }
+}
+
+Span::Span(const char* cat, std::string name) : active_(enabled()) {
+  if (active_) {
+    cat_ = cat;
+    name_ = std::move(name);
+    start_ = now_us();
+  }
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::uint64_t end = now_us();
+  const std::uint64_t dur = end > start_ ? end - start_ : 0;
+  if (flops_ > 0.0 && dur > 0) {
+    // GFLOP/s = flops / (dur_us * 1e-6) / 1e9.
+    Args extra;
+    extra.add("gflops", flops_ / (static_cast<double>(dur) * 1e3));
+    if (!args_.empty()) args_ += ',';
+    args_ += std::move(extra).str();
+  }
+  record('X', kRealPid, kLocalTid, start_, dur, cat_, std::move(name_), std::move(args_));
+}
+
+}  // namespace dnnperf::util::trace

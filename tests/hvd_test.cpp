@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <tuple>
 
 #include "hvd/real_engine.hpp"
@@ -105,6 +106,20 @@ TEST(RealEngine, StragglerTensorWaitsForAllRanks) {
     const int done_second = engine.process();
     EXPECT_EQ(done_second, 1);
     EXPECT_NEAR(grad[0], 0.5f, 1e-6f);
+  });
+}
+
+TEST(RealEngine, RegisterAfterProcessThrows) {
+  // The coordination ready vector is sized by the registration set at the
+  // first cycle; registering afterwards would desynchronize its length
+  // across ranks, so the engine must reject it loudly.
+  mpi::World::run(2, [](mpi::Comm& comm) {
+    RealEngine engine(comm, FusionPolicy{});
+    engine.register_tensor("a", 4);
+    std::vector<float> g(4, 1.0f);
+    engine.submit(0, std::span<float>(g));
+    engine.process();
+    EXPECT_THROW(engine.register_tensor("late", 4), std::logic_error);
   });
 }
 
@@ -243,6 +258,71 @@ TEST(Timeline, CommExposureReportedWhenCommDominates) {
   in.grad_events.push_back({0.02, 100e6});
   const auto r = simulate_training(in);
   EXPECT_GT(r.comm_exposed_fraction, 0.3);
+}
+
+TEST(Timeline, IdleWakeupsNotCharged) {
+  // Make a single negotiation allreduce far more expensive than the cycle
+  // time, then pad the forward pass with 5 s of comm-free compute. Idle
+  // wake-ups during that padding are counted (the engine's coordination op
+  // fires every cycle, as in RealEngine::process()) but must not charge the
+  // negotiation cost: the padded run takes exactly the extra compute time
+  // longer. The pre-fix code billed every idle wake-up, slowing the wake
+  // cadence to the negotiation time and stretching iterations.
+  mpi::CollectiveCostModel cost(net::Topology(4, 4, hw::FabricKind::InfiniBandEDR));
+  auto in = basic_input(&cost);
+  in.wakeup_cpu_s = 0.0;                   // no progress-thread tax: stretch == 1
+  in.negotiation_bytes_per_tensor = 1e8;   // ~1 GB negotiation >> 3.5 ms cycle
+  const auto base = simulate_training(in);
+  auto padded = in;
+  padded.fwd_time += 5.0;
+  const auto r = simulate_training(padded);
+  EXPECT_NEAR(r.total_time - base.total_time, 4 * 5.0, 0.05);
+  EXPECT_GT(r.stats.engine_wakeups, base.stats.engine_wakeups + 4000);  // idle cycles counted
+  EXPECT_EQ(r.stats.framework_requests, 40u);
+  EXPECT_DOUBLE_EQ(r.stats.bytes_reduced, 4 * 10 * 1e6);
+}
+
+TEST(Timeline, CounterParityWithRealEngine) {
+  // Same workload shape in the DES and the real engine: 10 gradients that
+  // all become ready at once, default 64 MiB fusion threshold, 3 iterations.
+  // Both must report one fused data allreduce per iteration and identical
+  // framework/byte totals. Wake-up counts differ by construction: the real
+  // engine is driven synchronously (synchronize() cycles it only while work
+  // is outstanding) while the simulated engine free-runs on the cycle timer
+  // and also counts idle coordination cycles.
+  constexpr int kSteps = 3;
+  constexpr int kTensors = 10;
+  constexpr std::size_t kElems = 1024;  // 4096 bytes each
+
+  mpi::CollectiveCostModel cost(net::Topology(2, 1, hw::FabricKind::InfiniBandEDR));
+  TimelineInput in;
+  in.fwd_time = 0.05;
+  in.bwd_time = 0.05;
+  in.iterations = kSteps;
+  in.cost = &cost;
+  for (int i = 0; i < kTensors; ++i)
+    in.grad_events.push_back({0.0, kElems * sizeof(float)});
+  const auto sim = simulate_training(in);
+
+  CommStats real;
+  mpi::World::run(2, [&](mpi::Comm& comm) {
+    RealEngine engine(comm, FusionPolicy{});
+    std::vector<std::vector<float>> grads(kTensors, std::vector<float>(kElems, 1.0f));
+    for (int t = 0; t < kTensors; ++t) engine.register_tensor("t" + std::to_string(t), kElems);
+    for (int step = 0; step < kSteps; ++step) {
+      for (int t = 0; t < kTensors; ++t)
+        engine.submit(t, std::span<float>(grads[static_cast<std::size_t>(t)]));
+      engine.synchronize();
+    }
+    if (comm.rank() == 0) real = engine.stats();
+  });
+
+  EXPECT_EQ(sim.stats.data_allreduces, real.data_allreduces);
+  EXPECT_EQ(sim.stats.framework_requests, real.framework_requests);
+  EXPECT_DOUBLE_EQ(sim.stats.bytes_reduced, real.bytes_reduced);
+  EXPECT_GE(sim.stats.engine_wakeups, real.engine_wakeups);
+  EXPECT_EQ(real.engine_wakeups, static_cast<std::uint64_t>(kSteps));
+  EXPECT_EQ(real.data_allreduces, static_cast<std::uint64_t>(kSteps));
 }
 
 TEST(FusionPolicy, Validation) {

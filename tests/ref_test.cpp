@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <functional>
+#include <mutex>
 
 #include "ref/kernels.hpp"
 #include "ref/network.hpp"
@@ -75,6 +76,39 @@ TEST(ThreadPool, ExceptionsPropagate) {
   std::atomic<int> count{0};
   pool.parallel_for(5, [&](std::size_t b, std::size_t e) { count += static_cast<int>(e - b); });
   EXPECT_EQ(count.load(), 5);
+}
+
+TEST(ThreadPool, ReentrantParallelForRunsSerially) {
+  // A body dispatching parallel_for on its own pool (e.g. a traced kernel
+  // calling another parallel kernel) must not touch the shared dispatch
+  // state mid-flight; the nested call runs serially in the calling worker.
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(64, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      std::size_t inner_calls = 0;
+      pool.parallel_for(32, [&](std::size_t ib, std::size_t ie) {
+        ++inner_calls;
+        total += ie - ib;
+      });
+      // Serial execution: the nested call sees the whole range at once.
+      EXPECT_EQ(inner_calls, 1u);
+    }
+  });
+  EXPECT_EQ(total.load(), 64u * 32u);
+
+  // A *different* pool inside the body is legitimate nesting and stays
+  // parallel (each pool still takes one dispatcher at a time, hence the lock).
+  ThreadPool inner_pool(2);
+  std::mutex dispatch_mutex;
+  std::atomic<std::size_t> cross{0};
+  pool.parallel_for(8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      std::lock_guard<std::mutex> lock(dispatch_mutex);
+      inner_pool.parallel_for(16, [&](std::size_t ib, std::size_t ie) { cross += ie - ib; });
+    }
+  });
+  EXPECT_EQ(cross.load(), 8u * 16u);
 }
 
 TEST(ThreadPool, SingleThreadRunsInline) {

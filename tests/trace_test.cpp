@@ -1,0 +1,515 @@
+// Tests for the Chrome trace-event tracing layer (util/trace) and its
+// integration points: thread-pool chunk spans, the real trainer/engine
+// timeline, and the DES virtual-time timeline.
+//
+// The emitted document is validated with a minimal JSON parser kept local to
+// this file (the repo deliberately has no JSON dependency): just enough of
+// RFC 8259 for the subset write_json() produces.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hvd/timeline.hpp"
+#include "ref/threadpool.hpp"
+#include "train/real_trainer.hpp"
+#include "util/trace.hpp"
+
+namespace dnnperf {
+namespace {
+
+namespace trace = util::trace;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (objects, arrays, strings, numbers, true/false/null)
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  bool has(const std::string& key) const { return object.contains(key); }
+  const Json& at(const std::string& key) const {
+    auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing characters at " + std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c)
+      throw std::runtime_error(std::string("expected '") + c + "' at " + std::to_string(pos_));
+    ++pos_;
+  }
+
+  Json value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        Json v;
+        v.kind = Json::Kind::String;
+        v.string = string();
+        return v;
+      }
+      case 't': literal("true"); return make_bool(true);
+      case 'f': literal("false"); return make_bool(false);
+      case 'n': literal("null"); return Json{};
+      default: return number();
+    }
+  }
+
+  static Json make_bool(bool b) {
+    Json v;
+    v.kind = Json::Kind::Bool;
+    v.boolean = b;
+    return v;
+  }
+
+  void literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) expect(*p);
+  }
+
+  Json object() {
+    Json v;
+    v.kind = Json::Kind::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json array() {
+    Json v;
+    v.kind = Json::Kind::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c == '\\') {
+        char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u escape");
+            out += static_cast<char>(std::stoi(s_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: throw std::runtime_error("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) throw std::runtime_error("bad number at " + std::to_string(start));
+    Json v;
+    v.kind = Json::Kind::Number;
+    v.number = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Helpers over a parsed trace document
+// ---------------------------------------------------------------------------
+
+/// Serializes the current trace buffers and parses them back.
+Json dump_and_parse() {
+  std::ostringstream os;
+  trace::write_json(os);
+  return JsonParser(os.str()).parse();
+}
+
+const std::vector<Json>& events_of(const Json& doc) { return doc.at("traceEvents").array; }
+
+/// Every non-metadata event must carry the viewer's required fields.
+void check_required_fields(const Json& doc) {
+  for (const Json& e : events_of(doc)) {
+    ASSERT_EQ(e.kind, Json::Kind::Object);
+    ASSERT_TRUE(e.has("name"));
+    ASSERT_TRUE(e.has("ph"));
+    ASSERT_TRUE(e.has("pid"));
+    ASSERT_TRUE(e.has("tid"));
+    ASSERT_TRUE(e.has("ts"));
+    if (e.at("ph").string == "X") ASSERT_TRUE(e.has("dur"));
+  }
+}
+
+struct Interval {
+  std::string name;
+  double start;
+  double end;
+};
+
+/// Complete ('X') events grouped per (pid, tid) track.
+std::map<std::pair<int, int>, std::vector<Interval>> spans_by_track(const Json& doc) {
+  std::map<std::pair<int, int>, std::vector<Interval>> tracks;
+  for (const Json& e : events_of(doc)) {
+    if (e.at("ph").string != "X") continue;
+    const auto key = std::make_pair(static_cast<int>(e.at("pid").number),
+                                    static_cast<int>(e.at("tid").number));
+    const double ts = e.at("ts").number;
+    tracks[key].push_back({e.at("name").string, ts, ts + e.at("dur").number});
+  }
+  return tracks;
+}
+
+/// Spans on one thread's track come from nested RAII scopes, so any two must
+/// be disjoint or properly nested — partial overlap means a broken timeline.
+/// Strict inequalities tolerate ties from microsecond rounding.
+void check_nesting(const Json& doc) {
+  for (const auto& [track, spans] : spans_by_track(doc)) {
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      for (std::size_t j = i + 1; j < spans.size(); ++j) {
+        const Interval& a = spans[i];
+        const Interval& b = spans[j];
+        const bool partial_overlap =
+            (a.start < b.start && b.start < a.end && a.end < b.end) ||
+            (b.start < a.start && a.start < b.end && b.end < a.end);
+        EXPECT_FALSE(partial_overlap)
+            << a.name << " [" << a.start << "," << a.end << ") and " << b.name << " ["
+            << b.start << "," << b.end << ") partially overlap on pid/tid " << track.first
+            << "/" << track.second;
+      }
+    }
+  }
+}
+
+int count_spans(const Json& doc, const std::string& name) {
+  int n = 0;
+  for (const Json& e : events_of(doc))
+    if (e.at("ph").string == "X" && e.at("name").string == name) ++n;
+  return n;
+}
+
+/// Test fixture: every test starts from a clean, disabled trace state.
+class Trace : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::set_enabled(false);
+    trace::reset();
+  }
+  void TearDown() override {
+    trace::set_enabled(false);
+    trace::reset();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Core layer
+// ---------------------------------------------------------------------------
+
+TEST_F(Trace, DisabledRecordsNothing) {
+  ASSERT_FALSE(trace::enabled());
+  {
+    DNNPERF_TRACE_SPAN("test", "outer");
+    DNNPERF_TRACE_SPAN_VAR(span, "test", "inner");
+    EXPECT_FALSE(span.active());
+    trace::emit_instant("nope", "test");
+    trace::emit_counter("nope", 1.0);
+    trace::emit_virtual_complete("nope", "test", trace::kSimulatedPid, 1, 0.0, 1.0);
+  }
+  EXPECT_EQ(trace::event_count(), 0u);
+  const Json doc = dump_and_parse();
+  EXPECT_TRUE(events_of(doc).empty());
+}
+
+TEST_F(Trace, SpansNestAndSerialize) {
+  trace::set_enabled(true);
+  {
+    DNNPERF_TRACE_SPAN("test", "outer");
+    { DNNPERF_TRACE_SPAN("test", "inner_a"); }
+    { DNNPERF_TRACE_SPAN("test", "inner_b"); }
+  }
+  trace::set_enabled(false);
+
+  const Json doc = dump_and_parse();
+  ASSERT_EQ(events_of(doc).size(), 3u);
+  check_required_fields(doc);
+  check_nesting(doc);
+  EXPECT_EQ(count_spans(doc, "outer"), 1);
+  EXPECT_EQ(count_spans(doc, "inner_a"), 1);
+  EXPECT_EQ(count_spans(doc, "inner_b"), 1);
+  for (const Json& e : events_of(doc)) {
+    EXPECT_EQ(static_cast<int>(e.at("pid").number), trace::kRealPid);
+    EXPECT_EQ(e.at("cat").string, "test");
+  }
+}
+
+TEST_F(Trace, ArgsCountersAndEscaping) {
+  trace::set_enabled(true);
+  {
+    DNNPERF_TRACE_SPAN_VAR(span, "test", "work");
+    ASSERT_TRUE(span.active());
+    span.set_args(std::move(trace::Args().add("m", 64).add("path", "packed")).str());
+    span.set_flops(1.0e9);
+  }
+  trace::emit_counter("queue_depth", 7.0);
+  trace::emit_instant("note", "test",
+                      std::move(trace::Args().add("text", "quote\" and \\slash\n")).str());
+  trace::set_enabled(false);
+
+  const Json doc = dump_and_parse();
+  check_required_fields(doc);
+  bool saw_span = false, saw_counter = false, saw_instant = false;
+  for (const Json& e : events_of(doc)) {
+    if (e.at("name").string == "work") {
+      saw_span = true;
+      const Json& args = e.at("args");
+      EXPECT_EQ(args.at("m").number, 64.0);
+      EXPECT_EQ(args.at("path").string, "packed");
+      EXPECT_TRUE(args.has("gflops"));  // derived by the Span destructor
+    } else if (e.at("name").string == "queue_depth") {
+      saw_counter = true;
+      EXPECT_EQ(e.at("ph").string, "C");
+      EXPECT_EQ(e.at("args").at("value").number, 7.0);
+    } else if (e.at("name").string == "note") {
+      saw_instant = true;
+      EXPECT_EQ(e.at("ph").string, "i");
+      EXPECT_EQ(e.at("args").at("text").string, "quote\" and \\slash\n");
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_instant);
+}
+
+TEST_F(Trace, VirtualEventsCarryPidAndVirtualTime) {
+  trace::set_enabled(true);
+  trace::set_virtual_track_name(trace::kSimulatedPid, 3, "sim proc", "sim track");
+  trace::emit_virtual_complete("phase", "sim", trace::kSimulatedPid, 3, 0.5, 0.25);
+  trace::emit_virtual_counter("depth", trace::kSimulatedPid, 1.0, 4.0);
+  trace::set_enabled(false);
+
+  const Json doc = dump_and_parse();
+  check_required_fields(doc);
+  bool saw_phase = false, saw_meta = false;
+  for (const Json& e : events_of(doc)) {
+    if (e.at("name").string == "phase") {
+      saw_phase = true;
+      EXPECT_EQ(static_cast<int>(e.at("pid").number), trace::kSimulatedPid);
+      EXPECT_EQ(static_cast<int>(e.at("tid").number), 3);
+      EXPECT_EQ(e.at("ts").number, 500000.0);   // 0.5 s in microseconds
+      EXPECT_EQ(e.at("dur").number, 250000.0);  // 0.25 s
+    } else if (e.at("name").string == "thread_name") {
+      saw_meta = true;
+      EXPECT_EQ(e.at("args").at("name").string, "sim track");
+    }
+  }
+  EXPECT_TRUE(saw_phase);
+  EXPECT_TRUE(saw_meta);
+}
+
+TEST_F(Trace, ResetDropsEverything) {
+  trace::set_enabled(true);
+  { DNNPERF_TRACE_SPAN("test", "before_reset"); }
+  EXPECT_EQ(trace::event_count(), 1u);
+  trace::reset();
+  EXPECT_EQ(trace::event_count(), 0u);
+  { DNNPERF_TRACE_SPAN("test", "after_reset"); }
+  trace::set_enabled(false);
+  const Json doc = dump_and_parse();
+  EXPECT_EQ(count_spans(doc, "before_reset"), 0);
+  EXPECT_EQ(count_spans(doc, "after_reset"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Integration: thread pool, real training, DES timeline
+// ---------------------------------------------------------------------------
+
+TEST_F(Trace, ThreadPoolChunksCoverRange) {
+  trace::set_enabled(true);
+  {
+    ref::ThreadPool pool(4);
+    std::atomic<int> sink{0};
+    pool.parallel_for(257, [&](std::size_t b, std::size_t e) {
+      sink += static_cast<int>(e - b);
+    });
+    ASSERT_EQ(sink.load(), 257);
+  }
+  trace::set_enabled(false);
+
+  const Json doc = dump_and_parse();
+  check_required_fields(doc);
+  double covered = 0.0;
+  for (const Json& e : events_of(doc)) {
+    if (e.at("ph").string != "X" || e.at("name").string != "chunk") continue;
+    covered += e.at("args").at("end").number - e.at("args").at("begin").number;
+  }
+  EXPECT_EQ(covered, 257.0);
+}
+
+TEST_F(Trace, RealTrainingEmitsEngineAndPhaseSpans) {
+  // The acceptance scenario: a 2-rank training run with tracing on yields a
+  // valid document with per-rank engine spans and per-step phase spans.
+  trace::set_enabled(true);
+  train::RealTrainConfig cfg;
+  cfg.ranks = 2;
+  cfg.batch_per_rank = 2;
+  cfg.steps = 2;
+  const auto result = train::run_real_training(cfg);
+  trace::set_enabled(false);
+
+  ASSERT_EQ(result.losses.size(), 2u);
+  EXPECT_EQ(result.phases.forward.count(), 2u);
+  EXPECT_EQ(result.phases.backward.count(), 2u);
+  EXPECT_EQ(result.phases.exchange.count(), 2u);
+  EXPECT_EQ(result.phases.optimizer.count(), 2u);
+
+  const Json doc = dump_and_parse();
+  check_required_fields(doc);
+  check_nesting(doc);
+
+  // Engine spans must appear on (at least) two distinct rank tracks.
+  std::map<int, int> negotiate_by_tid;
+  std::map<int, int> data_ar_by_tid;
+  std::vector<std::string> rank_names;
+  for (const Json& e : events_of(doc)) {
+    if (e.at("ph").string == "X" && e.at("name").string == "negotiate")
+      ++negotiate_by_tid[static_cast<int>(e.at("tid").number)];
+    if (e.at("ph").string == "X" && e.at("name").string == "allreduce.data")
+      ++data_ar_by_tid[static_cast<int>(e.at("tid").number)];
+    if (e.at("ph").string == "M" && e.at("name").string == "thread_name" &&
+        e.at("args").at("name").string.starts_with("rank "))
+      rank_names.push_back(e.at("args").at("name").string);
+  }
+  EXPECT_GE(negotiate_by_tid.size(), 2u);
+  EXPECT_GE(data_ar_by_tid.size(), 2u);
+  EXPECT_EQ(rank_names.size(), 2u);
+
+  // One phase span per step per rank.
+  EXPECT_EQ(count_spans(doc, "step"), 4);
+  EXPECT_EQ(count_spans(doc, "forward"), 4);
+  EXPECT_EQ(count_spans(doc, "backward"), 4);
+  EXPECT_EQ(count_spans(doc, "exchange"), 4);
+  EXPECT_EQ(count_spans(doc, "optimizer"), 4);
+}
+
+TEST_F(Trace, SimulatedTimelineEmitsVirtualSpans) {
+  trace::set_enabled(true);
+  mpi::CollectiveCostModel cost(net::Topology(4, 4, hw::FabricKind::InfiniBandEDR));
+  hvd::TimelineInput in;
+  in.fwd_time = 0.1;
+  in.bwd_time = 0.2;
+  in.optimizer_time = 0.01;
+  in.iterations = 2;
+  in.cost = &cost;
+  for (int i = 0; i < 5; ++i) in.grad_events.push_back({0.02 * (i + 1), 1e6});
+  const auto result = hvd::simulate_training(in);
+  trace::set_enabled(false);
+
+  ASSERT_GT(result.total_time, 0.0);
+  const Json doc = dump_and_parse();
+  check_required_fields(doc);
+  check_nesting(doc);
+
+  int virtual_spans = 0;
+  for (const Json& e : events_of(doc)) {
+    if (e.at("ph").string != "X") continue;
+    EXPECT_EQ(static_cast<int>(e.at("pid").number), trace::kSimulatedPid);
+    ++virtual_spans;
+    // Virtual timestamps are simulated seconds in µs: the whole run fits in
+    // [0, total_time].
+    EXPECT_LE(e.at("ts").number + e.at("dur").number, result.total_time * 1e6 + 1.0);
+  }
+  EXPECT_GT(virtual_spans, 0);
+  EXPECT_EQ(count_spans(doc, "forward"), 2);
+  EXPECT_EQ(count_spans(doc, "backward"), 2);
+  EXPECT_EQ(count_spans(doc, "optimizer"), 2);
+  EXPECT_GE(count_spans(doc, "negotiate"), 1);
+  EXPECT_GE(count_spans(doc, "allreduce.data"), 1);
+}
+
+}  // namespace
+}  // namespace dnnperf

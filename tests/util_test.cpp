@@ -84,6 +84,20 @@ TEST(RunStats, KnownValues) {
   EXPECT_EQ(s.max(), 9.0);
 }
 
+TEST(RunStats, CoeffOfVariationNonNegativeForNegativeMean) {
+  // CV is a dispersion measure: stddev / |mean| must stay non-negative when
+  // the series mean is negative (e.g. a loss delta or drift measurement).
+  RunStats neg;
+  for (double x : {-2.0, -4.0, -4.0, -4.0, -5.0, -5.0, -7.0, -9.0}) neg.add(x);
+  RunStats pos;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) pos.add(x);
+  EXPECT_GT(neg.coeff_of_variation(), 0.0);
+  EXPECT_DOUBLE_EQ(neg.coeff_of_variation(), pos.coeff_of_variation());
+  RunStats zero;
+  zero.add(0.0);
+  EXPECT_EQ(zero.coeff_of_variation(), 0.0);
+}
+
 TEST(Stats, MedianOddEven) {
   EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
   EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
