@@ -1,17 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: build and test the default preset, then the sanitizer
-# presets (ASan+UBSan, TSan). The sanitizer test runs use the preset filters
-# in CMakePresets.json — deterministic unit/integration suites, not the
-# timing-sensitive benches. Run from the repo root:
+# presets (ASan+UBSan, TSan, standalone UBSan with no recovery). The ASan and
+# TSan runs use the preset filters in CMakePresets.json — deterministic
+# unit/integration suites, not the timing-sensitive benches; the ubsan leg
+# runs the full suite and aborts on the first finding. Run from the repo root:
 #
-#   ci/check.sh            # all three presets
+#   ci/check.sh            # all four presets
 #   ci/check.sh default    # just one
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(default asan tsan)
+  presets=(default asan tsan ubsan)
 fi
 
 for preset in "${presets[@]}"; do

@@ -1,0 +1,85 @@
+#include "analysis/analyze.hpp"
+
+#include <string>
+
+#include "analysis/graph_passes.hpp"
+#include "analysis/hw_passes.hpp"
+#include "analysis/net_passes.hpp"
+#include "analysis/policy_passes.hpp"
+#include "net/link.hpp"
+
+namespace dnnperf::analysis {
+
+util::Diagnostics lint_graph(const dnn::Graph& graph) {
+  util::Diagnostics diags;
+  run_graph_passes(graph, diags);
+  return diags;
+}
+
+util::Diagnostics lint_cpu(const hw::CpuModel& cpu) {
+  util::Diagnostics diags;
+  run_cpu_passes(cpu, diags);
+  return diags;
+}
+
+util::Diagnostics lint_cluster(const hw::ClusterModel& cluster) {
+  util::Diagnostics diags;
+  run_cluster_passes(cluster, diags);
+  return diags;
+}
+
+util::Diagnostics lint_topology(const net::Topology& topo, const std::string& object) {
+  util::Diagnostics diags;
+  run_topology_passes(topo, object, diags);
+  return diags;
+}
+
+util::Diagnostics lint_policy(const hvd::FusionPolicy& policy, const dnn::Graph* graph,
+                              const net::LinkParams* inter_node, const std::string& object) {
+  util::Diagnostics diags;
+  run_policy_passes(policy, graph, inter_node, object, diags);
+  return diags;
+}
+
+std::string config_label(const train::TrainConfig& cfg) {
+  std::string label = dnn::to_string(cfg.model);
+  label += "@";
+  label += cfg.cluster.name.empty() ? "cluster" : cfg.cluster.name;
+  label += " n" + std::to_string(cfg.nodes) + "xppn" + std::to_string(cfg.ppn);
+  label += " (";
+  label += exec::to_string(cfg.framework);
+  if (cfg.device == train::DeviceKind::Gpu) label += "/GPU";
+  label += ")";
+  return label;
+}
+
+util::Diagnostics lint_config(const train::TrainConfig& cfg) {
+  util::Diagnostics diags;
+  const std::string object = config_label(cfg);
+
+  run_cluster_passes(cfg.cluster, diags);
+  const bool platform_ok = !diags.has_errors();
+
+  const dnn::Graph graph = dnn::build_model(cfg.model);
+  run_graph_passes(graph, diags);
+
+  // Schedule passes need a sane platform to reason about cores and memory.
+  if (platform_ok) run_schedule_passes(cfg, object, diags);
+
+  const bool multi_rank = cfg.nodes > 0 && cfg.ppn > 0 && cfg.nodes * cfg.ppn > 1;
+  if (multi_rank && cfg.use_horovod && platform_ok) {
+    const net::Topology topo =
+        cfg.device == train::DeviceKind::Gpu
+            ? net::Topology(cfg.nodes, cfg.ppn, cfg.cluster.fabric, net::pcie3_x16_params())
+            : net::Topology(cfg.nodes, cfg.ppn, cfg.cluster.fabric);
+    run_topology_passes(topo, object, diags);
+    run_policy_passes(cfg.policy, &graph, &topo.inter_node(), object, diags);
+  } else {
+    // Single-process runs never touch the engine; only flag a policy whose
+    // values are nonsense outright (H001/H002), not fusion-tuning advice.
+    run_policy_passes(cfg.policy, nullptr, nullptr, object, diags);
+  }
+  return diags;
+}
+
+}  // namespace dnnperf::analysis

@@ -1,0 +1,37 @@
+// Entry points of the static-analysis subsystem.
+//
+// Each lint_* runs one pass family over one object; lint_config composes all
+// of them for a full train::TrainConfig — the model graph, the platform, the
+// derived rank topology, the Horovod policy, and the schedule — and is what
+// core::Experiment and tools/dnnperf_lint call. All entry points collect
+// diagnostics instead of throwing, so one run reports every problem.
+#pragma once
+
+#include <string>
+
+#include "dnn/graph.hpp"
+#include "hvd/policy.hpp"
+#include "hw/node.hpp"
+#include "net/topology.hpp"
+#include "train/trainer.hpp"
+#include "util/diag.hpp"
+
+namespace dnnperf::analysis {
+
+util::Diagnostics lint_graph(const dnn::Graph& graph);
+util::Diagnostics lint_cpu(const hw::CpuModel& cpu);
+util::Diagnostics lint_cluster(const hw::ClusterModel& cluster);
+util::Diagnostics lint_topology(const net::Topology& topo, const std::string& object);
+util::Diagnostics lint_policy(const hvd::FusionPolicy& policy, const dnn::Graph* graph,
+                              const net::LinkParams* inter_node, const std::string& object);
+
+/// Full composite lint of a training configuration. Families whose
+/// prerequisites already failed (e.g. a broken platform) are skipped rather
+/// than reported redundantly.
+util::Diagnostics lint_config(const train::TrainConfig& config);
+
+/// Human label for a config, used as the diagnostic object name:
+/// "ResNet-50@Stampede2 n8xppn4 (TensorFlow)".
+std::string config_label(const train::TrainConfig& config);
+
+}  // namespace dnnperf::analysis

@@ -1,0 +1,253 @@
+#include "analysis/graph_passes.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dnnperf::analysis {
+
+namespace {
+
+using dnn::Graph;
+using dnn::Op;
+using dnn::OpKind;
+using dnn::Shape;
+
+bool same_shape(const Shape& a, const Shape& b) {
+  return a.c == b.c && a.h == b.h && a.w == b.w;
+}
+
+std::string shape_str(const Shape& s) {
+  return std::to_string(s.c) + "x" + std::to_string(s.h) + "x" + std::to_string(s.w);
+}
+
+bool kind_carries_params(OpKind kind) {
+  switch (kind) {
+    case OpKind::Conv2d:
+    case OpKind::MatMul:
+    case OpKind::BatchNorm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// G002: dataflow structure. Returns false when the graph is too malformed
+/// for the per-op shape checks to make sense (bad input ids).
+bool check_dataflow(const Graph& g, util::Diagnostics& diags) {
+  const std::string& obj = g.name();
+  if (g.size() == 0) {
+    diags.error("G002", obj, "", "graph has no ops", "build the model before linting");
+    return false;
+  }
+  if (g.ops().front().kind != OpKind::Input)
+    diags.error("G002", obj, g.ops().front().name, "first op is not an Input",
+                "graphs must start with the image input");
+  bool ids_ok = true;
+  for (const Op& op : g.ops()) {
+    if (op.kind == OpKind::Input && !op.inputs.empty())
+      diags.error("G002", obj, op.name, "Input op has producers");
+    if (op.kind != OpKind::Input && op.inputs.empty())
+      diags.error("G002", obj, op.name, "non-Input op has no inputs",
+                  "every layer must consume at least one producer");
+    for (int in : op.inputs) {
+      if (in < 0 || in >= op.id) {
+        diags.error("G002", obj, op.name,
+                    "input id " + std::to_string(in) + " out of range or not topological",
+                    "ops may only consume earlier ops");
+        ids_ok = false;
+      }
+    }
+  }
+  return ids_ok;
+}
+
+/// G001: per-kind shape inference re-check. Only what is derivable from the
+/// stored ops (kernel geometry is not retained, so conv/pool spatial dims are
+/// checked for positivity and channel rules only).
+void check_shapes(const Graph& g, util::Diagnostics& diags) {
+  const std::string& obj = g.name();
+  for (const Op& op : g.ops()) {
+    if (op.out.c <= 0 || op.out.h <= 0 || op.out.w <= 0) {
+      diags.error("G001", obj, op.name, "non-positive output shape " + shape_str(op.out));
+      continue;
+    }
+    if (op.inputs.empty()) continue;
+    const Shape& in0 = g.op(op.inputs.front()).out;
+    switch (op.kind) {
+      case OpKind::BatchNorm:
+      case OpKind::ReLU:
+      case OpKind::Softmax:
+      case OpKind::Dropout:
+        if (!same_shape(op.out, in0))
+          diags.error("G001", obj, op.name,
+                      "elementwise op output " + shape_str(op.out) +
+                          " differs from input " + shape_str(in0),
+                      "elementwise ops must preserve shape");
+        break;
+      case OpKind::Add: {
+        if (op.inputs.size() != 2)
+          diags.error("G001", obj, op.name,
+                      "Add has " + std::to_string(op.inputs.size()) + " inputs, expected 2");
+        for (int in : op.inputs) {
+          const Shape& s = g.op(in).out;
+          if (!same_shape(op.out, s))
+            diags.error("G001", obj, op.name,
+                        "Add output " + shape_str(op.out) + " differs from input " +
+                            shape_str(s),
+                        "residual adds require identical shapes");
+        }
+        break;
+      }
+      case OpKind::Concat: {
+        int channels = 0;
+        for (int in : op.inputs) {
+          const Shape& s = g.op(in).out;
+          channels += s.c;
+          if (s.h != op.out.h || s.w != op.out.w)
+            diags.error("G001", obj, op.name,
+                        "Concat input " + shape_str(s) + " spatial dims differ from output " +
+                            shape_str(op.out),
+                        "concat branches must agree spatially");
+        }
+        if (channels != op.out.c)
+          diags.error("G001", obj, op.name,
+                      "Concat output channels " + std::to_string(op.out.c) +
+                          " != sum of input channels " + std::to_string(channels));
+        break;
+      }
+      case OpKind::GlobalAvgPool:
+        if (op.out.c != in0.c || op.out.h != 1 || op.out.w != 1)
+          diags.error("G001", obj, op.name,
+                      "GlobalAvgPool output " + shape_str(op.out) + " should be " +
+                          std::to_string(in0.c) + "x1x1");
+        break;
+      case OpKind::MaxPool:
+      case OpKind::AvgPool:
+        if (op.out.c != in0.c)
+          diags.error("G001", obj, op.name,
+                      "pooling changed channel count " + std::to_string(in0.c) + " -> " +
+                          std::to_string(op.out.c));
+        break;
+      case OpKind::MatMul:
+        if (op.out.h != 1 || op.out.w != 1)
+          diags.error("G001", obj, op.name,
+                      "MatMul output " + shape_str(op.out) + " is not a feature vector");
+        break;
+      case OpKind::Conv2d:
+      case OpKind::Input:
+        break;  // geometry not reconstructible / no inputs to compare
+    }
+  }
+}
+
+/// G003 (dead ops) + G004 (unreachable ops).
+void check_liveness(const Graph& g, util::Diagnostics& diags) {
+  const std::string& obj = g.name();
+  const auto consumers = g.consumers();
+  const int last = g.size() - 1;
+  for (const Op& op : g.ops()) {
+    if (op.id != last && consumers[static_cast<std::size_t>(op.id)].empty())
+      diags.warn("G003", obj, op.name,
+                 std::string(dnn::to_string(op.kind)) + " output is never consumed",
+                 "remove the layer or connect it; dead layers still cost compute and "
+                 "gradient traffic");
+  }
+  // Reachability: an op is live if the graph input reaches it through the
+  // dataflow. Ops are topological, so one forward sweep suffices.
+  std::vector<char> reachable(static_cast<std::size_t>(g.size()), 0);
+  if (g.size() > 0 && g.ops().front().kind == OpKind::Input) reachable[0] = 1;
+  for (const Op& op : g.ops()) {
+    if (op.kind == OpKind::Input) continue;
+    for (int in : op.inputs)
+      if (in >= 0 && in < op.id && reachable[static_cast<std::size_t>(in)]) {
+        reachable[static_cast<std::size_t>(op.id)] = 1;
+        break;
+      }
+  }
+  for (const Op& op : g.ops())
+    if (!reachable[static_cast<std::size_t>(op.id)] && op.kind != OpKind::Input)
+      diags.error("G004", obj, op.name, "op is unreachable from the graph input",
+                  "it would never execute; timing it misstates the model");
+  for (const Op& op : g.ops())
+    if (op.kind == OpKind::Input && op.id != 0)
+      diags.warn("G003", obj, op.name, "secondary Input op", "models here are single-input");
+}
+
+/// G005: numeric sanity of the per-op accounting the cost model consumes.
+void check_accounting(const Graph& g, util::Diagnostics& diags) {
+  const std::string& obj = g.name();
+  for (const Op& op : g.ops()) {
+    const double fields[] = {op.fwd_flops, op.bwd_flops, op.params, op.output_bytes};
+    const char* names[] = {"fwd_flops", "bwd_flops", "params", "output_bytes"};
+    for (int i = 0; i < 4; ++i) {
+      if (!std::isfinite(fields[i]) || fields[i] < 0.0)
+        diags.error("G005", obj, op.name,
+                    std::string(names[i]) + " is negative or non-finite");
+    }
+    if (op.params > 0.0 && !kind_carries_params(op.kind))
+      diags.error("G005", obj, op.name,
+                  std::string(dnn::to_string(op.kind)) + " cannot carry parameters",
+                  "only Conv2d/MatMul/BatchNorm are trainable here");
+    const double expect_bytes = op.out.elements() * 4.0;
+    if (std::isfinite(op.output_bytes) &&
+        std::abs(op.output_bytes - expect_bytes) > 0.5)
+      diags.error("G005", obj, op.name,
+                  "output_bytes " + std::to_string(op.output_bytes) +
+                      " disagrees with fp32 shape bytes " + std::to_string(expect_bytes));
+  }
+}
+
+/// G006: the gradient tensors handed to Horovod must add up to the model's
+/// parameter bytes — a mismatch silently mis-sizes every fusion buffer.
+void check_gradient_tensors(const Graph& g, util::Diagnostics& diags) {
+  const std::string& obj = g.name();
+  const auto tensors = g.gradient_tensor_bytes();
+  double sum = 0.0;
+  std::size_t trainable = 0;
+  for (double b : tensors) {
+    sum += b;
+    if (!(b > 0.0) || !std::isfinite(b))
+      diags.error("G006", obj, "gradient_tensor_bytes", "non-positive gradient tensor size");
+  }
+  for (const Op& op : g.ops())
+    if (op.has_params()) ++trainable;
+  if (tensors.size() != trainable)
+    diags.error("G006", obj, "gradient_tensor_bytes",
+                std::to_string(tensors.size()) + " gradient tensors for " +
+                    std::to_string(trainable) + " trainable ops");
+  const double expect = g.total_params() * 4.0;
+  if (std::isfinite(expect) && std::abs(sum - expect) > 0.5 * static_cast<double>(trainable) + 0.5)
+    diags.error("G006", obj, "gradient_tensor_bytes",
+                "gradient tensor bytes " + std::to_string(sum) +
+                    " != 4 x total params " + std::to_string(expect),
+                "Horovod would fuse a different byte count than the optimizer updates");
+}
+
+/// G007: duplicate names make every per-layer report ambiguous.
+void check_names(const Graph& g, util::Diagnostics& diags) {
+  std::unordered_map<std::string, int> seen;
+  for (const Op& op : g.ops()) {
+    auto [it, inserted] = seen.emplace(op.name, op.id);
+    if (!inserted)
+      diags.warn("G007", g.name(), op.name,
+                 "duplicate op name (first used by op " + std::to_string(it->second) + ")",
+                 "profiles and traces key on names; make them unique");
+  }
+}
+
+}  // namespace
+
+void run_graph_passes(const dnn::Graph& graph, util::Diagnostics& diags) {
+  const bool ids_ok = check_dataflow(graph, diags);
+  if (!ids_ok) return;  // per-op lookups below would index out of range
+  check_shapes(graph, diags);
+  check_liveness(graph, diags);
+  check_accounting(graph, diags);
+  check_gradient_tensors(graph, diags);
+  check_names(graph, diags);
+}
+
+}  // namespace dnnperf::analysis

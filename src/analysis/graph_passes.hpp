@@ -1,0 +1,16 @@
+// Graph pass family (G-codes): semantic checks over a dnn::Graph that
+// Graph::validate() is too shallow to catch — per-kind shape inference
+// re-check, dead/unreachable op detection, FLOP/parameter sanity, and
+// gradient-tensor-list consistency (what Horovod is handed must add up to
+// the model's parameter bytes).
+#pragma once
+
+#include "dnn/graph.hpp"
+#include "util/diag.hpp"
+
+namespace dnnperf::analysis {
+
+/// Appends G-code findings for `graph` to `diags`. Never throws.
+void run_graph_passes(const dnn::Graph& graph, util::Diagnostics& diags);
+
+}  // namespace dnnperf::analysis

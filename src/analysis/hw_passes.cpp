@@ -1,0 +1,112 @@
+#include "analysis/hw_passes.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace dnnperf::analysis {
+
+namespace {
+
+std::string num(double v) {
+  std::string s = std::to_string(v);
+  return s;
+}
+
+bool positive_finite(double v) { return std::isfinite(v) && v > 0.0; }
+
+}  // namespace
+
+void run_cpu_passes(const hw::CpuModel& cpu, util::Diagnostics& diags) {
+  const std::string obj = cpu.label.empty() ? cpu.name : cpu.label;
+  bool counts_ok = true;
+  if (cpu.sockets <= 0) {
+    diags.error("P001", obj, "sockets", "non-positive socket count");
+    counts_ok = false;
+  }
+  if (cpu.cores_per_socket <= 0) {
+    diags.error("P001", obj, "cores_per_socket", "non-positive core count");
+    counts_ok = false;
+  }
+  if (cpu.numa_domains_per_socket <= 0) {
+    diags.error("P001", obj, "numa_domains_per_socket", "non-positive NUMA domain count");
+    counts_ok = false;
+  }
+  if (cpu.threads_per_core <= 0) {
+    diags.error("P001", obj, "threads_per_core", "non-positive hardware-thread count");
+    counts_ok = false;
+  }
+
+  if (counts_ok && cpu.cores_per_socket % cpu.numa_domains_per_socket != 0)
+    diags.error("P002", obj, "numa_domains_per_socket",
+                std::to_string(cpu.cores_per_socket) + " cores per socket do not divide into " +
+                    std::to_string(cpu.numa_domains_per_socket) + " NUMA domains",
+                "every domain must own an equal core share for block-wise pinning");
+
+  if (cpu.threads_per_core > 0 && cpu.threads_per_core != 1 && cpu.threads_per_core != 2 &&
+      cpu.threads_per_core != 4)
+    diags.error("P003", obj, "threads_per_core",
+                "SMT depth " + std::to_string(cpu.threads_per_core) +
+                    " is not a real configuration",
+                "x86 parts are SMT1/SMT2; POWER-style SMT4 is the ceiling modeled here");
+
+  if (!std::isfinite(cpu.smt_speedup_fraction) || cpu.smt_speedup_fraction < 0.0 ||
+      cpu.smt_speedup_fraction > 1.0)
+    diags.error("P004", obj, "smt_speedup_fraction", "fraction outside [0, 1]");
+  else if (cpu.threads_per_core == 1 && cpu.smt_speedup_fraction != 0.0)
+    diags.error("P004", obj, "smt_speedup_fraction",
+                "SMT speedup set but threads_per_core == 1",
+                "either model SMT or zero the fraction");
+
+  if (!positive_finite(cpu.clock_ghz))
+    diags.error("P001", obj, "clock_ghz", "non-positive clock");
+  else if (cpu.clock_ghz < 0.8 || cpu.clock_ghz > 5.0)
+    diags.warn("P005", obj, "clock_ghz",
+               "clock " + num(cpu.clock_ghz) + " GHz outside the sane range [0.8, 5.0]",
+               "check the units: the field is GHz, not MHz");
+
+  if (!positive_finite(cpu.mem_bw_per_socket_gbps))
+    diags.error("P001", obj, "mem_bw_per_socket_gbps", "non-positive memory bandwidth");
+  else if (cpu.mem_bw_per_socket_gbps < 10.0 || cpu.mem_bw_per_socket_gbps > 600.0)
+    diags.warn("P006", obj, "mem_bw_per_socket_gbps",
+               "per-socket bandwidth " + num(cpu.mem_bw_per_socket_gbps) +
+                   " GB/s outside the sane range [10, 600]",
+               "DDR4 sockets sustain ~60-150 GB/s; check the units (GB/s decimal)");
+
+  if (!positive_finite(cpu.flops_per_cycle_fp32))
+    diags.error("P001", obj, "flops_per_cycle_fp32", "non-positive SIMD throughput");
+  else if (cpu.flops_per_cycle_fp32 < 1.0 || cpu.flops_per_cycle_fp32 > 256.0)
+    diags.warn("P007", obj, "flops_per_cycle_fp32",
+               "fp32 FLOPs/cycle/core " + num(cpu.flops_per_cycle_fp32) +
+                   " outside the sane range [1, 256]",
+               "AVX2+FMA = 32, 2x AVX-512 FMA = 64; counting FMA as 2 FLOPs");
+}
+
+void run_gpu_passes(const hw::GpuModel& gpu, const std::string& object,
+                    util::Diagnostics& diags) {
+  const std::string obj = object.empty() ? gpu.name : object;
+  if (!positive_finite(gpu.peak_fp32_tflops))
+    diags.error("P009", obj, "peak_fp32_tflops", "non-positive peak throughput");
+  if (!positive_finite(gpu.mem_bw_gbps))
+    diags.error("P009", obj, "mem_bw_gbps", "non-positive memory bandwidth");
+  if (!std::isfinite(gpu.launch_overhead_s) || gpu.launch_overhead_s < 0.0)
+    diags.error("P009", obj, "launch_overhead_s", "negative launch overhead");
+  if (!std::isfinite(gpu.achievable_fraction) || gpu.achievable_fraction <= 0.0 ||
+      gpu.achievable_fraction > 1.0)
+    diags.error("P009", obj, "achievable_fraction", "fraction outside (0, 1]");
+  if (!positive_finite(gpu.memory_gib))
+    diags.error("P009", obj, "memory_gib", "non-positive device memory");
+  if (gpu.devices_per_node < 1)
+    diags.error("P009", obj, "devices_per_node", "fewer than one device per node");
+}
+
+void run_cluster_passes(const hw::ClusterModel& cluster, util::Diagnostics& diags) {
+  const std::string& obj = cluster.name;
+  run_cpu_passes(cluster.node.cpu, diags);
+  if (cluster.node.gpu) run_gpu_passes(*cluster.node.gpu, obj + "/gpu", diags);
+  if (cluster.max_nodes <= 0)
+    diags.error("P008", obj, "max_nodes", "cluster has no nodes");
+  if (!positive_finite(cluster.node.memory_gib))
+    diags.error("P008", obj, "node.memory_gib", "non-positive node memory");
+}
+
+}  // namespace dnnperf::analysis

@@ -1,0 +1,17 @@
+// Platform pass family (P-codes): invariants over hw::CpuModel, hw::GpuModel
+// and hw::ClusterModel. Unlike the models' own validate() methods these never
+// throw — every violation becomes a diagnostic, so one lint run reports all
+// problems of a hand-built platform at once.
+#pragma once
+
+#include "hw/node.hpp"
+#include "util/diag.hpp"
+
+namespace dnnperf::analysis {
+
+void run_cpu_passes(const hw::CpuModel& cpu, util::Diagnostics& diags);
+void run_gpu_passes(const hw::GpuModel& gpu, const std::string& object,
+                    util::Diagnostics& diags);
+void run_cluster_passes(const hw::ClusterModel& cluster, util::Diagnostics& diags);
+
+}  // namespace dnnperf::analysis

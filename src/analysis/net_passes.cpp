@@ -1,0 +1,94 @@
+#include "analysis/net_passes.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace dnnperf::analysis {
+
+namespace {
+
+// Full pairwise reachability is O(world^2); above this world size the
+// structural checks per rank plus one probe per link class cover the same
+// ground (the block mapping makes all same-node / cross-node pairs alike).
+constexpr int kPairwiseCap = 64;
+
+}  // namespace
+
+void run_link_passes(const net::LinkParams& link, const std::string& object,
+                     const std::string& field, util::Diagnostics& diags) {
+  if (!std::isfinite(link.latency_s) || link.latency_s < 0.0)
+    diags.error("N001", object, field + ".latency_s", "negative or non-finite latency");
+  if (!std::isfinite(link.bandwidth_gbps) || link.bandwidth_gbps <= 0.0)
+    diags.error("N001", object, field + ".bandwidth_gbps", "non-positive bandwidth");
+  if (!std::isfinite(link.per_msg_overhead_s) || link.per_msg_overhead_s < 0.0)
+    diags.error("N001", object, field + ".per_msg_overhead_s",
+                "negative or non-finite per-message overhead");
+  if (link.bandwidth_gbps > 0.0 &&
+      (link.bandwidth_gbps < 0.05 || link.bandwidth_gbps > 1000.0))
+    diags.warn("N005", object, field + ".bandwidth_gbps",
+               "bandwidth " + std::to_string(link.bandwidth_gbps) +
+                   " GB/s outside the sane range [0.05, 1000]",
+               "the field is GB/s decimal, not Gbit/s");
+  if (link.latency_s > 1e-3)
+    diags.warn("N005", object, field + ".latency_s",
+               "latency above 1 ms; that is WAN territory, not a cluster fabric");
+}
+
+void run_topology_passes(const net::Topology& topo, const std::string& object,
+                         util::Diagnostics& diags) {
+  run_link_passes(topo.intra_node(), object, "intra_node", diags);
+  run_link_passes(topo.inter_node(), object, "inter_node", diags);
+
+  const int world = topo.world_size();
+  // Structural mapping checks, O(world): every rank must land on a valid
+  // node with a valid local rank, and node-of/leader-of must agree.
+  for (int r = 0; r < world; ++r) {
+    const int node = topo.node_of(r);
+    const int local = topo.local_rank(r);
+    if (node < 0 || node >= topo.nodes() || local < 0 || local >= topo.ppn() ||
+        node * topo.ppn() + local != r) {
+      diags.error("N002", object, "rank " + std::to_string(r),
+                  "rank does not map to a consistent (node, local_rank) pair");
+      return;  // mapping is broken; pair probing below would mislead
+    }
+  }
+
+  // Reachability: a pair is reachable when its link yields a finite positive
+  // transfer time. Exhaustive below the cap, one probe per link class above.
+  auto probe = [&](int a, int b) {
+    const double t = topo.p2p_time(a, b, 1024.0);
+    if (!std::isfinite(t) || t <= 0.0)
+      diags.error("N002", object,
+                  "(" + std::to_string(a) + "," + std::to_string(b) + ")",
+                  "rank pair has no usable link (transfer time not finite-positive)");
+  };
+  if (world <= kPairwiseCap) {
+    for (int a = 0; a < world; ++a)
+      for (int b = a + 1; b < world; ++b) probe(a, b);
+  } else {
+    if (topo.ppn() > 1) probe(0, 1);
+    if (topo.nodes() > 1) probe(0, topo.ppn());
+  }
+
+  // Hierarchy monotonicity. Latency must not invert: a shared-memory hop
+  // slower than the fabric means hierarchical (leader-based) collectives
+  // would be mis-ordered. Bandwidth inversion is legitimate (CMA copy rate
+  // vs IB EDR), so it is only advice.
+  if (topo.nodes() > 1) {
+    const auto& intra = topo.intra_node();
+    const auto& inter = topo.inter_node();
+    if (intra.latency_s > inter.latency_s)
+      diags.warn("N003", object, "intra_node.latency_s",
+                 "intra-node latency " + std::to_string(intra.latency_s) +
+                     " s exceeds inter-node latency " + std::to_string(inter.latency_s) +
+                     " s",
+                 "shared memory should be the fast hierarchy level");
+    if (topo.ppn() > 1 && intra.bandwidth_gbps < inter.bandwidth_gbps)
+      diags.advice("N004", object, "intra_node.bandwidth_gbps",
+                   "intra-node bandwidth below the fabric's; node-leader staging may "
+                   "bottleneck hierarchical allreduce",
+                   "consider larger fusion buffers to amortize the staging copies");
+  }
+}
+
+}  // namespace dnnperf::analysis

@@ -1,0 +1,21 @@
+// Network pass family (N-codes): connectivity and hierarchy invariants over
+// a net::Topology — every rank pair must resolve to a usable link, the
+// rank -> node mapping must be self-consistent, and the two hierarchy levels
+// (shared memory, fabric) should be latency-monotone.
+#pragma once
+
+#include <string>
+
+#include "net/topology.hpp"
+#include "util/diag.hpp"
+
+namespace dnnperf::analysis {
+
+void run_topology_passes(const net::Topology& topo, const std::string& object,
+                         util::Diagnostics& diags);
+
+/// Lints one link's parameters under `object:field`.
+void run_link_passes(const net::LinkParams& link, const std::string& object,
+                     const std::string& field, util::Diagnostics& diags);
+
+}  // namespace dnnperf::analysis

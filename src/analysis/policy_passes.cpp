@@ -1,0 +1,206 @@
+#include "analysis/policy_passes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "dnn/report.hpp"
+#include "util/units.hpp"
+
+namespace dnnperf::analysis {
+
+namespace {
+
+std::string mib(double bytes) {
+  return std::to_string(bytes / (1024.0 * 1024.0)) + " MiB";
+}
+
+}  // namespace
+
+void run_policy_passes(const hvd::FusionPolicy& policy, const dnn::Graph* graph,
+                       const net::LinkParams* inter_node, const std::string& object,
+                       util::Diagnostics& diags) {
+  bool cycle_ok = true;
+  if (!std::isfinite(policy.cycle_time_s) || policy.cycle_time_s <= 0.0) {
+    diags.error("H001", object, "cycle_time_s", "cycle time must be positive and finite",
+                "Horovod's default is 3.5 ms");
+    cycle_ok = false;
+  }
+  bool threshold_ok = true;
+  if (!std::isfinite(policy.fusion_threshold_bytes) || policy.fusion_threshold_bytes <= 0.0) {
+    diags.error("H002", object, "fusion_threshold_bytes",
+                "fusion threshold must be positive and finite",
+                "Horovod's default is 64 MiB");
+    threshold_ok = false;
+  }
+
+  if (cycle_ok && inter_node != nullptr) {
+    // A negotiation round is at least one fabric round trip; waking the
+    // engine faster than that burns CPU without advancing fusion. The other
+    // direction: past ~100 ms, ready gradients sit a full backward pass.
+    const double rtt = 2.0 * (inter_node->latency_s + inter_node->per_msg_overhead_s);
+    if (policy.cycle_time_s < 10.0 * rtt)
+      diags.advice("H003", object, "cycle_time_s",
+                   "cycle time " + std::to_string(policy.cycle_time_s * 1e6) +
+                       " us is under 10x the fabric round trip; wake-ups outpace "
+                       "negotiation",
+                   "raise HOROVOD_CYCLE_TIME toward the paper's 1-5 ms band");
+    else if (policy.cycle_time_s > 0.1)
+      diags.advice("H003", object, "cycle_time_s",
+                   "cycle time above 100 ms; gradients stall waiting for the engine",
+                   "lower HOROVOD_CYCLE_TIME toward the paper's 1-5 ms band");
+  }
+
+  if (threshold_ok && graph != nullptr) {
+    const auto tensors = graph->gradient_tensor_bytes();
+    double largest = 0.0;
+    double total = 0.0;
+    for (double b : tensors) {
+      largest = std::max(largest, b);
+      total += b;
+    }
+    if (largest > policy.fusion_threshold_bytes)
+      diags.warn("H004", object, "fusion_threshold_bytes",
+                 "largest gradient tensor (" + mib(largest) + ") exceeds the fusion "
+                     "threshold (" + mib(policy.fusion_threshold_bytes) +
+                     "); it is always sent unfused",
+                 "raise HOROVOD_FUSION_THRESHOLD above the largest tensor to let it "
+                 "pack with neighbors");
+    if (total > 0.0 && policy.fusion_threshold_bytes > 4.0 * total)
+      diags.advice("H005", object, "fusion_threshold_bytes",
+                   "fusion threshold (" + mib(policy.fusion_threshold_bytes) +
+                       ") is over 4x the model's total gradients (" + mib(total) + ")",
+                   "likely a bytes-vs-MiB unit error; fusion tuning has no effect here");
+  }
+}
+
+void run_schedule_passes(const train::TrainConfig& cfg, const std::string& object,
+                         util::Diagnostics& diags) {
+  const auto& cpu = cfg.cluster.node.cpu;
+
+  bool sizes_ok = true;
+  if (cfg.nodes <= 0) {
+    diags.error("S001", object, "nodes", "non-positive node count");
+    sizes_ok = false;
+  }
+  if (cfg.ppn <= 0) {
+    diags.error("S001", object, "ppn", "non-positive processes per node");
+    sizes_ok = false;
+  }
+  if (cfg.batch_per_rank <= 0) {
+    diags.error("S001", object, "batch_per_rank", "non-positive batch size");
+    sizes_ok = false;
+  }
+  if (!sizes_ok) return;
+
+  if (cfg.nodes > cfg.cluster.max_nodes)
+    diags.error("S002", object, "nodes",
+                std::to_string(cfg.nodes) + " nodes requested on a " +
+                    std::to_string(cfg.cluster.max_nodes) + "-node cluster");
+
+  const int world = cfg.nodes * cfg.ppn;
+  if (world > 1 && !cfg.use_horovod)
+    diags.error("S006", object, "use_horovod",
+                "multi-rank run without Horovod; ranks would never synchronize",
+                "enable use_horovod or set nodes = ppn = 1");
+
+  if (cfg.device == train::DeviceKind::Gpu) {
+    if (!cfg.cluster.node.has_gpu()) {
+      diags.error("S007", object, "device", "GPU run on a CPU-only cluster");
+    } else if (cfg.ppn > cfg.cluster.node.gpu->devices_per_node) {
+      diags.error("S007", object, "ppn",
+                  std::to_string(cfg.ppn) + " ranks per node but only " +
+                      std::to_string(cfg.cluster.node.gpu->devices_per_node) +
+                      " GPUs per node");
+    }
+  } else {
+    // CPU thread placement: the paper's core rules (Section V / IX).
+    const int cores = cpu.total_cores();
+    const int hw_threads = cpu.total_hw_threads();
+    if (cores <= 0) return;  // P-codes already flagged the platform
+    if (cfg.ppn > cores)
+      diags.error("S003", object, "ppn",
+                  std::to_string(cfg.ppn) + " ranks per node exceed " +
+                      std::to_string(cores) + " physical cores",
+                  "even PyTorch's one-core-per-rank best case tops out at ppn = cores");
+
+    const auto threads = train::resolve_thread_config(cfg);
+    const int demand = cfg.ppn * threads.intra;
+    if (demand > hw_threads)
+      diags.error("S004", object, "intra_threads",
+                  "ppn x intra-op = " + std::to_string(demand) + " threads exceed " +
+                      std::to_string(hw_threads) + " hardware threads",
+                  "oversubscribed cores thrash; cap intra-op at cores/ppn");
+    else if (demand > cores) {
+      if (cpu.threads_per_core > 1)
+        diags.advice("S005", object, "intra_threads",
+                     "ppn x intra-op = " + std::to_string(demand) + " threads exceed " +
+                         std::to_string(cores) + " physical cores; SMT absorbs them at " +
+                         "a fraction of a core each",
+                     "the paper's EPYC sweet spot does this deliberately (16 x 5 on 64 "
+                     "cores); verify it wins on your platform");
+      else
+        diags.warn("S005", object, "intra_threads",
+                   "ppn x intra-op = " + std::to_string(demand) + " threads exceed " +
+                       std::to_string(cores) + " physical cores with SMT off",
+                   "threads time-slice instead of running; expect a slowdown");
+    }
+
+    const bool horovod_active = cfg.use_horovod && world > 1;
+    const int cores_per_rank = std::max(1, cores / cfg.ppn);
+    // Only actionable when the rank has a core to give up; one-core ranks
+    // (PyTorch's ppn = cores) share by construction and the timeline model
+    // already charges the wake-up tax.
+    if (horovod_active && cores_per_rank > 1 && threads.intra >= cores_per_rank &&
+        demand <= hw_threads)
+      diags.advice("S009", object, "intra_threads",
+                   "no spare core for the Horovod progress thread; every wake-up "
+                   "steals compute",
+                   "the paper's rule: intra-op = cores/ppn - 1");
+
+    const int numa = cpu.numa_domains();
+    if (numa > 1 && cfg.ppn % numa != 0 && numa % cfg.ppn != 0)
+      diags.advice("S010", object, "ppn",
+                   "ppn " + std::to_string(cfg.ppn) + " does not align with " +
+                       std::to_string(numa) + " NUMA domains; some ranks span domains",
+                   "pick ppn as a multiple (or divisor) of the NUMA domain count");
+
+    if (cfg.framework == exec::Framework::TensorFlow) {
+      const int tuned_inter = cpu.threads_per_core > 1 ? 2 : 1;
+      if (cfg.inter_threads != 0 && cfg.inter_threads != tuned_inter)
+        diags.advice("S012", object, "inter_threads",
+                     "inter-op " + std::to_string(cfg.inter_threads) +
+                         " differs from the paper's tuned " + std::to_string(tuned_inter) +
+                         " for this platform",
+                     "Section IX: 2 inter-op threads on SMT parts, 1 otherwise");
+    }
+  }
+
+  if (cfg.batch_per_rank % 8 != 0)
+    diags.advice("S011", object, "batch_per_rank",
+                 "batch " + std::to_string(cfg.batch_per_rank) + " is not a multiple of 8",
+                 "SIMD lanes and GEMM blocking run partially empty on ragged batches");
+
+  // Memory fit. training_memory() is deliberately conservative (activations
+  // counted twice: forward + gradients, no buffer reuse); real frameworks
+  // reuse buffers, so warn only when even the reuse-optimistic footprint
+  // (a single activation copy) exceeds the budget.
+  const dnn::Graph graph = dnn::build_model(cfg.model);
+  const auto mem = dnn::training_memory(graph, cfg.batch_per_rank);
+  const double optimistic =
+      mem.weight_bytes + mem.gradient_bytes + mem.optimizer_bytes + mem.activation_bytes;
+  const double gib = 1024.0 * 1024.0 * 1024.0;
+  const double budget = cfg.device == train::DeviceKind::Gpu && cfg.cluster.node.has_gpu()
+                            ? cfg.cluster.node.gpu->memory_gib * gib
+                            : cfg.cluster.node.memory_gib * gib / cfg.ppn;
+  if (budget > 0.0 && optimistic > budget) {
+    const int max_bs = dnn::max_batch_for_memory(graph, budget);
+    diags.warn("S008", object, "batch_per_rank",
+               "training footprint of at least " + std::to_string(optimistic / gib) +
+                   " GiB (with full buffer reuse) exceeds the per-rank budget " +
+                   std::to_string(budget / gib) + " GiB",
+               "largest conservatively-sized per-rank batch: " + std::to_string(max_bs));
+  }
+}
+
+}  // namespace dnnperf::analysis

@@ -1,0 +1,30 @@
+// Policy and schedule pass families (H-codes, S-codes): the paper's
+// Section-V/IX tuning rules as lints. H-codes check the Horovod engine knobs
+// against the model's gradient tensors and the fabric; S-codes check a full
+// train::TrainConfig — oversubscription, NUMA alignment, batch shape,
+// memory fit, and the intra/inter thread rules.
+#pragma once
+
+#include <string>
+
+#include "dnn/graph.hpp"
+#include "hvd/policy.hpp"
+#include "net/link.hpp"
+#include "train/trainer.hpp"
+#include "util/diag.hpp"
+
+namespace dnnperf::analysis {
+
+/// H-codes for `policy`. `graph` and `inter_node` refine the checks when
+/// available (fusion vs largest gradient tensor, cycle time vs fabric
+/// latency); pass nullptr to skip those.
+void run_policy_passes(const hvd::FusionPolicy& policy, const dnn::Graph* graph,
+                       const net::LinkParams* inter_node, const std::string& object,
+                       util::Diagnostics& diags);
+
+/// S-codes for `config`. Assumes cluster-level P-codes are checked
+/// separately; skips checks whose prerequisites already failed.
+void run_schedule_passes(const train::TrainConfig& config, const std::string& object,
+                         util::Diagnostics& diags);
+
+}  // namespace dnnperf::analysis

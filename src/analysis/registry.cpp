@@ -1,0 +1,99 @@
+#include "analysis/registry.hpp"
+
+#include <stdexcept>
+
+namespace dnnperf::analysis {
+
+const std::vector<PassInfo>& pass_registry() {
+  using util::Severity;
+  static const std::vector<PassInfo> table = {
+      // ---- graph passes ----------------------------------------------------
+      {"G001", Severity::Error, "graph",
+       "op output shape inconsistent with its inputs (shape inference re-check)"},
+      {"G002", Severity::Error, "graph",
+       "malformed dataflow: empty graph, non-Input op without inputs, Input with inputs, "
+       "or input ids out of range / not topological"},
+      {"G003", Severity::Warn, "graph",
+       "dead op: output never consumed and not the terminal op"},
+      {"G004", Severity::Error, "graph", "op unreachable from the graph input"},
+      {"G005", Severity::Error, "graph",
+       "non-finite or negative FLOP/parameter/byte counts, or parameters on an op kind "
+       "that cannot carry them"},
+      {"G006", Severity::Error, "graph",
+       "gradient tensor list inconsistent with the graph's parameter totals"},
+      {"G007", Severity::Warn, "graph", "duplicate op name"},
+      // ---- platform passes -------------------------------------------------
+      {"P001", Severity::Error, "platform",
+       "non-positive socket, core, NUMA-domain, or hardware-thread count"},
+      {"P002", Severity::Error, "platform",
+       "cores per socket not divisible by NUMA domains per socket"},
+      {"P003", Severity::Error, "platform", "threads per core not in {1, 2, 4}"},
+      {"P004", Severity::Error, "platform",
+       "SMT speedup fraction outside [0, 1] or set while SMT is off"},
+      {"P005", Severity::Warn, "platform", "core clock outside the sane range [0.8, 5.0] GHz"},
+      {"P006", Severity::Warn, "platform",
+       "per-socket memory bandwidth outside the sane range [10, 600] GB/s"},
+      {"P007", Severity::Warn, "platform",
+       "fp32 FLOPs per cycle per core outside the sane range [1, 256]"},
+      {"P008", Severity::Error, "platform",
+       "cluster invariant violated: max_nodes <= 0 or node memory <= 0"},
+      {"P009", Severity::Error, "platform",
+       "GPU model invalid: non-positive rates, memory, fraction, or devices per node"},
+      // ---- network passes --------------------------------------------------
+      {"N001", Severity::Error, "network",
+       "link parameters invalid: negative latency/overhead or non-positive bandwidth"},
+      {"N002", Severity::Error, "network",
+       "rank pair unreachable or node/local-rank mapping inconsistent"},
+      {"N003", Severity::Warn, "network",
+       "latency inversion: intra-node latency exceeds inter-node latency"},
+      {"N004", Severity::Advice, "network",
+       "intra-node bandwidth below inter-node bandwidth; shared-memory staging can "
+       "bottleneck hierarchical collectives"},
+      {"N005", Severity::Warn, "network",
+       "bandwidth or latency outside sane physical ranges"},
+      // ---- Horovod policy passes -------------------------------------------
+      {"H001", Severity::Error, "policy", "cycle time non-positive or non-finite"},
+      {"H002", Severity::Error, "policy", "fusion threshold non-positive or non-finite"},
+      {"H003", Severity::Advice, "policy",
+       "cycle time mismatched to the fabric: shorter than a negotiation round trip, or so "
+       "long that ready gradients stall"},
+      {"H004", Severity::Warn, "policy",
+       "largest gradient tensor exceeds the fusion threshold and is always sent unfused"},
+      {"H005", Severity::Advice, "policy",
+       "fusion threshold is over 4x the model's total gradient bytes (possible unit "
+       "error; fusion tuning has no effect)"},
+      // ---- schedule / run-configuration passes -----------------------------
+      {"S001", Severity::Error, "schedule", "non-positive nodes, ppn, or batch size"},
+      {"S002", Severity::Error, "schedule", "nodes exceed the cluster's size"},
+      {"S003", Severity::Error, "schedule", "ppn exceeds the node's physical cores (CPU run)"},
+      {"S004", Severity::Error, "schedule",
+       "ppn x intra-op threads exceed the node's hardware threads (hard oversubscription)"},
+      {"S005", Severity::Warn, "schedule",
+       "ppn x intra-op threads exceed physical cores (Warn when SMT is off, Advice when "
+       "SMT absorbs the extra threads)"},
+      {"S006", Severity::Error, "schedule", "multi-rank run without Horovod enabled"},
+      {"S007", Severity::Error, "schedule",
+       "GPU run on a CPU-only cluster, or ppn exceeds GPUs per node"},
+      {"S008", Severity::Warn, "schedule",
+       "conservative training memory footprint exceeds the per-rank memory budget"},
+      {"S009", Severity::Advice, "schedule",
+       "no spare core for the Horovod progress thread (paper rule: intra-op = cores/ppn "
+       "- 1)"},
+      {"S010", Severity::Advice, "schedule",
+       "ppn misaligned with NUMA domains; ranks span domains and pay remote-memory "
+       "penalties"},
+      {"S011", Severity::Advice, "schedule",
+       "per-rank batch not a multiple of 8; SIMD and cache blocking run partially empty"},
+      {"S012", Severity::Advice, "schedule",
+       "TensorFlow inter-op threads off the paper's tuned rule (2 with SMT, 1 without)"},
+  };
+  return table;
+}
+
+const PassInfo& pass_info(const std::string& code) {
+  for (const auto& info : pass_registry())
+    if (info.code == code) return info;
+  throw std::out_of_range("unknown pass code: " + code);
+}
+
+}  // namespace dnnperf::analysis

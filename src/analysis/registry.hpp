@@ -1,0 +1,31 @@
+// Pass registry: the catalogue of every diagnostic the analysis subsystem
+// can emit — stable code, default severity, pass family, and a one-line
+// summary. `dnnperf_lint --list-passes` renders this table; tests use it to
+// keep codes unique and documented.
+//
+// Code numbering: the letter is the family (G graph, P platform, N network,
+// H Horovod policy, S schedule/config); numbers are assigned once and never
+// reused, so CI greps for a code stay valid across releases.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/diag.hpp"
+
+namespace dnnperf::analysis {
+
+struct PassInfo {
+  std::string code;        ///< e.g. "G001"
+  util::Severity severity; ///< default severity the pass emits at
+  std::string family;      ///< "graph" | "platform" | "network" | "policy" | "schedule"
+  std::string summary;     ///< one-line description of the invariant
+};
+
+/// All registered passes, ordered by code.
+const std::vector<PassInfo>& pass_registry();
+
+/// Registry entry for `code`; throws std::out_of_range if unknown.
+const PassInfo& pass_info(const std::string& code);
+
+}  // namespace dnnperf::analysis

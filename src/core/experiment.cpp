@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "analysis/analyze.hpp"
+#include "util/diag.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 namespace dnnperf::core {
@@ -13,6 +16,17 @@ Experiment::Experiment(int repeats, double noise_cv, std::uint64_t seed)
 }
 
 Measurement Experiment::measure(const train::TrainConfig& config) {
+  if (lint_) {
+    const util::Diagnostics diags = analysis::lint_config(config);
+    for (const auto& d : diags.items()) {
+      if (d.severity == util::Severity::Warn) {
+        LOG_WARN << d.code << " [" << d.object << ':' << d.field << "] " << d.message;
+      }
+    }
+    if (diags.has_errors())
+      throw std::invalid_argument("Experiment: config failed lint\n" +
+                                  util::render_text(diags));
+  }
   const train::TrainResult base = train::run_training(config);
   util::Rng rng(seed_ + 0x9E37 * ++counter_);
   util::RunStats stats;

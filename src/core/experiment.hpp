@@ -24,13 +24,23 @@ class Experiment {
   explicit Experiment(int repeats = 3, double noise_cv = 0.005, std::uint64_t seed = 2019);
 
   /// Runs the config `repeats` times and averages throughput.
+  ///
+  /// Before the first run the config goes through the static-analysis lint
+  /// (analysis::lint_config): Error-level findings abort with
+  /// std::invalid_argument carrying the rendered diagnostics; Warn findings
+  /// are logged. Disable with set_lint(false) for deliberate what-if sweeps
+  /// over configurations the lint rejects.
   Measurement measure(const train::TrainConfig& config);
+
+  void set_lint(bool enabled) { lint_ = enabled; }
+  bool lint_enabled() const { return lint_; }
 
  private:
   int repeats_;
   double noise_cv_;
   std::uint64_t seed_;
   std::uint64_t counter_ = 0;
+  bool lint_ = true;
 };
 
 }  // namespace dnnperf::core

@@ -17,7 +17,8 @@ train::TrainConfig tf_best(const hw::ClusterModel& cluster, dnn::ModelId model, 
 
 /// Tuned PyTorch config for `cluster` (CPU training). Default batch follows
 /// the paper: 16 for ResNet-50/101, 8 for larger models on Skylake-3;
-/// 32 on EPYC.
+/// 32 on EPYC, except ResNet-152 (16 — batch 32 at ppn=32 overcommits the
+/// 256 GB node, lint S008).
 train::TrainConfig pytorch_best(const hw::ClusterModel& cluster, dnn::ModelId model, int nodes);
 
 /// Single-process baseline (no Horovod, all cores in one process).

@@ -39,6 +39,12 @@ int conv_out_dim(int in, int k, int stride, int pad) {
 
 Graph::Graph(std::string name) : name_(std::move(name)) {}
 
+Graph Graph::from_ops(std::string name, std::vector<Op> ops) {
+  Graph g(std::move(name));
+  g.ops_ = std::move(ops);
+  return g;
+}
+
 int Graph::push(Op op) {
   op.id = static_cast<int>(ops_.size());
   op.output_bytes = op.out.elements() * 4.0;

@@ -58,6 +58,11 @@ class Graph {
  public:
   explicit Graph(std::string name);
 
+  /// Reconstructs a graph from externally produced ops (deserialization,
+  /// broken-fixture tests). Ops are taken verbatim — no shape inference and
+  /// no checking; run validate() or the analysis passes on the result.
+  static Graph from_ops(std::string name, std::vector<Op> ops);
+
   const std::string& name() const { return name_; }
   const std::vector<Op>& ops() const { return ops_; }
   const Op& op(int id) const { return ops_.at(static_cast<std::size_t>(id)); }

@@ -13,16 +13,9 @@
 
 namespace dnnperf::train {
 
-namespace {
-
-struct ResolvedThreads {
-  int intra;
-  int inter;
-};
-
-ResolvedThreads resolve_threads(const TrainConfig& cfg) {
+ThreadConfig resolve_thread_config(const TrainConfig& cfg) {
   const auto& cpu = cfg.cluster.node.cpu;
-  const int cores_per_rank = std::max(1, cpu.total_cores() / cfg.ppn);
+  const int cores_per_rank = std::max(1, cpu.total_cores() / std::max(1, cfg.ppn));
   int intra = cfg.intra_threads;
   int inter = cfg.inter_threads;
   if (intra == 0) {
@@ -42,6 +35,8 @@ ResolvedThreads resolve_threads(const TrainConfig& cfg) {
   }
   return {intra, inter};
 }
+
+namespace {
 
 void validate(const TrainConfig& cfg) {
   cfg.cluster.validate();
@@ -96,7 +91,7 @@ TrainResult run_training(const TrainConfig& cfg) {
   std::optional<mpi::CollectiveCostModel> cost;
 
   if (cfg.device == DeviceKind::Cpu) {
-    const auto threads = resolve_threads(cfg);
+    const auto threads = resolve_thread_config(cfg);
     result.resolved_intra = threads.intra;
     result.resolved_inter = threads.inter;
 

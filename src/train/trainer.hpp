@@ -63,6 +63,15 @@ struct TrainResult {
   int resolved_inter = 0;
 };
 
+/// The intra-op/inter-op thread counts a config resolves to (0 = auto
+/// replaced by the paper's rules). Used by run_training and by the
+/// schedule lint passes, so both see identical placement.
+struct ThreadConfig {
+  int intra = 1;
+  int inter = 1;
+};
+ThreadConfig resolve_thread_config(const TrainConfig& config);
+
 /// Runs one simulated training experiment. Deterministic.
 TrainResult run_training(const TrainConfig& config);
 

@@ -1,0 +1,128 @@
+#include "util/diag.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace dnnperf::util {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::Advice: return "advice";
+    case Severity::Warn: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+void Diagnostics::add(Diagnostic d) { items_.push_back(std::move(d)); }
+
+void Diagnostics::error(std::string code, std::string object, std::string field,
+                        std::string message, std::string hint) {
+  add({std::move(code), Severity::Error, std::move(object), std::move(field),
+       std::move(message), std::move(hint)});
+}
+
+void Diagnostics::warn(std::string code, std::string object, std::string field,
+                       std::string message, std::string hint) {
+  add({std::move(code), Severity::Warn, std::move(object), std::move(field),
+       std::move(message), std::move(hint)});
+}
+
+void Diagnostics::advice(std::string code, std::string object, std::string field,
+                         std::string message, std::string hint) {
+  add({std::move(code), Severity::Advice, std::move(object), std::move(field),
+       std::move(message), std::move(hint)});
+}
+
+std::size_t Diagnostics::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const auto& d : items_)
+    if (d.severity == severity) ++n;
+  return n;
+}
+
+bool Diagnostics::has_code(const std::string& code) const {
+  for (const auto& d : items_)
+    if (d.code == code) return true;
+  return false;
+}
+
+void Diagnostics::merge(const Diagnostics& other) {
+  items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+}
+
+std::string render_text(const Diagnostics& diags) {
+  std::ostringstream os;
+  for (const auto& d : diags.items()) {
+    os << to_string(d.severity) << ' ' << d.code << " [" << d.object;
+    if (!d.field.empty()) os << ':' << d.field;
+    os << "] " << d.message;
+    if (!d.hint.empty()) os << " (hint: " << d.hint << ')';
+    os << '\n';
+  }
+  os << diags.count(Severity::Error) << " error(s), " << diags.count(Severity::Warn)
+     << " warning(s), " << diags.count(Severity::Advice) << " advice\n";
+  return os.str();
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", static_cast<unsigned>(c));
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_json_field(std::string& out, const char* key, const std::string& value,
+                       bool trailing_comma) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  append_json_escaped(out, value);
+  out += '"';
+  if (trailing_comma) out += ',';
+}
+
+}  // namespace
+
+std::string render_json(const Diagnostics& diags) {
+  std::string out = "{\"diagnostics\":[";
+  bool first = true;
+  for (const auto& d : diags.items()) {
+    if (!first) out += ',';
+    first = false;
+    out += '{';
+    append_json_field(out, "code", d.code, true);
+    append_json_field(out, "severity", to_string(d.severity), true);
+    append_json_field(out, "object", d.object, true);
+    append_json_field(out, "field", d.field, true);
+    append_json_field(out, "message", d.message, true);
+    append_json_field(out, "hint", d.hint, false);
+    out += '}';
+  }
+  out += "],\"summary\":{\"errors\":";
+  out += std::to_string(diags.count(Severity::Error));
+  out += ",\"warnings\":";
+  out += std::to_string(diags.count(Severity::Warn));
+  out += ",\"advice\":";
+  out += std::to_string(diags.count(Severity::Advice));
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace dnnperf::util

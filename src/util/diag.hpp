@@ -1,0 +1,72 @@
+// Diagnostics engine for the static-analysis passes (src/analysis).
+//
+// A Diagnostic is one finding: a stable code ("G001", "H003", ...), a
+// severity, the object and field it refers to ("Inception-v3", "mixed5b/add"
+// or "Skylake-1", "threads_per_core"), a message, and a fix hint. Passes
+// append findings to a Diagnostics collector; renderers turn the collection
+// into compiler-style text or a JSON array for CI.
+//
+// Code families: Gxxx graph, Pxxx platform, Nxxx network topology,
+// Hxxx Horovod policy, Sxxx schedule/run configuration.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dnnperf::util {
+
+enum class Severity {
+  Advice,  ///< tuning guidance; config runs but is likely leaving perf on the table
+  Warn,    ///< suspicious but runnable; results may not mean what you think
+  Error,   ///< invariant violated; running would produce garbage numbers
+};
+
+const char* to_string(Severity severity);
+
+struct Diagnostic {
+  std::string code;     ///< stable id, e.g. "G001"
+  Severity severity = Severity::Error;
+  std::string object;   ///< what was linted: model, platform, cluster, config name
+  std::string field;    ///< offending field or sub-object ("ppn", "mixed5b/add")
+  std::string message;  ///< what is wrong
+  std::string hint;     ///< how to fix it (may be empty)
+};
+
+/// Append-only collector passed through every analysis pass.
+class Diagnostics {
+ public:
+  void add(Diagnostic d);
+  /// Shorthands; `hint` may be empty.
+  void error(std::string code, std::string object, std::string field, std::string message,
+             std::string hint = {});
+  void warn(std::string code, std::string object, std::string field, std::string message,
+            std::string hint = {});
+  void advice(std::string code, std::string object, std::string field, std::string message,
+              std::string hint = {});
+
+  const std::vector<Diagnostic>& items() const { return items_; }
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  std::size_t count(Severity severity) const;
+  bool has_errors() const { return count(Severity::Error) > 0; }
+  /// True if any finding carries `code`.
+  bool has_code(const std::string& code) const;
+
+  /// Appends every finding of `other` (pass composition).
+  void merge(const Diagnostics& other);
+
+ private:
+  std::vector<Diagnostic> items_;
+};
+
+/// Compiler-style text, one line per finding plus a summary line:
+///   error G001 [Inception-v3:mixed5b/add] output shape ... (hint: ...)
+std::string render_text(const Diagnostics& diags);
+
+/// JSON document for CI consumption:
+///   {"diagnostics":[{"code":...,"severity":...,...}],
+///    "summary":{"errors":N,"warnings":N,"advice":N}}
+std::string render_json(const Diagnostics& diags);
+
+}  // namespace dnnperf::util

@@ -1,0 +1,473 @@
+// Static-analysis subsystem tests: golden diagnostics on deliberately broken
+// fixtures (every family must fire its exact code), clean-bill checks on
+// everything the repo ships, the pass registry contract, the diagnostic
+// renderers, and the core::Experiment lint gate.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.hpp"
+#include "analysis/net_passes.hpp"
+#include "analysis/registry.hpp"
+#include "core/experiment.hpp"
+#include "core/presets.hpp"
+#include "dnn/models.hpp"
+#include "hw/platforms.hpp"
+#include "net/link.hpp"
+#include "net/topology.hpp"
+#include "util/diag.hpp"
+
+namespace dnnperf::analysis {
+namespace {
+
+using util::Severity;
+
+dnn::Op make_op(int id, std::string name, dnn::OpKind kind, std::vector<int> inputs,
+                dnn::Shape out) {
+  dnn::Op op;
+  op.id = id;
+  op.name = std::move(name);
+  op.kind = kind;
+  op.inputs = std::move(inputs);
+  op.out = out;
+  op.output_bytes = out.elements() * 4.0;  // consistent unless a test breaks it
+  return op;
+}
+
+// ---------------------------------------------------------------------------
+// Graph passes (Gxxx)
+// ---------------------------------------------------------------------------
+
+TEST(GraphPasses, ShapeMismatchFiresG001) {
+  auto g = dnn::Graph::from_ops(
+      "broken", {make_op(0, "input", dnn::OpKind::Input, {}, {3, 224, 224}),
+                 make_op(1, "relu", dnn::OpKind::ReLU, {0}, {3, 112, 112}),
+                 make_op(2, "softmax", dnn::OpKind::Softmax, {1}, {3, 112, 112})});
+  const auto diags = lint_graph(g);
+  EXPECT_TRUE(diags.has_code("G001"));
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_FALSE(diags.has_code("G002"));
+}
+
+TEST(GraphPasses, ConcatChannelMismatchFiresG001) {
+  auto g = dnn::Graph::from_ops(
+      "broken", {make_op(0, "input", dnn::OpKind::Input, {}, {8, 14, 14}),
+                 make_op(1, "a", dnn::OpKind::ReLU, {0}, {8, 14, 14}),
+                 make_op(2, "b", dnn::OpKind::ReLU, {0}, {8, 14, 14}),
+                 // 8 + 8 input channels but the output claims 24.
+                 make_op(3, "cat", dnn::OpKind::Concat, {1, 2}, {24, 14, 14})});
+  const auto diags = lint_graph(g);
+  EXPECT_TRUE(diags.has_code("G001"));
+}
+
+TEST(GraphPasses, FirstOpNotInputFiresG002) {
+  auto g = dnn::Graph::from_ops(
+      "broken", {make_op(0, "relu", dnn::OpKind::ReLU, {}, {3, 8, 8})});
+  const auto diags = lint_graph(g);
+  EXPECT_TRUE(diags.has_code("G002"));
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(GraphPasses, EmptyGraphFiresG002) {
+  const auto diags = lint_graph(dnn::Graph::from_ops("empty", {}));
+  EXPECT_TRUE(diags.has_code("G002"));
+}
+
+TEST(GraphPasses, NonTopologicalEdgeFiresG002AndGatesShapeChecks) {
+  auto g = dnn::Graph::from_ops(
+      "broken", {make_op(0, "input", dnn::OpKind::Input, {}, {3, 8, 8}),
+                 // Consumes itself: invalid id, and the shape is also wrong —
+                 // but G001 must stay silent because the ids cannot be trusted.
+                 make_op(1, "relu", dnn::OpKind::ReLU, {1}, {5, 9, 9})});
+  const auto diags = lint_graph(g);
+  EXPECT_TRUE(diags.has_code("G002"));
+  EXPECT_FALSE(diags.has_code("G001"));
+}
+
+TEST(GraphPasses, DeadLayerFiresG003) {
+  auto g = dnn::Graph::from_ops(
+      "dead-branch", {make_op(0, "input", dnn::OpKind::Input, {}, {3, 8, 8}),
+                      make_op(1, "dead", dnn::OpKind::ReLU, {0}, {3, 8, 8}),
+                      make_op(2, "softmax", dnn::OpKind::Softmax, {0}, {3, 8, 8})});
+  const auto diags = lint_graph(g);
+  EXPECT_TRUE(diags.has_code("G003"));
+  EXPECT_FALSE(diags.has_errors()) << util::render_text(diags);
+}
+
+TEST(GraphPasses, UnreachableOpFiresG004) {
+  auto g = dnn::Graph::from_ops(
+      "island", {make_op(0, "input", dnn::OpKind::Input, {}, {3, 8, 8}),
+                 make_op(1, "input2", dnn::OpKind::Input, {}, {3, 8, 8}),
+                 make_op(2, "orphan", dnn::OpKind::ReLU, {1}, {3, 8, 8})});
+  const auto diags = lint_graph(g);
+  EXPECT_TRUE(diags.has_code("G004"));
+  EXPECT_TRUE(diags.has_code("G003"));  // the secondary Input
+}
+
+TEST(GraphPasses, ParamsOnReluFiresG005) {
+  auto relu = make_op(1, "relu", dnn::OpKind::ReLU, {0}, {3, 8, 8});
+  relu.params = 100.0;
+  auto g = dnn::Graph::from_ops(
+      "broken", {make_op(0, "input", dnn::OpKind::Input, {}, {3, 8, 8}), relu});
+  const auto diags = lint_graph(g);
+  EXPECT_TRUE(diags.has_code("G005"));
+}
+
+TEST(GraphPasses, OutputBytesMismatchFiresG005) {
+  auto relu = make_op(1, "relu", dnn::OpKind::ReLU, {0}, {3, 8, 8});
+  relu.output_bytes = 17.0;  // 3*8*8*4 = 768
+  auto g = dnn::Graph::from_ops(
+      "broken", {make_op(0, "input", dnn::OpKind::Input, {}, {3, 8, 8}), relu});
+  const auto diags = lint_graph(g);
+  EXPECT_TRUE(diags.has_code("G005"));
+}
+
+TEST(GraphPasses, DuplicateNamesFireG007) {
+  auto g = dnn::Graph::from_ops(
+      "dup", {make_op(0, "input", dnn::OpKind::Input, {}, {3, 8, 8}),
+              make_op(1, "layer", dnn::OpKind::ReLU, {0}, {3, 8, 8}),
+              make_op(2, "layer", dnn::OpKind::Softmax, {1}, {3, 8, 8})});
+  const auto diags = lint_graph(g);
+  EXPECT_TRUE(diags.has_code("G007"));
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(GraphPasses, EveryShippedModelLintsClean) {
+  for (dnn::ModelId id : dnn::all_models()) {
+    const auto diags = lint_graph(dnn::build_model(id));
+    EXPECT_EQ(diags.count(Severity::Error), 0u)
+        << dnn::to_string(id) << "\n" << util::render_text(diags);
+    EXPECT_EQ(diags.count(Severity::Warn), 0u)
+        << dnn::to_string(id) << "\n" << util::render_text(diags);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Platform passes (Pxxx)
+// ---------------------------------------------------------------------------
+
+TEST(HwPasses, NumaCoreMismatchFiresP002) {
+  hw::CpuModel cpu = hw::skylake1();  // 14 cores per socket
+  cpu.numa_domains_per_socket = 3;
+  const auto diags = lint_cpu(cpu);
+  EXPECT_TRUE(diags.has_code("P002"));
+}
+
+TEST(HwPasses, BogusSmtDepthFiresP003) {
+  hw::CpuModel cpu = hw::stampede2().node.cpu;
+  cpu.threads_per_core = 3;
+  EXPECT_TRUE(lint_cpu(cpu).has_code("P003"));
+}
+
+TEST(HwPasses, SmtFractionWithoutSmtFiresP004) {
+  hw::CpuModel cpu = hw::skylake1();  // SMT off
+  cpu.smt_speedup_fraction = 0.3;
+  EXPECT_TRUE(lint_cpu(cpu).has_code("P004"));
+}
+
+TEST(HwPasses, MegahertzClockFiresP005Warn) {
+  hw::CpuModel cpu = hw::skylake1();
+  cpu.clock_ghz = 2600.0;  // classic MHz-in-a-GHz-field unit error
+  const auto diags = lint_cpu(cpu);
+  EXPECT_TRUE(diags.has_code("P005"));
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(HwPasses, NonPositiveSocketsFiresP001) {
+  hw::CpuModel cpu = hw::broadwell();
+  cpu.sockets = 0;
+  EXPECT_TRUE(lint_cpu(cpu).has_code("P001"));
+}
+
+TEST(HwPasses, EmptyClusterFiresP008) {
+  hw::ClusterModel cluster = hw::ri2_skylake();
+  cluster.max_nodes = 0;
+  EXPECT_TRUE(lint_cluster(cluster).has_code("P008"));
+}
+
+TEST(HwPasses, EveryShippedPlatformLintsClean) {
+  for (const auto& cpu : hw::all_cpus()) {
+    const auto diags = lint_cpu(cpu);
+    EXPECT_TRUE(diags.empty()) << cpu.label << "\n" << util::render_text(diags);
+  }
+  for (const auto& cluster : hw::all_clusters()) {
+    const auto diags = lint_cluster(cluster);
+    EXPECT_EQ(diags.count(Severity::Error), 0u)
+        << cluster.name << "\n" << util::render_text(diags);
+    EXPECT_EQ(diags.count(Severity::Warn), 0u)
+        << cluster.name << "\n" << util::render_text(diags);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Network passes (Nxxx)
+// ---------------------------------------------------------------------------
+
+TEST(NetPasses, NegativeBandwidthFiresN001) {
+  // net::Topology validates eagerly, so the broken link goes through the
+  // pass directly — the path a deserialized/external topology would take.
+  net::LinkParams link;
+  link.bandwidth_gbps = -1.0;
+  util::Diagnostics diags;
+  run_link_passes(link, "fixture", "intra_node", diags);
+  EXPECT_TRUE(diags.has_code("N001"));
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(NetPasses, LatencyInversionFiresN003) {
+  net::LinkParams intra;  // defaults are sane
+  intra.latency_s = 5e-4;  // far above any fabric's ~1 us
+  const net::Topology topo(2, 2, hw::FabricKind::InfiniBandEDR, intra);
+  const auto diags = lint_topology(topo, "fixture");
+  EXPECT_TRUE(diags.has_code("N003"));
+  EXPECT_FALSE(diags.has_errors()) << util::render_text(diags);
+}
+
+TEST(NetPasses, DefaultTopologyHasNoErrorsOrWarnings) {
+  const net::Topology topo(4, 4, hw::FabricKind::OmniPath);
+  const auto diags = lint_topology(topo, "Stampede2 4x4");
+  EXPECT_EQ(diags.count(Severity::Error), 0u) << util::render_text(diags);
+  EXPECT_EQ(diags.count(Severity::Warn), 0u) << util::render_text(diags);
+}
+
+// ---------------------------------------------------------------------------
+// Policy passes (Hxxx)
+// ---------------------------------------------------------------------------
+
+TEST(PolicyPasses, NonPositiveCycleTimeFiresH001) {
+  hvd::FusionPolicy policy;
+  policy.cycle_time_s = -1.0;
+  EXPECT_TRUE(lint_policy(policy, nullptr, nullptr, "fixture").has_code("H001"));
+}
+
+TEST(PolicyPasses, NonPositiveThresholdFiresH002) {
+  hvd::FusionPolicy policy;
+  policy.fusion_threshold_bytes = 0.0;
+  EXPECT_TRUE(lint_policy(policy, nullptr, nullptr, "fixture").has_code("H002"));
+}
+
+TEST(PolicyPasses, Vgg16LargestTensorExceedsDefaultThresholdFiresH004) {
+  // VGG-16's fc6 gradient is ~411 MB — far above Horovod's 64 MiB default.
+  const dnn::Graph graph = dnn::build_model(dnn::ModelId::Vgg16);
+  const net::LinkParams link = net::fabric_params(hw::FabricKind::InfiniBandEDR);
+  const hvd::FusionPolicy policy;
+  const auto diags = lint_policy(policy, &graph, &link, "fixture");
+  EXPECT_TRUE(diags.has_code("H004"));
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(PolicyPasses, ResNet50DefaultPolicyHasNoFindings) {
+  const dnn::Graph graph = dnn::build_model(dnn::ModelId::ResNet50);
+  const net::LinkParams link = net::fabric_params(hw::FabricKind::InfiniBandEDR);
+  const auto diags = lint_policy(hvd::FusionPolicy{}, &graph, &link, "fixture");
+  EXPECT_TRUE(diags.empty()) << util::render_text(diags);
+}
+
+TEST(PolicyPasses, AbsurdThresholdFiresH005UnitErrorAdvice) {
+  hvd::FusionPolicy policy;
+  policy.fusion_threshold_bytes = 1e12;  // 1 TB: a bytes-vs-MiB confusion
+  const dnn::Graph graph = dnn::build_model(dnn::ModelId::ResNet50);
+  EXPECT_TRUE(lint_policy(policy, &graph, nullptr, "fixture").has_code("H005"));
+}
+
+TEST(PolicyPasses, SubRttCycleTimeFiresH003) {
+  hvd::FusionPolicy policy;
+  policy.cycle_time_s = 1e-7;  // wakes up faster than one fabric round trip
+  const net::LinkParams link = net::fabric_params(hw::FabricKind::InfiniBandEDR);
+  EXPECT_TRUE(lint_policy(policy, nullptr, &link, "fixture").has_code("H003"));
+}
+
+// ---------------------------------------------------------------------------
+// Schedule passes (Sxxx) via lint_config
+// ---------------------------------------------------------------------------
+
+TEST(SchedulePasses, PpnBeyondCoresFiresS003) {
+  train::TrainConfig cfg = core::tf_best(hw::ri2_skylake(), dnn::ModelId::ResNet50, 1);
+  cfg.ppn = 64;  // Skylake-1 nodes have 28 cores
+  const auto diags = lint_config(cfg);
+  EXPECT_TRUE(diags.has_code("S003"));
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(SchedulePasses, NodesBeyondClusterFiresS002) {
+  const auto cfg = core::tf_best(hw::ri2_skylake(), dnn::ModelId::ResNet50, 100);
+  EXPECT_TRUE(lint_config(cfg).has_code("S002"));
+}
+
+TEST(SchedulePasses, MultiRankWithoutHorovodFiresS006) {
+  train::TrainConfig cfg = core::tf_best(hw::ri2_skylake(), dnn::ModelId::ResNet50, 2);
+  cfg.use_horovod = false;
+  EXPECT_TRUE(lint_config(cfg).has_code("S006"));
+}
+
+TEST(SchedulePasses, GpuRunOnCpuClusterFiresS007) {
+  train::TrainConfig cfg = core::tf_best(hw::ri2_skylake(), dnn::ModelId::ResNet50, 1);
+  cfg.device = train::DeviceKind::Gpu;
+  EXPECT_TRUE(lint_config(cfg).has_code("S007"));
+}
+
+TEST(SchedulePasses, ThreadOversubscriptionFiresS004) {
+  train::TrainConfig cfg = core::tf_best(hw::ri2_skylake(), dnn::ModelId::ResNet50, 1);
+  cfg.ppn = 4;
+  cfg.intra_threads = 28;  // 4 x 28 = 112 threads on a 28-thread node
+  const auto diags = lint_config(cfg);
+  EXPECT_TRUE(diags.has_code("S004"));
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(SchedulePasses, RaggedBatchFiresS011Advice) {
+  train::TrainConfig cfg = core::tf_best(hw::ri2_skylake(), dnn::ModelId::ResNet50, 1);
+  cfg.batch_per_rank = 30;
+  const auto diags = lint_config(cfg);
+  EXPECT_TRUE(diags.has_code("S011"));
+  EXPECT_FALSE(diags.has_errors()) << util::render_text(diags);
+}
+
+TEST(SchedulePasses, OversizedFootprintFiresS008Warn) {
+  // ResNet-152 at batch 32, ppn 32 on a 256 GB node does not fit even with
+  // full buffer reuse — the finding that drove pytorch_best down to 16.
+  train::TrainConfig cfg =
+      core::pytorch_best(hw::amd_cluster(), dnn::ModelId::ResNet152, 2);
+  cfg.batch_per_rank = 32;
+  const auto diags = lint_config(cfg);
+  EXPECT_TRUE(diags.has_code("S008"));
+  EXPECT_FALSE(diags.has_errors()) << util::render_text(diags);
+}
+
+TEST(SchedulePasses, FixedEpycResNet152PresetNoLongerWarns) {
+  const auto cfg = core::pytorch_best(hw::amd_cluster(), dnn::ModelId::ResNet152, 2);
+  EXPECT_EQ(cfg.batch_per_rank, 16);
+  EXPECT_FALSE(lint_config(cfg).has_code("S008"));
+}
+
+TEST(SchedulePasses, EveryShippedPresetLintsWithoutErrors) {
+  for (const auto& cluster : hw::all_clusters()) {
+    if (cluster.node.has_gpu()) {
+      const auto cfg = core::gpu_config(cluster, dnn::ModelId::ResNet50,
+                                        exec::Framework::TensorFlow, 1,
+                                        cluster.node.gpu->devices_per_node, 32);
+      const auto diags = lint_config(cfg);
+      EXPECT_EQ(diags.count(Severity::Error), 0u)
+          << config_label(cfg) << "\n" << util::render_text(diags);
+      continue;
+    }
+    const int nodes = std::min(2, cluster.max_nodes);
+    for (dnn::ModelId model : dnn::paper_models()) {
+      for (const auto& cfg : {core::tf_best(cluster, model, nodes),
+                              core::pytorch_best(cluster, model, nodes),
+                              core::sp_baseline(cluster, model, 32)}) {
+        const auto diags = lint_config(cfg);
+        EXPECT_EQ(diags.count(Severity::Error), 0u)
+            << config_label(cfg) << "\n" << util::render_text(diags);
+      }
+    }
+  }
+}
+
+TEST(SchedulePasses, ConfigLabelNamesModelClusterAndSchedule) {
+  const auto cfg = core::tf_best(hw::stampede2(), dnn::ModelId::ResNet50, 8);
+  EXPECT_EQ(config_label(cfg), "ResNet-50@Stampede2 n8xppn4 (TensorFlow)");
+}
+
+// ---------------------------------------------------------------------------
+// core::Experiment lint gate
+// ---------------------------------------------------------------------------
+
+TEST(ExperimentGate, RefusesErrorLevelConfig) {
+  core::Experiment exp(1, 0.0);
+  train::TrainConfig cfg = core::tf_best(hw::ri2_skylake(), dnn::ModelId::ResNet50, 1);
+  cfg.ppn = 64;  // S003: more ranks than cores
+  EXPECT_TRUE(exp.lint_enabled());
+  EXPECT_THROW(exp.measure(cfg), std::invalid_argument);
+}
+
+TEST(ExperimentGate, WarnLevelConfigStillRuns) {
+  core::Experiment exp(1, 0.0);
+  train::TrainConfig cfg =
+      core::pytorch_best(hw::amd_cluster(), dnn::ModelId::ResNet152, 1);
+  cfg.batch_per_rank = 32;  // forces the S008 memory warning
+  const auto m = exp.measure(cfg);  // warns do not gate
+  EXPECT_GT(m.images_per_sec, 0.0);
+}
+
+TEST(ExperimentGate, SetLintDisablesTheGate) {
+  core::Experiment exp(1, 0.0);
+  exp.set_lint(false);
+  EXPECT_FALSE(exp.lint_enabled());
+}
+
+// ---------------------------------------------------------------------------
+// Pass registry + renderers
+// ---------------------------------------------------------------------------
+
+TEST(Registry, CodesAreUniqueSortedAndDocumented) {
+  // Registry order is by family (G, P, N, H, S), numbers ascending within
+  // each; codes are globally unique.
+  const auto& passes = pass_registry();
+  ASSERT_FALSE(passes.empty());
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    EXPECT_EQ(passes[i].code.size(), 4u) << passes[i].code;
+    EXPECT_FALSE(passes[i].family.empty()) << passes[i].code;
+    EXPECT_FALSE(passes[i].summary.empty()) << passes[i].code;
+    EXPECT_TRUE(seen.insert(passes[i].code).second)
+        << "duplicate code " << passes[i].code;
+    if (i > 0 && passes[i - 1].code.front() == passes[i].code.front()) {
+      EXPECT_LT(passes[i - 1].code, passes[i].code);
+    }
+  }
+}
+
+TEST(Registry, LookupRoundTripsAndRejectsUnknownCodes) {
+  EXPECT_EQ(pass_info("G001").family, "graph");
+  EXPECT_EQ(pass_info("S003").severity, Severity::Error);
+  EXPECT_THROW(pass_info("Z999"), std::out_of_range);
+}
+
+TEST(Registry, EveryEmittedCodeIsRegistered) {
+  // Merge diagnostics from a spread of broken fixtures and the shipped
+  // presets; every code that reaches a user must have a registry entry.
+  util::Diagnostics all;
+  all.merge(lint_graph(dnn::Graph::from_ops("empty", {})));
+  hw::CpuModel cpu = hw::skylake1();
+  cpu.numa_domains_per_socket = 3;
+  cpu.clock_ghz = 2600.0;
+  all.merge(lint_cpu(cpu));
+  net::LinkParams intra;
+  intra.latency_s = 5e-4;
+  all.merge(lint_topology(net::Topology(2, 2, hw::FabricKind::InfiniBandEDR, intra), "f"));
+  hvd::FusionPolicy policy;
+  policy.cycle_time_s = -1.0;
+  policy.fusion_threshold_bytes = -1.0;
+  all.merge(lint_policy(policy, nullptr, nullptr, "f"));
+  all.merge(lint_config(core::pytorch_best(hw::amd_cluster(), dnn::ModelId::ResNet152, 2)));
+  ASSERT_FALSE(all.empty());
+  for (const auto& d : all.items()) EXPECT_NO_THROW(pass_info(d.code)) << d.code;
+}
+
+TEST(Renderers, TextFormatIsCompilerStyle) {
+  util::Diagnostics diags;
+  diags.error("G001", "model", "layer", "bad shape", "fix it");
+  diags.warn("S008", "cfg", "batch", "too big");
+  const std::string text = util::render_text(diags);
+  EXPECT_NE(text.find("error G001 [model:layer] bad shape (hint: fix it)"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("warning S008 [cfg:batch] too big"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 error(s), 1 warning(s), 0 advice"), std::string::npos) << text;
+}
+
+TEST(Renderers, JsonEscapesAndCounts) {
+  util::Diagnostics diags;
+  diags.advice("H003", "cfg", "cycle_time_s", "contains \"quotes\" and\nnewline");
+  const std::string json = util::render_json(diags);
+  EXPECT_NE(json.find("\"code\":\"H003\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\\n"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"advice\":1"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace dnnperf::analysis

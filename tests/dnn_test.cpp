@@ -45,8 +45,8 @@ TEST_P(ModelZooParam, GradientTensorsCoverAllParams) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllModels, ModelZooParam, ::testing::ValuesIn(all_models()),
-                         [](const ::testing::TestParamInfo<ModelId>& info) {
-                           std::string name = to_string(info.param);
+                         [](const ::testing::TestParamInfo<ModelId>& param_info) {
+                           std::string name = to_string(param_info.param);
                            std::erase(name, '-');
                            return name;
                          });

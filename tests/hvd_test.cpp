@@ -62,9 +62,9 @@ INSTANTIATE_TEST_SUITE_P(
                        // Tiny threshold -> one allreduce per tensor; huge ->
                        // everything fuses into a single buffer.
                        ::testing::Values(4.0, 600.0, 64.0 * 1024 * 1024)),
-    [](const ::testing::TestParamInfo<std::tuple<int, double>>& info) {
-      return "p" + std::to_string(std::get<0>(info.param)) + "_thresh" +
-             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    [](const ::testing::TestParamInfo<std::tuple<int, double>>& param_info) {
+      return "p" + std::to_string(std::get<0>(param_info.param)) + "_thresh" +
+             std::to_string(static_cast<int>(std::get<1>(param_info.param)));
     });
 
 TEST(RealEngine, TinyThresholdDisablesFusion) {

@@ -34,8 +34,8 @@ TEST_P(AllFiguresParam, RunsAndProducesWellFormedOutput) {
 
 INSTANTIATE_TEST_SUITE_P(EveryFigure, AllFiguresParam,
                          ::testing::ValuesIn(core::all_figure_ids()),
-                         [](const ::testing::TestParamInfo<std::string>& info) {
-                           return info.param;
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           return param_info.param;
                          });
 
 // ---------------------------------------------------------------------------

@@ -137,8 +137,8 @@ TEST_P(CpuParam, PinnedRanksBeatSpanningProcessPerCore) {
 INSTANTIATE_TEST_SUITE_P(TableOne, CpuParam,
                          ::testing::Values("Skylake-1", "Skylake-2", "Skylake-3", "Broadwell",
                                            "EPYC"),
-                         [](const ::testing::TestParamInfo<std::string>& info) {
-                           std::string s = info.param;
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string s = param_info.param;
                            std::erase_if(s, [](char c) { return c == '-'; });
                            return s;
                          });

@@ -109,10 +109,10 @@ INSTANTIATE_TEST_SUITE_P(
                            {95, 33, 241},    // n > NC by one
                        }),
                        ::testing::Values(GemmPath::naive, GemmPath::packed)),
-    [](const auto& info) {
-      const auto& shape = std::get<0>(info.param);
+    [](const auto& param_info) {
+      const auto& shape = std::get<0>(param_info.param);
       return std::to_string(std::get<0>(shape)) + "x" + std::to_string(std::get<1>(shape)) +
-             "x" + std::to_string(std::get<2>(shape)) + "_" + path_name(std::get<1>(info.param));
+             "x" + std::to_string(std::get<2>(shape)) + "_" + path_name(std::get<1>(param_info.param));
     });
 
 TEST(Gemm, DefaultPathIsPacked) { EXPECT_EQ(gemm_path(), GemmPath::packed); }

@@ -222,7 +222,9 @@ void check_required_fields(const Json& doc) {
     ASSERT_TRUE(e.has("pid"));
     ASSERT_TRUE(e.has("tid"));
     ASSERT_TRUE(e.has("ts"));
-    if (e.at("ph").string == "X") ASSERT_TRUE(e.has("dur"));
+    if (e.at("ph").string == "X") {
+      ASSERT_TRUE(e.has("dur"));
+    }
   }
 }
 

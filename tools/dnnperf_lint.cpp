@@ -1,0 +1,134 @@
+// dnnperf_lint: static analysis over everything the repo ships — model
+// graphs, CPU/GPU platforms, cluster topologies, and the tuned training
+// presets — plus any single model/cluster/config named on the command line.
+//
+//   dnnperf_lint                         # lint all shipped models + presets
+//   dnnperf_lint --model=resnet50        # one model's graph
+//   dnnperf_lint --cluster=Stampede2 --model=resnet50 --nodes=8   # one config
+//   dnnperf_lint --lint-json             # machine-readable output for CI
+//   dnnperf_lint --list-passes           # the pass registry
+//
+// Exit status: 0 when no Error-level findings, 1 otherwise (Warn/Advice do
+// not affect the exit code; --strict promotes Warn to failing).
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.hpp"
+#include "analysis/registry.hpp"
+#include "core/presets.hpp"
+#include "dnn/models.hpp"
+#include "hw/platforms.hpp"
+#include "util/cli.hpp"
+#include "util/diag.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dnnperf;
+
+void list_passes() {
+  util::TextTable table({"code", "severity", "family", "invariant"});
+  for (const auto& info : analysis::pass_registry())
+    table.add_row({info.code, util::to_string(info.severity), info.family, info.summary});
+  std::cout << table.to_text();
+}
+
+/// The tuned configurations the figures start from: TF-best, PyTorch-best,
+/// and the SP baseline on every CPU cluster for every paper model, plus a
+/// GPU config per GPU cluster.
+std::vector<train::TrainConfig> shipped_presets() {
+  std::vector<train::TrainConfig> configs;
+  for (const auto& cluster : hw::all_clusters()) {
+    if (cluster.node.has_gpu()) {
+      configs.push_back(core::gpu_config(cluster, dnn::ModelId::ResNet50,
+                                         exec::Framework::TensorFlow, 1,
+                                         cluster.node.gpu->devices_per_node, 32));
+      continue;
+    }
+    const int nodes = std::min(2, cluster.max_nodes);
+    for (dnn::ModelId model : dnn::paper_models()) {
+      configs.push_back(core::tf_best(cluster, model, nodes));
+      configs.push_back(core::pytorch_best(cluster, model, nodes));
+      configs.push_back(core::sp_baseline(cluster, model, 32));
+    }
+  }
+  return configs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("dnnperf_lint",
+                      "static analysis of model graphs, platforms, topologies, and "
+                      "training configurations");
+  cli.add_string("model", "lint one model by name (e.g. resnet50); empty = all", "");
+  cli.add_string("cluster", "lint one cluster by name (e.g. Stampede2); empty = all", "");
+  cli.add_int("nodes", "nodes for a --cluster+--model config lint", 1);
+  cli.add_int("ppn", "ppn override for the config lint (0 = tuned preset)", 0);
+  cli.add_int("batch", "per-rank batch for the config lint (0 = tuned preset)", 0);
+  cli.add_flag("presets", "lint the shipped tuned presets", true);
+  cli.add_flag("models", "lint every shipped model graph", true);
+  cli.add_flag("platforms", "lint every shipped CPU/GPU/cluster", true);
+  cli.add_flag("lint-json", "emit diagnostics as JSON (for CI)", false);
+  cli.add_flag("json", "alias for --lint-json", false);
+  cli.add_flag("strict", "exit nonzero on Warn findings too", false);
+  cli.add_flag("list-passes", "print the pass registry and exit", false);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << cli.usage();
+    return 2;
+  }
+
+  if (cli.get_flag("list-passes")) {
+    list_passes();
+    return 0;
+  }
+
+  util::Diagnostics all;
+  try {
+    const std::string model_arg = cli.get_string("model");
+    const std::string cluster_arg = cli.get_string("cluster");
+
+    if (!model_arg.empty() && !cluster_arg.empty()) {
+      // One explicit configuration.
+      const auto cluster = hw::cluster_by_name(cluster_arg);
+      train::TrainConfig cfg =
+          core::tf_best(cluster, dnn::model_by_name(model_arg),
+                        static_cast<int>(cli.get_int("nodes")));
+      if (cli.get_int("ppn") > 0) cfg.ppn = static_cast<int>(cli.get_int("ppn"));
+      if (cli.get_int("batch") > 0)
+        cfg.batch_per_rank = static_cast<int>(cli.get_int("batch"));
+      all.merge(analysis::lint_config(cfg));
+    } else if (!model_arg.empty()) {
+      all.merge(analysis::lint_graph(dnn::build_model(dnn::model_by_name(model_arg))));
+    } else if (!cluster_arg.empty()) {
+      all.merge(analysis::lint_cluster(hw::cluster_by_name(cluster_arg)));
+    } else {
+      if (cli.get_flag("models"))
+        for (dnn::ModelId id : dnn::all_models())
+          all.merge(analysis::lint_graph(dnn::build_model(id)));
+      if (cli.get_flag("platforms")) {
+        for (const auto& cpu : hw::all_cpus()) all.merge(analysis::lint_cpu(cpu));
+        for (const auto& cluster : hw::all_clusters())
+          all.merge(analysis::lint_cluster(cluster));
+      }
+      if (cli.get_flag("presets"))
+        for (const auto& cfg : shipped_presets()) all.merge(analysis::lint_config(cfg));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "dnnperf_lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (cli.get_flag("lint-json") || cli.get_flag("json"))
+    std::cout << util::render_json(all);
+  else
+    std::cout << util::render_text(all);
+
+  if (all.has_errors()) return 1;
+  if (cli.get_flag("strict") && all.count(util::Severity::Warn) > 0) return 1;
+  return 0;
+}
