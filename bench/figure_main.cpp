@@ -3,21 +3,33 @@
 // corresponding paper table/figure and prints its series and anchors.
 //
 // Flags: --csv also emits machine-readable CSV after the text tables.
+// --metrics-out=FILE records the figure run's metrics registry snapshot
+// (dnnperf-metrics-v1 JSON) for dnnperf_metrics check/diff.
 #include <iostream>
 
 #include "core/figures.hpp"
 #include "util/cli.hpp"
+#include "util/metrics.hpp"
 
 int main(int argc, char** argv) {
   dnnperf::util::CliParser cli(DNNPERF_FIGURE_ID,
                                "regenerates paper figure " DNNPERF_FIGURE_ID);
   cli.add_flag("csv", "also print CSV after the text tables", false);
+  cli.add_string("metrics-out", "write a metrics snapshot (dnnperf-metrics-v1 JSON) here", "");
   try {
     if (!cli.parse(argc, argv)) return 0;
+    const std::string metrics_out = cli.get_string("metrics-out");
+    if (!metrics_out.empty()) dnnperf::util::metrics::set_enabled(true);
     const auto figure = dnnperf::core::run_figure(DNNPERF_FIGURE_ID);
     std::cout << dnnperf::core::render(figure);
     if (cli.get_flag("csv"))
       for (const auto& table : figure.tables) std::cout << '\n' << table.to_csv();
+    if (!metrics_out.empty()) {
+      auto snap = dnnperf::util::metrics::snapshot();
+      snap.label = DNNPERF_FIGURE_ID;
+      dnnperf::util::metrics::write_json_file(snap, metrics_out);
+      std::cerr << "wrote " << snap.metrics.size() << " metrics to " << metrics_out << '\n';
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -10,17 +10,21 @@
 #include "core/figures.hpp"
 #include "core/insights.hpp"
 #include "util/cli.hpp"
+#include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 int main(int argc, char** argv) {
   dnnperf::util::CliParser cli("report_all", "regenerate all paper figures and insights");
   cli.add_flag("anchors-only", "print only figure anchors", false);
   cli.add_string("trace-out", "write a Chrome trace-event JSON timeline here", "");
+  cli.add_string("metrics-out", "write a metrics snapshot (dnnperf-metrics-v1 JSON) here", "");
   try {
     if (!cli.parse(argc, argv)) return 0;
     const bool anchors_only = cli.get_flag("anchors-only");
     const std::string trace_out = cli.get_string("trace-out");
     if (!trace_out.empty()) dnnperf::util::trace::set_enabled(true);
+    const std::string metrics_out = cli.get_string("metrics-out");
+    if (!metrics_out.empty()) dnnperf::util::metrics::set_enabled(true);
     for (const auto& id : dnnperf::core::all_figure_ids()) {
       const auto figure = dnnperf::core::run_figure(id);
       if (anchors_only) {
@@ -37,6 +41,12 @@ int main(int argc, char** argv) {
       dnnperf::util::trace::write_json_file(trace_out);
       std::cerr << "wrote " << dnnperf::util::trace::event_count() << " trace events to "
                 << trace_out << '\n';
+    }
+    if (!metrics_out.empty()) {
+      auto snap = dnnperf::util::metrics::snapshot();
+      snap.label = "report_all";
+      dnnperf::util::metrics::write_json_file(snap, metrics_out);
+      std::cerr << "wrote " << snap.metrics.size() << " metrics to " << metrics_out << '\n';
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -3,7 +3,11 @@
 # presets (ASan+UBSan, TSan, standalone UBSan with no recovery). The ASan and
 # TSan runs use the preset filters in CMakePresets.json — deterministic
 # unit/integration suites, not the timing-sensitive benches; the ubsan leg
-# runs the full suite and aborts on the first finding. Run from the repo root:
+# runs the full suite and aborts on the first finding. After the default
+# preset, a metrics smoke step records a 2-rank training snapshot, lints it,
+# and diffs its counters against the committed BENCH_metrics.json baseline
+# (timers and rates are machine-dependent and ignored; counter drift fails).
+# Run from the repo root:
 #
 #   ci/check.sh            # all four presets
 #   ci/check.sh default    # just one
@@ -15,6 +19,16 @@ if [ ${#presets[@]} -eq 0 ]; then
   presets=(default asan tsan ubsan)
 fi
 
+metrics_smoke() {
+  local build=build
+  local snap="$build/metrics_smoke.json"
+  echo "=== [default] metrics smoke ==="
+  "$build/examples/real_training" --ranks=2 --steps=2 --metrics-out="$snap" > /dev/null
+  "$build/tools/dnnperf_metrics" check "$snap"
+  "$build/tools/dnnperf_metrics" diff BENCH_metrics.json "$snap" \
+      --timers=ignore --rates=ignore
+}
+
 for preset in "${presets[@]}"; do
   echo "=== [$preset] configure ==="
   cmake --preset "$preset"
@@ -22,6 +36,9 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "$preset" -j "$(nproc)"
   echo "=== [$preset] ctest ==="
   ctest --preset "$preset"
+  if [ "$preset" = default ]; then
+    metrics_smoke
+  fi
 done
 
 echo "=== all presets passed: ${presets[*]} ==="

@@ -5,26 +5,18 @@
 // combined batch (the equivalence every experiment in the paper relies on).
 //
 //   ./real_training --ranks 4 --batch-per-rank 4 --steps 6
-//   ./real_training --trace-out=train.trace.json   # open in ui.perfetto.dev
+//   ./real_training --trace-out=train.trace.json    # open in ui.perfetto.dev
+//   ./real_training --metrics-out=train.metrics.json  # dnnperf_metrics check/diff
 #include <cmath>
+#include <fstream>
 #include <iostream>
 
+#include "dnn/report.hpp"
 #include "train/real_trainer.hpp"
 #include "util/cli.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "util/trace.hpp"
-
-namespace {
-
-/// One table row per training phase: per-step wall-clock statistics in ms.
-void add_phase_row(dnnperf::util::TextTable& table, const char* name,
-                   const dnnperf::util::RunStats& s) {
-  using dnnperf::util::TextTable;
-  table.add_row({name, TextTable::num(s.mean() * 1e3, 3), TextTable::num(s.stddev() * 1e3, 3),
-                 TextTable::num(s.min() * 1e3, 3), TextTable::num(s.max() * 1e3, 3)});
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dnnperf;
@@ -34,6 +26,8 @@ int main(int argc, char** argv) {
   cli.add_int("steps", "training steps", 6);
   cli.add_flag("batch-norm", "include BatchNorm layers (breaks exact SP==MP)", false);
   cli.add_string("trace-out", "write a Chrome trace-event JSON timeline here", "");
+  cli.add_string("metrics-out", "write a metrics snapshot here (see --metrics-format)", "");
+  cli.add_string("metrics-format", "snapshot format: json|prometheus|csv", "json");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -44,6 +38,11 @@ int main(int argc, char** argv) {
     cfg.batch_norm = cli.get_flag("batch-norm");
     const std::string trace_out = cli.get_string("trace-out");
     if (!trace_out.empty()) util::trace::set_enabled(true);
+    const std::string metrics_out = cli.get_string("metrics-out");
+    const std::string metrics_format = cli.get_string("metrics-format");
+    if (metrics_format != "json" && metrics_format != "prometheus" && metrics_format != "csv")
+      throw std::invalid_argument("--metrics-format must be json|prometheus|csv");
+    if (!metrics_out.empty()) util::metrics::set_enabled(true);
 
     std::cout << "training a small CNN on synthetic data: " << cfg.ranks << " ranks x batch "
               << cfg.batch_per_rank << " (effective " << cfg.ranks * cfg.batch_per_rank
@@ -67,19 +66,38 @@ int main(int argc, char** argv) {
       std::cout << "  (BatchNorm statistics are per-shard, so exact equality is not expected)";
     std::cout << "\nHorovod engine: " << mp.comm.framework_requests << " tensor submissions, "
               << mp.comm.data_allreduces << " fused data allreduces, "
-              << mp.comm.engine_wakeups << " engine cycles\n";
+              << mp.comm.engine_wakeups << " engine cycles"
+              << "\nMP throughput: " << util::TextTable::num(mp.images_per_sec, 1)
+              << " images/sec over " << util::TextTable::num(mp.wall_seconds, 3) << " s\n";
 
-    util::TextTable phase_table({"phase (rank 0)", "mean ms", "stddev", "min", "max"});
-    add_phase_row(phase_table, "forward", mp.phases.forward);
-    add_phase_row(phase_table, "backward", mp.phases.backward);
-    add_phase_row(phase_table, "exchange", mp.phases.exchange);
-    add_phase_row(phase_table, "optimizer", mp.phases.optimizer);
-    std::cout << '\n' << phase_table.to_text();
+    std::cout << '\n'
+              << dnn::stats_table({{"forward", &mp.phases.forward},
+                                   {"backward", &mp.phases.backward},
+                                   {"exchange", &mp.phases.exchange},
+                                   {"optimizer", &mp.phases.optimizer}},
+                                  /*unit_scale=*/1e3, "ms")
+                     .to_text();
 
     if (!trace_out.empty()) {
       util::trace::write_json_file(trace_out);
       std::cout << "\nwrote " << util::trace::event_count() << " trace events to " << trace_out
                 << " (load in chrome://tracing or ui.perfetto.dev)\n";
+    }
+    if (!metrics_out.empty()) {
+      util::metrics::Snapshot snap = util::metrics::snapshot();
+      snap.label = "real_training ranks=" + std::to_string(cfg.ranks) +
+                   " batch=" + std::to_string(cfg.batch_per_rank) +
+                   " steps=" + std::to_string(cfg.steps);
+      if (metrics_format == "json") {
+        util::metrics::write_json_file(snap, metrics_out);
+      } else {
+        std::ofstream out(metrics_out);
+        if (!out) throw std::runtime_error("cannot open " + metrics_out);
+        out << (metrics_format == "prometheus" ? util::metrics::to_prometheus(snap)
+                                               : util::metrics::to_csv(snap));
+      }
+      std::cout << "\nwrote " << snap.metrics.size() << " metrics to " << metrics_out
+                << " (validate with dnnperf_metrics check)\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -4,6 +4,7 @@
 
 #include "analysis/graph_passes.hpp"
 #include "analysis/hw_passes.hpp"
+#include "analysis/metrics_passes.hpp"
 #include "analysis/net_passes.hpp"
 #include "analysis/policy_passes.hpp"
 #include "net/link.hpp"
@@ -13,6 +14,12 @@ namespace dnnperf::analysis {
 util::Diagnostics lint_graph(const dnn::Graph& graph) {
   util::Diagnostics diags;
   run_graph_passes(graph, diags);
+  return diags;
+}
+
+util::Diagnostics lint_metrics(const util::metrics::Snapshot& snap, const std::string& object) {
+  util::Diagnostics diags;
+  run_metrics_passes(snap, object, diags);
   return diags;
 }
 

@@ -15,10 +15,14 @@
 #include "net/topology.hpp"
 #include "train/trainer.hpp"
 #include "util/diag.hpp"
+#include "util/metrics.hpp"
 
 namespace dnnperf::analysis {
 
 util::Diagnostics lint_graph(const dnn::Graph& graph);
+/// Lints a metrics snapshot (live or parsed from JSON): duplicate
+/// registrations (M001) and Prometheus-charset names (M002).
+util::Diagnostics lint_metrics(const util::metrics::Snapshot& snap, const std::string& object);
 util::Diagnostics lint_cpu(const hw::CpuModel& cpu);
 util::Diagnostics lint_cluster(const hw::ClusterModel& cluster);
 util::Diagnostics lint_topology(const net::Topology& topo, const std::string& object);

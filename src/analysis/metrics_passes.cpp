@@ -1,0 +1,55 @@
+#include "analysis/metrics_passes.hpp"
+
+#include <map>
+#include <vector>
+
+namespace dnnperf::analysis {
+
+namespace {
+
+bool prometheus_name_ok(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head_ok = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  const auto tail_ok = [&](char c) { return head_ok(c) || (c >= '0' && c <= '9'); };
+  if (!head_ok(name.front())) return false;
+  for (std::size_t i = 1; i < name.size(); ++i)
+    if (!tail_ok(name[i])) return false;
+  return true;
+}
+
+}  // namespace
+
+void run_metrics_passes(const util::metrics::Snapshot& snap, const std::string& object,
+                        util::Diagnostics& diags) {
+  // M001: the registry keys metrics by (name, kind), so re-registering a name
+  // under a different kind silently creates a second metric. Exporters then
+  // emit two series under one name — Prometheus rejects the exposition and
+  // diff tooling matches the wrong one.
+  std::map<std::string, std::vector<util::metrics::Kind>> kinds_by_name;
+  for (const auto& m : snap.metrics) kinds_by_name[m.name].push_back(m.kind);
+  for (const auto& [name, kinds] : kinds_by_name) {
+    if (kinds.size() < 2) continue;
+    std::string listing;
+    for (const auto& k : kinds) {
+      if (!listing.empty()) listing += ", ";
+      listing += util::metrics::to_string(k);
+    }
+    diags.error("M001", object, name,
+                "metric registered under " + std::to_string(kinds.size()) + " kinds (" +
+                    listing + ")",
+                "pick one kind per name; rename one of the registrations");
+  }
+
+  // M002: Prometheus metric-name charset. The repo's naming scheme also wants
+  // the <layer>_<what> shape, but only the charset is an invariant.
+  for (const auto& m : snap.metrics) {
+    if (!prometheus_name_ok(m.name))
+      diags.error("M002", object, m.name,
+                  "metric name outside the Prometheus charset [a-zA-Z_:][a-zA-Z0-9_:]*",
+                  "use lowercase letters, digits, and underscores; start with a letter");
+  }
+}
+
+}  // namespace dnnperf::analysis

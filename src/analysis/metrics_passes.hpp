@@ -1,0 +1,19 @@
+// Metrics-registry lint passes (M family): checks over a
+// util::metrics::Snapshot — the names and shapes a run exported, whether
+// live from the registry or parsed back from a JSON snapshot file.
+//
+//   M001  duplicate metric registration: one name carrying two kinds
+//   M002  name outside the Prometheus charset [a-zA-Z_:][a-zA-Z0-9_:]*
+#pragma once
+
+#include <string>
+
+#include "util/diag.hpp"
+#include "util/metrics.hpp"
+
+namespace dnnperf::analysis {
+
+void run_metrics_passes(const util::metrics::Snapshot& snap, const std::string& object,
+                        util::Diagnostics& diags);
+
+}  // namespace dnnperf::analysis

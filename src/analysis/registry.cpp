@@ -86,6 +86,11 @@ const std::vector<PassInfo>& pass_registry() {
        "per-rank batch not a multiple of 8; SIMD and cache blocking run partially empty"},
       {"S012", Severity::Advice, "schedule",
        "TensorFlow inter-op threads off the paper's tuned rule (2 with SMT, 1 without)"},
+      // ---- metrics-registry passes -----------------------------------------
+      {"M001", Severity::Error, "metrics",
+       "metric name registered under more than one kind (duplicate registration)"},
+      {"M002", Severity::Error, "metrics",
+       "metric name outside the Prometheus charset [a-zA-Z_:][a-zA-Z0-9_:]*"},
   };
   return table;
 }

@@ -27,6 +27,9 @@ Measurement Experiment::measure(const train::TrainConfig& config) {
       throw std::invalid_argument("Experiment: config failed lint\n" +
                                   util::render_text(diags));
   }
+  const bool scoring = util::metrics::enabled();
+  util::metrics::Snapshot before;
+  if (scoring) before = util::metrics::snapshot();
   const train::TrainResult base = train::run_training(config);
   util::Rng rng(seed_ + 0x9E37 * ++counter_);
   util::RunStats stats;
@@ -36,6 +39,11 @@ Measurement Experiment::measure(const train::TrainConfig& config) {
   m.images_per_sec = stats.mean();
   m.stddev = stats.stddev();
   m.last = base;
+  if (scoring) {
+    util::metrics::Snapshot after = util::metrics::snapshot();
+    after.label = analysis::config_label(config);
+    m.scorecard = util::metrics::delta(before, after);
+  }
   return m;
 }
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "train/trainer.hpp"
+#include "util/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace dnnperf::core {
@@ -16,6 +17,10 @@ struct Measurement {
   double images_per_sec = 0.0;  ///< mean over repeats
   double stddev = 0.0;
   train::TrainResult last;      ///< full result of the final (noise-free) run
+  /// This config's slice of the metrics registry: the delta between the
+  /// snapshots taken before and after the base run, labeled with
+  /// analysis::config_label. Empty when metrics are runtime-disabled.
+  util::metrics::Snapshot scorecard;
 };
 
 class Experiment {

@@ -2,10 +2,13 @@
 // HOROVOD_CYCLE_TIME, and the number of Allreduce operations issued by the
 // Horovod Engine, measured with the paper's custom profiling counters
 // (reproduced by hvd::CommStats) over 40 training iterations.
+#include <stdexcept>
+
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
 #include "core/presets.hpp"
 #include "hw/platforms.hpp"
+#include "util/metrics.hpp"
 
 namespace dnnperf::core {
 
@@ -15,6 +18,30 @@ using util::TextTable;
 
 constexpr int kProfilingIterations = 40;
 constexpr int kProfilingNodes = 8;
+
+/// Engine-issued allreduce ops of one run. When the metrics registry is
+/// live, the count comes from the registry delta (the same
+/// hvd_engine_cycles_total + hvd_allreduce_issued_total the engine publishes
+/// through hvd::EngineCounters) and is cross-checked against the CommStats
+/// struct — the two share one increment path, so a mismatch means the
+/// figure's accounting broke and the run aborts rather than print a number
+/// that drifted from the engine's own. With metrics off, the struct is the
+/// only source.
+double engine_ops(const util::metrics::Snapshot& before, const train::TrainResult& r) {
+  const double struct_ops = static_cast<double>(r.comm.engine_allreduces());
+  if (!util::metrics::enabled()) return struct_ops;
+  const auto d = util::metrics::delta(before, util::metrics::snapshot());
+  const auto* cycles = d.find(hvd::metric_names::kCycles);
+  const auto* issued = d.find(hvd::metric_names::kIssued);
+  const double registry_ops =
+      static_cast<double>((cycles != nullptr ? cycles->count : 0) +
+                          (issued != nullptr ? issued->count : 0));
+  if (registry_ops != struct_ops)
+    throw std::logic_error("profiling figure: registry engine-op count (" +
+                           std::to_string(registry_ops) + ") != CommStats count (" +
+                           std::to_string(struct_ops) + ")");
+  return registry_ops;
+}
 
 FigureResult profiling_figure(const std::string& id, const std::string& title,
                               exec::Framework fw, const std::vector<dnn::ModelId>& models,
@@ -40,8 +67,10 @@ FigureResult profiling_figure(const std::string& id, const std::string& title,
                      : pytorch_best(hw::stampede2(), m, kProfilingNodes);
       cfg.iterations = kProfilingIterations;
       cfg.policy.cycle_time_s = ms * 1e-3;
+      util::metrics::Snapshot before;
+      if (util::metrics::enabled()) before = util::metrics::snapshot();
       const auto r = train::run_training(cfg);
-      const auto ops = static_cast<double>(r.comm.engine_allreduces());
+      const double ops = engine_ops(before, r);
       if (ms == cycle_times_ms.front()) {
         base_perf[m] = r.images_per_sec;
         base_ops[m] = ops;

@@ -7,6 +7,23 @@
 
 namespace dnnperf::dnn {
 
+util::TextTable stats_table(
+    const std::vector<std::pair<std::string, const util::RunStats*>>& rows,
+    double unit_scale, const std::string& unit, int digits) {
+  util::TextTable table({"phase", "n", "mean (" + unit + ")", "CV", "p50", "p95", "p99",
+                         "min", "max"});
+  for (const auto& [name, s] : rows)
+    table.add_row({name, std::to_string(s->count()),
+                   util::TextTable::num(s->mean() * unit_scale, digits),
+                   util::TextTable::num(s->coeff_of_variation(), 3),
+                   util::TextTable::num(s->p50() * unit_scale, digits),
+                   util::TextTable::num(s->p95() * unit_scale, digits),
+                   util::TextTable::num(s->p99() * unit_scale, digits),
+                   util::TextTable::num(s->min() * unit_scale, digits),
+                   util::TextTable::num(s->max() * unit_scale, digits)});
+  return table;
+}
+
 util::TextTable summary_table(const Graph& graph, std::size_t max_rows) {
   util::TextTable table({"#", "name", "kind", "output", "params", "fwd GFLOP/img"});
   const auto& ops = graph.ops();

@@ -4,11 +4,22 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "dnn/graph.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace dnnperf::dnn {
+
+/// Distribution table for timed series (one row per named RunStats):
+/// mean, CV, p50/p95/p99, min/max — the per-phase breakdown format the
+/// trainers print. `unit_scale` multiplies every value column (e.g. 1e3
+/// with unit "ms" for second-series), `digits` is the printed precision.
+util::TextTable stats_table(
+    const std::vector<std::pair<std::string, const util::RunStats*>>& rows,
+    double unit_scale = 1.0, const std::string& unit = "s", int digits = 3);
 
 /// Layer table: name, kind, output shape, params, fwd GFLOPs (per image).
 /// `max_rows` truncates long models (0 = all rows).

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "util/metrics.hpp"
+
 namespace dnnperf::hvd {
 
 struct FusionPolicy {
@@ -35,6 +37,49 @@ struct CommStats {
   double bytes_reduced = 0.0;
 
   CommStats& operator+=(const CommStats& other);
+};
+
+/// Registry names for the engine counters (shared by RealEngine, TimelineSim,
+/// figures_profiling, and the metrics tests — one spelling, no drift).
+namespace metric_names {
+inline constexpr const char* kRequested = "hvd_allreduce_requested_total";
+inline constexpr const char* kIssued = "hvd_allreduce_issued_total";
+inline constexpr const char* kCycles = "hvd_engine_cycles_total";
+inline constexpr const char* kFusionBytes = "hvd_fusion_bytes_total";
+inline constexpr const char* kFusionUtil = "hvd_fusion_buffer_utilization";
+inline constexpr const char* kCycleTime = "hvd_cycle_time";
+}  // namespace metric_names
+
+/// The single publication path for the paper's Sec. VIII counters: every
+/// increment lands in the local CommStats struct *and* the corresponding
+/// registry metric in one call, so the struct consumers (figures, tests) and
+/// the registry consumers (exporters, dnnperf_metrics) can never disagree.
+/// Used by both hvd::RealEngine (thread-parallel ranks) and hvd::TimelineSim
+/// (the DES model). Registry writes are no-ops unless metrics are enabled.
+class EngineCounters {
+ public:
+  EngineCounters();
+
+  void on_framework_request(std::uint64_t n = 1);
+  /// One engine cycle wake-up (always issues one coordination allreduce).
+  void on_engine_wakeup();
+  /// One fused-buffer data allreduce of `bytes`, with the fill fraction of
+  /// the fusion buffer it shipped (bytes / fusion_threshold, capped at 1).
+  void on_data_allreduce(double bytes, double fill_ratio);
+  /// Wall (or virtual) duration of one busy engine cycle, seconds.
+  void on_cycle_time(double seconds);
+
+  const CommStats& stats() const { return stats_; }
+  CommStats& stats() { return stats_; }
+
+ private:
+  CommStats stats_;
+  util::metrics::Counter requested_;
+  util::metrics::Counter issued_;
+  util::metrics::Counter cycles_;
+  util::metrics::Counter fusion_bytes_;
+  util::metrics::Gauge fusion_util_;
+  util::metrics::Histogram cycle_time_;
 };
 
 }  // namespace dnnperf::hvd

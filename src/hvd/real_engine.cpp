@@ -1,8 +1,10 @@
 #include "hvd/real_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
+#include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace dnnperf::hvd {
@@ -51,18 +53,21 @@ void RealEngine::submit(int tensor_id, std::span<float> data) {
   t.data = data;
   t.submitted = true;
   t.complete = false;
-  ++stats_.framework_requests;
+  counters_.on_framework_request();
 }
 
 int RealEngine::process() {
   started_ = true;
   DNNPERF_TRACE_SPAN_VAR(cycle_span, "hvd", "engine.cycle");
+  const bool timing = util::metrics::enabled();
+  const auto cycle_start = timing ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
 
   // Coordination: a tensor proceeds only when ready on every rank.
   std::vector<std::int32_t> ready(tensors_.size());
   for (std::size_t i = 0; i < tensors_.size(); ++i)
     ready[i] = (tensors_[i].submitted && !tensors_[i].complete) ? 1 : 0;
-  ++stats_.engine_wakeups;
+  counters_.on_engine_wakeup();
   {
     DNNPERF_TRACE_SPAN_VAR(span, "hvd", "negotiate");
     if (span.active())
@@ -123,8 +128,9 @@ int RealEngine::process() {
                           .str());
       exchange(std::span<float>(fusion_buffer_.data(), buffer_elems));
     }
-    ++stats_.data_allreduces;
-    stats_.bytes_reduced += static_cast<double>(buffer_elems) * sizeof(float);
+    const double buffer_bytes = static_cast<double>(buffer_elems) * sizeof(float);
+    counters_.on_data_allreduce(buffer_bytes,
+                                std::min(1.0, buffer_bytes / policy_.fusion_threshold_bytes));
 
     {
       DNNPERF_TRACE_SPAN_VAR(span, "hvd", "fusion.unpack");
@@ -142,6 +148,9 @@ int RealEngine::process() {
   }
   if (cycle_span.active())
     cycle_span.set_args(std::move(util::trace::Args().add("completed", completed)).str());
+  if (timing)
+    counters_.on_cycle_time(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - cycle_start).count());
   return completed;
 }
 

@@ -55,7 +55,7 @@ class RealEngine {
   void synchronize();
 
   bool is_complete(int tensor_id) const;
-  const CommStats& stats() const { return stats_; }
+  const CommStats& stats() const { return counters_.stats(); }
   int world_size() const { return comm_.size(); }
 
  private:
@@ -77,7 +77,7 @@ class RealEngine {
   std::vector<Tensor> tensors_;
   std::unordered_map<std::string, int> by_name_;
   std::vector<float> fusion_buffer_;
-  CommStats stats_;
+  EngineCounters counters_;  ///< publishes CommStats + registry metrics together
   bool started_ = false;  ///< true once process() ran; registration is closed
 
 };

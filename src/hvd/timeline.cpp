@@ -59,7 +59,7 @@ class TimelineSim {
     TimelineResult result;
     result.total_time = finish_time_;
     result.per_iteration = finish_time_ / in_.iterations;
-    result.stats = stats_;
+    result.stats = counters_.stats();
     result.comm_exposed_fraction =
         finish_time_ > 0.0 ? exposed_total_ / finish_time_ : 0.0;
     return result;
@@ -85,7 +85,12 @@ class TimelineSim {
   }
 
   void forward_done() {
-    stats_.framework_requests += in_.grad_events.size();
+    // Framework requests exist only when a Horovod engine is modeled: with
+    // cost == nullptr there is no engine to hand gradients to, and the real
+    // path (single-process run_real_training, no RealEngine) counts zero.
+    // Counting them here used to make the sim disagree with every real
+    // no-comm run — the parity bug the registry metrics now guard against.
+    if (in_.cost != nullptr) counters_.on_framework_request(in_.grad_events.size());
     for (const auto& e : in_.grad_events) {
       engine_.schedule_after(e.time * stretch_, [this, bytes = e.bytes] {
         if (in_.cost == nullptr) {
@@ -115,7 +120,7 @@ class TimelineSim {
   /// cycle time. Busy wake-ups charge one negotiation allreduce, then one
   /// data allreduce per fused buffer.
   void wake() {
-    ++stats_.engine_wakeups;
+    counters_.on_engine_wakeup();
     if (pending_.empty()) {
       if (!done_) engine_.schedule_after(in_.policy.cycle_time_s, [this] { wake(); });
       return;
@@ -148,10 +153,11 @@ class TimelineSim {
             ar_time,
             std::move(trace::Args().add("tensors", fused).add("bytes", buffer_bytes)).str());
       busy += ar_time;
-      ++stats_.data_allreduces;
-      stats_.bytes_reduced += buffer_bytes;
+      counters_.on_data_allreduce(
+          buffer_bytes, std::min(1.0, buffer_bytes / in_.policy.fusion_threshold_bytes));
       reduced_after_busy_ += fused;
     }
+    counters_.on_cycle_time(busy);  // virtual seconds of this busy cycle
 
     engine_.schedule_after(busy, [this, batch = reduced_after_busy_] {
       reduced_ += batch;
@@ -184,7 +190,7 @@ class TimelineSim {
 
   TimelineInput in_;
   sim::Engine engine_;
-  CommStats stats_;
+  EngineCounters counters_;
   std::deque<double> pending_;
   bool tracing_ = false;
   int reduced_ = 0;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 
 #include "ref/gemm_packed.hpp"
+#include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace dnnperf::ref {
@@ -21,6 +23,40 @@ int out_dim(int in, int k, int stride, int pad) {
   if (out <= 0) throw std::invalid_argument("gemm helpers: output dim <= 0");
   return out;
 }
+
+/// Registry instrumentation for both GEMM entry points: call/FLOP counters,
+/// a duration histogram, and a most-recent-throughput gauge. The handles are
+/// function-local statics so registration happens once; with metrics
+/// runtime-disabled the whole scope is one relaxed load and no clock read.
+class GemmMetricsScope {
+ public:
+  GemmMetricsScope(int m, int k, int n)
+      : flops_(2.0 * m * k * n), active_(util::metrics::enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ~GemmMetricsScope() {
+    if (!active_) return;
+    static const auto calls =
+        util::metrics::counter("ref_gemm_calls_total", "GEMM kernel invocations");
+    static const auto flops =
+        util::metrics::counter("ref_gemm_flops_total", "Floating-point operations (2*m*k*n)");
+    static const auto seconds =
+        util::metrics::histogram("ref_gemm_seconds", "GEMM wall time per call, seconds");
+    static const auto gflops = util::metrics::gauge(
+        "ref_gemm_gflops", "Throughput of the most recent GEMM call, GFLOP/s");
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    calls.inc();
+    flops.inc(static_cast<std::uint64_t>(flops_));
+    seconds.observe(dt);
+    if (dt > 0.0) gflops.set(flops_ / dt * 1e-9);
+  }
+
+ private:
+  double flops_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Shape + path args and FLOP count for a GEMM-shaped trace span.
 template <typename SpanT>
@@ -165,6 +201,7 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool& pool, bool ac
   check_gemm_shapes(a, b, c, m, k, n, "gemm");
   DNNPERF_TRACE_SPAN_VAR(span, "ref", "gemm");
   annotate_gemm_span(span, m, k, n, path);
+  GemmMetricsScope metrics_scope(m, k, n);
   if (path == GemmPath::packed) {
     gemm_packed(a.data(), b.data(), c.data(), m, k, n, accumulate, pool);
     return;
@@ -184,6 +221,7 @@ void gemm_at(const Tensor& a_t, const Tensor& b, Tensor& c, ThreadPool& pool, bo
   check_gemm_shapes(a_t, b, c, m, k, n, "gemm_at");
   DNNPERF_TRACE_SPAN_VAR(span, "ref", "gemm_at");
   annotate_gemm_span(span, m, k, n, path);
+  GemmMetricsScope metrics_scope(m, k, n);
   if (path == GemmPath::packed) {
     gemm_at_packed(a_t.data(), b.data(), c.data(), m, k, n, accumulate, pool);
     return;

@@ -4,11 +4,27 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace dnnperf::ref {
 
 namespace {
+
+/// pool_chunks_total counts chunks actually dispatched (any thread);
+/// pool_inline_total counts parallel_for calls that short-circuited to a
+/// serial body run (re-entrant, single-thread, or under-grain).
+const util::metrics::Counter& chunk_counter() {
+  static const auto c =
+      util::metrics::counter("pool_chunks_total", "parallel_for chunks dispatched");
+  return c;
+}
+
+const util::metrics::Counter& inline_counter() {
+  static const auto c = util::metrics::counter(
+      "pool_inline_total", "parallel_for calls run inline (serial short-circuit)");
+  return c;
+}
 
 /// Pool whose parallel_for body is executing on this thread, if any. A
 /// nested parallel_for on the same pool would interleave with the outer
@@ -28,6 +44,7 @@ void run_chunk(const ThreadPool* pool,
                const std::function<void(std::size_t, std::size_t)>& body, std::size_t begin,
                std::size_t end) {
   ExecutingGuard guard(pool);
+  chunk_counter().inc();
   DNNPERF_TRACE_SPAN_VAR(span, "pool", "chunk");
   if (span.active())
     span.set_args(std::move(util::trace::Args()
@@ -91,10 +108,12 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t min_grain,
   // Re-entrant call from inside one of our own chunks: the shared dispatch
   // state is owned by the outer loop, so execute serially right here.
   if (tl_executing_pool == this) {
+    inline_counter().inc();
     body(0, n);
     return;
   }
   if (threads_ == 1 || n <= std::max<std::size_t>(min_grain, 1)) {
+    inline_counter().inc();
     body(0, n);
     return;
   }

@@ -9,6 +9,7 @@
 #include "mpi/world.hpp"
 #include "ref/kernels.hpp"
 #include "ref/network.hpp"
+#include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace dnnperf::train {
@@ -18,6 +19,28 @@ namespace {
 /// Seconds elapsed on the steady clock since `t0`.
 double since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Per-step phase timers + throughput, published alongside PhaseTimes so the
+/// printed tables and the exported snapshots come from the same samples.
+struct TrainMetrics {
+  util::metrics::Histogram forward = util::metrics::histogram(
+      "train_step_forward_seconds", "Forward pass + loss per step, seconds");
+  util::metrics::Histogram backward = util::metrics::histogram(
+      "train_step_backward_seconds", "Backpropagation per step, seconds");
+  util::metrics::Histogram exchange = util::metrics::histogram(
+      "train_step_exchange_seconds", "Exposed gradient exchange per step, seconds");
+  util::metrics::Histogram optimizer = util::metrics::histogram(
+      "train_step_optimizer_seconds", "SGD parameter update per step, seconds");
+  util::metrics::Counter images =
+      util::metrics::counter("train_images_total", "Images processed (this rank)");
+  util::metrics::Gauge rate = util::metrics::gauge(
+      "train_images_per_sec", "Global images/sec of the most recent training run");
+};
+
+const TrainMetrics& train_metrics() {
+  static const TrainMetrics m;
+  return m;
 }
 
 void check(const RealTrainConfig& cfg) {
@@ -78,6 +101,8 @@ RealTrainResult run_real_training(const RealTrainConfig& cfg) {
     util::Rng data_rng(cfg.seed + 1);  // same global data stream on every rank
     std::vector<float> losses;
     PhaseTimes phases;
+    const TrainMetrics& tm = train_metrics();
+    const auto loop_start = std::chrono::steady_clock::now();
 
     for (int step = 0; step < cfg.steps; ++step) {
       DNNPERF_TRACE_SPAN_VAR(step_span, "train", "step");
@@ -97,6 +122,7 @@ RealTrainResult run_real_training(const RealTrainConfig& cfg) {
         loss = ref::softmax_xent(logits, shard.labels, dlogits);
       }
       phases.forward.add(since(t0));
+      tm.forward.observe(since(t0));
 
       t0 = std::chrono::steady_clock::now();
       {
@@ -104,6 +130,7 @@ RealTrainResult run_real_training(const RealTrainConfig& cfg) {
         net.backward(dlogits);
       }
       phases.backward.add(since(t0));
+      tm.backward.observe(since(t0));
 
       // Hand each gradient to the engine as backward produced it, then run
       // engine cycles until all are averaged across ranks.
@@ -115,6 +142,7 @@ RealTrainResult run_real_training(const RealTrainConfig& cfg) {
         engine.synchronize();
       }
       phases.exchange.add(since(t0));
+      tm.exchange.observe(since(t0));
 
       t0 = std::chrono::steady_clock::now();
       {
@@ -122,6 +150,8 @@ RealTrainResult run_real_training(const RealTrainConfig& cfg) {
         sgd.step(params);
       }
       phases.optimizer.add(since(t0));
+      tm.optimizer.observe(since(t0));
+      tm.images.inc(static_cast<std::uint64_t>(cfg.batch_per_rank));
 
       mpi::allreduce(comm, std::span<float>(&loss, 1), mpi::ReduceOp::Sum);
       losses.push_back(loss / static_cast<float>(cfg.ranks));
@@ -133,6 +163,12 @@ RealTrainResult run_real_training(const RealTrainConfig& cfg) {
       result.phases = phases;
       result.parameters = net.num_parameters();
       result.final_params = flatten_params(net);
+      result.wall_seconds = since(loop_start);
+      result.images_per_sec =
+          result.wall_seconds > 0.0
+              ? static_cast<double>(global_batch) * cfg.steps / result.wall_seconds
+              : 0.0;
+      tm.rate.set(result.images_per_sec);
     }
   });
   return result;
@@ -149,6 +185,8 @@ RealTrainResult run_real_training_single(const RealTrainConfig& cfg) {
   ref::Network net = ref::make_tiny_cnn(cfg.channels, cfg.image_size, cfg.classes, pool, init_rng, cfg.batch_norm);
   ref::SgdOptimizer sgd(cfg.learning_rate);
   util::Rng data_rng(cfg.seed + 1);
+  const TrainMetrics& tm = train_metrics();
+  const auto loop_start = std::chrono::steady_clock::now();
 
   for (int step = 0; step < cfg.steps; ++step) {
     DNNPERF_TRACE_SPAN_VAR(step_span, "train", "step");
@@ -166,6 +204,7 @@ RealTrainResult run_real_training_single(const RealTrainConfig& cfg) {
       loss = ref::softmax_xent(logits, batch.labels, dlogits);
     }
     result.phases.forward.add(since(t0));
+    tm.forward.observe(since(t0));
 
     t0 = std::chrono::steady_clock::now();
     {
@@ -173,6 +212,7 @@ RealTrainResult run_real_training_single(const RealTrainConfig& cfg) {
       net.backward(dlogits);
     }
     result.phases.backward.add(since(t0));
+    tm.backward.observe(since(t0));
 
     t0 = std::chrono::steady_clock::now();
     {
@@ -180,11 +220,19 @@ RealTrainResult run_real_training_single(const RealTrainConfig& cfg) {
       sgd.step(net.params());
     }
     result.phases.optimizer.add(since(t0));
+    tm.optimizer.observe(since(t0));
+    tm.images.inc(static_cast<std::uint64_t>(global_batch));
 
     result.losses.push_back(loss);
   }
   result.parameters = net.num_parameters();
   result.final_params = flatten_params(net);
+  result.wall_seconds = since(loop_start);
+  result.images_per_sec =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(global_batch) * cfg.steps / result.wall_seconds
+          : 0.0;
+  tm.rate.set(result.images_per_sec);
   return result;
 }
 

@@ -52,6 +52,8 @@ struct RealTrainResult {
   PhaseTimes phases;          ///< rank-0 per-step phase timings (seconds)
   std::size_t parameters = 0;
   std::vector<float> final_params;  ///< rank-0 flattened parameters after training
+  double wall_seconds = 0.0;        ///< training-loop wall time (rank 0)
+  double images_per_sec = 0.0;      ///< global images processed / wall_seconds
 };
 
 /// Multi-process (MP) training: `ranks` workers, per-rank batch, Horovod-style

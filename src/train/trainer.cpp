@@ -9,6 +9,7 @@
 #include "exec/placement.hpp"
 #include "mpi/cost.hpp"
 #include "net/topology.hpp"
+#include "util/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace dnnperf::train {
@@ -147,6 +148,18 @@ TrainResult run_training(const TrainConfig& cfg) {
   result.optimizer_s = tl.optimizer_time;
   result.comm = sim.stats;
   result.comm_exposed_fraction = sim.comm_exposed_fraction;
+
+  // Modeled-run outcome gauges (virtual time, not wall time): each measured
+  // config's values land in its Experiment scorecard via snapshot deltas.
+  static const auto rate_gauge = util::metrics::gauge(
+      "sim_images_per_sec", "Modeled throughput of the most recent simulated config");
+  static const auto iter_gauge = util::metrics::gauge(
+      "sim_iteration_seconds", "Modeled per-iteration time of the most recent simulated config");
+  static const auto exposed_gauge = util::metrics::gauge(
+      "sim_comm_exposed_fraction", "Modeled fraction of run time exposed to communication");
+  rate_gauge.set(result.images_per_sec);
+  iter_gauge.set(result.per_iteration_s);
+  exposed_gauge.set(result.comm_exposed_fraction);
   return result;
 }
 

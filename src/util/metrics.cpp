@@ -1,0 +1,831 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace dnnperf::util::metrics {
+
+namespace {
+
+/// One thread's private cells, indexed by the metric's slot. Vectors grow on
+/// demand by the owning thread; snapshot() reads them under the registry
+/// lock after recorders have gone quiet (see the header's threading
+/// contract).
+struct Shard {
+  std::vector<std::uint64_t> counters;
+  std::vector<std::unique_ptr<HistogramData>> hists;
+};
+
+struct MetricInfo {
+  std::string name;
+  std::string help;
+  Kind kind;
+  int slot;  ///< index into the per-kind cell arrays
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<MetricInfo> infos;                  ///< registration order
+  std::map<std::pair<std::string, int>, int> by_name_kind;  ///< -> index into infos
+  int counter_slots = 0;
+  int gauge_slots = 0;
+  int hist_slots = 0;
+  std::deque<std::atomic<double>> gauges;         ///< deque: grows without moving
+  std::vector<std::unique_ptr<Shard>> shards;     ///< owns shards past thread exit
+  std::atomic<std::uint64_t> generation{1};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::atomic<bool> g_enabled{false};
+
+/// The calling thread's shard, registered on first use (or first use after a
+/// reset()); subsequent calls are two thread-local reads plus one relaxed
+/// atomic load — the same pattern as util/trace's buffers.
+Shard& local_shard() {
+  thread_local Shard* cached = nullptr;
+  thread_local std::uint64_t cached_gen = 0;
+  Registry& reg = registry();
+  const std::uint64_t gen = reg.generation.load(std::memory_order_acquire);
+  if (cached == nullptr || cached_gen != gen) {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.shards.push_back(std::make_unique<Shard>());
+    cached = reg.shards.back().get();
+    cached_gen = gen;
+  }
+  return *cached;
+}
+
+int register_metric(const std::string& name, const std::string& help, Kind kind) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto key = std::make_pair(name, static_cast<int>(kind));
+  if (auto it = reg.by_name_kind.find(key); it != reg.by_name_kind.end())
+    return reg.infos[static_cast<std::size_t>(it->second)].slot;
+  int slot = 0;
+  switch (kind) {
+    case Kind::Counter: slot = reg.counter_slots++; break;
+    case Kind::Gauge:
+      slot = reg.gauge_slots++;
+      reg.gauges.emplace_back(0.0);
+      break;
+    case Kind::Histogram: slot = reg.hist_slots++; break;
+  }
+  reg.by_name_kind[key] = static_cast<int>(reg.infos.size());
+  reg.infos.push_back(MetricInfo{name, help, kind, slot});
+  return slot;
+}
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+bool is_rate_gauge(const std::string& name) {
+  return name.ends_with("_per_sec") || name.ends_with("_gflops") ||
+         name.find("throughput") != std::string::npos;
+}
+
+}  // namespace
+
+const char* to_string(Kind kind) {
+  switch (kind) {
+    case Kind::Counter: return "counter";
+    case Kind::Gauge: return "gauge";
+    case Kind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void reset() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.shards.clear();
+  for (auto& g : reg.gauges) g.store(0.0, std::memory_order_relaxed);
+  reg.generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+namespace detail {
+
+void counter_add(int slot, std::uint64_t n) {
+  Shard& s = local_shard();
+  const auto idx = static_cast<std::size_t>(slot);
+  if (s.counters.size() <= idx) s.counters.resize(idx + 1, 0);
+  s.counters[idx] += n;
+}
+
+void gauge_set(int slot, double value) {
+  Registry& reg = registry();
+  // The deque cell exists before the handle does; no lock needed to write.
+  reg.gauges[static_cast<std::size_t>(slot)].store(value, std::memory_order_relaxed);
+}
+
+void histogram_observe(int slot, double value) {
+  Shard& s = local_shard();
+  const auto idx = static_cast<std::size_t>(slot);
+  if (s.hists.size() <= idx) s.hists.resize(idx + 1);
+  if (!s.hists[idx]) s.hists[idx] = std::make_unique<HistogramData>();
+  s.hists[idx]->observe(value);
+}
+
+}  // namespace detail
+
+Counter counter(const std::string& name, const std::string& help) {
+  return Counter(register_metric(name, help, Kind::Counter));
+}
+
+Gauge gauge(const std::string& name, const std::string& help) {
+  return Gauge(register_metric(name, help, Kind::Gauge));
+}
+
+Histogram histogram(const std::string& name, const std::string& help) {
+  return Histogram(register_metric(name, help, Kind::Histogram));
+}
+
+ScopedTimer::ScopedTimer(Histogram h) : h_(h), active_(enabled()) {
+  if (active_) start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!active_) return;
+  h_.observe(std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count());
+}
+
+// --- Histogram --------------------------------------------------------------
+
+double hist_bucket_bound(int i) {
+  return std::exp2(kHistMinExp + static_cast<double>(i) / kHistSubBuckets);
+}
+
+int hist_bucket_index(double value) {
+  if (!(value > 0.0)) return 0;
+  int exp = 0;
+  const double m = std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  // Quarter-octave sub-bucket from the mantissa: thresholds 0.5 * 2^(k/4).
+  const int sub = m < 0.5946035575013605 ? 0 : m < 0.7071067811865476 ? 1
+                  : m < 0.8408964152537145 ? 2 : 3;
+  const int idx = (exp - 1 - kHistMinExp) * kHistSubBuckets + sub;
+  return std::clamp(idx, 0, kHistNumBuckets - 1);
+}
+
+void HistogramData::observe(double value) {
+  if (count == 0) {
+    min = max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  if (buckets.empty()) buckets.assign(kHistNumBuckets, 0);
+  ++buckets[static_cast<std::size_t>(hist_bucket_index(value))];
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  if (!other.buckets.empty()) {
+    if (buckets.empty()) buckets.assign(kHistNumBuckets, 0);
+    for (std::size_t i = 0; i < buckets.size() && i < other.buckets.size(); ++i)
+      buckets[i] += other.buckets[i];
+  }
+}
+
+double HistogramData::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  if (p == 0.0) return min;
+  if (buckets.empty()) return min;  // parsed snapshots may carry no buckets
+  // Target rank (1-based); walk the cumulative distribution to its bucket.
+  const double target = std::max(1.0, p * static_cast<double>(count));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (static_cast<double>(cum + buckets[i]) >= target) {
+      const double within = (target - static_cast<double>(cum)) /
+                            static_cast<double>(buckets[i]);
+      const double lo = hist_bucket_bound(static_cast<int>(i));
+      const double hi = hist_bucket_bound(static_cast<int>(i) + 1);
+      return std::clamp(lo + within * (hi - lo), min, max);
+    }
+    cum += buckets[i];
+  }
+  return max;
+}
+
+// --- Snapshot ---------------------------------------------------------------
+
+const MetricValue* Snapshot::find(const std::string& name) const {
+  for (const auto& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  for (const auto& om : other.metrics) {
+    MetricValue* mine = nullptr;
+    for (auto& m : metrics)
+      if (m.name == om.name && m.kind == om.kind) {
+        mine = &m;
+        break;
+      }
+    if (mine == nullptr) {
+      metrics.push_back(om);
+      continue;
+    }
+    switch (om.kind) {
+      case Kind::Counter: mine->count += om.count; break;
+      case Kind::Gauge: mine->value = std::max(mine->value, om.value); break;
+      case Kind::Histogram: mine->hist.merge(om.hist); break;
+    }
+  }
+  std::sort(metrics.begin(), metrics.end(), [](const MetricValue& a, const MetricValue& b) {
+    return a.name != b.name ? a.name < b.name : a.kind < b.kind;
+  });
+}
+
+Snapshot snapshot() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  Snapshot snap;
+  snap.metrics.reserve(reg.infos.size());
+  for (const auto& info : reg.infos) {
+    MetricValue mv;
+    mv.name = info.name;
+    mv.help = info.help;
+    mv.kind = info.kind;
+    const auto slot = static_cast<std::size_t>(info.slot);
+    switch (info.kind) {
+      case Kind::Counter:
+        for (const auto& s : reg.shards)
+          if (slot < s->counters.size()) mv.count += s->counters[slot];
+        break;
+      case Kind::Gauge:
+        mv.value = reg.gauges[slot].load(std::memory_order_relaxed);
+        break;
+      case Kind::Histogram:
+        for (const auto& s : reg.shards)
+          if (slot < s->hists.size() && s->hists[slot]) mv.hist.merge(*s->hists[slot]);
+        break;
+    }
+    snap.metrics.push_back(std::move(mv));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name != b.name ? a.name < b.name : a.kind < b.kind;
+            });
+  return snap;
+}
+
+Snapshot delta(const Snapshot& before, const Snapshot& after) {
+  Snapshot out;
+  out.label = after.label;
+  for (const auto& am : after.metrics) {
+    const MetricValue* bm = nullptr;
+    for (const auto& m : before.metrics)
+      if (m.name == am.name && m.kind == am.kind) {
+        bm = &m;
+        break;
+      }
+    MetricValue d = am;
+    if (bm != nullptr) {
+      switch (am.kind) {
+        case Kind::Counter: d.count = am.count >= bm->count ? am.count - bm->count : 0; break;
+        case Kind::Gauge: break;  // keep after's level
+        case Kind::Histogram: {
+          d.hist.count = am.hist.count >= bm->hist.count ? am.hist.count - bm->hist.count : 0;
+          d.hist.sum = am.hist.sum - bm->hist.sum;
+          if (!am.hist.buckets.empty()) {
+            d.hist.buckets = am.hist.buckets;
+            for (std::size_t i = 0; i < d.hist.buckets.size() && i < bm->hist.buckets.size(); ++i)
+              d.hist.buckets[i] -= std::min(d.hist.buckets[i], bm->hist.buckets[i]);
+          }
+          break;
+        }
+      }
+    }
+    out.metrics.push_back(std::move(d));
+  }
+  return out;
+}
+
+// --- Exporters --------------------------------------------------------------
+
+std::string to_prometheus(const Snapshot& snap) {
+  std::string out;
+  for (const auto& m : snap.metrics) {
+    if (!m.help.empty()) out += "# HELP " + m.name + " " + m.help + "\n";
+    out += "# TYPE " + m.name + " " + to_string(m.kind) + "\n";
+    switch (m.kind) {
+      case Kind::Counter:
+        out += m.name + " " + std::to_string(m.count) + "\n";
+        break;
+      case Kind::Gauge:
+        out += m.name + " " + format_double(m.value) + "\n";
+        break;
+      case Kind::Histogram: {
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < m.hist.buckets.size(); ++i) {
+          if (m.hist.buckets[i] == 0) continue;
+          cum += m.hist.buckets[i];
+          out += m.name + "_bucket{le=\"" +
+                 format_double(hist_bucket_bound(static_cast<int>(i) + 1)) + "\"} " +
+                 std::to_string(cum) + "\n";
+        }
+        out += m.name + "_bucket{le=\"+Inf\"} " + std::to_string(m.hist.count) + "\n";
+        out += m.name + "_sum " + format_double(m.hist.sum) + "\n";
+        out += m.name + "_count " + std::to_string(m.hist.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", static_cast<unsigned>(c));
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snap) {
+  std::string out = "{\"schema\":\"dnnperf-metrics-v1\"";
+  if (!snap.label.empty()) {
+    out += ",\"label\":\"";
+    append_json_escaped(out, snap.label);
+    out += "\"";
+  }
+  out += ",\"metrics\":[\n";
+  for (std::size_t i = 0; i < snap.metrics.size(); ++i) {
+    const auto& m = snap.metrics[i];
+    out += "{\"name\":\"";
+    append_json_escaped(out, m.name);
+    out += "\",\"kind\":\"";
+    out += to_string(m.kind);
+    out += "\"";
+    if (!m.help.empty()) {
+      out += ",\"help\":\"";
+      append_json_escaped(out, m.help);
+      out += "\"";
+    }
+    switch (m.kind) {
+      case Kind::Counter: out += ",\"value\":" + std::to_string(m.count); break;
+      case Kind::Gauge: out += ",\"value\":" + format_double(m.value); break;
+      case Kind::Histogram:
+        out += ",\"count\":" + std::to_string(m.hist.count);
+        out += ",\"sum\":" + format_double(m.hist.sum);
+        out += ",\"min\":" + format_double(m.hist.min);
+        out += ",\"max\":" + format_double(m.hist.max);
+        out += ",\"p50\":" + format_double(m.hist.percentile(0.50));
+        out += ",\"p95\":" + format_double(m.hist.percentile(0.95));
+        out += ",\"p99\":" + format_double(m.hist.percentile(0.99));
+        out += ",\"buckets\":[";
+        {
+          bool first = true;
+          for (std::size_t b = 0; b < m.hist.buckets.size(); ++b) {
+            if (m.hist.buckets[b] == 0) continue;
+            if (!first) out += ',';
+            first = false;
+            out += "[" + std::to_string(b) + "," + std::to_string(m.hist.buckets[b]) + "]";
+          }
+        }
+        out += "]";
+        break;
+    }
+    out += "}";
+    if (i + 1 < snap.metrics.size()) out += ',';
+    out += '\n';
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string to_csv(const Snapshot& snap) {
+  std::string out = "name,kind,value,count,sum,min,max,mean,p50,p95,p99\n";
+  for (const auto& m : snap.metrics) {
+    out += m.name;
+    out += ',';
+    out += to_string(m.kind);
+    switch (m.kind) {
+      case Kind::Counter: out += "," + std::to_string(m.count) + ",,,,,,,,"; break;
+      case Kind::Gauge: out += "," + format_double(m.value) + ",,,,,,,,"; break;
+      case Kind::Histogram:
+        out += ",," + std::to_string(m.hist.count) + "," + format_double(m.hist.sum) + "," +
+               format_double(m.hist.min) + "," + format_double(m.hist.max) + "," +
+               format_double(m.hist.mean()) + "," + format_double(m.hist.percentile(0.50)) +
+               "," + format_double(m.hist.percentile(0.95)) + "," +
+               format_double(m.hist.percentile(0.99));
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void write_json_file(const Snapshot& snap, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("metrics: cannot open " + path + " for writing");
+  out << to_json(snap);
+  out.flush();
+  if (!out) throw std::runtime_error("metrics: failed writing " + path);
+}
+
+// --- Minimal JSON parser (only the subset to_json() emits) ------------------
+
+namespace {
+
+struct Json {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  const Json* get(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  const Json& at(const std::string& key) const {
+    const Json* v = get(key);
+    if (v == nullptr) throw std::runtime_error("metrics JSON: missing key '" + key + "'");
+    return *v;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size())
+      throw std::runtime_error("metrics JSON: trailing characters at offset " +
+                               std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) throw std::runtime_error("metrics JSON: unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c)
+      throw std::runtime_error(std::string("metrics JSON: expected '") + c + "' at offset " +
+                               std::to_string(pos_));
+    ++pos_;
+  }
+
+  Json value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        Json v;
+        v.kind = Json::Kind::String;
+        v.string = string();
+        return v;
+      }
+      case 't': literal("true"); return boolean(true);
+      case 'f': literal("false"); return boolean(false);
+      case 'n': literal("null"); return Json{};
+      default: return number();
+    }
+  }
+
+  static Json boolean(bool b) {
+    Json v;
+    v.kind = Json::Kind::Bool;
+    v.boolean = b;
+    return v;
+  }
+
+  void literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) expect(*p);
+  }
+
+  Json object() {
+    Json v;
+    v.kind = Json::Kind::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object[std::move(key)] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json array() {
+    Json v;
+    v.kind = Json::Kind::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) throw std::runtime_error("metrics JSON: bad \\u escape");
+            const unsigned code =
+                static_cast<unsigned>(std::stoul(s_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: throw std::runtime_error("metrics JSON: unknown escape");
+        }
+        continue;
+      }
+      out += c;
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) throw std::runtime_error("metrics JSON: expected a number");
+    Json v;
+    v.kind = Json::Kind::Number;
+    v.number = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+Kind kind_from_string(const std::string& s) {
+  if (s == "counter") return Kind::Counter;
+  if (s == "gauge") return Kind::Gauge;
+  if (s == "histogram") return Kind::Histogram;
+  throw std::runtime_error("metrics JSON: unknown metric kind '" + s + "'");
+}
+
+}  // namespace
+
+Snapshot parse_json(const std::string& text) {
+  const Json doc = JsonParser(text).parse();
+  if (doc.kind != Json::Kind::Object)
+    throw std::runtime_error("metrics JSON: document is not an object");
+  const Json* schema = doc.get("schema");
+  if (schema == nullptr || schema->string != "dnnperf-metrics-v1")
+    throw std::runtime_error("metrics JSON: missing or unknown schema (want dnnperf-metrics-v1)");
+  Snapshot snap;
+  if (const Json* label = doc.get("label")) snap.label = label->string;
+  for (const Json& jm : doc.at("metrics").array) {
+    MetricValue mv;
+    mv.name = jm.at("name").string;
+    mv.kind = kind_from_string(jm.at("kind").string);
+    if (const Json* help = jm.get("help")) mv.help = help->string;
+    switch (mv.kind) {
+      case Kind::Counter:
+        mv.count = static_cast<std::uint64_t>(jm.at("value").number);
+        break;
+      case Kind::Gauge: mv.value = jm.at("value").number; break;
+      case Kind::Histogram: {
+        mv.hist.count = static_cast<std::uint64_t>(jm.at("count").number);
+        mv.hist.sum = jm.at("sum").number;
+        mv.hist.min = jm.at("min").number;
+        mv.hist.max = jm.at("max").number;
+        if (const Json* buckets = jm.get("buckets"); buckets != nullptr &&
+                                                     !buckets->array.empty()) {
+          mv.hist.buckets.assign(kHistNumBuckets, 0);
+          for (const Json& pair : buckets->array) {
+            if (pair.array.size() != 2)
+              throw std::runtime_error("metrics JSON: bucket entries are [index,count] pairs");
+            const auto idx = static_cast<std::size_t>(pair.array[0].number);
+            if (idx >= mv.hist.buckets.size())
+              throw std::runtime_error("metrics JSON: bucket index out of range");
+            mv.hist.buckets[idx] = static_cast<std::uint64_t>(pair.array[1].number);
+          }
+        }
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(mv));
+  }
+  return snap;
+}
+
+// --- Regression diff --------------------------------------------------------
+
+namespace {
+
+double rel_change(double base, double current) {
+  if (base == 0.0) return 0.0;
+  return (current - base) / std::abs(base);
+}
+
+std::string percent(double rel) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", rel * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+bool DiffResult::regression() const {
+  return std::any_of(entries.begin(), entries.end(),
+                     [](const DiffEntry& e) { return e.regression; });
+}
+
+std::string DiffResult::render() const {
+  std::ostringstream os;
+  for (const auto& e : entries) {
+    if (e.note.empty() && !e.regression) continue;  // unchanged: keep output short
+    os << (e.regression ? "REGRESSION " : "           ") << e.name << " [" << to_string(e.kind)
+       << "] " << format_double(e.base) << " -> " << format_double(e.current);
+    if (!e.note.empty()) os << "  (" << e.note << ")";
+    os << '\n';
+  }
+  const auto regressions =
+      std::count_if(entries.begin(), entries.end(), [](const DiffEntry& e) { return e.regression; });
+  os << entries.size() << " metrics compared, " << regressions << " regression(s)\n";
+  return os.str();
+}
+
+DiffResult diff_snapshots(const Snapshot& base, const Snapshot& current,
+                          const DiffThresholds& th) {
+  DiffResult out;
+  for (const auto& bm : base.metrics) {
+    DiffEntry e;
+    e.name = bm.name;
+    e.kind = bm.kind;
+    const MetricValue* cm = nullptr;
+    for (const auto& m : current.metrics)
+      if (m.name == bm.name && m.kind == bm.kind) {
+        cm = &m;
+        break;
+      }
+    switch (bm.kind) {
+      case Kind::Counter: {
+        e.base = static_cast<double>(bm.count);
+        if (cm == nullptr) {
+          e.regression = th.check_counters;
+          e.note = "only in base";
+          break;
+        }
+        e.current = static_cast<double>(cm->count);
+        e.change_rel = rel_change(e.base, e.current);
+        if (th.check_counters && std::abs(e.change_rel) > th.counter_rel &&
+            e.base != e.current) {
+          e.regression = true;
+          e.note = "count drift " + percent(e.change_rel) + " > " +
+                   percent(th.counter_rel).substr(1);
+        } else if (e.base != e.current) {
+          e.note = "count drift " + percent(e.change_rel);
+        }
+        break;
+      }
+      case Kind::Gauge: {
+        e.base = bm.value;
+        if (cm == nullptr) {
+          e.note = "only in base";
+          break;
+        }
+        e.current = cm->value;
+        e.change_rel = rel_change(e.base, e.current);
+        if (th.check_rates && is_rate_gauge(bm.name) && e.change_rel < -th.rate_rel) {
+          e.regression = true;
+          e.note = "rate dropped " + percent(e.change_rel);
+        }
+        break;
+      }
+      case Kind::Histogram: {
+        e.base = bm.hist.percentile(0.50);
+        if (cm == nullptr) {
+          e.regression = th.check_timers;
+          e.note = "only in base";
+          break;
+        }
+        e.current = cm->hist.percentile(0.50);
+        e.change_rel = rel_change(e.base, e.current);
+        if (th.check_timers && e.change_rel > th.timer_rel) {
+          e.regression = true;
+          e.note = "p50 inflated " + percent(e.change_rel) + " > " +
+                   percent(th.timer_rel).substr(1);
+        }
+        break;
+      }
+    }
+    out.entries.push_back(std::move(e));
+  }
+  for (const auto& cm : current.metrics) {
+    const bool in_base = std::any_of(base.metrics.begin(), base.metrics.end(),
+                                     [&](const MetricValue& m) {
+                                       return m.name == cm.name && m.kind == cm.kind;
+                                     });
+    if (in_base) continue;
+    DiffEntry e;
+    e.name = cm.name;
+    e.kind = cm.kind;
+    e.current = cm.kind == Kind::Counter ? static_cast<double>(cm.count)
+                : cm.kind == Kind::Gauge ? cm.value
+                                         : cm.hist.percentile(0.50);
+    e.note = "new metric";
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace dnnperf::util::metrics

@@ -1,0 +1,269 @@
+// Typed metrics registry: the quantitative-observability layer the paper's
+// deliverable rests on (images/sec tables, the Sec. VIII requested-vs-issued
+// Allreduce counters, per-phase timings). Where util/trace answers "when did
+// it happen", this layer answers "how much and how fast" — named Counters,
+// Gauges, and log-scale Histograms with p50/p95/p99, snapshotted into
+// machine-readable exports (Prometheus text exposition, JSON, CSV) and diffed
+// across runs by tools/dnnperf_metrics.
+//
+// Cost model (mirrors util/trace):
+//  - recording goes to a per-thread shard: a plain array add, no locks, no
+//    atomics beyond one relaxed enabled() load per call site;
+//  - runtime-disabled (the default): every instrumentation site is a single
+//    relaxed atomic load;
+//  - compiled out (-DDNNPERF_METRICS_ENABLED=0): handle methods are empty
+//    inline functions the compiler removes entirely. Registration and the
+//    snapshot/export machinery stay available so tools still build.
+//
+// Threading contract: record from any number of threads concurrently (shards
+// are thread-owned); registration (counter()/gauge()/histogram()) may happen
+// from any thread at any time; snapshot()/reset() must not race with threads
+// that are actively recording — callers snapshot after worker threads have
+// joined, as the trainers and examples do.
+//
+// Naming scheme (Prometheus conventions, checked by lint pass M002):
+//   <layer>_<what>[_<unit>][_total]   e.g. hvd_allreduce_requested_total,
+//   train_step_forward_seconds, ref_gemm_flops_total, pool_chunks_total.
+// Counters end in _total; histograms of durations end in _seconds (the
+// hvd_cycle_time histogram keeps the paper's name for the Sec. VIII knob).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#ifndef DNNPERF_METRICS_ENABLED
+#define DNNPERF_METRICS_ENABLED 1
+#endif
+
+namespace dnnperf::util::metrics {
+
+enum class Kind { Counter, Gauge, Histogram };
+
+const char* to_string(Kind kind);
+
+/// Runtime switch; metrics collection starts disabled.
+bool enabled();
+void set_enabled(bool on);
+
+/// Drops every recorded value (all shards, all gauges). Registered names and
+/// handles stay valid. Not to be called while other threads record.
+void reset();
+
+namespace detail {
+void counter_add(int slot, std::uint64_t n);
+void gauge_set(int slot, double value);
+void histogram_observe(int slot, double value);
+}  // namespace detail
+
+/// Monotonic event/byte/flop count. Cross-rank merge: sum.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) const {
+#if DNNPERF_METRICS_ENABLED
+    if (enabled() && slot_ >= 0) detail::counter_add(slot_, n);
+#else
+    (void)n;
+#endif
+  }
+
+ private:
+  friend Counter counter(const std::string&, const std::string&);
+  explicit Counter(int slot) : slot_(slot) {}
+  int slot_ = -1;
+};
+
+/// Last-written value (a level, not a count): utilization, images/sec.
+/// Writes go to a central atomic cell — gauges are not hot-path.
+/// Cross-rank merge: maximum (ranks are symmetric; max is jitter-robust).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double value) const {
+#if DNNPERF_METRICS_ENABLED
+    if (enabled() && slot_ >= 0) detail::gauge_set(slot_, value);
+#else
+    (void)value;
+#endif
+  }
+
+ private:
+  friend Gauge gauge(const std::string&, const std::string&);
+  explicit Gauge(int slot) : slot_(slot) {}
+  int slot_ = -1;
+};
+
+/// Fixed-bucket log-scale histogram of positive values (durations, ratios).
+/// Buckets are quarter-octaves — bound(i) = 2^(kHistMinExp + i/4) — so any
+/// percentile estimate is within one bucket ratio (2^0.25 ~ 19%) of exact.
+/// Cross-rank merge: bucket-wise sum (exact for counts/sums/percentiles).
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double value) const {
+#if DNNPERF_METRICS_ENABLED
+    if (enabled() && slot_ >= 0) detail::histogram_observe(slot_, value);
+#else
+    (void)value;
+#endif
+  }
+
+ private:
+  friend Histogram histogram(const std::string&, const std::string&);
+  friend class ScopedTimer;
+  explicit Histogram(int slot) : slot_(slot) {}
+  int slot_ = -1;
+};
+
+/// RAII duration sampler: observes elapsed wall seconds into a Histogram at
+/// destruction. With metrics runtime-disabled, construction is one relaxed
+/// load and no clock is read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram h);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  bool active() const { return active_; }
+
+ private:
+  Histogram h_;
+  bool active_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Get-or-create registration. The same (name, kind) pair always returns a
+/// handle to the same metric; re-registering a name under a *different* kind
+/// creates a second metric with the same name — the snapshot then carries the
+/// duplicate, which lint pass M001 reports. `help` is kept from the first
+/// registration. Thread-safe; not hot-path (takes the registry lock).
+Counter counter(const std::string& name, const std::string& help = {});
+Gauge gauge(const std::string& name, const std::string& help = {});
+Histogram histogram(const std::string& name, const std::string& help = {});
+
+/// Number of quarter-octave histogram buckets and their bounds.
+inline constexpr int kHistMinExp = -34;  ///< lowest bucket lower bound: 2^-34 (~58 ps)
+inline constexpr int kHistSubBuckets = 4;
+inline constexpr int kHistNumBuckets = 256;  ///< covers up to 2^30 (~34 years in seconds)
+
+/// Lower bound of bucket `i`: 2^(kHistMinExp + i/4).
+double hist_bucket_bound(int i);
+/// Bucket index for a value; non-positive and out-of-range values clamp to
+/// the first/last bucket (count/sum/min/max stay exact regardless).
+int hist_bucket_index(double value);
+
+/// Merged histogram state: exact count/sum/min/max plus bucket counts.
+struct HistogramData {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::uint64_t> buckets;  ///< empty (all-zero) or kHistNumBuckets wide
+
+  void observe(double value);
+  void merge(const HistogramData& other);
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Estimated quantile, p in [0,1]: linear interpolation inside the bucket
+  /// holding the target rank, clamped to [min, max]. Empty -> 0.
+  double percentile(double p) const;
+};
+
+/// One metric's merged value at snapshot time.
+struct MetricValue {
+  std::string name;
+  std::string help;
+  Kind kind = Kind::Counter;
+  std::uint64_t count = 0;   ///< counter total
+  double value = 0.0;        ///< gauge value
+  HistogramData hist;        ///< histogram state
+};
+
+/// Point-in-time merge of every thread shard plus the central gauges; the
+/// scorecard unit that exporters serialize and dnnperf_metrics diffs.
+struct Snapshot {
+  std::string label;                  ///< optional: what was measured
+  std::vector<MetricValue> metrics;   ///< sorted by (name, kind)
+
+  const MetricValue* find(const std::string& name) const;
+  /// Cross-rank / cross-process merge: counters sum, histograms bucket-merge,
+  /// gauges take the maximum; metrics present on one side only are kept.
+  void merge(const Snapshot& other);
+};
+
+/// Merges all shards (including those of exited threads). Does not clear.
+Snapshot snapshot();
+
+/// The change from `before` to `after` (both from this process's registry):
+/// counters and histogram counts/sums/buckets subtract; gauges and the
+/// histogram min/max keep the `after` values (interval extrema are not
+/// recoverable — percentile interpolation only clamps against them, so the
+/// estimate stays within bucket resolution). Metrics new in `after` are kept
+/// whole. This is how core::Experiment carves one scorecard per config out
+/// of the cumulative registry.
+Snapshot delta(const Snapshot& before, const Snapshot& after);
+
+// --- Exporters --------------------------------------------------------------
+
+/// Prometheus text exposition format (# HELP/# TYPE, histogram as cumulative
+/// _bucket{le=...}/_sum/_count series).
+std::string to_prometheus(const Snapshot& snap);
+/// JSON document ({"schema":"dnnperf-metrics-v1","metrics":[...]}) with
+/// sparse histogram buckets and precomputed p50/p95/p99 for readability.
+std::string to_json(const Snapshot& snap);
+/// Flat CSV: name,kind,value,count,sum,min,max,mean,p50,p95,p99.
+std::string to_csv(const Snapshot& snap);
+
+/// Parses a document produced by to_json() back into a Snapshot (percentiles
+/// are recomputed from the buckets). Throws std::runtime_error on malformed
+/// input or an unknown schema.
+Snapshot parse_json(const std::string& text);
+
+/// to_json() to `path`; throws std::runtime_error on I/O failure.
+void write_json_file(const Snapshot& snap, const std::string& path);
+
+// --- Regression diff (the dnnperf_metrics engine) ---------------------------
+
+/// What counts as a regression when comparing `current` against `base`:
+///  - histograms are duration-like (lower is better): p50 inflated beyond
+///    timer_rel fails;
+///  - counters are accounting (any drift beyond counter_rel, either
+///    direction, fails — a changed allreduce count means changed semantics);
+///  - gauges whose name marks them as a rate (_per_sec, _gflops) are
+///    higher-is-better: a drop beyond rate_rel fails; other gauges are
+///    informational.
+/// Per-family check_* switches let CI ignore wall-clock families while
+/// keeping the deterministic counters strict.
+struct DiffThresholds {
+  double timer_rel = 0.10;
+  double counter_rel = 0.0;
+  double rate_rel = 0.10;
+  bool check_timers = true;
+  bool check_counters = true;
+  bool check_rates = true;
+};
+
+struct DiffEntry {
+  std::string name;
+  Kind kind = Kind::Counter;
+  double base = 0.0;      ///< counter value / gauge value / histogram p50
+  double current = 0.0;
+  double change_rel = 0.0;  ///< (current - base) / |base|; 0 when base is 0
+  bool regression = false;
+  std::string note;  ///< "p50 +12.3% > 10%", "only in base", ...
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> entries;  ///< one per metric in either snapshot
+  bool regression() const;
+  /// Human-readable table of the diff (regressions marked).
+  std::string render() const;
+};
+
+DiffResult diff_snapshots(const Snapshot& base, const Snapshot& current,
+                          const DiffThresholds& thresholds);
+
+}  // namespace dnnperf::util::metrics

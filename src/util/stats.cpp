@@ -17,6 +17,23 @@ void RunStats::add(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+  if (x > 0.0)
+    hist_.observe(x);
+  else
+    ++nonpos_;
+}
+
+double RunStats::percentile(double p) const {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("RunStats::percentile: p outside [0,1]");
+  if (n_ == 0) return 0.0;
+  // The target rank over ALL samples; the first nonpos_ ranks sit at or
+  // below zero, outside the log buckets, so they resolve to min().
+  const double target = std::max(1.0, p * static_cast<double>(n_));
+  if (target <= static_cast<double>(nonpos_)) return min_;
+  if (hist_.count == 0) return min_;
+  const double p_pos = (target - static_cast<double>(nonpos_)) /
+                       static_cast<double>(hist_.count);
+  return std::max(min_, hist_.percentile(p_pos));
 }
 
 double RunStats::variance() const {

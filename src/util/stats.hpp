@@ -9,9 +9,13 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/metrics.hpp"
+
 namespace dnnperf::util {
 
-/// Streaming mean/variance/min/max (Welford).
+/// Streaming mean/variance/min/max (Welford), plus estimated percentiles
+/// from a metrics::HistogramData of the positive samples. Memory stays O(1):
+/// the histogram is fixed-width, so RunStats still never stores the series.
 class RunStats {
  public:
   void add(double x);
@@ -26,6 +30,15 @@ class RunStats {
   /// stddev / |mean|; 0 when mean is 0. The absolute value keeps the CV a
   /// non-negative dispersion measure for negative-mean series.
   double coeff_of_variation() const;
+  /// Estimated quantile, p in [0,1]: log-bucket interpolation clamped to
+  /// [min, max], within one quarter-octave (~19%) of exact for positive
+  /// series. Non-positive samples land below every positive bucket, so
+  /// ranks that fall among them return min(). Empty -> 0; p outside [0,1]
+  /// throws std::invalid_argument.
+  double percentile(double p) const;
+  double p50() const { return percentile(0.50); }
+  double p95() const { return percentile(0.95); }
+  double p99() const { return percentile(0.99); }
 
  private:
   std::size_t n_ = 0;
@@ -33,6 +46,8 @@ class RunStats {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  std::size_t nonpos_ = 0;          ///< samples <= 0 (not representable in log buckets)
+  metrics::HistogramData hist_;     ///< positive samples only
 };
 
 double mean(const std::vector<double>& xs);

@@ -1,0 +1,147 @@
+// dnnperf_metrics: validate, convert, and regression-diff metrics snapshots
+// (the dnnperf-metrics-v1 JSON that --metrics-out and Experiment scorecards
+// emit). This is the bench-trajectory gate: CI diffs a fresh snapshot
+// against the committed BENCH_metrics.json baseline and fails on regression.
+//
+//   dnnperf_metrics check snapshot.json            # schema + lint (M001/M002)
+//   dnnperf_metrics diff base.json current.json    # exit 1 on regression
+//   dnnperf_metrics convert snapshot.json --format=prometheus
+//
+// Diff semantics (see util::metrics::DiffThresholds): histograms are
+// duration-like — p50 inflated past --timer-rel fails; counters are exact
+// accounting — any drift past --counter-rel in either direction fails;
+// gauges named *_per_sec/*_gflops are rates — a drop past --rate-rel fails.
+// Wall-clock families can be switched off for machine-independent CI gating
+// with --timers=ignore / --rates=ignore while counters stay strict.
+//
+// --bench-out=FILE rewrites the checked/current snapshot to FILE (canonical
+// formatting), seeding or refreshing the committed baseline.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/analyze.hpp"
+#include "util/cli.hpp"
+#include "util/diag.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+using namespace dnnperf;
+namespace metrics = util::metrics;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+metrics::Snapshot load(const std::string& path) { return metrics::parse_json(read_file(path)); }
+
+/// Parses a per-family switch: "fail" -> true, "ignore" -> false.
+bool family_checked(const std::string& flag, const std::string& value) {
+  if (value == "fail") return true;
+  if (value == "ignore") return false;
+  throw std::invalid_argument("--" + flag + " must be 'fail' or 'ignore', got '" + value + "'");
+}
+
+int check(const metrics::Snapshot& snap, const std::string& path) {
+  const util::Diagnostics diags = analysis::lint_metrics(snap, path);
+  if (!diags.empty()) std::cout << util::render_text(diags);
+  std::cout << path << ": " << snap.metrics.size() << " metrics, schema dnnperf-metrics-v1, "
+            << (diags.has_errors() ? "INVALID" : "ok") << "\n";
+  return diags.has_errors() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("dnnperf_metrics",
+                      "validate, convert, and regression-diff dnnperf metrics snapshots\n"
+                      "  commands: check <snap.json> | diff <base.json> <current.json> | "
+                      "convert <snap.json>");
+  cli.add_flag("check", "alias for the 'check' command", false);
+  cli.add_string("format", "convert output format: json|prometheus|csv", "prometheus");
+  cli.add_double("timer-rel", "histogram regression threshold: p50 inflation fraction", 0.10);
+  cli.add_double("counter-rel", "counter drift tolerance fraction (0 = exact)", 0.0);
+  cli.add_double("rate-rel", "rate-gauge drop threshold fraction", 0.10);
+  cli.add_string("timers", "histogram family: fail|ignore", "fail");
+  cli.add_string("counters", "counter family: fail|ignore", "fail");
+  cli.add_string("rates", "rate-gauge family: fail|ignore", "fail");
+  cli.add_string("bench-out", "also write the checked/current snapshot to this path", "");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    std::vector<std::string> args = cli.positional();
+    std::string command = cli.get_flag("check") ? "check" : "";
+    if (command.empty()) {
+      if (args.empty()) {
+        std::cerr << cli.usage();
+        return 2;
+      }
+      command = args.front();
+      args.erase(args.begin());
+    }
+
+    if (command == "check") {
+      if (args.size() != 1)
+        throw std::invalid_argument("check needs exactly one snapshot file");
+      const metrics::Snapshot snap = load(args[0]);
+      const int status = check(snap, args[0]);
+      if (const std::string& out = cli.get_string("bench-out"); !out.empty() && status == 0) {
+        metrics::write_json_file(snap, out);
+        std::cout << "wrote " << out << "\n";
+      }
+      return status;
+    }
+
+    if (command == "diff") {
+      if (args.size() != 2)
+        throw std::invalid_argument("diff needs exactly two snapshot files: base current");
+      const metrics::Snapshot base = load(args[0]);
+      const metrics::Snapshot current = load(args[1]);
+      metrics::DiffThresholds th;
+      th.timer_rel = cli.get_double("timer-rel");
+      th.counter_rel = cli.get_double("counter-rel");
+      th.rate_rel = cli.get_double("rate-rel");
+      th.check_timers = family_checked("timers", cli.get_string("timers"));
+      th.check_counters = family_checked("counters", cli.get_string("counters"));
+      th.check_rates = family_checked("rates", cli.get_string("rates"));
+      const metrics::DiffResult result = metrics::diff_snapshots(base, current, th);
+      std::cout << result.render();
+      if (const std::string& out = cli.get_string("bench-out"); !out.empty()) {
+        metrics::write_json_file(current, out);
+        std::cout << "wrote " << out << "\n";
+      }
+      return result.regression() ? 1 : 0;
+    }
+
+    if (command == "convert") {
+      if (args.size() != 1)
+        throw std::invalid_argument("convert needs exactly one snapshot file");
+      const metrics::Snapshot snap = load(args[0]);
+      const std::string& format = cli.get_string("format");
+      if (format == "json")
+        std::cout << metrics::to_json(snap);
+      else if (format == "prometheus")
+        std::cout << metrics::to_prometheus(snap);
+      else if (format == "csv")
+        std::cout << metrics::to_csv(snap);
+      else
+        throw std::invalid_argument("unknown --format '" + format +
+                                    "' (want json|prometheus|csv)");
+      return 0;
+    }
+
+    throw std::invalid_argument("unknown command '" + command +
+                                "' (want check|diff|convert)");
+  } catch (const std::exception& e) {
+    std::cerr << "dnnperf_metrics: " << e.what() << "\n";
+    return 2;
+  }
+}
