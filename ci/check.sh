@@ -6,7 +6,10 @@
 # runs the full suite and aborts on the first finding. After the default
 # preset, a metrics smoke step records a 2-rank training snapshot, lints it,
 # and diffs its counters against the committed BENCH_metrics.json baseline
-# (timers and rates are machine-dependent and ignored; counter drift fails).
+# (timers and rates are machine-dependent and ignored; counter drift fails),
+# and a verify smoke step model-checks the shipped presets' engine protocol
+# and runs the happens-before verifier over a freshly recorded 2-rank trace
+# (findings surface as GitHub annotations in the CI log).
 # Run from the repo root:
 #
 #   ci/check.sh            # all four presets
@@ -29,6 +32,15 @@ metrics_smoke() {
       --timers=ignore --rates=ignore
 }
 
+verify_smoke() {
+  local build=build
+  local trace="$build/verify_smoke.trace.json"
+  echo "=== [default] verify smoke ==="
+  "$build/tools/dnnperf_lint" --verify-engine --format=github
+  "$build/examples/real_training" --ranks=2 --steps=2 --trace-out="$trace" > /dev/null
+  "$build/tools/dnnperf_lint" --verify-trace="$trace" --format=github
+}
+
 for preset in "${presets[@]}"; do
   echo "=== [$preset] configure ==="
   cmake --preset "$preset"
@@ -38,6 +50,7 @@ for preset in "${presets[@]}"; do
   ctest --preset "$preset"
   if [ "$preset" = default ]; then
     metrics_smoke
+    verify_smoke
   fi
 done
 

@@ -1,12 +1,17 @@
 #include "analysis/analyze.hpp"
 
+#include <algorithm>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "analysis/graph_passes.hpp"
 #include "analysis/hw_passes.hpp"
 #include "analysis/metrics_passes.hpp"
 #include "analysis/net_passes.hpp"
 #include "analysis/policy_passes.hpp"
+#include "analysis/verify/model_checker.hpp"
+#include "analysis/verify/trace_verifier.hpp"
 #include "net/link.hpp"
 
 namespace dnnperf::analysis {
@@ -48,6 +53,52 @@ util::Diagnostics lint_policy(const hvd::FusionPolicy& policy, const dnn::Graph*
   return diags;
 }
 
+util::Diagnostics verify_engine(const hvd::ProtocolSpec& spec) {
+  return check_protocol(spec).diags;
+}
+
+util::Diagnostics verify_trace(const std::string& json_text, const std::string& object) {
+  return verify_trace_text(json_text, object);
+}
+
+util::Diagnostics verify_config_engine(const train::TrainConfig& cfg) {
+  util::Diagnostics diags;
+  const std::string object = config_label(cfg);
+
+  // Small-scope bounds: the fusion/negotiation interplay is driven by tensor
+  // sizes relative to the threshold, so sample the extremes — the two
+  // largest and two smallest gradient tensors — and check up to 3 ranks.
+  std::vector<double> grad_bytes = dnn::build_model(cfg.model).gradient_tensor_bytes();
+  if (grad_bytes.empty()) return diags;
+  std::sort(grad_bytes.begin(), grad_bytes.end(), std::greater<>());
+  std::vector<std::size_t> elements;
+  const std::size_t n = grad_bytes.size();
+  for (std::size_t i : n <= 4 ? std::vector<std::size_t>{0, 1, 2, 3}
+                              : std::vector<std::size_t>{0, 1, n - 2, n - 1})
+    if (i < n) elements.push_back(static_cast<std::size_t>(grad_bytes[i] / sizeof(float)));
+
+  const int world = cfg.nodes * cfg.ppn;
+  const int ranks = std::clamp(world, 2, 3);
+  const auto capacity = static_cast<std::size_t>(
+      std::max(1.0, cfg.policy.fusion_threshold_bytes / sizeof(float)));
+
+  // Three canonical submission-order assignments: in program order on every
+  // rank, rotated per rank, and reversed on odd ranks — the permuted
+  // patterns real backward passes produce when layer timings differ.
+  for (int pattern = 0; pattern < 3; ++pattern) {
+    hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(ranks, elements, capacity,
+                                                        /*rotate_by_rank=*/pattern == 1);
+    if (pattern == 2)
+      for (int r = 1; r < ranks; r += 2)
+        std::reverse(spec.submit_order[static_cast<std::size_t>(r)].begin(),
+                     spec.submit_order[static_cast<std::size_t>(r)].end());
+    static const char* kPatternNames[] = {"in-order", "rotated", "odd-reversed"};
+    spec.name = object + " [" + kPatternNames[pattern] + " submission]";
+    diags.merge(check_protocol(spec).diags);
+  }
+  return diags;
+}
+
 std::string config_label(const train::TrainConfig& cfg) {
   std::string label = dnn::to_string(cfg.model);
   label += "@";
@@ -81,6 +132,10 @@ util::Diagnostics lint_config(const train::TrainConfig& cfg) {
             : net::Topology(cfg.nodes, cfg.ppn, cfg.cluster.fabric);
     run_topology_passes(topo, object, diags);
     run_policy_passes(cfg.policy, &graph, &topo.inter_node(), object, diags);
+    // Bounded protocol model check; a nonsensical policy (H001/H002) already
+    // failed above and would only produce a garbage spec here.
+    if (!diags.has_code("H001") && !diags.has_code("H002"))
+      diags.merge(verify_config_engine(cfg));
   } else {
     // Single-process runs never touch the engine; only flag a policy whose
     // values are nonsense outright (H001/H002), not fusion-tuning advice.

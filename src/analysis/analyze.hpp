@@ -11,6 +11,7 @@
 
 #include "dnn/graph.hpp"
 #include "hvd/policy.hpp"
+#include "hvd/protocol.hpp"
 #include "hw/node.hpp"
 #include "net/topology.hpp"
 #include "train/trainer.hpp"
@@ -29,9 +30,23 @@ util::Diagnostics lint_topology(const net::Topology& topo, const std::string& ob
 util::Diagnostics lint_policy(const hvd::FusionPolicy& policy, const dnn::Graph* graph,
                               const net::LinkParams* inter_node, const std::string& object);
 
-/// Full composite lint of a training configuration. Families whose
-/// prerequisites already failed (e.g. a broken platform) are skipped rather
-/// than reported redundantly.
+/// Exhaustive small-scope model check of the abstract engine protocol
+/// (analysis/verify/model_checker.hpp); V0xx codes.
+util::Diagnostics verify_engine(const hvd::ProtocolSpec& spec);
+
+/// Engine verification derived from a training configuration: a bounded
+/// spec (<= 3 ranks, <= 4 gradient tensors sampled from the model, the
+/// config's fusion threshold) explored under canonical rank-permuted
+/// submission orders. Cheap enough to run inside lint_config.
+util::Diagnostics verify_config_engine(const train::TrainConfig& config);
+
+/// Happens-before checks over a recorded Chrome-trace document; V1xx codes.
+util::Diagnostics verify_trace(const std::string& json_text, const std::string& object);
+
+/// Full composite lint of a training configuration, including the bounded
+/// engine protocol verification for multi-rank Horovod configs. Families
+/// whose prerequisites already failed (e.g. a broken platform) are skipped
+/// rather than reported redundantly.
 util::Diagnostics lint_config(const train::TrainConfig& config);
 
 /// Human label for a config, used as the diagnostic object name:

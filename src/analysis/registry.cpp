@@ -1,6 +1,7 @@
 #include "analysis/registry.hpp"
 
 #include <stdexcept>
+#include <unordered_map>
 
 namespace dnnperf::analysis {
 
@@ -91,14 +92,49 @@ const std::vector<PassInfo>& pass_registry() {
        "metric name registered under more than one kind (duplicate registration)"},
       {"M002", Severity::Error, "metrics",
        "metric name outside the Prometheus charset [a-zA-Z_:][a-zA-Z0-9_:]*"},
+      // ---- protocol model-checker verdicts (verify_engine) -----------------
+      {"V001", Severity::Error, "verify-engine",
+       "deadlock: a reachable state where no rank can submit and the engine cycle "
+       "packs nothing, with tensors incomplete"},
+      {"V002", Severity::Error, "verify-engine",
+       "starvation: a tensor no interleaving can complete (e.g. larger than a "
+       "strict-capacity fusion buffer)"},
+      {"V003", Severity::Error, "verify-engine",
+       "accounting: a cycle re-issues a completed tensor, so engine-issued "
+       "allreduces exceed framework requests"},
+      {"V004", Severity::Error, "verify-engine",
+       "overflow: a planned fusion buffer exceeds the capacity bound"},
+      {"V005", Severity::Error, "verify-engine",
+       "readiness: a data allreduce ships a tensor some rank never submitted"},
+      {"V006", Severity::Warn, "verify-engine",
+       "exploration truncated at the state bound; verification incomplete"},
+      // ---- happens-before trace verdicts (verify_trace) --------------------
+      {"V101", Severity::Error, "verify-trace",
+       "malformed trace document: unparseable JSON or events missing required fields"},
+      {"V102", Severity::Error, "verify-trace",
+       "span nesting violation: complete events on one track partially overlap"},
+      {"V103", Severity::Error, "verify-trace",
+       "cross-rank mismatch: engine cycles or per-cycle data-allreduce sequences "
+       "differ between rank tracks"},
+      {"V104", Severity::Error, "verify-trace",
+       "cycle monotonicity violation: a rank's engine cycles overlap in time"},
   };
   return table;
 }
 
 const PassInfo& pass_info(const std::string& code) {
-  for (const auto& info : pass_registry())
-    if (info.code == code) return info;
-  throw std::out_of_range("unknown pass code: " + code);
+  // Built once: lint_config alone performs dozens of lookups per run, and a
+  // linear scan per lookup made registry access quadratic in pass count.
+  static const std::unordered_map<std::string, std::size_t> index = [] {
+    std::unordered_map<std::string, std::size_t> m;
+    const auto& table = pass_registry();
+    m.reserve(table.size());
+    for (std::size_t i = 0; i < table.size(); ++i) m.emplace(table[i].code, i);
+    return m;
+  }();
+  const auto it = index.find(code);
+  if (it == index.end()) throw std::out_of_range("unknown pass code: " + code);
+  return pass_registry()[it->second];
 }
 
 }  // namespace dnnperf::analysis

@@ -4,9 +4,10 @@
 // keep codes unique and documented.
 //
 // Code numbering: the letter is the family (G graph, P platform, N network,
-// H Horovod policy, S schedule/config, M metrics registry); numbers are
-// assigned once and never reused, so CI greps for a code stay valid across
-// releases.
+// H Horovod policy, S schedule/config, M metrics registry, V verification —
+// V0xx engine protocol model checking, V1xx happens-before trace checks);
+// numbers are assigned once and never reused, so CI greps for a code stay
+// valid across releases.
 #pragma once
 
 #include <string>
@@ -19,7 +20,8 @@ namespace dnnperf::analysis {
 struct PassInfo {
   std::string code;        ///< e.g. "G001"
   util::Severity severity; ///< default severity the pass emits at
-  std::string family;      ///< "graph" | "platform" | "network" | "policy" | "schedule" | "metrics"
+  std::string family;      ///< "graph" | "platform" | "network" | "policy" | "schedule" |
+                           ///< "metrics" | "verify-engine" | "verify-trace"
   std::string summary;     ///< one-line description of the invariant
 };
 

@@ -1,0 +1,231 @@
+#include "analysis/verify/model_checker.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+namespace dnnperf::analysis {
+
+namespace {
+
+using hvd::ProtocolSpec;
+using hvd::ProtocolState;
+
+std::string tensor_name(int id) {
+  std::string out = "t";
+  out += std::to_string(id);
+  return out;
+}
+
+std::string bitmap_to_string(std::uint32_t bits, std::size_t tensors) {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t t = 0; t < tensors; ++t) {
+    if (!(bits & (1u << t))) continue;
+    if (!first) out += ',';
+    first = false;
+    out += tensor_name(static_cast<int>(t));
+  }
+  return out + "}";
+}
+
+std::string group_to_string(const std::vector<int>& group) {
+  std::string out = "allreduce[";
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (i > 0) out += ',';
+    out += tensor_name(group[i]);
+  }
+  return out + "]";
+}
+
+std::string cycle_action(const hvd::CycleOutcome& outcome, std::size_t tensors) {
+  std::string out = "cycle: ready=" + bitmap_to_string(outcome.ready, tensors);
+  for (const auto& group : outcome.groups) out += " -> " + group_to_string(group);
+  return out;
+}
+
+/// BFS bookkeeping per canonical state: the representative state plus the
+/// predecessor edge for counterexample reconstruction.
+struct Node {
+  ProtocolState state;
+  std::uint64_t parent = 0;
+  std::string action;
+  bool root = false;
+};
+
+class Checker {
+ public:
+  Checker(const ProtocolSpec& spec, const ModelCheckOptions& options)
+      : spec_(spec), options_(options) {}
+
+  ModelCheckResult run() {
+    spec_.validate();
+    check_starvation();
+    bfs();
+    if (!result_.complete)
+      result_.diags.warn("V006", spec_.name, "bounds",
+                         "exploration truncated at " + std::to_string(result_.states_explored) +
+                             " states; verification incomplete",
+                         "raise ModelCheckOptions::max_states or shrink the rank/tensor bounds");
+    return std::move(result_);
+  }
+
+ private:
+  /// V002: tensors no interleaving can complete — statically visible from
+  /// the spec, independent of scheduling (the minimal root cause; the BFS
+  /// then shows a concrete trace that runs into it as V001).
+  void check_starvation() {
+    for (std::size_t t = 0; t < spec_.tensor_elements.size(); ++t) {
+      if (!spec_.allow_oversized && spec_.tensor_elements[t] > spec_.capacity_elems)
+        result_.diags.error(
+            "V002", spec_.name, tensor_name(static_cast<int>(t)),
+            "tensor of " + std::to_string(spec_.tensor_elements[t]) +
+                " elements exceeds the strict fusion-buffer capacity of " +
+                std::to_string(spec_.capacity_elems) + " elements and can never be shipped",
+            "raise the fusion threshold above the largest gradient tensor, or allow "
+            "oversized tensors to bypass fusion as Horovod does");
+    }
+  }
+
+  void bfs() {
+    const ProtocolState init = hvd::initial_state(spec_);
+    const std::uint64_t init_key = hvd::canonical_key(spec_, init);
+    visited_[init_key] = Node{init, 0, {}, true};
+    std::deque<std::uint64_t> queue{init_key};
+
+    while (!queue.empty()) {
+      const std::uint64_t key = queue.front();
+      queue.pop_front();
+      const Node node = visited_[key];  // copy: visited_ may rehash below
+      ++result_.states_explored;
+      if (result_.states_explored > options_.max_states) {
+        result_.complete = false;
+        return;
+      }
+
+      if (hvd::all_complete(spec_, node.state)) {
+        result_.goal_reached = true;
+        continue;  // terminal: nothing left to submit or ship
+      }
+
+      bool any_submit = false;
+      for (int r = 0; r < spec_.ranks; ++r) {
+        if (!hvd::can_submit(spec_, node.state, r)) continue;
+        any_submit = true;
+        const int tensor = hvd::next_submission(spec_, node.state, r);
+        std::string action = "r";
+        action += std::to_string(r) + " submits " + tensor_name(tensor);
+        enqueue(hvd::apply_submit(spec_, node.state, r), key, std::move(action), queue);
+      }
+
+      const hvd::CycleOutcome outcome = hvd::apply_cycle(spec_, node.state);
+      if (check_cycle_invariants(key, outcome)) return;
+      const bool cycle_progresses = !(outcome.next == node.state);
+      if (cycle_progresses)
+        enqueue(outcome.next, key, cycle_action(outcome, spec_.tensor_elements.size()), queue);
+
+      if (!any_submit && !cycle_progresses) {
+        report_deadlock(key, node.state, outcome);
+        return;
+      }
+    }
+  }
+
+  void enqueue(const ProtocolState& state, std::uint64_t parent, std::string action,
+               std::deque<std::uint64_t>& queue) {
+    ++result_.transitions;
+    const std::uint64_t key = hvd::canonical_key(spec_, state);
+    if (visited_.contains(key)) return;
+    visited_[key] = Node{state, parent, std::move(action), false};
+    queue.push_back(key);
+  }
+
+  /// Safety invariants every cycle must respect regardless of variant; the
+  /// seeded bug variants exist to violate exactly one each. Returns true
+  /// when a violation was reported (exploration stops; the trace is minimal).
+  bool check_cycle_invariants(std::uint64_t key, const hvd::CycleOutcome& outcome) {
+    const Node& node = visited_[key];
+    const std::size_t tensors = spec_.tensor_elements.size();
+    for (const auto& group : outcome.groups) {
+      std::size_t total = 0;
+      for (int id : group) {
+        total += spec_.tensor_elements[static_cast<std::size_t>(id)];
+        if (node.state.completed & (1u << id)) {
+          report(key, "V003", tensor_name(id),
+                 "cycle re-issues a data allreduce for already-completed " + tensor_name(id) +
+                     "; engine-issued allreduces exceed framework requests",
+                 "the readiness vector must clear completed tensors before the "
+                 "coordination reduce",
+                 cycle_action(outcome, tensors));
+          return true;
+        }
+        for (int r = 0; r < spec_.ranks; ++r) {
+          if (!hvd::rank_submitted(spec_, node.state, r, id)) {
+            report(key, "V005", tensor_name(id),
+                   "data allreduce ships " + tensor_name(id) + " before rank " +
+                       std::to_string(r) +
+                       " submitted it (coordination must intersect per-rank readiness, "
+                       "not union it)",
+                   "negotiate with a Min-reduce over the readiness vectors",
+                   cycle_action(outcome, tensors));
+            return true;
+          }
+        }
+      }
+      if (total > spec_.capacity_elems && (group.size() > 1 || !spec_.allow_oversized)) {
+        report(key, "V004", "fusion_buffer",
+               "planned fusion buffer of " + std::to_string(total) +
+                   " elements exceeds the capacity of " + std::to_string(spec_.capacity_elems),
+               "the packer must close a buffer before the next tensor overflows it",
+               cycle_action(outcome, tensors));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void report_deadlock(std::uint64_t key, const ProtocolState& state,
+                       const hvd::CycleOutcome& outcome) {
+    const std::size_t tensors = spec_.tensor_elements.size();
+    const auto all = (std::uint32_t{1} << tensors) - 1;
+    std::string message =
+        "deadlock: no rank can submit, the negotiated ready set " +
+        bitmap_to_string(outcome.ready, tensors) + " packs nothing, and tensors " +
+        bitmap_to_string(all & ~state.completed, tensors) + " are incomplete";
+    if (spec_.max_outstanding > 0)
+      message += " (submission window " + std::to_string(spec_.max_outstanding) + ")";
+    report(key, "V001", "protocol", message,
+           "rank-permuted submission orders under a bounded window cannot form a full "
+           "readiness bitmap; submit in one global order or widen the window",
+           "stuck");
+  }
+
+  void report(std::uint64_t key, const char* code, const std::string& field, std::string message,
+              std::string fix_hint, std::string final_action) {
+    std::vector<std::string> trace{std::move(final_action)};
+    for (std::uint64_t k = key; !visited_[k].root; k = visited_[k].parent)
+      trace.push_back(visited_[k].action);
+    result_.counterexample.assign(trace.rbegin(), trace.rend());
+
+    std::string hint = "counterexample: ";
+    for (std::size_t i = 0; i < result_.counterexample.size(); ++i) {
+      if (i > 0) hint += "; ";
+      hint += result_.counterexample[i];
+    }
+    hint += ". fix: " + fix_hint;
+    result_.diags.error(code, spec_.name, field, std::move(message), std::move(hint));
+  }
+
+  ProtocolSpec spec_;
+  ModelCheckOptions options_;
+  ModelCheckResult result_;
+  std::unordered_map<std::uint64_t, Node> visited_;
+};
+
+}  // namespace
+
+ModelCheckResult check_protocol(const hvd::ProtocolSpec& spec, const ModelCheckOptions& options) {
+  return Checker(spec, options).run();
+}
+
+}  // namespace dnnperf::analysis

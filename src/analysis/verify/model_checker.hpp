@@ -1,0 +1,61 @@
+// Exhaustive small-scope model checker over the abstract Horovod engine
+// protocol (hvd/protocol.hpp). BFS from the initial state over every
+// interleaving of per-rank submissions and engine cycles, with canonical
+// state hashing (rank-symmetry reduction), up to the spec's rank/tensor
+// bounds. Because submissions and completions are monotone, every maximal
+// run ends in either full completion or a stuck state, so the checker's
+// verdicts are exact within the bounds:
+//
+//   V001  deadlock — reachable state where no rank can submit and the engine
+//         cycle is a no-op, with tensors still incomplete (the hang mode
+//         Horovod's stall detector watches for, e.g. rank-permuted
+//         submission under a bounded window);
+//   V002  starvation — a tensor that no interleaving can ever complete
+//         (larger than a strict-capacity fusion buffer, or missing from a
+//         rank's submission program);
+//   V003  accounting — a cycle issues a data allreduce that ships no new
+//         tensor (re-issuing completed work ⇒ issued > requested);
+//   V004  overflow — a planned fusion buffer exceeds the capacity bound;
+//   V005  readiness — a data allreduce ships a tensor some rank never
+//         submitted (coordination unsoundness, e.g. Max- instead of
+//         Min-reduce);
+//   V006  (warning) exploration truncated at the state bound.
+//
+// BFS order makes the first violation's trace minimal; it is rendered as a
+// step-by-step counterexample in the diagnostic hint.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hvd/protocol.hpp"
+#include "util/diag.hpp"
+
+namespace dnnperf::analysis {
+
+struct ModelCheckOptions {
+  /// Exploration cap; hitting it emits V006 and marks the result incomplete.
+  std::size_t max_states = std::size_t{1} << 20;
+};
+
+struct ModelCheckResult {
+  util::Diagnostics diags;
+  std::size_t states_explored = 0;
+  std::size_t transitions = 0;
+  /// False when max_states truncated the exploration (V006).
+  bool complete = true;
+  /// True when some interleaving reaches full completion.
+  bool goal_reached = false;
+  /// Minimal trace to the first violation, one action per step; empty when
+  /// the protocol verifies clean.
+  std::vector<std::string> counterexample;
+};
+
+/// Explores `spec` exhaustively. Throws std::invalid_argument on malformed
+/// specs (ProtocolSpec::validate). Exploration stops at the first violation
+/// (its BFS depth is minimal) or when the state space is exhausted.
+ModelCheckResult check_protocol(const hvd::ProtocolSpec& spec,
+                                const ModelCheckOptions& options = {});
+
+}  // namespace dnnperf::analysis

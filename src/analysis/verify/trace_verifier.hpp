@@ -1,0 +1,34 @@
+// Happens-before verifier for recorded Chrome trace-event documents
+// (util/trace) — both real-time rank tracks and DES virtual-time tracks.
+// Parses the JSON with util/jsonlite and checks the properties the paper's
+// timeline analysis (Figs. 18/19) silently relies on:
+//
+//   V101  document well-formedness — parseable JSON, a traceEvents array,
+//         and every event carrying the viewer's required fields;
+//   V102  span nesting — complete events on one (pid, tid) track come from
+//         scoped RAII sections, so any two must be disjoint or properly
+//         nested; partial overlap means a corrupted timeline;
+//   V103  cross-rank allreduce matching — engine collectives are issued in
+//         lockstep, so every rank track must show the same cycle count and,
+//         within the k-th cycle, the same data-allreduce sequence (count and
+//         bytes); a mismatch is a desynchronized or truncated recording;
+//   V104  cycle monotonicity — a rank's engine cycles (and a simulated
+//         engine track's negotiations) are strictly sequential: each must
+//         end before the next begins.
+#pragma once
+
+#include <string>
+
+#include "util/diag.hpp"
+
+namespace dnnperf::analysis {
+
+/// Verifies a trace document given as JSON text; `object` labels the
+/// diagnostics (usually the file name). Never throws on bad input — every
+/// problem is reported as a diagnostic.
+util::Diagnostics verify_trace_text(const std::string& json_text, const std::string& object);
+
+/// verify_trace_text() over a file's contents; an unreadable file is a V101.
+util::Diagnostics verify_trace_file(const std::string& path);
+
+}  // namespace dnnperf::analysis

@@ -1,0 +1,185 @@
+#include "hvd/protocol.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace dnnperf::hvd {
+
+namespace {
+
+/// Bounds that keep a state canonically encodable in 64 bits: 8 ranks at
+/// 5 bits of submitted-prefix each plus a 20-bit completion bitmap.
+constexpr int kMaxRanks = 8;
+constexpr int kMaxTensors = 20;
+
+std::uint32_t submitted_bitmap(const ProtocolSpec& spec, const ProtocolState& state, int rank) {
+  std::uint32_t bits = 0;
+  const auto& order = spec.submit_order[static_cast<std::size_t>(rank)];
+  for (int i = 0; i < state.pos[static_cast<std::size_t>(rank)]; ++i)
+    bits |= 1u << order[static_cast<std::size_t>(i)];
+  return bits;
+}
+
+}  // namespace
+
+const char* to_string(EngineVariant variant) {
+  switch (variant) {
+    case EngineVariant::Standard: return "standard";
+    case EngineVariant::MaxCoordination: return "max-coordination";
+    case EngineVariant::ReissueCompleted: return "reissue-completed";
+    case EngineVariant::UncappedPacking: return "uncapped-packing";
+  }
+  return "?";
+}
+
+ProtocolSpec ProtocolSpec::uniform(int ranks, std::vector<std::size_t> tensor_elements,
+                                   std::size_t capacity_elems, bool rotate_by_rank) {
+  ProtocolSpec spec;
+  spec.ranks = ranks;
+  spec.tensor_elements = std::move(tensor_elements);
+  spec.capacity_elems = capacity_elems;
+  const int tensors = static_cast<int>(spec.tensor_elements.size());
+  for (int r = 0; r < ranks; ++r) {
+    std::vector<int> order(static_cast<std::size_t>(tensors));
+    for (int t = 0; t < tensors; ++t) order[static_cast<std::size_t>(t)] = t;
+    if (rotate_by_rank && tensors > 0)
+      std::rotate(order.begin(), order.begin() + r % tensors, order.end());
+    spec.submit_order.push_back(std::move(order));
+  }
+  return spec;
+}
+
+void ProtocolSpec::validate() const {
+  if (ranks < 1 || ranks > kMaxRanks)
+    throw std::invalid_argument("ProtocolSpec: ranks outside [1, 8]");
+  const std::size_t tensors = tensor_elements.size();
+  if (tensors < 1 || tensors > kMaxTensors)
+    throw std::invalid_argument("ProtocolSpec: tensor count outside [1, 20]");
+  if (capacity_elems == 0) throw std::invalid_argument("ProtocolSpec: capacity_elems == 0");
+  if (max_outstanding < 0) throw std::invalid_argument("ProtocolSpec: max_outstanding < 0");
+  if (submit_order.size() != static_cast<std::size_t>(ranks))
+    throw std::invalid_argument("ProtocolSpec: one submit order required per rank");
+  for (const auto& order : submit_order) {
+    if (order.size() != tensors)
+      throw std::invalid_argument("ProtocolSpec: submit order length != tensor count");
+    std::vector<bool> seen(tensors, false);
+    for (int id : order) {
+      if (id < 0 || static_cast<std::size_t>(id) >= tensors || seen[static_cast<std::size_t>(id)])
+        throw std::invalid_argument("ProtocolSpec: submit order is not a permutation");
+      seen[static_cast<std::size_t>(id)] = true;
+    }
+  }
+}
+
+ProtocolState initial_state(const ProtocolSpec& spec) {
+  ProtocolState state;
+  state.pos.assign(static_cast<std::size_t>(spec.ranks), 0);
+  return state;
+}
+
+bool all_complete(const ProtocolSpec& spec, const ProtocolState& state) {
+  const auto all = (std::uint32_t{1} << spec.tensor_elements.size()) - 1;
+  return state.completed == all;
+}
+
+bool rank_submitted(const ProtocolSpec& spec, const ProtocolState& state, int rank, int tensor) {
+  return (submitted_bitmap(spec, state, rank) & (1u << tensor)) != 0;
+}
+
+bool can_submit(const ProtocolSpec& spec, const ProtocolState& state, int rank) {
+  const int pos = state.pos[static_cast<std::size_t>(rank)];
+  if (pos >= static_cast<int>(spec.tensor_elements.size())) return false;
+  if (spec.max_outstanding > 0) {
+    const std::uint32_t outstanding = submitted_bitmap(spec, state, rank) & ~state.completed;
+    if (std::popcount(outstanding) >= spec.max_outstanding) return false;
+  }
+  return true;
+}
+
+int next_submission(const ProtocolSpec& spec, const ProtocolState& state, int rank) {
+  return spec.submit_order[static_cast<std::size_t>(rank)]
+                          [static_cast<std::size_t>(state.pos[static_cast<std::size_t>(rank)])];
+}
+
+ProtocolState apply_submit(const ProtocolSpec& spec, const ProtocolState& state, int rank) {
+  (void)spec;
+  ProtocolState next = state;
+  ++next.pos[static_cast<std::size_t>(rank)];
+  return next;
+}
+
+CycleOutcome apply_cycle(const ProtocolSpec& spec, const ProtocolState& state) {
+  CycleOutcome out;
+  // Coordination reduce over the per-rank readiness vectors. Each rank's
+  // vector marks tensors submitted locally and not yet complete — except the
+  // ReissueCompleted bug, which forgets to clear completed entries. The
+  // Min-reduce intersects the vectors (a tensor proceeds only when ready
+  // everywhere); the MaxCoordination bug unions them instead.
+  std::uint32_t ready = spec.variant == EngineVariant::MaxCoordination ? 0 : ~std::uint32_t{0};
+  for (int r = 0; r < spec.ranks; ++r) {
+    std::uint32_t local = submitted_bitmap(spec, state, r);
+    if (spec.variant != EngineVariant::ReissueCompleted) local &= ~state.completed;
+    if (spec.variant == EngineVariant::MaxCoordination)
+      ready |= local;
+    else
+      ready &= local;
+  }
+  out.ready = ready;
+
+  std::vector<int> ready_ids;
+  for (std::size_t t = 0; t < spec.tensor_elements.size(); ++t)
+    if (ready & (1u << t)) ready_ids.push_back(static_cast<int>(t));
+
+  const std::size_t capacity = spec.variant == EngineVariant::UncappedPacking
+                                   ? std::numeric_limits<std::size_t>::max()
+                                   : spec.capacity_elems;
+  out.groups = plan_fusion(ready_ids, spec.tensor_elements, capacity, spec.allow_oversized);
+
+  out.next = state;
+  for (const auto& group : out.groups)
+    for (int id : group) out.next.completed |= 1u << id;
+  return out;
+}
+
+std::vector<int> symmetry_classes(const ProtocolSpec& spec) {
+  std::vector<int> classes(static_cast<std::size_t>(spec.ranks), -1);
+  int next_class = 0;
+  for (int r = 0; r < spec.ranks; ++r) {
+    if (classes[static_cast<std::size_t>(r)] != -1) continue;
+    classes[static_cast<std::size_t>(r)] = next_class;
+    for (int s = r + 1; s < spec.ranks; ++s)
+      if (classes[static_cast<std::size_t>(s)] == -1 &&
+          spec.submit_order[static_cast<std::size_t>(s)] ==
+              spec.submit_order[static_cast<std::size_t>(r)])
+        classes[static_cast<std::size_t>(s)] = next_class;
+    ++next_class;
+  }
+  return classes;
+}
+
+std::uint64_t canonical_key(const ProtocolSpec& spec, const ProtocolState& state) {
+  // Sort positions within each symmetry class: ranks running the same
+  // program are interchangeable, and completion is global, so two states
+  // related by such a swap have identical futures.
+  const std::vector<int> classes = symmetry_classes(spec);
+  std::vector<int> pos = state.pos;
+  const int num_classes = *std::max_element(classes.begin(), classes.end()) + 1;
+  for (int c = 0; c < num_classes; ++c) {
+    std::vector<int> values;
+    for (int r = 0; r < spec.ranks; ++r)
+      if (classes[static_cast<std::size_t>(r)] == c)
+        values.push_back(pos[static_cast<std::size_t>(r)]);
+    std::sort(values.begin(), values.end());
+    std::size_t k = 0;
+    for (int r = 0; r < spec.ranks; ++r)
+      if (classes[static_cast<std::size_t>(r)] == c) pos[static_cast<std::size_t>(r)] = values[k++];
+  }
+  std::uint64_t key = state.completed;  // 20 bits
+  for (int r = 0; r < spec.ranks; ++r)
+    key = (key << 5) | static_cast<std::uint64_t>(pos[static_cast<std::size_t>(r)]);
+  return key;
+}
+
+}  // namespace dnnperf::hvd

@@ -1,0 +1,147 @@
+// The abstract negotiation/fusion protocol of the Horovod-style engine,
+// extracted from RealEngine::process() and TimelineSim::wake() so the
+// implementations and the model checker (analysis/verify) share one
+// description of the transition rules instead of three private copies:
+//
+//  - plan_fusion() is the greedy id-order packing rule both engines execute:
+//    ready tensors are packed into buffers of at most `capacity`, a buffer
+//    always takes at least one tensor (Horovod ships an oversized tensor
+//    alone, unfused), and one data allreduce is issued per buffer;
+//  - ProtocolSpec/ProtocolState/apply_* are the small-scope abstract state
+//    machine over that rule: per-rank submission programs, the collective
+//    Min-reduce readiness bitmap, and the completion set. The model checker
+//    in src/analysis/verify explores it exhaustively; EngineVariant seeds
+//    the classic communication-engine bugs (Max instead of Min in the
+//    coordination reduce, re-issuing completed tensors, uncapped packing)
+//    that the checker must be able to catch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnnperf::hvd {
+
+/// Greedy id-order fusion packing shared by RealEngine (element counts),
+/// TimelineSim (byte sizes), and the protocol model. `ready` lists the
+/// globally-ready tensor ids in id order; `sizes` is indexed by tensor id.
+/// Returns the planned buffers as id groups, in issue order. A group only
+/// grows while the total stays within `capacity`, but always takes at least
+/// one tensor when `allow_oversized` (the Horovod rule: a tensor larger than
+/// the fusion threshold bypasses fusion and ships alone); with
+/// `allow_oversized` false an oversized tensor is skipped entirely — the
+/// strict-capacity semantics whose starvation the model checker flags.
+template <class Size>
+std::vector<std::vector<int>> plan_fusion(const std::vector<int>& ready,
+                                          const std::vector<Size>& sizes, Size capacity,
+                                          bool allow_oversized = true) {
+  std::vector<std::vector<int>> groups;
+  std::size_t i = 0;
+  while (i < ready.size()) {
+    const int first = ready[i];
+    if (!allow_oversized && sizes[static_cast<std::size_t>(first)] > capacity) {
+      ++i;
+      continue;
+    }
+    std::vector<int> members{first};
+    Size total = sizes[static_cast<std::size_t>(first)];
+    ++i;
+    while (i < ready.size()) {
+      const int id = ready[i];
+      const Size size = sizes[static_cast<std::size_t>(id)];
+      if (!allow_oversized && size > capacity) {
+        ++i;
+        continue;
+      }
+      if (total + size > capacity) break;
+      members.push_back(id);
+      total += size;
+      ++i;
+    }
+    groups.push_back(std::move(members));
+  }
+  return groups;
+}
+
+/// Which transition rules the abstract engine runs. Standard is what
+/// RealEngine implements; the others seed one classic protocol bug each so
+/// negative fixtures can prove the checker detects that bug class.
+enum class EngineVariant {
+  Standard,          ///< Min-coordination, ready = submitted && !complete, capped packing
+  MaxCoordination,   ///< bug: Max instead of Min in the readiness allreduce
+  ReissueCompleted,  ///< bug: readiness ignores completion; tensors ship again
+  UncappedPacking,   ///< bug: packing ignores the fusion threshold
+};
+
+const char* to_string(EngineVariant variant);
+
+/// Small-scope instance of the protocol: world size, tensor sizes, fusion
+/// capacity, and each rank's submission program (the order its backward pass
+/// hands gradients to the engine — the dimension real deadlocks hide in).
+struct ProtocolSpec {
+  int ranks = 2;
+  /// Tensor id -> element count. At most 20 tensors (completion bitmap).
+  std::vector<std::size_t> tensor_elements;
+  /// Fusion buffer capacity in elements (fusion_threshold / sizeof(float)).
+  std::size_t capacity_elems = 0;
+  bool allow_oversized = true;
+  /// Max tensors a rank may have submitted-but-incomplete; 0 = unbounded
+  /// (RealEngine). A bounded window models a framework that blocks on the
+  /// oldest gradient before producing more.
+  int max_outstanding = 0;
+  /// Per-rank submission order; each must be a permutation of all tensor ids.
+  std::vector<std::vector<int>> submit_order;
+  EngineVariant variant = EngineVariant::Standard;
+  std::string name = "engine";  ///< diagnostic object label
+
+  /// Identity orders on every rank; `rotate_by_rank` rotates rank r's order
+  /// left by r (a canonical rank-permuted submission pattern).
+  static ProtocolSpec uniform(int ranks, std::vector<std::size_t> tensor_elements,
+                              std::size_t capacity_elems, bool rotate_by_rank = false);
+
+  /// Throws std::invalid_argument on malformed specs (out-of-bound ranks or
+  /// tensor counts, submit orders that are not permutations).
+  void validate() const;
+};
+
+/// Abstract protocol state. A rank submits in its fixed program order, so its
+/// submitted set is the first `pos[r]` entries of submit_order[r]; completion
+/// is collective, so one global bitmap suffices.
+struct ProtocolState {
+  std::vector<int> pos;         ///< per-rank submitted-prefix length
+  std::uint32_t completed = 0;  ///< bitmap over tensor ids
+
+  bool operator==(const ProtocolState&) const = default;
+};
+
+ProtocolState initial_state(const ProtocolSpec& spec);
+bool all_complete(const ProtocolSpec& spec, const ProtocolState& state);
+/// True when `tensor` is within rank `rank`'s submitted prefix.
+bool rank_submitted(const ProtocolSpec& spec, const ProtocolState& state, int rank, int tensor);
+
+/// True when rank `rank` may submit its next tensor: program not exhausted
+/// and the submission window (if bounded) not full.
+bool can_submit(const ProtocolSpec& spec, const ProtocolState& state, int rank);
+/// The tensor id `rank` submits next; only valid when can_submit().
+int next_submission(const ProtocolSpec& spec, const ProtocolState& state, int rank);
+ProtocolState apply_submit(const ProtocolSpec& spec, const ProtocolState& state, int rank);
+
+/// One engine cycle: the coordination reduce agrees on the ready set, the
+/// fusion planner groups it, and each group completes in one data allreduce.
+struct CycleOutcome {
+  std::uint32_t ready = 0;                 ///< negotiated readiness bitmap
+  std::vector<std::vector<int>> groups;    ///< planned data allreduces
+  ProtocolState next;
+};
+CycleOutcome apply_cycle(const ProtocolSpec& spec, const ProtocolState& state);
+
+/// Symmetry classes for canonical state hashing: ranks with identical
+/// submission programs are interchangeable, so the checker sorts their
+/// positions before hashing. Returns one class index per rank.
+std::vector<int> symmetry_classes(const ProtocolSpec& spec);
+
+/// Canonical 64-bit key of a state under the rank symmetry above.
+std::uint64_t canonical_key(const ProtocolSpec& spec, const ProtocolState& state);
+
+}  // namespace dnnperf::hvd

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "hvd/protocol.hpp"
+
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -79,28 +81,21 @@ int RealEngine::process() {
   }
 
   // Fuse globally-ready tensors in id order into buffers of at most
-  // fusion_threshold bytes, one data allreduce per buffer.
+  // fusion_threshold bytes, one data allreduce per buffer. The packing rule
+  // lives in hvd/protocol.hpp so the model checker verifies the same plan
+  // this engine executes.
   int completed = 0;
-  std::size_t i = 0;
-  while (i < tensors_.size()) {
-    if (!ready[i]) {
-      ++i;
-      continue;
-    }
-    std::vector<std::size_t> members;
+  std::vector<int> ready_ids;
+  std::vector<std::size_t> elements(tensors_.size());
+  for (std::size_t t = 0; t < tensors_.size(); ++t) {
+    elements[t] = tensors_[t].elements;
+    if (ready[t]) ready_ids.push_back(static_cast<int>(t));
+  }
+  const auto max_elems = static_cast<std::size_t>(policy_.fusion_threshold_bytes / sizeof(float));
+  for (const auto& group : plan_fusion(ready_ids, elements, max_elems)) {
+    std::vector<std::size_t> members(group.begin(), group.end());
     std::size_t buffer_elems = 0;
-    const auto max_elems =
-        static_cast<std::size_t>(policy_.fusion_threshold_bytes / sizeof(float));
-    while (i < tensors_.size()) {
-      if (!ready[i]) {
-        ++i;
-        continue;
-      }
-      if (!members.empty() && buffer_elems + tensors_[i].elements > max_elems) break;
-      members.push_back(i);
-      buffer_elems += tensors_[i].elements;
-      ++i;
-    }
+    for (std::size_t m : members) buffer_elems += tensors_[m].elements;
 
     fusion_buffer_.resize(buffer_elems);
     {

@@ -4,7 +4,9 @@
 #include <deque>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "hvd/protocol.hpp"
 #include "sim/engine.hpp"
 #include "util/trace.hpp"
 
@@ -137,15 +139,16 @@ class TimelineSim {
                                       static_cast<std::int64_t>(in_.grad_events.size())))
               .str());
 
-    while (!pending_.empty()) {
+    // Fuse the pending gradients with the same greedy rule RealEngine
+    // executes (hvd/protocol.hpp), over arrival order instead of tensor ids.
+    std::vector<double> sizes(pending_.begin(), pending_.end());
+    std::vector<int> ready_ids(sizes.size());
+    for (std::size_t k = 0; k < ready_ids.size(); ++k) ready_ids[k] = static_cast<int>(k);
+    pending_.clear();
+    for (const auto& group : plan_fusion(ready_ids, sizes, in_.policy.fusion_threshold_bytes)) {
       double buffer_bytes = 0.0;
-      int fused = 0;
-      while (!pending_.empty() &&
-             (fused == 0 || buffer_bytes + pending_.front() <= in_.policy.fusion_threshold_bytes)) {
-        buffer_bytes += pending_.front();
-        pending_.pop_front();
-        ++fused;
-      }
+      const int fused = static_cast<int>(group.size());
+      for (int id : group) buffer_bytes += sizes[static_cast<std::size_t>(id)];
       const double ar_time = in_.cost->allreduce_time(buffer_bytes);
       if (tracing_)
         trace::emit_virtual_complete(

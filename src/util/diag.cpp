@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
+
+#include "util/jsonlite.hpp"
 
 namespace dnnperf::util {
 
@@ -101,7 +104,7 @@ void append_json_field(std::string& out, const char* key, const std::string& val
 }  // namespace
 
 std::string render_json(const Diagnostics& diags) {
-  std::string out = "{\"diagnostics\":[";
+  std::string out = "{\"schema\":\"dnnperf-diag-v1\",\"diagnostics\":[";
   bool first = true;
   for (const auto& d : diags.items()) {
     if (!first) out += ',';
@@ -122,6 +125,68 @@ std::string render_json(const Diagnostics& diags) {
   out += ",\"advice\":";
   out += std::to_string(diags.count(Severity::Advice));
   out += "}}\n";
+  return out;
+}
+
+Severity severity_from_string(const std::string& name) {
+  if (name == "advice") return Severity::Advice;
+  if (name == "warning") return Severity::Warn;
+  if (name == "error") return Severity::Error;
+  throw std::invalid_argument("unknown severity: " + name);
+}
+
+Diagnostics parse_diagnostics(const std::string& json_text) {
+  const jsonlite::Value doc = jsonlite::parse(json_text, "diagnostics JSON");
+  if (doc.kind != jsonlite::Value::Kind::Object)
+    throw std::runtime_error("diagnostics JSON: document is not an object");
+  const jsonlite::Value* schema = doc.get("schema");
+  if (schema == nullptr || schema->string != "dnnperf-diag-v1")
+    throw std::runtime_error(
+        "diagnostics JSON: missing or unknown schema (want dnnperf-diag-v1)");
+  Diagnostics out;
+  for (const jsonlite::Value& jd : doc.at("diagnostics").array)
+    out.add({jd.at("code").string, severity_from_string(jd.at("severity").string),
+             jd.at("object").string, jd.at("field").string, jd.at("message").string,
+             jd.at("hint").string});
+  return out;
+}
+
+namespace {
+
+/// GitHub workflow commands interpret %, \r, \n in the message and
+/// additionally , and : in property values; they must be percent-encoded.
+std::string github_escape(const std::string& s, bool property) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\r': out += "%0D"; break;
+      case '\n': out += "%0A"; break;
+      case ',': out += property ? "%2C" : ","; break;
+      case ':': out += property ? "%3A" : ":"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_github(const Diagnostics& diags) {
+  std::string out;
+  for (const auto& d : diags.items()) {
+    switch (d.severity) {
+      case Severity::Error: out += "::error"; break;
+      case Severity::Warn: out += "::warning"; break;
+      case Severity::Advice: out += "::notice"; break;
+    }
+    std::string title = d.code + " " + d.object;
+    if (!d.field.empty()) title += ":" + d.field;
+    out += " title=" + github_escape(title, true);
+    out += "::" + github_escape(d.hint.empty() ? d.message : d.message + " (hint: " + d.hint + ")",
+                                false);
+    out += '\n';
+  }
   return out;
 }
 

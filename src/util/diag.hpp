@@ -60,13 +60,26 @@ class Diagnostics {
   std::vector<Diagnostic> items_;
 };
 
+/// Inverse of to_string(Severity); throws std::invalid_argument on unknown
+/// names.
+Severity severity_from_string(const std::string& name);
+
 /// Compiler-style text, one line per finding plus a summary line:
 ///   error G001 [Inception-v3:mixed5b/add] output shape ... (hint: ...)
 std::string render_text(const Diagnostics& diags);
 
-/// JSON document for CI consumption:
-///   {"diagnostics":[{"code":...,"severity":...,...}],
+/// Schema-versioned JSON envelope for CI consumption (stable to diff):
+///   {"schema":"dnnperf-diag-v1","diagnostics":[{"code":...,...}],
 ///    "summary":{"errors":N,"warnings":N,"advice":N}}
 std::string render_json(const Diagnostics& diags);
+
+/// Parses a render_json() document back into a collector (CI round-trips).
+/// Throws std::runtime_error on malformed input or an unknown schema.
+Diagnostics parse_diagnostics(const std::string& json_text);
+
+/// GitHub Actions workflow commands, one annotation per finding
+/// (::error/::warning/::notice title=CODE::message), so lint and verify
+/// findings show inline in CI logs.
+std::string render_github(const Diagnostics& diags);
 
 }  // namespace dnnperf::util

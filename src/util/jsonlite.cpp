@@ -1,0 +1,189 @@
+#include "util/jsonlite.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace dnnperf::util::jsonlite {
+
+const Value* Value::get(const std::string& key) const {
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Value* v = get(key);
+  if (v == nullptr) throw std::runtime_error("JSON: missing key '" + key + "'");
+  return *v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, const std::string& who) : s_(text), who_(who) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error(who_ + ": " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::String;
+        v.string = string();
+        return v;
+      }
+      case 't': literal("true"); return boolean(true);
+      case 'f': literal("false"); return boolean(false);
+      case 'n': literal("null"); return Value{};
+      default: return number();
+    }
+  }
+
+  static Value boolean(bool b) {
+    Value v;
+    v.kind = Value::Kind::Bool;
+    v.boolean = b;
+    return v;
+  }
+
+  void literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) expect(*p);
+  }
+
+  Value object() {
+    Value v;
+    v.kind = Value::Kind::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object[std::move(key)] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value array() {
+    Value v;
+    v.kind = Value::Kind::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+            const unsigned code =
+                static_cast<unsigned>(std::stoul(s_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            // Our writers only \u-escape control characters; anything outside
+            // ASCII is preserved as a placeholder rather than decoded.
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: fail("unknown escape");
+        }
+        continue;
+      }
+      out += c;
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected a number");
+    Value v;
+    v.kind = Value::Kind::Number;
+    v.number = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& s_;
+  const std::string& who_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text, const std::string& who) {
+  return Parser(text, who).parse();
+}
+
+}  // namespace dnnperf::util::jsonlite

@@ -1,0 +1,37 @@
+// Minimal JSON parser (RFC 8259 subset: objects, arrays, strings, numbers,
+// true/false/null) shared by every consumer that reads the repo's own JSON
+// artifacts back in — metrics snapshots (util/metrics), diagnostic envelopes
+// (util/diag), Chrome-trace documents (analysis/verify), and the tests. The
+// repo deliberately has no external JSON dependency; this is just enough
+// parser for the subsets our writers emit, kept in one place instead of the
+// three private copies that used to exist.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dnnperf::util::jsonlite {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool has(const std::string& key) const { return object.contains(key); }
+  /// nullptr when `key` is absent (or this is not an object).
+  const Value* get(const std::string& key) const;
+  /// Throws std::runtime_error when `key` is absent.
+  const Value& at(const std::string& key) const;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error. Throws
+/// std::runtime_error on malformed input, prefixing messages with `who`
+/// so callers can say which artifact was bad ("metrics JSON", "trace JSON").
+Value parse(const std::string& text, const std::string& who = "JSON");
+
+}  // namespace dnnperf::util::jsonlite

@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/jsonlite.hpp"
+
 namespace dnnperf::util::metrics {
 
 namespace {
@@ -473,186 +475,11 @@ void write_json_file(const Snapshot& snap, const std::string& path) {
   if (!out) throw std::runtime_error("metrics: failed writing " + path);
 }
 
-// --- Minimal JSON parser (only the subset to_json() emits) ------------------
+// --- JSON parsing (shared util/jsonlite parser) -----------------------------
 
 namespace {
 
-struct Json {
-  enum class Kind { Null, Bool, Number, String, Array, Object };
-  Kind kind = Kind::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<Json> array;
-  std::map<std::string, Json> object;
-
-  const Json* get(const std::string& key) const {
-    auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-  const Json& at(const std::string& key) const {
-    const Json* v = get(key);
-    if (v == nullptr) throw std::runtime_error("metrics JSON: missing key '" + key + "'");
-    return *v;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  Json parse() {
-    Json v = value();
-    skip_ws();
-    if (pos_ != s_.size())
-      throw std::runtime_error("metrics JSON: trailing characters at offset " +
-                               std::to_string(pos_));
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r'))
-      ++pos_;
-  }
-
-  char peek() {
-    if (pos_ >= s_.size()) throw std::runtime_error("metrics JSON: unexpected end of input");
-    return s_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c)
-      throw std::runtime_error(std::string("metrics JSON: expected '") + c + "' at offset " +
-                               std::to_string(pos_));
-    ++pos_;
-  }
-
-  Json value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': {
-        Json v;
-        v.kind = Json::Kind::String;
-        v.string = string();
-        return v;
-      }
-      case 't': literal("true"); return boolean(true);
-      case 'f': literal("false"); return boolean(false);
-      case 'n': literal("null"); return Json{};
-      default: return number();
-    }
-  }
-
-  static Json boolean(bool b) {
-    Json v;
-    v.kind = Json::Kind::Bool;
-    v.boolean = b;
-    return v;
-  }
-
-  void literal(const char* lit) {
-    for (const char* p = lit; *p != '\0'; ++p) expect(*p);
-  }
-
-  Json object() {
-    Json v;
-    v.kind = Json::Kind::Object;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      v.object[std::move(key)] = value();
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  Json array() {
-    Json v;
-    v.kind = Json::Kind::Array;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      const char c = peek();
-      ++pos_;
-      if (c == '"') return out;
-      if (c == '\\') {
-        const char esc = peek();
-        ++pos_;
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'u': {
-            if (pos_ + 4 > s_.size()) throw std::runtime_error("metrics JSON: bad \\u escape");
-            const unsigned code =
-                static_cast<unsigned>(std::stoul(s_.substr(pos_, 4), nullptr, 16));
-            pos_ += 4;
-            out += code < 0x80 ? static_cast<char>(code) : '?';
-            break;
-          }
-          default: throw std::runtime_error("metrics JSON: unknown escape");
-        }
-        continue;
-      }
-      out += c;
-    }
-  }
-
-  Json number() {
-    const std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
-            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E'))
-      ++pos_;
-    if (pos_ == start) throw std::runtime_error("metrics JSON: expected a number");
-    Json v;
-    v.kind = Json::Kind::Number;
-    v.number = std::stod(s_.substr(start, pos_ - start));
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+using Json = jsonlite::Value;
 
 Kind kind_from_string(const std::string& s) {
   if (s == "counter") return Kind::Counter;
@@ -664,7 +491,7 @@ Kind kind_from_string(const std::string& s) {
 }  // namespace
 
 Snapshot parse_json(const std::string& text) {
-  const Json doc = JsonParser(text).parse();
+  const Json doc = jsonlite::parse(text, "metrics JSON");
   if (doc.kind != Json::Kind::Object)
     throw std::runtime_error("metrics JSON: document is not an object");
   const Json* schema = doc.get("schema");

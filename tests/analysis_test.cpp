@@ -4,6 +4,7 @@
 // renderers, and the core::Experiment lint gate.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -467,6 +468,76 @@ TEST(Renderers, JsonEscapesAndCounts) {
   EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos) << json;
   EXPECT_NE(json.find("\\n"), std::string::npos) << json;
   EXPECT_NE(json.find("\"advice\":1"), std::string::npos) << json;
+}
+
+TEST(Registry, CodeLetterDeterminesTheFamily) {
+  // The family is a function of the code prefix — one family per lint_*
+  // letter, and the V space split between the engine model checker (V0xx)
+  // and the trace verifier (V1xx). No code may sit in a family its prefix
+  // does not name, and no family may be empty.
+  const std::map<std::string, std::string> prefix_to_family = {
+      {"G", "graph"},        {"P", "platform"},     {"N", "network"},
+      {"H", "policy"},       {"S", "schedule"},     {"M", "metrics"},
+      {"V0", "verify-engine"}, {"V1", "verify-trace"},
+  };
+  std::set<std::string> seen_families;
+  for (const auto& info : pass_registry()) {
+    const std::string prefix =
+        info.code.front() == 'V' ? info.code.substr(0, 2) : info.code.substr(0, 1);
+    const auto it = prefix_to_family.find(prefix);
+    ASSERT_NE(it, prefix_to_family.end()) << "unmapped code prefix: " << info.code;
+    EXPECT_EQ(info.family, it->second) << info.code;
+    seen_families.insert(info.family);
+  }
+  EXPECT_EQ(seen_families.size(), prefix_to_family.size());
+}
+
+TEST(Registry, VerifyCodesAreRegistered) {
+  EXPECT_EQ(pass_info("V001").family, "verify-engine");
+  EXPECT_EQ(pass_info("V006").severity, Severity::Warn);
+  EXPECT_EQ(pass_info("V101").family, "verify-trace");
+  EXPECT_EQ(pass_info("V104").severity, Severity::Error);
+}
+
+TEST(Renderers, JsonEnvelopeRoundTrips) {
+  util::Diagnostics diags;
+  diags.error("V001", "engine", "protocol", "deadlock: \"stuck\"", "widen the window");
+  diags.warn("V006", "engine", "bounds", "truncated");
+  diags.advice("H003", "cfg", "cycle_time_s", "tune\nme");
+
+  const util::Diagnostics parsed = util::parse_diagnostics(util::render_json(diags));
+  ASSERT_EQ(parsed.size(), diags.size());
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const auto& a = diags.items()[i];
+    const auto& b = parsed.items()[i];
+    EXPECT_EQ(a.code, b.code);
+    EXPECT_EQ(a.severity, b.severity);
+    EXPECT_EQ(a.object, b.object);
+    EXPECT_EQ(a.field, b.field);
+    EXPECT_EQ(a.message, b.message);
+    EXPECT_EQ(a.hint, b.hint);
+  }
+}
+
+TEST(Renderers, ParseRejectsUnknownSchemaAndGarbage) {
+  EXPECT_THROW(util::parse_diagnostics("{\"schema\":\"other-v9\",\"diagnostics\":[]}"),
+               std::runtime_error);
+  EXPECT_THROW(util::parse_diagnostics("not json"), std::runtime_error);
+  // An empty collection round-trips too.
+  EXPECT_TRUE(util::parse_diagnostics(util::render_json(util::Diagnostics{})).empty());
+}
+
+TEST(Renderers, GithubAnnotationsEscapeWorkflowSyntax) {
+  util::Diagnostics diags;
+  diags.error("V001", "engine", "protocol", "deadlock 50% in,\nline two", "fix: widen");
+  diags.warn("S008", "cfg", "", "big batch");
+  diags.advice("H003", "cfg", "cycle_time_s", "tune");
+  const std::string out = util::render_github(diags);
+  EXPECT_NE(out.find("::error title=V001 engine%3Aprotocol::deadlock 50%25 in,%0Aline two "
+                     "(hint: fix: widen)"),
+            std::string::npos) << out;
+  EXPECT_NE(out.find("::warning title=S008 cfg::big batch"), std::string::npos) << out;
+  EXPECT_NE(out.find("::notice title=H003"), std::string::npos) << out;
 }
 
 }  // namespace

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <tuple>
+#include <vector>
 
+#include "hvd/protocol.hpp"
 #include "hvd/real_engine.hpp"
 #include "hvd/timeline.hpp"
 #include "mpi/world.hpp"
@@ -336,6 +339,52 @@ TEST(FusionPolicy, Validation) {
   p = FusionPolicy{};
   p.fusion_threshold_bytes = -1.0;
   EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// plan_fusion: the packing rule shared by RealEngine, TimelineSim, and the
+// protocol model checker
+// ---------------------------------------------------------------------------
+
+TEST(PlanFusion, GroupsRespectCapacityAndCoverEveryReadyIdOnce) {
+  const std::vector<std::size_t> sizes = {3, 1, 4, 2, 2};
+  const std::vector<int> ready = {0, 1, 2, 3, 4};
+  const auto groups = plan_fusion(ready, sizes, std::size_t{4});
+
+  std::vector<int> covered;
+  for (const auto& group : groups) {
+    ASSERT_FALSE(group.empty());
+    std::size_t total = 0;
+    for (int id : group) total += sizes[static_cast<std::size_t>(id)];
+    EXPECT_LE(total, 4u);  // no single-tensor group is oversized here
+    covered.insert(covered.end(), group.begin(), group.end());
+  }
+  EXPECT_EQ(covered, ready);  // id order preserved, each shipped exactly once
+  // Greedy id-order packing: {3,1}, {4}, {2,2}.
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(groups[1], (std::vector<int>{2}));
+  EXPECT_EQ(groups[2], (std::vector<int>{3, 4}));
+}
+
+TEST(PlanFusion, OversizedTensorShipsAloneByDefault) {
+  const std::vector<std::size_t> sizes = {10, 2};
+  const auto groups = plan_fusion({0, 1}, sizes, std::size_t{4});
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<int>{0}));  // bypasses fusion, still ships
+  EXPECT_EQ(groups[1], (std::vector<int>{1}));
+}
+
+TEST(PlanFusion, StrictCapacitySkipsOversizedTensors) {
+  const std::vector<std::size_t> sizes = {10, 2, 1};
+  const auto groups = plan_fusion({0, 1, 2}, sizes, std::size_t{4},
+                                  /*allow_oversized=*/false);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (std::vector<int>{1, 2}));  // t0 is never planned
+}
+
+TEST(PlanFusion, EmptyReadySetPlansNothing) {
+  EXPECT_TRUE(plan_fusion({}, std::vector<std::size_t>{1, 2}, std::size_t{4}).empty());
 }
 
 TEST(CommStats, Accumulate) {

@@ -2,24 +2,22 @@
 // integration points: thread-pool chunk spans, the real trainer/engine
 // timeline, and the DES virtual-time timeline.
 //
-// The emitted document is validated with a minimal JSON parser kept local to
-// this file (the repo deliberately has no JSON dependency): just enough of
-// RFC 8259 for the subset write_json() produces.
+// The emitted document is validated with the shared minimal JSON parser
+// (util/jsonlite) — just enough of RFC 8259 for the subset write_json()
+// produces.
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <cctype>
 #include <cstdint>
 #include <map>
-#include <memory>
 #include <sstream>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "hvd/timeline.hpp"
 #include "ref/threadpool.hpp"
 #include "train/real_trainer.hpp"
+#include "util/jsonlite.hpp"
 #include "util/trace.hpp"
 
 namespace dnnperf {
@@ -27,178 +25,7 @@ namespace {
 
 namespace trace = util::trace;
 
-// ---------------------------------------------------------------------------
-// Minimal JSON parser (objects, arrays, strings, numbers, true/false/null)
-// ---------------------------------------------------------------------------
-
-struct Json {
-  enum class Kind { Null, Bool, Number, String, Array, Object };
-  Kind kind = Kind::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<Json> array;
-  std::map<std::string, Json> object;
-
-  bool has(const std::string& key) const { return object.contains(key); }
-  const Json& at(const std::string& key) const {
-    auto it = object.find(key);
-    if (it == object.end()) throw std::runtime_error("missing key: " + key);
-    return it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  Json parse() {
-    Json v = value();
-    skip_ws();
-    if (pos_ != s_.size()) throw std::runtime_error("trailing characters at " + std::to_string(pos_));
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
-  }
-
-  char peek() {
-    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end of input");
-    return s_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c)
-      throw std::runtime_error(std::string("expected '") + c + "' at " + std::to_string(pos_));
-    ++pos_;
-  }
-
-  Json value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': {
-        Json v;
-        v.kind = Json::Kind::String;
-        v.string = string();
-        return v;
-      }
-      case 't': literal("true"); return make_bool(true);
-      case 'f': literal("false"); return make_bool(false);
-      case 'n': literal("null"); return Json{};
-      default: return number();
-    }
-  }
-
-  static Json make_bool(bool b) {
-    Json v;
-    v.kind = Json::Kind::Bool;
-    v.boolean = b;
-    return v;
-  }
-
-  void literal(const char* lit) {
-    for (const char* p = lit; *p != '\0'; ++p) expect(*p);
-  }
-
-  Json object() {
-    Json v;
-    v.kind = Json::Kind::Object;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      v.object.emplace(std::move(key), value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  Json array() {
-    Json v;
-    v.kind = Json::Kind::Array;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      char c = peek();
-      ++pos_;
-      if (c == '"') return out;
-      if (c == '\\') {
-        char esc = peek();
-        ++pos_;
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u escape");
-            out += static_cast<char>(std::stoi(s_.substr(pos_, 4), nullptr, 16));
-            pos_ += 4;
-            break;
-          }
-          default: throw std::runtime_error("bad escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-  }
-
-  Json number() {
-    const std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
-            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E'))
-      ++pos_;
-    if (pos_ == start) throw std::runtime_error("bad number at " + std::to_string(start));
-    Json v;
-    v.kind = Json::Kind::Number;
-    v.number = std::stod(s_.substr(start, pos_ - start));
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+using Json = util::jsonlite::Value;
 
 // ---------------------------------------------------------------------------
 // Helpers over a parsed trace document
@@ -208,7 +35,7 @@ class JsonParser {
 Json dump_and_parse() {
   std::ostringstream os;
   trace::write_json(os);
-  return JsonParser(os.str()).parse();
+  return util::jsonlite::parse(os.str(), "trace JSON");
 }
 
 const std::vector<Json>& events_of(const Json& doc) { return doc.at("traceEvents").array; }

@@ -1,0 +1,343 @@
+// Tests for the verification subsystem (src/analysis/verify): the exhaustive
+// small-scope model checker over the abstract engine protocol, and the
+// happens-before verifier for recorded Chrome-trace documents.
+//
+// The negative fixtures are the point: each seeded protocol bug and each
+// synthetic trace corruption must produce its specific V-code with a minimal
+// counterexample, while everything the repo ships verifies clean.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.hpp"
+#include "analysis/verify/model_checker.hpp"
+#include "analysis/verify/trace_verifier.hpp"
+#include "core/presets.hpp"
+#include "dnn/models.hpp"
+#include "hvd/protocol.hpp"
+#include "hvd/timeline.hpp"
+#include "hw/platforms.hpp"
+#include "train/real_trainer.hpp"
+#include "util/trace.hpp"
+
+namespace dnnperf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Model checker: positive coverage
+// ---------------------------------------------------------------------------
+
+TEST(ModelChecker, ExhaustiveThreeRanksFourTensorsCompletes) {
+  // The acceptance bound: >= 3 ranks x >= 4 tensors explored exhaustively,
+  // well under the 5 s budget. Rotated submission orders make every rank a
+  // distinct symmetry class, i.e. no state-space collapse flatters the time.
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(3, {4, 2, 2, 1}, 5,
+                                                      /*rotate_by_rank=*/true);
+  spec.name = "exhaustive-3x4";
+
+  const auto start = std::chrono::steady_clock::now();
+  const analysis::ModelCheckResult result = analysis::check_protocol(spec);
+  const double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  EXPECT_TRUE(result.diags.empty()) << util::render_text(result.diags);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.goal_reached);
+  EXPECT_GT(result.states_explored, 100u);  // genuinely explored, not short-circuited
+  EXPECT_GT(result.transitions, result.states_explored);
+  EXPECT_LT(seconds, 5.0);
+}
+
+TEST(ModelChecker, SymmetricRanksCollapseStateSpace) {
+  // Identical submission programs are interchangeable; the canonical key
+  // must make the symmetric instance strictly cheaper than the rotated one.
+  hvd::ProtocolSpec rotated = hvd::ProtocolSpec::uniform(3, {2, 2, 1, 1}, 3, true);
+  hvd::ProtocolSpec symmetric = hvd::ProtocolSpec::uniform(3, {2, 2, 1, 1}, 3, false);
+  const auto r = analysis::check_protocol(rotated);
+  const auto s = analysis::check_protocol(symmetric);
+  EXPECT_TRUE(r.goal_reached);
+  EXPECT_TRUE(s.goal_reached);
+  EXPECT_LT(s.states_explored, r.states_explored);
+}
+
+TEST(ModelChecker, OversizedTensorBypassingFusionIsClean) {
+  // The Horovod rule: a tensor above the threshold ships alone, unfused.
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(2, {10, 2}, 4);
+  spec.name = "oversized-bypass";
+  const auto result = analysis::check_protocol(spec);
+  EXPECT_TRUE(result.diags.empty()) << util::render_text(result.diags);
+  EXPECT_TRUE(result.goal_reached);
+}
+
+TEST(ModelChecker, MalformedSpecThrows) {
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(2, {1, 1}, 2);
+  spec.submit_order[1] = {0, 0};  // not a permutation
+  EXPECT_THROW(analysis::check_protocol(spec), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Model checker: negative fixtures (one per V code)
+// ---------------------------------------------------------------------------
+
+TEST(ModelChecker, DeadlockUnderPermutedOrdersAndBoundedWindow) {
+  // The classic hang: two ranks submit in opposite orders while a window of 1
+  // blocks each on its first gradient; the readiness intersection stays empty.
+  hvd::ProtocolSpec spec;
+  spec.ranks = 2;
+  spec.tensor_elements = {1, 1};
+  spec.capacity_elems = 2;
+  spec.max_outstanding = 1;
+  spec.submit_order = {{0, 1}, {1, 0}};
+  spec.name = "deadlock-fixture";
+
+  const auto result = analysis::check_protocol(spec);
+  ASSERT_TRUE(result.diags.has_code("V001")) << util::render_text(result.diags);
+  // BFS order makes the trace minimal: one submit per rank, then stuck.
+  ASSERT_EQ(result.counterexample.size(), 3u);
+  EXPECT_EQ(result.counterexample[0], "r0 submits t0");
+  EXPECT_EQ(result.counterexample[1], "r1 submits t1");
+  // The hint carries the rendered counterexample for the CLI/CI output.
+  const auto& d = result.diags.items().front();
+  EXPECT_NE(d.hint.find("counterexample:"), std::string::npos);
+  EXPECT_NE(d.hint.find("fix:"), std::string::npos);
+}
+
+TEST(ModelChecker, SameOrderSubmissionUnderWindowIsDeadlockFree) {
+  // Control for the fixture above: identical orders under the same window
+  // complete — the permutation, not the window, is the bug.
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(2, {1, 1}, 2);
+  spec.max_outstanding = 1;
+  const auto result = analysis::check_protocol(spec);
+  EXPECT_TRUE(result.diags.empty()) << util::render_text(result.diags);
+  EXPECT_TRUE(result.goal_reached);
+}
+
+TEST(ModelChecker, StarvationUnderStrictCapacity) {
+  // A tensor larger than a strict-capacity fusion buffer can never ship:
+  // V002 names the root cause statically, and the BFS still finds the
+  // concrete stuck run (V001).
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(2, {10, 2}, 4);
+  spec.allow_oversized = false;
+  spec.name = "starvation-fixture";
+  const auto result = analysis::check_protocol(spec);
+  EXPECT_TRUE(result.diags.has_code("V002")) << util::render_text(result.diags);
+  EXPECT_TRUE(result.diags.has_code("V001"));
+  EXPECT_FALSE(result.counterexample.empty());
+}
+
+TEST(ModelChecker, ReissueCompletedBugCaughtAsAccountingViolation) {
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(2, {1, 1}, 1);
+  spec.variant = hvd::EngineVariant::ReissueCompleted;
+  spec.name = "reissue-fixture";
+  const auto result = analysis::check_protocol(spec);
+  ASSERT_TRUE(result.diags.has_code("V003")) << util::render_text(result.diags);
+  EXPECT_FALSE(result.counterexample.empty());
+}
+
+TEST(ModelChecker, MaxCoordinationBugCaughtAsReadinessViolation) {
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(2, {1, 1}, 2);
+  spec.variant = hvd::EngineVariant::MaxCoordination;
+  spec.name = "max-coordination-fixture";
+  const auto result = analysis::check_protocol(spec);
+  ASSERT_TRUE(result.diags.has_code("V005")) << util::render_text(result.diags);
+  EXPECT_FALSE(result.counterexample.empty());
+}
+
+TEST(ModelChecker, UncappedPackingBugCaughtAsOverflow) {
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(2, {3, 3}, 4);
+  spec.variant = hvd::EngineVariant::UncappedPacking;
+  spec.name = "uncapped-fixture";
+  const auto result = analysis::check_protocol(spec);
+  ASSERT_TRUE(result.diags.has_code("V004")) << util::render_text(result.diags);
+  EXPECT_FALSE(result.counterexample.empty());
+}
+
+TEST(ModelChecker, TruncatedExplorationWarns) {
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(3, {1, 1, 1, 1}, 4, true);
+  analysis::ModelCheckOptions options;
+  options.max_states = 2;
+  const auto result = analysis::check_protocol(spec, options);
+  EXPECT_FALSE(result.complete);
+  EXPECT_TRUE(result.diags.has_code("V006")) << util::render_text(result.diags);
+  EXPECT_EQ(result.diags.count(util::Severity::Error), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Shipped configurations verify clean
+// ---------------------------------------------------------------------------
+
+TEST(ModelChecker, ShippedPresetsVerifyClean) {
+  // The tuned presets drive the paper figures; their engine protocol must
+  // model-check clean under every canonical submission pattern. (The full
+  // preset sweep also runs as the VerifyEngineShipped ctest via dnnperf_lint.)
+  for (const auto& cluster : hw::all_clusters()) {
+    if (cluster.node.has_gpu()) continue;
+    const int nodes = std::min(2, cluster.max_nodes);
+    const train::TrainConfig cfg = core::tf_best(cluster, dnn::ModelId::ResNet50, nodes);
+    const util::Diagnostics diags = analysis::verify_config_engine(cfg);
+    EXPECT_TRUE(diags.empty()) << cluster.name << ":\n" << util::render_text(diags);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace verifier: recorded artifacts
+// ---------------------------------------------------------------------------
+
+/// Every trace test starts and ends with a clean, disabled trace state.
+class VerifyTrace : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::trace::set_enabled(false);
+    util::trace::reset();
+  }
+  void TearDown() override {
+    util::trace::set_enabled(false);
+    util::trace::reset();
+  }
+
+  static std::string dump() {
+    std::ostringstream os;
+    util::trace::write_json(os);
+    return os.str();
+  }
+
+  static std::string record_real_training() {
+    util::trace::set_enabled(true);
+    train::RealTrainConfig cfg;
+    cfg.ranks = 2;
+    cfg.batch_per_rank = 2;
+    cfg.steps = 2;
+    (void)train::run_real_training(cfg);
+    util::trace::set_enabled(false);
+    return dump();
+  }
+};
+
+TEST_F(VerifyTrace, FreshTwoRankTrainingTraceVerifiesClean) {
+  const std::string text = record_real_training();
+  const util::Diagnostics diags = analysis::verify_trace_text(text, "real-2rank");
+  EXPECT_TRUE(diags.empty()) << util::render_text(diags);
+}
+
+TEST_F(VerifyTrace, MutatedTrainingTraceFailsCrossRankMatching) {
+  // Renaming one data allreduce drops it from one rank's cycle sequence —
+  // exactly the desynchronized recording V103 exists to catch.
+  std::string text = record_real_training();
+  const auto at = text.find("\"name\":\"allreduce.data\"");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 23, "\"name\":\"allreduce.drop\"");
+  const util::Diagnostics diags = analysis::verify_trace_text(text, "mutated-2rank");
+  EXPECT_TRUE(diags.has_code("V103")) << util::render_text(diags);
+}
+
+TEST_F(VerifyTrace, SimulatedTimelineTraceVerifiesClean) {
+  util::trace::set_enabled(true);
+  mpi::CollectiveCostModel cost(net::Topology(4, 4, hw::FabricKind::InfiniBandEDR));
+  hvd::TimelineInput in;
+  in.fwd_time = 0.1;
+  in.bwd_time = 0.2;
+  in.optimizer_time = 0.01;
+  in.iterations = 2;
+  in.cost = &cost;
+  for (int i = 0; i < 5; ++i) in.grad_events.push_back({0.02 * (i + 1), 1e6});
+  (void)hvd::simulate_training(in);
+  util::trace::set_enabled(false);
+
+  const util::Diagnostics diags = analysis::verify_trace_text(dump(), "des-timeline");
+  EXPECT_TRUE(diags.empty()) << util::render_text(diags);
+}
+
+// ---------------------------------------------------------------------------
+// Trace verifier: synthetic corruptions (one per V code)
+// ---------------------------------------------------------------------------
+
+std::string trace_doc(const std::string& events) {
+  return "{\"traceEvents\":[" + events + "]}";
+}
+
+std::string span(const char* name, int tid, double ts, double dur,
+                 const std::string& args = {}) {
+  std::string e = "{\"name\":\"" + std::string(name) + "\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+                  std::to_string(tid) + ",\"ts\":" + std::to_string(ts) +
+                  ",\"dur\":" + std::to_string(dur);
+  if (!args.empty()) e += ",\"args\":{" + args + "}";
+  return e + "}";
+}
+
+std::string rank_meta(int tid, int rank) {
+  return "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+         ",\"ts\":0,\"args\":{\"name\":\"rank " + std::to_string(rank) + "\"}}";
+}
+
+TEST_F(VerifyTrace, UnparseableDocumentIsV101) {
+  EXPECT_TRUE(analysis::verify_trace_text("not json at all", "bad").has_code("V101"));
+  EXPECT_TRUE(analysis::verify_trace_text("{}", "bad").has_code("V101"));
+}
+
+TEST_F(VerifyTrace, MissingRequiredFieldsIsV101) {
+  // A complete event without dur.
+  const std::string text =
+      trace_doc("{\"name\":\"a\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0}");
+  EXPECT_TRUE(analysis::verify_trace_text(text, "bad").has_code("V101"));
+}
+
+TEST_F(VerifyTrace, PartiallyOverlappingSpansAreV102) {
+  const std::string text = trace_doc(span("a", 1, 0, 10) + "," + span("b", 1, 5, 10));
+  const util::Diagnostics diags = analysis::verify_trace_text(text, "overlap");
+  EXPECT_TRUE(diags.has_code("V102")) << util::render_text(diags);
+}
+
+TEST_F(VerifyTrace, ProperlyNestedSpansAreNotV102) {
+  const std::string text = trace_doc(span("a", 1, 0, 10) + "," + span("b", 1, 2, 4));
+  EXPECT_FALSE(analysis::verify_trace_text(text, "nested").has_code("V102"));
+}
+
+TEST_F(VerifyTrace, CrossRankByteMismatchIsV103) {
+  const std::string text = trace_doc(
+      rank_meta(11, 0) + "," + rank_meta(12, 1) + "," +
+      span("engine.cycle", 11, 0, 100) + "," +
+      span("allreduce.data", 11, 10, 10, "\"bytes\":100") + "," +
+      span("engine.cycle", 12, 0, 100) + "," +
+      span("allreduce.data", 12, 10, 10, "\"bytes\":200"));
+  const util::Diagnostics diags = analysis::verify_trace_text(text, "bytes-mismatch");
+  EXPECT_TRUE(diags.has_code("V103")) << util::render_text(diags);
+}
+
+TEST_F(VerifyTrace, CrossRankCycleCountMismatchIsV103) {
+  const std::string text = trace_doc(
+      rank_meta(11, 0) + "," + rank_meta(12, 1) + "," +
+      span("engine.cycle", 11, 0, 100) + "," + span("engine.cycle", 11, 200, 100) + "," +
+      span("engine.cycle", 12, 0, 100));
+  const util::Diagnostics diags = analysis::verify_trace_text(text, "count-mismatch");
+  EXPECT_TRUE(diags.has_code("V103")) << util::render_text(diags);
+}
+
+TEST_F(VerifyTrace, MatchedRanksAreNotV103) {
+  const std::string text = trace_doc(
+      rank_meta(11, 0) + "," + rank_meta(12, 1) + "," +
+      span("engine.cycle", 11, 0, 100) + "," +
+      span("allreduce.data", 11, 10, 10, "\"bytes\":100") + "," +
+      span("engine.cycle", 12, 5, 100) + "," +
+      span("allreduce.data", 12, 15, 10, "\"bytes\":100"));
+  EXPECT_TRUE(analysis::verify_trace_text(text, "matched").empty());
+}
+
+TEST_F(VerifyTrace, OverlappingEngineCyclesAreV104) {
+  // Nested, so V102 stays silent — the violation is purely the cycle order.
+  const std::string text =
+      trace_doc(span("engine.cycle", 1, 0, 10) + "," + span("engine.cycle", 1, 2, 6));
+  const util::Diagnostics diags = analysis::verify_trace_text(text, "cycle-overlap");
+  EXPECT_TRUE(diags.has_code("V104")) << util::render_text(diags);
+  EXPECT_FALSE(diags.has_code("V102"));
+}
+
+TEST_F(VerifyTrace, UnreadableFileIsV101) {
+  const util::Diagnostics diags =
+      analysis::verify_trace_file("/nonexistent/dnnperf-trace.json");
+  EXPECT_TRUE(diags.has_code("V101"));
+}
+
+}  // namespace
+}  // namespace dnnperf

@@ -7,6 +7,8 @@
 //   dnnperf_lint --cluster=Stampede2 --model=resnet50 --nodes=8   # one config
 //   dnnperf_lint --lint-json             # machine-readable output for CI
 //   dnnperf_lint --list-passes           # the pass registry
+//   dnnperf_lint --verify-engine         # model-check presets' engine protocol
+//   dnnperf_lint --verify-trace=t.json   # happens-before checks on a trace
 //
 // Exit status: 0 when no Error-level findings, 1 otherwise (Warn/Advice do
 // not affect the exit code; --strict promotes Warn to failing).
@@ -17,6 +19,7 @@
 
 #include "analysis/analyze.hpp"
 #include "analysis/registry.hpp"
+#include "analysis/verify/trace_verifier.hpp"
 #include "core/presets.hpp"
 #include "dnn/models.hpp"
 #include "hw/platforms.hpp"
@@ -73,8 +76,13 @@ int main(int argc, char** argv) {
   cli.add_flag("platforms", "lint every shipped CPU/GPU/cluster", true);
   cli.add_flag("lint-json", "emit diagnostics as JSON (for CI)", false);
   cli.add_flag("json", "alias for --lint-json", false);
+  cli.add_string("format", "output renderer: text, json, or github", "");
   cli.add_flag("strict", "exit nonzero on Warn findings too", false);
   cli.add_flag("list-passes", "print the pass registry and exit", false);
+  cli.add_flag("verify-engine",
+               "model-check the engine protocol for the selected configs (V0xx)", false);
+  cli.add_string("verify-trace",
+                 "run happens-before checks over a recorded Chrome-trace file (V1xx)", "");
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -87,12 +95,39 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  std::string format = cli.get_string("format");
+  if (format.empty()) format = cli.get_flag("lint-json") || cli.get_flag("json") ? "json" : "text";
+  if (format != "text" && format != "json" && format != "github") {
+    std::cerr << "dnnperf_lint: unknown --format '" << format << "' (text|json|github)\n";
+    return 2;
+  }
+
+  const bool verify_engine = cli.get_flag("verify-engine");
+  const std::string trace_path = cli.get_string("verify-trace");
+
   util::Diagnostics all;
   try {
     const std::string model_arg = cli.get_string("model");
     const std::string cluster_arg = cli.get_string("cluster");
 
-    if (!model_arg.empty() && !cluster_arg.empty()) {
+    if (verify_engine || !trace_path.empty()) {
+      // Verification modes replace the default lint families: CI runs them as
+      // separate steps with separate artifacts.
+      if (verify_engine) {
+        if (!model_arg.empty() && !cluster_arg.empty()) {
+          const auto cluster = hw::cluster_by_name(cluster_arg);
+          train::TrainConfig cfg =
+              core::tf_best(cluster, dnn::model_by_name(model_arg),
+                            static_cast<int>(cli.get_int("nodes")));
+          if (cli.get_int("ppn") > 0) cfg.ppn = static_cast<int>(cli.get_int("ppn"));
+          all.merge(analysis::verify_config_engine(cfg));
+        } else {
+          for (const auto& cfg : shipped_presets())
+            all.merge(analysis::verify_config_engine(cfg));
+        }
+      }
+      if (!trace_path.empty()) all.merge(analysis::verify_trace_file(trace_path));
+    } else if (!model_arg.empty() && !cluster_arg.empty()) {
       // One explicit configuration.
       const auto cluster = hw::cluster_by_name(cluster_arg);
       train::TrainConfig cfg =
@@ -123,8 +158,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (cli.get_flag("lint-json") || cli.get_flag("json"))
+  if (format == "json")
     std::cout << util::render_json(all);
+  else if (format == "github")
+    std::cout << util::render_github(all);
   else
     std::cout << util::render_text(all);
 
