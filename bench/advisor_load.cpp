@@ -1,0 +1,241 @@
+// advisor_load: closed-loop load generator for core::AdvisorService (§6.6).
+//
+// Drives a repeated-query workload (distinct queries = models x frameworks x
+// node counts, cycled) through three phases:
+//
+//   serial — the pre-service core::advise() equivalent: plan the grid, then
+//            run_training on every point, one after another, no cache;
+//   cold   — a fresh AdvisorService answers each distinct query once
+//            (every grid point is a cache miss, fanned out on the pool);
+//   warm   — the full query stream replayed against the now-hot cache from
+//            --clients concurrent threads, --batch requests per ask_many.
+//
+// Reports qps per phase, the warm-phase cache hit rate, p50/p99 query
+// latency (from the advisor_query_seconds histogram), and the service-over-
+// serial speedup on the repeated workload; publishes all of it as
+// advisor_*_queries_per_sec / advisor_speedup_vs_serial gauges so
+// --metrics-out snapshots feed BENCH_metrics.json and dnnperf_metrics diff.
+//
+//   ./advisor_load                                   # full run, summary table
+//   ./advisor_load --queries=400 --pool-threads=4 --check
+//       --metrics-out=advisor.json    (CI smoke: deterministic counters;
+//                                      exits 1 if the cache never hit or qps=0)
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/advisor_service.hpp"
+#include "hw/platforms.hpp"
+#include "util/cli.hpp"
+#include "util/metrics.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dnnperf;
+
+double now_s() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The pre-service advisor: the exact work core::advise() did per call —
+/// enumerate the grid, simulate every point serially, keep the best. No
+/// cache, no pool, no reuse across calls.
+core::Recommendation serial_sweep(const core::AdvisorRequest& request) {
+  core::Recommendation rec;
+  for (const train::TrainConfig& cfg : core::AdvisorService::plan_grid(request)) {
+    const double v = train::run_training(cfg).images_per_sec;
+    if (v > rec.images_per_sec) {
+      rec.images_per_sec = v;
+      rec.best = cfg;
+    }
+  }
+  return rec;
+}
+
+std::vector<core::AdvisorRequest> make_workload(const hw::ClusterModel& cluster, int models) {
+  static const dnn::ModelId kModels[] = {dnn::ModelId::ResNet50, dnn::ModelId::ResNet101,
+                                         dnn::ModelId::ResNet152, dnn::ModelId::InceptionV3};
+  static const exec::Framework kFrameworks[] = {exec::Framework::TensorFlow,
+                                                exec::Framework::PyTorch};
+  std::vector<core::AdvisorRequest> distinct;
+  const int m = std::clamp(models, 1, 4);
+  for (int i = 0; i < m; ++i) {
+    for (const auto fw : kFrameworks) {
+      for (const int nodes : {1, 2, 4}) {
+        core::AdvisorRequest req;
+        req.cluster = cluster;
+        req.model = kModels[i];
+        req.framework = fw;
+        req.nodes = std::min(nodes, cluster.max_nodes);
+        distinct.push_back(std::move(req));
+      }
+    }
+  }
+  return distinct;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("advisor_load",
+                      "closed-loop load generator for the advisor service: serial-vs-"
+                      "service A/B, cold-vs-warm cache, concurrent clients");
+  cli.add_int("queries", "warm-phase queries across all clients", 2000);
+  cli.add_int("serial-queries", "queries for the serial (pre-service) baseline", 5);
+  cli.add_int("clients", "concurrent client threads in the warm phase", 1);
+  cli.add_int("batch", "requests per ask_many() batch in the warm phase", 1);
+  cli.add_int("pool-threads", "service evaluation pool width (0 = hardware)", 0);
+  cli.add_int("models", "distinct models in the workload (1-4)", 3);
+  cli.add_int("cache-capacity", "eval-cache capacity (measurements)", 1 << 16);
+  cli.add_string("cluster", "platform to advise on", "Stampede2");
+  cli.add_string("metrics-out", "write a metrics snapshot JSON here", "");
+  cli.add_flag("check", "exit 1 unless warm hit rate > 0 and warm qps > 0", false);
+  cli.add_double("min-warm-qps", "with --check: minimum warm queries/sec (0 = off)", 0.0);
+  cli.add_double("min-speedup", "with --check: minimum service-over-serial speedup (0 = off)",
+                 0.0);
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    util::metrics::set_enabled(true);
+
+    const auto cluster = hw::cluster_by_name(cli.get_string("cluster"));
+    const auto distinct = make_workload(cluster, static_cast<int>(cli.get_int("models")));
+    const auto total_queries = static_cast<std::size_t>(cli.get_int("queries"));
+    const int clients = std::max(1, static_cast<int>(cli.get_int("clients")));
+    const std::size_t batch = std::max<std::size_t>(1, static_cast<std::size_t>(cli.get_int("batch")));
+
+    core::AdvisorServiceOptions opts;
+    opts.threads = static_cast<int>(cli.get_int("pool-threads"));
+    opts.cache_capacity = static_cast<std::size_t>(cli.get_int("cache-capacity"));
+    core::AdvisorService service(opts);
+
+    std::cout << "workload: " << distinct.size() << " distinct queries on " << cluster.name
+              << ", service pool = " << service.threads() << " threads\n\n";
+
+    // ---- serial baseline (the old advise(): re-simulate everything) --------
+    const auto n_serial = std::min<std::size_t>(
+        static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("serial-queries"))),
+        total_queries == 0 ? 1 : total_queries);
+    double t0 = now_s();
+    for (std::size_t q = 0; q < n_serial; ++q) serial_sweep(distinct[q % distinct.size()]);
+    const double serial_s = now_s() - t0;
+    const double serial_qps = static_cast<double>(n_serial) / serial_s;
+
+    // ---- cold: every distinct query once, all grid points simulated --------
+    t0 = now_s();
+    for (const auto& req : distinct) service.ask(req);
+    const double cold_s = now_s() - t0;
+    const double cold_qps = static_cast<double>(distinct.size()) / cold_s;
+    const core::EvalCacheStats after_cold = service.cache().stats();
+
+    // ---- warm: replay the stream from concurrent clients -------------------
+    const std::size_t per_client = total_queries / static_cast<std::size_t>(clients);
+    t0 = now_s();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        std::vector<core::AdvisorRequest> reqs;
+        for (std::size_t q = 0; q < per_client; q += reqs.size()) {
+          reqs.clear();
+          for (std::size_t b = 0; b < std::min(batch, per_client - q); ++b)
+            reqs.push_back(
+                distinct[(static_cast<std::size_t>(c) * per_client + q + b) % distinct.size()]);
+          service.ask_many(reqs);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double warm_s = now_s() - t0;
+    const std::size_t warm_queries = per_client * static_cast<std::size_t>(clients);
+    const double warm_qps = warm_s > 0.0 ? static_cast<double>(warm_queries) / warm_s : 0.0;
+
+    const core::EvalCacheStats after_warm = service.cache().stats();
+    const std::uint64_t warm_hits = after_warm.hits - after_cold.hits;
+    const std::uint64_t warm_lookups =
+        warm_hits + (after_warm.misses - after_cold.misses);
+    const double warm_hit_rate =
+        warm_lookups > 0 ? static_cast<double>(warm_hits) / static_cast<double>(warm_lookups)
+                         : 0.0;
+    const double speedup = serial_qps > 0.0 ? warm_qps / serial_qps : 0.0;
+
+    // ---- publish + report --------------------------------------------------
+    const auto serial_gauge = util::metrics::gauge(
+        "advisor_serial_queries_per_sec", "Serial pre-service advise() sweep throughput");
+    const auto cold_gauge = util::metrics::gauge(
+        "advisor_cold_queries_per_sec", "Service throughput with an empty cache");
+    const auto warm_gauge = util::metrics::gauge(
+        "advisor_warm_queries_per_sec", "Service throughput with a hot cache");
+    const auto speedup_gauge = util::metrics::gauge(
+        "advisor_speedup_vs_serial", "Warm service qps over serial sweep qps");
+    const auto hit_gauge = util::metrics::gauge(
+        "advisor_warm_hit_rate", "Cache hit fraction during the warm phase");
+    serial_gauge.set(serial_qps);
+    cold_gauge.set(cold_qps);
+    warm_gauge.set(warm_qps);
+    speedup_gauge.set(speedup);
+    hit_gauge.set(warm_hit_rate);
+
+    const util::metrics::Snapshot snap = util::metrics::snapshot();
+    double p50 = 0.0, p99 = 0.0;
+    if (const auto* q = snap.find("advisor_query_seconds")) {
+      p50 = q->hist.percentile(0.50);
+      p99 = q->hist.percentile(0.99);
+    }
+
+    util::TextTable table({"phase", "queries", "qps", "note"});
+    table.add_row({"serial", std::to_string(n_serial), util::TextTable::num(serial_qps, 1),
+                   "old advise(): no cache, no pool"});
+    table.add_row({"cold", std::to_string(distinct.size()), util::TextTable::num(cold_qps, 1),
+                   std::to_string(after_cold.misses) + " evaluations on " +
+                       std::to_string(service.threads()) + " threads"});
+    table.add_row({"warm", std::to_string(warm_queries), util::TextTable::num(warm_qps, 1),
+                   "hit rate " + util::TextTable::num(warm_hit_rate, 3) + ", " +
+                       std::to_string(clients) + " client(s)"});
+    std::cout << table.to_text() << "\n"
+              << "speedup vs serial advise(): " << util::TextTable::num(speedup, 1) << "x\n"
+              << "query latency p50 = " << util::TextTable::num(p50 * 1e6, 1)
+              << " us, p99 = " << util::TextTable::num(p99 * 1e6, 1) << " us\n";
+
+    if (const std::string& out = cli.get_string("metrics-out"); !out.empty()) {
+      util::metrics::Snapshot labeled = snap;
+      labeled.label = "advisor_load queries=" + std::to_string(warm_queries) +
+                      " clients=" + std::to_string(clients) +
+                      " pool=" + std::to_string(service.threads());
+      util::metrics::write_json_file(labeled, out);
+      std::cout << "wrote " << out << "\n";
+    }
+
+    if (cli.get_flag("check")) {
+      bool ok = true;
+      if (warm_hit_rate <= 0.0) {
+        std::cerr << "CHECK FAILED: warm cache hit rate is zero\n";
+        ok = false;
+      }
+      if (warm_qps <= 0.0) {
+        std::cerr << "CHECK FAILED: warm qps is zero\n";
+        ok = false;
+      }
+      if (const double min_qps = cli.get_double("min-warm-qps"); min_qps > 0.0 && warm_qps < min_qps) {
+        std::cerr << "CHECK FAILED: warm qps " << warm_qps << " < " << min_qps << "\n";
+        ok = false;
+      }
+      if (const double min_speedup = cli.get_double("min-speedup");
+          min_speedup > 0.0 && speedup < min_speedup) {
+        std::cerr << "CHECK FAILED: speedup " << speedup << "x < " << min_speedup << "x\n";
+        ok = false;
+      }
+      if (!ok) return 1;
+      std::cout << "check ok: hit rate " << util::TextTable::num(warm_hit_rate, 3) << ", "
+                << util::TextTable::num(warm_qps, 1) << " qps\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "advisor_load: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

@@ -4,12 +4,15 @@
 # TSan runs use the preset filters in CMakePresets.json — deterministic
 # unit/integration suites, not the timing-sensitive benches; the ubsan leg
 # runs the full suite and aborts on the first finding. After the default
-# preset, a metrics smoke step records a 2-rank training snapshot, lints it,
-# and diffs its counters against the committed BENCH_metrics.json baseline
-# (timers and rates are machine-dependent and ignored; counter drift fails),
-# and a verify smoke step model-checks the shipped presets' engine protocol
-# and runs the happens-before verifier over a freshly recorded 2-rank trace
-# (findings surface as GitHub annotations in the CI log).
+# preset, an advisor smoke step drives a short deterministic advisor_load run
+# (fails unless the warm cache hit and qps > 0), a metrics smoke step records
+# a 2-rank training snapshot plus the advisor_load snapshot, lints both,
+# merges them, and diffs the merged counters against the committed
+# BENCH_metrics.json baseline (timers and rates are machine-dependent and
+# ignored; counter drift fails), and a verify smoke step model-checks the
+# shipped presets' engine protocol and runs the happens-before verifier over
+# a freshly recorded 2-rank trace (findings surface as GitHub annotations in
+# the CI log).
 # Run from the repo root:
 #
 #   ci/check.sh            # all four presets
@@ -22,13 +25,28 @@ if [ ${#presets[@]} -eq 0 ]; then
   presets=(default asan tsan ubsan)
 fi
 
+# Short deterministic advisor_load run: fixed pool width and query counts so
+# every advisor/pool/sim counter lands on the same totals on any machine.
+# --check exits non-zero unless the warm cache actually hit and qps > 0.
+advisor_smoke() {
+  local build=build
+  echo "=== [default] advisor smoke ==="
+  "$build/bench/advisor_load" --queries=200 --serial-queries=2 --clients=2 --batch=4 \
+      --pool-threads=4 --check --metrics-out="$build/metrics_smoke_advisor.json"
+}
+
 metrics_smoke() {
   local build=build
-  local snap="$build/metrics_smoke.json"
+  local train_snap="$build/metrics_smoke_training.json"
+  local advisor_snap="$build/metrics_smoke_advisor.json"  # from advisor_smoke
+  local merged="$build/metrics_smoke.json"
   echo "=== [default] metrics smoke ==="
-  "$build/examples/real_training" --ranks=2 --steps=2 --metrics-out="$snap" > /dev/null
-  "$build/tools/dnnperf_metrics" check "$snap"
-  "$build/tools/dnnperf_metrics" diff BENCH_metrics.json "$snap" \
+  "$build/examples/real_training" --ranks=2 --steps=2 --metrics-out="$train_snap" > /dev/null
+  "$build/tools/dnnperf_metrics" check "$train_snap"
+  "$build/tools/dnnperf_metrics" check "$advisor_snap"
+  "$build/tools/dnnperf_metrics" merge "$train_snap" "$advisor_snap" \
+      --label="ci smoke: real_training + advisor_load" --bench-out="$merged"
+  "$build/tools/dnnperf_metrics" diff BENCH_metrics.json "$merged" \
       --timers=ignore --rates=ignore
 }
 
@@ -49,6 +67,7 @@ for preset in "${presets[@]}"; do
   echo "=== [$preset] ctest ==="
   ctest --preset "$preset"
   if [ "$preset" = default ]; then
+    advisor_smoke
     metrics_smoke
     verify_smoke
   fi

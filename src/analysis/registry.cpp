@@ -87,6 +87,15 @@ const std::vector<PassInfo>& pass_registry() {
        "per-rank batch not a multiple of 8; SIMD and cache blocking run partially empty"},
       {"S012", Severity::Advice, "schedule",
        "TensorFlow inter-op threads off the paper's tuned rule (2 with SMT, 1 without)"},
+      // ---- advisor-request validation (core::AdvisorService) ---------------
+      {"A001", Severity::Error, "advisor",
+       "candidate grid is empty: no batch sizes to search (a silent empty search "
+       "would return a zero-throughput Recommendation)"},
+      {"A002", Severity::Error, "advisor",
+       "requested node count outside [1, cluster max_nodes]"},
+      {"A003", Severity::Error, "advisor",
+       "infeasible candidate value: non-positive batch/ppn, ppn above the GPUs per "
+       "node, or a GPU search on a CPU-only cluster"},
       // ---- metrics-registry passes -----------------------------------------
       {"M001", Severity::Error, "metrics",
        "metric name registered under more than one kind (duplicate registration)"},

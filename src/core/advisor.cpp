@@ -1,67 +1,20 @@
 #include "core/advisor.hpp"
 
-#include <algorithm>
+#include "core/advisor_service.hpp"
 
 namespace dnnperf::core {
 
-namespace {
-
-std::vector<int> default_ppn_candidates(const hw::CpuModel& cpu) {
-  std::vector<int> out;
-  const int cores = cpu.total_cores();
-  for (int p = 1; p <= cores; p *= 2)
-    if (cores % p == 0) out.push_back(p);
-  if (std::find(out.begin(), out.end(), cores) == out.end()) out.push_back(cores);
-  return out;
-}
-
-}  // namespace
-
 Recommendation advise(const hw::ClusterModel& cluster, dnn::ModelId model,
                       exec::Framework framework, const AdvisorOptions& options) {
-  std::vector<int> ppns = options.ppn_candidates.empty()
-                              ? default_ppn_candidates(cluster.node.cpu)
-                              : options.ppn_candidates;
-
-  util::TextTable table({"ppn", "intra", "inter", "BS/rank", "img/s"});
-  Recommendation rec{train::TrainConfig{}, 0.0, table};
-  const int cores = cluster.node.cpu.total_cores();
-  const bool smt = cluster.node.cpu.threads_per_core > 1;
-
-  for (int ppn : ppns) {
-    const int cores_per_rank = std::max(1, cores / ppn);
-    std::vector<int> intras{cores_per_rank};
-    if (cores_per_rank > 1) intras.push_back(cores_per_rank - 1);
-    if (cores_per_rank > 4) intras.push_back(cores_per_rank + 1);
-    std::vector<int> inters = framework == exec::Framework::PyTorch
-                                  ? std::vector<int>{1}
-                                  : (smt ? std::vector<int>{1, 2} : std::vector<int>{1});
-    for (int intra : intras) {
-      for (int inter : inters) {
-        for (int bs : options.batch_candidates) {
-          train::TrainConfig cfg;
-          cfg.cluster = cluster;
-          cfg.model = model;
-          cfg.framework = framework;
-          cfg.nodes = options.nodes;
-          cfg.ppn = ppn;
-          cfg.intra_threads = intra;
-          cfg.inter_threads = inter;
-          cfg.batch_per_rank = bs;
-          cfg.use_horovod = options.nodes * ppn > 1;
-          const double v = train::run_training(cfg).images_per_sec;
-          table.add_row({std::to_string(ppn), std::to_string(intra), std::to_string(inter),
-                         std::to_string(bs), util::TextTable::num(v, 1)});
-          if (v > rec.images_per_sec) {
-            rec.images_per_sec = v;
-            rec.best = cfg;
-          }
-        }
-      }
-    }
-  }
-  rec.search_table = std::move(table);
-  return rec;
+  AdvisorRequest req;
+  req.cluster = cluster;
+  req.model = model;
+  req.framework = framework;
+  req.nodes = options.nodes;
+  req.batch_candidates = options.batch_candidates;
+  req.ppn_candidates = options.ppn_candidates;
+  req.want_table = true;
+  return default_advisor_service().ask(req).recommendation;
 }
 
 }  // namespace dnnperf::core

@@ -1,0 +1,330 @@
+#include "core/advisor_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/diag.hpp"
+#include "util/metrics.hpp"
+
+namespace dnnperf::core {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Registry handles for the service-level metrics; cache hit/miss/eviction
+/// counters live in EvalCache, the lint-memo counters in core/eval_cache.
+struct ServiceMetrics {
+  util::metrics::Counter queries = util::metrics::counter(
+      "advisor_queries_total", "What-if queries answered by the advisor service");
+  util::metrics::Counter batches = util::metrics::counter(
+      "advisor_batches_total", "ask_many() batches dispatched");
+  util::metrics::Counter grid_points = util::metrics::counter(
+      "advisor_grid_points_total", "Candidate grid points enumerated across all queries");
+  util::metrics::Counter deduplicated = util::metrics::counter(
+      "advisor_points_deduped_total",
+      "Grid points shared with an earlier query in the same batch (not re-probed)");
+  util::metrics::Counter evaluations = util::metrics::counter(
+      "advisor_evaluations_total", "Fresh simulations dispatched to the evaluation pool");
+  util::metrics::Histogram query_seconds = util::metrics::histogram(
+      "advisor_query_seconds", "Wall time to answer one advisor query, seconds");
+  util::metrics::Gauge qps = util::metrics::gauge(
+      "advisor_queries_per_sec", "Cumulative advisor query throughput since first query");
+  util::metrics::Gauge hit_ratio = util::metrics::gauge(
+      "advisor_cache_hit_ratio", "Eval-cache hit fraction over the service lifetime");
+};
+
+const ServiceMetrics& service_metrics() {
+  static const ServiceMetrics m;
+  return m;
+}
+
+std::vector<int> default_ppn_candidates(int units) {
+  std::vector<int> out;
+  for (int p = 1; p <= units; p *= 2)
+    if (units % p == 0) out.push_back(p);
+  if (std::find(out.begin(), out.end(), units) == out.end()) out.push_back(units);
+  return out;
+}
+
+std::string request_label(const AdvisorRequest& req) {
+  std::string label = dnn::to_string(req.model);
+  label += "@";
+  label += req.cluster.name.empty() ? "cluster" : req.cluster.name;
+  label += " n" + std::to_string(req.nodes);
+  label += " (";
+  label += exec::to_string(req.framework);
+  if (req.device == train::DeviceKind::Gpu) label += "/GPU";
+  label += ")";
+  return label;
+}
+
+/// A001/A002/A003 request validation. Collects every problem, then throws
+/// std::invalid_argument with the rendered diagnostics if any is an Error —
+/// the old advise() silently searched nothing over an empty grid and
+/// returned a zero-throughput Recommendation.
+void validate_request(const AdvisorRequest& req) {
+  util::Diagnostics diags;
+  const std::string object = request_label(req);
+  if (req.nodes <= 0) {
+    diags.error("A002", object, "nodes",
+                "node count " + std::to_string(req.nodes) + " is not positive",
+                "ask for at least one node");
+  } else if (req.nodes > req.cluster.max_nodes) {
+    diags.error("A002", object, "nodes",
+                "node count " + std::to_string(req.nodes) + " exceeds the cluster's " +
+                    std::to_string(req.cluster.max_nodes) + " nodes",
+                "lower nodes or raise ClusterModel::max_nodes");
+  }
+  if (req.batch_candidates.empty()) {
+    diags.error("A001", object, "batch_candidates",
+                "candidate grid is empty: no batch sizes to search",
+                "provide at least one per-rank batch size");
+  }
+  for (const int bs : req.batch_candidates)
+    if (bs <= 0)
+      diags.error("A003", object, "batch_candidates",
+                  "batch candidate " + std::to_string(bs) + " is not positive");
+  for (const int ppn : req.ppn_candidates)
+    if (ppn <= 0)
+      diags.error("A003", object, "ppn_candidates",
+                  "ppn candidate " + std::to_string(ppn) + " is not positive");
+  if (req.device == train::DeviceKind::Gpu) {
+    if (!req.cluster.node.has_gpu()) {
+      diags.error("A003", object, "device", "GPU search on a CPU-only cluster",
+                  "pick a GPU platform or device = Cpu");
+    } else {
+      for (const int ppn : req.ppn_candidates)
+        if (ppn > req.cluster.node.gpu->devices_per_node)
+          diags.error("A003", object, "ppn_candidates",
+                      "ppn candidate " + std::to_string(ppn) + " exceeds the " +
+                          std::to_string(req.cluster.node.gpu->devices_per_node) +
+                          " GPUs per node");
+    }
+  }
+  if (diags.has_errors())
+    throw std::invalid_argument("AdvisorService: invalid request\n" + util::render_text(diags));
+}
+
+}  // namespace
+
+const char* to_string(Objective objective) {
+  switch (objective) {
+    case Objective::MaxImagesPerSec: return "max-images-per-sec";
+    case Objective::MinStepTime: return "min-step-time";
+  }
+  return "?";
+}
+
+std::vector<train::TrainConfig> AdvisorService::plan_grid(const AdvisorRequest& req) {
+  validate_request(req);
+  std::vector<train::TrainConfig> grid;
+
+  const bool gpu = req.device == train::DeviceKind::Gpu;
+  const int cores = req.cluster.node.cpu.total_cores();
+  const bool smt = req.cluster.node.cpu.threads_per_core > 1;
+  const std::vector<int> ppns =
+      !req.ppn_candidates.empty()
+          ? req.ppn_candidates
+          : default_ppn_candidates(gpu ? req.cluster.node.gpu->devices_per_node : cores);
+
+  for (const int ppn : ppns) {
+    // Thread candidates around the paper's intra-op rule: all of the rank's
+    // cores, one fewer (spare core for the Horovod thread), and — on wide
+    // ranks — one more (oversubscription probe). GPUs ignore host threads.
+    std::vector<int> intras{1};
+    std::vector<int> inters{1};
+    if (!gpu) {
+      const int cores_per_rank = std::max(1, cores / ppn);
+      intras = {cores_per_rank};
+      if (cores_per_rank > 1) intras.push_back(cores_per_rank - 1);
+      if (cores_per_rank > 4) intras.push_back(cores_per_rank + 1);
+      if (req.framework != exec::Framework::PyTorch && smt) inters = {1, 2};
+    }
+    for (const int intra : intras) {
+      for (const int inter : inters) {
+        for (const int bs : req.batch_candidates) {
+          train::TrainConfig cfg;
+          cfg.cluster = req.cluster;
+          cfg.model = req.model;
+          cfg.framework = req.framework;
+          cfg.device = req.device;
+          cfg.nodes = req.nodes;
+          cfg.ppn = ppn;
+          cfg.intra_threads = intra;
+          cfg.inter_threads = inter;
+          cfg.batch_per_rank = bs;
+          cfg.policy = req.policy;
+          cfg.use_horovod = req.nodes * ppn > 1;
+          grid.push_back(std::move(cfg));
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+AdvisorService::AdvisorService(AdvisorServiceOptions options)
+    : options_(options),
+      experiment_(options.repeats, options.noise_cv, options.seed),
+      cache_(options.cache_capacity, options.cache_shards),
+      pool_(options.threads > 0
+                ? options.threads
+                : std::max(2, static_cast<int>(std::thread::hardware_concurrency()))) {
+  experiment_.set_lint(options_.lint);
+}
+
+AdvisorReply AdvisorService::ask(const AdvisorRequest& request) {
+  return ask_many({request}).front();
+}
+
+std::vector<AdvisorReply> AdvisorService::ask_many(const std::vector<AdvisorRequest>& requests) {
+  if (requests.empty()) return {};
+  const double t0 = now_seconds();
+  const ServiceMetrics& metrics = service_metrics();
+
+  // Plan every grid first: a malformed request throws before anything runs.
+  enum class Origin { CacheHit, Deduplicated, Evaluated };
+  struct Point {
+    train::TrainConfig config;
+    std::uint64_t key = 0;
+    Origin origin = Origin::CacheHit;
+  };
+  std::vector<std::vector<Point>> grids;
+  grids.reserve(requests.size());
+  for (const AdvisorRequest& req : requests) {
+    std::vector<train::TrainConfig> configs = plan_grid(req);
+    std::vector<Point> grid;
+    grid.reserve(configs.size());
+    for (auto& cfg : configs) {
+      Point p;
+      p.key = config_key(cfg);
+      p.config = std::move(cfg);
+      grid.push_back(std::move(p));
+    }
+    grids.push_back(std::move(grid));
+  }
+
+  // Classify: the first occurrence of a key in the batch probes the cache;
+  // repeats are batch-level dedup and cost nothing. Measurements are kept in
+  // a batch-local map so eviction during this very batch cannot lose them.
+  std::unordered_map<std::uint64_t, Measurement> results;
+  std::vector<Point*> to_eval;
+  std::unordered_set<std::uint64_t> seen;
+  for (auto& grid : grids) {
+    for (auto& point : grid) {
+      if (!seen.insert(point.key).second) {
+        point.origin = Origin::Deduplicated;
+        continue;
+      }
+      if (auto cached = cache_.lookup(point.key)) {
+        point.origin = Origin::CacheHit;
+        results.emplace(point.key, std::move(*cached));
+      } else {
+        point.origin = Origin::Evaluated;
+        to_eval.push_back(&point);
+      }
+    }
+  }
+
+  // Fan the fresh points out across the pool. Completed evaluations go into
+  // the cache from inside the worker, so a lint failure part-way through a
+  // batch (lint mode) does not discard sibling results.
+  if (!to_eval.empty()) {
+    std::vector<Measurement> fresh(to_eval.size());
+    {
+      std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
+      pool_.parallel_for(to_eval.size(), options_.min_grain,
+                         [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                             fresh[i] = experiment_.measure_keyed(to_eval[i]->config,
+                                                                 to_eval[i]->key);
+                             cache_.insert(to_eval[i]->key, fresh[i]);
+                           }
+                         });
+    }
+    for (std::size_t i = 0; i < to_eval.size(); ++i)
+      results.emplace(to_eval[i]->key, std::move(fresh[i]));
+  }
+
+  // Assemble replies in request order; winner selection walks the grid in
+  // plan order with strict improvement, matching the serial advise() loop.
+  std::vector<AdvisorReply> replies;
+  replies.reserve(requests.size());
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const AdvisorRequest& req = requests[r];
+    AdvisorReply reply;
+    util::TextTable table({"ppn", "intra", "inter", "BS/rank", "img/s"});
+    reply.grid_points = grids[r].size();
+    bool have_best = false;
+    for (const Point& point : grids[r]) {
+      switch (point.origin) {
+        case Origin::CacheHit: ++reply.cache_hits; break;
+        case Origin::Deduplicated: ++reply.deduplicated; break;
+        case Origin::Evaluated: ++reply.evaluated; break;
+      }
+      const Measurement& m = results.at(point.key);
+      if (req.want_table)
+        table.add_row({std::to_string(point.config.ppn),
+                       std::to_string(point.config.intra_threads),
+                       std::to_string(point.config.inter_threads),
+                       std::to_string(point.config.batch_per_rank),
+                       util::TextTable::num(m.images_per_sec, 1)});
+      const double value = req.objective == Objective::MinStepTime
+                               ? m.last.per_iteration_s
+                               : m.images_per_sec;
+      const bool better = !have_best || (req.objective == Objective::MinStepTime
+                                             ? value < reply.objective_value
+                                             : value > reply.objective_value);
+      if (better) {
+        have_best = true;
+        reply.objective_value = value;
+        reply.recommendation.best = point.config;
+        reply.recommendation.images_per_sec = m.images_per_sec;
+      }
+    }
+    reply.recommendation.search_table = std::move(table);
+    replies.push_back(std::move(reply));
+
+    metrics.grid_points.inc(grids[r].size());
+  }
+
+  // Publish query economics.
+  const double elapsed = now_seconds() - t0;
+  metrics.batches.inc();
+  metrics.queries.inc(requests.size());
+  std::size_t deduped = 0;
+  for (const auto& reply : replies) deduped += reply.deduplicated;
+  metrics.deduplicated.inc(deduped);
+  metrics.evaluations.inc(to_eval.size());
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    metrics.query_seconds.observe(std::max(elapsed, 1e-9));
+  metrics.hit_ratio.set(cache_.stats().hit_ratio());
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (first_query_time_ < 0.0) first_query_time_ = t0;
+    queries_ += requests.size();
+    const double span = now_seconds() - first_query_time_;
+    if (span > 0.0) metrics.qps.set(static_cast<double>(queries_) / span);
+  }
+  return replies;
+}
+
+std::uint64_t AdvisorService::queries_answered() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return queries_;
+}
+
+AdvisorService& default_advisor_service() {
+  static AdvisorService service;
+  return service;
+}
+
+}  // namespace dnnperf::core

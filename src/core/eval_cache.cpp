@@ -1,0 +1,283 @@
+#include "core/eval_cache.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "analysis/analyze.hpp"
+#include "dnn/models.hpp"
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+
+namespace dnnperf::core {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// advisor_cache_* counters are registered once and shared by every EvalCache
+/// instance — per-instance stats live in EvalCacheStats; the registry view is
+/// process-wide like every other metric family.
+struct CacheCounters {
+  util::metrics::Counter hits = util::metrics::counter(
+      "advisor_cache_hits_total", "Eval-cache lookups served without re-simulating");
+  util::metrics::Counter misses = util::metrics::counter(
+      "advisor_cache_misses_total", "Eval-cache lookups that required a fresh simulation");
+  util::metrics::Counter evictions = util::metrics::counter(
+      "advisor_cache_evictions_total", "Eval-cache entries evicted at the capacity bound");
+};
+
+const CacheCounters& cache_counters() {
+  static const CacheCounters c;
+  return c;
+}
+
+struct LintCounters {
+  util::metrics::Counter avoided = util::metrics::counter(
+      "core_lint_memo_hits_total",
+      "Config lints avoided because the verdict was memoized by config hash");
+  util::metrics::Counter runs = util::metrics::counter(
+      "core_lint_memo_misses_total", "Config lints actually executed (memo misses)");
+};
+
+const LintCounters& lint_counters() {
+  static const LintCounters c;
+  return c;
+}
+
+}  // namespace
+
+// ---- HashStream ------------------------------------------------------------
+
+HashStream& HashStream::mix(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    state_ ^= (v >> (8 * i)) & 0xffull;
+    state_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+HashStream& HashStream::mix(double v) {
+  if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return mix(bits);
+}
+
+HashStream& HashStream::mix(const std::string& s) {
+  for (const char ch : s) {
+    state_ ^= static_cast<std::uint8_t>(ch);
+    state_ *= kFnvPrime;
+  }
+  return mix(static_cast<std::uint64_t>(s.size()));
+}
+
+// ---- fingerprints ----------------------------------------------------------
+
+std::uint64_t graph_fingerprint(const dnn::Graph& graph) {
+  HashStream h;
+  h.mix(graph.name());
+  h.mix(graph.size());
+  for (const auto& op : graph.ops()) {
+    h.mix(static_cast<int>(op.kind));
+    h.mix(op.out.c).mix(op.out.h).mix(op.out.w);
+    h.mix(op.fwd_flops).mix(op.bwd_flops).mix(op.params).mix(op.output_bytes);
+    h.mix(static_cast<std::uint64_t>(op.inputs.size()));
+    for (const int in : op.inputs) h.mix(in);
+  }
+  return h.digest();
+}
+
+std::uint64_t model_fingerprint(dnn::ModelId model) {
+  static std::mutex mutex;
+  static std::unordered_map<int, std::uint64_t> memo;
+  const int id = static_cast<int>(model);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (const auto it = memo.find(id); it != memo.end()) return it->second;
+  }
+  const std::uint64_t fp = graph_fingerprint(dnn::build_model(model));
+  std::lock_guard<std::mutex> lock(mutex);
+  return memo.emplace(id, fp).first->second;
+}
+
+std::uint64_t platform_fingerprint(const hw::ClusterModel& cluster) {
+  HashStream h;
+  h.mix(cluster.name);
+  h.mix(cluster.max_nodes);
+  h.mix(static_cast<int>(cluster.fabric));
+  h.mix(cluster.node.memory_gib);
+
+  const hw::CpuModel& cpu = cluster.node.cpu;
+  h.mix(cpu.name).mix(cpu.label);
+  h.mix(static_cast<int>(cpu.vendor));
+  h.mix(cpu.sockets).mix(cpu.cores_per_socket).mix(cpu.numa_domains_per_socket);
+  h.mix(cpu.threads_per_core);
+  h.mix(cpu.clock_ghz).mix(cpu.flops_per_cycle_fp32);
+  h.mix(cpu.mem_bw_per_socket_gbps).mix(cpu.smt_speedup_fraction);
+
+  h.mix(cluster.node.has_gpu());
+  if (cluster.node.has_gpu()) {
+    const hw::GpuModel& gpu = *cluster.node.gpu;
+    h.mix(gpu.name);
+    h.mix(gpu.peak_fp32_tflops).mix(gpu.mem_bw_gbps);
+    h.mix(gpu.launch_overhead_s).mix(gpu.achievable_fraction);
+    h.mix(gpu.memory_gib);
+    h.mix(gpu.devices_per_node);
+  }
+  return h.digest();
+}
+
+std::uint64_t config_key(const train::TrainConfig& config) {
+  HashStream h;
+  h.mix(model_fingerprint(config.model));
+  h.mix(platform_fingerprint(config.cluster));
+  h.mix(static_cast<int>(config.framework));
+  h.mix(static_cast<int>(config.device));
+  h.mix(config.nodes).mix(config.ppn);
+  h.mix(config.intra_threads).mix(config.inter_threads);
+  h.mix(config.batch_per_rank);
+  h.mix(config.policy.cycle_time_s).mix(config.policy.fusion_threshold_bytes);
+  h.mix(config.use_horovod);
+  h.mix(config.iterations);
+  h.mix(config.jitter_cv);
+  h.mix(config.validate_memory);
+  return h.digest();
+}
+
+// ---- EvalCache -------------------------------------------------------------
+
+EvalCache::EvalCache(std::size_t capacity, int shards) : capacity_(capacity) {
+  if (shards < 1) throw std::invalid_argument("EvalCache: shards < 1");
+  const auto n = static_cast<std::size_t>(shards);
+  per_shard_ = capacity == 0 ? 0 : std::max<std::size_t>(1, capacity / n);
+  shards_ = std::vector<Shard>(n);
+}
+
+EvalCache::Shard& EvalCache::shard_for(std::uint64_t key) {
+  // The low bits feed the LRU map's bucket choice; pick the shard from high
+  // bits so shards do not correlate with map buckets.
+  return shards_[static_cast<std::size_t>(key >> 48) % shards_.size()];
+}
+
+const EvalCache::Shard& EvalCache::shard_for(std::uint64_t key) const {
+  return shards_[static_cast<std::size_t>(key >> 48) % shards_.size()];
+}
+
+std::optional<Measurement> EvalCache::lookup(std::uint64_t key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    cache_counters().misses.inc();
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.stats.hits;
+  cache_counters().hits.inc();
+  return it->second->second;
+}
+
+void EvalCache::insert(std::uint64_t key, const Measurement& measurement) {
+  if (capacity_ == 0) return;
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    it->second->second = measurement;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, measurement);
+  shard.index.emplace(key, shard.lru.begin());
+  while (shard.lru.size() > per_shard_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+    cache_counters().evictions.inc();
+  }
+}
+
+std::size_t EvalCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+EvalCacheStats EvalCache::stats() const {
+  EvalCacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.evictions += shard.stats.evictions;
+  }
+  return total;
+}
+
+void EvalCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.stats = EvalCacheStats{};
+  }
+}
+
+// ---- LintMemo --------------------------------------------------------------
+
+LintVerdict LintMemo::check(const train::TrainConfig& config, std::uint64_t key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = memo_.find(key); it != memo_.end()) {
+      ++hits_;
+      lint_counters().avoided.inc();
+      return it->second;
+    }
+  }
+  // Lint outside the lock: the gate (including the bounded protocol model
+  // check) is the expensive part and must not serialize concurrent misses.
+  const util::Diagnostics diags = analysis::lint_config(config);
+  LintVerdict verdict;
+  verdict.ok = !diags.has_errors();
+  verdict.warnings = diags.count(util::Severity::Warn);
+  verdict.rendered = util::render_text(diags);
+  for (const auto& d : diags.items()) {
+    if (d.severity == util::Severity::Warn) {
+      LOG_WARN << d.code << " [" << d.object << ':' << d.field << "] " << d.message;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  lint_counters().runs.inc();
+  return memo_.emplace(key, std::move(verdict)).first->second;
+}
+
+std::uint64_t LintMemo::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t LintMemo::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+void LintMemo::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  memo_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+LintMemo& lint_memo() {
+  static LintMemo memo;
+  return memo;
+}
+
+}  // namespace dnnperf::core

@@ -1,0 +1,166 @@
+// Content-addressed evaluation cache for the advisor service (§6.6).
+//
+// Every what-if query the advisor answers bottoms out in "simulate this
+// TrainConfig" — and overlapping sweeps re-ask the same points constantly
+// (every ppn sweep shares its batch candidates, every client asking about
+// Stampede2 shares the whole grid). The cache keys a per-config Measurement
+// on a stable 64-bit content hash of everything run_training consumes:
+//
+//   config_key = fnv1a( graph_fingerprint(model graph),
+//                       platform_fingerprint(cluster),
+//                       schedule: nodes/ppn/threads/batch/framework/device,
+//                       fusion policy, iterations, jitter, memory gate )
+//
+// so two configs collide only if they would simulate identically. The same
+// key addresses the lint memo (LintMemo below): lint_config + the bounded
+// engine model check are far more expensive than the simulation itself, and
+// Experiment::measure() used to re-run them on every byte-identical call.
+//
+// EvalCache is sharded (key bits pick the shard, each shard its own mutex +
+// exact LRU list) so concurrent queries on a warm cache do not serialize on
+// one lock. Capacity is bounded; eviction is LRU per shard.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "train/trainer.hpp"
+
+namespace dnnperf::core {
+
+// ---- stable content hashing ------------------------------------------------
+
+/// FNV-1a 64-bit over an explicit byte/word stream. Stable across runs and
+/// platforms (no pointer or container-layout dependence).
+class HashStream {
+ public:
+  HashStream& mix(std::uint64_t v);
+  HashStream& mix(std::int64_t v) { return mix(static_cast<std::uint64_t>(v)); }
+  HashStream& mix(int v) { return mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  HashStream& mix(bool v) { return mix(static_cast<std::uint64_t>(v ? 1 : 0)); }
+  HashStream& mix(double v);  ///< by bit pattern; all NaNs collapse to one
+  HashStream& mix(const std::string& s);
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ull;  // FNV offset basis
+};
+
+/// Content fingerprint of a DNN graph: every op's kind, shape, FLOP/param/
+/// byte counts, and wiring. Two graphs with the same fingerprint cost the
+/// same to the execution model.
+std::uint64_t graph_fingerprint(const dnn::Graph& graph);
+
+/// graph_fingerprint(build_model(model)), memoized per ModelId (building a
+/// ResNet graph just to hash it would dominate a warm cache hit).
+std::uint64_t model_fingerprint(dnn::ModelId model);
+
+/// Content fingerprint of a cluster: CPU microarchitecture fields, optional
+/// GPU, node memory, fabric, and cluster size.
+std::uint64_t platform_fingerprint(const hw::ClusterModel& cluster);
+
+/// The cache key: (graph fingerprint, platform fingerprint, TrainConfig
+/// schedule + fusion policy). Everything run_training reads is mixed in.
+std::uint64_t config_key(const train::TrainConfig& config);
+
+// ---- the measurement cache -------------------------------------------------
+
+struct EvalCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  double hit_ratio() const {
+    const std::uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+/// Sharded, capacity-bounded, exact-LRU map from config_key to Measurement.
+/// Thread-safe: every operation takes only its shard's mutex. Lookups count
+/// into both the local stats and the advisor_cache_* registry counters.
+class EvalCache {
+ public:
+  /// `capacity` entries total, spread over `shards` independent LRU shards
+  /// (each holds capacity/shards, minimum 1). capacity == 0 disables caching
+  /// (every lookup is a miss, nothing is stored).
+  explicit EvalCache(std::size_t capacity = 1 << 16, int shards = 16);
+
+  /// Returns the cached Measurement and refreshes its LRU position, or
+  /// nullopt on miss.
+  std::optional<Measurement> lookup(std::uint64_t key);
+
+  /// Inserts (or refreshes) `key`; evicts the shard's LRU tail beyond
+  /// capacity. Re-inserting an existing key overwrites — the advisor only
+  /// does this with identical values (measurements are deterministic per
+  /// key), so racing inserts of the same key are benign.
+  void insert(std::uint64_t key, const Measurement& measurement);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  EvalCacheStats stats() const;
+  void clear();  ///< drops entries and stats (not the registry counters)
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used.
+    std::list<std::pair<std::uint64_t, Measurement>> lru;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::pair<std::uint64_t, Measurement>>::iterator>
+        index;
+    EvalCacheStats stats;
+  };
+
+  Shard& shard_for(std::uint64_t key);
+  const Shard& shard_for(std::uint64_t key) const;
+
+  std::size_t capacity_;
+  std::size_t per_shard_;
+  std::vector<Shard> shards_;
+};
+
+// ---- the lint memo ---------------------------------------------------------
+
+/// Memoized verdict of analysis::lint_config for one config key.
+struct LintVerdict {
+  bool ok = true;            ///< no Error-level findings
+  std::string rendered;      ///< render_text of the full diagnostics
+  std::size_t warnings = 0;  ///< Warn-level findings (logged on first run only)
+};
+
+/// Process-wide memo of lint_config verdicts keyed by config_key. The gate
+/// (schedule passes + the bounded engine protocol model check) costs orders
+/// of magnitude more than the simulation it guards; byte-identical configs
+/// get the stored verdict. Warn findings are logged only on the original
+/// miss — a sweep that re-measures a warned config does not re-spam the log.
+/// Unbounded by design: verdicts are a few hundred bytes and the config
+/// universe of one process is the advisor grid, not user input.
+class LintMemo {
+ public:
+  /// The memoized verdict, running analysis::lint_config on a miss.
+  /// `key` must be config_key(config). Thread-safe; concurrent misses on the
+  /// same key may both lint (same verdict, one is kept).
+  LintVerdict check(const train::TrainConfig& config, std::uint64_t key);
+
+  std::uint64_t hits() const;    ///< lints avoided
+  std::uint64_t misses() const;  ///< lints actually run
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, LintVerdict> memo_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// The process-wide memo shared by Experiment::measure and the advisor
+/// service.
+LintMemo& lint_memo();
+
+}  // namespace dnnperf::core

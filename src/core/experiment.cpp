@@ -3,8 +3,7 @@
 #include <stdexcept>
 
 #include "analysis/analyze.hpp"
-#include "util/diag.hpp"
-#include "util/logging.hpp"
+#include "core/eval_cache.hpp"
 #include "util/rng.hpp"
 
 namespace dnnperf::core {
@@ -15,18 +14,18 @@ Experiment::Experiment(int repeats, double noise_cv, std::uint64_t seed)
   if (noise_cv < 0.0) throw std::invalid_argument("Experiment: negative noise");
 }
 
+void Experiment::lint_gate(const train::TrainConfig& config, std::uint64_t key) const {
+  // The memo runs lint_config (and logs its warnings) on the first sighting
+  // of this config content; every later byte-identical measure skips the
+  // whole gate — including the bounded engine protocol model check, the
+  // expensive part of measuring a multi-rank config.
+  const LintVerdict verdict = lint_memo().check(config, key);
+  if (!verdict.ok)
+    throw std::invalid_argument("Experiment: config failed lint\n" + verdict.rendered);
+}
+
 Measurement Experiment::measure(const train::TrainConfig& config) {
-  if (lint_) {
-    const util::Diagnostics diags = analysis::lint_config(config);
-    for (const auto& d : diags.items()) {
-      if (d.severity == util::Severity::Warn) {
-        LOG_WARN << d.code << " [" << d.object << ':' << d.field << "] " << d.message;
-      }
-    }
-    if (diags.has_errors())
-      throw std::invalid_argument("Experiment: config failed lint\n" +
-                                  util::render_text(diags));
-  }
+  if (lint_) lint_gate(config, config_key(config));
   const bool scoring = util::metrics::enabled();
   util::metrics::Snapshot before;
   if (scoring) before = util::metrics::snapshot();
@@ -44,6 +43,21 @@ Measurement Experiment::measure(const train::TrainConfig& config) {
     after.label = analysis::config_label(config);
     m.scorecard = util::metrics::delta(before, after);
   }
+  return m;
+}
+
+Measurement Experiment::measure_keyed(const train::TrainConfig& config,
+                                      std::uint64_t key) const {
+  if (lint_) lint_gate(config, key);
+  const train::TrainResult base = train::run_training(config);
+  util::Rng rng(seed_ ^ (key * 0x9E3779B97F4A7C15ull));
+  util::RunStats stats;
+  for (int i = 0; i < repeats_; ++i)
+    stats.add(base.images_per_sec * (1.0 + rng.normal(0.0, noise_cv_)));
+  Measurement m;
+  m.images_per_sec = stats.mean();
+  m.stddev = stats.stddev();
+  m.last = base;
   return m;
 }
 

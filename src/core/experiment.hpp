@@ -33,14 +33,28 @@ class Experiment {
   /// Before the first run the config goes through the static-analysis lint
   /// (analysis::lint_config): Error-level findings abort with
   /// std::invalid_argument carrying the rendered diagnostics; Warn findings
-  /// are logged. Disable with set_lint(false) for deliberate what-if sweeps
-  /// over configurations the lint rejects.
+  /// are logged. The verdict is memoized process-wide by config content hash
+  /// (core::lint_memo) — re-measuring a byte-identical config skips the
+  /// lint + engine model check entirely. Disable with set_lint(false) for
+  /// deliberate what-if sweeps over configurations the lint rejects.
   Measurement measure(const train::TrainConfig& config);
+
+  /// Deterministic variant for the advisor service: measurement noise is
+  /// seeded by `key` (the config's content hash) instead of the call
+  /// counter, so the same config measures bit-identically no matter how many
+  /// configs were measured before it or on which thread — a cache hit is
+  /// indistinguishable from a cold miss. Thread-safe (const: no counter).
+  /// No scorecard is taken: registry snapshots must not race with recording
+  /// threads, and this path runs fanned out across a pool.
+  Measurement measure_keyed(const train::TrainConfig& config, std::uint64_t key) const;
 
   void set_lint(bool enabled) { lint_ = enabled; }
   bool lint_enabled() const { return lint_; }
 
  private:
+  /// Memoized lint gate; throws std::invalid_argument on Error findings.
+  void lint_gate(const train::TrainConfig& config, std::uint64_t key) const;
+
   int repeats_;
   double noise_cv_;
   std::uint64_t seed_;

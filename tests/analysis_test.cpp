@@ -477,8 +477,8 @@ TEST(Registry, CodeLetterDeterminesTheFamily) {
   // does not name, and no family may be empty.
   const std::map<std::string, std::string> prefix_to_family = {
       {"G", "graph"},        {"P", "platform"},     {"N", "network"},
-      {"H", "policy"},       {"S", "schedule"},     {"M", "metrics"},
-      {"V0", "verify-engine"}, {"V1", "verify-trace"},
+      {"H", "policy"},       {"S", "schedule"},     {"A", "advisor"},
+      {"M", "metrics"},      {"V0", "verify-engine"}, {"V1", "verify-trace"},
   };
   std::set<std::string> seen_families;
   for (const auto& info : pass_registry()) {

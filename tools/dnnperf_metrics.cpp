@@ -6,6 +6,7 @@
 //   dnnperf_metrics check snapshot.json            # schema + lint (M001/M002)
 //   dnnperf_metrics diff base.json current.json    # exit 1 on regression
 //   dnnperf_metrics convert snapshot.json --format=prometheus
+//   dnnperf_metrics merge a.json b.json ... --bench-out=base.json
 //
 // Diff semantics (see util::metrics::DiffThresholds): histograms are
 // duration-like — p50 inflated past --timer-rel fails; counters are exact
@@ -14,8 +15,14 @@
 // Wall-clock families can be switched off for machine-independent CI gating
 // with --timers=ignore / --rates=ignore while counters stay strict.
 //
-// --bench-out=FILE rewrites the checked/current snapshot to FILE (canonical
-// formatting), seeding or refreshing the committed baseline.
+// --bench-out=FILE rewrites the checked/current/merged snapshot to FILE
+// (canonical formatting), seeding or refreshing the committed baseline.
+//
+// merge folds several snapshots into one (counters sum, histograms
+// bucket-merge, gauges take the max, one-sided metrics kept) — the committed
+// baseline spans multiple smoke binaries (real_training + advisor_load), and
+// a per-binary diff against a multi-binary baseline would flag every metric
+// the other binary owns as "only in base".
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -63,7 +70,8 @@ int main(int argc, char** argv) {
   util::CliParser cli("dnnperf_metrics",
                       "validate, convert, and regression-diff dnnperf metrics snapshots\n"
                       "  commands: check <snap.json> | diff <base.json> <current.json> | "
-                      "convert <snap.json>");
+                      "convert <snap.json> | merge <snap.json>...");
+  cli.add_string("label", "label for the merged snapshot (merge command)", "");
   cli.add_flag("check", "alias for the 'check' command", false);
   cli.add_string("format", "convert output format: json|prometheus|csv", "prometheus");
   cli.add_double("timer-rel", "histogram regression threshold: p50 inflation fraction", 0.10);
@@ -138,8 +146,26 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (command == "merge") {
+      if (args.empty())
+        throw std::invalid_argument("merge needs at least one snapshot file");
+      metrics::Snapshot merged = load(args[0]);
+      for (std::size_t i = 1; i < args.size(); ++i) merged.merge(load(args[i]));
+      if (const std::string& label = cli.get_string("label"); !label.empty())
+        merged.label = label;
+      else if (args.size() > 1)
+        merged.label = "merge of " + std::to_string(args.size()) + " snapshots";
+      const int status = check(merged, "merge(" + std::to_string(args.size()) + " files)");
+      if (const std::string& out = cli.get_string("bench-out"); !out.empty() && status == 0) {
+        metrics::write_json_file(merged, out);
+        std::cout << "wrote " << out << "\n";
+      }
+      if (cli.get_string("bench-out").empty()) std::cout << metrics::to_json(merged);
+      return status;
+    }
+
     throw std::invalid_argument("unknown command '" + command +
-                                "' (want check|diff|convert)");
+                                "' (want check|diff|convert|merge)");
   } catch (const std::exception& e) {
     std::cerr << "dnnperf_metrics: " << e.what() << "\n";
     return 2;
