@@ -5,8 +5,10 @@
 # unit/integration suites, not the timing-sensitive benches; the ubsan leg
 # runs the full suite and aborts on the first finding. After the default
 # preset, an advisor smoke step drives a short deterministic advisor_load run
-# (fails unless the warm cache hit and qps > 0), a metrics smoke step records
-# a 2-rank training snapshot plus the advisor_load snapshot, lints both,
+# (fails unless the warm cache hit and qps > 0), a sim-scale smoke simulates
+# a 1024-rank step through the pooled event engine under a wall-clock budget,
+# a metrics smoke step records a 2-rank training snapshot plus the
+# advisor_load and sim_scale snapshots, lints all three,
 # merges them, and diffs the merged counters against the committed
 # BENCH_metrics.json baseline (timers and rates are machine-dependent and
 # ignored; counter drift fails), and a verify smoke step model-checks the
@@ -35,17 +37,30 @@ advisor_smoke() {
       --pool-threads=4 --check --metrics-out="$build/metrics_smoke_advisor.json"
 }
 
+# 1k-rank pooled-DES smoke: every rank simulated explicitly through the slab
+# event pool, gated on wall clock (the acceptance budget is 10 s at 4k ranks;
+# 1k ranks under 10 s is generous on any CI machine, and a pooling regression
+# blows straight past it).
+sim_scale_smoke() {
+  local build=build
+  echo "=== [default] sim scale smoke ==="
+  "$build/bench/sim_scale" --ranks=1024 --ppn=16 --hierarchy=two --check --budget-s=10 \
+      --metrics-out="$build/metrics_smoke_sim.json"
+}
+
 metrics_smoke() {
   local build=build
   local train_snap="$build/metrics_smoke_training.json"
   local advisor_snap="$build/metrics_smoke_advisor.json"  # from advisor_smoke
+  local sim_snap="$build/metrics_smoke_sim.json"          # from sim_scale_smoke
   local merged="$build/metrics_smoke.json"
   echo "=== [default] metrics smoke ==="
   "$build/examples/real_training" --ranks=2 --steps=2 --metrics-out="$train_snap" > /dev/null
   "$build/tools/dnnperf_metrics" check "$train_snap"
   "$build/tools/dnnperf_metrics" check "$advisor_snap"
-  "$build/tools/dnnperf_metrics" merge "$train_snap" "$advisor_snap" \
-      --label="ci smoke: real_training + advisor_load" --bench-out="$merged"
+  "$build/tools/dnnperf_metrics" check "$sim_snap"
+  "$build/tools/dnnperf_metrics" merge "$train_snap" "$advisor_snap" "$sim_snap" \
+      --label="ci smoke: real_training + advisor_load + sim_scale" --bench-out="$merged"
   "$build/tools/dnnperf_metrics" diff BENCH_metrics.json "$merged" \
       --timers=ignore --rates=ignore
 }
@@ -68,6 +83,7 @@ for preset in "${presets[@]}"; do
   ctest --preset "$preset"
   if [ "$preset" = default ]; then
     advisor_smoke
+    sim_scale_smoke
     metrics_smoke
     verify_smoke
   fi

@@ -95,6 +95,22 @@ util::Diagnostics verify_config_engine(const train::TrainConfig& cfg) {
     static const char* kPatternNames[] = {"in-order", "rotated", "odd-reversed"};
     spec.name = object + " [" + kPatternNames[pattern] + " submission]";
     diags.merge(check_protocol(spec).diags);
+
+    // Hierarchical configs negotiate in two levels; re-check each pattern
+    // under the staged variant with one group per node (up to 3 nodes x 2
+    // ranks, the checker's small-scope bound for grouped specs).
+    if (cfg.hierarchy != train::CommHierarchy::Flat && cfg.nodes > 1 && cfg.ppn > 1) {
+      hvd::ProtocolSpec staged =
+          hvd::ProtocolSpec::uniform(2 * std::clamp(cfg.nodes, 2, 3), elements, capacity,
+                                     /*rotate_by_rank=*/pattern == 1);
+      if (pattern == 2)
+        for (std::size_t r = 1; r < staged.submit_order.size(); r += 2)
+          std::reverse(staged.submit_order[r].begin(), staged.submit_order[r].end());
+      staged.group_size = 2;
+      staged.variant = hvd::EngineVariant::Hierarchical;
+      staged.name = object + " [" + kPatternNames[pattern] + " submission, hierarchical]";
+      diags.merge(check_protocol(staged).diags);
+    }
   }
   return diags;
 }

@@ -1,5 +1,6 @@
 #include "analysis/metrics_passes.hpp"
 
+#include <cmath>
 #include <map>
 #include <vector>
 
@@ -49,6 +50,18 @@ void run_metrics_passes(const util::metrics::Snapshot& snap, const std::string& 
       diags.error("M002", object, m.name,
                   "metric name outside the Prometheus charset [a-zA-Z_:][a-zA-Z0-9_:]*",
                   "use lowercase letters, digits, and underscores; start with a letter");
+  }
+
+  // M003: every exported value must be finite. The classic producer is a
+  // ratio/rate gauge computed before its denominator ever ticked (0/0 NaN on
+  // an idle service); NaN also breaks JSON round-tripping and diff ordering.
+  for (const auto& m : snap.metrics) {
+    const bool finite = std::isfinite(m.value) && std::isfinite(m.hist.sum) &&
+                        std::isfinite(m.hist.min) && std::isfinite(m.hist.max);
+    if (!finite)
+      diags.error("M003", object, m.name, "metric carries a non-finite value",
+                  "guard the computation (publish 0 until the first sample) instead of "
+                  "exporting NaN/Inf");
   }
 }
 

@@ -4,6 +4,7 @@
 //
 //   M001  duplicate metric registration: one name carrying two kinds
 //   M002  name outside the Prometheus charset [a-zA-Z_:][a-zA-Z0-9_:]*
+//   M003  non-finite value (NaN/Inf gauge or histogram statistic)
 #pragma once
 
 #include <string>

@@ -101,6 +101,9 @@ const std::vector<PassInfo>& pass_registry() {
        "metric name registered under more than one kind (duplicate registration)"},
       {"M002", Severity::Error, "metrics",
        "metric name outside the Prometheus charset [a-zA-Z_:][a-zA-Z0-9_:]*"},
+      {"M003", Severity::Error, "metrics",
+       "non-finite metric value (NaN/Inf gauge or histogram statistic), typically a "
+       "ratio or rate computed before its denominator ever ticked"},
       // ---- protocol model-checker verdicts (verify_engine) -----------------
       {"V001", Severity::Error, "verify-engine",
        "deadlock: a reachable state where no rank can submit and the engine cycle "

@@ -179,6 +179,10 @@ AdvisorService::AdvisorService(AdvisorServiceOptions options)
                 ? options.threads
                 : std::max(2, static_cast<int>(std::thread::hardware_concurrency()))) {
   experiment_.set_lint(options_.lint);
+  // Register the service metrics now, not lazily at the first query: a
+  // snapshot of an idle service must carry the qps/hit-ratio gauges as
+  // finite zeros (lint pass M003), not omit them or divide 0 by 0.
+  (void)service_metrics();
 }
 
 AdvisorReply AdvisorService::ask(const AdvisorRequest& request) {
@@ -315,6 +319,115 @@ std::vector<AdvisorReply> AdvisorService::ask_many(const std::vector<AdvisorRequ
     if (span > 0.0) metrics.qps.set(static_cast<double>(queries_) / span);
   }
   return replies;
+}
+
+std::vector<ScalingPoint> AdvisorService::scaling_curve(const ScalingRequest& req) {
+  util::Diagnostics diags;
+  const std::string object = dnn::to_string(req.model) + std::string("@") +
+                             (req.cluster.name.empty() ? "cluster" : req.cluster.name) +
+                             " scaling";
+  if (req.node_counts.empty())
+    diags.error("A001", object, "node_counts", "scaling sweep has no node counts",
+                "provide at least one node count");
+  for (const int n : req.node_counts) {
+    if (n <= 0)
+      diags.error("A002", object, "node_counts",
+                  "node count " + std::to_string(n) + " is not positive");
+    else if (n > req.cluster.max_nodes)
+      diags.error("A002", object, "node_counts",
+                  "node count " + std::to_string(n) + " exceeds the cluster's " +
+                      std::to_string(req.cluster.max_nodes) + " nodes",
+                  "raise ClusterModel::max_nodes for what-if sweeps past the real machine");
+  }
+  if (req.ppn <= 0)
+    diags.error("A003", object, "ppn", "ppn " + std::to_string(req.ppn) + " is not positive");
+  if (req.batch_per_rank <= 0)
+    diags.error("A003", object, "batch_per_rank",
+                "batch " + std::to_string(req.batch_per_rank) + " is not positive");
+  if (diags.has_errors())
+    throw std::invalid_argument("AdvisorService: invalid scaling request\n" +
+                                util::render_text(diags));
+
+  std::vector<int> nodes = req.node_counts;
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  std::vector<ScalingPoint> curve(nodes.size());
+  std::vector<std::uint64_t> keys(nodes.size());
+  std::vector<std::size_t> to_eval;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    train::TrainConfig cfg;
+    cfg.cluster = req.cluster;
+    cfg.model = req.model;
+    cfg.framework = req.framework;
+    cfg.device = req.device;
+    cfg.nodes = nodes[i];
+    cfg.ppn = req.ppn;
+    cfg.intra_threads = req.intra_threads;
+    cfg.inter_threads = req.inter_threads;
+    cfg.batch_per_rank = req.batch_per_rank;
+    cfg.policy = req.policy;
+    cfg.use_horovod = nodes[i] * req.ppn > 1;
+    cfg.hierarchy = req.hierarchy;
+    cfg.per_rank_sim = req.per_rank_sim;
+    curve[i].config = std::move(cfg);
+    curve[i].nodes = nodes[i];
+    curve[i].ranks = nodes[i] * req.ppn;
+    keys[i] = config_key(curve[i].config);
+  }
+
+  std::unordered_map<std::uint64_t, Measurement> results;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (results.contains(keys[i])) continue;
+    if (auto cached = cache_.lookup(keys[i]))
+      results.emplace(keys[i], std::move(*cached));
+    else
+      to_eval.push_back(i);
+  }
+  if (!to_eval.empty()) {
+    std::vector<Measurement> fresh(to_eval.size());
+    {
+      std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
+      pool_.parallel_for(to_eval.size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t at = to_eval[i];
+          fresh[i] = experiment_.measure_keyed(curve[at].config, keys[at]);
+          cache_.insert(keys[at], fresh[i]);
+        }
+      });
+    }
+    for (std::size_t i = 0; i < to_eval.size(); ++i)
+      results.emplace(keys[to_eval[i]], std::move(fresh[i]));
+  }
+
+  const Measurement& base = results.at(keys.front());
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const Measurement& m = results.at(keys[i]);
+    curve[i].images_per_sec = m.images_per_sec;
+    curve[i].per_iteration_s = m.last.per_iteration_s;
+    curve[i].sim_events = m.last.sim_events;
+    curve[i].sim_pool_slots = m.last.sim_pool_slots;
+    if (base.images_per_sec > 0.0) {
+      curve[i].speedup = m.images_per_sec / base.images_per_sec;
+      const double rank_ratio =
+          static_cast<double>(curve[i].ranks) / static_cast<double>(curve.front().ranks);
+      curve[i].efficiency = rank_ratio > 0.0 ? curve[i].speedup / rank_ratio : 0.0;
+    }
+  }
+
+  const ServiceMetrics& metrics = service_metrics();
+  metrics.queries.inc();
+  metrics.grid_points.inc(curve.size());
+  metrics.evaluations.inc(to_eval.size());
+  metrics.hit_ratio.set(cache_.stats().hit_ratio());
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (first_query_time_ < 0.0) first_query_time_ = now_seconds();
+    ++queries_;
+    const double span = now_seconds() - first_query_time_;
+    if (span > 0.0) metrics.qps.set(static_cast<double>(queries_) / span);
+  }
+  return curve;
 }
 
 std::uint64_t AdvisorService::queries_answered() const {

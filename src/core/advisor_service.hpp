@@ -71,6 +71,43 @@ struct AdvisorReply {
   std::size_t evaluated = 0;     ///< fresh simulations this query triggered
 };
 
+/// One fixed per-node geometry swept across node counts — the paper's
+/// Fig. 13–17 scaling curves as a service query, priced up to 16k ranks
+/// (raise cluster.max_nodes for the large sweeps; a per-rank pooled DES
+/// point at 4k ranks still answers in seconds).
+struct ScalingRequest {
+  hw::ClusterModel cluster;
+  dnn::ModelId model = dnn::ModelId::ResNet50;
+  exec::Framework framework = exec::Framework::TensorFlow;
+  train::DeviceKind device = train::DeviceKind::Cpu;
+  /// Node counts to sweep; each must be in [1, cluster.max_nodes] (A002).
+  std::vector<int> node_counts{1, 2, 4, 8};
+  int ppn = 1;
+  int batch_per_rank = 64;
+  int intra_threads = 0;  ///< 0 = the paper's auto rule
+  int inter_threads = 0;
+  hvd::FusionPolicy policy;
+  /// Collective hierarchy priced at every point (the --hierarchy knob).
+  train::CommHierarchy hierarchy = train::CommHierarchy::Flat;
+  /// Simulate every rank explicitly through the pooled event engine, which
+  /// also fills the sim_events/sim_pool_slots fields of each point.
+  bool per_rank_sim = false;
+};
+
+/// One point of a scaling curve, plus the derived speedup/efficiency the
+/// paper's figures plot.
+struct ScalingPoint {
+  train::TrainConfig config;
+  int nodes = 0;
+  int ranks = 0;
+  double images_per_sec = 0.0;
+  double per_iteration_s = 0.0;
+  double speedup = 0.0;     ///< vs the smallest swept node count
+  double efficiency = 0.0;  ///< speedup / (ranks / base ranks)
+  std::uint64_t sim_events = 0;
+  std::uint64_t sim_pool_slots = 0;
+};
+
 struct AdvisorServiceOptions {
   /// Evaluation pool width; 0 = std::thread::hardware_concurrency (min 2).
   int threads = 0;
@@ -109,6 +146,14 @@ class AdvisorService {
   /// std::invalid_argument (with rendered A-code diagnostics) if any request
   /// is malformed — nothing is evaluated in that case.
   std::vector<AdvisorReply> ask_many(const std::vector<AdvisorRequest>& requests);
+
+  /// Sweeps one fixed per-node geometry across request.node_counts and
+  /// returns the points in ascending node order with speedup/efficiency
+  /// relative to the smallest count. Points share the eval cache with
+  /// ask()/ask_many() — a curve overlapping an earlier sweep only simulates
+  /// the new node counts. Throws std::invalid_argument (A-code diagnostics)
+  /// on malformed requests.
+  std::vector<ScalingPoint> scaling_curve(const ScalingRequest& request);
 
   /// Grid enumeration, exposed for tests and the load generator. Validates
   /// the request (A001 empty candidate grid, A002 bad node count, A003 bad

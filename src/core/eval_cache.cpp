@@ -144,6 +144,8 @@ std::uint64_t config_key(const train::TrainConfig& config) {
   h.mix(config.iterations);
   h.mix(config.jitter_cv);
   h.mix(config.validate_memory);
+  h.mix(config.per_rank_sim);
+  h.mix(static_cast<int>(config.hierarchy));
   return h.digest();
 }
 

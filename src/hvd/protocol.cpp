@@ -30,6 +30,8 @@ const char* to_string(EngineVariant variant) {
     case EngineVariant::MaxCoordination: return "max-coordination";
     case EngineVariant::ReissueCompleted: return "reissue-completed";
     case EngineVariant::UncappedPacking: return "uncapped-packing";
+    case EngineVariant::Hierarchical: return "hierarchical";
+    case EngineVariant::HierarchicalParentStall: return "hierarchical-parent-stall";
   }
   return "?";
 }
@@ -59,6 +61,12 @@ void ProtocolSpec::validate() const {
     throw std::invalid_argument("ProtocolSpec: tensor count outside [1, 20]");
   if (capacity_elems == 0) throw std::invalid_argument("ProtocolSpec: capacity_elems == 0");
   if (max_outstanding < 0) throw std::invalid_argument("ProtocolSpec: max_outstanding < 0");
+  if (group_size < 0 || (group_size > 0 && ranks % group_size != 0))
+    throw std::invalid_argument("ProtocolSpec: group_size must be 0 or a divisor of ranks");
+  if ((variant == EngineVariant::Hierarchical ||
+       variant == EngineVariant::HierarchicalParentStall) &&
+      group_size == 0)
+    throw std::invalid_argument("ProtocolSpec: hierarchical variants require group_size > 0");
   if (submit_order.size() != static_cast<std::size_t>(ranks))
     throw std::invalid_argument("ProtocolSpec: one submit order required per rank");
   for (const auto& order : submit_order) {
@@ -118,13 +126,35 @@ CycleOutcome apply_cycle(const ProtocolSpec& spec, const ProtocolState& state) {
   // Min-reduce intersects the vectors (a tensor proceeds only when ready
   // everywhere); the MaxCoordination bug unions them instead.
   std::uint32_t ready = spec.variant == EngineVariant::MaxCoordination ? 0 : ~std::uint32_t{0};
-  for (int r = 0; r < spec.ranks; ++r) {
-    std::uint32_t local = submitted_bitmap(spec, state, r);
-    if (spec.variant != EngineVariant::ReissueCompleted) local &= ~state.completed;
-    if (spec.variant == EngineVariant::MaxCoordination)
-      ready |= local;
-    else
-      ready &= local;
+  if (spec.variant == EngineVariant::Hierarchical ||
+      spec.variant == EngineVariant::HierarchicalParentStall) {
+    // Two-level negotiation: child level Min-reduces within each group of
+    // `group_size` ranks, parent level combines the group bitmaps. The
+    // correct parent intersects (AND is associative, so this is exactly the
+    // flat Min-reduce); the ParentStall bug ships the common bitmap only
+    // when every group agrees verbatim, and nothing otherwise.
+    const int groups = spec.ranks / spec.group_size;
+    std::vector<std::uint32_t> group_bits(static_cast<std::size_t>(groups), ~std::uint32_t{0});
+    for (int r = 0; r < spec.ranks; ++r) {
+      const std::uint32_t local = submitted_bitmap(spec, state, r) & ~state.completed;
+      group_bits[static_cast<std::size_t>(r / spec.group_size)] &= local;
+    }
+    if (spec.variant == EngineVariant::Hierarchical) {
+      for (std::uint32_t bits : group_bits) ready &= bits;
+    } else {
+      const bool agree = std::all_of(group_bits.begin(), group_bits.end(),
+                                     [&](std::uint32_t bits) { return bits == group_bits[0]; });
+      ready = agree ? group_bits[0] : 0;
+    }
+  } else {
+    for (int r = 0; r < spec.ranks; ++r) {
+      std::uint32_t local = submitted_bitmap(spec, state, r);
+      if (spec.variant != EngineVariant::ReissueCompleted) local &= ~state.completed;
+      if (spec.variant == EngineVariant::MaxCoordination)
+        ready |= local;
+      else
+        ready &= local;
+    }
   }
   out.ready = ready;
 
@@ -149,11 +179,15 @@ std::vector<int> symmetry_classes(const ProtocolSpec& spec) {
   for (int r = 0; r < spec.ranks; ++r) {
     if (classes[static_cast<std::size_t>(r)] != -1) continue;
     classes[static_cast<std::size_t>(r)] = next_class;
-    for (int s = r + 1; s < spec.ranks; ++s)
+    for (int s = r + 1; s < spec.ranks; ++s) {
+      // With grouped negotiation, cross-group swaps change the per-group
+      // bitmaps, so interchangeability also requires the same group.
+      if (spec.group_size > 0 && s / spec.group_size != r / spec.group_size) continue;
       if (classes[static_cast<std::size_t>(s)] == -1 &&
           spec.submit_order[static_cast<std::size_t>(s)] ==
               spec.submit_order[static_cast<std::size_t>(r)])
         classes[static_cast<std::size_t>(s)] = next_class;
+    }
     ++next_class;
   }
   return classes;

@@ -72,6 +72,15 @@ enum class EngineVariant {
   MaxCoordination,   ///< bug: Max instead of Min in the readiness allreduce
   ReissueCompleted,  ///< bug: readiness ignores completion; tensors ship again
   UncappedPacking,   ///< bug: packing ignores the fusion threshold
+  /// Two-level negotiation: each group of `group_size` ranks Min-reduces its
+  /// readiness vectors, then the group leaders Min-reduce the group bitmaps.
+  /// AND is associative, so this equals Standard — the correct staging.
+  Hierarchical,
+  /// bug: the parent level ships only when every group bitmap is *identical*
+  /// (a naive leader that compares instead of intersecting). Groups whose
+  /// members progress at different points starve the parent negotiation even
+  /// though a non-empty intersection exists.
+  HierarchicalParentStall,
 };
 
 const char* to_string(EngineVariant variant);
@@ -92,6 +101,9 @@ struct ProtocolSpec {
   int max_outstanding = 0;
   /// Per-rank submission order; each must be a permutation of all tensor ids.
   std::vector<std::vector<int>> submit_order;
+  /// Ranks per negotiation group for the Hierarchical* variants (rank r is in
+  /// group r / group_size). 0 = flat; when non-zero it must divide `ranks`.
+  int group_size = 0;
   EngineVariant variant = EngineVariant::Standard;
   std::string name = "engine";  ///< diagnostic object label
 
@@ -138,7 +150,11 @@ CycleOutcome apply_cycle(const ProtocolSpec& spec, const ProtocolState& state);
 
 /// Symmetry classes for canonical state hashing: ranks with identical
 /// submission programs are interchangeable, so the checker sorts their
-/// positions before hashing. Returns one class index per rank.
+/// positions before hashing. With `group_size` set, classes are additionally
+/// refined by group — swapping ranks across groups changes the per-group
+/// bitmaps the Hierarchical* variants negotiate over, so only same-program
+/// ranks *within one group* are interchangeable. Returns one class index per
+/// rank.
 std::vector<int> symmetry_classes(const ProtocolSpec& spec);
 
 /// Canonical 64-bit key of a state under the rank symmetry above.

@@ -8,6 +8,7 @@
 
 #include "hvd/protocol.hpp"
 #include "sim/engine.hpp"
+#include "util/rng.hpp"
 #include "util/trace.hpp"
 
 namespace dnnperf::hvd {
@@ -19,17 +20,25 @@ namespace trace = util::trace;
 /// Trace tracks of the simulated rank: compute phases on one, engine
 /// activity on the other — the same two-track layout the Horovod timeline
 /// uses, but in virtual time under trace::kSimulatedPid so the simulated
-/// process sits next to the real one in the viewer.
+/// process sits next to the real one in the viewer. Per-rank mode emits no
+/// per-rank compute spans (thousands of ranks would swamp the document);
+/// the engine track's event counter still sketches activity.
 constexpr int kComputeTid = 1;
 constexpr int kEngineTid = 2;
 
 class TimelineSim {
  public:
-  explicit TimelineSim(const TimelineInput& in) : in_(in), tracing_(trace::enabled()) {
+  explicit TimelineSim(const TimelineInput& in)
+      : in_(in), tracing_(trace::enabled()), rng_(in.jitter_seed) {
     in_.policy.validate();
     if (in_.iterations <= 0) throw std::invalid_argument("TimelineInput: iterations <= 0");
     if (in_.straggler_factor < 1.0)
       throw std::invalid_argument("TimelineInput: straggler_factor < 1");
+    if (in_.sim_ranks < 1) throw std::invalid_argument("TimelineInput: sim_ranks < 1");
+    if (in_.per_rank_jitter_cv < 0.0)
+      throw std::invalid_argument("TimelineInput: negative per_rank_jitter_cv");
+    if (per_rank_mode() && in_.cost == nullptr)
+      throw std::invalid_argument("TimelineInput: sim_ranks > 1 requires a cost model");
     // The progress thread's per-wake-up CPU cost taxes compute when it has
     // no core of its own: a fraction wakeup/cycle of every core-second goes
     // to the engine instead of the workers.
@@ -45,6 +54,11 @@ class TimelineSim {
       tax = std::min(share * in_.wakeup_cpu_s / in_.policy.cycle_time_s, 0.8);
     }
     stretch_ = in_.straggler_factor / (1.0 - tax);
+    if (per_rank_mode()) {
+      rank_factor_.assign(static_cast<std::size_t>(in_.sim_ranks), 1.0);
+      rank_cursor_.assign(static_cast<std::size_t>(in_.sim_ranks), 0);
+      submit_count_.assign(in_.grad_events.size(), 0);
+    }
   }
 
   TimelineResult run() {
@@ -64,10 +78,14 @@ class TimelineSim {
     result.stats = counters_.stats();
     result.comm_exposed_fraction =
         finish_time_ > 0.0 ? exposed_total_ / finish_time_ : 0.0;
+    result.events_processed = engine_.events_processed();
+    result.pool_slots = static_cast<std::uint64_t>(engine_.pool_slots());
     return result;
   }
 
  private:
+  bool per_rank_mode() const { return in_.sim_ranks > 1; }
+
   void emit_compute(const char* name, double start, double end) {
     if (tracing_)
       trace::emit_virtual_complete(name, "sim", trace::kSimulatedPid, kComputeTid, start,
@@ -78,6 +96,10 @@ class TimelineSim {
   void start_iteration() {
     bwd_done_ = false;
     reduced_ = 0;
+    if (per_rank_mode()) {
+      start_iteration_per_rank();
+      return;
+    }
     const double fwd_start = engine_.now() + in_.iteration_fixed;
     engine_.schedule_after(in_.iteration_fixed + in_.fwd_time * stretch_,
                            [this, fwd_start] {
@@ -110,6 +132,67 @@ class TimelineSim {
       maybe_finish_iteration();
     });
   }
+
+  // -------------------------------------------------------------------------
+  // Per-rank mode: flat arenas, one submission chain per rank
+  // -------------------------------------------------------------------------
+
+  void start_iteration_per_rank() {
+    iter_start_ = engine_.now();
+    bwd_ranks_done_ = 0;
+    iter_max_factor_ = 1.0;
+    std::fill(submit_count_.begin(), submit_count_.end(), 0);
+    std::fill(rank_cursor_.begin(), rank_cursor_.end(), std::uint32_t{0});
+    // The counters model one rank's engine view (rank 0), the same parity
+    // contract the representative mode keeps with RealEngine.
+    counters_.on_framework_request(in_.grad_events.size());
+    for (std::size_t r = 0; r < rank_factor_.size(); ++r) {
+      double f = in_.per_rank_jitter_cv > 0.0 ? rng_.normal(1.0, in_.per_rank_jitter_cv) : 1.0;
+      f = std::clamp(f, 0.25, 4.0);
+      rank_factor_[r] = f;
+      iter_max_factor_ = std::max(iter_max_factor_, f);
+      const double scale = stretch_ * f;
+      if (!in_.grad_events.empty())
+        engine_.schedule_at(
+            rank_event_time(r, in_.grad_events.front().time, scale),
+            [this, r] { advance_rank(r); });
+      engine_.schedule_at(rank_event_time(r, in_.bwd_time, scale),
+                          [this] { rank_backward_done(); });
+    }
+  }
+
+  /// Absolute time rank `r` reaches `offset` seconds into its backward pass
+  /// this iteration (compute before it scaled by the rank's factor).
+  double rank_event_time(std::size_t /*r*/, double offset, double scale) const {
+    return iter_start_ + (in_.iteration_fixed + in_.fwd_time + offset) * scale;
+  }
+
+  /// One gradient submission of rank `r`: bump the tensor's submit count;
+  /// when the slowest rank arrives the tensor becomes globally negotiable
+  /// (the Min-reduce of the real protocol). Then chain the rank's next
+  /// submission — one in-flight event per rank, so the pool's footprint
+  /// stays O(ranks) while total events grow as ranks x tensors.
+  void advance_rank(std::size_t r) {
+    const std::size_t k = rank_cursor_[r]++;
+    if (++submit_count_[k] == in_.sim_ranks)
+      pending_.push_back(in_.grad_events[k].bytes);
+    const std::size_t next = k + 1;
+    if (next < in_.grad_events.size()) {
+      const double scale = stretch_ * rank_factor_[r];
+      engine_.schedule_at(
+          std::max(engine_.now(), rank_event_time(r, in_.grad_events[next].time, scale)),
+          [this, r] { advance_rank(r); });
+    }
+  }
+
+  void rank_backward_done() {
+    if (++bwd_ranks_done_ < static_cast<std::int64_t>(rank_factor_.size())) return;
+    bwd_done_ = true;
+    bwd_end_time_ = engine_.now();
+    maybe_finish_iteration();
+  }
+
+  // -------------------------------------------------------------------------
 
   /// Horovod Engine background loop. Every cycle issues the coordination op
   /// (RealEngine::process() negotiates unconditionally too, and the paper's
@@ -149,7 +232,7 @@ class TimelineSim {
       double buffer_bytes = 0.0;
       const int fused = static_cast<int>(group.size());
       for (int id : group) buffer_bytes += sizes[static_cast<std::size_t>(id)];
-      const double ar_time = in_.cost->allreduce_time(buffer_bytes);
+      const double ar_time = data_allreduce_time(buffer_bytes);
       if (tracing_)
         trace::emit_virtual_complete(
             "allreduce.data", "sim", trace::kSimulatedPid, kEngineTid, wake_start + busy,
@@ -174,12 +257,18 @@ class TimelineSim {
     }
   }
 
+  double data_allreduce_time(double bytes) const {
+    return in_.hierarchical_allreduce ? in_.cost->staged_allreduce_time(bytes)
+                                      : in_.cost->allreduce_time(bytes);
+  }
+
   void maybe_finish_iteration() {
-    if (!bwd_done_ || reduced_ < static_cast<int>(in_.grad_events.size())) return;
+    if (!bwd_done_ || reduced_ < static_cast<std::int64_t>(in_.grad_events.size())) return;
     bwd_done_ = false;  // guard against double entry
     exposed_total_ += std::max(0.0, engine_.now() - bwd_end_time_);
     const double opt_start = engine_.now();
-    engine_.schedule_after(in_.optimizer_time * stretch_, [this, opt_start] {
+    const double opt_scale = per_rank_mode() ? stretch_ * iter_max_factor_ : stretch_;
+    engine_.schedule_after(in_.optimizer_time * opt_scale, [this, opt_start] {
       emit_compute("optimizer", opt_start, engine_.now());
       ++completed_;
       if (completed_ >= in_.iterations) {
@@ -196,8 +285,12 @@ class TimelineSim {
   EngineCounters counters_;
   std::deque<double> pending_;
   bool tracing_ = false;
-  int reduced_ = 0;
-  int reduced_after_busy_ = 0;
+  util::Rng rng_;
+  // 64-bit accumulators throughout: per-rank mode pushes tensor and event
+  // counts into ranges where 32-bit intermediates overflow (16k ranks x
+  // thousands of tensors x iterations).
+  std::int64_t reduced_ = 0;
+  std::int64_t reduced_after_busy_ = 0;
   bool bwd_done_ = false;
   bool done_ = false;
   int completed_ = 0;
@@ -205,6 +298,13 @@ class TimelineSim {
   double exposed_total_ = 0.0;
   double finish_time_ = 0.0;
   double stretch_ = 1.0;
+  // Per-rank arenas (per-rank mode only): sized once, reset per iteration.
+  std::vector<double> rank_factor_;
+  std::vector<std::uint32_t> rank_cursor_;
+  std::vector<std::int32_t> submit_count_;
+  std::int64_t bwd_ranks_done_ = 0;
+  double iter_start_ = 0.0;
+  double iter_max_factor_ = 1.0;
 };
 
 }  // namespace

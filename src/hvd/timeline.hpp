@@ -1,16 +1,29 @@
 // Discrete-event simulation of data-parallel training iterations driven by a
 // Horovod-style engine.
 //
-// One representative rank is simulated (data parallelism is symmetric; rank
-// jitter enters through `straggler_factor`, the expected-max inflation of
-// compute times across the world). The engine's background loop wakes every
-// cycle_time, issues one coordination allreduce per wake-up, fuses all
-// negotiated tensors up to the fusion threshold, and issues one data
-// allreduce per buffer, overlapping with the remaining backward compute.
-// An iteration completes when the backward pass is done, every gradient is
-// reduced, and the optimizer has run (synchronous SGD).
+// Two simulation modes share one engine loop:
+//
+//  - Representative-rank mode (sim_ranks == 1, the default): one rank is
+//    simulated; rank jitter enters through `straggler_factor`, the
+//    expected-max inflation of compute times across the world.
+//  - Per-rank mode (sim_ranks > 1): every rank's backward pass and gradient
+//    submissions are simulated explicitly from flat per-rank arenas (a
+//    jitter factor, a submission cursor, and a per-tensor submit count). A
+//    gradient becomes globally negotiable only when the slowest rank has
+//    submitted it — the Min-reduce the real engine computes — so stragglers
+//    emerge from the simulation instead of a closed-form factor. Event
+//    count grows as ranks x tensors per iteration; the pooled sim::Engine
+//    keeps that allocation-free, which is what makes 4k-rank steps cheap.
+//
+// The engine's background loop wakes every cycle_time, issues one
+// coordination allreduce per wake-up, fuses all negotiated tensors up to the
+// fusion threshold, and issues one data allreduce per buffer, overlapping
+// with the remaining backward compute. An iteration completes when the
+// backward pass is done, every gradient is reduced, and the optimizer has
+// run (synchronous SGD).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "exec/schedule.hpp"
@@ -51,6 +64,20 @@ struct TimelineInput {
   /// Fraction of the wake-up cost that still reaches compute when the
   /// progress thread has its own core (cache/memory interference).
   double dedicated_tax_share = 0.12;
+
+  /// Ranks simulated explicitly (per-rank mode when > 1; requires a cost
+  /// model). In per-rank mode `straggler_factor` should stay 1.0 — jitter is
+  /// drawn per rank per iteration from `per_rank_jitter_cv` instead of the
+  /// closed-form expected max.
+  int sim_ranks = 1;
+  /// Coefficient of variation of the per-rank compute factor in per-rank
+  /// mode; 0 makes every rank identical (useful for parity tests).
+  double per_rank_jitter_cv = 0.0;
+  std::uint64_t jitter_seed = 0x9E3779B97F4A7C15ULL;
+  /// Price data allreduces with the staged hierarchical plan
+  /// (CollectiveCostModel::staged_allreduce_time) instead of the flat Auto
+  /// policy. Negotiation stays on recursive doubling either way.
+  bool hierarchical_allreduce = false;
 };
 
 struct TimelineResult {
@@ -59,6 +86,11 @@ struct TimelineResult {
   CommStats stats;
   /// Fraction of per-iteration time not overlapped with compute.
   double comm_exposed_fraction = 0.0;
+  /// Calendar totals of the underlying sim::Engine: events that ran through
+  /// the slab pool, and the pool's high-water slot count (its resident
+  /// footprint — slots are reused, so this stays near the in-flight peak).
+  std::uint64_t events_processed = 0;
+  std::uint64_t pool_slots = 0;
 };
 
 /// Runs the event simulation. Deterministic.

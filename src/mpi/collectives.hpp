@@ -225,13 +225,59 @@ void allreduce(Comm& comm, std::span<T> data, ReduceOp op,
   }
 }
 
+/// In-place ring reduce-scatter over the p-way near-equal partition of
+/// `data`: after the call, rank r's chunk `detail::chunk_range(n, p, r)`
+/// holds the fully reduced values (the other regions hold partial sums).
+/// Building block for the staged hierarchical allreduce; with `data.size()`
+/// below p the trailing chunks are empty and those steps move zero bytes.
+template <typename T>
+void reduce_scatter_ring(Comm& comm, std::span<T> data, ReduceOp op) {
+  const int p = comm.size();
+  const int r = comm.rank();
+  if (p == 1) return;
+  const auto tag = comm.next_collective_tag();
+  const int right = (r + 1) % p;
+  const int left = (r - 1 + p) % p;
+  // Chunk 0 is the largest chunk of the near-equal partition.
+  std::vector<T> recv_buf(detail::chunk_range(data.size(), p, 0).size());
+  // Step s sends chunk (r - s - 1) and receives chunk (r - s - 2); after
+  // p-1 steps rank r has accumulated every rank's contribution to chunk r.
+  for (int step = 0; step < p - 1; ++step) {
+    const auto send_c = detail::chunk_range(data.size(), p, (r - step - 1 + p) % p);
+    const auto recv_c = detail::chunk_range(data.size(), p, (r - step - 2 + 2 * p) % p);
+    comm.sendrecv(data.data() + send_c.begin, send_c.size() * sizeof(T), right,
+                  recv_buf.data(), recv_c.size() * sizeof(T), left, tag);
+    detail::apply_op<T>(op, std::span<const T>(recv_buf.data(), recv_c.size()),
+                        data.subspan(recv_c.begin, recv_c.size()));
+  }
+}
+
+/// Ring allgather over the same partition: rank r contributes its chunk
+/// `detail::chunk_range(n, p, r)` in place, and every rank ends with the
+/// full vector. Pairs with reduce_scatter_ring to complete an allreduce.
+template <typename T>
+void allgather_ring_chunks(Comm& comm, std::span<T> data) {
+  const int p = comm.size();
+  const int r = comm.rank();
+  if (p == 1) return;
+  const auto tag = comm.next_collective_tag();
+  const int right = (r + 1) % p;
+  const int left = (r - 1 + p) % p;
+  for (int step = 0; step < p - 1; ++step) {
+    const auto send_c = detail::chunk_range(data.size(), p, (r - step + p) % p);
+    const auto recv_c = detail::chunk_range(data.size(), p, (r - step - 1 + 2 * p) % p);
+    comm.sendrecv(data.data() + send_c.begin, send_c.size() * sizeof(T), right,
+                  data.data() + recv_c.begin, recv_c.size() * sizeof(T), left, tag);
+  }
+}
+
 /// Binomial-tree broadcast from `root`.
 template <typename T>
 void bcast(Comm& comm, std::span<T> data, int root) {
   const int p = comm.size();
   const int r = comm.rank();
-  if (p == 1) return;
   if (root < 0 || root >= p) throw std::out_of_range("bcast: bad root");
+  if (p == 1) return;
   const auto tag = comm.next_collective_tag();
   const std::size_t bytes = data.size() * sizeof(T);
   const int relative = (r - root + p) % p;
@@ -364,8 +410,8 @@ template <typename T>
 void reduce(Comm& comm, std::span<T> data, ReduceOp op, int root) {
   const int p = comm.size();
   const int r = comm.rank();
-  if (p == 1) return;
   if (root < 0 || root >= p) throw std::out_of_range("reduce: bad root");
+  if (p == 1) return;
   const auto tag = comm.next_collective_tag();
   const std::size_t bytes = data.size() * sizeof(T);
   const int relative = (r - root + p) % p;
@@ -409,6 +455,50 @@ void allreduce_hierarchical(Comm& comm, std::span<T> data, ReduceOp op, int rank
   reduce(*node_comm, data, op, 0);
   if (leader_comm) allreduce(*leader_comm, data, op);
   bcast(*node_comm, data, 0);
+}
+
+/// Multi-level hierarchical allreduce staged as reduce-scatter down the
+/// hierarchy and allgather back up (the Horovod / Shi-et-al. structure:
+/// intra-NUMA -> intra-node -> inter-node). `group_sizes` lists the stage
+/// widths innermost first (e.g. {ranks_per_numa, numa_per_node}); each must
+/// divide the rank count remaining at its level, with block rank mapping.
+/// The leftover factor after all stages is handled by one allreduce with
+/// `top_algo` over the shard each rank owns:
+///
+///   level k:  ring reduce-scatter within each contiguous group of
+///             group_sizes[k] ranks; rank's owned shard shrinks by that factor
+///   top:      allreduce of the owned shard across the remaining ranks
+///   level k:  ring allgather within each group, unwinding the stack
+///
+/// With empty `group_sizes` this is exactly allreduce(comm, data, op).
+template <typename T>
+void allreduce_hierarchical_stages(Comm& comm, std::span<T> data, ReduceOp op,
+                                   std::span<const int> group_sizes,
+                                   AllreduceAlgo top_algo = AllreduceAlgo::Auto) {
+  const int p = comm.size();
+  if (group_sizes.empty()) {
+    if (p > 1) allreduce(comm, data, op, top_algo);
+    return;
+  }
+  const int g = group_sizes.front();
+  const auto rest = group_sizes.subspan(1);
+  if (g <= 0 || p % g != 0)
+    throw std::invalid_argument(
+        "allreduce_hierarchical_stages: group size must divide rank count");
+  if (g == 1) {  // trivial level: nothing to stage
+    allreduce_hierarchical_stages(comm, data, op, rest, top_algo);
+    return;
+  }
+  const int r = comm.rank();
+  // Contiguous groups of g ranks; the cross communicator links the ranks
+  // holding the same shard index across groups.
+  auto group = comm.split(r / g, r);
+  auto cross = comm.split(r % g, r);
+  reduce_scatter_ring(*group, data, op);
+  const auto mine = detail::chunk_range(data.size(), g, group->rank());
+  allreduce_hierarchical_stages(*cross, data.subspan(mine.begin, mine.size()), op, rest,
+                                top_algo);
+  allgather_ring_chunks(*group, data);
 }
 
 }  // namespace dnnperf::mpi

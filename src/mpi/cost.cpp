@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 
 namespace dnnperf::mpi {
@@ -57,6 +58,61 @@ double CollectiveCostModel::hierarchical_allreduce_time(double bytes) const {
   // Phase 3: shared-memory broadcast of the result.
   t += local_tree_time(bytes);
   return t;
+}
+
+HierarchyPlan CollectiveCostModel::plan_staged_allreduce(double bytes) const {
+  if (bytes < 0) throw std::invalid_argument("plan_staged_allreduce: negative bytes");
+  const auto stages = topology_.intra_hierarchy();
+  const int nodes = topology_.nodes();
+
+  // Inter-node allreduce of one shard: ring for bandwidth, RD for latency.
+  const auto top_cost = [&](double shard) {
+    HierarchyPlan plan;
+    plan.top_ranks = nodes;
+    plan.top_bytes = shard;
+    if (nodes > 1) {
+      const auto& link = topology_.inter_node();
+      const double ring = 2.0 * (nodes - 1) * link.transfer_time(shard / nodes);
+      const double rd = ceil_log2(nodes) * link.transfer_time(shard);
+      plan.top_algo = ring <= rd ? AllreduceAlgo::Ring : AllreduceAlgo::RecursiveDoubling;
+      plan.top_s = std::min(ring, rd);
+    }
+    plan.total_s = plan.top_s;
+    return plan;
+  };
+
+  // Each stage either ring-reduce-scatters (one shard message per step, and
+  // the shard reaching the levels above shrinks by the group size) or runs a
+  // segmented tree (log-latency, shard stays full). The choice at one level
+  // changes the payload every level above sees, so the plan is the min over
+  // the whole choice tree — tiny, at most two levels deep.
+  const std::function<HierarchyPlan(std::size_t, double)> best = [&](std::size_t k,
+                                                                     double shard) {
+    if (k == stages.size()) return top_cost(shard);
+    const int g = stages[k].group_size;
+    const auto& link = stages[k].link;
+
+    const double ring_stage = 2.0 * (g - 1) * link.transfer_time(shard / g);
+    HierarchyPlan ring_plan = best(k + 1, shard / g);
+    ring_plan.levels.insert(ring_plan.levels.begin(),
+                            {g, StageAlgo::RingReduceScatter, ring_stage});
+    ring_plan.total_s += ring_stage;
+
+    const double tree_stage =
+        2.0 * (ceil_log2(g) * (link.latency_s + link.per_msg_overhead_s) +
+               shard / (link.bandwidth_gbps * 1e9));
+    HierarchyPlan tree_plan = best(k + 1, shard);
+    tree_plan.levels.insert(tree_plan.levels.begin(), {g, StageAlgo::Tree, tree_stage});
+    tree_plan.total_s += tree_stage;
+
+    return ring_plan.total_s <= tree_plan.total_s ? ring_plan : tree_plan;
+  };
+
+  return best(0, bytes);
+}
+
+double CollectiveCostModel::staged_allreduce_time(double bytes) const {
+  return plan_staged_allreduce(bytes).total_s;
 }
 
 double CollectiveCostModel::allreduce_time(double bytes, AllreduceAlgo algo) const {

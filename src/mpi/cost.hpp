@@ -13,6 +13,30 @@
 
 namespace dnnperf::mpi {
 
+/// How one intra-node stage of a staged hierarchical allreduce is executed.
+enum class StageAlgo {
+  RingReduceScatter,  ///< ring reduce-scatter + allgather; shard shrinks by g
+  Tree,               ///< segmented tree reduce + bcast; shard stays full
+};
+
+/// The per-level algorithm plan for a staged hierarchical allreduce of one
+/// payload size: which algorithm each intra-node stage uses (Shi et al.'s
+/// latency/bandwidth crossover, decided per level against the level's link)
+/// and which algorithm the top-level inter-node allreduce runs.
+struct HierarchyPlan {
+  struct Level {
+    int group_size = 1;
+    StageAlgo algo = StageAlgo::RingReduceScatter;
+    double stage_s = 0.0;  ///< both phases of this stage (down + up)
+  };
+  std::vector<Level> levels;  ///< innermost first; mirrors Topology::intra_hierarchy
+  AllreduceAlgo top_algo = AllreduceAlgo::Ring;
+  int top_ranks = 1;       ///< groups at the top level (== nodes)
+  double top_bytes = 0.0;  ///< shard size reaching the inter-node allreduce
+  double top_s = 0.0;
+  double total_s = 0.0;
+};
+
 class CollectiveCostModel {
  public:
   explicit CollectiveCostModel(net::Topology topology);
@@ -27,6 +51,13 @@ class CollectiveCostModel {
   double ring_allreduce_time_flat(double bytes) const;
   double recursive_doubling_time(double bytes) const;
   double hierarchical_allreduce_time(double bytes) const;
+
+  /// Staged hierarchical allreduce (mpi::allreduce_hierarchical_stages):
+  /// reduce-scatter/tree down the topology's intra-node hierarchy, one
+  /// inter-node allreduce of the surviving shard, then back up. The plan
+  /// records the cheapest per-level algorithm choice for this payload.
+  HierarchyPlan plan_staged_allreduce(double bytes) const;
+  double staged_allreduce_time(double bytes) const;
 
   double bcast_time(double bytes) const;
   double barrier_time() const;

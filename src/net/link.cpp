@@ -49,6 +49,15 @@ LinkParams shared_memory_params() {
   return p;
 }
 
+LinkParams numa_local_params() {
+  LinkParams p;
+  p.latency_s = 1.5e-7;
+  p.bandwidth_gbps = 9.0;  // same-socket copy: no inter-socket hop
+  p.per_msg_overhead_s = 1e-7;
+  p.validate();
+  return p;
+}
+
 LinkParams pcie3_x16_params() {
   LinkParams p;
   p.latency_s = 2e-6;

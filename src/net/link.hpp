@@ -26,6 +26,11 @@ LinkParams fabric_params(hw::FabricKind kind);
 /// Shared-memory "link" between two ranks on the same node (CMA copy).
 LinkParams shared_memory_params();
 
+/// Shared-memory link between two ranks pinned to the same NUMA domain:
+/// no QPI/UPI hop, so lower latency and a higher copy rate than the
+/// cross-socket CMA path above.
+LinkParams numa_local_params();
+
 /// Host-device / device-device links for GPU nodes.
 LinkParams pcie3_x16_params();
 LinkParams nvlink1_params();

@@ -8,9 +8,21 @@ Topology::Topology(int nodes, int ppn, hw::FabricKind fabric)
     : Topology(nodes, ppn, fabric, shared_memory_params()) {}
 
 Topology::Topology(int nodes, int ppn, hw::FabricKind fabric, LinkParams intra_node)
-    : nodes_(nodes), ppn_(ppn), intra_(intra_node), inter_(fabric_params(fabric)) {
+    : Topology(nodes, ppn, fabric, intra_node, 1, intra_node) {}
+
+Topology::Topology(int nodes, int ppn, hw::FabricKind fabric, LinkParams intra_node,
+                   int numa_per_node, LinkParams intra_numa)
+    : nodes_(nodes),
+      ppn_(ppn),
+      numa_per_node_(numa_per_node),
+      intra_(intra_node),
+      intra_numa_(intra_numa),
+      inter_(fabric_params(fabric)) {
   if (nodes <= 0 || ppn <= 0) throw std::invalid_argument("Topology: non-positive size");
+  if (numa_per_node <= 0 || ppn % numa_per_node != 0)
+    throw std::invalid_argument("Topology: numa_per_node must divide ppn");
   intra_.validate();
+  intra_numa_.validate();
 }
 
 int Topology::node_of(int rank) const {
@@ -23,13 +35,25 @@ int Topology::local_rank(int rank) const {
   return rank % ppn_;
 }
 
+int Topology::numa_of(int rank) const {
+  return node_of(rank) * numa_per_node_ + local_rank(rank) / ranks_per_numa();
+}
+
 const LinkParams& Topology::link(int a, int b) const {
-  return same_node(a, b) ? intra_ : inter_;
+  if (!same_node(a, b)) return inter_;
+  return same_numa(a, b) ? intra_numa_ : intra_;
 }
 
 double Topology::p2p_time(int a, int b, double bytes) const {
   if (a == b) return 0.0;
   return link(a, b).transfer_time(bytes);
+}
+
+std::vector<HierarchyLevel> Topology::intra_hierarchy() const {
+  std::vector<HierarchyLevel> levels;
+  if (ranks_per_numa() > 1) levels.push_back({ranks_per_numa(), intra_numa_});
+  if (numa_per_node_ > 1) levels.push_back({numa_per_node_, intra_});
+  return levels;
 }
 
 }  // namespace dnnperf::net

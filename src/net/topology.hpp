@@ -1,9 +1,10 @@
-// Rank placement and two-level communication topology.
+// Rank placement and hierarchical communication topology.
 //
 // Ranks are laid out block-wise across nodes (rank r -> node r / ppn),
-// matching mpirun's default mapping used by the paper. The topology answers
-// locality questions for hierarchical collectives and supplies the right
-// LinkParams for any rank pair.
+// matching mpirun's default mapping used by the paper, and block-wise across
+// NUMA domains within a node when a NUMA level is configured. The topology
+// answers locality questions for hierarchical collectives and supplies the
+// right LinkParams for any rank pair.
 #pragma once
 
 #include <vector>
@@ -11,6 +12,13 @@
 #include "net/link.hpp"
 
 namespace dnnperf::net {
+
+/// One stage of a staged hierarchical collective: `group_size` ranks
+/// exchanging over `link`. Stages are listed innermost first.
+struct HierarchyLevel {
+  int group_size = 1;
+  LinkParams link;
+};
 
 class Topology {
  public:
@@ -22,28 +30,49 @@ class Topology {
   /// on one node).
   Topology(int nodes, int ppn, hw::FabricKind fabric, LinkParams intra_node);
 
+  /// Full three-level form: `numa_per_node` NUMA domains per node (must
+  /// divide ppn, block rank mapping) with `intra_numa` between ranks of one
+  /// domain and `intra_node` across domains of one node.
+  Topology(int nodes, int ppn, hw::FabricKind fabric, LinkParams intra_node,
+           int numa_per_node, LinkParams intra_numa);
+
   int nodes() const { return nodes_; }
   int ppn() const { return ppn_; }
   int world_size() const { return nodes_ * ppn_; }
+  int numa_per_node() const { return numa_per_node_; }
+  int ranks_per_numa() const { return ppn_ / numa_per_node_; }
 
   int node_of(int rank) const;
   int local_rank(int rank) const;
   bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+  /// Global NUMA-domain index of `rank` (node-major).
+  int numa_of(int rank) const;
+  bool same_numa(int a, int b) const { return numa_of(a) == numa_of(b); }
   /// Node-leader (local rank 0) of the node hosting `rank`.
   int leader_of(int rank) const { return node_of(rank) * ppn_; }
 
+  const LinkParams& intra_numa() const { return intra_numa_; }
   const LinkParams& intra_node() const { return intra_; }
   const LinkParams& inter_node() const { return inter_; }
-  /// Link parameters between two (distinct) ranks.
+  /// Link parameters between two (distinct) ranks: intra-NUMA, intra-node,
+  /// or inter-node, whichever is the tightest level containing both.
   const LinkParams& link(int a, int b) const;
 
   /// Time for one point-to-point message of `bytes` between ranks a and b.
   double p2p_time(int a, int b, double bytes) const;
 
+  /// Intra-node stage widths for a staged hierarchical allreduce, innermost
+  /// first ({ranks_per_numa over intra_numa, numa_per_node over intra_node});
+  /// trivial width-1 stages are dropped. The inter-node level is the
+  /// caller's top-level allreduce over `nodes()` groups.
+  std::vector<HierarchyLevel> intra_hierarchy() const;
+
  private:
   int nodes_;
   int ppn_;
+  int numa_per_node_;
   LinkParams intra_;
+  LinkParams intra_numa_;
   LinkParams inter_;
 };
 

@@ -2,17 +2,25 @@
 //
 // A single-threaded event calendar: callbacks scheduled at simulated times,
 // executed in (time, insertion-order) order. The Horovod engine simulator
-// (src/hvd/sim_engine) runs on top of this, as do the ablation benches.
+// (src/hvd/timeline) runs on top of this, as do the ablation benches.
+//
+// Events live in a slab pool: a slot array with an embedded free list plus a
+// binary heap of (time, seq, slot) index entries. Scheduling reuses a freed
+// slot instead of allocating, cancellation flips a flag in the slot (no
+// side-table), and generation counters keep stale EventIds harmless — the
+// layout that lets a 4k-rank timeline push millions of events without
+// touching the allocator once the pool is warm.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 namespace dnnperf::sim {
 
+/// Handle to a scheduled event: slot index in the low 32 bits, the slot's
+/// generation at scheduling time in the high 32. A reused slot bumps its
+/// generation, so ids of executed/cancelled events never alias live ones.
 using EventId = std::uint64_t;
 
 class Engine {
@@ -51,29 +59,55 @@ class Engine {
 
   static constexpr std::uint64_t kTraceCounterStride = 256;
 
-  bool empty() const { return queue_.size() == cancelled_.size(); }
+  bool empty() const { return pending_live_ == 0; }
   std::uint64_t events_processed() const { return processed_; }
 
+  /// Total events ever scheduled (== pool allocations + pool reuses).
+  std::uint64_t events_scheduled() const { return scheduled_; }
+  /// High-water slot count: the pool's resident footprint. Scheduling only
+  /// grows the slab when every slot is in flight simultaneously.
+  std::size_t pool_slots() const { return slots_.size(); }
+
  private:
-  struct Event {
-    double time;
-    EventId id;
+  struct Slot {
+    double time = 0.0;
+    std::uint64_t seq = 0;       ///< FIFO tiebreak among simultaneous events
+    std::uint32_t gen = 1;       ///< bumped on free; validates EventIds
+    bool live = false;           ///< scheduled and not yet executed/freed
+    bool cancelled = false;
+    std::uint32_t next_free = kNoSlot;
     Callback cb;
   };
+  struct HeapEntry {
+    double time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  /// Min-heap on (time, seq) via std::push_heap's max-heap with an inverted
+  /// comparison.
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // FIFO among simultaneous events
+      return a.seq > b.seq;
     }
   };
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  /// Pops cancelled events off the heap top, freeing their slots.
+  void drop_cancelled_top();
 
   double now_ = 0.0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   int trace_pid_ = 0;
   int trace_tid_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t pending_live_ = 0;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::vector<HeapEntry> heap_;
 };
 
 }  // namespace dnnperf::sim

@@ -78,12 +78,22 @@ TrainResult run_training(const TrainConfig& cfg) {
   if (world > 1 && !cfg.use_horovod)
     throw std::invalid_argument("TrainConfig: multi-rank run requires Horovod");
 
+  const bool per_rank = cfg.per_rank_sim && horovod_active;
+
   hvd::TimelineInput tl;
   tl.policy = cfg.policy;
   tl.iterations = cfg.iterations;
+  // Per-rank mode draws jitter explicitly, so the closed-form expected-max
+  // straggler factor must not double-count it.
   tl.straggler_factor =
-      world > 1 ? util::expected_max_normal(1.0, cfg.jitter_cv, static_cast<std::size_t>(world))
-                : 1.0;
+      world > 1 && !per_rank
+          ? util::expected_max_normal(1.0, cfg.jitter_cv, static_cast<std::size_t>(world))
+          : 1.0;
+  if (per_rank) {
+    tl.sim_ranks = world;
+    tl.per_rank_jitter_cv = cfg.jitter_cv;
+  }
+  tl.hierarchical_allreduce = horovod_active && cfg.hierarchy != CommHierarchy::Flat;
 
   TrainResult result;
   result.world_size = world;
@@ -117,8 +127,18 @@ TrainResult run_training(const TrainConfig& cfg) {
     tl.comm_thread_shares_core = horovod_active && threads.intra >= placement.cores;
     tl.cores_per_rank = placement.cores;
 
-    if (horovod_active)
-      cost.emplace(net::Topology(cfg.nodes, cfg.ppn, cfg.cluster.fabric));
+    if (horovod_active) {
+      // ThreeLevel adds the NUMA stage when the CPU exposes one and ranks
+      // split evenly across domains; otherwise it degrades to TwoLevel.
+      const int numa = cfg.cluster.node.cpu.numa_domains();
+      const int numa_per_node =
+          cfg.hierarchy == CommHierarchy::ThreeLevel && numa > 1 && cfg.ppn % numa == 0
+              ? numa
+              : 1;
+      cost.emplace(net::Topology(
+          cfg.nodes, cfg.ppn, cfg.cluster.fabric, net::shared_memory_params(), numa_per_node,
+          numa_per_node > 1 ? net::numa_local_params() : net::shared_memory_params()));
+    }
   } else {
     result.resolved_intra = 1;
     result.resolved_inter = 1;
@@ -148,6 +168,9 @@ TrainResult run_training(const TrainConfig& cfg) {
   result.optimizer_s = tl.optimizer_time;
   result.comm = sim.stats;
   result.comm_exposed_fraction = sim.comm_exposed_fraction;
+  result.sim_ranks = tl.sim_ranks;
+  result.sim_events = sim.events_processed;
+  result.sim_pool_slots = sim.pool_slots;
 
   // Modeled-run outcome gauges (virtual time, not wall time): each measured
   // config's values land in its Experiment scorecard via snapshot deltas.

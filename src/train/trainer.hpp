@@ -19,6 +19,13 @@ namespace dnnperf::train {
 
 enum class DeviceKind { Cpu, Gpu };
 
+/// Data-allreduce hierarchy priced by the cost model (the --hierarchy knob).
+enum class CommHierarchy {
+  Flat,        ///< legacy MPI Auto policy (min of leader-hierarchical and RD)
+  TwoLevel,    ///< staged intra-node ring/tree + inter-node allreduce
+  ThreeLevel,  ///< staged intra-NUMA -> intra-node -> inter-node
+};
+
 struct TrainConfig {
   hw::ClusterModel cluster;
   dnn::ModelId model = dnn::ModelId::ResNet50;
@@ -47,6 +54,14 @@ struct TrainConfig {
   /// (dnn::training_memory) exceeds device/node memory. Off by default: the
   /// footprint model assumes no buffer reuse, which real frameworks do.
   bool validate_memory = false;
+  /// Simulate every rank explicitly (per-rank arenas, per-rank jitter drawn
+  /// from jitter_cv) instead of folding the world into one representative
+  /// rank with an expected-max straggler factor. Event count grows as
+  /// ranks x gradient tensors per iteration; the pooled event engine keeps
+  /// 4k-rank steps in seconds.
+  bool per_rank_sim = false;
+  /// Collective hierarchy for pricing data allreduces.
+  CommHierarchy hierarchy = CommHierarchy::Flat;
 };
 
 struct TrainResult {
@@ -61,6 +76,11 @@ struct TrainResult {
   int effective_batch = 0;      ///< global batch = world * batch_per_rank
   int resolved_intra = 0;
   int resolved_inter = 0;
+  /// Ranks simulated explicitly (1 in representative mode) and the DES
+  /// calendar totals behind this run — the scale-sweep bench gauges.
+  int sim_ranks = 1;
+  std::uint64_t sim_events = 0;
+  std::uint64_t sim_pool_slots = 0;
 };
 
 /// The intra-op/inter-op thread counts a config resolves to (0 = auto

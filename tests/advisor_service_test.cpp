@@ -4,6 +4,7 @@
 // semantics, and thread-safety of concurrent ask()/ask_many() — the
 // *Concurrent* fixtures run under the tsan preset's test filter.
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <thread>
@@ -12,10 +13,12 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/analyze.hpp"
 #include "core/advisor_service.hpp"
 #include "core/eval_cache.hpp"
 #include "hw/platforms.hpp"
 #include "train/trainer.hpp"
+#include "util/metrics.hpp"
 
 namespace {
 
@@ -139,6 +142,8 @@ TEST(EvalCache, ConfigKeySensitiveToEveryScheduleField) {
   EXPECT_NE(mutate([](auto& c) { c.jitter_cv += 0.01; }), k0);
   EXPECT_NE(mutate([](auto& c) { c.policy.cycle_time_s *= 2.0; }), k0);
   EXPECT_NE(mutate([](auto& c) { c.cluster.max_nodes += 1; }), k0);
+  EXPECT_NE(mutate([](auto& c) { c.per_rank_sim = !c.per_rank_sim; }), k0);
+  EXPECT_NE(mutate([](auto& c) { c.hierarchy = train::CommHierarchy::TwoLevel; }), k0);
 }
 
 // ---- lint memo -------------------------------------------------------------
@@ -294,6 +299,128 @@ TEST(AdvisorService, EvictionBoundedCacheStillAnswersCorrectly) {
   // Most points were evicted and re-simulated; the answer is unchanged.
   EXPECT_GT(second.evaluated, 0u);
   expect_same_best(first.recommendation, second.recommendation);
+}
+
+TEST(AdvisorService, IdleServiceSnapshotCarriesFiniteGaugesAndLintsClean) {
+  // Constructing the service must register the qps/hit-ratio gauges with
+  // finite zero values — a metrics snapshot taken before any query (the
+  // dnnperf_metrics check path) must not carry NaN or omit them.
+  core::AdvisorService service({.threads = 2});
+  const util::metrics::Snapshot snap = util::metrics::snapshot();
+  for (const char* name : {"advisor_cache_hit_ratio", "advisor_queries_per_sec"}) {
+    const auto* m = snap.find(name);
+    ASSERT_NE(m, nullptr) << name;
+    EXPECT_TRUE(std::isfinite(m->value)) << name;
+  }
+  const util::Diagnostics diags = analysis::lint_metrics(snap, "idle-service");
+  EXPECT_FALSE(diags.has_errors()) << util::render_text(diags);
+}
+
+// ---- scaling curves (node-count sweeps, §ISSUE-7) --------------------------
+
+core::ScalingRequest scaling_request(int max_nodes) {
+  core::ScalingRequest req;
+  req.cluster = hw::stampede2();
+  req.cluster.max_nodes = max_nodes;
+  req.ppn = 4;
+  req.batch_per_rank = 64;
+  return req;
+}
+
+TEST(AdvisorScaling, CurveIsSortedMonotoneAndEfficiencyBounded) {
+  core::AdvisorService service({.threads = 2});
+  auto req = scaling_request(128);
+  req.node_counts = {128, 2, 8, 32, 4, 16, 64};  // unsorted on purpose
+  const auto curve = service.scaling_curve(req);
+  ASSERT_EQ(curve.size(), 7u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LT(curve[i - 1].nodes, curve[i].nodes);
+    // The paper's Fig. 13-17 shape: more nodes never lose aggregate
+    // throughput, while efficiency can only decay as comm grows.
+    EXPECT_GE(curve[i].images_per_sec, curve[i - 1].images_per_sec);
+    EXPECT_LE(curve[i].efficiency, curve[i - 1].efficiency + 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(curve.front().speedup, 1.0);
+  EXPECT_DOUBLE_EQ(curve.front().efficiency, 1.0);
+  for (const auto& p : curve) {
+    EXPECT_GT(p.images_per_sec, 0.0);
+    EXPECT_LE(p.efficiency, 1.0 + 1e-9);
+    EXPECT_EQ(p.ranks, p.nodes * 4);
+  }
+}
+
+TEST(AdvisorScaling, SecondSweepIsServedFromCache) {
+  core::AdvisorService service({.threads = 2});
+  auto req = scaling_request(16);
+  req.node_counts = {2, 4, 8, 16};
+  const auto first = service.scaling_curve(req);
+  const auto evals_after_first = service.cache().stats().misses;
+  const auto second = service.scaling_curve(req);
+  EXPECT_EQ(service.cache().stats().misses, evals_after_first);  // warm: no new sims
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_DOUBLE_EQ(first[i].images_per_sec, second[i].images_per_sec);
+}
+
+TEST(AdvisorScaling, SweepsReachSixteenThousandRanks) {
+  core::AdvisorService service({.threads = 2});
+  auto req = scaling_request(1024);
+  req.ppn = 16;
+  req.node_counts = {256, 1024};  // 4096 and 16384 ranks
+  const auto curve = service.scaling_curve(req);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_EQ(curve.back().ranks, 16384);
+  EXPECT_GT(curve.back().images_per_sec, 0.0);
+}
+
+TEST(AdvisorScaling, PerRankSweepFillsEventPoolGauges) {
+  core::AdvisorService service({.threads = 2});
+  auto req = scaling_request(64);
+  req.node_counts = {64};
+  req.ppn = 16;  // 1024 explicitly simulated ranks
+  req.per_rank_sim = true;
+  const auto curve = service.scaling_curve(req);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_GT(curve[0].sim_events, 1024u);  // at least one event per rank
+  EXPECT_GT(curve[0].sim_pool_slots, 0u);
+  EXPECT_LT(curve[0].sim_pool_slots, curve[0].sim_events);  // pooling reuses slots
+}
+
+TEST(AdvisorScaling, HierarchicalCurveKeepsFlatShapeWithinFifteenPercent) {
+  // Acceptance: 2-128-node staged-hierarchy efficiency stays monotone and
+  // within 15% of the flat-collective curve at overlapping scales.
+  core::AdvisorService service({.threads = 2});
+  auto flat = scaling_request(128);
+  flat.node_counts = {2, 4, 8, 16, 32, 64, 128};
+  auto staged = flat;
+  staged.hierarchy = train::CommHierarchy::TwoLevel;
+  const auto flat_curve = service.scaling_curve(flat);
+  const auto staged_curve = service.scaling_curve(staged);
+  ASSERT_EQ(flat_curve.size(), staged_curve.size());
+  for (std::size_t i = 0; i < flat_curve.size(); ++i) {
+    EXPECT_GT(staged_curve[i].efficiency, 0.0);
+    const double dev = std::abs(staged_curve[i].efficiency - flat_curve[i].efficiency) /
+                       flat_curve[i].efficiency;
+    EXPECT_LE(dev, 0.15) << "nodes=" << flat_curve[i].nodes;
+    if (i > 0) {
+      EXPECT_GE(staged_curve[i].images_per_sec, staged_curve[i - 1].images_per_sec);
+      EXPECT_LE(staged_curve[i].efficiency, staged_curve[i - 1].efficiency + 1e-9);
+    }
+  }
+}
+
+TEST(AdvisorScaling, MalformedScalingRequestsThrowWithACodes) {
+  core::AdvisorService service({.threads = 2});
+  auto req = scaling_request(8);
+  req.node_counts = {};
+  EXPECT_THROW(service.scaling_curve(req), std::invalid_argument);
+  req.node_counts = {0};
+  EXPECT_THROW(service.scaling_curve(req), std::invalid_argument);
+  req.node_counts = {16};  // beyond max_nodes = 8
+  EXPECT_THROW(service.scaling_curve(req), std::invalid_argument);
+  req.node_counts = {4};
+  req.ppn = 0;
+  EXPECT_THROW(service.scaling_curve(req), std::invalid_argument);
 }
 
 // ---- concurrency (runs under the tsan preset) ------------------------------

@@ -332,6 +332,36 @@ TEST(Timeline, CounterParityWithRealEngine) {
   EXPECT_EQ(real.data_allreduces, static_cast<std::uint64_t>(kSteps));
 }
 
+TEST(Timeline, PerRankModeKeepsCounterParityAtFourThousandRanks) {
+  // Zero jitter and zero wake-up tax (stretch == 1) make every explicit rank
+  // follow the representative rank's exact virtual schedule, so per-rank mode
+  // at 4096 ranks must reproduce the representative-rank engine view: same
+  // framework requests, same fused data allreduces, same bytes. What changes
+  // is the event volume — ranks x (tensors + 1) chains per iteration through
+  // the slab pool — while the pool's resident footprint stays O(ranks)
+  // because each rank keeps exactly one submission event in flight.
+  mpi::CollectiveCostModel cost(net::Topology(256, 16, hw::FabricKind::OmniPath));
+  auto in = basic_input(&cost);
+  in.wakeup_cpu_s = 0.0;
+  const auto rep = simulate_training(in);
+
+  auto per_rank = in;
+  per_rank.sim_ranks = 4096;
+  per_rank.per_rank_jitter_cv = 0.0;
+  const auto sim = simulate_training(per_rank);
+
+  EXPECT_EQ(sim.stats.framework_requests, rep.stats.framework_requests);
+  EXPECT_EQ(sim.stats.data_allreduces, rep.stats.data_allreduces);
+  EXPECT_DOUBLE_EQ(sim.stats.bytes_reduced, rep.stats.bytes_reduced);
+  EXPECT_NEAR(sim.per_iteration, rep.per_iteration, 1e-6);
+
+  // 4096 ranks x 10 submissions x 4 iterations of submit events alone.
+  EXPECT_GT(sim.events_processed, 4096u * 10u * 4u);
+  EXPECT_GT(sim.events_processed, 50 * rep.events_processed);
+  EXPECT_GE(sim.pool_slots, 4096u);
+  EXPECT_LT(sim.pool_slots, 3u * 4096u);
+}
+
 TEST(FusionPolicy, Validation) {
   FusionPolicy p;
   p.cycle_time_s = 0.0;

@@ -8,6 +8,7 @@
 // registry is quiesced and reset between tests.
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -448,6 +449,27 @@ TEST(MetricsLint, BadCharsetIsM002) {
   snap.metrics.push_back(bad);
   const auto diags = analysis::lint_metrics(snap, "test");
   EXPECT_TRUE(diags.has_code("M002"));
+}
+
+TEST(MetricsLint, NonFiniteValueIsM003) {
+  auto snap = golden_snapshot();
+  metrics::MetricValue nan_gauge;
+  nan_gauge.name = "broken_hit_ratio";
+  nan_gauge.kind = metrics::Kind::Gauge;
+  nan_gauge.value = std::numeric_limits<double>::quiet_NaN();  // 0/0 before first query
+  snap.metrics.push_back(nan_gauge);
+  const auto diags = analysis::lint_metrics(snap, "test");
+  EXPECT_TRUE(diags.has_code("M003"));
+  EXPECT_TRUE(diags.has_errors());
+
+  auto inf_snap = golden_snapshot();
+  metrics::MetricValue inf_hist;
+  inf_hist.name = "broken_seconds";
+  inf_hist.kind = metrics::Kind::Histogram;
+  inf_hist.hist.observe(1.0);
+  inf_hist.hist.sum = std::numeric_limits<double>::infinity();
+  inf_snap.metrics.push_back(inf_hist);
+  EXPECT_TRUE(analysis::lint_metrics(inf_snap, "test").has_code("M003"));
 }
 
 TEST(MetricsLint, LiveRegistryNamesLintClean) {

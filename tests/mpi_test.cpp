@@ -426,6 +426,134 @@ INSTANTIATE_TEST_SUITE_P(NodesByPpn, HierarchicalParam,
                          ::testing::Combine(::testing::Values(1, 2, 4),
                                             ::testing::Values(1, 2, 3)));
 
+// ---------------------------------------------------------------------------
+// Exhaustive small-(p, n) oracle: every algorithm vs a serial reduction
+// ---------------------------------------------------------------------------
+
+/// Deterministic per-(rank, element) test value: small integers so Sum and
+/// Prod stay exact in 64 bits across 8 ranks, signed so Min/Max differ.
+long long oracle_value(int rank, int i, ReduceOp /*op*/) {
+  return (rank * 31 + i * 7) % 23 - 11;
+}
+
+long long serial_reduce(ReduceOp op, int ranks, int i) {
+  long long acc = oracle_value(0, i, op);
+  for (int r = 1; r < ranks; ++r) {
+    const long long v = oracle_value(r, i, op);
+    switch (op) {
+      case ReduceOp::Sum: acc += v; break;
+      case ReduceOp::Max: acc = std::max(acc, v); break;
+      case ReduceOp::Min: acc = std::min(acc, v); break;
+      case ReduceOp::Prod: acc *= v; break;
+    }
+  }
+  return acc;
+}
+
+constexpr int kOracleSizes[] = {0, 1, 2, 3, 5, 7, 8, 13};
+
+TEST(CollectivesOracle, EveryAllreduceAlgorithmOnDegenerateGrids) {
+  // The grid deliberately covers the paths the large-payload tests never
+  // exercise: size 0, size < ranks (empty ring chunks), non-power-of-two
+  // rank counts through the recursive-doubling fold, and the Rabenseifner
+  // ring fallback (size < p, p not a power of two).
+  for (int p = 1; p <= 8; ++p) {
+    for (int n : kOracleSizes) {
+      World::run(p, [&, p = p, n = n](Comm& comm) {
+        for (AllreduceAlgo algo : {AllreduceAlgo::Ring, AllreduceAlgo::RecursiveDoubling,
+                                   AllreduceAlgo::Rabenseifner, AllreduceAlgo::Auto}) {
+          for (ReduceOp op : {ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod}) {
+            std::vector<long long> data(static_cast<std::size_t>(n));
+            for (int i = 0; i < n; ++i)
+              data[static_cast<std::size_t>(i)] = oracle_value(comm.rank(), i, op);
+            allreduce(comm, std::span<long long>(data), op, algo);
+            for (int i = 0; i < n; ++i)
+              ASSERT_EQ(data[static_cast<std::size_t>(i)], serial_reduce(op, p, i))
+                  << "p=" << p << " n=" << n << " algo=" << static_cast<int>(algo)
+                  << " op=" << static_cast<int>(op) << " i=" << i;
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST(CollectivesOracle, ReduceScatterThenAllgatherComposeToAllreduce) {
+  for (int p = 1; p <= 8; ++p) {
+    for (int n : kOracleSizes) {
+      World::run(p, [&, p = p, n = n](Comm& comm) {
+        std::vector<long long> data(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i)
+          data[static_cast<std::size_t>(i)] = oracle_value(comm.rank(), i, ReduceOp::Sum);
+        reduce_scatter_ring(comm, std::span<long long>(data), ReduceOp::Sum);
+        // After reduce-scatter, rank r owns chunk r fully reduced.
+        const auto mine = detail::chunk_range(static_cast<std::size_t>(n), p, comm.rank());
+        for (std::size_t i = mine.begin; i < mine.end; ++i)
+          ASSERT_EQ(data[i], serial_reduce(ReduceOp::Sum, p, static_cast<int>(i)))
+              << "p=" << p << " n=" << n << " owned element " << i;
+        allgather_ring_chunks(comm, std::span<long long>(data));
+        for (int i = 0; i < n; ++i)
+          ASSERT_EQ(data[static_cast<std::size_t>(i)], serial_reduce(ReduceOp::Sum, p, i))
+              << "p=" << p << " n=" << n << " i=" << i;
+      });
+    }
+  }
+}
+
+TEST(CollectivesOracle, HierarchicalStagesMatchSerialForEveryFactorization) {
+  for (int p = 1; p <= 8; ++p) {
+    // Every one- and two-level stage list whose product divides p; the
+    // remaining factor is the top-level allreduce.
+    std::vector<std::vector<int>> stagings{{}};
+    for (int g = 1; g <= p; ++g) {
+      if (p % g != 0) continue;
+      stagings.push_back({g});
+      for (int h = 1; h <= p / g; ++h)
+        if ((p / g) % h == 0) stagings.push_back({g, h});
+    }
+    for (const auto& stages : stagings) {
+      for (int n : {0, 1, 3, 13}) {
+        World::run(p, [&, p = p, n = n](Comm& comm) {
+          for (ReduceOp op : {ReduceOp::Sum, ReduceOp::Max}) {
+            std::vector<long long> data(static_cast<std::size_t>(n));
+            for (int i = 0; i < n; ++i)
+              data[static_cast<std::size_t>(i)] = oracle_value(comm.rank(), i, op);
+            allreduce_hierarchical_stages(comm, std::span<long long>(data), op,
+                                          std::span<const int>(stages));
+            for (int i = 0; i < n; ++i)
+              ASSERT_EQ(data[static_cast<std::size_t>(i)], serial_reduce(op, p, i))
+                  << "p=" << p << " n=" << n << " stages=" << stages.size();
+          }
+        });
+      }
+    }
+  }
+}
+
+TEST(CollectivesOracle, HierarchicalStagesRejectNonDivisorGroup) {
+  World::run(6, [](Comm& comm) {
+    std::vector<double> x(8, 1.0);
+    const std::vector<int> bad{4};  // 4 does not divide 6
+    EXPECT_THROW(allreduce_hierarchical_stages(comm, std::span<double>(x), ReduceOp::Sum,
+                                               std::span<const int>(bad)),
+                 std::invalid_argument);
+    const std::vector<int> zero{0};
+    EXPECT_THROW(allreduce_hierarchical_stages(comm, std::span<double>(x), ReduceOp::Sum,
+                                               std::span<const int>(zero)),
+                 std::invalid_argument);
+  });
+}
+
+TEST(Collectives, BcastAndReduceRejectBadRootEvenOnSingleRank) {
+  // Regression: the p == 1 early return used to precede root validation, so
+  // a bad root was silently accepted on single-rank communicators only.
+  World::run(1, [](Comm& comm) {
+    std::vector<double> x(2, 1.0);
+    EXPECT_THROW(bcast(comm, std::span<double>(x), 3), std::out_of_range);
+    EXPECT_THROW(reduce(comm, std::span<double>(x), ReduceOp::Sum, -1), std::out_of_range);
+  });
+}
+
 TEST(Collectives, HierarchicalRejectsBadPpn) {
   World::run(4, [](Comm& comm) {
     std::vector<double> x(4, 1.0);

@@ -77,6 +77,65 @@ TEST(Engine, StepReturnsFalseWhenEmpty) {
   EXPECT_FALSE(engine.step());
 }
 
+TEST(Engine, PoolReusesSlotsInsteadOfGrowing) {
+  // A self-rescheduling chain keeps exactly one event in flight, so the slab
+  // must stay at one slot no matter how many events run through it.
+  Engine engine;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 10000) engine.schedule_after(1.0, chain);
+  };
+  engine.schedule_at(0.0, chain);
+  engine.run();
+  EXPECT_EQ(fired, 10000);
+  EXPECT_EQ(engine.events_scheduled(), 10000u);
+  EXPECT_EQ(engine.events_processed(), 10000u);
+  EXPECT_EQ(engine.pool_slots(), 1u);
+}
+
+TEST(Engine, PoolHighWaterTracksConcurrentEvents) {
+  Engine engine;
+  int fired = 0;
+  for (int i = 0; i < 64; ++i) engine.schedule_at(static_cast<double>(i), [&] { ++fired; });
+  EXPECT_EQ(engine.pool_slots(), 64u);
+  engine.run();
+  EXPECT_EQ(fired, 64);
+  // The drained pool is reused by the next burst, not grown.
+  for (int i = 0; i < 64; ++i)
+    engine.schedule_at(engine.now() + i, [&] { ++fired; });
+  EXPECT_EQ(engine.pool_slots(), 64u);
+  engine.run();
+  EXPECT_EQ(fired, 128);
+}
+
+TEST(Engine, StaleEventIdNeverCancelsAReusedSlot) {
+  Engine engine;
+  bool first = false, second = false;
+  const EventId id = engine.schedule_at(1.0, [&] { first = true; });
+  engine.run();
+  // The slot is free now; the next event reuses it under a new generation.
+  engine.schedule_at(2.0, [&] { second = true; });
+  engine.cancel(id);  // stale: must not touch the reused slot
+  engine.run();
+  EXPECT_TRUE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(Engine, CancelledEventsFreeTheirSlots) {
+  Engine engine;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i)
+    ids.push_back(engine.schedule_at(1.0 + i, [] {}));
+  for (EventId id : ids) engine.cancel(id);
+  EXPECT_TRUE(engine.empty());
+  engine.run();
+  EXPECT_EQ(engine.events_processed(), 0u);
+  // All 8 slots drained back to the free list: a new burst fits in place.
+  for (int i = 0; i < 8; ++i) engine.schedule_at(10.0 + i, [] {});
+  EXPECT_EQ(engine.pool_slots(), 8u);
+  engine.run();
+}
+
 TEST(Resource, GrantsUpToCapacity) {
   Engine engine;
   Resource res(engine, 2);

@@ -154,6 +154,126 @@ TEST(ModelChecker, UncappedPackingBugCaughtAsOverflow) {
   EXPECT_FALSE(result.counterexample.empty());
 }
 
+// ---------------------------------------------------------------------------
+// Hierarchical (two-level) negotiation variant
+// ---------------------------------------------------------------------------
+
+/// Two groups of two ranks under a window of 2, with the groups' programs
+/// offset so the per-group bitmaps fill as {t0,t1} vs {t1,t2}: a non-empty
+/// intersection the correct parent level must find.
+hvd::ProtocolSpec two_group_offset_spec() {
+  hvd::ProtocolSpec spec;
+  spec.ranks = 4;
+  spec.tensor_elements = {1, 1, 1};
+  spec.capacity_elems = 3;
+  spec.max_outstanding = 2;
+  spec.submit_order = {{0, 1, 2}, {0, 1, 2}, {1, 2, 0}, {1, 2, 0}};
+  spec.group_size = 2;
+  return spec;
+}
+
+TEST(ModelChecker, HierarchicalVariantMatchesFlatMinReduceAndVerifiesClean) {
+  // AND is associative: per-group Min-reduces followed by a parent Min-reduce
+  // equal the flat intersection, so the staged variant must verify clean on
+  // the same spec that deadlocks the ParentStall bug below.
+  hvd::ProtocolSpec spec = two_group_offset_spec();
+  spec.variant = hvd::EngineVariant::Hierarchical;
+  spec.name = "hierarchical-clean";
+  const auto result = analysis::check_protocol(spec);
+  EXPECT_TRUE(result.diags.empty()) << util::render_text(result.diags);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.goal_reached);
+}
+
+TEST(ModelChecker, HierarchicalThreeNodesTwoLevelsIsClean) {
+  // The acceptance bound: 3 nodes x 2 ranks negotiated in two levels, with
+  // rotated submission orders, explored exhaustively and clean.
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(6, {2, 2, 1}, 3,
+                                                      /*rotate_by_rank=*/true);
+  spec.group_size = 2;
+  spec.variant = hvd::EngineVariant::Hierarchical;
+  spec.name = "hierarchical-3x2";
+  const auto result = analysis::check_protocol(spec);
+  EXPECT_TRUE(result.diags.empty()) << util::render_text(result.diags);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.goal_reached);
+}
+
+TEST(ModelChecker, HierarchicalParentStallDeadlocksWithMinimalTrace) {
+  // The seeded two-level bug: the child level completes (both group bitmaps
+  // are full windows), but the parent compares instead of intersecting, so
+  // {t0,t1} vs {t1,t2} ships nothing while every rank is window-blocked.
+  hvd::ProtocolSpec spec = two_group_offset_spec();
+  spec.variant = hvd::EngineVariant::HierarchicalParentStall;
+  spec.name = "parent-stall-fixture";
+  const auto result = analysis::check_protocol(spec);
+  ASSERT_TRUE(result.diags.has_code("V001")) << util::render_text(result.diags);
+  // Minimal counterexample: exactly the 8 submissions that fill every rank's
+  // window (2 per rank), then stuck — no shorter path reaches a deadlock.
+  EXPECT_EQ(result.counterexample.size(), 9u);
+  EXPECT_EQ(result.counterexample.back(), "stuck");
+}
+
+TEST(ModelChecker, StandardVariantProgressesWhereParentStallHangs) {
+  // Control: the same spec under the flat Min-reduce completes — the parent
+  // comparison, not the window or the orders, is the bug.
+  hvd::ProtocolSpec spec = two_group_offset_spec();
+  spec.group_size = 0;
+  spec.name = "parent-stall-control";
+  const auto result = analysis::check_protocol(spec);
+  EXPECT_TRUE(result.diags.empty()) << util::render_text(result.diags);
+  EXPECT_TRUE(result.goal_reached);
+}
+
+TEST(ModelChecker, GroupedSpecValidation) {
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(4, {1, 1}, 2);
+  spec.variant = hvd::EngineVariant::Hierarchical;
+  EXPECT_THROW(analysis::check_protocol(spec), std::invalid_argument);  // group_size unset
+  spec.group_size = 3;  // does not divide ranks
+  EXPECT_THROW(analysis::check_protocol(spec), std::invalid_argument);
+  spec.group_size = 2;
+  EXPECT_TRUE(analysis::check_protocol(spec).diags.empty());
+}
+
+TEST(ModelChecker, GroupRefinedSymmetryStaysSound) {
+  // Ranks 0 and 2 run the same program but sit in different groups; folding
+  // them into one symmetry class would sort positions across groups and
+  // merge states whose group bitmaps — and hence Hierarchical* futures —
+  // differ. Grouped specs must refine classes by group.
+  hvd::ProtocolSpec spec = two_group_offset_spec();
+  spec.submit_order = {{0, 1, 2}, {1, 2, 0}, {0, 1, 2}, {1, 2, 0}};
+  spec.variant = hvd::EngineVariant::Hierarchical;
+  spec.name = "group-symmetry-fixture";
+  const auto classes = hvd::symmetry_classes(spec);
+  EXPECT_NE(classes[0], classes[2]);  // same program, different group
+  EXPECT_NE(classes[1], classes[3]);
+  // Ungrouped, the same programs do collapse — the refinement is the only
+  // thing keeping them apart.
+  hvd::ProtocolSpec flat = spec;
+  flat.group_size = 0;
+  flat.variant = hvd::EngineVariant::Standard;
+  const auto flat_classes = hvd::symmetry_classes(flat);
+  EXPECT_EQ(flat_classes[0], flat_classes[2]);
+  EXPECT_EQ(flat_classes[1], flat_classes[3]);
+  const auto result = analysis::check_protocol(spec);
+  EXPECT_TRUE(result.diags.empty()) << util::render_text(result.diags);
+  EXPECT_TRUE(result.goal_reached);
+}
+
+TEST(ModelChecker, HierarchicalPresetConfigVerifiesClean) {
+  // verify_config_engine adds the staged-variant patterns when the config
+  // asks for a hierarchy; the shipped tuning must stay clean under them.
+  for (const auto& cluster : hw::all_clusters()) {
+    if (cluster.node.has_gpu()) continue;
+    const int nodes = std::min(2, cluster.max_nodes);
+    if (nodes < 2) continue;
+    train::TrainConfig cfg = core::tf_best(cluster, dnn::ModelId::ResNet50, nodes);
+    cfg.hierarchy = train::CommHierarchy::TwoLevel;
+    const util::Diagnostics diags = analysis::verify_config_engine(cfg);
+    EXPECT_TRUE(diags.empty()) << cluster.name << ":\n" << util::render_text(diags);
+  }
+}
+
 TEST(ModelChecker, TruncatedExplorationWarns) {
   hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(3, {1, 1, 1, 1}, 4, true);
   analysis::ModelCheckOptions options;
