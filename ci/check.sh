@@ -7,8 +7,11 @@
 # preset, an advisor smoke step drives a short deterministic advisor_load run
 # (fails unless the warm cache hit and qps > 0), a sim-scale smoke simulates
 # a 1024-rank step through the pooled event engine under a wall-clock budget,
+# an optimizer smoke step runs the verified graph-rewrite passes over every
+# shipped model (any equivalence-checker O-code fails as a GitHub
+# annotation) and gates the measured-vs-predicted conv+BN fusion payoff,
 # a metrics smoke step records a 2-rank training snapshot plus the
-# advisor_load and sim_scale snapshots, lints all three,
+# advisor_load, sim_scale, and opt_fusion snapshots, lints all four,
 # merges them, and diffs the merged counters against the committed
 # BENCH_metrics.json baseline (timers and rates are machine-dependent and
 # ignored; counter drift fails), and a verify smoke step model-checks the
@@ -48,19 +51,32 @@ sim_scale_smoke() {
       --metrics-out="$build/metrics_smoke_sim.json"
 }
 
+# Verified graph-rewrite smoke: every shipped model must optimize
+# checker-clean at O2 (O-codes annotate the CI log), and the conv+BN fusion
+# must hold up numerically and pay off in both the measured refdnn forward
+# pass and the exec-model estimate.
+optimizer_smoke() {
+  local build=build
+  echo "=== [default] optimizer smoke ==="
+  "$build/tools/dnnperf_lint" --optimize --format=github
+  "$build/bench/opt_fusion" --check --metrics-out="$build/metrics_smoke_opt.json"
+}
+
 metrics_smoke() {
   local build=build
   local train_snap="$build/metrics_smoke_training.json"
   local advisor_snap="$build/metrics_smoke_advisor.json"  # from advisor_smoke
   local sim_snap="$build/metrics_smoke_sim.json"          # from sim_scale_smoke
+  local opt_snap="$build/metrics_smoke_opt.json"          # from optimizer_smoke
   local merged="$build/metrics_smoke.json"
   echo "=== [default] metrics smoke ==="
   "$build/examples/real_training" --ranks=2 --steps=2 --metrics-out="$train_snap" > /dev/null
   "$build/tools/dnnperf_metrics" check "$train_snap"
   "$build/tools/dnnperf_metrics" check "$advisor_snap"
   "$build/tools/dnnperf_metrics" check "$sim_snap"
-  "$build/tools/dnnperf_metrics" merge "$train_snap" "$advisor_snap" "$sim_snap" \
-      --label="ci smoke: real_training + advisor_load + sim_scale" --bench-out="$merged"
+  "$build/tools/dnnperf_metrics" check "$opt_snap"
+  "$build/tools/dnnperf_metrics" merge "$train_snap" "$advisor_snap" "$sim_snap" "$opt_snap" \
+      --label="ci smoke: real_training + advisor_load + sim_scale + opt_fusion" --bench-out="$merged"
   "$build/tools/dnnperf_metrics" diff BENCH_metrics.json "$merged" \
       --timers=ignore --rates=ignore
 }
@@ -84,6 +100,7 @@ for preset in "${presets[@]}"; do
   if [ "$preset" = default ]; then
     advisor_smoke
     sim_scale_smoke
+    optimizer_smoke
     metrics_smoke
     verify_smoke
   fi

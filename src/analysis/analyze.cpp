@@ -13,6 +13,7 @@
 #include "analysis/verify/model_checker.hpp"
 #include "analysis/verify/trace_verifier.hpp"
 #include "net/link.hpp"
+#include "opt/passes.hpp"
 
 namespace dnnperf::analysis {
 
@@ -136,6 +137,17 @@ util::Diagnostics lint_config(const train::TrainConfig& cfg) {
 
   const dnn::Graph graph = dnn::build_model(cfg.model);
   run_graph_passes(graph, diags);
+
+  // Verified graph rewriting: when the config enables the optimizer, replay
+  // the exact pass sequence the trainer would run and surface the
+  // equivalence checker's O-codes — an unsound rewrite fails the lint gate
+  // before it can reach a measurement.
+  if (cfg.opt_level > 0 && cfg.opt_level <= 2) {
+    opt::OptOptions oo;
+    oo.level = cfg.opt_level;
+    oo.pass_mask = cfg.opt_pass_mask;
+    diags.merge(opt::optimize(graph, oo).diags);
+  }
 
   // Schedule passes need a sane platform to reason about cores and memory.
   if (platform_ok) run_schedule_passes(cfg, object, diags);

@@ -46,6 +46,17 @@ bool check_dataflow(const Graph& g, util::Diagnostics& diags) {
     diags.error("G002", obj, g.ops().front().name, "first op is not an Input",
                 "graphs must start with the image input");
   bool ids_ok = true;
+  for (std::size_t i = 0; i < g.ops().size(); ++i) {
+    const Op& op = g.ops()[i];
+    if (op.id != static_cast<int>(i)) {
+      diags.error("G008", obj, op.name,
+                  "op id " + std::to_string(op.id) + " does not match position " +
+                      std::to_string(i),
+                  "Graph::from_ops requires id == index; id-indexed lookups would read "
+                  "the wrong op");
+      ids_ok = false;
+    }
+  }
   for (const Op& op : g.ops()) {
     if (op.kind == OpKind::Input && !op.inputs.empty())
       diags.error("G002", obj, op.name, "Input op has producers");

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "dnn/report.hpp"
+#include "opt/memory_planner.hpp"
+#include "opt/passes.hpp"
 #include "util/units.hpp"
 
 namespace dnnperf::analysis {
@@ -89,6 +91,12 @@ void run_schedule_passes(const train::TrainConfig& cfg, const std::string& objec
   }
   if (cfg.batch_per_rank <= 0) {
     diags.error("S001", object, "batch_per_rank", "non-positive batch size");
+    sizes_ok = false;
+  }
+  if (cfg.opt_level < 0 || cfg.opt_level > 2) {
+    diags.error("S001", object, "opt_level",
+                "optimizer level " + std::to_string(cfg.opt_level) + " outside [0, 2]",
+                "0 = as built, 1 = elimination, 2 = elimination + fusion");
     sizes_ok = false;
   }
   if (!sizes_ok) return;
@@ -181,25 +189,61 @@ void run_schedule_passes(const train::TrainConfig& cfg, const std::string& objec
                  "batch " + std::to_string(cfg.batch_per_rank) + " is not a multiple of 8",
                  "SIMD lanes and GEMM blocking run partially empty on ragged batches");
 
-  // Memory fit. training_memory() is deliberately conservative (activations
-  // counted twice: forward + gradients, no buffer reuse); real frameworks
-  // reuse buffers, so warn only when even the reuse-optimistic footprint
-  // (a single activation copy) exceeds the budget.
-  const dnn::Graph graph = dnn::build_model(cfg.model);
-  const auto mem = dnn::training_memory(graph, cfg.batch_per_rank);
-  const double optimistic =
-      mem.weight_bytes + mem.gradient_bytes + mem.optimizer_bytes + mem.activation_bytes;
+  // Memory fit against the graph the run would actually execute: apply the
+  // same optimizer passes the trainer would (equivalence diagnostics for
+  // them surface through lint_config, not here).
+  dnn::Graph graph = dnn::build_model(cfg.model);
+  if (cfg.opt_level > 0) {
+    opt::OptOptions oo;
+    oo.level = cfg.opt_level;
+    oo.pass_mask = cfg.opt_pass_mask;
+    graph = opt::optimize(graph, oo).graph;
+  }
+  run_memory_passes(graph, cfg, object, diags);
+}
+
+void run_memory_passes(const dnn::Graph& graph, const train::TrainConfig& cfg,
+                       const std::string& object, util::Diagnostics& diags) {
+  if (cfg.batch_per_rank <= 0 || cfg.ppn <= 0) return;  // S001 already fired
   const double gib = 1024.0 * 1024.0 * 1024.0;
   const double budget = cfg.device == train::DeviceKind::Gpu && cfg.cluster.node.has_gpu()
                             ? cfg.cluster.node.gpu->memory_gib * gib
                             : cfg.cluster.node.memory_gib * gib / cfg.ppn;
-  if (budget > 0.0 && optimistic > budget) {
-    const int max_bs = dnn::max_batch_for_memory(graph, budget);
+  if (budget <= 0.0) return;  // P-codes already flagged the platform
+
+  // S008: the tensor-lifetime plan is the footprint a framework that reuses
+  // buffers optimally would need — weights, gradients, optimizer state, plus
+  // the greedily-colored activation/gradient slab. Exceeding the budget with
+  // this plan means no schedule-preserving allocator fits the run.
+  const opt::MemoryPlan plan = opt::plan_memory(graph, cfg.batch_per_rank);
+  if (plan.total_bytes() > budget) {
+    const int max_bs = opt::max_batch_for_plan(graph, budget);
     diags.warn("S008", object, "batch_per_rank",
-               "training footprint of at least " + std::to_string(optimistic / gib) +
-                   " GiB (with full buffer reuse) exceeds the per-rank budget " +
+               "tensor-lifetime memory plan of " + std::to_string(plan.total_bytes() / gib) +
+                   " GiB (" + std::to_string(plan.persistent_bytes() / gib) +
+                   " GiB persistent + " + std::to_string(plan.slab_bytes / gib) +
+                   " GiB activation slab) exceeds the per-rank budget " +
                    std::to_string(budget / gib) + " GiB",
-               "largest conservatively-sized per-rank batch: " + std::to_string(max_bs));
+               "largest per-rank batch the plan fits: " + std::to_string(max_bs));
+  }
+
+  // S013: cross-check the plan against the legacy reuse-optimistic estimate
+  // (single activation copy, no per-tensor lifetimes). The two models bound
+  // each other loosely; >2x divergence in either direction means one of them
+  // mis-states this graph.
+  const auto mem = dnn::training_memory(graph, cfg.batch_per_rank);
+  const double optimistic =
+      mem.weight_bytes + mem.gradient_bytes + mem.optimizer_bytes + mem.activation_bytes;
+  const double exact = plan.total_bytes();
+  if (optimistic > 0.0 && exact > 0.0) {
+    const double ratio = exact / optimistic;
+    if (ratio > 2.0 || ratio < 0.5)
+      diags.warn("S013", object, "batch_per_rank",
+                 "tensor-lifetime plan (" + std::to_string(exact / gib) +
+                     " GiB) and reuse-optimistic estimate (" + std::to_string(optimistic / gib) +
+                     " GiB) diverge " + std::to_string(ratio) + "x",
+                 "one of the two memory models mis-states this graph; trust neither "
+                 "until the divergence is explained");
   }
 }
 

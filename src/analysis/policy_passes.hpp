@@ -27,4 +27,13 @@ void run_policy_passes(const hvd::FusionPolicy& policy, const dnn::Graph* graph,
 void run_schedule_passes(const train::TrainConfig& config, const std::string& object,
                          util::Diagnostics& diags);
 
+/// Memory-fit subset of the S-codes (S008, S013), run against an explicit
+/// graph — the one the config would actually execute after optimization.
+/// S008 compares the tensor-lifetime memory plan (src/opt) against the
+/// per-rank budget; S013 cross-checks the plan against the legacy
+/// reuse-optimistic estimate and flags a >2x divergence. Exposed separately
+/// so tests can drive it with crafted graphs.
+void run_memory_passes(const dnn::Graph& graph, const train::TrainConfig& config,
+                       const std::string& object, util::Diagnostics& diags);
+
 }  // namespace dnnperf::analysis

@@ -23,6 +23,9 @@ const std::vector<PassInfo>& pass_registry() {
       {"G006", Severity::Error, "graph",
        "gradient tensor list inconsistent with the graph's parameter totals"},
       {"G007", Severity::Warn, "graph", "duplicate op name"},
+      {"G008", Severity::Error, "graph",
+       "op id does not match its position in the op vector (Graph::from_ops contract; "
+       "every id-indexed lookup would read the wrong op)"},
       // ---- platform passes -------------------------------------------------
       {"P001", Severity::Error, "platform",
        "non-positive socket, core, NUMA-domain, or hardware-thread count"},
@@ -64,7 +67,8 @@ const std::vector<PassInfo>& pass_registry() {
        "fusion threshold is over 4x the model's total gradient bytes (possible unit "
        "error; fusion tuning has no effect)"},
       // ---- schedule / run-configuration passes -----------------------------
-      {"S001", Severity::Error, "schedule", "non-positive nodes, ppn, or batch size"},
+      {"S001", Severity::Error, "schedule",
+       "non-positive nodes, ppn, or batch size, or optimizer level outside [0, 2]"},
       {"S002", Severity::Error, "schedule", "nodes exceed the cluster's size"},
       {"S003", Severity::Error, "schedule", "ppn exceeds the node's physical cores (CPU run)"},
       {"S004", Severity::Error, "schedule",
@@ -76,7 +80,8 @@ const std::vector<PassInfo>& pass_registry() {
       {"S007", Severity::Error, "schedule",
        "GPU run on a CPU-only cluster, or ppn exceeds GPUs per node"},
       {"S008", Severity::Warn, "schedule",
-       "conservative training memory footprint exceeds the per-rank memory budget"},
+       "tensor-lifetime memory plan (weights + gradients + optimizer state + planned "
+       "activation slab) exceeds the per-rank memory budget"},
       {"S009", Severity::Advice, "schedule",
        "no spare core for the Horovod progress thread (paper rule: intra-op = cores/ppn "
        "- 1)"},
@@ -87,6 +92,9 @@ const std::vector<PassInfo>& pass_registry() {
        "per-rank batch not a multiple of 8; SIMD and cache blocking run partially empty"},
       {"S012", Severity::Advice, "schedule",
        "TensorFlow inter-op threads off the paper's tuned rule (2 with SMT, 1 without)"},
+      {"S013", Severity::Warn, "schedule",
+       "reuse-optimistic footprint estimate diverges from the tensor-lifetime plan by "
+       "more than 2x (one of the two memory models is mis-stating this graph)"},
       // ---- advisor-request validation (core::AdvisorService) ---------------
       {"A001", Severity::Error, "advisor",
        "candidate grid is empty: no batch sizes to search (a silent empty search "
@@ -96,6 +104,19 @@ const std::vector<PassInfo>& pass_registry() {
       {"A003", Severity::Error, "advisor",
        "infeasible candidate value: non-positive batch/ppn, ppn above the GPUs per "
        "node, or a GPU search on a CPU-only cluster"},
+      // ---- graph-optimizer equivalence checker (src/opt) --------------------
+      {"O001", Severity::Error, "optimizer",
+       "rewritten graph fails structure or shape re-inference: broken ids/topology, "
+       "lost inputs, or op accounting inconsistent with its shape"},
+      {"O002", Severity::Error, "optimizer",
+       "declared RewriteLog deltas disagree with the actual change in graph totals "
+       "(params / FLOPs / activation bytes)"},
+      {"O003", Severity::Error, "optimizer",
+       "folded conv+BN weights diverge from the reference BN affine transform beyond "
+       "tolerance (unsound fusion; hint carries the minimal rewrite trace)"},
+      {"O004", Severity::Error, "optimizer",
+       "rewrite changed the model's observable interface (terminal output shape or "
+       "Input op count/shapes)"},
       // ---- metrics-registry passes -----------------------------------------
       {"M001", Severity::Error, "metrics",
        "metric name registered under more than one kind (duplicate registration)"},

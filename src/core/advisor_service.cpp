@@ -96,6 +96,14 @@ void validate_request(const AdvisorRequest& req) {
     if (ppn <= 0)
       diags.error("A003", object, "ppn_candidates",
                   "ppn candidate " + std::to_string(ppn) + " is not positive");
+  if (req.opt_levels.empty())
+    diags.error("A001", object, "opt_levels",
+                "candidate grid is empty: no optimizer levels to search",
+                "the default {0} probes the as-built graph only");
+  for (const int level : req.opt_levels)
+    if (level < 0 || level > 2)
+      diags.error("A003", object, "opt_levels",
+                  "optimizer level " + std::to_string(level) + " outside [0, 2]");
   if (req.device == train::DeviceKind::Gpu) {
     if (!req.cluster.node.has_gpu()) {
       diags.error("A003", object, "device", "GPU search on a CPU-only cluster",
@@ -151,19 +159,22 @@ std::vector<train::TrainConfig> AdvisorService::plan_grid(const AdvisorRequest& 
     for (const int intra : intras) {
       for (const int inter : inters) {
         for (const int bs : req.batch_candidates) {
-          train::TrainConfig cfg;
-          cfg.cluster = req.cluster;
-          cfg.model = req.model;
-          cfg.framework = req.framework;
-          cfg.device = req.device;
-          cfg.nodes = req.nodes;
-          cfg.ppn = ppn;
-          cfg.intra_threads = intra;
-          cfg.inter_threads = inter;
-          cfg.batch_per_rank = bs;
-          cfg.policy = req.policy;
-          cfg.use_horovod = req.nodes * ppn > 1;
-          grid.push_back(std::move(cfg));
+          for (const int level : req.opt_levels) {
+            train::TrainConfig cfg;
+            cfg.cluster = req.cluster;
+            cfg.model = req.model;
+            cfg.framework = req.framework;
+            cfg.device = req.device;
+            cfg.nodes = req.nodes;
+            cfg.ppn = ppn;
+            cfg.intra_threads = intra;
+            cfg.inter_threads = inter;
+            cfg.batch_per_rank = bs;
+            cfg.policy = req.policy;
+            cfg.use_horovod = req.nodes * ppn > 1;
+            cfg.opt_level = level;
+            grid.push_back(std::move(cfg));
+          }
         }
       }
     }
@@ -344,6 +355,9 @@ std::vector<ScalingPoint> AdvisorService::scaling_curve(const ScalingRequest& re
   if (req.batch_per_rank <= 0)
     diags.error("A003", object, "batch_per_rank",
                 "batch " + std::to_string(req.batch_per_rank) + " is not positive");
+  if (req.opt_level < 0 || req.opt_level > 2)
+    diags.error("A003", object, "opt_level",
+                "optimizer level " + std::to_string(req.opt_level) + " outside [0, 2]");
   if (diags.has_errors())
     throw std::invalid_argument("AdvisorService: invalid scaling request\n" +
                                 util::render_text(diags));
@@ -370,6 +384,7 @@ std::vector<ScalingPoint> AdvisorService::scaling_curve(const ScalingRequest& re
     cfg.use_horovod = nodes[i] * req.ppn > 1;
     cfg.hierarchy = req.hierarchy;
     cfg.per_rank_sim = req.per_rank_sim;
+    cfg.opt_level = req.opt_level;
     curve[i].config = std::move(cfg);
     curve[i].nodes = nodes[i];
     curve[i].ranks = nodes[i] * req.ppn;

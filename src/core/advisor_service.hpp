@@ -54,6 +54,11 @@ struct AdvisorRequest {
   /// Candidate ppn values; empty = power-of-two divisors of the core count
   /// (CPU) or of the GPUs per node (GPU), plus the full count.
   std::vector<int> ppn_candidates;
+  /// Graph-optimizer levels to sweep as a grid dimension (each must be in
+  /// [0, 2], A003). Default probes only the as-built graph; add 1/2 to ask
+  /// "what does verified fusion buy on this platform?" alongside the thread
+  /// and batch knobs.
+  std::vector<int> opt_levels{0};
   /// Horovod tuning applied to every grid point.
   hvd::FusionPolicy policy;
   /// Build the full search TextTable in the reply. Off by default: rendering
@@ -89,6 +94,8 @@ struct ScalingRequest {
   hvd::FusionPolicy policy;
   /// Collective hierarchy priced at every point (the --hierarchy knob).
   train::CommHierarchy hierarchy = train::CommHierarchy::Flat;
+  /// Graph-optimizer level applied at every point (0-2, A003).
+  int opt_level = 0;
   /// Simulate every rank explicitly through the pooled event engine, which
   /// also fills the sim_events/sim_pool_slots fields of each point.
   bool per_rank_sim = false;

@@ -84,6 +84,7 @@ std::uint64_t graph_fingerprint(const dnn::Graph& graph) {
     h.mix(static_cast<int>(op.kind));
     h.mix(op.out.c).mix(op.out.h).mix(op.out.w);
     h.mix(op.fwd_flops).mix(op.bwd_flops).mix(op.params).mix(op.output_bytes);
+    h.mix(op.has_bias);
     h.mix(static_cast<std::uint64_t>(op.inputs.size()));
     for (const int in : op.inputs) h.mix(in);
   }
@@ -146,6 +147,8 @@ std::uint64_t config_key(const train::TrainConfig& config) {
   h.mix(config.validate_memory);
   h.mix(config.per_rank_sim);
   h.mix(static_cast<int>(config.hierarchy));
+  h.mix(config.opt_level);
+  h.mix(static_cast<std::uint64_t>(config.opt_pass_mask));
   return h.digest();
 }
 

@@ -1,6 +1,7 @@
 #include "dnn/graph.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace dnnperf::dnn {
@@ -40,6 +41,13 @@ int conv_out_dim(int in, int k, int stride, int pad) {
 Graph::Graph(std::string name) : name_(std::move(name)) {}
 
 Graph Graph::from_ops(std::string name, std::vector<Op> ops) {
+#ifndef NDEBUG
+  // Cheap debug-build guard: the dataflow passes index ops_ by id, so a
+  // mismatched id corrupts every downstream analysis. Release builds defer
+  // to the G008 lint pass, which reports instead of aborting.
+  for (std::size_t i = 0; i < ops.size(); ++i)
+    assert(ops[i].id == static_cast<int>(i) && "Graph::from_ops: op id != position");
+#endif
   Graph g(std::move(name));
   g.ops_ = std::move(ops);
   return g;
@@ -81,6 +89,7 @@ int Graph::conv2d(const std::string& name, int in, int out_c, int kh, int kw, in
   // Backward = data gradient + weight gradient, each ~ one forward conv.
   op.bwd_flops = 2.0 * op.fwd_flops;
   op.params = in_per_group * kh * kw * out_c + (bias ? out_c : 0.0);
+  op.has_bias = bias;
   return push(std::move(op));
 }
 
@@ -95,6 +104,7 @@ int Graph::matmul(const std::string& name, int in, int out_features, bool bias) 
   op.fwd_flops = 2.0 * in_features * out_features + (bias ? out_features : 0.0);
   op.bwd_flops = 2.0 * op.fwd_flops;
   op.params = in_features * out_features + (bias ? out_features : 0.0);
+  op.has_bias = bias;
   return push(std::move(op));
 }
 

@@ -50,6 +50,7 @@ struct Op {
   double bwd_flops = 0.0;    ///< per image
   double params = 0.0;       ///< trainable parameter count
   double output_bytes = 0.0; ///< per image, fp32
+  bool has_bias = false;     ///< Conv2d/MatMul: params include a per-channel bias
 
   bool has_params() const { return params > 0.0; }
 };
@@ -60,7 +61,9 @@ class Graph {
 
   /// Reconstructs a graph from externally produced ops (deserialization,
   /// broken-fixture tests). Ops are taken verbatim — no shape inference and
-  /// no checking; run validate() or the analysis passes on the result.
+  /// no checking beyond a debug-build assert that ids match positions; run
+  /// validate() or the analysis passes (G008 flags non-topological order)
+  /// on the result.
   static Graph from_ops(std::string name, std::vector<Op> ops);
 
   const std::string& name() const { return name_; }

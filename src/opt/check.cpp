@@ -1,0 +1,250 @@
+#include "opt/check.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dnnperf::opt {
+
+namespace {
+
+using dnn::Graph;
+using dnn::Op;
+using dnn::OpKind;
+using dnn::Shape;
+
+bool same_shape(const Shape& a, const Shape& b) {
+  return a.c == b.c && a.h == b.h && a.w == b.w;
+}
+
+std::string shape_str(const Shape& s) {
+  return std::to_string(s.c) + "x" + std::to_string(s.h) + "x" + std::to_string(s.w);
+}
+
+std::string fmt(double v) { return std::to_string(v); }
+
+/// O001 part 1: id/topology invariants. Returns false when per-op lookups
+/// below would be unsafe.
+bool check_structure(const Graph& g, const std::string& pass, util::Diagnostics& diags) {
+  const std::string& obj = g.name();
+  const std::string prefix = "after pass '" + pass + "': ";
+  if (g.size() == 0) {
+    diags.error("O001", obj, "", prefix + "rewritten graph has no ops");
+    return false;
+  }
+  bool ids_ok = true;
+  for (int i = 0; i < g.size(); ++i) {
+    const Op& op = g.ops()[static_cast<std::size_t>(i)];
+    if (op.id != i) {
+      diags.error("O001", obj, op.name,
+                  prefix + "op id " + std::to_string(op.id) + " does not match position " +
+                      std::to_string(i),
+                  "the pass's compaction remapped ids inconsistently");
+      ids_ok = false;
+    }
+    for (int in : op.inputs)
+      if (in < 0 || in >= i) {
+        diags.error("O001", obj, op.name,
+                    prefix + "input id " + std::to_string(in) +
+                        " out of range or not topological");
+        ids_ok = false;
+      }
+    if (op.kind == OpKind::Input && !op.inputs.empty())
+      diags.error("O001", obj, op.name, prefix + "Input op has producers");
+    if (op.kind != OpKind::Input && op.inputs.empty())
+      diags.error("O001", obj, op.name, prefix + "non-Input op lost all of its inputs",
+                  "a removed producer was not redirected");
+  }
+  if (g.ops().front().kind != OpKind::Input)
+    diags.error("O001", obj, g.ops().front().name, prefix + "first op is not an Input");
+  return ids_ok;
+}
+
+/// O001 part 2: shape-inference re-run over everything derivable from the
+/// stored ops, plus numeric sanity of the per-op accounting.
+void check_shapes(const Graph& g, const std::string& pass, util::Diagnostics& diags) {
+  const std::string& obj = g.name();
+  const std::string prefix = "after pass '" + pass + "': ";
+  for (const Op& op : g.ops()) {
+    if (op.out.c <= 0 || op.out.h <= 0 || op.out.w <= 0) {
+      diags.error("O001", obj, op.name,
+                  prefix + "non-positive output shape " + shape_str(op.out));
+      continue;
+    }
+    const double fields[] = {op.fwd_flops, op.bwd_flops, op.params, op.output_bytes};
+    const char* names[] = {"fwd_flops", "bwd_flops", "params", "output_bytes"};
+    for (int i = 0; i < 4; ++i)
+      if (!std::isfinite(fields[i]) || fields[i] < 0.0)
+        diags.error("O001", obj, op.name,
+                    prefix + std::string(names[i]) + " is negative or non-finite");
+    if (std::abs(op.output_bytes - op.out.elements() * 4.0) > 0.5)
+      diags.error("O001", obj, op.name,
+                  prefix + "output_bytes " + fmt(op.output_bytes) +
+                      " disagrees with fp32 shape bytes " + fmt(op.out.elements() * 4.0));
+    if (op.inputs.empty()) continue;
+    const Shape& in0 = g.op(op.inputs.front()).out;
+    switch (op.kind) {
+      case OpKind::BatchNorm:
+      case OpKind::ReLU:
+      case OpKind::Softmax:
+      case OpKind::Dropout:
+        if (!same_shape(op.out, in0))
+          diags.error("O001", obj, op.name,
+                      prefix + "elementwise op output " + shape_str(op.out) +
+                          " differs from input " + shape_str(in0));
+        break;
+      case OpKind::Add:
+        for (int in : op.inputs)
+          if (!same_shape(op.out, g.op(in).out))
+            diags.error("O001", obj, op.name,
+                        prefix + "Add output " + shape_str(op.out) + " differs from input " +
+                            shape_str(g.op(in).out));
+        break;
+      case OpKind::Concat: {
+        int channels = 0;
+        for (int in : op.inputs) {
+          const Shape& s = g.op(in).out;
+          channels += s.c;
+          if (s.h != op.out.h || s.w != op.out.w)
+            diags.error("O001", obj, op.name,
+                        prefix + "Concat input " + shape_str(s) +
+                            " spatial dims differ from output " + shape_str(op.out));
+        }
+        if (channels != op.out.c)
+          diags.error("O001", obj, op.name,
+                      prefix + "Concat output channels " + std::to_string(op.out.c) +
+                          " != sum of input channels " + std::to_string(channels));
+        break;
+      }
+      case OpKind::GlobalAvgPool:
+        if (op.out.c != in0.c || op.out.h != 1 || op.out.w != 1)
+          diags.error("O001", obj, op.name,
+                      prefix + "GlobalAvgPool output " + shape_str(op.out) + " should be " +
+                          std::to_string(in0.c) + "x1x1");
+        break;
+      case OpKind::MaxPool:
+      case OpKind::AvgPool:
+        if (op.out.c != in0.c)
+          diags.error("O001", obj, op.name,
+                      prefix + "pooling changed channel count " + std::to_string(in0.c) +
+                          " -> " + std::to_string(op.out.c));
+        break;
+      case OpKind::MatMul:
+      case OpKind::Conv2d:
+      case OpKind::Input:
+        break;  // geometry not reconstructible / no inputs to compare
+    }
+  }
+}
+
+/// O002: the actual change in every aggregate total must equal the sum of
+/// the pass's declared deltas — exactly, up to fp round-off in the sums.
+void check_accounting(const Graph& before, const Graph& after, const RewriteLog& stage,
+                      const std::string& pass, util::Diagnostics& diags) {
+  struct Metric {
+    const char* name;
+    double before;
+    double after;
+    double declared;
+  };
+  const Metric metrics[] = {
+      {"params", before.total_params(), after.total_params(), stage.d_params()},
+      {"fwd_flops", before.total_fwd_flops(), after.total_fwd_flops(), stage.d_fwd_flops()},
+      {"bwd_flops", before.total_bwd_flops(), after.total_bwd_flops(), stage.d_bwd_flops()},
+      {"activation_bytes", before.total_activation_bytes(), after.total_activation_bytes(),
+       stage.d_activation_bytes()},
+  };
+  for (const Metric& m : metrics) {
+    const double actual = m.after - m.before;
+    const double tol = 1e-6 * std::max(1.0, std::abs(m.before));
+    if (std::abs(actual - m.declared) > tol)
+      diags.error("O002", after.name(), m.name,
+                  "pass '" + pass + "' declared a " + m.name + " delta of " + fmt(m.declared) +
+                      " but the totals changed by " + fmt(actual),
+                  "the RewriteLog misstates the pass's effect; every accounting consumer "
+                  "(exec model, memory planner, Horovod sizing) would drift");
+  }
+}
+
+/// O003: re-derive the BN-after-conv affine composition from each fold
+/// sample's inputs and compare against what the pass folded. The fold is
+/// affine per channel, so agreement at two probe points implies agreement
+/// at every activation value.
+void check_folds(const Graph& before, const RewriteLog& stage, double tolerance,
+                 util::Diagnostics& diags) {
+  for (const Rewrite& rw : stage.rewrites) {
+    for (const FoldSample& fs : rw.folds) {
+      const double inv_std = 1.0 / std::sqrt(fs.var + fs.eps);
+      bool bad = false;
+      double probe_ref = 0.0;
+      double probe_got = 0.0;
+      for (const double y : {0.0, 1.0}) {
+        const double ref = fs.gamma * ((y + fs.conv_bias) - fs.mean) * inv_std + fs.beta;
+        const double got = fs.scale * y + fs.bias;
+        if (std::abs(ref - got) > tolerance * std::max(1.0, std::abs(ref))) {
+          bad = true;
+          probe_ref = ref;
+          probe_got = got;
+        }
+      }
+      if (!bad) continue;
+      std::string trace = "rewrite trace: " + rw.pass + ", " + rw.detail + ", channel " +
+                          std::to_string(fs.channel) + ": folded (scale=" + fmt(fs.scale) +
+                          ", bias=" + fmt(fs.bias) + ") vs reference BN(gamma=" +
+                          fmt(fs.gamma) + ", beta=" + fmt(fs.beta) + ", mean=" + fmt(fs.mean) +
+                          ", var=" + fmt(fs.var) + ", conv_bias=" + fmt(fs.conv_bias) + ")";
+      diags.error("O003", before.name(), rw.pass,
+                  "folded weights diverge from the BN reference: got " + fmt(probe_got) +
+                      ", expected " + fmt(probe_ref),
+                  std::move(trace));
+    }
+  }
+}
+
+/// O004: the rewrite must not change what the model consumes or produces.
+void check_interface(const Graph& before, const Graph& after, const std::string& pass,
+                     util::Diagnostics& diags) {
+  const std::string prefix = "after pass '" + pass + "': ";
+  if (before.size() == 0 || after.size() == 0) return;  // O001 already fired
+  const Shape& tb = before.ops().back().out;
+  const Shape& ta = after.ops().back().out;
+  if (!same_shape(tb, ta))
+    diags.error("O004", after.name(), after.ops().back().name,
+                prefix + "terminal output shape changed " + shape_str(tb) + " -> " +
+                    shape_str(ta),
+                "a rewrite may never alter what the model predicts");
+  std::vector<Shape> in_before;
+  std::vector<Shape> in_after;
+  for (const Op& op : before.ops())
+    if (op.kind == OpKind::Input) in_before.push_back(op.out);
+  for (const Op& op : after.ops())
+    if (op.kind == OpKind::Input) in_after.push_back(op.out);
+  if (in_before.size() != in_after.size()) {
+    diags.error("O004", after.name(), "inputs",
+                prefix + std::to_string(in_before.size()) + " Input ops became " +
+                    std::to_string(in_after.size()));
+  } else {
+    for (std::size_t i = 0; i < in_before.size(); ++i)
+      if (!same_shape(in_before[i], in_after[i]))
+        diags.error("O004", after.name(), "inputs",
+                    prefix + "Input shape changed " + shape_str(in_before[i]) + " -> " +
+                        shape_str(in_after[i]));
+  }
+}
+
+}  // namespace
+
+void check_rewrite(const Graph& before, const Graph& after, const RewriteLog& stage,
+                   double fold_tolerance, util::Diagnostics& diags) {
+  const std::string pass = stage.rewrites.empty() ? "?" : stage.rewrites.front().pass;
+  const bool ids_ok = check_structure(after, pass, diags);
+  if (ids_ok) {
+    check_shapes(after, pass, diags);
+    check_interface(before, after, pass, diags);
+  }
+  check_accounting(before, after, stage, pass, diags);
+  check_folds(before, stage, fold_tolerance, diags);
+}
+
+}  // namespace dnnperf::opt

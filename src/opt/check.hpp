@@ -1,0 +1,32 @@
+// Equivalence checker for graph rewrites: every pass's output is verified
+// against its input before the optimizer accepts it. Violations render as
+// O0xx diagnostics through util/diag (dnnperf_lint --optimize, the
+// core::Experiment lint gate):
+//
+//   O001  rewritten graph fails structural/shape re-inference — op ids out
+//         of position, non-topological inputs, elementwise shape drift,
+//         byte/shape accounting mismatch;
+//   O002  the pass's declared accounting deltas (RewriteLog) do not match
+//         the actual change in parameter/FLOP/activation totals;
+//   O003  folded conv+BN weights numerically diverge from the reference
+//         affine composition (the hint carries a minimal rewrite trace);
+//   O004  the rewrite changed the graph's observable interface: input or
+//         terminal output shapes.
+//
+// The structural re-check is self-contained (no dependency on
+// src/analysis, which sits above this module and itself calls optimize()).
+#pragma once
+
+#include "dnn/graph.hpp"
+#include "opt/passes.hpp"
+#include "util/diag.hpp"
+
+namespace dnnperf::opt {
+
+/// Verifies one pass stage: `after` must be a sound rewrite of `before`
+/// per the rewrites recorded in `stage`. Appends O0xx findings to `diags`;
+/// a clean stage appends nothing.
+void check_rewrite(const dnn::Graph& before, const dnn::Graph& after, const RewriteLog& stage,
+                   double fold_tolerance, util::Diagnostics& diags);
+
+}  // namespace dnnperf::opt

@@ -1,0 +1,167 @@
+#include "opt/dataflow.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace dnnperf::opt {
+
+using dnn::Graph;
+using dnn::Op;
+using dnn::OpKind;
+
+UseDef build_use_def(const Graph& g) {
+  const int n = g.size();
+  UseDef ud;
+  ud.consumers = g.consumers();
+  ud.terminal = n - 1;
+  ud.from_input.assign(static_cast<std::size_t>(n), 0);
+  ud.to_terminal.assign(static_cast<std::size_t>(n), 0);
+  if (n == 0) return ud;
+
+  // Forward cone: Input ops are sources; one topological sweep suffices.
+  for (const Op& op : g.ops()) {
+    const auto i = static_cast<std::size_t>(op.id);
+    if (op.kind == OpKind::Input) {
+      ud.from_input[i] = 1;
+      continue;
+    }
+    for (int in : op.inputs)
+      if (in >= 0 && in < op.id && ud.from_input[static_cast<std::size_t>(in)]) {
+        ud.from_input[i] = 1;
+        break;
+      }
+  }
+
+  // Backward cone: ancestors of the terminal op, one reverse sweep.
+  ud.to_terminal[static_cast<std::size_t>(ud.terminal)] = 1;
+  for (int id = ud.terminal; id >= 0; --id) {
+    if (!ud.to_terminal[static_cast<std::size_t>(id)]) continue;
+    for (int in : g.op(id).inputs)
+      if (in >= 0 && in < id) ud.to_terminal[static_cast<std::size_t>(in)] = 1;
+  }
+  return ud;
+}
+
+bool backward_reads_input(dnn::OpKind kind) {
+  switch (kind) {
+    case OpKind::Conv2d:     // weight gradient = dY * X
+    case OpKind::MatMul:
+    case OpKind::BatchNorm:  // batch statistics / x_hat
+    case OpKind::MaxPool:    // argmax routing
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool backward_reads_output(dnn::OpKind kind) {
+  switch (kind) {
+    case OpKind::ReLU:     // sign mask
+    case OpKind::Softmax:  // jacobian is a function of the output
+    case OpKind::Dropout:  // kept-element mask (stored with the output)
+      return true;
+    default:
+      return false;
+  }
+}
+
+Liveness compute_liveness(const Graph& g, const UseDef& ud) {
+  const int n = g.size();
+  Liveness lv;
+  lv.ticks = 2 * n;
+  if (n == 0) return lv;
+  const int last_tick = 2 * n - 1;
+  const auto bwd_tick = [last_tick](int id) { return last_tick - id; };
+
+  // In-place aliasing: an elementwise op may overwrite its single producer's
+  // buffer when nobody else reads that buffer afterward — the producer has
+  // no other consumer and its backward does not re-read its (overwritten)
+  // output. The graph input is never overwritten: the data pipeline owns
+  // that batch.
+  std::vector<int> buffer(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) buffer[static_cast<std::size_t>(i)] = i;
+  for (const Op& op : g.ops()) {
+    if (op.kind != OpKind::ReLU && op.kind != OpKind::Dropout) continue;
+    if (op.inputs.size() != 1) continue;
+    const int p = op.inputs.front();
+    if (p < 0 || p >= op.id) continue;
+    const Op& prod = g.op(p);
+    if (prod.kind == OpKind::Input) continue;
+    if (ud.consumers[static_cast<std::size_t>(p)].size() != 1) continue;
+    if (backward_reads_output(prod.kind)) continue;
+    if (op.output_bytes != prod.output_bytes) continue;
+    buffer[static_cast<std::size_t>(op.id)] = buffer[static_cast<std::size_t>(p)];
+  }
+
+  // Raw last use of each op's activation on the 2n clock.
+  std::vector<int> act_last(static_cast<std::size_t>(n), 0);
+  for (const Op& op : g.ops()) {
+    int last = op.id;
+    for (int c : ud.consumers[static_cast<std::size_t>(op.id)]) {
+      last = std::max(last, c);
+      if (backward_reads_input(g.op(c).kind)) last = std::max(last, bwd_tick(c));
+    }
+    if (backward_reads_output(op.kind)) last = std::max(last, bwd_tick(op.id));
+    // The loss gradient is computed from the prediction at the terminal's
+    // backward tick.
+    if (op.id == ud.terminal) last = std::max(last, bwd_tick(op.id));
+    act_last[static_cast<std::size_t>(op.id)] = last;
+  }
+  // Aliased chains extend their representative buffer's interval.
+  std::vector<int> rep_last = act_last;
+  for (int i = 0; i < n; ++i) {
+    const int rep = buffer[static_cast<std::size_t>(i)];
+    if (rep != i)
+      rep_last[static_cast<std::size_t>(rep)] =
+          std::max(rep_last[static_cast<std::size_t>(rep)], act_last[static_cast<std::size_t>(i)]);
+  }
+
+  for (const Op& op : g.ops()) {
+    TensorLife t;
+    t.op = op.id;
+    t.def = op.id;
+    t.bytes = op.output_bytes;
+    t.aliased = buffer[static_cast<std::size_t>(op.id)] != op.id;
+    t.last_use = t.aliased ? act_last[static_cast<std::size_t>(op.id)]
+                           : rep_last[static_cast<std::size_t>(op.id)];
+    lv.tensors.push_back(t);
+  }
+
+  // Activation gradients dY_i: the backward of op i's latest consumer writes
+  // the first contribution; op i's own backward consumes the accumulated
+  // sum. The terminal's gradient is born at its own backward tick (loss).
+  // No dX is produced for Input ops.
+  for (const Op& op : g.ops()) {
+    if (op.kind == OpKind::Input) continue;
+    TensorLife t;
+    t.op = op.id;
+    t.is_gradient = true;
+    t.last_use = bwd_tick(op.id);
+    t.def = t.last_use;
+    for (int c : ud.consumers[static_cast<std::size_t>(op.id)])
+      t.def = std::min(t.def, bwd_tick(c));
+    t.bytes = op.output_bytes;
+    lv.tensors.push_back(t);
+  }
+
+  // Interval sweep for the live-bytes profile and its peak.
+  std::vector<double> delta(static_cast<std::size_t>(2 * n + 1), 0.0);
+  for (const TensorLife& t : lv.tensors) {
+    if (t.aliased) continue;
+    delta[static_cast<std::size_t>(t.def)] += t.bytes;
+    delta[static_cast<std::size_t>(t.last_use) + 1] -= t.bytes;
+  }
+  lv.live_at_tick.assign(static_cast<std::size_t>(2 * n), 0.0);
+  double running = 0.0;
+  for (int tick = 0; tick < 2 * n; ++tick) {
+    running += delta[static_cast<std::size_t>(tick)];
+    lv.live_at_tick[static_cast<std::size_t>(tick)] = running;
+    if (running > lv.peak_bytes) {
+      lv.peak_bytes = running;
+      lv.peak_tick = tick;
+    }
+  }
+  return lv;
+}
+
+}  // namespace dnnperf::opt

@@ -1,0 +1,76 @@
+// Dataflow analyses over dnn::Graph: use-def chains, reachability cones in
+// both directions, and per-tensor liveness intervals on the canonical
+// training schedule. Pure analyses — the rewrite passes (opt/passes.hpp)
+// and the memory planner (opt/memory_planner.hpp) consume them; nothing
+// here mutates a graph.
+//
+// Schedule model: a training step over an n-op graph runs 2n ticks. Ops are
+// stored topologically, so forward of op i executes at tick i and backward
+// of op i at tick 2n-1-i (backward visits ops in reverse). Every tensor's
+// lifetime is an inclusive interval [def, last_use] on this clock:
+//
+//   activation A_i   def at i, read by forward consumers, by backward of
+//                    consumers that re-read their input (conv, BN, ...),
+//                    and by op i's own backward when its kind re-reads its
+//                    output (ReLU mask, softmax);
+//   gradient dY_i    first written by the backward of op i's latest
+//                    consumer, consumed by op i's own backward.
+//
+// Weight gradients are persistent (they live until the optimizer step and
+// never free mid-iteration); they are accounted by the planner, not as
+// intervals here.
+#pragma once
+
+#include <vector>
+
+#include "dnn/graph.hpp"
+
+namespace dnnperf::opt {
+
+/// Use-def structure: consumers of every op plus both reachability cones.
+struct UseDef {
+  std::vector<std::vector<int>> consumers;  ///< inverse edges, index = op id
+  std::vector<char> from_input;   ///< reachable from op 0 (the graph input)
+  std::vector<char> to_terminal;  ///< reaches the terminal (last) op
+  int terminal = -1;
+
+  /// An op contributes to the model's output iff both cones cover it.
+  bool contributes(int id) const {
+    return from_input[static_cast<std::size_t>(id)] != 0 &&
+           to_terminal[static_cast<std::size_t>(id)] != 0;
+  }
+};
+
+UseDef build_use_def(const dnn::Graph& graph);
+
+/// Whether the backward of `kind` re-reads its forward input (conv/matmul
+/// weight gradients, BN statistics, maxpool argmax) or its forward output
+/// (ReLU mask, softmax jacobian, dropout mask).
+bool backward_reads_input(dnn::OpKind kind);
+bool backward_reads_output(dnn::OpKind kind);
+
+/// One tensor interval on the 2n-tick clock. Bytes are per image.
+struct TensorLife {
+  int op = -1;               ///< producing op (activation) or the op whose
+                             ///< output gradient this is
+  bool is_gradient = false;  ///< activation gradient dY_op
+  int def = 0;
+  int last_use = 0;
+  double bytes = 0.0;
+  /// In-place elementwise op whose output shares its producer's buffer
+  /// (contributes no bytes of its own; it extends the producer's interval).
+  bool aliased = false;
+};
+
+struct Liveness {
+  int ticks = 0;
+  std::vector<TensorLife> tensors;
+  /// Live (non-aliased) bytes at each tick; peak across the step, per image.
+  std::vector<double> live_at_tick;
+  double peak_bytes = 0.0;
+  int peak_tick = 0;
+};
+
+Liveness compute_liveness(const dnn::Graph& graph, const UseDef& ud);
+
+}  // namespace dnnperf::opt

@@ -1,0 +1,16 @@
+#include "opt/fold.hpp"
+
+#include <cmath>
+
+namespace dnnperf::opt {
+
+BnFold fold_bn(double gamma, double beta, double mean, double var, double eps,
+               double conv_bias) {
+  const double inv_std = 1.0 / std::sqrt(var + eps);
+  BnFold fold;
+  fold.scale = gamma * inv_std;
+  fold.bias = beta + fold.scale * (conv_bias - mean);
+  return fold;
+}
+
+}  // namespace dnnperf::opt

@@ -1,0 +1,28 @@
+// BatchNorm-fold arithmetic, shared by the graph rewriter (per-channel
+// evidence samples in FuseConvBn rewrites, re-derived independently by the
+// equivalence checker) and by the ref-trainer fusion bench (folding real
+// conv/BN tensors).
+//
+// BatchNorm after a convolution is an affine map per output channel:
+//   BN(y) = gamma * (y - mu) / sqrt(var + eps) + beta,   y = conv(x) + b
+// so it folds into the conv exactly:
+//   s  = gamma / sqrt(var + eps)
+//   W' = s * W
+//   b' = beta + s * (b - mu)
+#pragma once
+
+namespace dnnperf::opt {
+
+/// Per-channel fold result: every weight of the channel is multiplied by
+/// `scale`, and `bias` replaces the channel's conv bias.
+struct BnFold {
+  double scale = 1.0;
+  double bias = 0.0;
+};
+
+/// `conv_bias` is 0 when the convolution had no bias term (the fold then
+/// materializes one).
+BnFold fold_bn(double gamma, double beta, double mean, double var, double eps,
+               double conv_bias);
+
+}  // namespace dnnperf::opt

@@ -1,0 +1,88 @@
+#include "opt/memory_planner.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+
+namespace dnnperf::opt {
+
+namespace {
+
+struct Slot {
+  double bytes = 0.0;   // per image
+  int busy_until = -1;  // inclusive tick of the last assigned interval
+};
+
+}  // namespace
+
+MemoryPlan plan_memory(const dnn::Graph& graph, int batch) {
+  MemoryPlan plan;
+  plan.batch = batch;
+  plan.weight_bytes = graph.total_params() * 4.0;
+  plan.gradient_bytes = plan.weight_bytes;
+  plan.optimizer_bytes = plan.weight_bytes;  // one momentum slot
+
+  const UseDef ud = build_use_def(graph);
+  const Liveness lv = compute_liveness(graph, ud);
+  plan.peak_live_bytes = lv.peak_bytes * batch;
+  plan.peak_tick = lv.peak_tick;
+  plan.slot_of.assign(lv.tensors.size(), -1);
+
+  // Liveness tensors are already in ascending def order (activations by op
+  // id, then gradients by descending op id = ascending def); sort an index
+  // view anyway so the scan never depends on that layout.
+  std::vector<std::size_t> order(lv.tensors.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (lv.tensors[a].def != lv.tensors[b].def) return lv.tensors[a].def < lv.tensors[b].def;
+    return a < b;
+  });
+
+  std::vector<Slot> slots;
+  for (const std::size_t t : order) {
+    const TensorLife& life = lv.tensors[t];
+    if (life.aliased || life.bytes <= 0.0) continue;
+    // Best fit among free slots: the smallest one that already holds the
+    // tensor; failing that, the largest free slot, grown to size (growing
+    // the biggest candidate wastes the least new memory).
+    int best_fitting = -1;
+    int best_growable = -1;
+    for (int s = 0; s < static_cast<int>(slots.size()); ++s) {
+      const Slot& slot = slots[static_cast<std::size_t>(s)];
+      if (slot.busy_until >= life.def) continue;  // overlapping interval
+      if (slot.bytes >= life.bytes) {
+        if (best_fitting < 0 ||
+            slot.bytes < slots[static_cast<std::size_t>(best_fitting)].bytes)
+          best_fitting = s;
+      } else if (best_growable < 0 ||
+                 slot.bytes > slots[static_cast<std::size_t>(best_growable)].bytes) {
+        best_growable = s;
+      }
+    }
+    int chosen = best_fitting >= 0 ? best_fitting : best_growable;
+    if (chosen < 0) {
+      slots.push_back(Slot{});
+      chosen = static_cast<int>(slots.size()) - 1;
+    }
+    Slot& slot = slots[static_cast<std::size_t>(chosen)];
+    slot.bytes = std::max(slot.bytes, life.bytes);
+    slot.busy_until = life.last_use;
+    plan.slot_of[t] = chosen;
+  }
+
+  plan.slot_bytes.reserve(slots.size());
+  for (const Slot& slot : slots) {
+    plan.slot_bytes.push_back(slot.bytes * batch);
+    plan.slab_bytes += slot.bytes * batch;
+  }
+  return plan;
+}
+
+int max_batch_for_plan(const dnn::Graph& graph, double memory_bytes) {
+  const MemoryPlan one = plan_memory(graph, 1);
+  if (one.total_bytes() > memory_bytes) return 0;
+  if (one.slab_bytes <= 0.0) return std::numeric_limits<int>::max();
+  return static_cast<int>((memory_bytes - one.persistent_bytes()) / one.slab_bytes);
+}
+
+}  // namespace dnnperf::opt

@@ -1,0 +1,57 @@
+// Tensor-lifetime memory planner: greedy interval-graph coloring of the
+// liveness intervals (opt/dataflow.hpp) over reusable activation slots —
+// the exact per-rank training footprint that replaces S008's
+// reuse-optimistic estimate.
+//
+// Two tensors may share a slot iff their [def, last_use] intervals are
+// disjoint on the 2n-tick schedule. Tensors are colored in def order
+// (equivalent to the optimal left-edge scan for slot COUNT; slot BYTES are
+// assigned best-fit with growth, a greedy bound within a small constant of
+// the peak). All per-tensor bytes scale uniformly with the batch, so the
+// coloring is batch-invariant and the plan is computed per image and
+// scaled.
+#pragma once
+
+#include <vector>
+
+#include "dnn/graph.hpp"
+#include "opt/dataflow.hpp"
+
+namespace dnnperf::opt {
+
+struct MemoryPlan {
+  int batch = 1;
+  /// Slot sizes in bytes, batch-scaled; slot_of[t] indexes the liveness
+  /// tensor list (-1 for aliased tensors, which occupy their producer's
+  /// slot).
+  std::vector<double> slot_bytes;
+  std::vector<int> slot_of;
+
+  /// Bytes of the activation/gradient slab the slots add up to (what a
+  /// framework arena would actually reserve), batch-scaled.
+  double slab_bytes = 0.0;
+  /// Liveness lower bound on any slab (peak simultaneously-live bytes).
+  double peak_live_bytes = 0.0;
+  int peak_tick = 0;
+
+  /// Parameter-proportional state: fp32 weights, gradients, one momentum
+  /// slot (matches dnn::training_memory's persistent terms).
+  double weight_bytes = 0.0;
+  double gradient_bytes = 0.0;
+  double optimizer_bytes = 0.0;
+
+  double persistent_bytes() const { return weight_bytes + gradient_bytes + optimizer_bytes; }
+  double total_bytes() const { return persistent_bytes() + slab_bytes; }
+  /// How tightly the greedy slots pack the liveness lower bound.
+  double slab_utilization() const { return slab_bytes > 0.0 ? peak_live_bytes / slab_bytes : 1.0; }
+  int slots() const { return static_cast<int>(slot_bytes.size()); }
+};
+
+MemoryPlan plan_memory(const dnn::Graph& graph, int batch);
+
+/// Largest per-rank batch whose planned footprint fits `memory_bytes`
+/// (0 if even batch 1 does not fit). Exact inverse of plan_memory: the
+/// slab scales linearly with batch, the persistent terms do not.
+int max_batch_for_plan(const dnn::Graph& graph, double memory_bytes);
+
+}  // namespace dnnperf::opt

@@ -1,0 +1,324 @@
+#include "opt/passes.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <utility>
+
+#include "opt/check.hpp"
+#include "opt/dataflow.hpp"
+#include "opt/fold.hpp"
+
+namespace dnnperf::opt {
+
+namespace {
+
+using dnn::Graph;
+using dnn::Op;
+using dnn::OpKind;
+
+std::atomic<SeededBug> g_seeded_bug{SeededBug::None};
+
+/// Rebuilds a graph after a pass marked ops for removal: dropped ops are
+/// compacted out, consumers follow `redirect` chains to a kept producer,
+/// and ids/input lists are remapped to the new positions. Redirect targets
+/// always have smaller ids, so one forward sweep resolves everything.
+Graph compact(const Graph& g, std::vector<Op> ops, const std::vector<char>& keep,
+              const std::vector<int>& redirect) {
+  const auto resolve = [&](int id) {
+    while (redirect[static_cast<std::size_t>(id)] != id)
+      id = redirect[static_cast<std::size_t>(id)];
+    return id;
+  };
+  std::vector<int> new_id(ops.size(), -1);
+  std::vector<Op> out;
+  out.reserve(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (!keep[i]) continue;
+    Op op = std::move(ops[i]);
+    for (int& in : op.inputs) in = new_id[static_cast<std::size_t>(resolve(in))];
+    op.id = static_cast<int>(out.size());
+    new_id[i] = op.id;
+    out.push_back(std::move(op));
+  }
+  return Graph::from_ops(g.name(), std::move(out));
+}
+
+Graph run_dead_code(const Graph& g, RewriteLog& log) {
+  const UseDef ud = build_use_def(g);
+  const int n = g.size();
+  std::vector<char> keep(static_cast<std::size_t>(n), 1);
+  std::vector<int> redirect(static_cast<std::size_t>(n));
+  std::iota(redirect.begin(), redirect.end(), 0);
+  for (const Op& op : g.ops()) {
+    if (op.id == ud.terminal) continue;
+    if (ud.to_terminal[static_cast<std::size_t>(op.id)]) continue;
+    // The primary Input stays even if the terminal is disconnected from it
+    // (that graph is malformed; G004 owns the report, not a rewrite).
+    if (op.id == 0 && op.kind == OpKind::Input) continue;
+    keep[static_cast<std::size_t>(op.id)] = 0;
+    Rewrite rw;
+    rw.pass = "dead-code";
+    rw.detail = std::string("removed dead ") + dnn::to_string(op.kind) + " '" + op.name +
+                "' (output never reaches the terminal)";
+    rw.removed = {op.id};
+    rw.d_params = -op.params;
+    rw.d_fwd_flops = -op.fwd_flops;
+    rw.d_bwd_flops = -op.bwd_flops;
+    rw.d_activation_bytes = -op.output_bytes;
+    log.rewrites.push_back(std::move(rw));
+  }
+  if (log.rewrites.empty()) return g;
+  return compact(g, g.ops(), keep, redirect);
+}
+
+Graph run_identity(const Graph& g, RewriteLog& log) {
+  const int n = g.size();
+  std::vector<Op> ops = g.ops();
+  std::vector<char> keep(static_cast<std::size_t>(n), 1);
+  std::vector<int> redirect(static_cast<std::size_t>(n));
+  std::iota(redirect.begin(), redirect.end(), 0);
+  const auto resolve = [&](int id) {
+    while (redirect[static_cast<std::size_t>(id)] != id)
+      id = redirect[static_cast<std::size_t>(id)];
+    return id;
+  };
+  for (Op& op : ops) {
+    if (op.inputs.size() != 1) continue;
+    const int target = resolve(op.inputs.front());
+    Rewrite rw;
+    if (op.kind == OpKind::Concat) {
+      rw.detail = "bypassed single-input Concat '" + op.name + "' (identity copy)";
+    } else if (op.kind == OpKind::ReLU &&
+               ops[static_cast<std::size_t>(target)].kind == OpKind::ReLU) {
+      rw.detail = "removed '" + op.name + "' (ReLU of ReLU '" +
+                  ops[static_cast<std::size_t>(target)].name + "' is a no-op)";
+    } else {
+      continue;
+    }
+    rw.pass = "identity";
+    rw.removed = {op.id};
+    rw.d_fwd_flops = -op.fwd_flops;
+    rw.d_bwd_flops = -op.bwd_flops;
+    rw.d_activation_bytes = -op.output_bytes;
+    keep[static_cast<std::size_t>(op.id)] = 0;
+    redirect[static_cast<std::size_t>(op.id)] = target;
+    log.rewrites.push_back(std::move(rw));
+  }
+  if (log.rewrites.empty()) return g;
+  return compact(g, std::move(ops), keep, redirect);
+}
+
+/// Deterministic per-channel BN/bias parameters standing in for trained
+/// values in the fold evidence; exactly-representable fractions, so the
+/// checker's independent recomputation is bit-stable.
+FoldSample synth_sample(int channel, bool conv_had_bias) {
+  FoldSample fs;
+  fs.channel = channel;
+  fs.gamma = 1.0 + 0.125 * (channel % 5);
+  fs.beta = 0.5 - 0.0625 * (channel % 3);
+  fs.mean = 0.25 * (channel % 4) - 0.5;
+  fs.var = 1.0 + 0.25 * (channel % 3);
+  fs.eps = 1e-5;
+  fs.conv_bias = conv_had_bias ? 0.03125 * (channel % 8) - 0.1 : 0.0;
+  return fs;
+}
+
+Graph run_fuse_conv_bn(const Graph& g, RewriteLog& log, SeededBug bug) {
+  const UseDef ud = build_use_def(g);
+  const int n = g.size();
+  std::vector<Op> ops = g.ops();
+  std::vector<char> keep(static_cast<std::size_t>(n), 1);
+  std::vector<int> redirect(static_cast<std::size_t>(n));
+  std::iota(redirect.begin(), redirect.end(), 0);
+  for (int i = 0; i < n; ++i) {
+    Op& bn = ops[static_cast<std::size_t>(i)];
+    if (bn.kind != OpKind::BatchNorm || bn.inputs.size() != 1) continue;
+    const int c = bn.inputs.front();
+    if (c < 0 || c >= i) continue;
+    Op& conv = ops[static_cast<std::size_t>(c)];
+    if (conv.kind != OpKind::Conv2d) continue;
+    // The conv's raw output must be private to this BN: another consumer
+    // would observe unfolded values.
+    if (ud.consumers[static_cast<std::size_t>(c)].size() != 1) continue;
+
+    Rewrite rw;
+    rw.pass = "fuse-conv-bn";
+    rw.detail = "folded '" + bn.name + "' into '" + conv.name + "'";
+    rw.removed = {i};
+    rw.changed = {c};
+    const bool had_bias = conv.has_bias;
+    if (!had_bias) {
+      // The fold materializes a per-channel bias (b' = beta - s*mu); the
+      // conv gains its cost following the builder's convention: +E forward,
+      // twice that backward.
+      const double e = conv.out.elements();
+      conv.params += conv.out.c;
+      conv.fwd_flops += e;
+      conv.bwd_flops += 2.0 * e;
+      conv.has_bias = true;
+      rw.d_params += conv.out.c;
+      rw.d_fwd_flops += e;
+      rw.d_bwd_flops += 2.0 * e;
+    }
+    rw.d_params -= bn.params;
+    rw.d_fwd_flops -= bn.fwd_flops;
+    rw.d_bwd_flops -= bn.bwd_flops;
+    rw.d_activation_bytes -= bn.output_bytes;
+    keep[static_cast<std::size_t>(i)] = 0;
+    redirect[static_cast<std::size_t>(i)] = c;
+
+    const int channels = conv.out.c;
+    int samples[3] = {0, channels / 2, channels - 1};
+    for (int s = 0; s < 3; ++s) {
+      if (s > 0 && samples[s] == samples[s - 1]) continue;
+      FoldSample fs = synth_sample(samples[s], had_bias);
+      const BnFold fold = fold_bn(fs.gamma, fs.beta, fs.mean, fs.var, fs.eps, fs.conv_bias);
+      fs.scale = fold.scale;
+      fs.bias = bug == SeededBug::WrongFoldedBias
+                    ? fs.beta + fold.scale * (fs.conv_bias + fs.mean)  // sign error on the mean
+                    : fold.bias;
+      rw.folds.push_back(fs);
+    }
+    log.rewrites.push_back(std::move(rw));
+  }
+  if (log.rewrites.empty()) return g;
+  return compact(g, std::move(ops), keep, redirect);
+}
+
+Graph run_fuse_conv_act(const Graph& g, RewriteLog& log) {
+  const UseDef ud = build_use_def(g);
+  const int n = g.size();
+  std::vector<Op> ops = g.ops();
+  std::vector<char> keep(static_cast<std::size_t>(n), 1);
+  std::vector<int> redirect(static_cast<std::size_t>(n));
+  std::iota(redirect.begin(), redirect.end(), 0);
+  for (int i = 0; i < n; ++i) {
+    Op& relu = ops[static_cast<std::size_t>(i)];
+    if (relu.kind != OpKind::ReLU || relu.inputs.size() != 1) continue;
+    const int c = relu.inputs.front();
+    if (c < 0 || c >= i) continue;
+    Op& conv = ops[static_cast<std::size_t>(c)];
+    if (conv.kind != OpKind::Conv2d) continue;
+    // The pre-activation output must be private to this ReLU.
+    if (ud.consumers[static_cast<std::size_t>(c)].size() != 1) continue;
+
+    Rewrite rw;
+    rw.pass = "fuse-conv-act";
+    rw.detail = "fused '" + relu.name + "' into '" + conv.name + "' epilogue";
+    rw.removed = {i};
+    rw.changed = {c};
+    // The activation's FLOPs move into the conv epilogue (net zero); its
+    // activation tensor disappears.
+    conv.fwd_flops += relu.fwd_flops;
+    conv.bwd_flops += relu.bwd_flops;
+    rw.d_activation_bytes = -relu.output_bytes;
+    keep[static_cast<std::size_t>(i)] = 0;
+    redirect[static_cast<std::size_t>(i)] = c;
+    log.rewrites.push_back(std::move(rw));
+  }
+  if (log.rewrites.empty()) return g;
+  return compact(g, std::move(ops), keep, redirect);
+}
+
+Graph run_pass(PassId id, const Graph& g, RewriteLog& stage, SeededBug bug) {
+  switch (id) {
+    case PassId::DeadCode: return run_dead_code(g, stage);
+    case PassId::Identity: return run_identity(g, stage);
+    case PassId::FuseConvBn: return run_fuse_conv_bn(g, stage, bug);
+    case PassId::FuseConvAct: return run_fuse_conv_act(g, stage);
+  }
+  return g;
+}
+
+}  // namespace
+
+const std::vector<PassDesc>& opt_pass_registry() {
+  static const std::vector<PassDesc> table = {
+      {PassId::DeadCode, "dead-code", 1,
+       "remove ops that do not contribute to the terminal output"},
+      {PassId::Identity, "identity", 1,
+       "bypass no-ops: single-input Concat, ReLU of ReLU"},
+      {PassId::FuseConvBn, "fuse-conv-bn", 2,
+       "fold BatchNorm scale/shift into the preceding conv's weights and bias"},
+      {PassId::FuseConvAct, "fuse-conv-act", 2,
+       "absorb a ReLU into its producer conv's epilogue"},
+  };
+  return table;
+}
+
+std::uint32_t passes_for_level(int level) {
+  std::uint32_t mask = 0;
+  for (const PassDesc& pd : opt_pass_registry())
+    if (level >= pd.min_level) mask |= static_cast<std::uint32_t>(pd.id);
+  return mask;
+}
+
+std::size_t RewriteLog::count(const std::string& pass) const {
+  std::size_t n = 0;
+  for (const Rewrite& rw : rewrites)
+    if (rw.pass == pass) ++n;
+  return n;
+}
+
+double RewriteLog::d_params() const {
+  double sum = 0.0;
+  for (const Rewrite& rw : rewrites) sum += rw.d_params;
+  return sum;
+}
+
+double RewriteLog::d_fwd_flops() const {
+  double sum = 0.0;
+  for (const Rewrite& rw : rewrites) sum += rw.d_fwd_flops;
+  return sum;
+}
+
+double RewriteLog::d_bwd_flops() const {
+  double sum = 0.0;
+  for (const Rewrite& rw : rewrites) sum += rw.d_bwd_flops;
+  return sum;
+}
+
+double RewriteLog::d_activation_bytes() const {
+  double sum = 0.0;
+  for (const Rewrite& rw : rewrites) sum += rw.d_activation_bytes;
+  return sum;
+}
+
+void set_seeded_bug_for_test(SeededBug bug) { g_seeded_bug.store(bug); }
+
+OptResult optimize(const dnn::Graph& graph, const OptOptions& options) {
+  OptResult result;
+  result.graph = graph;
+  result.log.graph = graph.name();
+  result.log.ops_before = graph.size();
+  result.log.ops_after = graph.size();
+  if (graph.size() == 0) return result;
+
+  const std::uint32_t mask = options.pass_mask & passes_for_level(options.level);
+  const SeededBug bug =
+      options.seeded_bug != SeededBug::None ? options.seeded_bug : g_seeded_bug.load();
+
+  for (const PassDesc& pd : opt_pass_registry()) {
+    if (!(mask & static_cast<std::uint32_t>(pd.id))) continue;
+    RewriteLog stage;
+    stage.graph = graph.name();
+    stage.ops_before = result.graph.size();
+    Graph after = run_pass(pd.id, result.graph, stage, bug);
+    if (stage.rewrites.empty()) continue;
+    stage.ops_after = after.size();
+
+    util::Diagnostics stage_diags;
+    check_rewrite(result.graph, after, stage, options.fold_tolerance, stage_diags);
+    result.diags.merge(stage_diags);
+    if (stage_diags.has_errors()) break;  // discard the unsound stage; keep the verified graph
+
+    result.graph = std::move(after);
+    for (Rewrite& rw : stage.rewrites) result.log.rewrites.push_back(std::move(rw));
+  }
+  result.log.ops_after = result.graph.size();
+  return result;
+}
+
+}  // namespace dnnperf::opt

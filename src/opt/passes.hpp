@@ -1,0 +1,127 @@
+// Grappler-style rewrite passes over dnn::Graph, each emitting a structured
+// RewriteLog, each verified by the equivalence checker (opt/check.hpp)
+// before its result is accepted — an unsound rewrite is discarded and
+// surfaces as an O0xx diagnostic instead of reaching a measurement.
+//
+// Pass registry (applied in this order; a pass runs when its bit is set in
+// the effective mask = pass_mask & passes_for_level(level)):
+//
+//   dead-code      (O1)  remove ops that do not contribute to the terminal
+//                        output (dead heads and unconsumed chains);
+//   identity       (O1)  bypass no-ops: single-input Concat, ReLU-of-ReLU;
+//   fuse-conv-bn   (O2)  fold BatchNorm scale/shift into the preceding
+//                        convolution's weights and bias (opt/fold.hpp),
+//                        recording per-channel numeric evidence the checker
+//                        re-derives independently;
+//   fuse-conv-act  (O2)  absorb a ReLU into its producer convolution's
+//                        epilogue (the activation's FLOPs move into the
+//                        conv; its activation tensor disappears).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/graph.hpp"
+#include "util/diag.hpp"
+
+namespace dnnperf::opt {
+
+enum class PassId : std::uint32_t {
+  DeadCode = 1u << 0,
+  Identity = 1u << 1,
+  FuseConvBn = 1u << 2,
+  FuseConvAct = 1u << 3,
+};
+
+constexpr std::uint32_t kAllPasses = 0xFu;
+
+struct PassDesc {
+  PassId id;
+  const char* name;
+  int min_level;  ///< smallest opt level that enables the pass
+  const char* summary;
+};
+
+const std::vector<PassDesc>& opt_pass_registry();
+
+/// The pass bits an optimizer level enables: 0 = none, 1 = elimination
+/// passes, >= 2 = elimination + fusion.
+std::uint32_t passes_for_level(int level);
+
+/// Per-channel numeric evidence recorded by fuse-conv-bn: the BN parameters
+/// the fold consumed and the (scale, bias) it produced. The equivalence
+/// checker re-derives the affine composition from the inputs independently
+/// and compares — folding is linear, so agreement at two probe points
+/// implies agreement everywhere.
+struct FoldSample {
+  int channel = 0;
+  double gamma = 1.0;
+  double beta = 0.0;
+  double mean = 0.0;
+  double var = 1.0;
+  double eps = 1e-5;
+  double conv_bias = 0.0;  ///< 0 when the conv had no bias before the fold
+  double scale = 1.0;      ///< what the pass folded
+  double bias = 0.0;
+};
+
+/// One applied rewrite, with the pass's declared effect on the graph's
+/// aggregate accounting (per image). The checker verifies these deltas
+/// against the actual totals change — exactly.
+struct Rewrite {
+  std::string pass;
+  std::string detail;
+  std::vector<int> removed;  ///< pre-pass op ids eliminated
+  std::vector<int> changed;  ///< pre-pass op ids mutated in place
+  double d_params = 0.0;
+  double d_fwd_flops = 0.0;
+  double d_bwd_flops = 0.0;
+  double d_activation_bytes = 0.0;
+  std::vector<FoldSample> folds;  ///< fuse-conv-bn evidence channels
+};
+
+struct RewriteLog {
+  std::string graph;
+  int ops_before = 0;
+  int ops_after = 0;
+  std::vector<Rewrite> rewrites;
+
+  std::size_t count(const std::string& pass) const;
+  double d_params() const;
+  double d_fwd_flops() const;
+  double d_bwd_flops() const;
+  double d_activation_bytes() const;
+};
+
+/// Test-only fault injection: makes fuse-conv-bn compute the folded bias
+/// with the classic sign error on the mean, which the equivalence checker
+/// must reject (O003).
+enum class SeededBug { None, WrongFoldedBias };
+
+/// Process-wide seeded bug for paths that cannot pass OptOptions through
+/// (the trainer / lint / Experiment gate plumbing tests). None in
+/// production; OptOptions::seeded_bug wins when set.
+void set_seeded_bug_for_test(SeededBug bug);
+
+struct OptOptions {
+  int level = 2;
+  std::uint32_t pass_mask = kAllPasses;  ///< intersected with passes_for_level(level)
+  SeededBug seeded_bug = SeededBug::None;
+  double fold_tolerance = 1e-9;
+};
+
+struct OptResult {
+  /// The optimized graph — or, when a pass failed verification, the last
+  /// graph that passed (the unsound stage is discarded, never applied).
+  dnn::Graph graph{""};
+  RewriteLog log;
+  util::Diagnostics diags;  ///< O0xx findings from the equivalence checker
+  bool ok() const { return !diags.has_errors(); }
+};
+
+/// Runs the enabled passes in registry order, verifying each stage with the
+/// equivalence checker before accepting it. Deterministic.
+OptResult optimize(const dnn::Graph& graph, const OptOptions& options = {});
+
+}  // namespace dnnperf::opt

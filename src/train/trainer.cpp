@@ -5,6 +5,8 @@
 
 #include "dnn/report.hpp"
 #include "exec/cpu_model.hpp"
+#include "opt/passes.hpp"
+#include "util/diag.hpp"
 #include "exec/gpu_model.hpp"
 #include "exec/placement.hpp"
 #include "mpi/cost.hpp"
@@ -53,13 +55,31 @@ void validate(const TrainConfig& cfg) {
       throw std::invalid_argument("TrainConfig: ppn exceeds GPUs per node");
   }
   if (cfg.jitter_cv < 0.0) throw std::invalid_argument("TrainConfig: negative jitter");
+  if (cfg.opt_level < 0 || cfg.opt_level > 2)
+    throw std::invalid_argument("TrainConfig: opt_level outside [0, 2]");
+}
+
+/// Builds the graph the run executes: the model as defined, rewritten by
+/// the enabled optimizer passes. Every stage is verified by the equivalence
+/// checker; an unsound rewrite can never reach a measurement.
+dnn::Graph build_executed_graph(const TrainConfig& cfg) {
+  dnn::Graph graph = dnn::build_model(cfg.model);
+  if (cfg.opt_level <= 0) return graph;
+  opt::OptOptions oo;
+  oo.level = cfg.opt_level;
+  oo.pass_mask = cfg.opt_pass_mask;
+  opt::OptResult result = opt::optimize(graph, oo);
+  if (!result.ok())
+    throw std::runtime_error("graph optimizer produced an unsound rewrite:\n" +
+                             util::render_text(result.diags));
+  return std::move(result.graph);
 }
 
 }  // namespace
 
 TrainResult run_training(const TrainConfig& cfg) {
   validate(cfg);
-  const dnn::Graph graph = dnn::build_model(cfg.model);
+  const dnn::Graph graph = build_executed_graph(cfg);
   if (cfg.validate_memory) {
     const double footprint = dnn::training_memory(graph, cfg.batch_per_rank).total();
     const double budget = cfg.device == DeviceKind::Gpu

@@ -9,6 +9,8 @@
 //   MN  — nodes>1.
 #pragma once
 
+#include <cstdint>
+
 #include "dnn/models.hpp"
 #include "exec/config.hpp"
 #include "hvd/policy.hpp"
@@ -62,6 +64,15 @@ struct TrainConfig {
   bool per_rank_sim = false;
   /// Collective hierarchy for pricing data allreduces.
   CommHierarchy hierarchy = CommHierarchy::Flat;
+  /// Graph-optimizer level applied before execution (src/opt): 0 = run the
+  /// model graph as built, 1 = elimination passes (dead code, identities),
+  /// 2 = elimination + conv/BN/activation fusion. Every enabled pass is
+  /// verified by the equivalence checker; an unsound rewrite throws instead
+  /// of reaching a measurement.
+  int opt_level = 0;
+  /// Bitmask of opt::PassId restricting which passes of the level run
+  /// (default: all). Hashed into the eval-cache key alongside opt_level.
+  std::uint32_t opt_pass_mask = 0xffffffffu;
 };
 
 struct TrainResult {

@@ -1,0 +1,534 @@
+// Tests for the verified graph-rewrite framework (src/opt): dataflow
+// analyses, the tensor-lifetime memory planner, every rewrite pass's golden
+// RewriteLog, the equivalence checker (including the seeded unsound-fusion
+// mutant it must catch), and the wiring into the trainer, the lint gate, the
+// eval cache, and the advisor grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "analysis/analyze.hpp"
+#include "analysis/policy_passes.hpp"
+#include "core/eval_cache.hpp"
+#include "core/advisor_service.hpp"
+#include "core/experiment.hpp"
+#include "core/presets.hpp"
+#include "dnn/models.hpp"
+#include "hw/platforms.hpp"
+#include "opt/dataflow.hpp"
+#include "opt/fold.hpp"
+#include "opt/memory_planner.hpp"
+#include "opt/passes.hpp"
+#include "train/trainer.hpp"
+#include "util/diag.hpp"
+#include "util/rng.hpp"
+
+namespace dnnperf {
+namespace {
+
+/// input -> conv -> relu -> fc, plus a dead conv head off the input.
+dnn::Graph chain_with_dead_head() {
+  dnn::Graph g("chain-dead");
+  const int in = g.input(3, 8, 8);
+  const int conv = g.conv2d("conv", in, 8, 3, 3, 1, 1, 1, 1, /*bias=*/true);
+  const int act = g.relu("relu", conv);
+  g.conv2d("dead", in, 4, 1, 1, 1, 1, 0, 0);  // never consumed
+  g.matmul("fc", act, 10);
+  return g;
+}
+
+/// RAII reset for the process-wide seeded bug, so a failing test cannot
+/// poison the suite.
+struct SeededBugGuard {
+  ~SeededBugGuard() { opt::set_seeded_bug_for_test(opt::SeededBug::None); }
+};
+
+// ---- dataflow --------------------------------------------------------------
+
+TEST(OptDataflow, UseDefConsumersAndCones) {
+  const dnn::Graph g = chain_with_dead_head();
+  const opt::UseDef ud = opt::build_use_def(g);
+  ASSERT_EQ(ud.terminal, g.size() - 1);
+  // input feeds the live conv and the dead head.
+  EXPECT_EQ(ud.consumers[0].size(), 2u);
+  // the dead head reaches nothing.
+  const int dead = 3;
+  EXPECT_TRUE(ud.consumers[static_cast<std::size_t>(dead)].empty());
+  EXPECT_TRUE(ud.from_input[static_cast<std::size_t>(dead)]);
+  EXPECT_FALSE(ud.to_terminal[static_cast<std::size_t>(dead)]);
+  EXPECT_FALSE(ud.contributes(dead));
+  for (const int live : {0, 1, 2, 4}) EXPECT_TRUE(ud.contributes(live)) << live;
+}
+
+TEST(OptDataflow, LivenessIntervalsOnTheTrainingClock) {
+  dnn::Graph g("tiny");
+  const int in = g.input(3, 8, 8);
+  const int conv = g.conv2d("conv", in, 8, 3, 3, 1, 1, 1, 1);
+  const int act = g.relu("relu", conv);
+  g.matmul("fc", act, 10);
+  const opt::UseDef ud = opt::build_use_def(g);
+  const opt::Liveness live = opt::compute_liveness(g, ud);
+
+  const int n = g.size();
+  EXPECT_EQ(live.ticks, 2 * n);
+  EXPECT_EQ(static_cast<int>(live.live_at_tick.size()), 2 * n);
+  EXPECT_GT(live.peak_bytes, 0.0);
+
+  // The ReLU is elementwise with a single-consumer conv producer whose
+  // backward does not re-read its own output: it runs in place.
+  bool relu_aliased = false;
+  for (const auto& t : live.tensors) {
+    if (t.op == act && !t.is_gradient) relu_aliased = t.aliased;
+  }
+  EXPECT_TRUE(relu_aliased);
+
+  // Every interval is well-formed and within the clock.
+  for (const auto& t : live.tensors) {
+    EXPECT_LE(t.def, t.last_use);
+    EXPECT_GE(t.def, 0);
+    EXPECT_LT(t.last_use, live.ticks);
+  }
+  // The conv activation must survive to the conv's backward tick (its
+  // backward re-reads the forward input... the *input's* activation; the
+  // conv output itself is re-read by the ReLU's backward, which runs at
+  // tick 2n-1-act).
+  for (const auto& t : live.tensors) {
+    if (t.op == conv && !t.is_gradient) {
+      EXPECT_GE(t.last_use, 2 * n - 1 - act);
+    }
+  }
+}
+
+TEST(OptDataflow, BackwardReadKindTables) {
+  EXPECT_TRUE(opt::backward_reads_input(dnn::OpKind::Conv2d));
+  EXPECT_TRUE(opt::backward_reads_input(dnn::OpKind::MatMul));
+  EXPECT_TRUE(opt::backward_reads_input(dnn::OpKind::BatchNorm));
+  EXPECT_FALSE(opt::backward_reads_input(dnn::OpKind::ReLU));
+  EXPECT_TRUE(opt::backward_reads_output(dnn::OpKind::ReLU));
+  EXPECT_TRUE(opt::backward_reads_output(dnn::OpKind::Softmax));
+  EXPECT_FALSE(opt::backward_reads_output(dnn::OpKind::AvgPool));
+}
+
+// ---- memory planner --------------------------------------------------------
+
+/// A long chain of stride-1 k=1 average pools: every activation dies as soon
+/// as its consumer's forward runs, and no backward re-reads anything, so a
+/// handful of slots serve the whole chain.
+dnn::Graph avgpool_chain(int length) {
+  dnn::Graph g("avgpool-chain");
+  int prev = g.input(4, 16, 16);
+  for (int i = 0; i < length; ++i)
+    prev = g.avg_pool("pool" + std::to_string(i), prev, 1, 1);
+  return g;
+}
+
+TEST(OptPlanner, DisjointIntervalsShareSlots) {
+  const dnn::Graph g = avgpool_chain(32);
+  const opt::MemoryPlan plan = opt::plan_memory(g, 1);
+  double all_bytes = 0.0;
+  for (const auto& op : g.ops()) all_bytes += op.output_bytes;
+  EXPECT_LT(plan.slots(), 8);  // 33 tensors plus gradients, a few slots
+  EXPECT_LT(plan.slab_bytes, all_bytes);
+  EXPECT_GE(plan.slab_bytes, plan.peak_live_bytes);  // slab covers the lower bound
+  EXPECT_GT(plan.slab_utilization(), 0.0);
+  EXPECT_LE(plan.slab_utilization(), 1.0);
+}
+
+TEST(OptPlanner, SlabScalesLinearlyWithBatch) {
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet18);
+  const opt::MemoryPlan p1 = opt::plan_memory(g, 1);
+  const opt::MemoryPlan p4 = opt::plan_memory(g, 4);
+  EXPECT_NEAR(p4.slab_bytes, 4.0 * p1.slab_bytes, 1e-6 * p4.slab_bytes);
+  // Persistent terms do not scale with batch.
+  EXPECT_DOUBLE_EQ(p1.persistent_bytes(), p4.persistent_bytes());
+}
+
+TEST(OptPlanner, MaxBatchIsTheExactInverse) {
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet50);
+  const double budget = 8.0 * 1024.0 * 1024.0 * 1024.0;
+  const int max_bs = opt::max_batch_for_plan(g, budget);
+  ASSERT_GT(max_bs, 0);
+  EXPECT_LE(opt::plan_memory(g, max_bs).total_bytes(), budget);
+  EXPECT_GT(opt::plan_memory(g, max_bs + 1).total_bytes(), budget);
+}
+
+// ---- rewrite passes --------------------------------------------------------
+
+TEST(OptPasses, DeadCodeEliminationGoldenLog) {
+  const dnn::Graph g = chain_with_dead_head();
+  opt::OptOptions oo;
+  oo.level = 1;
+  const opt::OptResult r = opt::optimize(g, oo);
+  ASSERT_TRUE(r.ok()) << util::render_text(r.diags);
+  EXPECT_EQ(r.log.count("dead-code"), 1u);
+  EXPECT_EQ(r.log.ops_before, 5);
+  EXPECT_EQ(r.log.ops_after, 4);
+  EXPECT_LT(r.log.d_params(), 0.0);       // the dead conv carried weights
+  EXPECT_LT(r.log.d_fwd_flops(), 0.0);
+  // The optimized graph no longer lints G003 (dead op).
+  EXPECT_FALSE(analysis::lint_graph(r.graph).has_code("G003"));
+}
+
+TEST(OptPasses, IdentityEliminationGoldenLog) {
+  dnn::Graph g("identity");
+  const int in = g.input(3, 8, 8);
+  const int conv = g.conv2d("conv", in, 8, 3, 3, 1, 1, 1, 1);
+  const int cat = g.concat("cat1", {conv});      // single-input concat: no-op
+  const int r1 = g.relu("relu1", cat);
+  const int r2 = g.relu("relu2", r1);            // ReLU-of-ReLU: no-op
+  g.matmul("fc", r2, 10);
+  opt::OptOptions oo;
+  oo.level = 1;
+  const opt::OptResult r = opt::optimize(g, oo);
+  ASSERT_TRUE(r.ok()) << util::render_text(r.diags);
+  EXPECT_EQ(r.log.count("identity"), 2u);
+  EXPECT_EQ(r.log.ops_after, g.size() - 2);
+  EXPECT_EQ(r.log.d_params(), 0.0);  // identities carry no parameters
+  for (const auto& op : r.graph.ops()) {
+    EXPECT_NE(op.kind == dnn::OpKind::Concat && op.inputs.size() == 1, true) << op.name;
+  }
+}
+
+TEST(OptPasses, ConvBnReluCollapsesToOneConvAtO2) {
+  dnn::Graph g("fusion");
+  const int in = g.input(3, 16, 16);
+  const int unit = g.conv_bn_relu("unit1", in, 8, 3, 3, 1, 1, 1, 1);
+  g.matmul("fc", unit, 10);
+  const opt::OptResult r = opt::optimize(g, {});  // defaults: level 2, all passes
+  ASSERT_TRUE(r.ok()) << util::render_text(r.diags);
+  EXPECT_EQ(r.log.count("fuse-conv-bn"), 1u);
+  EXPECT_EQ(r.log.count("fuse-conv-act"), 1u);
+  // input, conv (with folded BN + absorbed ReLU), fc.
+  EXPECT_EQ(r.graph.size(), 3);
+  EXPECT_EQ(r.graph.op(1).kind, dnn::OpKind::Conv2d);
+  EXPECT_TRUE(r.graph.op(1).has_bias);
+  // BN's 2C params go away, the conv gains a C-channel bias: net -C.
+  EXPECT_DOUBLE_EQ(r.log.d_params(), -8.0);
+  // Per-channel fold evidence was recorded for the checker.
+  bool saw_folds = false;
+  for (const auto& rw : r.log.rewrites)
+    if (rw.pass == "fuse-conv-bn") saw_folds = !rw.folds.empty();
+  EXPECT_TRUE(saw_folds);
+}
+
+TEST(OptPasses, PassMaskRestrictsWhatRuns) {
+  dnn::Graph g("masked");
+  const int in = g.input(3, 16, 16);
+  const int unit = g.conv_bn_relu("unit1", in, 8, 3, 3, 1, 1, 1, 1);
+  g.matmul("fc", unit, 10);
+  opt::OptOptions oo;
+  oo.pass_mask = static_cast<std::uint32_t>(opt::PassId::FuseConvBn);
+  const opt::OptResult r = opt::optimize(g, oo);
+  ASSERT_TRUE(r.ok()) << util::render_text(r.diags);
+  EXPECT_EQ(r.log.count("fuse-conv-bn"), 1u);
+  EXPECT_EQ(r.log.count("fuse-conv-act"), 0u);
+  EXPECT_EQ(r.log.count("dead-code"), 0u);
+}
+
+TEST(OptPasses, LevelZeroAndLevelGatesArePureFunctions) {
+  EXPECT_EQ(opt::passes_for_level(0), 0u);
+  const std::uint32_t l1 = opt::passes_for_level(1);
+  EXPECT_TRUE(l1 & static_cast<std::uint32_t>(opt::PassId::DeadCode));
+  EXPECT_FALSE(l1 & static_cast<std::uint32_t>(opt::PassId::FuseConvBn));
+  EXPECT_EQ(opt::passes_for_level(2), opt::kAllPasses);
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet18);
+  opt::OptOptions oo;
+  oo.level = 0;
+  const opt::OptResult r = opt::optimize(g, oo);
+  EXPECT_TRUE(r.log.rewrites.empty());
+  EXPECT_EQ(r.graph.size(), g.size());
+}
+
+TEST(OptPasses, EveryShippedModelOptimizesCheckerCleanAndIdempotent) {
+  for (const dnn::ModelId id : dnn::all_models()) {
+    const dnn::Graph g = dnn::build_model(id);
+    const opt::OptResult r = opt::optimize(g, {});
+    ASSERT_TRUE(r.ok()) << g.name() << "\n" << util::render_text(r.diags);
+    EXPECT_LE(r.graph.total_params(), g.total_params()) << g.name();
+    EXPECT_LE(r.graph.total_fwd_flops(), g.total_fwd_flops()) << g.name();
+    EXPECT_LT(r.graph.total_activation_bytes(), g.total_activation_bytes()) << g.name();
+    // The optimized graph still lints clean.
+    EXPECT_FALSE(analysis::lint_graph(r.graph).has_errors()) << g.name();
+    // A second run finds nothing left to rewrite.
+    const opt::OptResult again = opt::optimize(r.graph, {});
+    ASSERT_TRUE(again.ok()) << g.name();
+    EXPECT_TRUE(again.log.rewrites.empty()) << g.name();
+  }
+}
+
+// ---- fold math -------------------------------------------------------------
+
+TEST(OptFold, MatchesTheBnAffineComposition) {
+  const double gamma = 1.25, beta = -0.5, mean = 0.75, var = 2.0, eps = 1e-5;
+  const double conv_bias = 0.125;
+  const opt::BnFold f = opt::fold_bn(gamma, beta, mean, var, eps, conv_bias);
+  for (const double y : {-2.0, 0.0, 0.5, 3.0}) {
+    const double ref = gamma * ((y + conv_bias) - mean) / std::sqrt(var + eps) + beta;
+    EXPECT_NEAR(f.scale * y + f.bias, ref, 1e-12);
+  }
+}
+
+// ---- equivalence checker ---------------------------------------------------
+
+TEST(OptChecker, SeededWrongFoldedBiasIsRejectedWithATrace) {
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet18);
+  opt::OptOptions oo;
+  oo.seeded_bug = opt::SeededBug::WrongFoldedBias;
+  const opt::OptResult r = opt::optimize(g, oo);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.diags.has_code("O003")) << util::render_text(r.diags);
+  // The unsound stage was discarded: no fuse-conv-bn rewrite was accepted
+  // and the returned graph kept BN's parameters.
+  EXPECT_EQ(r.log.count("fuse-conv-bn"), 0u);
+  bool has_bn = false;
+  for (const auto& op : r.graph.ops())
+    if (op.kind == dnn::OpKind::BatchNorm) has_bn = true;
+  EXPECT_TRUE(has_bn);
+  // The O003 hint carries the minimal rewrite trace.
+  bool traced = false;
+  for (const auto& d : r.diags.items())
+    if (d.code == "O003" && d.hint.find("rewrite trace:") != std::string::npos &&
+        d.hint.find("channel") != std::string::npos)
+      traced = true;
+  EXPECT_TRUE(traced) << util::render_text(r.diags);
+}
+
+TEST(OptChecker, TrainerRefusesToRunAnUnsoundRewrite) {
+  SeededBugGuard guard;
+  train::TrainConfig cfg = core::sp_baseline(hw::ri2_skylake(), dnn::ModelId::ResNet18, 32);
+  cfg.opt_level = 2;
+  EXPECT_GT(train::run_training(cfg).images_per_sec, 0.0);  // sound passes run fine
+  opt::set_seeded_bug_for_test(opt::SeededBug::WrongFoldedBias);
+  EXPECT_THROW(train::run_training(cfg), std::runtime_error);
+}
+
+TEST(OptChecker, ExperimentLintGateRejectsAnUnsoundRewrite) {
+  SeededBugGuard guard;
+  train::TrainConfig cfg = core::sp_baseline(hw::ri2_skylake(), dnn::ModelId::ResNet34, 32);
+  cfg.opt_level = 2;
+  core::lint_memo().clear();  // the gate memoizes verdicts by config hash
+  opt::set_seeded_bug_for_test(opt::SeededBug::WrongFoldedBias);
+  core::Experiment experiment(1, 0.0);
+  EXPECT_THROW(experiment.measure(cfg), std::invalid_argument);
+  opt::set_seeded_bug_for_test(opt::SeededBug::None);
+  core::lint_memo().clear();  // drop the poisoned verdict
+  EXPECT_GT(experiment.measure(cfg).images_per_sec, 0.0);
+}
+
+TEST(OptChecker, ConfigLintSurfacesOCodesAndS001) {
+  SeededBugGuard guard;
+  train::TrainConfig cfg = core::sp_baseline(hw::ri2_skylake(), dnn::ModelId::ResNet18, 32);
+  cfg.opt_level = 2;
+  opt::set_seeded_bug_for_test(opt::SeededBug::WrongFoldedBias);
+  EXPECT_TRUE(analysis::lint_config(cfg).has_code("O003"));
+  opt::set_seeded_bug_for_test(opt::SeededBug::None);
+  EXPECT_FALSE(analysis::lint_config(cfg).has_errors());
+  cfg.opt_level = 7;
+  EXPECT_TRUE(analysis::lint_config(cfg).has_code("S001"));
+}
+
+// ---- property test over random DAGs ----------------------------------------
+
+/// Random builder-built DAG: chains with occasional residual adds, BN+ReLU
+/// units, pools, and a dense head. The builders enforce topology, so every
+/// generated graph is well-formed by construction.
+dnn::Graph random_graph(util::Rng& rng, int index) {
+  dnn::Graph g("random-" + std::to_string(index));
+  int prev = g.input(3, 32, 32);
+  int channels = 3;
+  const int layers = static_cast<int>(rng.uniform_int(2, 8));
+  for (int i = 0; i < layers; ++i) {
+    const int kind = static_cast<int>(rng.uniform_int(0, 4));
+    const std::string tag = "l" + std::to_string(i);
+    if (kind == 0) {
+      channels = static_cast<int>(rng.uniform_int(4, 16));
+      prev = g.conv2d(tag + "/conv", prev, channels, 3, 3, 1, 1, 1, 1,
+                      rng.next_double() < 0.5);
+    } else if (kind == 1) {
+      channels = static_cast<int>(rng.uniform_int(4, 16));
+      prev = g.conv_bn_relu(tag + "/unit", prev, channels, 3, 3, 1, 1, 1, 1);
+    } else if (kind == 2) {
+      const int branch = g.conv2d(tag + "/branch", prev, channels, 1, 1, 1, 1, 0, 0);
+      prev = g.add(tag + "/add", prev, branch);
+    } else if (kind == 3) {
+      prev = g.relu(tag + "/relu", prev);
+    } else {
+      prev = g.avg_pool(tag + "/pool", prev, 1, 1);
+    }
+    if (rng.next_double() < 0.2)
+      g.conv2d(tag + "/deadhead", prev, 4, 1, 1, 1, 1, 0, 0);  // dead branch
+  }
+  g.global_avg_pool("gap", prev);
+  g.matmul("fc", g.size() - 1, 10);
+  return g;
+}
+
+TEST(OptProperty, RandomDagsOptimizeSoundAtEveryLevel) {
+  util::Rng rng(0xD1CEu);
+  for (int i = 0; i < 25; ++i) {
+    const dnn::Graph g = random_graph(rng, i);
+    for (const int level : {0, 1, 2}) {
+      opt::OptOptions oo;
+      oo.level = level;
+      oo.pass_mask = static_cast<std::uint32_t>(rng.uniform_int(0, 15));
+      const opt::OptResult r = opt::optimize(g, oo);
+      ASSERT_TRUE(r.ok()) << g.name() << " level " << level << "\n"
+                          << util::render_text(r.diags);
+      // Invariants: interface preserved, totals never grow, result re-lints.
+      const auto& tb = g.ops().back().out;
+      const auto& ta = r.graph.ops().back().out;
+      EXPECT_TRUE(tb.c == ta.c && tb.h == ta.h && tb.w == ta.w) << g.name();
+      EXPECT_LE(r.graph.total_fwd_flops(), g.total_fwd_flops()) << g.name();
+      EXPECT_LE(r.graph.total_params(), g.total_params()) << g.name();
+      EXPECT_FALSE(analysis::lint_graph(r.graph).has_errors())
+          << g.name() << "\n" << util::render_text(analysis::lint_graph(r.graph));
+      // The planner accepts every optimized graph.
+      EXPECT_GT(opt::plan_memory(r.graph, 8).total_bytes(), 0.0) << g.name();
+    }
+  }
+}
+
+// ---- Graph::from_ops validation (G008) -------------------------------------
+
+TEST(OptGraph, FromOpsIdMismatchFiresG008) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "debug builds assert inside Graph::from_ops before the lint can run";
+#else
+  dnn::Graph g("bad-ids");
+  const int in = g.input(3, 8, 8);
+  g.conv2d("conv", in, 4, 3, 3, 1, 1, 1, 1);
+  std::vector<dnn::Op> ops = g.ops();
+  ops[1].id = 7;  // violates the id == position contract
+  const dnn::Graph bad = dnn::Graph::from_ops("bad-ids", std::move(ops));
+  const util::Diagnostics diags = analysis::lint_graph(bad);
+  EXPECT_TRUE(diags.has_code("G008")) << util::render_text(diags);
+  EXPECT_TRUE(diags.has_errors());
+#endif
+}
+
+// ---- memory passes (S008 exact plan + S013 cross-check) --------------------
+
+TEST(OptMemoryPasses, DivergentEstimatesFireS013) {
+  // A long reuse-friendly chain: the plan needs a few slots while the
+  // reuse-optimistic estimate charges every activation once — >2x apart.
+  const dnn::Graph g = avgpool_chain(40);
+  train::TrainConfig cfg;
+  cfg.cluster = hw::amd_cluster();
+  cfg.ppn = 1;
+  cfg.batch_per_rank = 64;
+  util::Diagnostics diags;
+  analysis::run_memory_passes(g, cfg, "s013-test", diags);
+  EXPECT_TRUE(diags.has_code("S013")) << util::render_text(diags);
+  EXPECT_FALSE(diags.has_code("S008"));  // 256 GiB budget, tiny graph
+}
+
+TEST(OptMemoryPasses, ExactPlanGatesS008WithPlanHint) {
+  // ResNet-152 at batch 64 over-fills the 8 GiB per-rank budget even under
+  // the exact plan; the hint reports the plan's own max batch.
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet152);
+  train::TrainConfig cfg = core::pytorch_best(hw::amd_cluster(), dnn::ModelId::ResNet152, 2);
+  cfg.batch_per_rank = 64;
+  util::Diagnostics diags;
+  analysis::run_memory_passes(g, cfg, "s008-test", diags);
+  ASSERT_TRUE(diags.has_code("S008")) << util::render_text(diags);
+  bool hint_ok = false;
+  for (const auto& d : diags.items())
+    if (d.code == "S008" && d.hint.find("plan fits") != std::string::npos) hint_ok = true;
+  EXPECT_TRUE(hint_ok);
+}
+
+// ---- eval-cache sensitivity ------------------------------------------------
+
+TEST(OptCache, ConfigKeyIsSensitiveToOptLevelAndMask) {
+  const train::TrainConfig base =
+      core::sp_baseline(hw::ri2_skylake(), dnn::ModelId::ResNet50, 32);
+  train::TrainConfig level = base;
+  level.opt_level = 2;
+  train::TrainConfig mask = level;
+  mask.opt_pass_mask = static_cast<std::uint32_t>(opt::PassId::DeadCode);
+  EXPECT_EQ(core::config_key(base), core::config_key(base));
+  EXPECT_NE(core::config_key(base), core::config_key(level));
+  EXPECT_NE(core::config_key(level), core::config_key(mask));
+}
+
+TEST(OptCache, GraphFingerprintIsSensitiveToHasBias) {
+  const dnn::Graph g = dnn::build_model(dnn::ModelId::ResNet18);
+  std::vector<dnn::Op> ops = g.ops();
+  for (auto& op : ops)
+    if (op.kind == dnn::OpKind::Conv2d) {
+      op.has_bias = !op.has_bias;
+      break;
+    }
+  const dnn::Graph flipped = dnn::Graph::from_ops(g.name(), std::move(ops));
+  EXPECT_NE(core::graph_fingerprint(g), core::graph_fingerprint(flipped));
+}
+
+// ---- execution-model and trainer integration -------------------------------
+
+TEST(OptExec, FusionTightensTheModeledStepTime) {
+  train::TrainConfig cfg = core::sp_baseline(hw::stampede2(), dnn::ModelId::ResNet50, 32);
+  const double o0 = train::run_training(cfg).per_iteration_s;
+  cfg.opt_level = 2;
+  const double o2 = train::run_training(cfg).per_iteration_s;
+  EXPECT_LT(o2, o0);
+  EXPECT_GT(o2, 0.5 * o0);  // fusion trims epilogues, it does not halve convs
+}
+
+TEST(OptExec, TrainerValidatesOptLevelRange) {
+  train::TrainConfig cfg = core::sp_baseline(hw::ri2_skylake(), dnn::ModelId::AlexNet, 32);
+  cfg.opt_level = 3;
+  EXPECT_THROW(train::run_training(cfg), std::invalid_argument);
+  cfg.opt_level = -1;
+  EXPECT_THROW(train::run_training(cfg), std::invalid_argument);
+}
+
+// ---- advisor integration ---------------------------------------------------
+
+TEST(OptAdvisor, OptLevelsAreAGridDimension) {
+  core::AdvisorRequest req;
+  req.cluster = hw::ri2_skylake();
+  req.model = dnn::ModelId::ResNet50;
+  const std::size_t base_points = core::AdvisorService::plan_grid(req).size();
+  req.opt_levels = {0, 2};
+  const auto grid = core::AdvisorService::plan_grid(req);
+  EXPECT_EQ(grid.size(), 2 * base_points);
+  std::set<int> seen;
+  for (const auto& cfg : grid) seen.insert(cfg.opt_level);
+  EXPECT_EQ(seen, (std::set<int>{0, 2}));
+}
+
+TEST(OptAdvisor, InvalidOptLevelsAreRejected) {
+  core::AdvisorRequest req;
+  req.cluster = hw::ri2_skylake();
+  req.opt_levels = {3};
+  EXPECT_THROW(core::AdvisorService::plan_grid(req), std::invalid_argument);
+  req.opt_levels = {};
+  EXPECT_THROW(core::AdvisorService::plan_grid(req), std::invalid_argument);
+
+  core::AdvisorService service({.threads = 2, .cache_capacity = 64});
+  core::ScalingRequest scaling;
+  scaling.cluster = hw::ri2_skylake();
+  scaling.node_counts = {1};
+  scaling.opt_level = -2;
+  EXPECT_THROW(service.scaling_curve(scaling), std::invalid_argument);
+}
+
+TEST(OptAdvisor, OptimizedCurveIsFasterPerIteration) {
+  core::AdvisorService service({.threads = 2, .cache_capacity = 256});
+  core::ScalingRequest req;
+  req.cluster = hw::ri2_skylake();
+  req.model = dnn::ModelId::ResNet50;
+  req.node_counts = {1};
+  req.ppn = 2;
+  const auto plain = service.scaling_curve(req);
+  req.opt_level = 2;
+  const auto optimized = service.scaling_curve(req);
+  ASSERT_EQ(plain.size(), 1u);
+  ASSERT_EQ(optimized.size(), 1u);
+  EXPECT_LT(optimized[0].per_iteration_s, plain[0].per_iteration_s);
+}
+
+}  // namespace
+}  // namespace dnnperf

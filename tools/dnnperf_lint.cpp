@@ -9,6 +9,8 @@
 //   dnnperf_lint --list-passes           # the pass registry
 //   dnnperf_lint --verify-engine         # model-check presets' engine protocol
 //   dnnperf_lint --verify-trace=t.json   # happens-before checks on a trace
+//   dnnperf_lint --optimize              # run the verified graph optimizer
+//                                        # over every shipped model (O0xx)
 //
 // Exit status: 0 when no Error-level findings, 1 otherwise (Warn/Advice do
 // not affect the exit code; --strict promotes Warn to failing).
@@ -23,6 +25,7 @@
 #include "core/presets.hpp"
 #include "dnn/models.hpp"
 #include "hw/platforms.hpp"
+#include "opt/passes.hpp"
 #include "util/cli.hpp"
 #include "util/diag.hpp"
 #include "util/table.hpp"
@@ -60,6 +63,30 @@ std::vector<train::TrainConfig> shipped_presets() {
   return configs;
 }
 
+/// --optimize: run every enabled rewrite pass over the selected models at
+/// the requested level, print each model's RewriteLog summary, and merge the
+/// equivalence checker's O-codes into the findings. A clean run proves every
+/// shipped graph optimizes soundly.
+void run_optimizer(const std::vector<dnn::ModelId>& models, int level,
+                   util::Diagnostics& all, bool quiet) {
+  util::TextTable table({"model", "ops before", "ops after", "rewrites", "d.params",
+                         "d.fwd GFLOP", "d.act MiB"});
+  for (const dnn::ModelId id : models) {
+    const dnn::Graph graph = dnn::build_model(id);
+    opt::OptOptions oo;
+    oo.level = level;
+    const opt::OptResult result = opt::optimize(graph, oo);
+    all.merge(result.diags);
+    table.add_row({graph.name(), std::to_string(result.log.ops_before),
+                   std::to_string(result.log.ops_after),
+                   std::to_string(result.log.rewrites.size()),
+                   std::to_string(static_cast<long long>(result.log.d_params())),
+                   std::to_string(result.log.d_fwd_flops() / 1e9),
+                   std::to_string(result.log.d_activation_bytes() / (1024.0 * 1024.0))});
+  }
+  if (!quiet) std::cout << table.to_text();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,6 +106,11 @@ int main(int argc, char** argv) {
   cli.add_string("format", "output renderer: text, json, or github", "");
   cli.add_flag("strict", "exit nonzero on Warn findings too", false);
   cli.add_flag("list-passes", "print the pass registry and exit", false);
+  cli.add_flag("optimize",
+               "run the verified graph optimizer over the selected models and report "
+               "the equivalence checker's findings (O0xx)",
+               false);
+  cli.add_int("opt-level", "optimizer level for --optimize (1-2)", 2);
   cli.add_flag("verify-engine",
                "model-check the engine protocol for the selected configs (V0xx)", false);
   cli.add_string("verify-trace",
@@ -110,7 +142,18 @@ int main(int argc, char** argv) {
     const std::string model_arg = cli.get_string("model");
     const std::string cluster_arg = cli.get_string("cluster");
 
-    if (verify_engine || !trace_path.empty()) {
+    if (cli.get_flag("optimize")) {
+      const int level = static_cast<int>(cli.get_int("opt-level"));
+      if (level < 1 || level > 2) {
+        std::cerr << "dnnperf_lint: --opt-level must be 1 or 2\n";
+        return 2;
+      }
+      const std::vector<dnn::ModelId> models =
+          model_arg.empty() ? dnn::all_models()
+                            : std::vector<dnn::ModelId>{dnn::model_by_name(model_arg)};
+      // Summary table only in text mode; json/github stay machine-parseable.
+      run_optimizer(models, level, all, format != "text");
+    } else if (verify_engine || !trace_path.empty()) {
       // Verification modes replace the default lint families: CI runs them as
       // separate steps with separate artifacts.
       if (verify_engine) {
