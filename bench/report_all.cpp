@@ -4,11 +4,16 @@
 // Flags: --anchors-only prints just the anchor lines (for diffing against
 // the committed EXPERIMENTS.md numbers). --trace-out=FILE records a Chrome
 // trace-event timeline of the whole report run (real kernels/engine plus the
-// simulators' virtual-time tracks).
+// simulators' virtual-time tracks). --profile-out=FILE additionally runs the
+// prof trace analytics over that recording and writes the
+// dnnperf-profile-v1 report.
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "core/figures.hpp"
 #include "core/insights.hpp"
+#include "prof/profile.hpp"
 #include "util/cli.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
@@ -17,12 +22,15 @@ int main(int argc, char** argv) {
   dnnperf::util::CliParser cli("report_all", "regenerate all paper figures and insights");
   cli.add_flag("anchors-only", "print only figure anchors", false);
   cli.add_string("trace-out", "write a Chrome trace-event JSON timeline here", "");
+  cli.add_string("profile-out", "profile the recorded trace and write a dnnperf-profile-v1 "
+                 "JSON report here (implies tracing)", "");
   cli.add_string("metrics-out", "write a metrics snapshot (dnnperf-metrics-v1 JSON) here", "");
   try {
     if (!cli.parse(argc, argv)) return 0;
     const bool anchors_only = cli.get_flag("anchors-only");
     const std::string trace_out = cli.get_string("trace-out");
-    if (!trace_out.empty()) dnnperf::util::trace::set_enabled(true);
+    const std::string profile_out = cli.get_string("profile-out");
+    if (!trace_out.empty() || !profile_out.empty()) dnnperf::util::trace::set_enabled(true);
     const std::string metrics_out = cli.get_string("metrics-out");
     if (!metrics_out.empty()) dnnperf::util::metrics::set_enabled(true);
     for (const auto& id : dnnperf::core::all_figure_ids()) {
@@ -41,6 +49,17 @@ int main(int argc, char** argv) {
       dnnperf::util::trace::write_json_file(trace_out);
       std::cerr << "wrote " << dnnperf::util::trace::event_count() << " trace events to "
                 << trace_out << '\n';
+    }
+    if (!profile_out.empty()) {
+      std::ostringstream trace_doc;
+      dnnperf::util::trace::write_json(trace_doc);
+      const auto report =
+          dnnperf::prof::profile_trace_text(trace_doc.str(), "report_all", {});
+      std::ofstream out(profile_out);
+      if (!out) throw std::runtime_error("cannot open " + profile_out);
+      out << dnnperf::prof::to_json(report) << '\n';
+      std::cerr << "profile: " << dnnperf::prof::to_string(report.verdict) << " -> "
+                << profile_out << '\n';
     }
     if (!metrics_out.empty()) {
       auto snap = dnnperf::util::metrics::snapshot();

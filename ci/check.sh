@@ -10,14 +10,16 @@
 # an optimizer smoke step runs the verified graph-rewrite passes over every
 # shipped model (any equivalence-checker O-code fails as a GitHub
 # annotation) and gates the measured-vs-predicted conv+BN fusion payoff,
-# a metrics smoke step records a 2-rank training snapshot plus the
-# advisor_load, sim_scale, and opt_fusion snapshots, lints all four,
-# merges them, and diffs the merged counters against the committed
-# BENCH_metrics.json baseline (timers and rates are machine-dependent and
-# ignored; counter drift fails), and a verify smoke step model-checks the
-# shipped presets' engine protocol and runs the happens-before verifier over
-# a freshly recorded 2-rank trace (findings surface as GitHub annotations in
-# the CI log).
+# a profile smoke step records a 2-rank training trace and runs the
+# dnnperf_profile trace analytics over it (bottleneck verdict + DES
+# comparison; Error-severity findings fail), a metrics smoke step records a
+# 2-rank training snapshot plus the advisor_load, sim_scale, opt_fusion, and
+# profile snapshots, lints all five, merges them, and diffs the merged
+# counters against the committed BENCH_metrics.json baseline (timers and
+# rates are machine-dependent and ignored; counter drift fails), and a
+# verify smoke step model-checks the shipped presets' engine protocol and
+# runs the happens-before verifier over a freshly recorded 2-rank trace
+# (findings surface as GitHub annotations in the CI log).
 # Run from the repo root:
 #
 #   ci/check.sh            # all four presets
@@ -62,12 +64,30 @@ optimizer_smoke() {
   "$build/bench/opt_fusion" --check --metrics-out="$build/metrics_smoke_opt.json"
 }
 
+# Trace-analytics smoke: profile a freshly recorded 2-rank training trace
+# (utilization, critical path, straggler attribution, verdict) and run the
+# predicted-vs-measured DES comparison. dnnperf_profile exits non-zero only
+# on Error-severity findings (e.g. no step structure); the JSON report must
+# carry a verdict. Also publishes the prof_* gauges for the metrics merge.
+profile_smoke() {
+  local build=build
+  local trace="$build/profile_smoke.trace.json"
+  local report="$build/profile_smoke.json"
+  echo "=== [default] profile smoke ==="
+  "$build/examples/real_training" --ranks=2 --steps=2 --trace-out="$trace" > /dev/null
+  "$build/tools/dnnperf_profile" "$trace" --compare-sim --format=json --out="$report" \
+      --metrics-out="$build/metrics_smoke_profile.json"
+  grep -q '"verdict"' "$report"
+  grep -q '"compare_sim"' "$report"
+}
+
 metrics_smoke() {
   local build=build
   local train_snap="$build/metrics_smoke_training.json"
   local advisor_snap="$build/metrics_smoke_advisor.json"  # from advisor_smoke
   local sim_snap="$build/metrics_smoke_sim.json"          # from sim_scale_smoke
   local opt_snap="$build/metrics_smoke_opt.json"          # from optimizer_smoke
+  local prof_snap="$build/metrics_smoke_profile.json"     # from profile_smoke
   local merged="$build/metrics_smoke.json"
   echo "=== [default] metrics smoke ==="
   "$build/examples/real_training" --ranks=2 --steps=2 --metrics-out="$train_snap" > /dev/null
@@ -75,8 +95,11 @@ metrics_smoke() {
   "$build/tools/dnnperf_metrics" check "$advisor_snap"
   "$build/tools/dnnperf_metrics" check "$sim_snap"
   "$build/tools/dnnperf_metrics" check "$opt_snap"
+  "$build/tools/dnnperf_metrics" check "$prof_snap"
   "$build/tools/dnnperf_metrics" merge "$train_snap" "$advisor_snap" "$sim_snap" "$opt_snap" \
-      --label="ci smoke: real_training + advisor_load + sim_scale + opt_fusion" --bench-out="$merged"
+      "$prof_snap" \
+      --label="ci smoke: real_training + advisor_load + sim_scale + opt_fusion + profile" \
+      --bench-out="$merged"
   "$build/tools/dnnperf_metrics" diff BENCH_metrics.json "$merged" \
       --timers=ignore --rates=ignore
 }
@@ -101,6 +124,7 @@ for preset in "${presets[@]}"; do
     advisor_smoke
     sim_scale_smoke
     optimizer_smoke
+    profile_smoke
     metrics_smoke
     verify_smoke
   fi

@@ -10,8 +10,10 @@
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "dnn/report.hpp"
+#include "prof/profile.hpp"
 #include "train/real_trainer.hpp"
 #include "util/cli.hpp"
 #include "util/metrics.hpp"
@@ -26,6 +28,8 @@ int main(int argc, char** argv) {
   cli.add_int("steps", "training steps", 6);
   cli.add_flag("batch-norm", "include BatchNorm layers (breaks exact SP==MP)", false);
   cli.add_string("trace-out", "write a Chrome trace-event JSON timeline here", "");
+  cli.add_string("profile-out", "profile the recorded trace and write a dnnperf-profile-v1 "
+                 "JSON report here (implies tracing)", "");
   cli.add_string("metrics-out", "write a metrics snapshot here (see --metrics-format)", "");
   cli.add_string("metrics-format", "snapshot format: json|prometheus|csv", "json");
 
@@ -37,7 +41,8 @@ int main(int argc, char** argv) {
     cfg.steps = static_cast<int>(cli.get_int("steps"));
     cfg.batch_norm = cli.get_flag("batch-norm");
     const std::string trace_out = cli.get_string("trace-out");
-    if (!trace_out.empty()) util::trace::set_enabled(true);
+    const std::string profile_out = cli.get_string("profile-out");
+    if (!trace_out.empty() || !profile_out.empty()) util::trace::set_enabled(true);
     const std::string metrics_out = cli.get_string("metrics-out");
     const std::string metrics_format = cli.get_string("metrics-format");
     if (metrics_format != "json" && metrics_format != "prometheus" && metrics_format != "csv")
@@ -82,6 +87,24 @@ int main(int argc, char** argv) {
       util::trace::write_json_file(trace_out);
       std::cout << "\nwrote " << util::trace::event_count() << " trace events to " << trace_out
                 << " (load in chrome://tracing or ui.perfetto.dev)\n";
+    }
+    if (!profile_out.empty()) {
+      // Profile the trace we just recorded: where did the step time go, and
+      // what bounds it? (Same analytics as tools/dnnperf_profile.)
+      std::ostringstream trace_doc;
+      util::trace::write_json(trace_doc);
+      prof::ProfileOptions popt;
+      popt.policy = &cfg.policy;
+      const prof::ProfileReport report =
+          prof::profile_trace_text(trace_doc.str(), "real_training", popt);
+      std::ofstream out(profile_out);
+      if (!out) throw std::runtime_error("cannot open " + profile_out);
+      out << prof::to_json(report) << '\n';
+      std::cout << "\nprofile: " << prof::to_string(report.verdict)
+                << " (overlap " << util::TextTable::num(100.0 * report.overlap_fraction, 1)
+                << "%, critical-path share "
+                << util::TextTable::num(100.0 * report.critical_path_share, 1)
+                << "%) -> " << profile_out << "\n";
     }
     if (!metrics_out.empty()) {
       util::metrics::Snapshot snap = util::metrics::snapshot();

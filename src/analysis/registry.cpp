@@ -151,6 +151,21 @@ const std::vector<PassInfo>& pass_registry() {
        "differ between rank tracks"},
       {"V104", Severity::Error, "verify-trace",
        "cycle monotonicity violation: a rank's engine cycles overlap in time"},
+      // ---- profiler verdicts (src/prof) -------------------------------------
+      {"T001", Severity::Warn, "profile",
+       "phase accounting gap: more than the threshold fraction of step time falls "
+       "outside the input/forward/backward/exchange/optimizer scopes"},
+      {"T002", Severity::Advice, "profile",
+       "compute-communication overlap below half the fusion policy's achievable bound "
+       "(1 - cycle_time / backward_time)"},
+      {"T003", Severity::Warn, "profile",
+       "straggler skew: inter-rank backward completion spread exceeds the threshold "
+       "fraction of step time (synchronous SGD runs at the slowest rank's pace)"},
+      {"T004", Severity::Advice, "profile",
+       "allreduce efficiency: a tensor-size bucket achieves under half the collective "
+       "cost model's bandwidth"},
+      {"T005", Severity::Error, "profile",
+       "no profilable step structure: no track in the trace carries 'step' spans"},
   };
   return table;
 }

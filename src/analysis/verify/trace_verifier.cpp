@@ -1,36 +1,18 @@
 #include "analysis/verify/trace_verifier.hpp"
 
 #include <algorithm>
-#include <fstream>
-#include <map>
 #include <sstream>
 #include <vector>
 
-#include "util/jsonlite.hpp"
+#include "prof/trace_model.hpp"
 
 namespace dnnperf::analysis {
 
 namespace {
 
-namespace jl = util::jsonlite;
-
-struct Span {
-  std::string name;
-  double start = 0.0;
-  double end = 0.0;
-  double bytes = -1.0;  ///< args.bytes when present (data allreduces)
-};
-
-struct Track {
-  std::string thread_name;
-  std::vector<Span> spans;
-};
-
-std::string track_label(std::pair<int, int> key, const Track& track) {
-  std::string label = "pid " + std::to_string(key.first) + "/tid " + std::to_string(key.second);
-  if (!track.thread_name.empty()) label += " (" + track.thread_name + ")";
-  return label;
-}
+using prof::Span;
+using prof::TraceModel;
+using prof::Track;
 
 std::string span_label(const Span& s) {
   std::ostringstream os;
@@ -40,76 +22,30 @@ std::string span_label(const Span& s) {
 
 class Verifier {
  public:
-  Verifier(const std::string& text, const std::string& object) : text_(text), object_(object) {}
+  Verifier(const TraceModel& model, const std::string& object) : model_(model), object_(object) {}
 
   util::Diagnostics run() {
-    if (!collect()) return std::move(diags_);
-    for (auto& [key, track] : tracks_) {
-      std::stable_sort(track.spans.begin(), track.spans.end(), [](const Span& a, const Span& b) {
-        return a.start != b.start ? a.start < b.start : a.end > b.end;
-      });
-      check_nesting(key, track);
-      check_cycle_monotonicity(key, track);
+    for (const Track& track : model_.tracks) {
+      check_nesting(track);
+      check_cycle_monotonicity(track);
     }
     check_cross_rank_matching();
     return std::move(diags_);
   }
 
  private:
-  /// Parses the document and groups complete events per (pid, tid) track.
-  /// Returns false after a V101 (nothing further is checkable).
-  bool collect() {
-    jl::Value doc;
-    try {
-      doc = jl::parse(text_, "trace JSON");
-    } catch (const std::exception& e) {
-      diags_.error("V101", object_, "document", e.what(),
-                   "is this a util/trace write_json() artifact?");
-      return false;
-    }
-    const jl::Value* events = doc.get("traceEvents");
-    if (events == nullptr || events->kind != jl::Value::Kind::Array) {
-      diags_.error("V101", object_, "traceEvents",
-                   "document has no traceEvents array", "");
-      return false;
-    }
-    for (std::size_t i = 0; i < events->array.size(); ++i) {
-      const jl::Value& e = events->array[i];
-      const bool ok =
-          e.kind == jl::Value::Kind::Object && e.has("name") && e.has("ph") && e.has("pid") &&
-          e.has("tid") && e.has("ts") &&
-          (e.at("ph").string != "X" || e.has("dur"));
-      if (!ok) {
-        diags_.error("V101", object_, "traceEvents[" + std::to_string(i) + "]",
-                     "event is missing required fields (name/ph/pid/tid/ts, dur for 'X')", "");
-        return false;
-      }
-      const auto key = std::make_pair(static_cast<int>(e.at("pid").number),
-                                      static_cast<int>(e.at("tid").number));
-      const std::string& ph = e.at("ph").string;
-      if (ph == "M" && e.at("name").string == "thread_name" && e.has("args"))
-        tracks_[key].thread_name = e.at("args").at("name").string;
-      if (ph != "X") continue;
-      Span span;
-      span.name = e.at("name").string;
-      span.start = e.at("ts").number;
-      span.end = span.start + e.at("dur").number;
-      if (const jl::Value* args = e.get("args"))
-        if (const jl::Value* bytes = args->get("bytes")) span.bytes = bytes->number;
-      tracks_[key].spans.push_back(std::move(span));
-    }
-    return true;
-  }
-
   /// Spans on one track come from nested RAII scopes: any two must be
-  /// disjoint or properly nested. Sweep in start order with a stack of open
-  /// scope end times; ties from microsecond rounding are tolerated.
-  void check_nesting(std::pair<int, int> key, const Track& track) {
+  /// disjoint or properly nested. Sweep in start order (the model's sort)
+  /// with a stack of open scope end times. Real spans share one clock, but
+  /// DES parents and children quantize their (ts, dur) pairs to microseconds
+  /// independently, so a child may outlive its parent by one rounding ulp —
+  /// hence the 1 µs tolerance.
+  void check_nesting(const Track& track) {
     std::vector<const Span*> open;
     for (const Span& span : track.spans) {
       while (!open.empty() && open.back()->end <= span.start) open.pop_back();
-      if (!open.empty() && span.end > open.back()->end) {
-        diags_.error("V102", object_, track_label(key, track),
+      if (!open.empty() && span.end > open.back()->end + 1.0) {
+        diags_.error("V102", object_, track.label(),
                      "spans partially overlap: " + span_label(span) + " crosses the end of " +
                          span_label(*open.back()),
                      "scoped spans must be disjoint or properly nested; a partial overlap "
@@ -123,13 +59,13 @@ class Verifier {
   /// Engine cycles on a rank track (and negotiations on a simulated engine
   /// track) are issued by one sequential loop: each must end before the next
   /// begins.
-  void check_cycle_monotonicity(std::pair<int, int> key, const Track& track) {
+  void check_cycle_monotonicity(const Track& track) {
     for (const char* name : {"engine.cycle", "negotiate"}) {
       const Span* prev = nullptr;
       for (const Span& span : track.spans) {
         if (span.name != name) continue;
         if (prev != nullptr && span.start < prev->end) {
-          diags_.error("V104", object_, track_label(key, track),
+          diags_.error("V104", object_, track.label(),
                        std::string(name) + " spans overlap: " + span_label(span) +
                            " starts before " + span_label(*prev) + " ends",
                        "the engine loop is sequential per rank; overlapping cycles mean "
@@ -147,14 +83,15 @@ class Verifier {
   }
 
   /// Data allreduces are collective: the k-th engine cycle must issue the
-  /// same sequence (count and byte sizes) on every rank track.
+  /// same sequence (count and byte sizes) on every rank track. DES "sim
+  /// rank" tracks carry per-rank compute only and are exempt.
   void check_cross_rank_matching() {
     struct RankView {
       std::string label;
       std::vector<std::vector<double>> per_cycle_bytes;  // cycle -> data-AR bytes, in order
     };
     std::vector<RankView> ranks;
-    for (const auto& [key, track] : tracks_) {
+    for (const Track& track : model_.tracks) {
       if (!track.thread_name.starts_with("rank ")) continue;
       RankView view;
       view.label = track.thread_name;
@@ -202,28 +139,29 @@ class Verifier {
     }
   }
 
-  const std::string& text_;
+  const TraceModel& model_;
   const std::string& object_;
   util::Diagnostics diags_;
-  std::map<std::pair<int, int>, Track> tracks_;
 };
 
 }  // namespace
 
 util::Diagnostics verify_trace_text(const std::string& json_text, const std::string& object) {
-  return Verifier(json_text, object).run();
+  util::Diagnostics diags;
+  const TraceModel model = prof::parse_trace(json_text, object, diags);
+  if (diags.has_errors()) return diags;
+  util::Diagnostics checks = Verifier(model, object).run();
+  diags.merge(checks);
+  return diags;
 }
 
 util::Diagnostics verify_trace_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    util::Diagnostics diags;
-    diags.error("V101", path, "file", "cannot open trace file", "");
-    return diags;
-  }
-  std::ostringstream text;
-  text << in.rdbuf();
-  return verify_trace_text(text.str(), path);
+  util::Diagnostics diags;
+  const TraceModel model = prof::parse_trace_file(path, diags);
+  if (diags.has_errors()) return diags;
+  util::Diagnostics checks = Verifier(model, path).run();
+  diags.merge(checks);
+  return diags;
 }
 
 }  // namespace dnnperf::analysis

@@ -1,7 +1,8 @@
 // Happens-before verifier for recorded Chrome trace-event documents
 // (util/trace) — both real-time rank tracks and DES virtual-time tracks.
-// Parses the JSON with util/jsonlite and checks the properties the paper's
-// timeline analysis (Figs. 18/19) silently relies on:
+// Parses the JSON through the shared prof::TraceModel (the same parsed-trace
+// representation the profiler consumes) and checks the properties the
+// paper's timeline analysis (Figs. 18/19) silently relies on:
 //
 //   V101  document well-formedness — parseable JSON, a traceEvents array,
 //         and every event carrying the viewer's required fields;

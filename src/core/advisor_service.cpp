@@ -7,12 +7,35 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "prof/profile.hpp"
 #include "util/diag.hpp"
 #include "util/metrics.hpp"
+#include "util/stats.hpp"
 
 namespace dnnperf::core {
 
 namespace {
+
+/// Bottleneck attribution of one simulated measurement, via the profiler's
+/// analytic classification (prof::classify_sim_point). Per-rank mode reports
+/// straggler_stretch = 1 (jitter is drawn, not folded), so the closed-form
+/// expected max over the world is reconstructed here either way.
+prof::SimPointVerdict classify_measurement(const train::TrainConfig& cfg,
+                                           const train::TrainResult& r) {
+  prof::SimPointInputs in;
+  in.step_s = r.per_iteration_s;
+  in.forward_s = r.fwd_s;
+  in.backward_s = r.bwd_s;
+  in.optimizer_s = r.optimizer_s;
+  in.comm_exposed_fraction = r.comm_exposed_fraction;
+  in.comm_busy_s = r.comm_busy_per_iteration_s;
+  const std::size_t ranks = static_cast<std::size_t>(cfg.nodes) * cfg.ppn;
+  in.straggler_stretch =
+      ranks > 1 ? std::max(r.straggler_stretch,
+                           util::expected_max_normal(1.0, cfg.jitter_cv, ranks))
+                : 1.0;
+  return prof::classify_sim_point(in);
+}
 
 double now_seconds() {
   return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
@@ -279,6 +302,8 @@ std::vector<AdvisorReply> AdvisorService::ask_many(const std::vector<AdvisorRequ
     util::TextTable table({"ppn", "intra", "inter", "BS/rank", "img/s"});
     reply.grid_points = grids[r].size();
     bool have_best = false;
+    const Point* best_point = nullptr;
+    const Measurement* best_measurement = nullptr;
     for (const Point& point : grids[r]) {
       switch (point.origin) {
         case Origin::CacheHit: ++reply.cache_hits; break;
@@ -303,7 +328,16 @@ std::vector<AdvisorReply> AdvisorService::ask_many(const std::vector<AdvisorRequ
         reply.objective_value = value;
         reply.recommendation.best = point.config;
         reply.recommendation.images_per_sec = m.images_per_sec;
+        best_point = &point;
+        best_measurement = &m;
       }
+    }
+    if (best_point != nullptr) {
+      const prof::SimPointVerdict v =
+          classify_measurement(best_point->config, best_measurement->last);
+      reply.verdict = v.verdict;
+      reply.overlap_fraction = v.overlap_fraction;
+      reply.verdict_reason = v.reason;
     }
     reply.recommendation.search_table = std::move(table);
     replies.push_back(std::move(reply));
@@ -422,6 +456,9 @@ std::vector<ScalingPoint> AdvisorService::scaling_curve(const ScalingRequest& re
     curve[i].per_iteration_s = m.last.per_iteration_s;
     curve[i].sim_events = m.last.sim_events;
     curve[i].sim_pool_slots = m.last.sim_pool_slots;
+    const prof::SimPointVerdict v = classify_measurement(curve[i].config, m.last);
+    curve[i].verdict = v.verdict;
+    curve[i].overlap_fraction = v.overlap_fraction;
     if (base.images_per_sec > 0.0) {
       curve[i].speedup = m.images_per_sec / base.images_per_sec;
       const double rank_ratio =

@@ -27,6 +27,7 @@
 
 #include "core/advisor.hpp"
 #include "core/eval_cache.hpp"
+#include "prof/profile.hpp"
 #include "ref/threadpool.hpp"
 
 namespace dnnperf::core {
@@ -74,6 +75,12 @@ struct AdvisorReply {
   std::size_t cache_hits = 0;    ///< grid points served from the cache
   std::size_t deduplicated = 0;  ///< points shared with earlier queries in the batch
   std::size_t evaluated = 0;     ///< fresh simulations this query triggered
+  /// What bounds the recommended config's step time (prof verdict rule), so
+  /// the recommendation says not just "fastest" but "fastest, and here is
+  /// where its remaining time goes".
+  prof::Verdict verdict = prof::Verdict::ComputeBound;
+  double overlap_fraction = 0.0;  ///< comm busy time overlapped with compute
+  std::string verdict_reason;
 };
 
 /// One fixed per-node geometry swept across node counts — the paper's
@@ -113,6 +120,10 @@ struct ScalingPoint {
   double efficiency = 0.0;  ///< speedup / (ranks / base ranks)
   std::uint64_t sim_events = 0;
   std::uint64_t sim_pool_slots = 0;
+  /// Bottleneck attribution for this point: why the curve bends here
+  /// (exposed comm, straggler skew, ...), plus the overlap achieved.
+  prof::Verdict verdict = prof::Verdict::ComputeBound;
+  double overlap_fraction = 0.0;
 };
 
 struct AdvisorServiceOptions {

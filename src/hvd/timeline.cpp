@@ -20,11 +20,16 @@ namespace trace = util::trace;
 /// Trace tracks of the simulated rank: compute phases on one, engine
 /// activity on the other — the same two-track layout the Horovod timeline
 /// uses, but in virtual time under trace::kSimulatedPid so the simulated
-/// process sits next to the real one in the viewer. Per-rank mode emits no
-/// per-rank compute spans (thousands of ranks would swamp the document);
-/// the engine track's event counter still sketches activity.
+/// process sits next to the real one in the viewer. The compute track also
+/// carries "step" and "exchange" scopes mirroring the real trainer's span
+/// vocabulary, so the profiler reads both kinds of trace with one code
+/// path. Per-rank mode adds one "sim rank N" track per rank (up to
+/// TimelineInput::trace_rank_limit) with a single "compute" span per
+/// iteration — enough for straggler attribution without swamping the
+/// document at thousands of ranks.
 constexpr int kComputeTid = 1;
 constexpr int kEngineTid = 2;
+constexpr int kRankTidBase = 16;
 
 class TimelineSim {
  public:
@@ -68,6 +73,9 @@ class TimelineSim {
       trace::set_virtual_track_name(trace::kSimulatedPid, kEngineTid, "dnnperf (simulated)",
                                     "hvd engine");
       engine_.set_trace_track(trace::kSimulatedPid, kEngineTid);
+      for (int r = 0; r < traced_ranks(); ++r)
+        trace::set_virtual_track_name(trace::kSimulatedPid, kRankTidBase + r,
+                                      "dnnperf (simulated)", "sim rank " + std::to_string(r));
     }
     start_iteration();
     if (in_.cost != nullptr) engine_.schedule_after(in_.policy.cycle_time_s, [this] { wake(); });
@@ -78,6 +86,7 @@ class TimelineSim {
     result.stats = counters_.stats();
     result.comm_exposed_fraction =
         finish_time_ > 0.0 ? exposed_total_ / finish_time_ : 0.0;
+    result.comm_busy_total = comm_busy_total_;
     result.events_processed = engine_.events_processed();
     result.pool_slots = static_cast<std::uint64_t>(engine_.pool_slots());
     return result;
@@ -85,6 +94,12 @@ class TimelineSim {
 
  private:
   bool per_rank_mode() const { return in_.sim_ranks > 1; }
+
+  /// Ranks that get their own "sim rank N" trace track in per-rank mode.
+  int traced_ranks() const {
+    if (!tracing_ || !per_rank_mode()) return 0;
+    return std::min(in_.sim_ranks, std::max(0, in_.trace_rank_limit));
+  }
 
   void emit_compute(const char* name, double start, double end) {
     if (tracing_)
@@ -96,6 +111,7 @@ class TimelineSim {
   void start_iteration() {
     bwd_done_ = false;
     reduced_ = 0;
+    step_start_ = engine_.now();
     if (per_rank_mode()) {
       start_iteration_per_rank();
       return;
@@ -158,6 +174,28 @@ class TimelineSim {
             [this, r] { advance_rank(r); });
       engine_.schedule_at(rank_event_time(r, in_.bwd_time, scale),
                           [this] { rank_backward_done(); });
+      // Virtual timestamps are computed, not waited for, so the rank's whole
+      // compute block for this iteration can be emitted at schedule time.
+      if (static_cast<int>(r) < traced_ranks())
+        trace::emit_virtual_complete(
+            "compute", "sim", trace::kSimulatedPid, kRankTidBase + static_cast<int>(r),
+            iter_start_, rank_event_time(r, in_.bwd_time, scale) - iter_start_,
+            std::move(trace::Args().add("iteration", completed_)).str());
+    }
+    if (tracing_) {
+      // Mirror the representative mode's forward/backward scopes on the
+      // compute track at the slowest rank's pace — that is the pace the
+      // collective runs at, and it keeps the step's phase structure intact
+      // for the profiler.
+      const double smax = stretch_ * iter_max_factor_;
+      const double fwd_start = iter_start_ + in_.iteration_fixed * smax;
+      const double fwd_end = fwd_start + in_.fwd_time * smax;
+      trace::emit_virtual_complete("forward", "sim", trace::kSimulatedPid, kComputeTid,
+                                   fwd_start, fwd_end - fwd_start,
+                                   std::move(trace::Args().add("iteration", completed_)).str());
+      trace::emit_virtual_complete("backward", "sim", trace::kSimulatedPid, kComputeTid,
+                                   fwd_end, in_.bwd_time * smax,
+                                   std::move(trace::Args().add("iteration", completed_)).str());
     }
   }
 
@@ -244,6 +282,7 @@ class TimelineSim {
       reduced_after_busy_ += fused;
     }
     counters_.on_cycle_time(busy);  // virtual seconds of this busy cycle
+    comm_busy_total_ += busy;
 
     engine_.schedule_after(busy, [this, batch = reduced_after_busy_] {
       reduced_ += batch;
@@ -265,11 +304,15 @@ class TimelineSim {
   void maybe_finish_iteration() {
     if (!bwd_done_ || reduced_ < static_cast<std::int64_t>(in_.grad_events.size())) return;
     bwd_done_ = false;  // guard against double entry
-    exposed_total_ += std::max(0.0, engine_.now() - bwd_end_time_);
+    const double exposed = std::max(0.0, engine_.now() - bwd_end_time_);
+    exposed_total_ += exposed;
+    if (exposed > 0.0)
+      emit_compute("exchange", bwd_end_time_, engine_.now());
     const double opt_start = engine_.now();
     const double opt_scale = per_rank_mode() ? stretch_ * iter_max_factor_ : stretch_;
     engine_.schedule_after(in_.optimizer_time * opt_scale, [this, opt_start] {
       emit_compute("optimizer", opt_start, engine_.now());
+      emit_compute("step", step_start_, engine_.now());
       ++completed_;
       if (completed_ >= in_.iterations) {
         finish_time_ = engine_.now();
@@ -296,6 +339,8 @@ class TimelineSim {
   int completed_ = 0;
   double bwd_end_time_ = 0.0;
   double exposed_total_ = 0.0;
+  double comm_busy_total_ = 0.0;
+  double step_start_ = 0.0;
   double finish_time_ = 0.0;
   double stretch_ = 1.0;
   // Per-rank arenas (per-rank mode only): sized once, reset per iteration.

@@ -78,6 +78,10 @@ struct TimelineInput {
   /// (CollectiveCostModel::staged_allreduce_time) instead of the flat Auto
   /// policy. Negotiation stays on recursive doubling either way.
   bool hierarchical_allreduce = false;
+  /// Per-rank mode with tracing enabled emits one virtual "compute" span per
+  /// rank per iteration on a "sim rank N" track; this caps how many ranks
+  /// get their own track so a 16k-rank sweep cannot swamp the document.
+  int trace_rank_limit = 4096;
 };
 
 struct TimelineResult {
@@ -86,6 +90,10 @@ struct TimelineResult {
   CommStats stats;
   /// Fraction of per-iteration time not overlapped with compute.
   double comm_exposed_fraction = 0.0;
+  /// Virtual seconds the engine spent busy (negotiation + data allreduces)
+  /// over the whole run; with the exposed total this yields the
+  /// compute-communication overlap fraction the profiler reports.
+  double comm_busy_total = 0.0;
   /// Calendar totals of the underlying sim::Engine: events that ran through
   /// the slab pool, and the pool's high-water slot count (its resident
   /// footprint — slots are reused, so this stays near the in-flight peak).

@@ -1,0 +1,89 @@
+#include "prof/compare.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "hvd/timeline.hpp"
+#include "util/table.hpp"
+
+namespace dnnperf::prof {
+
+namespace {
+
+PhaseError make_row(const std::string& phase, double measured, double predicted) {
+  PhaseError row;
+  row.phase = phase;
+  row.measured_s = measured;
+  row.predicted_s = predicted;
+  row.rel_error = measured > 0.0 ? (predicted - measured) / measured : 0.0;
+  return row;
+}
+
+}  // namespace
+
+CompareReport compare_with_sim(const ProfileReport& report, const hvd::FusionPolicy& policy,
+                               const mpi::CollectiveCostModel* cost) {
+  hvd::TimelineInput in;
+  in.fwd_time = report.forward_s;
+  in.bwd_time = report.backward_s;
+  in.optimizer_time = report.optimizer_s;
+  in.iteration_fixed = report.input_s;  // batch synthesis precedes forward
+  in.iterations = std::max(1, report.steps);
+  in.policy = policy;
+  in.cost = cost;
+  in.grad_events = report.grad_events;
+  if (cost != nullptr && in.grad_events.empty()) {
+    // A trace without per-buffer allreduce spans (e.g. tracing was sampled)
+    // still gets a one-shot exchange at backward end sized by what the
+    // engine reduced.
+    double bytes = 0.0;
+    for (const AllreduceBucket& b : report.allreduce) bytes += b.bytes_total;
+    if (bytes > 0.0)
+      in.grad_events.push_back({report.backward_s, bytes / std::max(1, report.steps)});
+  }
+
+  const hvd::TimelineResult sim = hvd::simulate_training(in);
+  const double predicted_step = sim.per_iteration;
+  const double predicted_exchange = predicted_step * sim.comm_exposed_fraction;
+
+  CompareReport out;
+  out.phases.push_back(make_row("forward", report.forward_s, in.fwd_time));
+  out.phases.push_back(make_row("backward", report.backward_s, in.bwd_time));
+  out.phases.push_back(make_row("optimizer", report.optimizer_s, in.optimizer_time));
+  out.phases.push_back(make_row("exchange", report.exchange_s, predicted_exchange));
+  out.phases.push_back(make_row("step", report.step_s, predicted_step));
+  out.step_rel_error = out.phases.back().rel_error;
+  return out;
+}
+
+std::string to_text(const CompareReport& report) {
+  std::ostringstream os;
+  os << "predicted vs measured (DES timeline):\n";
+  util::TextTable table({"phase", "measured ms", "predicted ms", "rel error"});
+  for (const PhaseError& row : report.phases) {
+    std::ostringstream err;
+    err << std::showpos << std::fixed << std::setprecision(1) << row.rel_error * 100.0 << "%";
+    table.add_row({row.phase, util::TextTable::num(row.measured_s * 1e3, 3),
+                   util::TextTable::num(row.predicted_s * 1e3, 3), err.str()});
+  }
+  os << table.to_text();
+  return os.str();
+}
+
+std::string to_json(const CompareReport& report) {
+  std::ostringstream os;
+  os << "{\"phases\":[";
+  for (std::size_t i = 0; i < report.phases.size(); ++i) {
+    const PhaseError& row = report.phases[i];
+    if (i) os << ",";
+    os << "{\"phase\":\"" << row.phase << "\",\"measured_seconds\":" << std::setprecision(12)
+       << row.measured_s << ",\"predicted_seconds\":" << row.predicted_s
+       << ",\"rel_error\":" << (std::isfinite(row.rel_error) ? row.rel_error : 0.0) << "}";
+  }
+  os << "],\"step_rel_error\":"
+     << (std::isfinite(report.step_rel_error) ? report.step_rel_error : 0.0) << "}";
+  return os.str();
+}
+
+}  // namespace dnnperf::prof

@@ -1,0 +1,43 @@
+// Predicted-vs-measured alignment: feeds a profiled trace's measured phase
+// times and gradient-arrival events back into the DES timeline
+// (hvd::simulate_training) under a cost model and reports the per-phase
+// relative error — the paper's model-validation methodology, automated. The
+// compute phases are fed from the measurement, so their rows are sanity
+// checks (~0 error); the informative rows are the exposed exchange and the
+// end-to-end step time, which the engine/collective model must predict.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hvd/policy.hpp"
+#include "mpi/cost.hpp"
+#include "prof/profile.hpp"
+
+namespace dnnperf::prof {
+
+struct PhaseError {
+  std::string phase;
+  double measured_s = 0.0;
+  double predicted_s = 0.0;
+  /// (predicted - measured) / measured; 0 when measured is 0.
+  double rel_error = 0.0;
+};
+
+struct CompareReport {
+  std::vector<PhaseError> phases;  ///< forward, backward, optimizer, exchange, step
+  double step_rel_error = 0.0;     ///< the step row's error, for quick gating
+};
+
+/// Runs the DES with the report's measured inputs and compares per-phase
+/// times. `cost` prices the collectives (nullptr = no communication, only
+/// meaningful for single-rank traces).
+CompareReport compare_with_sim(const ProfileReport& report, const hvd::FusionPolicy& policy,
+                               const mpi::CollectiveCostModel* cost);
+
+std::string to_text(const CompareReport& report);
+/// JSON fragment (an object, no envelope) for embedding under
+/// "compare_sim" in the dnnperf-profile-v1 document.
+std::string to_json(const CompareReport& report);
+
+}  // namespace dnnperf::prof

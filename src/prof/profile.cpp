@@ -1,0 +1,907 @@
+#include "prof/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "util/stats.hpp"
+#include "util/metrics.hpp"
+#include "util/table.hpp"
+#include "util/trace.hpp"
+
+namespace dnnperf::prof {
+
+namespace {
+
+constexpr double kUsToS = 1e-6;
+
+/// Top-level phase scopes nested in a "step" span, in pipeline order.
+constexpr const char* kPhases[] = {"input", "forward", "backward", "exchange", "optimizer"};
+/// Engine leaves: the spans during which the communicator is actually busy
+/// (engine.cycle is their parent scope and would double-count).
+constexpr const char* kCommLeaves[] = {"negotiate", "fusion.pack", "allreduce.data",
+                                       "fusion.unpack"};
+
+bool is_phase(const std::string& name) {
+  for (const char* p : kPhases)
+    if (name == p) return true;
+  return false;
+}
+
+bool is_comm_leaf(const std::string& name) {
+  for (const char* p : kCommLeaves)
+    if (name == p) return true;
+  return false;
+}
+
+/// One track carrying the step/phase structure, attributed to a rank.
+struct PhaseView {
+  int rank = 0;
+  const Track* track = nullptr;
+  std::vector<const Span*> steps;  ///< spans named "step", in start order
+};
+
+/// Half-open [start, end) interval in trace microseconds.
+struct Interval {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// Merges overlapping intervals in place; input need not be sorted.
+std::vector<Interval> merge_intervals(std::vector<Interval> v) {
+  std::sort(v.begin(), v.end(),
+            [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  std::vector<Interval> out;
+  for (const Interval& i : v) {
+    if (i.end <= i.start) continue;
+    if (!out.empty() && i.start <= out.back().end)
+      out.back().end = std::max(out.back().end, i.end);
+    else
+      out.push_back(i);
+  }
+  return out;
+}
+
+/// Length of [start, end) covered by the merged interval set.
+double covered(const std::vector<Interval>& merged, double start, double end) {
+  double total = 0.0;
+  for (const Interval& i : merged) {
+    if (i.end <= start) continue;
+    if (i.start >= end) break;
+    total += std::min(end, i.end) - std::max(start, i.start);
+  }
+  return total;
+}
+
+/// Sum of durations of `name` spans starting within [w_start, w_end).
+double sum_in_window(const Track& track, const std::string& name, double w_start, double w_end) {
+  double total = 0.0;
+  for (const Span& s : track.spans)
+    if (s.name == name && s.start >= w_start && s.start < w_end) total += s.duration();
+  return total;
+}
+
+/// End time of the last `name` span starting within the window; NaN if none.
+double last_end_in_window(const Track& track, const std::string& name, double w_start,
+                          double w_end) {
+  double end = std::nan("");
+  for (const Span& s : track.spans)
+    if (s.name == name && s.start >= w_start && s.start < w_end)
+      end = std::isnan(end) ? s.end : std::max(end, s.end);
+  return end;
+}
+
+std::string percent(double fraction) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+Verdict pick_verdict(double compute_share, double comm_share, double input_share,
+                     double skew_share, int ranks, std::string& reason) {
+  std::ostringstream why;
+  why << "compute " << percent(compute_share) << ", exposed comm " << percent(comm_share)
+      << ", input " << percent(input_share) << ", rank skew " << percent(skew_share);
+  // Skew is carried inside the exposed exchange wait (fast ranks block on the
+  // straggler's gradients), so it overrides CommBound when it explains at
+  // least half of that wait.
+  if (ranks > 1 && skew_share >= 0.10 && skew_share >= 0.5 * comm_share) {
+    reason = "inter-rank compute skew dominates the exchange wait (" + why.str() + ")";
+    return Verdict::StragglerBound;
+  }
+  if (input_share > compute_share && input_share > comm_share) {
+    reason = "batch synthesis/sharding dominates (" + why.str() + ")";
+    return Verdict::InputBound;
+  }
+  if (comm_share > compute_share) {
+    reason = "exposed gradient exchange dominates (" + why.str() + ")";
+    return Verdict::CommBound;
+  }
+  reason = "forward/backward/optimizer compute dominates (" + why.str() + ")";
+  return Verdict::ComputeBound;
+}
+
+class Profiler {
+ public:
+  Profiler(const TraceModel& model, const std::string& object, const ProfileOptions& options)
+      : model_(model), object_(object), opt_(options) {}
+
+  ProfileReport run() {
+    report_.source = object_;
+    if (!collect_views()) {
+      report_.diags.error("T005", object_, "traceEvents",
+                          "no profilable step structure: no track carries 'step' spans",
+                          "record with tracing enabled around a training loop "
+                          "(util/trace step scopes)");
+      return std::move(report_);
+    }
+    phase_breakdown();
+    per_rank_utilization();
+    overlap();
+    critical_path();
+    stragglers();
+    allreduce_buckets();
+    grad_events();
+    verdict();
+    checks();
+    return std::move(report_);
+  }
+
+ private:
+  /// Picks the real rank tracks when the document has them, the DES compute
+  /// + engine tracks otherwise. Returns false when neither carries steps.
+  bool collect_views() {
+    for (const Track& t : model_.tracks) {
+      if (t.simulated()) continue;
+      const int r = t.rank();
+      if (r < 0) continue;
+      PhaseView v{r, &t, step_spans(t)};
+      if (!v.steps.empty()) views_.push_back(std::move(v));
+    }
+    if (!views_.empty()) {
+      for (const PhaseView& v : views_) comm_tracks_.push_back(v.track);
+      report_.ranks = static_cast<int>(views_.size());
+      steps_ = views_.front().steps.size();
+      for (const PhaseView& v : views_) steps_ = std::min(steps_, v.steps.size());
+      report_.steps = static_cast<int>(steps_);
+      return steps_ > 0;
+    }
+    // Simulated: one representative compute track, one engine track, and
+    // (per-rank mode) one "sim rank N" compute span track per rank.
+    report_.simulated = true;
+    const Track* compute = nullptr;
+    const Track* engine = nullptr;
+    for (const Track& t : model_.tracks) {
+      if (!t.simulated()) continue;
+      if (t.thread_name == "compute") compute = &t;
+      if (t.thread_name == "hvd engine") engine = &t;
+      if (t.rank() >= 0) sim_rank_tracks_.push_back(&t);
+    }
+    if (compute == nullptr) return false;
+    PhaseView v{0, compute, step_spans(*compute)};
+    if (v.steps.empty()) return false;
+    steps_ = v.steps.size();
+    views_.push_back(std::move(v));
+    if (engine != nullptr) comm_tracks_.push_back(engine);
+    std::sort(sim_rank_tracks_.begin(), sim_rank_tracks_.end(),
+              [](const Track* a, const Track* b) { return a->rank() < b->rank(); });
+    report_.ranks = sim_rank_tracks_.empty() ? 1 : static_cast<int>(sim_rank_tracks_.size());
+    report_.steps = static_cast<int>(steps_);
+    return true;
+  }
+
+  static std::vector<const Span*> step_spans(const Track& t) {
+    std::vector<const Span*> out;
+    for (const Span& s : t.spans)
+      if (s.name == "step") out.push_back(&s);
+    return out;
+  }
+
+  void phase_breakdown() {
+    std::map<std::string, double> totals;  // phase -> µs, summed then averaged
+    double step_total = 0.0;
+    for (const PhaseView& v : views_) {
+      for (std::size_t s = 0; s < steps_; ++s) {
+        const Span& w = *v.steps[s];
+        step_total += w.duration();
+        for (const char* phase : kPhases)
+          totals[phase] += sum_in_window(*v.track, phase, w.start, w.end);
+      }
+    }
+    const double nviews = static_cast<double>(views_.size());
+    step_total /= nviews;
+    report_.step_s = steps_ > 0 ? step_total / static_cast<double>(steps_) * kUsToS : 0.0;
+    double attributed = 0.0;
+    for (const char* phase : kPhases) {
+      PhaseBreakdown row;
+      row.phase = phase;
+      row.total_s = totals[phase] / nviews * kUsToS;
+      row.per_step_s = steps_ > 0 ? row.total_s / static_cast<double>(steps_) : 0.0;
+      row.share = step_total > 0.0 ? totals[phase] / nviews / (step_total) * 1.0 : 0.0;
+      attributed += row.total_s;
+      report_.phases.push_back(row);
+    }
+    const double step_s_total = step_total * kUsToS;
+    report_.unattributed_fraction =
+        step_s_total > 0.0 ? std::max(0.0, (step_s_total - attributed) / step_s_total) : 0.0;
+    PhaseBreakdown other;
+    other.phase = "other";
+    other.total_s = std::max(0.0, step_s_total - attributed);
+    other.per_step_s = steps_ > 0 ? other.total_s / static_cast<double>(steps_) : 0.0;
+    other.share = report_.unattributed_fraction;
+    report_.phases.push_back(other);
+
+    report_.input_s = phase_per_step("input");
+    report_.forward_s = phase_per_step("forward");
+    report_.backward_s = phase_per_step("backward");
+    report_.exchange_s = phase_per_step("exchange");
+    report_.optimizer_s = phase_per_step("optimizer");
+  }
+
+  double phase_per_step(const std::string& name) const {
+    for (const PhaseBreakdown& p : report_.phases)
+      if (p.phase == name) return p.per_step_s;
+    return 0.0;
+  }
+
+  /// Sum of comm-leaf durations on a track within [w_start, w_end), µs.
+  static double comm_busy_in_window(const Track& track, double w_start, double w_end) {
+    double total = 0.0;
+    for (const Span& s : track.spans)
+      if (is_comm_leaf(s.name) && s.start >= w_start && s.start < w_end) total += s.duration();
+    return total;
+  }
+
+  void per_rank_utilization() {
+    if (!report_.simulated) {
+      for (const PhaseView& v : views_) {
+        RankUtilization u;
+        u.rank = v.rank;
+        for (std::size_t s = 0; s < steps_; ++s) {
+          const Span& w = *v.steps[s];
+          u.step_s += w.duration() * kUsToS;
+          for (const char* phase : {"input", "forward", "backward", "optimizer"})
+            u.compute_s += sum_in_window(*v.track, phase, w.start, w.end) * kUsToS;
+          u.exposed_s += sum_in_window(*v.track, "exchange", w.start, w.end) * kUsToS;
+          u.comm_busy_s += comm_busy_in_window(*v.track, w.start, w.end) * kUsToS;
+        }
+        u.other_s = std::max(0.0, u.step_s - u.compute_s - u.exposed_s);
+        u.compute_fraction = u.step_s > 0.0 ? u.compute_s / u.step_s : 0.0;
+        report_.utilization.push_back(u);
+      }
+      return;
+    }
+    // Simulated: the engine track is collective (every rank participates in
+    // its allreduces), so its busy time is charged to each rank's view.
+    const PhaseView& v = views_.front();
+    double window_lo = v.steps.front()->start;
+    double window_hi = v.steps[steps_ - 1]->end;
+    double engine_busy = 0.0;
+    for (const Track* t : comm_tracks_) engine_busy += comm_busy_in_window(*t, window_lo, window_hi);
+    engine_busy *= kUsToS;
+    double step_total = 0.0, exchange_total = 0.0;
+    for (std::size_t s = 0; s < steps_; ++s) {
+      const Span& w = *v.steps[s];
+      step_total += w.duration() * kUsToS;
+      exchange_total += sum_in_window(*v.track, "exchange", w.start, w.end) * kUsToS;
+    }
+    if (sim_rank_tracks_.empty()) {
+      RankUtilization u;
+      u.rank = 0;
+      u.step_s = step_total;
+      for (const char* phase : {"input", "forward", "backward", "optimizer"})
+        u.compute_s += sum_in_window(*v.track, phase, window_lo, window_hi) * kUsToS;
+      u.exposed_s = exchange_total;
+      u.comm_busy_s = engine_busy;
+      u.other_s = std::max(0.0, u.step_s - u.compute_s - u.exposed_s);
+      u.compute_fraction = u.step_s > 0.0 ? u.compute_s / u.step_s : 0.0;
+      report_.utilization.push_back(u);
+      return;
+    }
+    for (const Track* t : sim_rank_tracks_) {
+      RankUtilization u;
+      u.rank = t->rank();
+      u.step_s = step_total;
+      u.compute_s = sum_in_window(*t, "compute", window_lo, window_hi) * kUsToS;
+      u.exposed_s = exchange_total;
+      u.comm_busy_s = engine_busy;
+      u.other_s = std::max(0.0, u.step_s - u.compute_s - u.exposed_s);
+      u.compute_fraction = u.step_s > 0.0 ? u.compute_s / u.step_s : 0.0;
+      report_.utilization.push_back(u);
+    }
+  }
+
+  /// Overlap = comm-leaf time intersecting the same rank view's compute
+  /// spans. Real engines run on the framework thread inside exchange, so a
+  /// real trace's overlap is structurally ~0; the DES engine track runs
+  /// concurrently with the compute track.
+  void overlap() {
+    double busy = 0.0, overlapped = 0.0;
+    if (!report_.simulated) {
+      for (const PhaseView& v : views_) {
+        std::vector<Interval> compute;
+        for (const Span& s : v.track->spans)
+          if (is_phase(s.name) && s.name != "exchange") compute.push_back({s.start, s.end});
+        const auto merged = merge_intervals(std::move(compute));
+        for (const Span& s : v.track->spans) {
+          if (!is_comm_leaf(s.name)) continue;
+          busy += s.duration();
+          overlapped += covered(merged, s.start, s.end);
+        }
+      }
+    } else {
+      std::vector<Interval> compute;
+      for (const Span& s : views_.front().track->spans)
+        if (is_phase(s.name) && s.name != "exchange") compute.push_back({s.start, s.end});
+      const auto merged = merge_intervals(std::move(compute));
+      for (const Track* t : comm_tracks_) {
+        for (const Span& s : t->spans) {
+          if (!is_comm_leaf(s.name)) continue;
+          busy += s.duration();
+          overlapped += covered(merged, s.start, s.end);
+        }
+      }
+    }
+    report_.overlap_fraction = busy > 0.0 ? overlapped / busy : 0.0;
+  }
+
+  /// Backward-completion time of each rank at each step (µs); the raw
+  /// material of both straggler attribution and the backward segment of the
+  /// critical path. NaN marks a rank without a resolvable end.
+  std::vector<std::vector<double>> backward_ends() const {
+    std::vector<std::vector<double>> ends;  // [rank index][step]
+    if (!report_.simulated) {
+      for (const PhaseView& v : views_) {
+        std::vector<double> per_step;
+        for (std::size_t s = 0; s < steps_; ++s)
+          per_step.push_back(
+              last_end_in_window(*v.track, "backward", v.steps[s]->start, v.steps[s]->end));
+        ends.push_back(std::move(per_step));
+      }
+      return ends;
+    }
+    if (!sim_rank_tracks_.empty()) {
+      for (const Track* t : sim_rank_tracks_) {
+        std::vector<double> per_step(steps_, std::nan(""));
+        std::size_t k = 0;
+        for (const Span& s : t->spans)
+          if (s.name == "compute" && k < steps_) per_step[k++] = s.end;
+        ends.push_back(std::move(per_step));
+      }
+      return ends;
+    }
+    const PhaseView& v = views_.front();
+    std::vector<double> per_step;
+    for (std::size_t s = 0; s < steps_; ++s)
+      per_step.push_back(
+          last_end_in_window(*v.track, "backward", v.steps[s]->start, v.steps[s]->end));
+    ends.push_back(std::move(per_step));
+    return ends;
+  }
+
+  int view_rank(std::size_t index) const {
+    if (!report_.simulated) return views_[index].rank;
+    if (!sim_rank_tracks_.empty()) return sim_rank_tracks_[index]->rank();
+    return 0;
+  }
+
+  void critical_path() {
+    // Checkpoints per step: the latest end of each phase across ranks; the
+    // segment between consecutive checkpoints is bounded by the rank whose
+    // lagging phase end defines it.
+    struct Agg {
+      double total_us = 0.0;
+      std::map<int, int> rank_votes;
+    };
+    std::map<std::string, Agg> agg;
+    const std::vector<std::string> chain = {"input", "forward", "backward", "exchange",
+                                            "optimizer"};
+    double critical_total_us = 0.0;
+    for (std::size_t s = 0; s < steps_; ++s) {
+      double t0 = views_.front().steps[s]->start;
+      double step_end = views_.front().steps[s]->end;
+      for (const PhaseView& v : views_) {
+        t0 = std::min(t0, v.steps[s]->start);
+        step_end = std::max(step_end, v.steps[s]->end);
+      }
+      double prev = t0;
+      for (const std::string& phase : chain) {
+        double latest = std::nan("");
+        int rank = -1;
+        for (const PhaseView& v : views_) {
+          const double e =
+              last_end_in_window(*v.track, phase, v.steps[s]->start, v.steps[s]->end);
+          if (std::isnan(e)) continue;
+          if (std::isnan(latest) || e > latest) {
+            latest = e;
+            rank = v.rank;
+          }
+        }
+        if (std::isnan(latest) || latest <= prev) continue;
+        Agg& a = agg[phase];
+        a.total_us += latest - prev;
+        a.rank_votes[rank]++;
+        prev = latest;
+      }
+      if (step_end > prev) {
+        Agg& a = agg["other"];
+        a.total_us += step_end - prev;
+        a.rank_votes[-1]++;
+        prev = step_end;
+      }
+      critical_total_us += prev - t0;
+    }
+    if (critical_total_us <= 0.0) return;
+    std::vector<std::string> order = chain;
+    order.push_back("other");
+    double best_share = 0.0;
+    for (const std::string& phase : order) {
+      const auto it = agg.find(phase);
+      if (it == agg.end() || it->second.total_us <= 0.0) continue;
+      CriticalSegment seg;
+      seg.phase = phase;
+      seg.total_s = it->second.total_us * kUsToS;
+      seg.share = it->second.total_us / critical_total_us;
+      int best_votes = 0;
+      for (const auto& [rank, votes] : it->second.rank_votes)
+        if (votes > best_votes) {
+          best_votes = votes;
+          seg.rank = rank;
+        }
+      if (seg.share > best_share) {
+        best_share = seg.share;
+        report_.critical_rank = seg.rank;
+        report_.critical_path_share = seg.share;
+      }
+      report_.critical_path.push_back(std::move(seg));
+    }
+    report_.critical_path_s =
+        steps_ > 0 ? critical_total_us / static_cast<double>(steps_) * kUsToS : 0.0;
+  }
+
+  void stragglers() {
+    const auto ends = backward_ends();
+    if (ends.size() < 2) return;
+    util::RunStats slack_stats;
+    std::vector<double> slack_mean(ends.size(), 0.0);
+    std::vector<int> last_votes(ends.size(), 0);
+    double skew_sum = 0.0;
+    std::size_t skew_steps = 0;
+    for (std::size_t s = 0; s < steps_; ++s) {
+      double latest = std::nan(""), earliest = std::nan("");
+      std::size_t latest_rank = 0;
+      for (std::size_t r = 0; r < ends.size(); ++r) {
+        const double e = ends[r][s];
+        if (std::isnan(e)) continue;
+        if (std::isnan(latest) || e > latest) {
+          latest = e;
+          latest_rank = r;
+        }
+        if (std::isnan(earliest) || e < earliest) earliest = e;
+      }
+      if (std::isnan(latest)) continue;
+      last_votes[latest_rank]++;
+      for (std::size_t r = 0; r < ends.size(); ++r) {
+        if (std::isnan(ends[r][s])) continue;
+        const double slack = (latest - ends[r][s]) * kUsToS;
+        slack_stats.add(slack);
+        slack_mean[r] += slack;
+      }
+      const double step_dur = views_.front().steps[s]->duration() * kUsToS;
+      if (step_dur > 0.0) {
+        skew_sum += (latest - earliest) * kUsToS / step_dur;
+        ++skew_steps;
+      }
+    }
+    for (std::size_t r = 0; r < report_.utilization.size() && r < slack_mean.size(); ++r)
+      report_.utilization[r].slack_mean_s =
+          steps_ > 0 ? slack_mean[r] / static_cast<double>(steps_) : 0.0;
+    int best = 0;
+    for (std::size_t r = 0; r < last_votes.size(); ++r)
+      if (last_votes[r] > best) {
+        best = last_votes[r];
+        report_.straggler_rank = view_rank(r);
+      }
+    if (slack_stats.count() > 0) report_.straggler_slack_p99_s = slack_stats.percentile(0.99);
+    report_.skew_fraction = skew_steps > 0 ? skew_sum / static_cast<double>(skew_steps) : 0.0;
+  }
+
+  void allreduce_buckets() {
+    if (opt_.cost == nullptr) return;
+    constexpr double kEdges[] = {0.0, 64.0 * 1024, 1024.0 * 1024, 16.0 * 1024 * 1024, -1.0};
+    struct Acc {
+      std::uint64_t count = 0;
+      double bytes = 0.0, busy_us = 0.0;
+    };
+    Acc acc[4];
+    for (const Track* t : comm_tracks_) {
+      for (const Span& s : t->spans) {
+        if (s.name != "allreduce.data" || s.bytes <= 0.0) continue;
+        std::size_t b = 3;
+        for (std::size_t i = 0; i < 3; ++i)
+          if (s.bytes < kEdges[i + 1]) {
+            b = i;
+            break;
+          }
+        acc[b].count++;
+        acc[b].bytes += s.bytes;
+        acc[b].busy_us += s.duration();
+      }
+    }
+    for (std::size_t b = 0; b < 4; ++b) {
+      if (acc[b].count == 0) continue;
+      AllreduceBucket bucket;
+      bucket.lo_bytes = kEdges[b];
+      bucket.hi_bytes = b < 3 ? kEdges[b + 1] : -1.0;
+      bucket.count = acc[b].count;
+      bucket.bytes_total = acc[b].bytes;
+      bucket.busy_s = acc[b].busy_us * kUsToS;
+      bucket.achieved_gbs = bucket.busy_s > 0.0 ? bucket.bytes_total / bucket.busy_s / 1e9 : 0.0;
+      const double mean_bytes = bucket.bytes_total / static_cast<double>(bucket.count);
+      bucket.model_s = opt_.cost->allreduce_time(mean_bytes);
+      bucket.efficiency = bucket.busy_s > 0.0
+                              ? bucket.model_s * static_cast<double>(bucket.count) / bucket.busy_s
+                              : 0.0;
+      report_.allreduce.push_back(bucket);
+    }
+  }
+
+  /// Gradient arrival proxy for predicted-vs-measured comparison: rank 0's
+  /// first-step data allreduces, timed relative to its backward start.
+  void grad_events() {
+    const PhaseView& v = views_.front();
+    const Span& w = *v.steps.front();
+    double bwd_start = std::nan("");
+    for (const Span& s : v.track->spans)
+      if (s.name == "backward" && s.start >= w.start && s.start < w.end) {
+        bwd_start = s.start;
+        break;
+      }
+    if (std::isnan(bwd_start)) bwd_start = w.start;
+    const Track* comm = comm_tracks_.empty() ? v.track : comm_tracks_.front();
+    for (const Span& s : comm->spans) {
+      if (s.name != "allreduce.data" || s.bytes <= 0.0) continue;
+      if (s.start < w.start || s.start >= w.end) continue;
+      exec::GradEvent e;
+      e.time = std::max(0.0, (s.start - bwd_start) * kUsToS);
+      e.bytes = s.bytes;
+      report_.grad_events.push_back(e);
+    }
+  }
+
+  void verdict() {
+    const double step = report_.step_s;
+    const double compute_share =
+        step > 0.0 ? (report_.forward_s + report_.backward_s + report_.optimizer_s) / step : 0.0;
+    const double comm_share = step > 0.0 ? report_.exchange_s / step : 0.0;
+    const double input_share = step > 0.0 ? report_.input_s / step : 0.0;
+    report_.verdict = pick_verdict(compute_share, comm_share, input_share,
+                                   report_.skew_fraction, report_.ranks,
+                                   report_.verdict_reason);
+  }
+
+  void checks() {
+    if (report_.unattributed_fraction > opt_.unattributed_warn_fraction)
+      report_.diags.warn(
+          "T001", object_, "phases",
+          percent(report_.unattributed_fraction) +
+              " of step time is outside the input/forward/backward/exchange/optimizer scopes",
+          "the phase accounting no longer covers the step; re-check the trainer's "
+          "span instrumentation");
+    if (opt_.policy != nullptr && report_.step_s > 0.0) {
+      double busy = 0.0;
+      for (const RankUtilization& u : report_.utilization) busy += u.comm_busy_s;
+      busy /= std::max<std::size_t>(1, report_.utilization.size());
+      const double busy_share = busy / (report_.step_s * static_cast<double>(report_.steps));
+      const double achievable =
+          report_.backward_s > 0.0
+              ? std::max(0.0, 1.0 - opt_.policy->cycle_time_s / report_.backward_s)
+              : 0.0;
+      if (busy_share > 0.05 && report_.overlap_fraction < 0.5 * achievable)
+        report_.diags.advice(
+            "T002", object_, "overlap",
+            "compute-communication overlap " + percent(report_.overlap_fraction) +
+                " is below half the fusion policy's achievable bound " + percent(achievable),
+            "shorten the cycle time or submit gradients earlier so allreduces overlap "
+            "the remaining backward pass");
+    }
+    if (report_.ranks > 1 && report_.skew_fraction > opt_.straggler_warn_fraction)
+      report_.diags.warn(
+          "T003", object_, "ranks",
+          "inter-rank backward skew is " + percent(report_.skew_fraction) +
+              " of step time; rank " + std::to_string(report_.straggler_rank) +
+              " finishes last most often",
+          "synchronous SGD runs at the slowest rank's pace; check placement/jitter on "
+          "that rank");
+    for (const AllreduceBucket& b : report_.allreduce)
+      if (b.efficiency > 0.0 && b.efficiency < 0.5) {
+        std::ostringstream os;
+        os << "allreduce bucket [" << b.lo_bytes << ", "
+           << (b.hi_bytes < 0 ? std::string("inf") : std::to_string(b.hi_bytes))
+           << ") runs at " << percent(b.efficiency)
+           << " of the cost model's bandwidth";
+        report_.diags.advice("T004", object_, "allreduce", os.str(),
+                             "contention or an unmodeled fabric bottleneck; compare "
+                             "against the cluster preset the model was fit to");
+        break;  // one finding; per-bucket detail is in the report table
+      }
+  }
+
+  const TraceModel& model_;
+  const std::string& object_;
+  const ProfileOptions& opt_;
+  ProfileReport report_;
+  std::vector<PhaseView> views_;
+  std::vector<const Track*> comm_tracks_;      ///< unique tracks with comm leaves
+  std::vector<const Track*> sim_rank_tracks_;  ///< "sim rank N" (per-rank DES)
+  std::size_t steps_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::ComputeBound: return "ComputeBound";
+    case Verdict::CommBound: return "CommBound";
+    case Verdict::StragglerBound: return "StragglerBound";
+    case Verdict::InputBound: return "InputBound";
+  }
+  return "?";
+}
+
+ProfileReport profile_trace(const TraceModel& model, const std::string& object,
+                            const ProfileOptions& options) {
+  return Profiler(model, object, options).run();
+}
+
+ProfileReport profile_trace_text(const std::string& json_text, const std::string& object,
+                                 const ProfileOptions& options) {
+  util::Diagnostics diags;
+  const TraceModel model = parse_trace(json_text, object, diags);
+  if (diags.has_errors()) {
+    ProfileReport report;
+    report.source = object;
+    report.diags = std::move(diags);
+    return report;
+  }
+  return profile_trace(model, object, options);
+}
+
+ProfileReport profile_trace_file(const std::string& path, const ProfileOptions& options) {
+  util::Diagnostics diags;
+  const TraceModel model = parse_trace_file(path, diags);
+  if (diags.has_errors()) {
+    ProfileReport report;
+    report.source = path;
+    report.diags = std::move(diags);
+    return report;
+  }
+  return profile_trace(model, path, options);
+}
+
+std::string to_text(const ProfileReport& report) {
+  std::ostringstream os;
+  os << "profile: " << report.source << (report.simulated ? " (simulated)" : "") << "\n";
+  os << "ranks " << report.ranks << ", steps " << report.steps << ", step time "
+     << util::TextTable::num(report.step_s * 1e3, 3) << " ms\n\n";
+
+  util::TextTable phases({"phase", "per-step ms", "share"});
+  for (const PhaseBreakdown& p : report.phases)
+    phases.add_row({p.phase, util::TextTable::num(p.per_step_s * 1e3, 3),
+                    util::TextTable::num(p.share * 100.0, 1) + "%"});
+  os << phases.to_text() << "\n";
+
+  util::TextTable util_table(
+      {"rank", "compute ms", "comm busy ms", "exposed ms", "other ms", "compute %", "slack ms"});
+  for (const RankUtilization& u : report.utilization)
+    util_table.add_row({std::to_string(u.rank), util::TextTable::num(u.compute_s * 1e3, 3),
+                        util::TextTable::num(u.comm_busy_s * 1e3, 3),
+                        util::TextTable::num(u.exposed_s * 1e3, 3),
+                        util::TextTable::num(u.other_s * 1e3, 3),
+                        util::TextTable::num(u.compute_fraction * 100.0, 1),
+                        util::TextTable::num(u.slack_mean_s * 1e3, 3)});
+  os << util_table.to_text() << "\n";
+
+  os << "overlap: " << util::TextTable::num(report.overlap_fraction * 100.0, 1)
+     << "% of comm busy time overlaps compute\n";
+  os << "critical path (" << util::TextTable::num(report.critical_path_s * 1e3, 3)
+     << " ms/step):";
+  for (const CriticalSegment& seg : report.critical_path) {
+    os << " " << seg.phase << " " << util::TextTable::num(seg.share * 100.0, 1) << "%";
+    if (seg.rank >= 0) os << " (rank " << seg.rank << ")";
+  }
+  os << "\n";
+  if (report.ranks > 1)
+    os << "stragglers: rank " << report.straggler_rank << " trails most often; slack p99 "
+       << util::TextTable::num(report.straggler_slack_p99_s * 1e3, 3) << " ms; skew "
+       << util::TextTable::num(report.skew_fraction * 100.0, 1) << "% of step\n";
+  if (!report.allreduce.empty()) {
+    util::TextTable ar({"bucket bytes", "count", "achieved GB/s", "model ms", "efficiency"});
+    for (const AllreduceBucket& b : report.allreduce) {
+      std::string label = "[" + std::to_string(static_cast<long long>(b.lo_bytes)) + ", " +
+                          (b.hi_bytes < 0.0
+                               ? std::string("inf")
+                               : std::to_string(static_cast<long long>(b.hi_bytes))) +
+                          ")";
+      ar.add_row({label, std::to_string(b.count), util::TextTable::num(b.achieved_gbs, 3),
+                  util::TextTable::num(b.model_s * 1e3, 3),
+                  util::TextTable::num(b.efficiency, 2)});
+    }
+    os << ar.to_text();
+  }
+  os << "verdict: " << to_string(report.verdict) << " — " << report.verdict_reason << "\n";
+  if (!report.diags.empty()) os << "\n" << util::render_text(report.diags);
+  return os.str();
+}
+
+namespace {
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+void json_num(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "0";
+    return;
+  }
+  os << std::setprecision(12) << v;
+}
+
+}  // namespace
+
+std::string to_json(const ProfileReport& report) {
+  std::ostringstream os;
+  os << "{\"schema\":\"dnnperf-profile-v1\",\"source\":";
+  json_escape(os, report.source);
+  os << ",\"simulated\":" << (report.simulated ? "true" : "false");
+  os << ",\"ranks\":" << report.ranks << ",\"steps\":" << report.steps;
+  os << ",\"step_seconds\":";
+  json_num(os, report.step_s);
+  os << ",\"phases\":[";
+  for (std::size_t i = 0; i < report.phases.size(); ++i) {
+    const PhaseBreakdown& p = report.phases[i];
+    if (i) os << ",";
+    os << "{\"phase\":";
+    json_escape(os, p.phase);
+    os << ",\"per_step_seconds\":";
+    json_num(os, p.per_step_s);
+    os << ",\"share\":";
+    json_num(os, p.share);
+    os << "}";
+  }
+  os << "],\"unattributed_fraction\":";
+  json_num(os, report.unattributed_fraction);
+  os << ",\"utilization\":[";
+  for (std::size_t i = 0; i < report.utilization.size(); ++i) {
+    const RankUtilization& u = report.utilization[i];
+    if (i) os << ",";
+    os << "{\"rank\":" << u.rank << ",\"step_seconds\":";
+    json_num(os, u.step_s);
+    os << ",\"compute_seconds\":";
+    json_num(os, u.compute_s);
+    os << ",\"comm_busy_seconds\":";
+    json_num(os, u.comm_busy_s);
+    os << ",\"exposed_seconds\":";
+    json_num(os, u.exposed_s);
+    os << ",\"other_seconds\":";
+    json_num(os, u.other_s);
+    os << ",\"compute_fraction\":";
+    json_num(os, u.compute_fraction);
+    os << ",\"slack_mean_seconds\":";
+    json_num(os, u.slack_mean_s);
+    os << "}";
+  }
+  os << "],\"overlap_fraction\":";
+  json_num(os, report.overlap_fraction);
+  os << ",\"critical_path\":{\"per_step_seconds\":";
+  json_num(os, report.critical_path_s);
+  os << ",\"rank\":" << report.critical_rank << ",\"dominant_share\":";
+  json_num(os, report.critical_path_share);
+  os << ",\"segments\":[";
+  for (std::size_t i = 0; i < report.critical_path.size(); ++i) {
+    const CriticalSegment& seg = report.critical_path[i];
+    if (i) os << ",";
+    os << "{\"phase\":";
+    json_escape(os, seg.phase);
+    os << ",\"rank\":" << seg.rank << ",\"total_seconds\":";
+    json_num(os, seg.total_s);
+    os << ",\"share\":";
+    json_num(os, seg.share);
+    os << "}";
+  }
+  os << "]},\"stragglers\":{\"rank\":" << report.straggler_rank << ",\"slack_p99_seconds\":";
+  json_num(os, report.straggler_slack_p99_s);
+  os << ",\"skew_fraction\":";
+  json_num(os, report.skew_fraction);
+  os << "},\"allreduce\":[";
+  for (std::size_t i = 0; i < report.allreduce.size(); ++i) {
+    const AllreduceBucket& b = report.allreduce[i];
+    if (i) os << ",";
+    os << "{\"lo_bytes\":";
+    json_num(os, b.lo_bytes);
+    os << ",\"hi_bytes\":";
+    json_num(os, b.hi_bytes);
+    os << ",\"count\":" << b.count << ",\"achieved_gb_per_sec\":";
+    json_num(os, b.achieved_gbs);
+    os << ",\"model_seconds\":";
+    json_num(os, b.model_s);
+    os << ",\"efficiency\":";
+    json_num(os, b.efficiency);
+    os << "}";
+  }
+  os << "],\"verdict\":";
+  json_escape(os, to_string(report.verdict));
+  os << ",\"verdict_reason\":";
+  json_escape(os, report.verdict_reason);
+  os << ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < report.diags.items().size(); ++i) {
+    const util::Diagnostic& d = report.diags.items()[i];
+    if (i) os << ",";
+    os << "{\"code\":";
+    json_escape(os, d.code);
+    os << ",\"severity\":";
+    json_escape(os, util::to_string(d.severity));
+    os << ",\"message\":";
+    json_escape(os, d.message);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void publish_metrics(const ProfileReport& report) {
+  util::metrics::gauge("prof_overlap_ratio",
+                       "Fraction of comm busy time overlapped with compute (last profile)")
+      .set(report.overlap_fraction);
+  util::metrics::gauge("prof_critical_path_share",
+                       "Share of the critical path taken by its dominant segment")
+      .set(report.critical_path_share);
+  util::metrics::gauge("prof_straggler_slack_p99_seconds",
+                       "p99 of per-(rank, step) backward slack behind the last rank")
+      .set(report.straggler_slack_p99_s);
+  util::metrics::gauge("prof_unattributed_ratio",
+                       "Fraction of step time outside the phase scopes (last profile)")
+      .set(report.unattributed_fraction);
+}
+
+SimPointVerdict classify_sim_point(const SimPointInputs& in) {
+  SimPointVerdict out;
+  const double step = in.step_s;
+  if (step <= 0.0) {
+    out.reason = "zero step time";
+    return out;
+  }
+  const double compute = in.forward_s + in.backward_s + in.optimizer_s;
+  out.compute_share = std::min(1.0, compute / step);
+  out.comm_share = std::clamp(in.comm_exposed_fraction, 0.0, 1.0);
+  out.input_share = std::clamp(in.input_stall_fraction, 0.0, 1.0);
+  // Expected-max inflation turns into per-step skew time: the slowest rank
+  // stretches compute by (factor - 1) over the mean.
+  out.straggler_share =
+      std::min(1.0, std::max(0.0, (in.straggler_stretch - 1.0) * compute / step));
+  const double exposed_s = out.comm_share * step;
+  out.overlap_fraction =
+      in.comm_busy_s > 0.0
+          ? std::clamp((in.comm_busy_s - exposed_s) / in.comm_busy_s, 0.0, 1.0)
+          : 0.0;
+  out.verdict = pick_verdict(out.compute_share, out.comm_share, out.input_share,
+                             out.straggler_share, in.straggler_stretch > 1.0 ? 2 : 1,
+                             out.reason);
+  return out;
+}
+
+}  // namespace dnnperf::prof

@@ -1,0 +1,109 @@
+#include "prof/trace_model.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/jsonlite.hpp"
+
+namespace dnnperf::prof {
+
+namespace jl = util::jsonlite;
+
+int Track::rank() const {
+  const std::string* tail = nullptr;
+  std::string rest;
+  if (thread_name.starts_with("rank ")) {
+    rest = thread_name.substr(5);
+    tail = &rest;
+  } else if (thread_name.starts_with("sim rank ")) {
+    rest = thread_name.substr(9);
+    tail = &rest;
+  }
+  if (tail == nullptr || tail->empty()) return -1;
+  for (char c : *tail)
+    if (c < '0' || c > '9') return -1;
+  return std::stoi(*tail);
+}
+
+std::string Track::label() const {
+  std::string label = "pid " + std::to_string(pid) + "/tid " + std::to_string(tid);
+  if (!thread_name.empty()) label += " (" + thread_name + ")";
+  return label;
+}
+
+TraceModel parse_trace(const std::string& json_text, const std::string& object,
+                       util::Diagnostics& diags) {
+  TraceModel model;
+  jl::Value doc;
+  try {
+    doc = jl::parse(json_text, "trace JSON");
+  } catch (const std::exception& e) {
+    diags.error("V101", object, "document", e.what(),
+                "is this a util/trace write_json() artifact?");
+    return model;
+  }
+  const jl::Value* events = doc.get("traceEvents");
+  if (events == nullptr || events->kind != jl::Value::Kind::Array) {
+    diags.error("V101", object, "traceEvents", "document has no traceEvents array", "");
+    return model;
+  }
+  std::map<std::pair<int, int>, Track> tracks;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const jl::Value& e = events->array[i];
+    const bool ok = e.kind == jl::Value::Kind::Object && e.has("name") && e.has("ph") &&
+                    e.has("pid") && e.has("tid") && e.has("ts") &&
+                    (e.at("ph").string != "X" || e.has("dur"));
+    if (!ok) {
+      diags.error("V101", object, "traceEvents[" + std::to_string(i) + "]",
+                  "event is missing required fields (name/ph/pid/tid/ts, dur for 'X')", "");
+      return TraceModel{};
+    }
+    const auto key = std::make_pair(static_cast<int>(e.at("pid").number),
+                                    static_cast<int>(e.at("tid").number));
+    Track& track = tracks[key];
+    track.pid = key.first;
+    track.tid = key.second;
+    const std::string& ph = e.at("ph").string;
+    if (ph == "M" && e.has("args")) {
+      if (e.at("name").string == "thread_name")
+        track.thread_name = e.at("args").at("name").string;
+      else if (e.at("name").string == "process_name")
+        track.process_name = e.at("args").at("name").string;
+    }
+    if (ph != "X") continue;
+    Span span;
+    span.name = e.at("name").string;
+    span.start = e.at("ts").number;
+    span.end = span.start + e.at("dur").number;
+    if (const jl::Value* args = e.get("args")) {
+      if (const jl::Value* bytes = args->get("bytes")) span.bytes = bytes->number;
+      if (const jl::Value* tensors = args->get("tensors")) span.tensors = tensors->number;
+      if (const jl::Value* step = args->get("step")) span.step = step->number;
+      if (const jl::Value* iter = args->get("iteration")) span.step = iter->number;
+    }
+    track.spans.push_back(std::move(span));
+  }
+  model.tracks.reserve(tracks.size());
+  for (auto& [key, track] : tracks) {
+    std::stable_sort(track.spans.begin(), track.spans.end(), [](const Span& a, const Span& b) {
+      return a.start != b.start ? a.start < b.start : a.end > b.end;
+    });
+    model.tracks.push_back(std::move(track));
+  }
+  return model;
+}
+
+TraceModel parse_trace_file(const std::string& path, util::Diagnostics& diags) {
+  std::ifstream in(path);
+  if (!in) {
+    diags.error("V101", path, "file", "cannot open trace file", "");
+    return TraceModel{};
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_trace(text.str(), path, diags);
+}
+
+}  // namespace dnnperf::prof

@@ -1,0 +1,71 @@
+// Parsed-trace model shared by the happens-before verifier
+// (analysis/verify/trace_verifier) and the profiler (prof/profile).
+//
+// A recorded Chrome trace-event document (util/trace write_json()) is
+// flattened into per-(pid, tid) Tracks of complete-event Spans, with the
+// metadata names (process_name/thread_name) attached and the span args the
+// downstream passes care about (bytes, tensors, step/iteration) lifted into
+// typed fields. Spans are sorted by (start asc, end desc) so a parent scope
+// always precedes its children — both the verifier's nesting sweep and the
+// profiler's phase attribution rely on that order.
+//
+// Parsing never throws on bad input: malformed documents are reported as
+// V101 diagnostics (the verifier's well-formedness code) and yield an empty
+// model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/diag.hpp"
+
+namespace dnnperf::prof {
+
+/// One complete ('X') event: a scoped section on a track. Times are in the
+/// document's microsecond clock (real traces: steady-clock µs; DES traces:
+/// virtual seconds * 1e6).
+struct Span {
+  std::string name;
+  double start = 0.0;
+  double end = 0.0;
+  double bytes = -1.0;    ///< args.bytes (data allreduces), -1 = absent
+  double tensors = -1.0;  ///< args.tensors (fused allreduces), -1 = absent
+  double step = -1.0;     ///< args.step / args.iteration, -1 = absent
+
+  double duration() const { return end - start; }
+};
+
+/// All spans recorded on one (pid, tid) pair, plus its metadata names.
+struct Track {
+  int pid = 0;
+  int tid = 0;
+  std::string process_name;
+  std::string thread_name;
+  std::vector<Span> spans;  ///< sorted by (start asc, end desc)
+
+  /// True for DES virtual-time tracks (util/trace kSimulatedPid).
+  bool simulated() const { return pid == 2; }
+  /// Parses "rank N" / "sim rank N" thread names; -1 when not a rank track.
+  int rank() const;
+  /// Human label for diagnostics: "pid 1/tid 3 (rank 2)".
+  std::string label() const;
+};
+
+/// A whole parsed document: tracks ordered by (pid, tid).
+struct TraceModel {
+  std::vector<Track> tracks;
+  bool empty() const { return tracks.empty(); }
+};
+
+/// Parses trace JSON text into a TraceModel. Malformed input (unparseable
+/// JSON, missing traceEvents, events without the viewer's required fields)
+/// is reported as V101 on `diags` — the model returned is then empty and
+/// must not be interpreted further. `object` labels the diagnostics
+/// (usually the file name).
+TraceModel parse_trace(const std::string& json_text, const std::string& object,
+                       util::Diagnostics& diags);
+
+/// parse_trace() over a file's contents; an unreadable file is a V101.
+TraceModel parse_trace_file(const std::string& path, util::Diagnostics& diags);
+
+}  // namespace dnnperf::prof

@@ -24,6 +24,8 @@ double since(std::chrono::steady_clock::time_point t0) {
 /// Per-step phase timers + throughput, published alongside PhaseTimes so the
 /// printed tables and the exported snapshots come from the same samples.
 struct TrainMetrics {
+  util::metrics::Histogram input = util::metrics::histogram(
+      "train_step_input_seconds", "Batch synthesis + shard extraction per step, seconds");
   util::metrics::Histogram forward = util::metrics::histogram(
       "train_step_forward_seconds", "Forward pass + loss per step, seconds");
   util::metrics::Histogram backward = util::metrics::histogram(
@@ -105,15 +107,23 @@ RealTrainResult run_real_training(const RealTrainConfig& cfg) {
     const auto loop_start = std::chrono::steady_clock::now();
 
     for (int step = 0; step < cfg.steps; ++step) {
+      const auto step_start = std::chrono::steady_clock::now();
       DNNPERF_TRACE_SPAN_VAR(step_span, "train", "step");
       if (step_span.active())
         step_span.set_args(std::move(util::trace::Args().add("step", step)).str());
-      const auto global =
-          ref::synthetic_batch(global_batch, cfg.channels, cfg.image_size, cfg.classes, data_rng);
-      const auto shard = shard_of(global, comm.rank(), cfg.batch_per_rank);
+      auto t0 = std::chrono::steady_clock::now();
+      ref::SyntheticBatch shard;
+      {
+        DNNPERF_TRACE_SPAN("train", "input");
+        const auto global = ref::synthetic_batch(global_batch, cfg.channels, cfg.image_size,
+                                                 cfg.classes, data_rng);
+        shard = shard_of(global, comm.rank(), cfg.batch_per_rank);
+      }
+      phases.input.add(since(t0));
+      tm.input.observe(since(t0));
 
       // The train_step of ref::Network, phase by phase so each can be timed.
-      auto t0 = std::chrono::steady_clock::now();
+      t0 = std::chrono::steady_clock::now();
       float loss;
       ref::Tensor dlogits;
       {
@@ -155,6 +165,7 @@ RealTrainResult run_real_training(const RealTrainConfig& cfg) {
 
       mpi::allreduce(comm, std::span<float>(&loss, 1), mpi::ReduceOp::Sum);
       losses.push_back(loss / static_cast<float>(cfg.ranks));
+      phases.step.add(since(step_start));
     }
 
     if (comm.rank() == 0) {
@@ -189,13 +200,21 @@ RealTrainResult run_real_training_single(const RealTrainConfig& cfg) {
   const auto loop_start = std::chrono::steady_clock::now();
 
   for (int step = 0; step < cfg.steps; ++step) {
+    const auto step_start = std::chrono::steady_clock::now();
     DNNPERF_TRACE_SPAN_VAR(step_span, "train", "step");
     if (step_span.active())
       step_span.set_args(std::move(util::trace::Args().add("step", step)).str());
-    const auto batch =
-        ref::synthetic_batch(global_batch, cfg.channels, cfg.image_size, cfg.classes, data_rng);
-
     auto t0 = std::chrono::steady_clock::now();
+    ref::SyntheticBatch batch;
+    {
+      DNNPERF_TRACE_SPAN("train", "input");
+      batch =
+          ref::synthetic_batch(global_batch, cfg.channels, cfg.image_size, cfg.classes, data_rng);
+    }
+    result.phases.input.add(since(t0));
+    tm.input.observe(since(t0));
+
+    t0 = std::chrono::steady_clock::now();
     float loss;
     ref::Tensor dlogits;
     {
@@ -224,6 +243,7 @@ RealTrainResult run_real_training_single(const RealTrainConfig& cfg) {
     tm.images.inc(static_cast<std::uint64_t>(global_batch));
 
     result.losses.push_back(loss);
+    result.phases.step.add(since(step_start));
   }
   result.parameters = net.num_parameters();
   result.final_params = flatten_params(net);

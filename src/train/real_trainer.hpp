@@ -40,10 +40,16 @@ struct RealTrainConfig {
 /// timeline simulator takes as input: `exchange` is the time the framework
 /// thread is blocked on gradient exchange, i.e. the *exposed* communication.
 struct PhaseTimes {
+  util::RunStats input;      ///< batch synthesis + shard extraction
   util::RunStats forward;    ///< forward pass + loss/gradient at the head
   util::RunStats backward;   ///< backpropagation through all layers
   util::RunStats exchange;   ///< submit + engine synchronize (allreduces)
   util::RunStats optimizer;  ///< SGD parameter update
+  /// Whole-step wall time, sampled around the same loop body the phase
+  /// timers partition — input+forward+backward+exchange+optimizer must
+  /// reconcile with this within a small tolerance (the profiler's T001
+  /// check enforces the same invariant on recorded traces).
+  util::RunStats step;
 };
 
 struct RealTrainResult {

@@ -82,6 +82,13 @@ struct TrainResult {
   double bwd_s = 0.0;
   double optimizer_s = 0.0;
   double comm_exposed_fraction = 0.0;
+  /// Engine busy seconds per iteration (negotiation + data allreduces);
+  /// together with the exposed fraction this yields the compute-comm overlap
+  /// the profiler's verdict classification uses.
+  double comm_busy_per_iteration_s = 0.0;
+  /// Expected-max compute inflation across ranks applied by the simulation
+  /// (1.0 in per-rank mode, where jitter is drawn explicitly).
+  double straggler_stretch = 1.0;
   hvd::CommStats comm;
   int world_size = 1;
   int effective_batch = 0;      ///< global batch = world * batch_per_rank

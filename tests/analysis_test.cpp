@@ -480,7 +480,7 @@ TEST(Registry, CodeLetterDeterminesTheFamily) {
       {"G", "graph"},        {"P", "platform"},     {"N", "network"},
       {"H", "policy"},       {"S", "schedule"},     {"A", "advisor"},
       {"M", "metrics"},      {"O", "optimizer"},    {"V0", "verify-engine"},
-      {"V1", "verify-trace"},
+      {"V1", "verify-trace"}, {"T", "profile"},
   };
   std::set<std::string> seen_families;
   for (const auto& info : pass_registry()) {

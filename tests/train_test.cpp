@@ -244,6 +244,28 @@ TEST(RealTrainer, HierarchicalExchangeMatchesFlat) {
   EXPECT_THROW(run_real_training(bad), std::invalid_argument);
 }
 
+TEST(RealTrainer, PhaseAccountingReconcilesWithStepTime) {
+  // The five phase timers partition the loop body the step timer brackets:
+  // their sum must reconcile with the measured wall step time. The slack
+  // budget covers the untimed loss allreduce and timer overhead — the same
+  // invariant the profiler's T001 check enforces on recorded traces at 5%.
+  RealTrainConfig cfg;
+  cfg.ranks = 2;
+  cfg.batch_per_rank = 4;
+  cfg.steps = 4;
+  for (const auto& r : {run_real_training(cfg), run_real_training_single(cfg)}) {
+    const double step = r.phases.step.mean();
+    const double attributed = r.phases.input.mean() + r.phases.forward.mean() +
+                              r.phases.backward.mean() + r.phases.exchange.mean() +
+                              r.phases.optimizer.mean();
+    ASSERT_GT(step, 0.0);
+    EXPECT_EQ(r.phases.step.count(), static_cast<std::size_t>(cfg.steps));
+    EXPECT_LE(attributed, step * 1.0001 + 1e-6);  // phases cannot exceed the step
+    EXPECT_GE(attributed, step * 0.85 - 200e-6)
+        << "unattributed step time: step " << step << " s vs phases " << attributed << " s";
+  }
+}
+
 TEST(RealTrainer, RejectsBadConfig) {
   RealTrainConfig cfg;
   cfg.ranks = 0;

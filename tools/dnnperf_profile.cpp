@@ -1,0 +1,129 @@
+// dnnperf_profile: trace analytics over recorded Chrome trace-event
+// documents (util/trace) — the "where did the step time go" CLI. Ingests a
+// real rank-track trace or a DES virtual-time trace, reconstructs per-rank
+// phase timelines, and reports per-rank utilization, compute-communication
+// overlap, the critical path through a step, straggler attribution,
+// allreduce efficiency against the collective cost model, and one
+// bottleneck verdict (ComputeBound|CommBound|StragglerBound|InputBound).
+//
+//   dnnperf_profile train.trace.json                       # text report
+//   dnnperf_profile --trace=t.json --format=json           # dnnperf-profile-v1
+//   dnnperf_profile t.json --compare-sim                   # + DES alignment
+//   dnnperf_profile t.json --cluster=Stampede2 --ppn=48
+//
+// --compare-sim feeds the measured phase times and gradient-arrival events
+// back into the DES timeline and reports per-phase predicted-vs-measured
+// relative error (the paper's model-validation loop). Exit code is 1 only
+// on Error-severity findings (unparseable/unprofilable trace); Warn/Advice
+// findings are reported in the output and exit 0.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "hw/platforms.hpp"
+#include "mpi/cost.hpp"
+#include "net/link.hpp"
+#include "net/topology.hpp"
+#include "prof/compare.hpp"
+#include "prof/profile.hpp"
+#include "prof/trace_model.hpp"
+#include "util/cli.hpp"
+#include "util/diag.hpp"
+#include "util/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dnnperf;
+  util::CliParser cli("dnnperf_profile",
+                      "trace analytics: utilization, overlap, critical path, straggler "
+                      "attribution, bottleneck verdict\n"
+                      "  usage: dnnperf_profile <trace.json> [--compare-sim] [--format=text|json]");
+  cli.add_string("trace", "trace file (alternative to the positional argument)", "");
+  cli.add_flag("compare-sim", "re-run the DES with the measured inputs and report "
+               "per-phase predicted-vs-measured error", false);
+  cli.add_string("cluster", "cluster preset naming the collective cost model", "RI2-Skylake");
+  cli.add_int("nodes", "nodes behind the trace (0 = assume 1)", 0);
+  cli.add_int("ppn", "ranks per node (0 = all traced ranks on one node)", 0);
+  cli.add_string("format", "report format: text|json", "text");
+  cli.add_string("out", "write the report here instead of stdout", "");
+  cli.add_string("metrics-out", "publish prof_* gauges and write a metrics snapshot here", "");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    std::string path = cli.get_string("trace");
+    if (path.empty() && !cli.positional().empty()) path = cli.positional().front();
+    if (path.empty()) throw std::invalid_argument("no trace file given (--trace or positional)");
+    const std::string format = cli.get_string("format");
+    if (format != "text" && format != "json")
+      throw std::invalid_argument("--format must be text|json");
+    const std::string metrics_out = cli.get_string("metrics-out");
+
+    util::Diagnostics parse_diags;
+    const prof::TraceModel model = prof::parse_trace_file(path, parse_diags);
+    if (parse_diags.has_errors()) {
+      std::cerr << util::render_text(parse_diags);
+      return 1;
+    }
+
+    // Rank geometry: explicit flags win; otherwise every traced rank shares
+    // one node (the in-process recording layout).
+    int ranks = 0;
+    for (const prof::Track& t : model.tracks) ranks += t.rank() >= 0 ? 1 : 0;
+    ranks = std::max(1, ranks);
+    const int nodes = cli.get_int("nodes") > 0 ? static_cast<int>(cli.get_int("nodes")) : 1;
+    const int ppn = cli.get_int("ppn") > 0 ? static_cast<int>(cli.get_int("ppn"))
+                                           : std::max(1, ranks / nodes);
+
+    const hw::ClusterModel cluster = hw::cluster_by_name(cli.get_string("cluster"));
+    const net::Topology topology(nodes, ppn, cluster.fabric, net::shared_memory_params());
+    const mpi::CollectiveCostModel cost(topology);
+    const hvd::FusionPolicy policy;
+
+    prof::ProfileOptions options;
+    options.cost = &cost;
+    options.policy = &policy;
+    const prof::ProfileReport report = prof::profile_trace(model, path, options);
+
+    std::optional<prof::CompareReport> compare;
+    if (cli.get_flag("compare-sim") && !report.diags.has_errors())
+      compare = prof::compare_with_sim(report, policy, nodes * ppn > 1 ? &cost : nullptr);
+
+    std::string rendered;
+    if (format == "text") {
+      rendered = prof::to_text(report);
+      if (compare) rendered += "\n" + prof::to_text(*compare);
+    } else {
+      rendered = prof::to_json(report);
+      if (compare) {
+        rendered.pop_back();  // strip the envelope's closing brace
+        rendered += ",\"compare_sim\":" + prof::to_json(*compare) + "}";
+      }
+      rendered += "\n";
+    }
+    const std::string out_path = cli.get_string("out");
+    if (out_path.empty()) {
+      std::cout << rendered;
+    } else {
+      std::ofstream out(out_path);
+      if (!out) throw std::runtime_error("cannot open " + out_path);
+      out << rendered;
+      std::cout << "wrote profile report to " << out_path << "\n";
+    }
+
+    if (!metrics_out.empty()) {
+      // Enabled only now: the compare-sim DES run above must not leak its
+      // machine-dependent hvd_* samples into the exported snapshot.
+      util::metrics::set_enabled(true);
+      prof::publish_metrics(report);
+      util::metrics::Snapshot snap = util::metrics::snapshot();
+      snap.label = "dnnperf_profile " + path;
+      util::metrics::write_json_file(snap, metrics_out);
+      std::cout << "wrote " << snap.metrics.size() << " metrics to " << metrics_out << "\n";
+    }
+    return report.diags.has_errors() ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
