@@ -19,7 +19,10 @@
 # rates are machine-dependent and ignored; counter drift fails), and a
 # verify smoke step model-checks the shipped presets' engine protocol and
 # runs the happens-before verifier over a freshly recorded 2-rank trace
-# (findings surface as GitHub annotations in the CI log).
+# (findings surface as GitHub annotations in the CI log), and an elastic
+# verify smoke step model-checks crash/rejoin interleavings for every
+# shipped preset and prices a canned crash+rejoin scenario through the
+# advisor's survivability query.
 # Run from the repo root:
 #
 #   ci/check.sh            # all four presets
@@ -113,6 +116,18 @@ verify_smoke() {
   "$build/tools/dnnperf_lint" --verify-trace="$trace" --format=github
 }
 
+# Elastic verify smoke: model-check every shipped preset's crash/rejoin
+# handling (V2xx annotate the CI log), then price one canned crash+rejoin
+# scenario through the advisor's survivability query. --check fails unless
+# the reply is sane (healthy throughput > 0, retention in (0, 1]).
+elastic_verify_smoke() {
+  local build=build
+  echo "=== [default] elastic verify smoke ==="
+  "$build/tools/dnnperf_lint" --verify-elastic --format=github
+  "$build/tools/dnnperf_lint" --scenario=examples/scenarios/crash_rejoin.json \
+      --cluster=Stampede2 --model=resnet50 --nodes=2 --check
+}
+
 for preset in "${presets[@]}"; do
   echo "=== [$preset] configure ==="
   cmake --preset "$preset"
@@ -127,6 +142,7 @@ for preset in "${presets[@]}"; do
     profile_smoke
     metrics_smoke
     verify_smoke
+    elastic_verify_smoke
   fi
 done
 

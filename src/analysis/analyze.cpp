@@ -152,6 +152,12 @@ util::Diagnostics lint_config(const train::TrainConfig& cfg) {
   // Schedule passes need a sane platform to reason about cores and memory.
   if (platform_ok) run_schedule_passes(cfg, object, diags);
 
+  // Fault-scenario lint runs whenever the config carries a schedule; its F
+  // errors gate the elastic verification below (a scenario naming ranks that
+  // do not exist would only produce nonsense counterexamples).
+  const bool has_scenario = !cfg.faults.empty() || !cfg.link_degrades.empty();
+  if (has_scenario) diags.merge(lint_faults(cfg));
+
   const bool multi_rank = cfg.nodes > 0 && cfg.ppn > 0 && cfg.nodes * cfg.ppn > 1;
   if (multi_rank && cfg.use_horovod && platform_ok) {
     const net::Topology topo =
@@ -162,8 +168,15 @@ util::Diagnostics lint_config(const train::TrainConfig& cfg) {
     run_policy_passes(cfg.policy, &graph, &topo.inter_node(), object, diags);
     // Bounded protocol model check; a nonsensical policy (H001/H002) already
     // failed above and would only produce a garbage spec here.
-    if (!diags.has_code("H001") && !diags.has_code("H002"))
+    if (!diags.has_code("H001") && !diags.has_code("H002")) {
       diags.merge(verify_config_engine(cfg));
+      // Elastic verification: a config that runs a fault scenario must also
+      // survive crash/rejoin interleavings of its protocol — skipped when
+      // the scenario itself is malformed (F errors).
+      if (has_scenario && !cfg.faults.crashes.empty() && !diags.has_code("F001") &&
+          !diags.has_code("F002") && !diags.has_code("F003"))
+        diags.merge(verify_config_elastic(cfg));
+    }
   } else {
     // Single-process runs never touch the engine; only flag a policy whose
     // values are nonsense outright (H001/H002), not fusion-tuning advice.

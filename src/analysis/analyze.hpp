@@ -40,6 +40,20 @@ util::Diagnostics verify_engine(const hvd::ProtocolSpec& spec);
 /// submission orders. Cheap enough to run inside lint_config.
 util::Diagnostics verify_config_engine(const train::TrainConfig& config);
 
+/// Elastic engine verification: the bounded spec of verify_config_engine,
+/// explored with a budget of 2 crash/rejoin events interleaved at every
+/// reachable state (V2xx codes). The correct elastic engine — Standard
+/// coordination re-formed over the alive membership set — must verify clean
+/// here for every shipped preset; the Elastic* seeded-bug variants exist so
+/// tests can prove each V2xx code has teeth.
+util::Diagnostics verify_config_elastic(const train::TrainConfig& config);
+
+/// F-family lint of the config's fault scenario (crash/rejoin/slowdown
+/// schedule + link degrades): F001 nonexistent rank / malformed values,
+/// F002 rejoin-before-crash, F003 schedule exceeds the fault budget or
+/// leaves nobody alive, F004 degraded link level absent from the topology.
+util::Diagnostics lint_faults(const train::TrainConfig& config);
+
 /// Happens-before checks over a recorded Chrome-trace document; V1xx codes.
 util::Diagnostics verify_trace(const std::string& json_text, const std::string& object);
 

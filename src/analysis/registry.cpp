@@ -151,6 +151,22 @@ const std::vector<PassInfo>& pass_registry() {
        "differ between rank tracks"},
       {"V104", Severity::Error, "verify-trace",
        "cycle monotonicity violation: a rank's engine cycles overlap in time"},
+      // ---- elastic model-checker verdicts (verify_config_elastic) ----------
+      {"V201", Severity::Error, "verify-elastic",
+       "deadlock-on-crash: the survivors' negotiation still waits on a crashed rank "
+       "(readiness Min-reduce never re-formed over the shrunk membership set)"},
+      {"V202", Severity::Error, "verify-elastic",
+       "lost gradient: crash handling marks a submitted tensor completed without a "
+       "data allreduce, silently dropping it from the sum"},
+      {"V203", Severity::Error, "verify-elastic",
+       "ghost contribution: a crashed rank's stale readiness bits are still counted "
+       "after the shrink — a tensor ships that no alive rank submitted"},
+      {"V204", Severity::Error, "verify-elastic",
+       "double count: a rejoin replays completed tensors past the completion mask "
+       "into a second data allreduce"},
+      {"V205", Severity::Error, "verify-elastic",
+       "non-convergent regrow: a rejoin admission never completes; membership never "
+       "re-stabilizes and data cycles stay suspended"},
       // ---- profiler verdicts (src/prof) -------------------------------------
       {"T001", Severity::Warn, "profile",
        "phase accounting gap: more than the threshold fraction of step time falls "
@@ -166,6 +182,18 @@ const std::vector<PassInfo>& pass_registry() {
        "cost model's bandwidth"},
       {"T005", Severity::Error, "profile",
        "no profilable step structure: no track in the trace carries 'step' spans"},
+      // ---- fault-scenario passes (lint_faults) ------------------------------
+      {"F001", Severity::Error, "scenario",
+       "scenario references a nonexistent rank, or carries malformed event values "
+       "(non-positive slowdown factor, negative step, empty step range)"},
+      {"F002", Severity::Error, "scenario",
+       "rejoin scheduled at or before the rank's crash (or with no crash at all); "
+       "a rank cannot regrow into a ring it never left"},
+      {"F003", Severity::Error, "scenario",
+       "crash schedule exceeds the fault budget, or leaves no rank alive at some step"},
+      {"F004", Severity::Error, "scenario",
+       "degraded link level absent from the run's topology (inter-node on one node, "
+       "intra-node at ppn=1, intra-NUMA without a NUMA stage), or non-positive factors"},
   };
   return table;
 }

@@ -29,6 +29,18 @@ std::string bitmap_to_string(std::uint32_t bits, std::size_t tensors) {
   return out + "}";
 }
 
+std::string rank_set_to_string(std::uint32_t bits, int ranks) {
+  std::string out = "{";
+  bool first = true;
+  for (int r = 0; r < ranks; ++r) {
+    if (!(bits & (1u << r))) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "r" + std::to_string(r);
+  }
+  return out + "}";
+}
+
 std::string group_to_string(const std::vector<int>& group) {
   std::string out = "allreduce[";
   for (std::size_t i = 0; i < group.size(); ++i) {
@@ -44,11 +56,29 @@ std::string cycle_action(const hvd::CycleOutcome& outcome, std::size_t tensors) 
   return out;
 }
 
+/// Hash for visited-set keys. Keys are canonical states (hvd::canonical_state)
+/// and equality is the state's own operator==, so the reduction stays exact —
+/// a hash collision costs a probe, never a merged state.
+struct StateHash {
+  std::size_t operator()(const ProtocolState& s) const {
+    std::uint64_t key = 1469598103934665603ull;
+    const auto mix = [&key](std::uint64_t v) { key = (key ^ v) * 1099511628211ull; };
+    for (int pos : s.pos) mix(static_cast<std::uint64_t>(pos));
+    mix(s.completed);
+    mix(s.alive);
+    mix(s.regrow_pending);
+    mix(s.rejoined);
+    mix(s.ever_completed);
+    mix(static_cast<std::uint64_t>(s.faults_used));
+    return static_cast<std::size_t>(key);
+  }
+};
+
 /// BFS bookkeeping per canonical state: the representative state plus the
 /// predecessor edge for counterexample reconstruction.
 struct Node {
   ProtocolState state;
-  std::uint64_t parent = 0;
+  ProtocolState parent;  ///< canonical key of the predecessor
   std::string action;
   bool root = false;
 };
@@ -89,12 +119,12 @@ class Checker {
 
   void bfs() {
     const ProtocolState init = hvd::initial_state(spec_);
-    const std::uint64_t init_key = hvd::canonical_key(spec_, init);
-    visited_[init_key] = Node{init, 0, {}, true};
-    std::deque<std::uint64_t> queue{init_key};
+    const ProtocolState init_key = hvd::canonical_state(spec_, init);
+    visited_.emplace(init_key, Node{init, {}, {}, true});
+    std::deque<ProtocolState> queue{init_key};
 
     while (!queue.empty()) {
-      const std::uint64_t key = queue.front();
+      const ProtocolState key = queue.front();
       queue.pop_front();
       const Node node = visited_[key];  // copy: visited_ may rehash below
       ++result_.states_explored;
@@ -124,43 +154,107 @@ class Checker {
       if (cycle_progresses)
         enqueue(outcome.next, key, cycle_action(outcome, spec_.tensor_elements.size()), queue);
 
+      // Fault events are environment transitions: interleaved at every
+      // reachable state within the budget, but excluded from the stuck
+      // check below (a rescuing rejoin may never come, so the protocol must
+      // not depend on one).
+      if (explore_faults(key, node, queue)) return;
+
       if (!any_submit && !cycle_progresses) {
-        report_deadlock(key, node.state, outcome);
+        report_stuck(key, node.state, outcome);
         return;
       }
     }
   }
 
-  void enqueue(const ProtocolState& state, std::uint64_t parent, std::string action,
-               std::deque<std::uint64_t>& queue) {
+  /// Enumerates crash/rejoin events from `node`. Returns true when a fault
+  /// transition itself violated an invariant (V202) and was reported.
+  bool explore_faults(const ProtocolState& key, const Node& node,
+                      std::deque<ProtocolState>& queue) {
+    if (spec_.max_fault_events == 0) return false;
+    for (int r = 0; r < spec_.ranks; ++r) {
+      if (hvd::can_crash(spec_, node.state, r)) {
+        const ProtocolState next = hvd::apply_crash(spec_, node.state, r);
+        std::string action = "r" + std::to_string(r) + " crashes";
+        // Invariant: a fault never completes work. Only a data allreduce may
+        // grow the completion set; a crash that does so has dropped the
+        // victim's gradient from the sum without reducing it anywhere.
+        if (const std::uint32_t dropped = next.completed & ~node.state.completed) {
+          report(key, "V202", bitmap_to_string(dropped, spec_.tensor_elements.size()),
+                 "crash of rank " + std::to_string(r) + " marks " +
+                     bitmap_to_string(dropped, spec_.tensor_elements.size()) +
+                     " completed without a data allreduce; the submitted gradient is "
+                     "silently dropped from the sum",
+                 "crash cleanup must discard the victim's pending submissions, not complete "
+                 "them; the survivors re-negotiate and reduce the tensor themselves",
+                 std::move(action));
+          return true;
+        }
+        enqueue(next, key, std::move(action), queue);
+      }
+      if (hvd::can_rejoin(spec_, node.state, r)) {
+        enqueue(hvd::apply_rejoin(spec_, node.state, r), key,
+                "r" + std::to_string(r) + " rejoins", queue);
+      }
+    }
+    return false;
+  }
+
+  void enqueue(const ProtocolState& state, const ProtocolState& parent, std::string action,
+               std::deque<ProtocolState>& queue) {
     ++result_.transitions;
-    const std::uint64_t key = hvd::canonical_key(spec_, state);
+    ProtocolState key = hvd::canonical_state(spec_, state);
     if (visited_.contains(key)) return;
-    visited_[key] = Node{state, parent, std::move(action), false};
-    queue.push_back(key);
+    visited_.emplace(key, Node{state, parent, std::move(action), false});
+    queue.push_back(std::move(key));
   }
 
   /// Safety invariants every cycle must respect regardless of variant; the
   /// seeded bug variants exist to violate exactly one each. Returns true
   /// when a violation was reported (exploration stops; the trace is minimal).
-  bool check_cycle_invariants(std::uint64_t key, const hvd::CycleOutcome& outcome) {
+  bool check_cycle_invariants(const ProtocolState& key, const hvd::CycleOutcome& outcome) {
     const Node& node = visited_[key];
     const std::size_t tensors = spec_.tensor_elements.size();
     for (const auto& group : outcome.groups) {
       std::size_t total = 0;
       for (int id : group) {
         total += spec_.tensor_elements[static_cast<std::size_t>(id)];
-        if (node.state.completed & (1u << id)) {
-          report(key, "V003", tensor_name(id),
-                 "cycle re-issues a data allreduce for already-completed " + tensor_name(id) +
-                     "; engine-issued allreduces exceed framework requests",
-                 "the readiness vector must clear completed tensors before the "
-                 "coordination reduce",
-                 cycle_action(outcome, tensors));
+        // Re-shipping is checked against the monotone ever-completed set:
+        // the double-count bug un-sets `completed` bits on rejoin, which
+        // would otherwise hide the second allreduce from this invariant.
+        if (node.state.ever_completed & (1u << id)) {
+          if (node.state.rejoined != 0) {
+            report(key, "V204", tensor_name(id),
+                   "after rank " + rank_set_to_string(node.state.rejoined, spec_.ranks) +
+                       " rejoined, a cycle re-issues a data allreduce for already-reduced " +
+                       tensor_name(id) + "; the gradient is counted twice",
+                   "a rejoining rank replays its submission journal, but the engine must "
+                   "keep the global completion mask — re-submissions of reduced tensors "
+                   "are dropped, not renegotiated",
+                   cycle_action(outcome, tensors));
+          } else {
+            report(key, "V003", tensor_name(id),
+                   "cycle re-issues a data allreduce for already-completed " + tensor_name(id) +
+                       "; engine-issued allreduces exceed framework requests",
+                   "the readiness vector must clear completed tensors before the "
+                   "coordination reduce",
+                   cycle_action(outcome, tensors));
+          }
           return true;
         }
         for (int r = 0; r < spec_.ranks; ++r) {
-          if (!hvd::rank_submitted(spec_, node.state, r, id)) {
+          if (!hvd::rank_alive(node.state, r)) continue;  // the dead owe nothing
+          if (hvd::rank_submitted(spec_, node.state, r, id)) continue;
+          if (ghost_contributor(node.state, id) >= 0) {
+            report(key, "V203", tensor_name(id),
+                   "data allreduce ships " + tensor_name(id) + " that alive rank " +
+                       std::to_string(r) + " never submitted — crashed rank " +
+                       std::to_string(ghost_contributor(node.state, id)) +
+                       "'s stale readiness bits are still counted after the shrink",
+                   "re-form the readiness Min-reduce over the surviving membership set and "
+                   "drop crashed ranks' stale vectors when shrinking",
+                   cycle_action(outcome, tensors));
+          } else {
             report(key, "V005", tensor_name(id),
                    "data allreduce ships " + tensor_name(id) + " before rank " +
                        std::to_string(r) +
@@ -168,8 +262,8 @@ class Checker {
                        "not union it)",
                    "negotiate with a Min-reduce over the readiness vectors",
                    cycle_action(outcome, tensors));
-            return true;
           }
+          return true;
         }
       }
       if (total > spec_.capacity_elems && (group.size() > 1 || !spec_.allow_oversized)) {
@@ -184,26 +278,58 @@ class Checker {
     return false;
   }
 
-  void report_deadlock(std::uint64_t key, const ProtocolState& state,
-                       const hvd::CycleOutcome& outcome) {
+  /// The crashed rank whose frozen submitted-prefix contains `tensor`, or -1.
+  int ghost_contributor(const ProtocolState& state, int tensor) const {
+    for (int r = 0; r < spec_.ranks; ++r)
+      if (!hvd::rank_alive(state, r) && hvd::rank_submitted(spec_, state, r, tensor)) return r;
+    return -1;
+  }
+
+  void report_stuck(const ProtocolState& key, const ProtocolState& state,
+                    const hvd::CycleOutcome& outcome) {
     const std::size_t tensors = spec_.tensor_elements.size();
     const auto all = (std::uint32_t{1} << tensors) - 1;
-    std::string message =
-        "deadlock: no rank can submit, the negotiated ready set " +
-        bitmap_to_string(outcome.ready, tensors) + " packs nothing, and tensors " +
-        bitmap_to_string(all & ~state.completed, tensors) + " are incomplete";
+    const auto all_ranks = (std::uint32_t{1} << spec_.ranks) - 1;
+    const std::string incomplete = bitmap_to_string(all & ~state.completed, tensors);
+    if (state.regrow_pending != 0) {
+      report(key, "V205", "membership",
+             "regrow never converges: rank " +
+                 rank_set_to_string(state.regrow_pending, spec_.ranks) +
+                 "'s rejoin admission never completes, membership never re-stabilizes, and "
+                 "data cycles stay suspended with tensors " +
+                 incomplete + " incomplete",
+             "rejoin admission must be a bounded barrier — admit the rank into the "
+             "coordination group atomically and resume cycles",
+             "stuck");
+      return;
+    }
+    if (state.alive != all_ranks) {
+      report(key, "V201", "membership",
+             "deadlock after crash: with rank " +
+                 rank_set_to_string(all_ranks & ~state.alive, spec_.ranks) +
+                 " down, no survivor can submit, the negotiated ready set " +
+                 bitmap_to_string(outcome.ready, tensors) + " packs nothing, and tensors " +
+                 incomplete + " are incomplete",
+             "the readiness Min-reduce must be re-formed over the surviving membership "
+             "set on shrink; waiting on a crashed rank's vector stalls forever",
+             "stuck");
+      return;
+    }
+    std::string message = "deadlock: no rank can submit, the negotiated ready set " +
+                          bitmap_to_string(outcome.ready, tensors) + " packs nothing, and tensors " +
+                          incomplete + " are incomplete";
     if (spec_.max_outstanding > 0)
       message += " (submission window " + std::to_string(spec_.max_outstanding) + ")";
-    report(key, "V001", "protocol", message,
+    report(key, "V001", "protocol", std::move(message),
            "rank-permuted submission orders under a bounded window cannot form a full "
            "readiness bitmap; submit in one global order or widen the window",
            "stuck");
   }
 
-  void report(std::uint64_t key, const char* code, const std::string& field, std::string message,
-              std::string fix_hint, std::string final_action) {
+  void report(const ProtocolState& key, const char* code, const std::string& field,
+              std::string message, std::string fix_hint, std::string final_action) {
     std::vector<std::string> trace{std::move(final_action)};
-    for (std::uint64_t k = key; !visited_[k].root; k = visited_[k].parent)
+    for (ProtocolState k = key; !visited_[k].root; k = visited_[k].parent)
       trace.push_back(visited_[k].action);
     result_.counterexample.assign(trace.rbegin(), trace.rend());
 
@@ -219,7 +345,7 @@ class Checker {
   ProtocolSpec spec_;
   ModelCheckOptions options_;
   ModelCheckResult result_;
-  std::unordered_map<std::uint64_t, Node> visited_;
+  std::unordered_map<ProtocolState, Node, StateHash> visited_;
 };
 
 }  // namespace

@@ -1,10 +1,11 @@
 // Exhaustive small-scope model checker over the abstract Horovod engine
 // protocol (hvd/protocol.hpp). BFS from the initial state over every
-// interleaving of per-rank submissions and engine cycles, with canonical
-// state hashing (rank-symmetry reduction), up to the spec's rank/tensor
-// bounds. Because submissions and completions are monotone, every maximal
-// run ends in either full completion or a stuck state, so the checker's
-// verdicts are exact within the bounds:
+// interleaving of per-rank submissions, engine cycles, and — within the
+// spec's fault budget — crash/rejoin events, with canonicalized states
+// (rank-symmetry reduction) keying the visited set. Because submissions and
+// completions are monotone and the fault budget is finite, every maximal run
+// ends in either full completion or a stuck state, so the checker's verdicts
+// are exact within the bounds:
 //
 //   V001  deadlock — reachable state where no rank can submit and the engine
 //         cycle is a no-op, with tensors still incomplete (the hang mode
@@ -20,6 +21,25 @@
 //         submitted (coordination unsoundness, e.g. Max- instead of
 //         Min-reduce);
 //   V006  (warning) exploration truncated at the state bound.
+//
+// Elastic verdicts (fault transitions are *environment* events: they are
+// interleaved at every reachable state but never count toward a state's
+// enabledness — a correct elastic engine must make progress with whatever
+// membership it has, because a rescuing rejoin may never come):
+//
+//   V201  deadlock-on-crash — the survivors' negotiation still waits on a
+//         crashed rank (e.g. the readiness Min-reduce was never re-formed
+//         over the shrunk membership set);
+//   V202  lost gradient — a crash/rejoin event changes the completion set
+//         without a data allreduce (a crashed rank's submitted tensor is
+//         silently dropped from the sum);
+//   V203  ghost contribution — a data allreduce ships a tensor no alive rank
+//         submitted, counting a crashed rank's stale readiness bits after
+//         the shrink;
+//   V204  double count — after a rejoin, a cycle re-ships a tensor that was
+//         already reduced (journal replay past the completion mask);
+//   V205  non-convergent regrow — a rejoin admission never completes:
+//         membership never re-stabilizes and data cycles stay suspended.
 //
 // BFS order makes the first violation's trace minimal; it is rendered as a
 // step-by-step counterexample in the diagnostic hint.

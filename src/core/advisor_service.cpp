@@ -482,6 +482,106 @@ std::vector<ScalingPoint> AdvisorService::scaling_curve(const ScalingRequest& re
   return curve;
 }
 
+SurvivabilityReply AdvisorService::survivability(const SurvivabilityRequest& req) {
+  const double t0 = now_seconds();
+
+  // The request's config is the healthy baseline; any schedule it already
+  // carries is stripped so "retention" always compares against a fault-free
+  // run of the same geometry.
+  train::TrainConfig healthy = req.config;
+  healthy.faults = hvd::FaultSchedule{};
+  healthy.link_degrades.clear();
+  const train::TrainConfig faulted = apply_scenario(req.scenario, healthy);
+
+  const std::uint64_t healthy_key = config_key(healthy);
+  const std::uint64_t faulted_key = config_key(faulted);
+
+  // Both sides pass the memoized lint gate unconditionally (not gated on
+  // options.lint): the faulted verdict carries the F-family scenario lint
+  // and the elastic crash/rejoin model check, which is the whole point of a
+  // survivability answer. The verdict is memoized under the same content
+  // key the eval cache uses, so a warm query re-checks nothing.
+  const std::pair<const train::TrainConfig*, std::uint64_t> sides[] = {
+      {&healthy, healthy_key}, {&faulted, faulted_key}};
+  for (const auto& [cfg, key] : sides) {
+    const LintVerdict verdict = lint_memo().check(*cfg, key);
+    if (!verdict.ok)
+      throw std::invalid_argument("AdvisorService: survivability request '" + req.scenario.name +
+                                  "' failed lint\n" + verdict.rendered);
+  }
+
+  SurvivabilityReply reply;
+  std::unordered_map<std::uint64_t, Measurement> results;
+  std::vector<std::pair<const train::TrainConfig*, std::uint64_t>> to_eval;
+  for (const auto& [cfg, key] : sides) {
+    // Empty scenario: both sides alias one config key; evaluate it once.
+    if (results.contains(key)) continue;
+    if (std::any_of(to_eval.begin(), to_eval.end(),
+                    [key = key](const auto& e) { return e.second == key; }))
+      continue;
+    if (auto cached = cache_.lookup(key)) {
+      ++reply.cache_hits;
+      results.emplace(key, std::move(*cached));
+    } else {
+      to_eval.emplace_back(cfg, key);
+    }
+  }
+  if (!to_eval.empty()) {
+    std::vector<Measurement> fresh(to_eval.size());
+    {
+      std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
+      pool_.parallel_for(to_eval.size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          fresh[i] = experiment_.measure_keyed(*to_eval[i].first, to_eval[i].second);
+          cache_.insert(to_eval[i].second, fresh[i]);
+        }
+      });
+    }
+    for (std::size_t i = 0; i < to_eval.size(); ++i)
+      results.emplace(to_eval[i].second, std::move(fresh[i]));
+    reply.evaluated = to_eval.size();
+  }
+
+  const Measurement& healthy_m = results.at(healthy_key);
+  const Measurement& faulted_m = results.at(faulted_key);
+  reply.healthy_images_per_sec = healthy_m.images_per_sec;
+  reply.scenario_images_per_sec = faulted_m.images_per_sec;
+  reply.throughput_retention = healthy_m.images_per_sec > 0.0
+                                   ? faulted_m.images_per_sec / healthy_m.images_per_sec
+                                   : 0.0;
+  reply.alive_rank_fraction = faulted_m.last.alive_rank_fraction;
+  reply.membership_changes = faulted_m.last.membership_changes;
+  reply.iteration_seconds = faulted_m.last.iteration_seconds;
+  const prof::SimPointVerdict v = classify_measurement(faulted, faulted_m.last);
+  reply.verdict = v.verdict;
+  reply.verdict_reason = v.reason;
+
+  // Registered lazily at the first survivability query, not in the service
+  // constructor: the advisor_load bench diffs registry snapshots around
+  // pure ask() traffic and must not see gauges it never drives.
+  static const auto survivability_queries = util::metrics::counter(
+      "advisor_survivability_queries_total", "Fault-scenario what-if queries answered");
+  static const auto retention_gauge = util::metrics::gauge(
+      "advisor_throughput_retention",
+      "Scenario/healthy throughput ratio of the most recent survivability query");
+  survivability_queries.inc();
+  retention_gauge.set(reply.throughput_retention);
+
+  const ServiceMetrics& metrics = service_metrics();
+  metrics.queries.inc();
+  metrics.evaluations.inc(reply.evaluated);
+  metrics.query_seconds.observe(std::max(now_seconds() - t0, 1e-9));
+  metrics.hit_ratio.set(cache_.stats().hit_ratio());
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (first_query_time_ < 0.0) first_query_time_ = t0;
+    ++queries_;
+    const double span = now_seconds() - first_query_time_;
+    if (span > 0.0) metrics.qps.set(static_cast<double>(queries_) / span);
+  }
+  return reply;
+}
+
 std::uint64_t AdvisorService::queries_answered() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return queries_;

@@ -27,6 +27,7 @@
 
 #include "core/advisor.hpp"
 #include "core/eval_cache.hpp"
+#include "core/scenario.hpp"
 #include "prof/profile.hpp"
 #include "ref/threadpool.hpp"
 
@@ -126,6 +127,33 @@ struct ScalingPoint {
   double overlap_fraction = 0.0;
 };
 
+/// One survivability query: how much throughput does `config` retain when
+/// `scenario` plays out? ("1 rank crashes at step 10 and rejoins at step
+/// 30" as a service question.)
+struct SurvivabilityRequest {
+  train::TrainConfig config;
+  Scenario scenario;
+};
+
+/// The answer: the healthy and faulted measurements side by side, plus the
+/// retention figure the operator actually wants.
+struct SurvivabilityReply {
+  double healthy_images_per_sec = 0.0;
+  double scenario_images_per_sec = 0.0;
+  /// scenario / healthy throughput; 1.0 = the fault cost nothing.
+  double throughput_retention = 0.0;
+  /// Mean alive-rank fraction over the faulted run's iterations.
+  double alive_rank_fraction = 1.0;
+  std::uint64_t membership_changes = 0;
+  /// Per-iteration times of the faulted run (the recovery curve).
+  std::vector<double> iteration_seconds;
+  std::size_t cache_hits = 0;  ///< of the two measurements, served warm
+  std::size_t evaluated = 0;   ///< fresh simulations this query triggered
+  /// Bottleneck attribution of the faulted run.
+  prof::Verdict verdict = prof::Verdict::ComputeBound;
+  std::string verdict_reason;
+};
+
 struct AdvisorServiceOptions {
   /// Evaluation pool width; 0 = std::thread::hardware_concurrency (min 2).
   int threads = 0;
@@ -172,6 +200,17 @@ class AdvisorService {
   /// the new node counts. Throws std::invalid_argument (A-code diagnostics)
   /// on malformed requests.
   std::vector<ScalingPoint> scaling_curve(const ScalingRequest& request);
+
+  /// Prices one fault scenario against the same config run healthy. Both
+  /// sides go through the memoized lint gate regardless of options.lint —
+  /// the faulted config's verdict includes the F-family scenario lint and
+  /// the elastic crash/rejoin model check, so every survivability answer is
+  /// lint-gated and model-checked by construction; Error findings throw
+  /// std::invalid_argument with the rendered diagnostics. Both measurements
+  /// land in (and are served from) the shared eval cache — the scenario is
+  /// content-hashed into the config key, so a faulted run can never alias
+  /// the healthy entry.
+  SurvivabilityReply survivability(const SurvivabilityRequest& request);
 
   /// Grid enumeration, exposed for tests and the load generator. Validates
   /// the request (A001 empty candidate grid, A002 bad node count, A003 bad

@@ -149,6 +149,20 @@ std::uint64_t config_key(const train::TrainConfig& config) {
   h.mix(static_cast<int>(config.hierarchy));
   h.mix(config.opt_level);
   h.mix(static_cast<std::uint64_t>(config.opt_pass_mask));
+  // Fault scenario: every schedule entry (and the budget — it changes the
+  // lint verdict the memo caches under this same key) is content-hashed, so
+  // a survivability measurement can never alias the healthy run's entry.
+  h.mix(static_cast<std::size_t>(config.faults.slowdowns.size()));
+  for (const auto& s : config.faults.slowdowns)
+    h.mix(s.rank).mix(s.factor).mix(s.from_step).mix(s.to_step);
+  h.mix(static_cast<std::size_t>(config.faults.crashes.size()));
+  for (const auto& c : config.faults.crashes) h.mix(c.rank).mix(c.step);
+  h.mix(static_cast<std::size_t>(config.faults.rejoins.size()));
+  for (const auto& r : config.faults.rejoins) h.mix(r.rank).mix(r.step);
+  h.mix(config.faults.fault_budget);
+  h.mix(static_cast<std::size_t>(config.link_degrades.size()));
+  for (const auto& d : config.link_degrades)
+    h.mix(d.level).mix(d.bandwidth_factor).mix(d.latency_factor);
   return h.digest();
 }
 

@@ -1,0 +1,113 @@
+#include "core/scenario.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/analyze.hpp"
+#include "util/jsonlite.hpp"
+
+namespace dnnperf::core {
+
+namespace {
+
+using util::jsonlite::Value;
+
+[[noreturn]] void fail(const std::string& who, const std::string& message) {
+  throw std::runtime_error(who + ": " + message);
+}
+
+double require_number(const Value& obj, const std::string& key, const std::string& who,
+                      const std::string& where) {
+  const Value* v = obj.get(key);
+  if (v == nullptr || v->kind != Value::Kind::Number)
+    fail(who, where + " needs a numeric \"" + key + "\"");
+  return v->number;
+}
+
+int require_int(const Value& obj, const std::string& key, const std::string& who,
+                const std::string& where) {
+  const double d = require_number(obj, key, who, where);
+  const int i = static_cast<int>(d);
+  if (static_cast<double>(i) != d) fail(who, where + ": \"" + key + "\" must be an integer");
+  return i;
+}
+
+const std::vector<Value>& optional_list(const Value& root, const std::string& key,
+                                        const std::string& who) {
+  static const std::vector<Value> kEmpty;
+  const Value* v = root.get(key);
+  if (v == nullptr) return kEmpty;
+  if (v->kind != Value::Kind::Array) fail(who, "\"" + key + "\" must be an array");
+  return v->array;
+}
+
+}  // namespace
+
+train::TrainConfig apply_scenario(const Scenario& scenario, const train::TrainConfig& base) {
+  train::TrainConfig cfg = base;
+  if (scenario.empty()) return cfg;
+  cfg.faults = scenario.faults;
+  cfg.link_degrades = scenario.link_degrades;
+  if (!cfg.faults.empty()) cfg.per_rank_sim = true;
+  return cfg;
+}
+
+util::Diagnostics lint_scenario(const Scenario& scenario, const train::TrainConfig& base) {
+  if (scenario.empty()) return {};
+  return analysis::lint_faults(apply_scenario(scenario, base));
+}
+
+Scenario parse_scenario_text(const std::string& text, const std::string& who) {
+  const Value root = util::jsonlite::parse(text, who);
+  if (root.kind != Value::Kind::Object) fail(who, "top level must be a JSON object");
+
+  Scenario s;
+  if (const Value* name = root.get("name")) {
+    if (name->kind != Value::Kind::String) fail(who, "\"name\" must be a string");
+    s.name = name->string;
+  }
+  if (root.has("fault_budget"))
+    s.faults.fault_budget = require_int(root, "fault_budget", who, "scenario");
+
+  for (const Value& v : optional_list(root, "slowdowns", who)) {
+    if (v.kind != Value::Kind::Object) fail(who, "slowdown entries must be objects");
+    hvd::RankSlowdown slow;
+    slow.rank = require_int(v, "rank", who, "slowdown");
+    slow.factor = require_number(v, "factor", who, "slowdown");
+    if (v.has("from_step")) slow.from_step = require_int(v, "from_step", who, "slowdown");
+    if (v.has("to_step")) slow.to_step = require_int(v, "to_step", who, "slowdown");
+    s.faults.slowdowns.push_back(slow);
+  }
+  for (const Value& v : optional_list(root, "crashes", who)) {
+    if (v.kind != Value::Kind::Object) fail(who, "crash entries must be objects");
+    s.faults.crashes.push_back(
+        {require_int(v, "rank", who, "crash"), require_int(v, "step", who, "crash")});
+  }
+  for (const Value& v : optional_list(root, "rejoins", who)) {
+    if (v.kind != Value::Kind::Object) fail(who, "rejoin entries must be objects");
+    s.faults.rejoins.push_back(
+        {require_int(v, "rank", who, "rejoin"), require_int(v, "step", who, "rejoin")});
+  }
+  for (const Value& v : optional_list(root, "link_degrades", who)) {
+    if (v.kind != Value::Kind::Object) fail(who, "link_degrade entries must be objects");
+    train::LinkDegrade d;
+    d.level = require_int(v, "level", who, "link_degrade");
+    if (v.has("bandwidth_factor"))
+      d.bandwidth_factor = require_number(v, "bandwidth_factor", who, "link_degrade");
+    if (v.has("latency_factor"))
+      d.latency_factor = require_number(v, "latency_factor", who, "link_degrade");
+    s.link_degrades.push_back(d);
+  }
+  return s;
+}
+
+Scenario load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("scenario: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_scenario_text(buf.str(), "scenario " + path);
+}
+
+}  // namespace dnnperf::core

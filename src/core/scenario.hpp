@@ -1,0 +1,59 @@
+// Fault scenarios: user-facing "what breaks at step N" schedules (§6.10).
+//
+// A Scenario bundles the fault schedule a TimelineSim executes — rank
+// slowdowns, crash/rejoin events — with the link degrades the topology
+// applies, under a name. apply_scenario() stamps one onto a base
+// TrainConfig (forcing per-rank simulation: membership is per-rank state),
+// after which the ordinary pipeline takes over: the F-family lint and the
+// elastic protocol model check gate the config inside lint_config, and the
+// DES prices the run. load_scenario_file()/parse_scenario_text() read the
+// JSON form `dnnperf_lint --scenario=<file>` and the tests use:
+//
+//   {"name": "crash-rejoin", "fault_budget": 2,
+//    "slowdowns": [{"rank": 3, "factor": 1.5, "from_step": 0, "to_step": 20}],
+//    "crashes":   [{"rank": 1, "step": 10}],
+//    "rejoins":   [{"rank": 1, "step": 30}],
+//    "link_degrades": [{"level": 0, "bandwidth_factor": 0.5,
+//                       "latency_factor": 2.0}]}
+//
+// Every field except "name" is optional; absent lists are empty and the
+// budget defaults to the FaultSchedule default.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hvd/timeline.hpp"
+#include "train/trainer.hpp"
+#include "util/diag.hpp"
+
+namespace dnnperf::core {
+
+struct Scenario {
+  std::string name = "healthy";
+  hvd::FaultSchedule faults;
+  std::vector<train::LinkDegrade> link_degrades;
+
+  bool empty() const { return faults.empty() && link_degrades.empty(); }
+  bool operator==(const Scenario&) const = default;
+};
+
+/// The base config with the scenario's schedules stamped on. A non-empty
+/// fault schedule forces per-rank simulation (crash/rejoin is per-rank
+/// state); an empty scenario returns the base unchanged.
+train::TrainConfig apply_scenario(const Scenario& scenario, const train::TrainConfig& base);
+
+/// F-family lint of the scenario against the world the base config defines
+/// (rank bounds, fault budget, topology levels) — analysis::lint_faults on
+/// the applied config. Clean when the scenario is empty.
+util::Diagnostics lint_scenario(const Scenario& scenario, const train::TrainConfig& base);
+
+/// Parses the JSON form above. Throws std::runtime_error on malformed JSON
+/// or mistyped fields, prefixing messages with `who`.
+Scenario parse_scenario_text(const std::string& text, const std::string& who = "scenario");
+
+/// Reads and parses a scenario file. Throws std::runtime_error when the
+/// file cannot be read or fails to parse.
+Scenario load_scenario_file(const std::string& path);
+
+}  // namespace dnnperf::core

@@ -1,6 +1,7 @@
 #include "hvd/protocol.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <limits>
 #include <stdexcept>
@@ -32,8 +33,24 @@ const char* to_string(EngineVariant variant) {
     case EngineVariant::UncappedPacking: return "uncapped-packing";
     case EngineVariant::Hierarchical: return "hierarchical";
     case EngineVariant::HierarchicalParentStall: return "hierarchical-parent-stall";
+    case EngineVariant::ElasticCrashBlind: return "elastic-crash-blind";
+    case EngineVariant::ElasticLostGradient: return "elastic-lost-gradient";
+    case EngineVariant::ElasticGhost: return "elastic-ghost";
+    case EngineVariant::ElasticDoubleCount: return "elastic-double-count";
+    case EngineVariant::ElasticRegrowStall: return "elastic-regrow-stall";
   }
   return "?";
+}
+
+bool is_elastic_variant(EngineVariant variant) {
+  switch (variant) {
+    case EngineVariant::ElasticCrashBlind:
+    case EngineVariant::ElasticLostGradient:
+    case EngineVariant::ElasticGhost:
+    case EngineVariant::ElasticDoubleCount:
+    case EngineVariant::ElasticRegrowStall: return true;
+    default: return false;
+  }
 }
 
 ProtocolSpec ProtocolSpec::uniform(int ranks, std::vector<std::size_t> tensor_elements,
@@ -67,6 +84,11 @@ void ProtocolSpec::validate() const {
        variant == EngineVariant::HierarchicalParentStall) &&
       group_size == 0)
     throw std::invalid_argument("ProtocolSpec: hierarchical variants require group_size > 0");
+  if (max_fault_events < 0) throw std::invalid_argument("ProtocolSpec: max_fault_events < 0");
+  if (min_alive < 1 || min_alive > ranks)
+    throw std::invalid_argument("ProtocolSpec: min_alive outside [1, ranks]");
+  if (is_elastic_variant(variant) && max_fault_events == 0)
+    throw std::invalid_argument("ProtocolSpec: elastic variants require max_fault_events > 0");
   if (submit_order.size() != static_cast<std::size_t>(ranks))
     throw std::invalid_argument("ProtocolSpec: one submit order required per rank");
   for (const auto& order : submit_order) {
@@ -84,6 +106,7 @@ void ProtocolSpec::validate() const {
 ProtocolState initial_state(const ProtocolSpec& spec) {
   ProtocolState state;
   state.pos.assign(static_cast<std::size_t>(spec.ranks), 0);
+  state.alive = (std::uint32_t{1} << spec.ranks) - 1;
   return state;
 }
 
@@ -96,7 +119,12 @@ bool rank_submitted(const ProtocolSpec& spec, const ProtocolState& state, int ra
   return (submitted_bitmap(spec, state, rank) & (1u << tensor)) != 0;
 }
 
+bool rank_alive(const ProtocolState& state, int rank) {
+  return (state.alive >> rank & 1u) != 0;
+}
+
 bool can_submit(const ProtocolSpec& spec, const ProtocolState& state, int rank) {
+  if (!rank_alive(state, rank)) return false;  // crashed/pending ranks produce nothing
   const int pos = state.pos[static_cast<std::size_t>(rank)];
   if (pos >= static_cast<int>(spec.tensor_elements.size())) return false;
   if (spec.max_outstanding > 0) {
@@ -120,11 +148,19 @@ ProtocolState apply_submit(const ProtocolSpec& spec, const ProtocolState& state,
 
 CycleOutcome apply_cycle(const ProtocolSpec& spec, const ProtocolState& state) {
   CycleOutcome out;
-  // Coordination reduce over the per-rank readiness vectors. Each rank's
-  // vector marks tensors submitted locally and not yet complete — except the
-  // ReissueCompleted bug, which forgets to clear completed entries. The
-  // Min-reduce intersects the vectors (a tensor proceeds only when ready
-  // everywhere); the MaxCoordination bug unions them instead.
+  out.next = state;
+  // The RegrowStall bug suspends the data plane while a rejoin admission is
+  // "re-stabilizing" — which it never finishes, so every cycle is a no-op.
+  if (spec.variant == EngineVariant::ElasticRegrowStall && state.regrow_pending != 0) return out;
+
+  // Coordination reduce over the per-rank readiness vectors of the *alive*
+  // membership set. Each rank's vector marks tensors submitted locally and
+  // not yet complete — except the ReissueCompleted bug, which forgets to
+  // clear completed entries. The Min-reduce intersects the vectors (a tensor
+  // proceeds only when ready everywhere); the MaxCoordination bug unions
+  // them instead. The ElasticCrashBlind bug keeps intersecting over every
+  // rank including crashed ones; ElasticGhost ORs the crashed ranks' stale
+  // vectors back in after the shrink.
   std::uint32_t ready = spec.variant == EngineVariant::MaxCoordination ? 0 : ~std::uint32_t{0};
   if (spec.variant == EngineVariant::Hierarchical ||
       spec.variant == EngineVariant::HierarchicalParentStall) {
@@ -132,10 +168,13 @@ CycleOutcome apply_cycle(const ProtocolSpec& spec, const ProtocolState& state) {
     // `group_size` ranks, parent level combines the group bitmaps. The
     // correct parent intersects (AND is associative, so this is exactly the
     // flat Min-reduce); the ParentStall bug ships the common bitmap only
-    // when every group agrees verbatim, and nothing otherwise.
+    // when every group agrees verbatim, and nothing otherwise. A crashed
+    // rank drops out of its group's reduce; a fully-crashed group imposes no
+    // constraint (identity bitmap) — its members are not in the sum anyway.
     const int groups = spec.ranks / spec.group_size;
     std::vector<std::uint32_t> group_bits(static_cast<std::size_t>(groups), ~std::uint32_t{0});
     for (int r = 0; r < spec.ranks; ++r) {
+      if (!rank_alive(state, r)) continue;
       const std::uint32_t local = submitted_bitmap(spec, state, r) & ~state.completed;
       group_bits[static_cast<std::size_t>(r / spec.group_size)] &= local;
     }
@@ -148,12 +187,18 @@ CycleOutcome apply_cycle(const ProtocolSpec& spec, const ProtocolState& state) {
     }
   } else {
     for (int r = 0; r < spec.ranks; ++r) {
+      if (!rank_alive(state, r) && spec.variant != EngineVariant::ElasticCrashBlind) continue;
       std::uint32_t local = submitted_bitmap(spec, state, r);
       if (spec.variant != EngineVariant::ReissueCompleted) local &= ~state.completed;
       if (spec.variant == EngineVariant::MaxCoordination)
         ready |= local;
       else
         ready &= local;
+    }
+    if (spec.variant == EngineVariant::ElasticGhost) {
+      for (int r = 0; r < spec.ranks; ++r)
+        if (!rank_alive(state, r))
+          ready |= submitted_bitmap(spec, state, r) & ~state.completed;
     }
   }
   out.ready = ready;
@@ -167,10 +212,63 @@ CycleOutcome apply_cycle(const ProtocolSpec& spec, const ProtocolState& state) {
                                    : spec.capacity_elems;
   out.groups = plan_fusion(ready_ids, spec.tensor_elements, capacity, spec.allow_oversized);
 
-  out.next = state;
   for (const auto& group : out.groups)
-    for (int id : group) out.next.completed |= 1u << id;
+    for (int id : group) {
+      out.next.completed |= 1u << id;
+      out.next.ever_completed |= 1u << id;
+    }
   return out;
+}
+
+bool can_crash(const ProtocolSpec& spec, const ProtocolState& state, int rank) {
+  if (spec.max_fault_events == 0 || state.faults_used >= spec.max_fault_events) return false;
+  if (!rank_alive(state, rank)) return false;
+  return std::popcount(state.alive) > spec.min_alive;
+}
+
+ProtocolState apply_crash(const ProtocolSpec& spec, const ProtocolState& state, int rank) {
+  ProtocolState next = state;
+  next.alive &= ~(std::uint32_t{1} << rank);
+  ++next.faults_used;
+  // LostGradient bug: crash cleanup "drains" the victim's pending table by
+  // marking its submitted-but-unreduced tensors done — no data allreduce
+  // ever runs for them (the checker flags any fault that grows `completed`).
+  if (spec.variant == EngineVariant::ElasticLostGradient)
+    next.completed |= submitted_bitmap(spec, state, rank) & ~state.completed;
+  return next;
+}
+
+bool can_rejoin(const ProtocolSpec& spec, const ProtocolState& state, int rank) {
+  if (spec.max_fault_events == 0 || state.faults_used >= spec.max_fault_events) return false;
+  const std::uint32_t bit = std::uint32_t{1} << rank;
+  return (state.alive & bit) == 0 && (state.regrow_pending & bit) == 0;
+}
+
+ProtocolState apply_rejoin(const ProtocolSpec& spec, const ProtocolState& state, int rank) {
+  ProtocolState next = state;
+  const std::uint32_t bit = std::uint32_t{1} << rank;
+  ++next.faults_used;
+  next.rejoined |= bit;
+  switch (spec.variant) {
+    case EngineVariant::ElasticRegrowStall:
+      // Admission never completes: the rank is parked pending, not alive.
+      next.regrow_pending |= bit;
+      break;
+    case EngineVariant::ElasticDoubleCount:
+      // Journal replay: keep the pre-crash program position and clear the
+      // completion bits the rank had submitted, so they negotiate ready
+      // again and ship a second time.
+      next.alive |= bit;
+      next.completed &= ~submitted_bitmap(spec, state, rank);
+      break;
+    default:
+      // Correct regrow: reset the submission program (re-keying the bounded
+      // window); the completion mask makes re-submissions harmless.
+      next.alive |= bit;
+      next.pos[static_cast<std::size_t>(rank)] = 0;
+      break;
+  }
+  return next;
 }
 
 std::vector<int> symmetry_classes(const ProtocolSpec& spec) {
@@ -193,26 +291,50 @@ std::vector<int> symmetry_classes(const ProtocolSpec& spec) {
   return classes;
 }
 
-std::uint64_t canonical_key(const ProtocolSpec& spec, const ProtocolState& state) {
-  // Sort positions within each symmetry class: ranks running the same
-  // program are interchangeable, and completion is global, so two states
-  // related by such a swap have identical futures.
+ProtocolState canonical_state(const ProtocolSpec& spec, const ProtocolState& state) {
+  // Sort the per-rank tuples (pos, alive, pending, rejoined) within each
+  // symmetry class: ranks running the same program are interchangeable —
+  // their whole per-rank state swaps together — and completion/budget fields
+  // are global, so two states related by such a swap have identical futures.
   const std::vector<int> classes = symmetry_classes(spec);
-  std::vector<int> pos = state.pos;
   const int num_classes = *std::max_element(classes.begin(), classes.end()) + 1;
+  ProtocolState canon = state;
   for (int c = 0; c < num_classes; ++c) {
-    std::vector<int> values;
+    std::vector<std::array<int, 4>> tuples;
     for (int r = 0; r < spec.ranks; ++r)
       if (classes[static_cast<std::size_t>(r)] == c)
-        values.push_back(pos[static_cast<std::size_t>(r)]);
-    std::sort(values.begin(), values.end());
+        tuples.push_back({state.pos[static_cast<std::size_t>(r)],
+                          static_cast<int>(state.alive >> r & 1u),
+                          static_cast<int>(state.regrow_pending >> r & 1u),
+                          static_cast<int>(state.rejoined >> r & 1u)});
+    std::sort(tuples.begin(), tuples.end());
     std::size_t k = 0;
-    for (int r = 0; r < spec.ranks; ++r)
-      if (classes[static_cast<std::size_t>(r)] == c) pos[static_cast<std::size_t>(r)] = values[k++];
+    for (int r = 0; r < spec.ranks; ++r) {
+      if (classes[static_cast<std::size_t>(r)] != c) continue;
+      const auto& t = tuples[k++];
+      const std::uint32_t bit = std::uint32_t{1} << r;
+      canon.pos[static_cast<std::size_t>(r)] = t[0];
+      canon.alive = t[1] ? canon.alive | bit : canon.alive & ~bit;
+      canon.regrow_pending = t[2] ? canon.regrow_pending | bit : canon.regrow_pending & ~bit;
+      canon.rejoined = t[3] ? canon.rejoined | bit : canon.rejoined & ~bit;
+    }
   }
-  std::uint64_t key = state.completed;  // 20 bits
-  for (int r = 0; r < spec.ranks; ++r)
-    key = (key << 5) | static_cast<std::uint64_t>(pos[static_cast<std::size_t>(r)]);
+  return canon;
+}
+
+std::uint64_t canonical_key(const ProtocolSpec& spec, const ProtocolState& state) {
+  const ProtocolState canon = canonical_state(spec, state);
+  std::uint64_t key = 1469598103934665603ull;  // FNV-1a over the canonical fields
+  const auto mix = [&key](std::uint64_t v) {
+    key = (key ^ v) * 1099511628211ull;
+  };
+  for (int pos : canon.pos) mix(static_cast<std::uint64_t>(pos));
+  mix(canon.completed);
+  mix(canon.alive);
+  mix(canon.regrow_pending);
+  mix(canon.rejoined);
+  mix(canon.ever_completed);
+  mix(static_cast<std::uint64_t>(canon.faults_used));
   return key;
 }
 

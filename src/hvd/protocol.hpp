@@ -14,6 +14,15 @@
 //    the classic communication-engine bugs (Max instead of Min in the
 //    coordination reduce, re-issuing completed tensors, uncapped packing)
 //    that the checker must be able to catch.
+//  - apply_crash()/apply_rejoin() are the elastic membership transitions
+//    (Horovod elastic mode): a crash shrinks the coordination group to the
+//    alive ranks — the crashed rank's submitted-prefix is frozen, its
+//    in-flight fusion-buffer entries drain because readiness is re-formed
+//    over the survivors — and a rejoin regrows it, resetting the rank's
+//    submission program (re-keying its bounded window) while the global
+//    completion set masks re-submissions of already-reduced tensors. The
+//    Elastic* variants seed one crash/rejoin-handling bug each (V201–V205);
+//    Standard with max_fault_events > 0 is the correct elastic engine.
 #pragma once
 
 #include <cstddef>
@@ -81,7 +90,30 @@ enum class EngineVariant {
   /// members progress at different points starve the parent negotiation even
   /// though a non-empty intersection exists.
   HierarchicalParentStall,
+  /// bug: the coordination reduce keeps intersecting over *all* ranks after a
+  /// crash — the dead rank's frozen readiness vector vetoes every tensor it
+  /// never submitted, deadlocking the survivors (V201).
+  ElasticCrashBlind,
+  /// bug: crash cleanup marks the dead rank's submitted-but-unreduced tensors
+  /// completed without any data allreduce — the gradient is silently dropped
+  /// from the sum (V202).
+  ElasticLostGradient,
+  /// bug: the shrink keeps the crashed rank's stale readiness bits OR'd into
+  /// the negotiated set — its pre-crash bytes are counted by ranks that never
+  /// agreed to the allreduce (V203).
+  ElasticGhost,
+  /// bug: a rejoin replays the rank's submission journal by clearing the
+  /// completion bits it had submitted — those tensors negotiate ready again
+  /// and are reduced a second time (V204).
+  ElasticDoubleCount,
+  /// bug: the regrow admission never completes — the rejoining rank stays
+  /// pending forever and the engine suspends data cycles while membership is
+  /// "re-stabilizing" (V205).
+  ElasticRegrowStall,
 };
+
+/// True for the Elastic* seeded-bug variants (all require max_fault_events).
+bool is_elastic_variant(EngineVariant variant);
 
 const char* to_string(EngineVariant variant);
 
@@ -104,6 +136,13 @@ struct ProtocolSpec {
   /// Ranks per negotiation group for the Hierarchical* variants (rank r is in
   /// group r / group_size). 0 = flat; when non-zero it must divide `ranks`.
   int group_size = 0;
+  /// Fault budget the environment may spend on crash/rejoin events during the
+  /// run. 0 = rigid membership (no fault transitions are ever enabled);
+  /// the Elastic* variants require a non-zero budget.
+  int max_fault_events = 0;
+  /// A crash is only enabled while it would leave at least this many ranks
+  /// alive (an elastic deployment's minimum worker count).
+  int min_alive = 1;
   EngineVariant variant = EngineVariant::Standard;
   std::string name = "engine";  ///< diagnostic object label
 
@@ -119,10 +158,24 @@ struct ProtocolSpec {
 
 /// Abstract protocol state. A rank submits in its fixed program order, so its
 /// submitted set is the first `pos[r]` entries of submit_order[r]; completion
-/// is collective, so one global bitmap suffices.
+/// is collective, so one global bitmap suffices. The elastic fields track the
+/// membership set: a crashed rank keeps its frozen `pos` (its stale readiness
+/// vector is derivable) but leaves `alive`; a correct rejoin re-enters with
+/// `pos` reset to zero.
 struct ProtocolState {
   std::vector<int> pos;         ///< per-rank submitted-prefix length
   std::uint32_t completed = 0;  ///< bitmap over tensor ids
+  std::uint32_t alive = 0;      ///< bitmap over ranks in the membership set
+  /// Ranks stuck mid-rejoin (only the ElasticRegrowStall bug parks ranks
+  /// here; a correct regrow admits atomically).
+  std::uint32_t regrow_pending = 0;
+  /// Ranks that have rejoined at least once (distinguishes V204 from V003).
+  std::uint32_t rejoined = 0;
+  /// Monotone superset of `completed`: every tensor ever shipped. The
+  /// checker's double-count invariant is phrased over this, since the
+  /// ElasticDoubleCount bug un-sets `completed` bits on rejoin.
+  std::uint32_t ever_completed = 0;
+  int faults_used = 0;  ///< crash/rejoin events consumed from the budget
 
   bool operator==(const ProtocolState&) const = default;
 };
@@ -131,9 +184,11 @@ ProtocolState initial_state(const ProtocolSpec& spec);
 bool all_complete(const ProtocolSpec& spec, const ProtocolState& state);
 /// True when `tensor` is within rank `rank`'s submitted prefix.
 bool rank_submitted(const ProtocolSpec& spec, const ProtocolState& state, int rank, int tensor);
+/// True when `rank` is in the current membership set.
+bool rank_alive(const ProtocolState& state, int rank);
 
-/// True when rank `rank` may submit its next tensor: program not exhausted
-/// and the submission window (if bounded) not full.
+/// True when rank `rank` may submit its next tensor: alive, program not
+/// exhausted, and the submission window (if bounded) not full.
 bool can_submit(const ProtocolSpec& spec, const ProtocolState& state, int rank);
 /// The tensor id `rank` submits next; only valid when can_submit().
 int next_submission(const ProtocolSpec& spec, const ProtocolState& state, int rank);
@@ -148,6 +203,28 @@ struct CycleOutcome {
 };
 CycleOutcome apply_cycle(const ProtocolSpec& spec, const ProtocolState& state);
 
+/// Fault transitions. These are *environment* events, not protocol progress:
+/// the checker interleaves them at every reachable state within the fault
+/// budget, but they never count toward deadlock-enabledness.
+///
+/// can_crash: `rank` is alive, killing it keeps `min_alive` ranks up, and the
+/// budget has an event left. apply_crash removes the rank from the membership
+/// set (its `pos` freezes — the stale readiness vector stays derivable); the
+/// ElasticLostGradient bug additionally "cleans up" by marking the victim's
+/// submitted-but-unreduced tensors completed.
+bool can_crash(const ProtocolSpec& spec, const ProtocolState& state, int rank);
+ProtocolState apply_crash(const ProtocolSpec& spec, const ProtocolState& state, int rank);
+
+/// can_rejoin: `rank` is crashed (not alive, not stuck pending) and the
+/// budget has an event left. A correct apply_rejoin re-admits the rank with
+/// its submission program reset — re-keying its bounded window — relying on
+/// the completion mask to make re-submissions of already-reduced tensors
+/// harmless. The ElasticDoubleCount bug keeps the pre-crash program position
+/// and clears the completion bits it had submitted; ElasticRegrowStall parks
+/// the rank in `regrow_pending` forever.
+bool can_rejoin(const ProtocolSpec& spec, const ProtocolState& state, int rank);
+ProtocolState apply_rejoin(const ProtocolSpec& spec, const ProtocolState& state, int rank);
+
 /// Symmetry classes for canonical state hashing: ranks with identical
 /// submission programs are interchangeable, so the checker sorts their
 /// positions before hashing. With `group_size` set, classes are additionally
@@ -157,7 +234,14 @@ CycleOutcome apply_cycle(const ProtocolSpec& spec, const ProtocolState& state);
 /// rank.
 std::vector<int> symmetry_classes(const ProtocolSpec& spec);
 
-/// Canonical 64-bit key of a state under the rank symmetry above.
+/// Canonical representative of `state` under the rank symmetry above: within
+/// each class the per-rank tuples (pos, alive, pending, rejoined) are sorted.
+/// Two states with equal canonical representatives have identical futures, so
+/// the checker keys its visited set on this (exact — no hash collisions).
+ProtocolState canonical_state(const ProtocolSpec& spec, const ProtocolState& state);
+
+/// 64-bit mixing hash of canonical_state() — a hash-table key, not an
+/// injective encoding (the elastic fields outgrew the old exact packing).
 std::uint64_t canonical_key(const ProtocolSpec& spec, const ProtocolState& state);
 
 }  // namespace dnnperf::hvd

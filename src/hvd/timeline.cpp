@@ -33,8 +33,7 @@ constexpr int kRankTidBase = 16;
 
 class TimelineSim {
  public:
-  explicit TimelineSim(const TimelineInput& in)
-      : in_(in), tracing_(trace::enabled()), rng_(in.jitter_seed) {
+  explicit TimelineSim(const TimelineInput& in) : in_(in), tracing_(trace::enabled()) {
     in_.policy.validate();
     if (in_.iterations <= 0) throw std::invalid_argument("TimelineInput: iterations <= 0");
     if (in_.straggler_factor < 1.0)
@@ -44,6 +43,7 @@ class TimelineSim {
       throw std::invalid_argument("TimelineInput: negative per_rank_jitter_cv");
     if (per_rank_mode() && in_.cost == nullptr)
       throw std::invalid_argument("TimelineInput: sim_ranks > 1 requires a cost model");
+    validate_faults();
     // The progress thread's per-wake-up CPU cost taxes compute when it has
     // no core of its own: a fraction wakeup/cycle of every core-second goes
     // to the engine instead of the workers.
@@ -63,6 +63,8 @@ class TimelineSim {
       rank_factor_.assign(static_cast<std::size_t>(in_.sim_ranks), 1.0);
       rank_cursor_.assign(static_cast<std::size_t>(in_.sim_ranks), 0);
       submit_count_.assign(in_.grad_events.size(), 0);
+      rank_alive_.assign(static_cast<std::size_t>(in_.sim_ranks), 1);
+      alive_count_ = in_.sim_ranks;
     }
   }
 
@@ -89,11 +91,69 @@ class TimelineSim {
     result.comm_busy_total = comm_busy_total_;
     result.events_processed = engine_.events_processed();
     result.pool_slots = static_cast<std::uint64_t>(engine_.pool_slots());
+    result.iteration_seconds = std::move(iteration_seconds_);
+    result.iteration_alive_ranks = std::move(iteration_alive_);
+    result.membership_changes = membership_changes_;
     return result;
   }
 
  private:
   bool per_rank_mode() const { return in_.sim_ranks > 1; }
+
+  void validate_faults() {
+    if (in_.faults.empty()) return;
+    if (!per_rank_mode())
+      throw std::invalid_argument("TimelineInput: fault schedule requires per-rank mode");
+    for (const auto& s : in_.faults.slowdowns) {
+      if (s.rank < 0 || s.rank >= in_.sim_ranks)
+        throw std::invalid_argument("TimelineInput: slowdown rank out of range");
+      if (s.factor <= 0.0 || s.from_step < 0)
+        throw std::invalid_argument("TimelineInput: malformed slowdown");
+    }
+    for (const auto& c : in_.faults.crashes)
+      if (c.rank < 0 || c.rank >= in_.sim_ranks || c.step < 0)
+        throw std::invalid_argument("TimelineInput: malformed crash event");
+    for (const auto& r : in_.faults.rejoins)
+      if (r.rank < 0 || r.rank >= in_.sim_ranks || r.step < 0)
+        throw std::invalid_argument("TimelineInput: malformed rejoin event");
+    for (int step = 0; step < in_.iterations; ++step) {
+      int alive = 0;
+      for (int r = 0; r < in_.sim_ranks; ++r) alive += alive_at(r, step);
+      if (alive == 0)
+        throw std::invalid_argument("TimelineInput: crash schedule leaves no rank alive at step " +
+                                    std::to_string(step));
+    }
+  }
+
+  /// Membership at `step`: the latest crash/rejoin event at or before the
+  /// step wins (ties go to the rejoin — F002 lint rejects same-step pairs
+  /// anyway).
+  bool alive_at(int rank, int step) const {
+    int last_crash = -1, last_rejoin = -1;
+    for (const auto& c : in_.faults.crashes)
+      if (c.rank == rank && c.step <= step) last_crash = std::max(last_crash, c.step);
+    for (const auto& r : in_.faults.rejoins)
+      if (r.rank == rank && r.step <= step) last_rejoin = std::max(last_rejoin, r.step);
+    return last_crash < 0 || last_rejoin >= last_crash;
+  }
+
+  /// Product of the slowdown factors covering (`rank`, `step`).
+  double slowdown_at(int rank, int step) const {
+    double factor = 1.0;
+    for (const auto& s : in_.faults.slowdowns)
+      if (s.rank == rank && step >= s.from_step && (s.to_step < 0 || step < s.to_step))
+        factor *= s.factor;
+    return factor;
+  }
+
+  /// splitmix64 of (jitter_seed, step): per-iteration generator seed, so the
+  /// straggler pattern varies over steps but is a pure function of the input.
+  std::uint64_t iteration_seed(int step) const {
+    std::uint64_t z = in_.jitter_seed + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(step) + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
 
   /// Ranks that get their own "sim rank N" trace track in per-rank mode.
   int traced_ranks() const {
@@ -159,13 +219,42 @@ class TimelineSim {
     iter_max_factor_ = 1.0;
     std::fill(submit_count_.begin(), submit_count_.end(), 0);
     std::fill(rank_cursor_.begin(), rank_cursor_.end(), std::uint32_t{0});
+    // Resolve this step's membership set; a change re-forms the ring, which
+    // costs one engine cycle plus a full-tensor-list negotiation allreduce
+    // before any rank's compute lands.
+    iter_resync_s_ = 0.0;
+    if (!in_.faults.empty()) {
+      bool changed = false;
+      int alive = 0;
+      for (int r = 0; r < in_.sim_ranks; ++r) {
+        const char a = alive_at(r, completed_) ? 1 : 0;
+        changed |= a != rank_alive_[static_cast<std::size_t>(r)];
+        rank_alive_[static_cast<std::size_t>(r)] = a;
+        alive += a;
+      }
+      alive_count_ = alive;
+      if (changed && completed_ > 0) {
+        ++membership_changes_;
+        iter_resync_s_ =
+            in_.policy.cycle_time_s +
+            in_.cost->allreduce_time(
+                static_cast<double>(in_.grad_events.size()) * in_.negotiation_bytes_per_tensor,
+                mpi::AllreduceAlgo::RecursiveDoubling);
+      }
+    }
     // The counters model one rank's engine view (rank 0), the same parity
     // contract the representative mode keeps with RealEngine.
     counters_.on_framework_request(in_.grad_events.size());
+    // Per-step reseed: the generator is a pure function of (seed, step), so
+    // straggler patterns vary across iterations while a replay — cold or
+    // from the eval cache — reproduces them exactly.
+    util::Rng iter_rng(iteration_seed(completed_));
     for (std::size_t r = 0; r < rank_factor_.size(); ++r) {
-      double f = in_.per_rank_jitter_cv > 0.0 ? rng_.normal(1.0, in_.per_rank_jitter_cv) : 1.0;
+      double f = in_.per_rank_jitter_cv > 0.0 ? iter_rng.normal(1.0, in_.per_rank_jitter_cv) : 1.0;
       f = std::clamp(f, 0.25, 4.0);
+      if (!in_.faults.empty()) f *= slowdown_at(static_cast<int>(r), completed_);
       rank_factor_[r] = f;
+      if (!rank_alive_[r]) continue;  // a crashed rank computes and submits nothing
       iter_max_factor_ = std::max(iter_max_factor_, f);
       const double scale = stretch_ * f;
       if (!in_.grad_events.empty())
@@ -200,19 +289,21 @@ class TimelineSim {
   }
 
   /// Absolute time rank `r` reaches `offset` seconds into its backward pass
-  /// this iteration (compute before it scaled by the rank's factor).
+  /// this iteration (compute before it scaled by the rank's factor, behind
+  /// any membership-resync barrier).
   double rank_event_time(std::size_t /*r*/, double offset, double scale) const {
-    return iter_start_ + (in_.iteration_fixed + in_.fwd_time + offset) * scale;
+    return iter_start_ + iter_resync_s_ + (in_.iteration_fixed + in_.fwd_time + offset) * scale;
   }
 
   /// One gradient submission of rank `r`: bump the tensor's submit count;
-  /// when the slowest rank arrives the tensor becomes globally negotiable
-  /// (the Min-reduce of the real protocol). Then chain the rank's next
+  /// when the slowest *alive* rank arrives the tensor becomes globally
+  /// negotiable (the Min-reduce of the real protocol, re-formed over the
+  /// surviving membership set after a crash). Then chain the rank's next
   /// submission — one in-flight event per rank, so the pool's footprint
   /// stays O(ranks) while total events grow as ranks x tensors.
   void advance_rank(std::size_t r) {
     const std::size_t k = rank_cursor_[r]++;
-    if (++submit_count_[k] == in_.sim_ranks)
+    if (++submit_count_[k] == alive_count_)
       pending_.push_back(in_.grad_events[k].bytes);
     const std::size_t next = k + 1;
     if (next < in_.grad_events.size()) {
@@ -224,7 +315,7 @@ class TimelineSim {
   }
 
   void rank_backward_done() {
-    if (++bwd_ranks_done_ < static_cast<std::int64_t>(rank_factor_.size())) return;
+    if (++bwd_ranks_done_ < static_cast<std::int64_t>(alive_count_)) return;
     bwd_done_ = true;
     bwd_end_time_ = engine_.now();
     maybe_finish_iteration();
@@ -313,6 +404,8 @@ class TimelineSim {
     engine_.schedule_after(in_.optimizer_time * opt_scale, [this, opt_start] {
       emit_compute("optimizer", opt_start, engine_.now());
       emit_compute("step", step_start_, engine_.now());
+      iteration_seconds_.push_back(engine_.now() - step_start_);
+      iteration_alive_.push_back(per_rank_mode() ? alive_count_ : in_.sim_ranks);
       ++completed_;
       if (completed_ >= in_.iterations) {
         finish_time_ = engine_.now();
@@ -328,7 +421,6 @@ class TimelineSim {
   EngineCounters counters_;
   std::deque<double> pending_;
   bool tracing_ = false;
-  util::Rng rng_;
   // 64-bit accumulators throughout: per-rank mode pushes tensor and event
   // counts into ranges where 32-bit intermediates overflow (16k ranks x
   // thousands of tensors x iterations).
@@ -347,9 +439,15 @@ class TimelineSim {
   std::vector<double> rank_factor_;
   std::vector<std::uint32_t> rank_cursor_;
   std::vector<std::int32_t> submit_count_;
+  std::vector<char> rank_alive_;
+  int alive_count_ = 1;
   std::int64_t bwd_ranks_done_ = 0;
   double iter_start_ = 0.0;
   double iter_max_factor_ = 1.0;
+  double iter_resync_s_ = 0.0;
+  std::uint64_t membership_changes_ = 0;
+  std::vector<double> iteration_seconds_;
+  std::vector<int> iteration_alive_;
 };
 
 }  // namespace

@@ -32,6 +32,47 @@
 
 namespace dnnperf::hvd {
 
+/// Fault-scenario schedule for per-rank mode, in iteration granularity (the
+/// DES models elastic membership changes at step boundaries — the point the
+/// real elastic engine re-forms the ring). Plain structs so core/scenario can
+/// parse them from JSON and train::TrainConfig can carry them; the *protocol*
+/// legality of crash/rejoin handling is verified separately by the model
+/// checker (analysis/verify), and scenario well-formedness by the F-family
+/// lint passes.
+struct RankSlowdown {
+  int rank = 0;
+  double factor = 1.0;  ///< multiplies the rank's compute time (straggler)
+  int from_step = 0;    ///< first affected iteration (inclusive)
+  int to_step = -1;     ///< first unaffected iteration; -1 = rest of the run
+
+  bool operator==(const RankSlowdown&) const = default;
+};
+
+struct CrashEvent {
+  int rank = 0;
+  int step = 0;  ///< the rank is down from this iteration on
+
+  bool operator==(const CrashEvent&) const = default;
+};
+
+struct RejoinEvent {
+  int rank = 0;
+  int step = 0;  ///< the rank is back from this iteration on
+
+  bool operator==(const RejoinEvent&) const = default;
+};
+
+struct FaultSchedule {
+  std::vector<RankSlowdown> slowdowns;
+  std::vector<CrashEvent> crashes;
+  std::vector<RejoinEvent> rejoins;
+  /// Crash events the operator budgeted for (F003 gates schedules past it).
+  int fault_budget = 2;
+
+  bool empty() const { return slowdowns.empty() && crashes.empty() && rejoins.empty(); }
+  bool operator==(const FaultSchedule&) const = default;
+};
+
 struct TimelineInput {
   double fwd_time = 0.0;            ///< per-iteration forward compute, seconds
   double bwd_time = 0.0;            ///< per-iteration backward compute, seconds
@@ -71,9 +112,18 @@ struct TimelineInput {
   /// closed-form expected max.
   int sim_ranks = 1;
   /// Coefficient of variation of the per-rank compute factor in per-rank
-  /// mode; 0 makes every rank identical (useful for parity tests).
+  /// mode; 0 makes every rank identical (useful for parity tests). Factors
+  /// are redrawn every iteration from a generator reseeded by
+  /// hash(jitter_seed, step), so straggler patterns vary over time yet stay
+  /// fully determined by the input (cache hit ≡ cold miss).
   double per_rank_jitter_cv = 0.0;
   std::uint64_t jitter_seed = 0x9E3779B97F4A7C15ULL;
+  /// Crash/rejoin/slowdown schedule; non-empty requires per-rank mode. A
+  /// crashed rank submits nothing and the Min-reduce re-forms over the
+  /// survivors (a tensor becomes negotiable when every *alive* rank has
+  /// submitted it); each membership change charges one engine cycle plus a
+  /// full-tensor-list negotiation allreduce for the ring re-form.
+  FaultSchedule faults;
   /// Price data allreduces with the staged hierarchical plan
   /// (CollectiveCostModel::staged_allreduce_time) instead of the flat Auto
   /// policy. Negotiation stays on recursive doubling either way.
@@ -99,6 +149,14 @@ struct TimelineResult {
   /// footprint — slots are reused, so this stays near the in-flight peak).
   std::uint64_t events_processed = 0;
   std::uint64_t pool_slots = 0;
+  /// Per-iteration wall time and contributing (alive) rank count, in step
+  /// order — what scenario throughput accounting and crash-recovery asserts
+  /// consume. In representative mode alive == sim_ranks every step.
+  std::vector<double> iteration_seconds;
+  std::vector<int> iteration_alive_ranks;
+  /// Membership-set changes after the first iteration (each charged a ring
+  /// re-form: one engine cycle + one negotiation allreduce).
+  std::uint64_t membership_changes = 0;
 };
 
 /// Runs the event simulation. Deterministic.

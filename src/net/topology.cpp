@@ -49,6 +49,33 @@ double Topology::p2p_time(int a, int b, double bytes) const {
   return link(a, b).transfer_time(bytes);
 }
 
+void Topology::degrade(int level, double bandwidth_factor, double latency_factor) {
+  if (bandwidth_factor <= 0.0 || latency_factor <= 0.0)
+    throw std::invalid_argument("Topology::degrade: non-positive factor");
+  const auto scale = [&](LinkParams& p) {
+    p.bandwidth_gbps *= bandwidth_factor;
+    p.latency_s *= latency_factor;
+    p.per_msg_overhead_s *= latency_factor;
+    p.validate();
+  };
+  switch (level) {
+    case 0: scale(inter_); break;
+    case 1:
+      scale(intra_);
+      // Without a NUMA stage intra_numa_ is a copy of the intra-node link
+      // (and the one link() actually returns for same-node pairs), so the
+      // node-level degrade must cover it too.
+      if (numa_per_node_ == 1) scale(intra_numa_);
+      break;
+    case 2:
+      if (numa_per_node_ == 1)
+        throw std::invalid_argument("Topology::degrade: no intra-NUMA level in this topology");
+      scale(intra_numa_);
+      break;
+    default: throw std::invalid_argument("Topology::degrade: unknown level");
+  }
+}
+
 std::vector<HierarchyLevel> Topology::intra_hierarchy() const {
   std::vector<HierarchyLevel> levels;
   if (ranks_per_numa() > 1) levels.push_back({ranks_per_numa(), intra_numa_});

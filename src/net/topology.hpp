@@ -67,6 +67,15 @@ class Topology {
   /// caller's top-level allreduce over `nodes()` groups.
   std::vector<HierarchyLevel> intra_hierarchy() const;
 
+  /// Scenario link degradation: scales one level's parameters in place.
+  /// Levels: 0 = inter-node, 1 = intra-node, 2 = intra-NUMA (requires a NUMA
+  /// stage). `bandwidth_factor` multiplies bandwidth; `latency_factor`
+  /// multiplies latency and per-message overhead. Throws
+  /// std::invalid_argument on non-positive factors, an unknown level, or an
+  /// intra-NUMA degrade without a NUMA stage — the F004 lint pass rejects
+  /// such scenarios before a gated run gets here.
+  void degrade(int level, double bandwidth_factor, double latency_factor);
+
  private:
   int nodes_;
   int ppn_;

@@ -57,6 +57,11 @@ void validate(const TrainConfig& cfg) {
   if (cfg.jitter_cv < 0.0) throw std::invalid_argument("TrainConfig: negative jitter");
   if (cfg.opt_level < 0 || cfg.opt_level > 2)
     throw std::invalid_argument("TrainConfig: opt_level outside [0, 2]");
+  if (!cfg.faults.empty() && (!cfg.use_horovod || cfg.nodes * cfg.ppn <= 1))
+    throw std::invalid_argument("TrainConfig: fault schedule requires a multi-rank Horovod run");
+  for (const auto& d : cfg.link_degrades)
+    if (d.level < 0 || d.level > 2 || d.bandwidth_factor <= 0.0 || d.latency_factor <= 0.0)
+      throw std::invalid_argument("TrainConfig: malformed link degrade");
 }
 
 /// Builds the graph the run executes: the model as defined, rewritten by
@@ -98,7 +103,9 @@ TrainResult run_training(const TrainConfig& cfg) {
   if (world > 1 && !cfg.use_horovod)
     throw std::invalid_argument("TrainConfig: multi-rank run requires Horovod");
 
-  const bool per_rank = cfg.per_rank_sim && horovod_active;
+  // A fault scenario needs every rank simulated explicitly — membership is
+  // per-rank state — so it forces per-rank mode.
+  const bool per_rank = (cfg.per_rank_sim || !cfg.faults.empty()) && horovod_active;
 
   hvd::TimelineInput tl;
   tl.policy = cfg.policy;
@@ -112,6 +119,7 @@ TrainResult run_training(const TrainConfig& cfg) {
   if (per_rank) {
     tl.sim_ranks = world;
     tl.per_rank_jitter_cv = cfg.jitter_cv;
+    tl.faults = cfg.faults;
   }
   tl.hierarchical_allreduce = horovod_active && cfg.hierarchy != CommHierarchy::Flat;
 
@@ -155,9 +163,12 @@ TrainResult run_training(const TrainConfig& cfg) {
           cfg.hierarchy == CommHierarchy::ThreeLevel && numa > 1 && cfg.ppn % numa == 0
               ? numa
               : 1;
-      cost.emplace(net::Topology(
+      net::Topology topo(
           cfg.nodes, cfg.ppn, cfg.cluster.fabric, net::shared_memory_params(), numa_per_node,
-          numa_per_node > 1 ? net::numa_local_params() : net::shared_memory_params()));
+          numa_per_node > 1 ? net::numa_local_params() : net::shared_memory_params());
+      for (const auto& d : cfg.link_degrades)
+        topo.degrade(d.level, d.bandwidth_factor, d.latency_factor);
+      cost.emplace(std::move(topo));
     }
   } else {
     result.resolved_intra = 1;
@@ -172,17 +183,31 @@ TrainResult run_training(const TrainConfig& cfg) {
     tl.iteration_fixed = model.iteration_fixed_overhead(cfg.framework);
     tl.comm_thread_shares_core = false;  // host cores are idle during GPU runs
 
-    if (horovod_active)
-      cost.emplace(
-          net::Topology(cfg.nodes, cfg.ppn, cfg.cluster.fabric, net::pcie3_x16_params()));
+    if (horovod_active) {
+      net::Topology topo(cfg.nodes, cfg.ppn, cfg.cluster.fabric, net::pcie3_x16_params());
+      for (const auto& d : cfg.link_degrades)
+        topo.degrade(d.level, d.bandwidth_factor, d.latency_factor);
+      cost.emplace(std::move(topo));
+    }
   }
 
   tl.cost = cost ? &*cost : nullptr;
 
   const hvd::TimelineResult sim = hvd::simulate_training(tl);
   result.per_iteration_s = sim.per_iteration;
-  result.images_per_sec =
-      static_cast<double>(result.effective_batch) / sim.per_iteration;
+  // Crashed ranks train no images: throughput counts only alive ranks'
+  // batches. On a healthy run every step contributes the full world and the
+  // fraction is exactly 1.
+  if (per_rank && !sim.iteration_alive_ranks.empty()) {
+    double alive_sum = 0.0;
+    for (int alive : sim.iteration_alive_ranks) alive_sum += alive;
+    result.alive_rank_fraction =
+        alive_sum / (static_cast<double>(sim.iteration_alive_ranks.size()) * world);
+  }
+  result.images_per_sec = static_cast<double>(result.effective_batch) *
+                          result.alive_rank_fraction / sim.per_iteration;
+  result.iteration_seconds = sim.iteration_seconds;
+  result.membership_changes = sim.membership_changes;
   result.fwd_s = tl.fwd_time;
   result.bwd_s = tl.bwd_time;
   result.optimizer_s = tl.optimizer_time;

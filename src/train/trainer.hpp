@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "dnn/models.hpp"
 #include "exec/config.hpp"
@@ -26,6 +27,18 @@ enum class CommHierarchy {
   Flat,        ///< legacy MPI Auto policy (min of leader-hierarchical and RD)
   TwoLevel,    ///< staged intra-node ring/tree + inter-node allreduce
   ThreeLevel,  ///< staged intra-NUMA -> intra-node -> inter-node
+};
+
+/// Scenario link degradation: scales one topology level's link parameters
+/// before the cost model is built (congestion, a flaky cable, a saturated
+/// switch). Levels follow net::Topology: 0 = inter-node, 1 = intra-node,
+/// 2 = intra-NUMA (F004 lints levels absent from the run's topology).
+struct LinkDegrade {
+  int level = 0;
+  double bandwidth_factor = 1.0;  ///< multiplies link bandwidth (< 1 degrades)
+  double latency_factor = 1.0;    ///< multiplies latency + per-message overhead
+
+  bool operator==(const LinkDegrade&) const = default;
 };
 
 struct TrainConfig {
@@ -73,6 +86,16 @@ struct TrainConfig {
   /// Bitmask of opt::PassId restricting which passes of the level run
   /// (default: all). Hashed into the eval-cache key alongside opt_level.
   std::uint32_t opt_pass_mask = 0xffffffffu;
+  /// Fault scenario driving the run (crash/rejoin/slowdown at step
+  /// granularity). Non-empty forces per-rank simulation and requires a
+  /// multi-rank Horovod run; the F-family lint passes validate it and the
+  /// elastic model checker verifies the crash/rejoin protocol path before a
+  /// gated measurement runs. Hashed into the eval-cache key, so scenario
+  /// measurements never alias healthy ones.
+  hvd::FaultSchedule faults;
+  /// Scenario link degradations applied to the topology the cost model is
+  /// built from. Also hashed into the eval-cache key.
+  std::vector<LinkDegrade> link_degrades;
 };
 
 struct TrainResult {
@@ -99,6 +122,15 @@ struct TrainResult {
   int sim_ranks = 1;
   std::uint64_t sim_events = 0;
   std::uint64_t sim_pool_slots = 0;
+  /// Per-iteration wall times of the run (virtual seconds, step order) —
+  /// what crash-recovery asserts and survivability replies read.
+  std::vector<double> iteration_seconds;
+  /// Mean fraction of the world contributing per step (1.0 on a healthy
+  /// run); images_per_sec already accounts for it — crashed ranks train no
+  /// images.
+  double alive_rank_fraction = 1.0;
+  /// Elastic membership changes the run paid a ring re-form for.
+  std::uint64_t membership_changes = 0;
 };
 
 /// The intra-op/inter-op thread counts a config resolves to (0 = auto

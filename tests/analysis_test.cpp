@@ -473,14 +473,16 @@ TEST(Renderers, JsonEscapesAndCounts) {
 
 TEST(Registry, CodeLetterDeterminesTheFamily) {
   // The family is a function of the code prefix — one family per lint_*
-  // letter, and the V space split between the engine model checker (V0xx)
-  // and the trace verifier (V1xx). No code may sit in a family its prefix
-  // does not name, and no family may be empty.
+  // letter, and the V space split between the engine model checker (V0xx),
+  // the trace verifier (V1xx), and the elastic crash/rejoin checker (V2xx).
+  // No code may sit in a family its prefix does not name, and no family may
+  // be empty.
   const std::map<std::string, std::string> prefix_to_family = {
-      {"G", "graph"},        {"P", "platform"},     {"N", "network"},
-      {"H", "policy"},       {"S", "schedule"},     {"A", "advisor"},
-      {"M", "metrics"},      {"O", "optimizer"},    {"V0", "verify-engine"},
-      {"V1", "verify-trace"}, {"T", "profile"},
+      {"G", "graph"},         {"P", "platform"},       {"N", "network"},
+      {"H", "policy"},        {"S", "schedule"},       {"A", "advisor"},
+      {"M", "metrics"},       {"O", "optimizer"},      {"V0", "verify-engine"},
+      {"V1", "verify-trace"}, {"V2", "verify-elastic"}, {"T", "profile"},
+      {"F", "scenario"},
   };
   std::set<std::string> seen_families;
   for (const auto& info : pass_registry()) {
@@ -499,6 +501,10 @@ TEST(Registry, VerifyCodesAreRegistered) {
   EXPECT_EQ(pass_info("V006").severity, Severity::Warn);
   EXPECT_EQ(pass_info("V101").family, "verify-trace");
   EXPECT_EQ(pass_info("V104").severity, Severity::Error);
+  EXPECT_EQ(pass_info("V201").family, "verify-elastic");
+  EXPECT_EQ(pass_info("V205").severity, Severity::Error);
+  EXPECT_EQ(pass_info("F001").family, "scenario");
+  EXPECT_EQ(pass_info("F004").severity, Severity::Error);
 }
 
 TEST(Renderers, JsonEnvelopeRoundTrips) {

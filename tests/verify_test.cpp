@@ -285,6 +285,145 @@ TEST(ModelChecker, TruncatedExplorationWarns) {
 }
 
 // ---------------------------------------------------------------------------
+// Elastic protocol: crash/rejoin interleavings (V2xx)
+// ---------------------------------------------------------------------------
+
+TEST(ElasticChecker, StandardElasticThreeRanksTwoFaultsVerifiesClean) {
+  // The acceptance bound: 3 ranks x 4 tensors under a budget of 2 fault
+  // events interleaved at every reachable state, exhaustively, under 5 s.
+  // The correct elastic engine is just the Standard variant: the Min-reduce
+  // over alive ranks re-forms on crash, rejoin re-keys the window (pos = 0),
+  // and the completed mask makes resubmissions harmless.
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(3, {2, 2, 1}, 3,
+                                                      /*rotate_by_rank=*/true);
+  spec.max_fault_events = 2;
+  spec.name = "elastic-clean-3x3";
+
+  const auto start = std::chrono::steady_clock::now();
+  const analysis::ModelCheckResult result = analysis::check_protocol(spec);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  EXPECT_TRUE(result.diags.empty()) << util::render_text(result.diags);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.goal_reached);
+  // Fault interleaving genuinely grows the space over the fault-free check.
+  hvd::ProtocolSpec healthy = spec;
+  healthy.max_fault_events = 0;
+  EXPECT_GT(result.states_explored, analysis::check_protocol(healthy).states_explored);
+  EXPECT_LT(seconds, 5.0);
+}
+
+TEST(ElasticChecker, CrashBlindDeadlocksAsV201) {
+  // The seeded bug: the readiness Min-reduce still spans crashed ranks, so
+  // after the crash the intersection is pinned empty and survivors hang.
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(2, {1, 1}, 2);
+  spec.variant = hvd::EngineVariant::ElasticCrashBlind;
+  spec.max_fault_events = 1;
+  spec.name = "crash-blind-fixture";
+  const auto result = analysis::check_protocol(spec);
+  ASSERT_TRUE(result.diags.has_code("V201")) << util::render_text(result.diags);
+  EXPECT_FALSE(result.diags.has_code("V001"));  // classified, not the generic code
+  // Minimal trace: r0's two submissions, the crash, stuck — no shorter run
+  // can both exhaust submissions and have a rank down.
+  ASSERT_EQ(result.counterexample.size(), 4u) << util::render_text(result.diags);
+  EXPECT_EQ(result.counterexample.back(), "stuck");
+  EXPECT_NE(result.diags.items().front().message.find("crash"), std::string::npos);
+}
+
+TEST(ElasticChecker, LostGradientCaughtAsV202AtTheCrashTransition) {
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(2, {1}, 1);
+  spec.variant = hvd::EngineVariant::ElasticLostGradient;
+  spec.max_fault_events = 1;
+  spec.name = "lost-gradient-fixture";
+  const auto result = analysis::check_protocol(spec);
+  ASSERT_TRUE(result.diags.has_code("V202")) << util::render_text(result.diags);
+  // Golden minimal counterexample: one submission, then the crash that
+  // silently completes it.
+  ASSERT_EQ(result.counterexample.size(), 2u);
+  EXPECT_EQ(result.counterexample[0], "r0 submits t0");
+  EXPECT_EQ(result.counterexample[1], "r0 crashes");
+}
+
+TEST(ElasticChecker, GhostContributionCaughtAsV203) {
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(2, {1}, 1);
+  spec.variant = hvd::EngineVariant::ElasticGhost;
+  spec.max_fault_events = 1;
+  spec.name = "ghost-fixture";
+  const auto result = analysis::check_protocol(spec);
+  ASSERT_TRUE(result.diags.has_code("V203")) << util::render_text(result.diags);
+  EXPECT_FALSE(result.diags.has_code("V005"));  // elastic classification wins
+  // Golden minimal counterexample: submit, crash, and the cycle that counts
+  // the dead rank's stale readiness bit.
+  ASSERT_EQ(result.counterexample.size(), 3u);
+  EXPECT_EQ(result.counterexample[0], "r0 submits t0");
+  EXPECT_EQ(result.counterexample[1], "r0 crashes");
+  EXPECT_NE(result.counterexample[2].find("allreduce"), std::string::npos);
+}
+
+TEST(ElasticChecker, DoubleCountOnRejoinCaughtAsV204) {
+  // Two tensors so t0's completion is not the goal state: goal states are
+  // terminal in the BFS, so the replaying crash+rejoin must land mid-run.
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(2, {1, 1}, 1);
+  spec.variant = hvd::EngineVariant::ElasticDoubleCount;
+  spec.max_fault_events = 2;  // one crash + the rejoin that replays
+  spec.name = "double-count-fixture";
+  const auto result = analysis::check_protocol(spec);
+  ASSERT_TRUE(result.diags.has_code("V204")) << util::render_text(result.diags);
+  EXPECT_FALSE(result.diags.has_code("V003"));  // rejoin replay, not re-issue
+  // Minimal trace: both ranks submit, the tensor ships, crash + rejoin clear
+  // the completion mask, and the next cycle ships it again.
+  ASSERT_EQ(result.counterexample.size(), 6u) << util::render_text(result.diags);
+  EXPECT_NE(result.counterexample[2].find("allreduce"), std::string::npos);
+  EXPECT_NE(result.counterexample[4].find("rejoins"), std::string::npos);
+  EXPECT_NE(result.counterexample[5].find("allreduce"), std::string::npos);
+}
+
+TEST(ElasticChecker, RegrowStallCaughtAsV205) {
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(2, {1, 1}, 2);
+  spec.variant = hvd::EngineVariant::ElasticRegrowStall;
+  spec.max_fault_events = 2;
+  spec.name = "regrow-stall-fixture";
+  const auto result = analysis::check_protocol(spec);
+  ASSERT_TRUE(result.diags.has_code("V205")) << util::render_text(result.diags);
+  EXPECT_FALSE(result.diags.has_code("V201"));
+  EXPECT_EQ(result.counterexample.back(), "stuck");
+  EXPECT_NE(result.diags.items().front().message.find("rejoin"), std::string::npos);
+}
+
+TEST(ElasticChecker, MinAliveBoundsTheCrashBudget) {
+  // min_alive = ranks forbids every crash: the elastic exploration collapses
+  // to the healthy one and even a buggy variant has no fault to expose it.
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(2, {1, 1}, 2);
+  spec.variant = hvd::EngineVariant::ElasticCrashBlind;
+  spec.max_fault_events = 2;
+  spec.min_alive = 2;
+  const auto result = analysis::check_protocol(spec);
+  EXPECT_TRUE(result.diags.empty()) << util::render_text(result.diags);
+  EXPECT_TRUE(result.goal_reached);
+}
+
+TEST(ElasticChecker, ElasticVariantsRequireAFaultBudget) {
+  hvd::ProtocolSpec spec = hvd::ProtocolSpec::uniform(2, {1, 1}, 2);
+  spec.variant = hvd::EngineVariant::ElasticCrashBlind;
+  spec.max_fault_events = 0;
+  EXPECT_THROW(analysis::check_protocol(spec), std::invalid_argument);
+}
+
+TEST(ElasticChecker, ShippedPresetsVerifyElasticClean) {
+  // Every shipped tuned preset's protocol must survive crash/rejoin
+  // interleavings — the correct elastic engine is the one we model, so a
+  // finding here is a real protocol regression, not a seeded fixture.
+  for (const auto& cluster : hw::all_clusters()) {
+    if (cluster.node.has_gpu()) continue;
+    const int nodes = std::min(2, cluster.max_nodes);
+    const train::TrainConfig cfg = core::tf_best(cluster, dnn::ModelId::ResNet50, nodes);
+    const util::Diagnostics diags = analysis::verify_config_elastic(cfg);
+    EXPECT_TRUE(diags.empty()) << cluster.name << ":\n" << util::render_text(diags);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Shipped configurations verify clean
 // ---------------------------------------------------------------------------
 

@@ -8,7 +8,11 @@
 //   dnnperf_lint --lint-json             # machine-readable output for CI
 //   dnnperf_lint --list-passes           # the pass registry
 //   dnnperf_lint --verify-engine         # model-check presets' engine protocol
+//   dnnperf_lint --verify-elastic        # model-check crash/rejoin handling (V2xx)
 //   dnnperf_lint --verify-trace=t.json   # happens-before checks on a trace
+//   dnnperf_lint --scenario=s.json --cluster=C --model=M
+//                                        # lint a fault scenario and price its
+//                                        # survivability (throughput retention)
 //   dnnperf_lint --optimize              # run the verified graph optimizer
 //                                        # over every shipped model (O0xx)
 //
@@ -22,7 +26,9 @@
 #include "analysis/analyze.hpp"
 #include "analysis/registry.hpp"
 #include "analysis/verify/trace_verifier.hpp"
+#include "core/advisor_service.hpp"
 #include "core/presets.hpp"
+#include "core/scenario.hpp"
 #include "dnn/models.hpp"
 #include "hw/platforms.hpp"
 #include "opt/passes.hpp"
@@ -113,8 +119,20 @@ int main(int argc, char** argv) {
   cli.add_int("opt-level", "optimizer level for --optimize (1-2)", 2);
   cli.add_flag("verify-engine",
                "model-check the engine protocol for the selected configs (V0xx)", false);
+  cli.add_flag("verify-elastic",
+               "model-check the elastic protocol with crash/rejoin interleavings for the "
+               "selected configs (V2xx)",
+               false);
   cli.add_string("verify-trace",
                  "run happens-before checks over a recorded Chrome-trace file (V1xx)", "");
+  cli.add_string("scenario",
+                 "fault-scenario JSON to lint and price against --cluster+--model "
+                 "(prints the survivability report)",
+                 "");
+  cli.add_flag("check",
+               "with --scenario: fail unless the survivability reply is sane "
+               "(healthy throughput > 0, retention in (0, 1])",
+               false);
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -135,7 +153,9 @@ int main(int argc, char** argv) {
   }
 
   const bool verify_engine = cli.get_flag("verify-engine");
+  const bool verify_elastic = cli.get_flag("verify-elastic");
   const std::string trace_path = cli.get_string("verify-trace");
+  const std::string scenario_path = cli.get_string("scenario");
 
   util::Diagnostics all;
   try {
@@ -153,20 +173,76 @@ int main(int argc, char** argv) {
                             : std::vector<dnn::ModelId>{dnn::model_by_name(model_arg)};
       // Summary table only in text mode; json/github stay machine-parseable.
       run_optimizer(models, level, all, format != "text");
-    } else if (verify_engine || !trace_path.empty()) {
+    } else if (!scenario_path.empty()) {
+      // Scenario mode: lint the schedule against the named config, then (when
+      // the lint passes) price its survivability through the advisor — a
+      // lint-gated, model-checked, cached reply.
+      if (model_arg.empty() || cluster_arg.empty()) {
+        std::cerr << "dnnperf_lint: --scenario requires --cluster and --model\n";
+        return 2;
+      }
+      const core::Scenario scenario = core::load_scenario_file(scenario_path);
+      const auto cluster = hw::cluster_by_name(cluster_arg);
+      train::TrainConfig cfg =
+          core::tf_best(cluster, dnn::model_by_name(model_arg),
+                        static_cast<int>(cli.get_int("nodes")));
+      if (cli.get_int("ppn") > 0) cfg.ppn = static_cast<int>(cli.get_int("ppn"));
+      if (cli.get_int("batch") > 0) cfg.batch_per_rank = static_cast<int>(cli.get_int("batch"));
+      // Extend the horizon so every scheduled event actually fires and the
+      // run has post-recovery iterations to measure.
+      int horizon = 0;
+      for (const auto& c : scenario.faults.crashes) horizon = std::max(horizon, c.step + 1);
+      for (const auto& r : scenario.faults.rejoins) horizon = std::max(horizon, r.step + 1);
+      for (const auto& s : scenario.faults.slowdowns)
+        horizon = std::max(horizon, std::max(s.from_step, s.to_step) + 1);
+      cfg.iterations = std::max(cfg.iterations, horizon + 10);
+
+      all.merge(core::lint_scenario(scenario, cfg));
+      if (!all.has_errors()) {
+        const core::SurvivabilityReply reply =
+            core::default_advisor_service().survivability({cfg, scenario});
+        if (format == "text") {
+          util::TextTable table({"scenario", "healthy img/s", "scenario img/s", "retention",
+                                 "alive frac", "reshapes", "warm", "evaluated"});
+          table.add_row({scenario.name, util::TextTable::num(reply.healthy_images_per_sec, 1),
+                         util::TextTable::num(reply.scenario_images_per_sec, 1),
+                         util::TextTable::num(reply.throughput_retention, 3),
+                         util::TextTable::num(reply.alive_rank_fraction, 3),
+                         std::to_string(reply.membership_changes),
+                         std::to_string(reply.cache_hits), std::to_string(reply.evaluated)});
+          std::cout << table.to_text();
+          std::cout << "bottleneck: " << prof::to_string(reply.verdict) << " ("
+                    << reply.verdict_reason << ")\n";
+        }
+        if (cli.get_flag("check")) {
+          const bool sane = reply.healthy_images_per_sec > 0.0 &&
+                            reply.throughput_retention > 0.0 &&
+                            reply.throughput_retention <= 1.0 + 1e-9;
+          if (!sane) {
+            std::cerr << "dnnperf_lint: survivability check failed (healthy="
+                      << reply.healthy_images_per_sec
+                      << " img/s, retention=" << reply.throughput_retention << ")\n";
+            return 1;
+          }
+        }
+      }
+    } else if (verify_engine || verify_elastic || !trace_path.empty()) {
       // Verification modes replace the default lint families: CI runs them as
       // separate steps with separate artifacts.
-      if (verify_engine) {
+      if (verify_engine || verify_elastic) {
+        const auto verify = [&](const train::TrainConfig& cfg) {
+          if (verify_engine) all.merge(analysis::verify_config_engine(cfg));
+          if (verify_elastic) all.merge(analysis::verify_config_elastic(cfg));
+        };
         if (!model_arg.empty() && !cluster_arg.empty()) {
           const auto cluster = hw::cluster_by_name(cluster_arg);
           train::TrainConfig cfg =
               core::tf_best(cluster, dnn::model_by_name(model_arg),
                             static_cast<int>(cli.get_int("nodes")));
           if (cli.get_int("ppn") > 0) cfg.ppn = static_cast<int>(cli.get_int("ppn"));
-          all.merge(analysis::verify_config_engine(cfg));
+          verify(cfg);
         } else {
-          for (const auto& cfg : shipped_presets())
-            all.merge(analysis::verify_config_engine(cfg));
+          for (const auto& cfg : shipped_presets()) verify(cfg);
         }
       }
       if (!trace_path.empty()) all.merge(analysis::verify_trace_file(trace_path));
